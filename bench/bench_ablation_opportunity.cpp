@@ -1,0 +1,50 @@
+// Ablation: the opportunity-grid period. Figure 3's latency distribution
+// is a direct function of the ~500 us PCU grid; this bench re-measures the
+// random-request histogram on a legacy (immediate) part and reports how
+// the distribution collapses: Haswell-EP spreads over [~21, ~524] us while
+// Haswell-HE (no deferred grid) switches in tens of microseconds.
+#include <cstdio>
+
+#include "arch/sku.hpp"
+#include "core/node.hpp"
+#include "tools/ftalat.hpp"
+#include "util/table.hpp"
+
+using namespace hsw;
+
+namespace {
+
+tools::FtalatResult run(const arch::Sku& sku, unsigned samples) {
+    core::NodeConfig cfg;
+    cfg.sku = &sku;
+    cfg.sockets = 2;
+    core::Node node{cfg};
+    tools::Ftalat ftalat{node};
+    tools::FtalatConfig fc;
+    fc.samples = samples;
+    fc.delay_mode = tools::DelayMode::Random;
+    fc.from_ratio = sku.min_frequency.ratio();
+    fc.to_ratio = sku.min_frequency.ratio() + 1;
+    return ftalat.measure(fc);
+}
+
+}  // namespace
+
+int main() {
+    // A Haswell-HE-like part: same silicon features, immediate p-states.
+    static arch::Sku haswell_he = arch::xeon_e5_2680_v3();
+    haswell_he.generation = arch::Generation::HaswellHE;
+
+    util::Table t{"opportunity-grid ablation: random-request p-state latency"};
+    t.set_header({"part", "min [us]", "median [us]", "max [us]"});
+    const auto ep = run(arch::xeon_e5_2680_v3(), 400);
+    t.add_row({"Haswell-EP (500 us grid)", util::Table::fmt(ep.min(), 0),
+               util::Table::fmt(ep.median(), 0), util::Table::fmt(ep.max(), 0)});
+    const auto he = run(haswell_he, 400);
+    t.add_row({"Haswell-HE (immediate)", util::Table::fmt(he.min(), 0),
+               util::Table::fmt(he.median(), 0), util::Table::fmt(he.max(), 0)});
+    std::printf("%s\n", t.render().c_str());
+    std::puts("paper Section VI-A: \"on previous processors (including Haswell-HE),\n"
+              "p-state transition requests are always carried out immediately\".");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: modeled vs measured RAPL on the *same* machine.
+//
+// Figure 2 compares different machines (SNB node vs HSW node), so PSU and
+// workload effects mix with the backend change. Here the identical
+// Haswell-EP node is measured once through the measured backend and once
+// through a modeled estimator fed the same activity -- isolating how much
+// of the Fig. 2 improvement is the backend itself.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "rapl/model.hpp"
+#include "tools/rapl_validate.hpp"
+#include "util/table.hpp"
+#include "workloads/mixes.hpp"
+
+using namespace hsw;
+using util::Time;
+
+int main() {
+    core::Node node;
+    tools::RaplValidator validator{node};
+
+    // Collect points with the real (measured) backend, and re-estimate each
+    // point with a modeled estimator from the same activity vector.
+    rapl::RaplEstimator modeled{arch::RaplBackend::Modeled, 7};
+
+    std::vector<tools::RaplSamplePoint> measured_pts;
+    std::vector<tools::RaplSamplePoint> modeled_pts;
+
+    const unsigned max_cores = node.cores_per_socket();
+    for (const workloads::Workload* w : workloads::rapl_validation_set()) {
+        for (unsigned cores : {1u, max_cores / 2, max_cores}) {
+            auto p = validator.run_point(w, cores, 1, Time::sec(2));
+            measured_pts.push_back(p);
+
+            // Feed the modeled estimator the same machine activity.
+            rapl::ActivityVector av;
+            const double f = node.core_frequency(node.cpu_id(0, 0)).as_ghz() * 1e9;
+            av.core_cycles_per_s = f * cores;
+            av.uops_per_s = f * cores * w->ipc_unity_noht * 1.12;
+            av.avx_ops_per_s = f * cores * w->ipc_unity_noht * w->avx_fraction;
+            av.dram_gbs = node.socket(0).current_dram_traffic().as_gb_per_sec();
+            av.uncore_cycles_per_s = node.uncore_frequency(0).as_hz();
+            const double est =
+                2.0 * (modeled.package_power(util::Power::watts(p.rapl_watts / 2.0), av)
+                           .as_watts() +
+                       modeled.dram_power(util::Power::watts(8.0), av).as_watts());
+            auto q = p;
+            q.rapl_watts = est;
+            modeled_pts.push_back(q);
+        }
+    }
+
+    const auto measured_report = tools::analyze(measured_pts);
+    const auto modeled_report = tools::analyze(modeled_pts);
+
+    util::Table t{"RAPL backend ablation on the same Haswell-EP node"};
+    t.set_header({"backend", "global linear R^2", "per-workload slope spread"});
+    t.add_row({"measured (FIVR sense)", util::Table::fmt(measured_report.linear.r_squared, 5),
+               util::Table::fmt(measured_report.slope_spread * 100.0, 1) + " %"});
+    t.add_row({"modeled (event counts)", util::Table::fmt(modeled_report.linear.r_squared, 5),
+               util::Table::fmt(modeled_report.slope_spread * 100.0, 1) + " %"});
+    std::printf("%s\n", t.render().c_str());
+    std::puts("Expected: the modeled backend shows a much larger per-workload bias\n"
+              "even with machine, PSU and workloads held constant -- the accuracy\n"
+              "gain of Haswell RAPL is the measurement backend (Section IV).");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: what if the uncore did NOT scale independently?
+//
+// Re-runs the Table IV frequency sweep while pinning the workload into the
+// UFS regimes: the FIRESTARTER profile (tracking UFS), a no-stall variant
+// (ladder only -- the uncore never absorbs freed budget), and a
+// stall-heavy variant (uncore always at max). Without the budget-to-uncore
+// reassignment, the paper's "lower setting -> more IPS" inversion
+// disappears -- quantifying how much of Table IV is UFS.
+#include <cstdio>
+
+#include "core/node.hpp"
+#include "perfmon/counters.hpp"
+#include "util/table.hpp"
+#include "workloads/mixes.hpp"
+
+using namespace hsw;
+using util::Frequency;
+using util::Time;
+
+namespace {
+
+struct Point {
+    double core_ghz;
+    double uncore_ghz;
+    double gips;
+};
+
+Point measure(core::Node& node, const workloads::Workload& w, unsigned ratio) {
+    node.set_all_workloads(&w, 2);
+    node.set_pstate_all(Frequency::from_ratio(ratio));
+    node.run_for(Time::ms(50));
+    perfmon::CounterReader reader{node.msrs(), node.sku().nominal_frequency};
+    const auto before = reader.snapshot(node.cpu_id(1, 0), node.now());
+    node.run_for(Time::sec(2));
+    const auto after = reader.snapshot(node.cpu_id(1, 0), node.now());
+    const auto m = reader.derive(before, after);
+    return Point{m.effective_frequency.as_ghz(), m.uncore_frequency.as_ghz(),
+                 m.giga_instructions_per_sec / 2.0};
+}
+
+}  // namespace
+
+int main() {
+    // Variants of FIRESTARTER that pin the UFS policy branch.
+    workloads::Workload no_stall = workloads::firestarter();
+    no_stall.name = "FS (no-stall variant)";
+    no_stall.stall_fraction = 0.0;   // ladder regime: no budget reassignment
+    no_stall.ipc_uncore_sens = 0.0;  // and no IPC benefit from uncore
+
+    workloads::Workload stall_heavy = workloads::firestarter();
+    stall_heavy.name = "FS (stall-heavy variant)";
+    stall_heavy.stall_fraction = 0.5;  // uncore pinned at max from the start
+
+    const workloads::Workload* variants[] = {&workloads::firestarter(), &no_stall,
+                                             &stall_heavy};
+
+    for (const auto* w : variants) {
+        core::Node node;
+        util::Table t{std::string{"UFS ablation: "} + std::string{w->name}};
+        t.set_header({"setting [GHz]", "core [GHz]", "uncore [GHz]", "GIPS/thread"});
+        double turbo_gips = 0.0;
+        double best_gips = 0.0;
+        const unsigned nominal = node.sku().nominal_frequency.ratio();
+        for (unsigned r = nominal + 1; r >= 21; --r) {
+            const Point p = measure(node, *w, r);
+            if (r == nominal + 1) turbo_gips = p.gips;
+            best_gips = std::max(best_gips, p.gips);
+            t.add_row({r == nominal + 1 ? "Turbo" : util::Table::fmt(r / 10.0, 1),
+                       util::Table::fmt(p.core_ghz, 2), util::Table::fmt(p.uncore_ghz, 2),
+                       util::Table::fmt(p.gips, 3)});
+        }
+        std::printf("%s", t.render().c_str());
+        std::printf("downclocking gain vs turbo: %+.1f %%\n\n",
+                    (best_gips / turbo_gips - 1.0) * 100.0);
+    }
+    std::puts("Expected: the tracking-UFS FIRESTARTER shows the Table IV inversion;\n"
+              "the no-stall variant does not (freed budget buys nothing).");
+    return 0;
+}

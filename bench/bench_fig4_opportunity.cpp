@@ -1,0 +1,13 @@
+// Reproduces Figure 4: the presumed p-state change mechanism -- a request
+// latches until the next ~500 us PCU opportunity, then completes after the
+// switching time. Also verifies the Section VI-A parallel observation:
+// cores of one socket switch simultaneously, sockets independently.
+#include <cstdio>
+
+#include "survey/fig4_opportunity.hpp"
+
+int main() {
+    const auto result = hsw::survey::fig4();
+    std::printf("%s\n", result.render().c_str());
+    return 0;
+}

@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the simulator itself: event-queue
+// throughput, node step rate, PCU evaluation cost, and the full-sweep
+// harness primitives. These bound how large an experiment the harness can
+// sweep per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "core/node.hpp"
+#include "pcu/pcu.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workloads/firestarter.hpp"
+#include "workloads/mixes.hpp"
+
+using namespace hsw;
+using util::Time;
+
+namespace {
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+    sim::Simulator sim;
+    std::int64_t t = 1;
+    for (auto _ : state) {
+        sim.schedule_at(Time::ns(t++), [] {});
+        if (t % 1024 == 0) sim.run_until(Time::ns(t));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Simulator sim;
+        for (int i = 0; i < 1000; ++i) {
+            sim.schedule_at(Time::us(i), [] {});
+        }
+        sim.run_all();
+        benchmark::DoNotOptimize(sim.processed_events());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_PcuEvaluate(benchmark::State& state) {
+    pcu::PcuController pcu{arch::xeon_e5_2680_v3(), 0};
+    pcu::PcuInputs in;
+    in.cores.resize(12);
+    for (auto& c : in.cores) {
+        c.state = cstates::CState::C0;
+        c.requested_ratio = 26;
+        c.avx_fraction = 0.95;
+        c.stall_fraction = 0.06;
+        c.cdyn_utilization = 1.0;
+    }
+    in.uncore_traffic = 1.0;
+    in.current_intensity = 0.85;
+    in.fastest_system_core = util::Frequency::ghz(2.5);
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        auto out = pcu.evaluate(in, Time::us(t += 500));
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PcuEvaluate);
+
+void BM_NodeSimulatedSecond(benchmark::State& state) {
+    core::Node node;
+    node.set_all_workloads(&workloads::firestarter(), 2);
+    node.request_turbo_all();
+    node.run_for(Time::ms(50));
+    for (auto _ : state) {
+        node.run_for(Time::sec(1));
+        benchmark::DoNotOptimize(node.now());
+    }
+    state.SetLabel("simulated seconds per iteration: 1");
+}
+BENCHMARK(BM_NodeSimulatedSecond);
+
+void BM_FirestarterPayloadGen(benchmark::State& state) {
+    for (auto _ : state) {
+        workloads::FirestarterPayload payload{560};
+        benchmark::DoNotOptimize(payload.analyze());
+    }
+}
+BENCHMARK(BM_FirestarterPayloadGen);
+
+void BM_RaplWindowRead(benchmark::State& state) {
+    core::Node node;
+    node.set_all_workloads(&workloads::compute(), 1);
+    node.run_for(Time::ms(50));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(node.rapl_power_over(Time::ms(100)));
+    }
+}
+BENCHMARK(BM_RaplWindowRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Reproduces Table I: Sandy Bridge-EP vs Haswell-EP microarchitecture,
+// with the derived ratio checks the paper's Section II-A highlights.
+#include <cstdio>
+
+#include "survey/table1_microarch.hpp"
+
+int main() {
+    const auto cmp = hsw::survey::table1();
+    std::printf("%s\n", cmp.render().c_str());
+    std::printf("derived checks:\n");
+    std::printf("  FLOPS/cycle ratio (FMA):      %.1fx (paper: 2x)\n", cmp.flops_ratio());
+    std::printf("  L1D bandwidth ratio:          %.1fx (paper: doubled)\n",
+                cmp.l1_bandwidth_ratio());
+    std::printf("  L2 bandwidth ratio:           %.1fx (paper: doubled)\n",
+                cmp.l2_bandwidth_ratio());
+    std::printf("  DRAM peak ratio (DDR4/DDR3):  %.2fx (68.2/51.2 GB/s)\n",
+                cmp.dram_bandwidth_ratio());
+    return 0;
+}

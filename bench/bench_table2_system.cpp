@@ -1,0 +1,12 @@
+// Reproduces Table II: the test system summary including the measured idle
+// AC power at maximum fan speed (paper: 261.5 W).
+#include <cstdio>
+
+#include "survey/table2_system.hpp"
+
+int main() {
+    const auto report = hsw::survey::table2();
+    std::printf("%s\n", report.render().c_str());
+    std::printf("paper-vs-measured: idle AC 261.5 W vs %.1f W\n", report.idle_ac_watts);
+    return 0;
+}

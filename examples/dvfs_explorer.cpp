@@ -1,0 +1,91 @@
+// DVFS/DCT explorer: the paper's Section VII insight in action.
+//
+// For a compute-bound and a memory-bound workload, sweep the p-state
+// setting and the concurrency and report performance, power and
+// energy-to-solution. On Haswell-EP, DRAM bandwidth at full concurrency is
+// frequency independent, so DVFS is nearly free for memory-bound codes,
+// while compute-bound codes lose performance linearly.
+#include <cstdio>
+#include <vector>
+
+#include "core/node.hpp"
+#include "perfmon/counters.hpp"
+#include "util/table.hpp"
+#include "workloads/mixes.hpp"
+
+using namespace hsw;
+using util::Frequency;
+using util::Time;
+
+namespace {
+
+struct Row {
+    double set_ghz;
+    double dram_gbs;
+    double gips;
+    double rapl_watts;
+};
+
+Row measure(core::Node& node, const workloads::Workload* w, Frequency setting) {
+    node.set_all_workloads(w, 1);
+    node.set_pstate_all(setting);
+    node.run_for(Time::ms(50));
+
+    perfmon::CounterReader reader{node.msrs(), node.sku().nominal_frequency};
+    const auto before = reader.snapshot(0, node.now());
+    const auto rapl = node.rapl_power_over(Time::sec(1));
+    const auto after = reader.snapshot(0, node.now());
+    const auto m = reader.derive(before, after);
+
+    return Row{setting.as_ghz(), node.socket(0).achieved_dram_bandwidth().as_gb_per_sec(),
+               m.giga_instructions_per_sec, rapl.as_watts()};
+}
+
+void sweep(core::Node& node, const workloads::Workload* w, const char* label) {
+    util::Table t{std::string{"p-state sweep: "} + label};
+    t.set_header({"set [GHz]", "DRAM GB/s (socket0)", "GIPS/core", "RAPL W",
+                  "GIPS/W (x1000)"});
+    for (unsigned r = node.sku().min_frequency.ratio();
+         r <= node.sku().nominal_frequency.ratio(); r += 3) {
+        const Row row = measure(node, w, Frequency::from_ratio(r));
+        t.add_row({util::Table::fmt(row.set_ghz, 1), util::Table::fmt(row.dram_gbs, 1),
+                   util::Table::fmt(row.gips, 2), util::Table::fmt(row.rapl_watts, 1),
+                   util::Table::fmt(row.gips / row.rapl_watts * 1000.0, 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+    core::Node node;
+
+    std::puts("=== DVFS explorer: frequency scaling under different boundedness ===\n");
+    sweep(node, &workloads::memory_stream(),
+          "memory-bound (STREAM-like) -- bandwidth barely moves, power drops");
+    sweep(node, &workloads::compute(),
+          "compute-bound -- performance tracks frequency");
+
+    // DCT: memory-bound scaling over cores at the lowest p-state.
+    std::puts("=== DCT: concurrency throttling for the memory-bound workload ===\n");
+    util::Table t{"cores vs DRAM bandwidth at 1.2 GHz (socket 0)"};
+    t.set_header({"cores", "DRAM GB/s", "RAPL W (node)"});
+    node.set_pstate_all(node.sku().min_frequency);
+    for (unsigned cores = 1; cores <= node.cores_per_socket(); cores += 2) {
+        node.clear_all_workloads();
+        for (unsigned c = 0; c < cores; ++c) {
+            node.set_workload(node.cpu_id(0, c), &workloads::memory_stream(), 1);
+        }
+        node.set_pstate_all(node.sku().min_frequency);
+        node.run_for(Time::ms(50));
+        const auto rapl = node.rapl_power_over(Time::sec(1));
+        t.add_row({std::to_string(cores),
+                   util::Table::fmt(node.socket(0).achieved_dram_bandwidth().as_gb_per_sec(), 1),
+                   util::Table::fmt(rapl.as_watts(), 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::puts("Takeaway (paper Section VII): DRAM bandwidth saturates around 8 cores\n"
+              "and is frequency-independent at high concurrency -- DVFS and DCT both\n"
+              "save energy for memory-bound codes on Haswell-EP.");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// NUMA probe: local vs remote memory bandwidth across the QPI link.
+//
+// Table I lists the QPI upgrade (8 -> 9.6 GT/s); this example quantifies
+// what it buys: remote DRAM reads are capped by min(QPI payload, remote
+// IMC) and pay the link latency. On Haswell-EP the link is the binding
+// constraint across the whole uncore range -- UFS on the remote socket
+// cannot hurt remote readers, unlike on Sandy Bridge-EP.
+#include <cstdio>
+
+#include "core/node.hpp"
+#include "mem/qpi.hpp"
+#include "util/table.hpp"
+#include "workloads/mixes.hpp"
+
+using namespace hsw;
+using util::Frequency;
+using util::Time;
+
+int main() {
+    std::puts("=== NUMA probe: local vs remote DRAM read bandwidth ===\n");
+
+    util::Table t{"per-generation NUMA characteristics (max concurrency)"};
+    t.set_header({"generation", "QPI raw", "QPI payload", "local GB/s", "remote GB/s",
+                  "NUMA factor"});
+
+    struct Row {
+        arch::Generation gen;
+        unsigned cores;
+        double core_ghz;
+        double unc_ghz;
+    };
+    const Row rows[] = {
+        {arch::Generation::WestmereEP, 6, 2.93, 2.66},
+        {arch::Generation::SandyBridgeEP, 8, 2.6, 2.6},
+        {arch::Generation::HaswellEP, 12, 2.5, 3.0},
+    };
+    for (const auto& row : rows) {
+        const mem::RemoteMemoryModel remote{row.gen, row.cores};
+        const mem::BandwidthModel local{row.gen, row.cores};
+        const mem::ConcurrencyConfig full{row.cores, 2};
+        const Frequency core = Frequency::ghz(row.core_ghz);
+        const Frequency unc = Frequency::ghz(row.unc_ghz);
+        const double l = local.dram_read(full, core, unc).as_gb_per_sec();
+        const double r = remote.remote_dram_read(full, core, unc, unc).as_gb_per_sec();
+        t.add_row({std::string{arch::traits(row.gen).name},
+                   util::Table::fmt(remote.link().raw_bandwidth().as_gb_per_sec(), 1),
+                   util::Table::fmt(remote.link().effective_bandwidth().as_gb_per_sec(), 1),
+                   util::Table::fmt(l, 1), util::Table::fmt(r, 1),
+                   util::Table::fmt(r / l, 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // Live check on the simulated node: what uncore clock does the remote
+    // socket actually run while the local one streams? (Table III's passive
+    // rule keeps it high enough that QPI stays the bottleneck.)
+    core::Node node;
+    for (unsigned c = 0; c < node.cores_per_socket(); ++c) {
+        node.set_workload(node.cpu_id(0, c), &workloads::memory_stream(), 1);
+    }
+    node.run_for(Time::ms(10));
+    const double remote_unc = node.uncore_frequency(1).as_ghz();
+    const double remote_cap = 58.0 * std::min(1.0, remote_unc / 2.2);
+    std::printf("streaming on socket 0: local uncore %.2f GHz; the passive remote\n"
+                "socket idles its uncore at %.2f GHz (Table III rule), which still\n"
+                "sustains ~%.0f GB/s of IMC capacity -- far above the %.1f GB/s QPI\n"
+                "payload cap, so remote readers never see the remote UFS at all.\n",
+                node.uncore_frequency(0).as_ghz(), remote_unc, remote_cap, 28.8);
+    return 0;
+}

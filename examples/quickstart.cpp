@@ -1,0 +1,65 @@
+// Quickstart: build the paper's test system, run FIRESTARTER, and read the
+// power/performance interfaces the way the paper's methodology does --
+// RAPL via the MSRs, AC via the LMG450 model, frequencies via LIKWID-style
+// counters.
+#include <cstdio>
+
+#include "core/node.hpp"
+#include "perfmon/counters.hpp"
+#include "workloads/firestarter.hpp"
+#include "workloads/mixes.hpp"
+
+using namespace hsw;
+using util::Time;
+
+int main() {
+    std::puts("=== Haswell-EP energy-efficiency survey: quickstart ===\n");
+
+    // The FIRESTARTER payload structure (Section VIII).
+    workloads::FirestarterPayload payload;
+    const auto props = payload.analyze();
+    std::printf("FIRESTARTER payload: %zu groups, %zu instructions, %zu bytes\n",
+                props.group_count, props.instruction_count, props.code_bytes);
+    std::printf("  exceeds uop cache: %s, fits L1I: %s, AVX fraction: %.2f\n",
+                props.exceeds_uop_cache ? "yes" : "no", props.fits_l1i ? "yes" : "no",
+                props.avx_fraction);
+    std::printf("  estimated IPC: %.2f (HT) / %.2f (no HT)\n\n",
+                payload.estimated_ipc(true), payload.estimated_ipc(false));
+    std::printf("first groups of the loop:\n%s\n", payload.disassemble(3).c_str());
+
+    // A dual-socket Xeon E5-2680 v3 node (Table II).
+    core::Node node;
+    std::printf("node: 2x %s, %u cores/socket, TDP %.0f W\n\n",
+                std::string{node.sku().model}.c_str(), node.cores_per_socket(),
+                node.sku().tdp.as_watts());
+
+    // Idle baseline.
+    node.run_for(Time::ms(200));
+    const auto t_idle0 = node.now();
+    node.run_for(Time::sec(2));
+    std::printf("idle AC power: %.1f W (paper: 261.5 W)\n",
+                node.meter().average(t_idle0, node.now()).as_watts());
+
+    // Full load: FIRESTARTER on every core, both threads, turbo requested.
+    node.set_all_workloads(&workloads::firestarter(), 2);
+    node.request_turbo_all();
+    node.run_for(Time::ms(100));
+
+    perfmon::CounterReader reader{node.msrs(), node.sku().nominal_frequency};
+    const auto before = reader.snapshot(0, node.now());
+    const auto t0 = node.now();
+    const auto rapl = node.rapl_power_over(Time::sec(4));
+    const auto after = reader.snapshot(0, node.now());
+    const auto metrics = reader.derive(before, after);
+
+    std::printf("\nFIRESTARTER, all cores, HT, turbo requested:\n");
+    std::printf("  RAPL pkg+DRAM (both sockets): %.1f W\n", rapl.as_watts());
+    std::printf("  AC power:                     %.1f W (paper: ~560 W)\n",
+                node.meter().average(t0, node.now()).as_watts());
+    std::printf("  core frequency (socket 0):    %.2f GHz (TDP-limited below 2.5)\n",
+                metrics.effective_frequency.as_ghz());
+    std::printf("  uncore frequency:             %.2f GHz\n",
+                metrics.uncore_frequency.as_ghz());
+    std::printf("  IPC:                          %.2f\n", metrics.ipc);
+    return 0;
+}

@@ -1,0 +1,133 @@
+#include "advisor/energy_advisor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "msr/addresses.hpp"
+#include "perfmon/counters.hpp"
+#include "util/table.hpp"
+
+namespace hsw::advisor {
+
+EnergyAdvisor::EnergyAdvisor(AdvisorConfig cfg) : cfg_{cfg} {}
+
+OperatingPoint EnergyAdvisor::evaluate(core::Node& node,
+                                       const workloads::Workload& workload,
+                                       unsigned cores, unsigned threads,
+                                       Frequency setting) {
+    node.clear_all_workloads();
+    for (unsigned s = 0; s < node.socket_count(); ++s) {
+        for (unsigned c = 0; c < cores; ++c) {
+            node.set_workload(node.cpu_id(s, c), &workload, threads);
+        }
+    }
+    node.set_pstate_all(setting);
+    node.run_for(util::Time::ms(10));  // settle the PCU
+
+    perfmon::CounterReader reader{node.msrs(), node.sku().nominal_frequency};
+    std::vector<perfmon::CounterSnapshot> before;
+    for (unsigned s = 0; s < node.socket_count(); ++s) {
+        before.push_back(reader.snapshot(node.cpu_id(s, 0), node.now()));
+    }
+    const util::Power watts = node.rapl_power_over(cfg_.dwell);
+
+    double gips = 0.0;
+    for (unsigned s = 0; s < node.socket_count(); ++s) {
+        const auto after = reader.snapshot(node.cpu_id(s, 0), node.now());
+        const auto m = reader.derive(before[s], after);
+        // One sampled core per socket; all active cores run identically.
+        gips += m.giga_instructions_per_sec * cores;
+    }
+
+    OperatingPoint p;
+    p.cores = cores;
+    p.threads_per_core = threads;
+    p.set_ghz = setting > node.sku().nominal_frequency ? 0.0 : setting.as_ghz();
+    p.gips = gips;
+    p.watts = watts.as_watts();
+    p.joules_per_giga_instr = gips > 0.0 ? watts.as_watts() / gips : 1e18;
+    p.edp = gips > 0.0 ? watts.as_watts() / (gips * gips) : 1e18;
+    return p;
+}
+
+Recommendation EnergyAdvisor::recommend(const workloads::Workload& workload,
+                                        unsigned threads_per_core) {
+    core::NodeConfig node_cfg;
+    node_cfg.seed = cfg_.seed;
+    core::Node node{node_cfg};
+
+    const unsigned max_cores = node.cores_per_socket();
+    const unsigned nominal = node.sku().nominal_frequency.ratio();
+    const unsigned min_ratio = node.sku().min_frequency.ratio();
+
+    Recommendation rec;
+
+    // The naive baseline: everything on, turbo requested.
+    const OperatingPoint turbo_point =
+        evaluate(node, workload, max_cores, threads_per_core,
+                 Frequency::from_ratio(nominal + 1));
+    rec.sweep.push_back(turbo_point);
+
+    for (unsigned cores : {max_cores, max_cores * 3 / 4, max_cores / 2, max_cores / 4}) {
+        if (cores == 0) continue;
+        for (unsigned r = min_ratio; r <= nominal + 1; r += cfg_.frequency_step) {
+            if (cores == max_cores && r == nominal + 1) continue;  // baseline
+            rec.sweep.push_back(evaluate(node, workload, cores, threads_per_core,
+                                         Frequency::from_ratio(std::min(r, nominal + 1))));
+        }
+    }
+
+    // Pick by objective.
+    double best_gips = 0.0;
+    for (const auto& p : rec.sweep) best_gips = std::max(best_gips, p.gips);
+
+    const OperatingPoint* best = &rec.sweep.front();
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (const auto& p : rec.sweep) {
+        double score;
+        switch (cfg_.objective) {
+            case Objective::Performance:
+                score = p.gips;
+                break;
+            case Objective::Energy:
+                if (p.gips < best_gips * (1.0 - cfg_.performance_tolerance)) continue;
+                score = -p.joules_per_giga_instr;
+                break;
+            case Objective::EnergyDelay:
+                score = -p.edp;
+                break;
+            case Objective::PerformanceCapped:
+                if (cfg_.power_cap_watts > 0.0 && p.watts > cfg_.power_cap_watts) continue;
+                score = p.gips;
+                break;
+        }
+        if (score > best_score) {
+            best_score = score;
+            best = &p;
+        }
+    }
+    rec.best = *best;
+    if (turbo_point.watts > 0.0 && turbo_point.gips > 0.0) {
+        rec.energy_saving_vs_turbo = 1.0 - rec.best.joules_per_giga_instr /
+                                               turbo_point.joules_per_giga_instr;
+        rec.performance_loss_vs_turbo = 1.0 - rec.best.gips / turbo_point.gips;
+    }
+    return rec;
+}
+
+std::string Recommendation::render() const {
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "recommended: %u cores/socket x %u threads @ %s GHz\n"
+                  "  %.1f GIPS at %.1f W -> %.2f J/Ginstr\n"
+                  "  vs all-cores turbo: %.1f %% less energy/instr, %.1f %% less "
+                  "performance\n",
+                  best.cores, best.threads_per_core,
+                  best.set_ghz == 0.0 ? "turbo" : util::Table::fmt(best.set_ghz, 1).c_str(),
+                  best.gips, best.watts, best.joules_per_giga_instr,
+                  energy_saving_vs_turbo * 100.0, performance_loss_vs_turbo * 100.0);
+    return buf;
+}
+
+}  // namespace hsw::advisor

@@ -1,0 +1,78 @@
+// Energy advisor: the paper's motivation turned into an API.
+//
+// Section I frames the survey as groundwork for "energy efficiency
+// optimization strategies such as dynamic voltage and frequency scaling
+// (DVFS) and dynamic concurrency throttling (DCT)", and Section IX
+// concludes that on Haswell-EP "DCT becomes a more viable approach" while
+// DVFS suffers from the 500 us p-state grid in dynamic scenarios. The
+// advisor runs a candidate sweep on a simulated node and recommends the
+// (frequency, concurrency) operating point for a chosen objective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "workloads/workload.hpp"
+
+namespace hsw::advisor {
+
+using util::Frequency;
+using util::Time;
+
+enum class Objective {
+    Performance,       // maximize instructions/s
+    Energy,            // minimize energy per instruction
+    EnergyDelay,       // minimize EDP (energy * time per instruction)
+    PerformanceCapped, // max instructions/s subject to a power cap
+};
+
+struct OperatingPoint {
+    unsigned cores = 0;           // active cores per socket
+    unsigned threads_per_core = 1;
+    double set_ghz = 0.0;         // 0 = turbo request
+    // measured at this point:
+    double gips = 0.0;            // node instructions/s (giga)
+    double watts = 0.0;           // node RAPL pkg+DRAM
+    double joules_per_giga_instr = 0.0;
+    double edp = 0.0;             // J*s per 10^18 instr^2 (relative metric)
+};
+
+struct Recommendation {
+    OperatingPoint best;
+    std::vector<OperatingPoint> sweep;  // everything evaluated
+    /// How much the best point saves vs the naive all-cores-turbo point.
+    double energy_saving_vs_turbo = 0.0;   // fraction
+    double performance_loss_vs_turbo = 0.0;  // fraction
+    [[nodiscard]] std::string render() const;
+};
+
+struct AdvisorConfig {
+    Objective objective = Objective::Energy;
+    double power_cap_watts = 0.0;        // for PerformanceCapped
+    Time dwell = Time::ms(300);          // measurement window per point
+    unsigned frequency_step = 3;         // evaluate every Nth ratio
+    std::uint64_t seed = 0xC0FFEE;
+    /// Tolerated performance loss for the Energy objective (points slower
+    /// than (1 - tolerance) * best-gips are discarded).
+    double performance_tolerance = 0.5;
+};
+
+class EnergyAdvisor {
+public:
+    explicit EnergyAdvisor(AdvisorConfig cfg = {});
+
+    /// Sweep (frequency x concurrency) for `workload` and recommend.
+    [[nodiscard]] Recommendation recommend(const workloads::Workload& workload,
+                                           unsigned threads_per_core = 1);
+
+private:
+    [[nodiscard]] OperatingPoint evaluate(core::Node& node,
+                                          const workloads::Workload& workload,
+                                          unsigned cores, unsigned threads,
+                                          Frequency setting);
+
+    AdvisorConfig cfg_;
+};
+
+}  // namespace hsw::advisor

@@ -1,0 +1,66 @@
+// Processor generations and their power-management traits.
+//
+// The paper contrasts Haswell-EP against Westmere-EP and Sandy Bridge-EP in
+// three dimensions that matter for energy efficiency (Sections IV, VI, VII):
+// how the uncore clock is derived, how RAPL values are produced, and whether
+// p-state changes apply immediately or on the PCU opportunity grid.
+#pragma once
+
+#include <string_view>
+
+namespace hsw::arch {
+
+enum class Generation {
+    WestmereEP,     // fixed uncore clock, no DRAM RAPL
+    SandyBridgeEP,  // uncore clock == core clock, modeled RAPL
+    IvyBridgeEP,    // like Sandy Bridge for our purposes
+    HaswellEP,      // UFS, measured RAPL, FIVR, PCPS
+    HaswellHE,      // desktop Haswell: FIVR + measured RAPL, immediate p-states
+};
+
+enum class UncoreClocking {
+    Fixed,           // Nehalem-EP / Westmere-EP
+    CoupledToCore,   // Sandy Bridge-EP / Ivy Bridge-EP
+    IndependentUfs,  // Haswell-EP uncore frequency scaling
+};
+
+enum class RaplBackend {
+    None,      // pre-SNB
+    Modeled,   // event-counter based estimate, workload-biased (SNB/IVB)
+    Measured,  // FIVR current sensing (Haswell)
+};
+
+struct GenerationTraits {
+    Generation generation;
+    std::string_view name;
+    UncoreClocking uncore_clocking;
+    RaplBackend rapl_backend;
+    bool has_dram_rapl_domain;  // HSW-EP: yes; SNB-EP server: yes; desktop: no
+    bool has_pp0_domain;        // PP0 unsupported on Haswell-EP (Section IV)
+    bool per_core_pstates;      // PCPS requires FIVR (Haswell-EP only)
+    bool deferred_pstate_grid;  // 500 us opportunity mechanism (Section VI-A)
+};
+
+[[nodiscard]] constexpr GenerationTraits traits(Generation g) {
+    switch (g) {
+        case Generation::WestmereEP:
+            return {g, "Westmere-EP", UncoreClocking::Fixed, RaplBackend::None,
+                    false, false, false, false};
+        case Generation::SandyBridgeEP:
+            return {g, "Sandy Bridge-EP", UncoreClocking::CoupledToCore,
+                    RaplBackend::Modeled, true, true, false, false};
+        case Generation::IvyBridgeEP:
+            return {g, "Ivy Bridge-EP", UncoreClocking::CoupledToCore,
+                    RaplBackend::Modeled, true, true, false, false};
+        case Generation::HaswellEP:
+            return {g, "Haswell-EP", UncoreClocking::IndependentUfs,
+                    RaplBackend::Measured, true, false, true, true};
+        case Generation::HaswellHE:
+            return {g, "Haswell-HE", UncoreClocking::IndependentUfs,
+                    RaplBackend::Measured, true, false, false, false};
+    }
+    return {Generation::HaswellEP, "Haswell-EP", UncoreClocking::IndependentUfs,
+            RaplBackend::Measured, true, false, true, true};
+}
+
+}  // namespace hsw::arch

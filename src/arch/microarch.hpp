@@ -1,0 +1,61 @@
+// Microarchitecture parameter database (paper Table I).
+//
+// These numbers parameterize the core performance model: issue width bounds
+// the achievable IPC, FLOPS/cycle bounds the arithmetic throughput, and the
+// L1/L2 bytes-per-cycle figures feed the cache bandwidth model.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "arch/generation.hpp"
+
+namespace hsw::arch {
+
+struct MicroarchParams {
+    std::string_view name;
+
+    // Front end / out-of-order resources (Table I rows).
+    unsigned decode_per_cycle;        // x86 instructions decoded per cycle
+    unsigned allocation_queue;        // entries (per thread for SNB)
+    bool allocation_queue_per_thread; // SNB: 28/thread; HSW: 56 shared
+    unsigned execute_uops_per_cycle;  // dispatch ports
+    unsigned retire_uops_per_cycle;
+    unsigned scheduler_entries;
+    unsigned rob_entries;
+    unsigned int_register_file;
+    unsigned fp_register_file;
+
+    // SIMD / FP.
+    std::string_view simd_isa;        // "AVX" / "AVX2"
+    bool has_fma;
+    unsigned flops_per_cycle_double;  // peak double-precision FLOPS/cycle
+    unsigned avx_issue_per_cycle;     // AVX/FMA ops issued per cycle
+
+    // Memory pipeline.
+    unsigned load_buffers;
+    unsigned store_buffers;
+    unsigned l1d_load_bytes_per_cycle;   // total load bandwidth
+    unsigned l1d_store_bytes_per_cycle;  // total store bandwidth
+    unsigned l2_bytes_per_cycle;
+
+    // Platform.
+    std::string_view supported_memory;  // "4x DDR3-1600" / "4x DDR4-2133"
+    double dram_bandwidth_gbs;          // per-socket peak (GB/s)
+    double qpi_speed_gts;               // GT/s
+    double qpi_bandwidth_gbs;
+};
+
+/// Table I, left column.
+[[nodiscard]] const MicroarchParams& sandy_bridge_ep_params();
+
+/// Table I, right column.
+[[nodiscard]] const MicroarchParams& haswell_ep_params();
+
+/// Westmere-EP (for the Figure 7 generation comparison).
+[[nodiscard]] const MicroarchParams& westmere_ep_params();
+
+/// Parameters for a generation (IvyBridge maps to the SNB entry).
+[[nodiscard]] const MicroarchParams& params_for(Generation g);
+
+}  // namespace hsw::arch

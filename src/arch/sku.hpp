@@ -1,0 +1,70 @@
+// SKU catalogue: per-model frequency tables, turbo bins, AVX frequencies
+// and TDP. The test-system part (Xeon E5-2680 v3) follows the paper's
+// Table II and Section II-F; sibling SKUs exercise the 8- and 18-core dies.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "arch/generation.hpp"
+#include "util/units.hpp"
+
+namespace hsw::arch {
+
+using util::Frequency;
+using util::Power;
+
+struct Sku {
+    std::string_view model;
+    Generation generation = Generation::HaswellEP;
+    unsigned cores = 0;
+    bool hyperthreading = true;
+
+    Frequency min_frequency;      // lowest selectable p-state
+    Frequency nominal_frequency;  // "base" frequency; opportunistic on HSW-EP!
+    Power tdp;
+
+    /// Max non-AVX turbo frequency indexed by (active cores - 1).
+    std::vector<Frequency> turbo_bins;
+
+    /// Guaranteed frequency under all-core AVX load (Section II-F).
+    Frequency avx_base_frequency;
+    /// Max AVX turbo indexed by (active cores - 1).
+    std::vector<Frequency> avx_turbo_bins;
+
+    /// Uncore clock range (Haswell UFS; Table III observes 1.2 - 3.0 GHz).
+    Frequency uncore_min;
+    Frequency uncore_max;
+
+    /// L3 capacity (2.5 MiB per core on HSW-EP).
+    std::size_t l3_bytes = 0;
+
+    [[nodiscard]] Frequency max_turbo(unsigned active_cores) const;
+    [[nodiscard]] Frequency max_avx_turbo(unsigned active_cores) const;
+    /// All selectable p-state frequencies, ascending (min..nominal in 100 MHz
+    /// steps, plus the turbo request level).
+    [[nodiscard]] std::vector<Frequency> selectable_pstates() const;
+};
+
+/// The paper's test-system processor: 12 cores, 2.5 GHz nominal, 3.3 GHz max
+/// turbo, 2.1 GHz AVX base, 120 W TDP (Table II, Section II-F).
+[[nodiscard]] const Sku& xeon_e5_2680_v3();
+
+/// 8-core die representative (single ring).
+[[nodiscard]] const Sku& xeon_e5_2667_v3();
+
+/// 18-core die representative (8+10 dual ring).
+[[nodiscard]] const Sku& xeon_e5_2699_v3();
+
+/// Haswell-HE desktop part: FIVR and measured RAPL like Haswell-EP, but
+/// immediate p-states and no PCPS (Sections IV and VI-A).
+[[nodiscard]] const Sku& core_i7_4770();
+
+/// Sandy Bridge-EP comparison part (used by the Fig. 2a / Fig. 5-7 series).
+[[nodiscard]] const Sku& xeon_e5_2670();
+
+/// Westmere-EP comparison part (Fig. 7 series).
+[[nodiscard]] const Sku& xeon_x5670();
+
+}  // namespace hsw::arch

@@ -1,0 +1,75 @@
+#include "arch/topology.hpp"
+
+#include <stdexcept>
+
+namespace hsw::arch {
+
+unsigned DieTopology::partition_of(unsigned core) const {
+    for (unsigned p = 0; p < partitions.size(); ++p) {
+        for (unsigned id : partitions[p].core_ids) {
+            if (id == core) return p;
+        }
+    }
+    throw std::out_of_range{"DieTopology::partition_of: core not on die"};
+}
+
+unsigned DieTopology::total_channels() const {
+    unsigned n = 0;
+    for (const auto& p : partitions) n += p.memory_channels;
+    return n;
+}
+
+bool DieTopology::crosses_partition(unsigned a, unsigned b) const {
+    return partition_of(a) != partition_of(b);
+}
+
+std::string_view DieTopology::variant_name(DieVariant v) {
+    switch (v) {
+        case DieVariant::EightCore: return "8-core die (single ring)";
+        case DieVariant::TwelveCore: return "12-core die (8+4 partitions)";
+        case DieVariant::EighteenCore: return "18-core die (8+10 partitions)";
+    }
+    return "unknown die";
+}
+
+DieTopology make_die_topology(unsigned cores) {
+    if (cores == 0 || cores > 18) {
+        throw std::invalid_argument{"make_die_topology: Haswell-EP ships 1-18 cores"};
+    }
+
+    DieTopology topo;
+    topo.enabled_cores = cores;
+
+    auto fill = [](unsigned first, unsigned count) {
+        std::vector<unsigned> ids;
+        ids.reserve(count);
+        for (unsigned i = 0; i < count; ++i) ids.push_back(first + i);
+        return ids;
+    };
+
+    if (cores <= 8) {
+        topo.variant = DieVariant::EightCore;
+        topo.partitions = {RingPartition{fill(0, cores), true, 4}};
+        topo.queue_links = 0;
+        // Single-ring die: one IMC complex drives all four channels.
+        return topo;
+    }
+    if (cores <= 12) {
+        topo.variant = DieVariant::TwelveCore;
+        // 8-core primary partition + up-to-4-core secondary partition.
+        const unsigned secondary = cores - 8;
+        topo.partitions = {RingPartition{fill(0, 8), true, 2},
+                           RingPartition{fill(8, secondary), true, 2}};
+        topo.queue_links = 2;
+        return topo;
+    }
+    topo.variant = DieVariant::EighteenCore;
+    // 8-core partition + up-to-10-core partition.
+    const unsigned secondary = cores - 8;
+    topo.partitions = {RingPartition{fill(0, 8), true, 2},
+                       RingPartition{fill(8, secondary), true, 2}};
+    topo.queue_links = 2;
+    return topo;
+}
+
+}  // namespace hsw::arch

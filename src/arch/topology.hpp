@@ -1,0 +1,50 @@
+// Haswell-EP die topology (paper Figure 1 and Section II-A).
+//
+// Three dies cover the 4-18 core range: the 8-core die has a single
+// bidirectional ring; the 12-core die has an 8-core and a 4-core partition;
+// the 18-core die has an 8-core and a 10-core partition. Each partition has
+// its own IMC with two DDR4 channels, and the rings are connected by queues.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace hsw::arch {
+
+enum class DieVariant {
+    EightCore,     // 4/6/8-core units, one ring
+    TwelveCore,    // 10/12-core units, 8+4 partitions
+    EighteenCore,  // 14/16/18-core units, 8+10 partitions
+};
+
+struct RingPartition {
+    std::vector<unsigned> core_ids;  // physical core ids on this ring
+    bool has_imc = true;             // each partition has an IMC on HSW-EP
+    unsigned memory_channels = 2;    // 2 channels per IMC
+};
+
+struct DieTopology {
+    DieVariant variant;
+    unsigned enabled_cores;                // cores fused on for this SKU
+    std::vector<RingPartition> partitions;
+    unsigned queue_links;                  // buffered queues joining the rings
+
+    /// Partition index hosting physical core `core`.
+    [[nodiscard]] unsigned partition_of(unsigned core) const;
+    /// Number of L3 slices (one per enabled core).
+    [[nodiscard]] unsigned l3_slices() const { return enabled_cores; }
+    /// Total memory channels across partitions.
+    [[nodiscard]] unsigned total_channels() const;
+    /// True when `a` and `b` sit on different ring partitions (transfers
+    /// cross the inter-ring queues).
+    [[nodiscard]] bool crosses_partition(unsigned a, unsigned b) const;
+
+    [[nodiscard]] static std::string_view variant_name(DieVariant v);
+};
+
+/// Choose the die for a core count and lay out the partitions as in Fig. 1.
+/// Throws std::invalid_argument for core counts outside 1-18.
+[[nodiscard]] DieTopology make_die_topology(unsigned cores);
+
+}  // namespace hsw::arch

@@ -1,0 +1,45 @@
+#include "arch/topology_render.hpp"
+
+#include <cstdio>
+
+namespace hsw::arch {
+
+std::string render_die_ascii(const DieTopology& topo) {
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line, "%s, %u cores enabled\n",
+                  std::string{DieTopology::variant_name(topo.variant)}.c_str(),
+                  topo.enabled_cores);
+    out += line;
+
+    for (std::size_t p = 0; p < topo.partitions.size(); ++p) {
+        const RingPartition& part = topo.partitions[p];
+        std::snprintf(line, sizeof line,
+                      "+-- ring partition %zu (%zu cores) %s\n", p,
+                      part.core_ids.size(),
+                      part.has_imc ? "--- IMC" : "");
+        out += line;
+        // Cores around the bidirectional ring, with their L3 slices.
+        std::string row = "|  ";
+        for (unsigned id : part.core_ids) {
+            char cell[32];
+            std::snprintf(cell, sizeof cell, "[C%02u|L3] ", id);
+            row += cell;
+        }
+        out += row + "\n";
+        if (part.has_imc) {
+            std::snprintf(line, sizeof line, "|  IMC: %u x DDR channel\n",
+                          part.memory_channels);
+            out += line;
+        }
+        out += "+--\n";
+        if (p + 1 < topo.partitions.size()) {
+            for (unsigned q = 0; q < topo.queue_links; ++q) {
+                out += "      || queue ||\n";
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace hsw::arch

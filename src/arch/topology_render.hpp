@@ -1,0 +1,14 @@
+// ASCII rendering of the die layouts (paper Figure 1).
+#pragma once
+
+#include <string>
+
+#include "arch/topology.hpp"
+
+namespace hsw::arch {
+
+/// Render the die as ASCII art: one box per ring partition with its cores,
+/// IMC/channel annotations, and the inter-ring queues.
+[[nodiscard]] std::string render_die_ascii(const DieTopology& topo);
+
+}  // namespace hsw::arch

@@ -1,0 +1,257 @@
+#include "core/socket.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/calibration.hpp"
+#include "power/power_model.hpp"
+#include "util/rng.hpp"
+
+namespace hsw::core {
+
+namespace cal = hsw::arch::cal;
+
+Socket::Socket(const arch::Sku& sku, unsigned socket_id, bool turbo_enabled,
+               rapl::DramMode dram_mode, std::uint64_t seed)
+    : sku_{&sku},
+      id_{socket_id},
+      topo_{arch::make_die_topology(sku.cores)},
+      pcu_{sku, socket_id},
+      rapl_{sku.generation, socket_id, dram_mode, seed},
+      bw_model_{sku.generation, sku.cores},
+      thermal_{},
+      cores_(sku.cores),
+      turbo_enabled_{turbo_enabled},
+      uncore_freq_{sku.uncore_min},
+      uncore_voltage_{power::VfCurve::uncore_curve(socket_id).voltage_for(sku.uncore_min)} {
+    util::Rng rng{seed * 131 + 7};
+    for (auto& c : cores_) {
+        c.requested_ratio = sku.nominal_frequency.ratio();
+        c.frequency = sku.min_frequency;
+        // Per-core silicon variation (Section III: core voltages for a
+        // given p-state differ), clamped to +-2.5 %.
+        c.vf_factor = std::clamp(1.0 + rng.normal(0.0, cal::kPerCoreVoltageSigma),
+                                 0.975, 1.025);
+        c.voltage = power::VfCurve::core_curve(socket_id).voltage_for(sku.min_frequency) *
+                    c.vf_factor;
+    }
+}
+
+pcu::PcuInputs Socket::build_pcu_inputs(Time now, bool system_active,
+                                        Frequency fastest_system_core) const {
+    pcu::PcuInputs in;
+    in.cores.resize(cores_.size());
+    double traffic = 0.0;
+    double current_intensity = 0.0;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const SimCore& c = cores_[i];
+        auto& ci = in.cores[i];
+        ci.state = c.state;
+        ci.requested_ratio = c.requested_ratio;
+        if (c.state == cstates::CState::C0 && c.workload != nullptr) {
+            const bool ht = c.threads >= 2;
+            ci.avx_fraction = c.workload->avx_fraction;
+            ci.stall_fraction = c.workload->stall_fraction;
+            ci.cdyn_utilization = c.workload->cdyn_at(now, ht);
+            traffic += c.workload->uncore_traffic;
+            current_intensity = std::max(current_intensity, c.workload->current_intensity);
+        }
+    }
+    in.epb = epb_;
+    in.turbo_enabled = turbo_enabled_;
+    in.uncore_traffic = std::min(1.0, traffic / static_cast<double>(cores_.size()));
+    in.current_intensity = current_intensity;
+    in.system_active = system_active;
+    in.fastest_system_core = fastest_system_core;
+    if (const auto limit = rapl_.active_power_limit()) {
+        in.power_limit_watts = limit->as_watts();
+    }
+    in.uncore_ratio_limit_raw = uncore_ratio_limit_raw_;
+    return in;
+}
+
+void Socket::advance_to(Time now) {
+    const Time dt = now - last_update_;
+    if (dt <= Time::zero()) {
+        last_update_ = now;
+        return;
+    }
+    const double seconds = dt.as_seconds();
+
+    // --- core counters ---
+    const double tsc_ticks = sku_->nominal_frequency.as_hz() * seconds;
+    for (SimCore& c : cores_) {
+        if (c.state == cstates::CState::C3) c.c3_residency += tsc_ticks;
+        if (c.state == cstates::CState::C6) c.c6_residency += tsc_ticks;
+        if (c.state != cstates::CState::C0) continue;
+        const double cycles = c.frequency.as_hz() * seconds;
+        c.aperf += cycles;
+        c.core_cycles += cycles;
+        c.mperf += sku_->nominal_frequency.as_hz() * seconds;
+        if (c.workload != nullptr) {
+            const bool ht = c.threads >= 2;
+            const double ratio =
+                uncore_freq_ > Frequency::zero() ? c.frequency / uncore_freq_ : 1.0;
+            const double ipc = c.workload->ipc(ratio, ht) * c.throughput_factor;
+            c.instructions += ipc * cycles;
+            c.stall_cycles += c.workload->stall_fraction * cycles;
+        }
+    }
+
+    // --- uncore clock counter ---
+    if (!uncore_halted_) uncore_cycles_ += uncore_freq_.as_hz() * seconds;
+
+    // --- package C-state residency ---
+    {
+        std::vector<cstates::CState> states;
+        states.reserve(cores_.size());
+        for (const SimCore& c : cores_) states.push_back(c.state);
+        const auto pkg = cstates::resolve_package_state(states, system_active_hint_);
+        if (pkg == cstates::PackageCState::PC3) pkg_c3_residency_ += tsc_ticks;
+        if (pkg == cstates::PackageCState::PC6) pkg_c6_residency_ += tsc_ticks;
+    }
+
+    // --- energy ---
+    const Power pkg = current_package_power(last_update_);
+    const Power dram = current_dram_power();
+    rapl_.integrate(pkg, dram, activity_vector(last_update_), dt);
+    thermal_.advance(pkg, dt);
+
+    last_update_ = now;
+}
+
+std::optional<pcu::PcuOutputs> Socket::pcu_tick(Time now, bool system_active,
+                                                Frequency fastest_system_core) {
+    const pcu::PcuInputs in = build_pcu_inputs(now, system_active, fastest_system_core);
+    pcu::PcuOutputs out = pcu_.evaluate(in, now);
+
+    // Suppress the apply event when nothing changes (common in steady state).
+    bool changed = out.uncore_frequency != uncore_freq_ ||
+                   out.uncore_clock_halted != uncore_halted_;
+    for (std::size_t i = 0; i < cores_.size() && !changed; ++i) {
+        changed = out.cores[i].frequency != cores_[i].frequency ||
+                  out.cores[i].throughput_factor != cores_[i].throughput_factor;
+    }
+    if (!changed) return std::nullopt;
+    return out;
+}
+
+void Socket::apply_grants(const pcu::PcuOutputs& out) {
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cores_[i].frequency = out.cores[i].frequency;
+        cores_[i].voltage = out.cores[i].voltage * cores_[i].vf_factor;
+        cores_[i].avx_licensed = out.cores[i].avx_licensed;
+        cores_[i].throughput_factor = out.cores[i].throughput_factor;
+    }
+    uncore_freq_ = out.uncore_frequency;
+    uncore_voltage_ = out.uncore_voltage;
+    uncore_halted_ = out.uncore_clock_halted;
+}
+
+Frequency Socket::fastest_active_core() const {
+    Frequency best = Frequency::zero();
+    for (const SimCore& c : cores_) {
+        if (c.state == cstates::CState::C0) best = std::max(best, c.frequency);
+    }
+    return best;
+}
+
+bool Socket::any_core_active() const {
+    return std::any_of(cores_.begin(), cores_.end(), [](const SimCore& c) {
+        return c.state == cstates::CState::C0;
+    });
+}
+
+unsigned Socket::active_core_count() const {
+    return static_cast<unsigned>(
+        std::count_if(cores_.begin(), cores_.end(), [](const SimCore& c) {
+            return c.state == cstates::CState::C0;
+        }));
+}
+
+Power Socket::current_package_power(Time now) const {
+    Power total = power::socket_static_power();
+    for (const SimCore& c : cores_) {
+        const bool running = c.state == cstates::CState::C0;
+        const power::CoreActivity activity{
+            .cdyn_utilization = (running && c.workload != nullptr)
+                                    ? c.workload->cdyn_at(now, c.threads >= 2)
+                                    : 0.0,
+            .clock_running = running,
+            .power_gated = cstates::power_gated(c.state),
+        };
+        total += power::core_power(activity, c.voltage, c.frequency);
+    }
+    if (!uncore_halted_) {
+        double traffic = 0.0;
+        for (const SimCore& c : cores_) {
+            if (c.state == cstates::CState::C0 && c.workload != nullptr) {
+                traffic += c.workload->uncore_traffic;
+            }
+        }
+        traffic = std::min(1.0, traffic / static_cast<double>(cores_.size()));
+        total += power::uncore_power(traffic, uncore_voltage_, uncore_freq_);
+    }
+    return total;
+}
+
+Bandwidth Socket::current_dram_traffic() const {
+    double demand = 0.0;
+    for (const SimCore& c : cores_) {
+        if (c.state != cstates::CState::C0 || c.workload == nullptr) continue;
+        const double scale = c.frequency / sku_->nominal_frequency;
+        const double ht = c.threads >= 2 ? 1.15 : 1.0;
+        demand += c.workload->dram_gbs_per_core * scale * ht;
+    }
+    const double peak =
+        bw_model_.dram_read(mem::ConcurrencyConfig{sku_->cores, 2},
+                            sku_->nominal_frequency, sku_->uncore_max)
+            .as_gb_per_sec();
+    return Bandwidth::gb_per_sec(std::min(demand, peak));
+}
+
+Power Socket::current_dram_power() const {
+    return power::dram_power(current_dram_traffic());
+}
+
+Bandwidth Socket::achieved_l3_bandwidth() const {
+    const Frequency f = fastest_active_core();
+    if (f == Frequency::zero()) return Bandwidth::gb_per_sec(0.0);
+    return bw_model_.l3_read(concurrency(), f, uncore_freq_);
+}
+
+Bandwidth Socket::achieved_dram_bandwidth() const {
+    const Frequency f = fastest_active_core();
+    if (f == Frequency::zero()) return Bandwidth::gb_per_sec(0.0);
+    return bw_model_.dram_read(concurrency(), f, uncore_freq_);
+}
+
+mem::ConcurrencyConfig Socket::concurrency() const {
+    mem::ConcurrencyConfig cfg{0, 1};
+    for (const SimCore& c : cores_) {
+        if (c.state != cstates::CState::C0 || c.workload == nullptr) continue;
+        ++cfg.cores;
+        cfg.threads_per_core = std::max(cfg.threads_per_core, c.threads);
+    }
+    cfg.cores = std::max(cfg.cores, 1u);
+    return cfg;
+}
+
+rapl::ActivityVector Socket::activity_vector(Time now) const {
+    rapl::ActivityVector av;
+    for (const SimCore& c : cores_) {
+        if (c.state != cstates::CState::C0 || c.workload == nullptr) continue;
+        const double f = c.frequency.as_hz();
+        const double ratio = uncore_freq_ > Frequency::zero() ? c.frequency / uncore_freq_ : 1.0;
+        const double ipc = c.workload->ipc(ratio, c.threads >= 2);
+        av.core_cycles_per_s += f;
+        av.uops_per_s += ipc * f * 1.12;  // fused-uop expansion estimate
+        av.avx_ops_per_s += ipc * f * c.workload->avx_fraction;
+        (void)now;
+    }
+    av.dram_gbs = current_dram_traffic().as_gb_per_sec();
+    if (!uncore_halted_) av.uncore_cycles_per_s = uncore_freq_.as_hz();
+    return av;
+}
+
+}  // namespace hsw::core

@@ -1,0 +1,156 @@
+// One simulated processor package: cores, uncore, PCU, RAPL, thermal.
+//
+// Between events all state is constant, so the socket integrates counters
+// and energy in closed form in advance_to(). The PCU evaluates on the
+// 500 us opportunity grid; grants take effect after the FIVR/PLL switching
+// time, which is what the FTaLaT-style tools measure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/sku.hpp"
+#include "arch/topology.hpp"
+#include "cstates/cstate.hpp"
+#include "mem/bandwidth_model.hpp"
+#include "pcu/pcu.hpp"
+#include "power/thermal.hpp"
+#include "rapl/model.hpp"
+#include "rapl/rapl.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workloads/workload.hpp"
+
+namespace hsw::core {
+
+using util::Bandwidth;
+using util::Frequency;
+using util::Power;
+using util::Time;
+using util::Voltage;
+
+class Node;
+
+/// One physical core (up to two hardware threads run the same workload).
+struct SimCore {
+    cstates::CState state = cstates::CState::C6;
+    const workloads::Workload* workload = nullptr;  // null while parked
+    unsigned threads = 1;                           // 1 or 2 (HT)
+    unsigned requested_ratio = 0;                   // IA32_PERF_CTL target
+
+    // Current grant.
+    Frequency frequency;
+    Voltage voltage;
+    bool avx_licensed = false;
+    double throughput_factor = 1.0;
+
+    // Free-running counters (doubles; converted to u64 at the MSR edge).
+    double aperf = 0.0;
+    double mperf = 0.0;
+    double instructions = 0.0;
+    double core_cycles = 0.0;
+    double stall_cycles = 0.0;
+    // C-state residency in TSC-rate ticks (MSR_CORE_C3/C6_RESIDENCY).
+    double c3_residency = 0.0;
+    double c6_residency = 0.0;
+    // Per-core silicon variation: relative voltage factor (Section III).
+    double vf_factor = 1.0;
+};
+
+class Socket {
+public:
+    Socket(const arch::Sku& sku, unsigned socket_id, bool turbo_enabled,
+           rapl::DramMode dram_mode, std::uint64_t seed);
+
+    // --- time integration ---
+    /// Integrate counters/energy from the last update to `now` assuming the
+    /// current operating point, then remember `now`.
+    void advance_to(Time now);
+
+    /// One PCU opportunity-grid evaluation. Returns the grants to apply
+    /// after the switching delay (nullopt when nothing changes).
+    [[nodiscard]] std::optional<pcu::PcuOutputs> pcu_tick(Time now, bool system_active,
+                                                          Frequency fastest_system_core);
+
+    /// Apply previously computed grants (called at tick + switching time).
+    void apply_grants(const pcu::PcuOutputs& out);
+
+    // --- state access ---
+    [[nodiscard]] unsigned id() const { return id_; }
+    [[nodiscard]] const arch::Sku& sku() const { return *sku_; }
+    [[nodiscard]] std::vector<SimCore>& cores() { return cores_; }
+    [[nodiscard]] const std::vector<SimCore>& cores() const { return cores_; }
+    [[nodiscard]] Frequency uncore_frequency() const { return uncore_freq_; }
+    [[nodiscard]] bool uncore_halted() const { return uncore_halted_; }
+    [[nodiscard]] double uncore_cycles() const { return uncore_cycles_; }
+    [[nodiscard]] double pkg_c3_residency() const { return pkg_c3_residency_; }
+    [[nodiscard]] double pkg_c6_residency() const { return pkg_c6_residency_; }
+    /// Whether the whole system was active at the last update (package
+    /// C-state bookkeeping input; set by the node).
+    void set_system_active_hint(bool active) { system_active_hint_ = active; }
+    [[nodiscard]] rapl::RaplPackage& rapl() { return rapl_; }
+    [[nodiscard]] const rapl::RaplPackage& rapl() const { return rapl_; }
+    [[nodiscard]] pcu::PcuController& pcu() { return pcu_; }
+    [[nodiscard]] const mem::BandwidthModel& bandwidth_model() const { return bw_model_; }
+    [[nodiscard]] const arch::DieTopology& topology() const { return topo_; }
+    [[nodiscard]] const power::ThermalModel& thermal() const { return thermal_; }
+
+    void set_epb(msr::EpbPolicy p) { epb_ = p; }
+    [[nodiscard]] msr::EpbPolicy epb() const { return epb_; }
+    void set_turbo_enabled(bool on) { turbo_enabled_ = on; }
+    [[nodiscard]] bool turbo_enabled() const { return turbo_enabled_; }
+
+    /// Raw MSR_UNCORE_RATIO_LIMIT value (consumed by the UFS policy).
+    void set_uncore_ratio_limit(std::uint64_t raw) { uncore_ratio_limit_raw_ = raw; }
+    [[nodiscard]] std::uint64_t uncore_ratio_limit() const { return uncore_ratio_limit_raw_; }
+
+    /// Highest granted clock among C0 cores (zero if none).
+    [[nodiscard]] Frequency fastest_active_core() const;
+    [[nodiscard]] bool any_core_active() const;
+    [[nodiscard]] unsigned active_core_count() const;
+
+    /// Instantaneous package / DRAM power at the current operating point.
+    [[nodiscard]] Power current_package_power(Time now) const;
+    [[nodiscard]] Power current_dram_power() const;
+
+    /// Aggregate DRAM traffic implied by the running workloads.
+    [[nodiscard]] Bandwidth current_dram_traffic() const;
+
+    /// Achieved read bandwidths at the current operating point (what the
+    /// membench tool observes).
+    [[nodiscard]] Bandwidth achieved_l3_bandwidth() const;
+    [[nodiscard]] Bandwidth achieved_dram_bandwidth() const;
+
+    /// Build the PCU inputs for the current state (modulation evaluated at
+    /// `now`). Public for tests.
+    [[nodiscard]] pcu::PcuInputs build_pcu_inputs(Time now, bool system_active,
+                                                  Frequency fastest_system_core) const;
+
+private:
+    [[nodiscard]] rapl::ActivityVector activity_vector(Time now) const;
+    [[nodiscard]] mem::ConcurrencyConfig concurrency() const;
+
+    const arch::Sku* sku_;
+    unsigned id_;
+    arch::DieTopology topo_;
+    pcu::PcuController pcu_;
+    rapl::RaplPackage rapl_;
+    mem::BandwidthModel bw_model_;
+    power::ThermalModel thermal_;
+    std::vector<SimCore> cores_;
+    msr::EpbPolicy epb_ = msr::EpbPolicy::Balanced;
+    bool turbo_enabled_ = true;
+    std::uint64_t uncore_ratio_limit_raw_ = 0;
+
+    Frequency uncore_freq_;
+    Voltage uncore_voltage_;
+    bool uncore_halted_ = false;
+    double uncore_cycles_ = 0.0;
+    double pkg_c3_residency_ = 0.0;
+    double pkg_c6_residency_ = 0.0;
+    bool system_active_hint_ = false;
+    Time last_update_;
+};
+
+}  // namespace hsw::core

@@ -1,0 +1,36 @@
+#include "cstates/cstate.hpp"
+
+#include "arch/calibration.hpp"
+
+namespace hsw::cstates {
+
+namespace cal = hsw::arch::cal;
+
+PackageCState resolve_package_state(std::span<const CState> core_states,
+                                    bool any_core_active_in_system) {
+    if (any_core_active_in_system) return PackageCState::PC0;
+
+    // The package can only sleep as deep as its shallowest core.
+    bool all_c6 = true;
+    bool all_c3_or_deeper = true;
+    for (CState s : core_states) {
+        if (s == CState::C0) return PackageCState::PC0;
+        if (s != CState::C6) all_c6 = false;
+        if (s == CState::C1) all_c3_or_deeper = false;
+    }
+    if (all_c6) return PackageCState::PC6;
+    if (all_c3_or_deeper) return PackageCState::PC3;
+    return PackageCState::PC2;
+}
+
+util::Time acpi_reported_latency(CState s) {
+    switch (s) {
+        case CState::C0: return util::Time::zero();
+        case CState::C1: return cal::kAcpiC1Latency;
+        case CState::C3: return cal::kAcpiC3Latency;
+        case CState::C6: return cal::kAcpiC6Latency;
+    }
+    return util::Time::zero();
+}
+
+}  // namespace hsw::cstates

@@ -1,0 +1,64 @@
+// ACPI processor idle states and package state resolution (Section VI-B).
+//
+// Core states: C0 (running), C1 (halt), C3 (clock gated, caches flushed to
+// L3), C6 (power gated). A package enters PC3/PC6 only when *no core in the
+// whole system* is active -- the paper observes that a running core on the
+// other socket keeps both packages out of deep sleep, and that the uncore
+// clock halts in PC3/PC6.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace hsw::cstates {
+
+enum class CState { C0, C1, C3, C6 };
+
+enum class PackageCState { PC0, PC2, PC3, PC6 };
+
+[[nodiscard]] constexpr std::string_view name(CState s) {
+    switch (s) {
+        case CState::C0: return "C0";
+        case CState::C1: return "C1";
+        case CState::C3: return "C3";
+        case CState::C6: return "C6";
+    }
+    return "?";
+}
+
+[[nodiscard]] constexpr std::string_view name(PackageCState s) {
+    switch (s) {
+        case PackageCState::PC0: return "PC0";
+        case PackageCState::PC2: return "PC2";
+        case PackageCState::PC3: return "PC3";
+        case PackageCState::PC6: return "PC6";
+    }
+    return "?";
+}
+
+/// True when the core consumes no leakage (power gated).
+[[nodiscard]] constexpr bool power_gated(CState s) { return s == CState::C6; }
+
+/// True when the core clock runs (only C0 executes instructions).
+[[nodiscard]] constexpr bool executing(CState s) { return s == CState::C0; }
+
+/// Resolve the package state from this socket's core states and the
+/// system-wide activity flag. `any_core_active_in_system` covers *both*
+/// sockets (Section V-A: "these states are not used when there is still any
+/// core active in the system -- even if this core is located on the other
+/// processor").
+[[nodiscard]] PackageCState resolve_package_state(std::span<const CState> core_states,
+                                                  bool any_core_active_in_system);
+
+/// The uncore clock is halted in deep package sleep (Section V-A).
+[[nodiscard]] constexpr bool uncore_clock_halted(PackageCState s) {
+    return s == PackageCState::PC3 || s == PackageCState::PC6;
+}
+
+/// ACPI _CST worst-case latency reported to the OS (higher than measured;
+/// Section VI-B argues for a runtime-updatable interface).
+[[nodiscard]] util::Time acpi_reported_latency(CState s);
+
+}  // namespace hsw::cstates

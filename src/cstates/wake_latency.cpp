@@ -1,0 +1,110 @@
+#include "cstates/wake_latency.hpp"
+
+#include <algorithm>
+
+#include "arch/calibration.hpp"
+
+namespace hsw::cstates {
+
+namespace cal = hsw::arch::cal;
+
+WakeLatencyModel::WakeLatencyModel(arch::Generation generation)
+    : generation_{generation} {}
+
+double WakeLatencyModel::haswell_us(CState state, double f_ghz,
+                                    WakeScenario scenario) const {
+    const bool remote = scenario != WakeScenario::Local;
+    const bool package_sleep = scenario == WakeScenario::RemoteIdle;
+
+    switch (state) {
+        case CState::C0:
+            return 0.0;
+        case CState::C1:
+            // "below 1.6 us for local ... up to 2.1 us for remote (at 1.2 GHz)".
+            return cal::kHswC1BaseUs + cal::kHswC1FreqTermUsGhz / f_ghz -
+                   cal::kHswC1FreqTermUsGhz / 2.5 +
+                   (remote ? cal::kHswC1RemoteExtraUs : 0.0);
+        case CState::C3: {
+            // "mostly independent of the core frequencies ... 1.5 us higher
+            // when frequencies are greater than 1.5 GHz".
+            double us = cal::kHswC3BaseUs;
+            if (f_ghz > 1.5) us += cal::kHswC3HighFreqExtraUs;
+            if (remote) us += cal::kHswC3RemoteExtraUs;
+            if (package_sleep) {
+                // "the package C3 state increases the latency by another two
+                // to four microseconds" (more at higher frequency).
+                const double t = std::clamp((f_ghz - 1.2) / (2.5 - 1.2), 0.0, 1.0);
+                us += cal::kHswPkgC3ExtraMinUs +
+                      (cal::kHswPkgC3ExtraMaxUs - cal::kHswPkgC3ExtraMinUs) * t;
+            }
+            return us;
+        }
+        case CState::C6: {
+            // C6 = C3 + 2..8 us, strongly frequency dependent (more at low f).
+            double us = haswell_us(CState::C3, f_ghz,
+                                   package_sleep ? WakeScenario::RemoteActive : scenario);
+            const double t = std::clamp((2.5 - f_ghz) / (2.5 - 1.2), 0.0, 1.0);
+            us += cal::kHswC6ExtraMinUs + (cal::kHswC6ExtraMaxUs - cal::kHswC6ExtraMinUs) * t;
+            if (package_sleep) {
+                // Package C6 adds 8 us over package C3's extra.
+                us += cal::kHswPkgC6ExtraUs;
+            }
+            return us;
+        }
+    }
+    return 0.0;
+}
+
+double WakeLatencyModel::sandy_bridge_us(CState state, double f_ghz,
+                                         WakeScenario scenario) const {
+    const bool remote = scenario != WakeScenario::Local;
+    const bool package_sleep = scenario == WakeScenario::RemoteIdle;
+    switch (state) {
+        case CState::C0:
+            return 0.0;
+        case CState::C1:
+            return cal::kSnbC1BaseUs + cal::kSnbC1FreqTermUsGhz / f_ghz -
+                   cal::kSnbC1FreqTermUsGhz / 2.6 + (remote ? 0.6 : 0.0);
+        case CState::C3: {
+            double us = cal::kSnbC3BaseUs + cal::kSnbC3FreqTermUsGhz / f_ghz -
+                        cal::kSnbC3FreqTermUsGhz / 2.6;
+            if (remote) us += cal::kSnbC3RemoteExtraUs;
+            if (package_sleep) us += cal::kSnbPkgC3ExtraUs;
+            return us;
+        }
+        case CState::C6: {
+            double us = cal::kSnbC6BaseUs + cal::kSnbC6FreqTermUsGhz / f_ghz -
+                        cal::kSnbC6FreqTermUsGhz / 2.6;
+            if (remote) us += cal::kSnbC3RemoteExtraUs;
+            if (package_sleep) us += cal::kSnbPkgC6ExtraUs;
+            return us;
+        }
+    }
+    return 0.0;
+}
+
+Time WakeLatencyModel::mean_latency(CState state, Frequency f,
+                                    WakeScenario scenario) const {
+    const double f_ghz = std::max(f.as_ghz(), 0.1);
+    double us = 0.0;
+    switch (generation_) {
+        case arch::Generation::HaswellEP:
+        case arch::Generation::HaswellHE:
+            us = haswell_us(state, f_ghz, scenario);
+            break;
+        default:
+            us = sandy_bridge_us(state, f_ghz, scenario);
+            break;
+    }
+    return Time::from_us(us);
+}
+
+Time WakeLatencyModel::sample(CState state, Frequency f, WakeScenario scenario,
+                              util::Rng& rng) const {
+    const Time mean = mean_latency(state, f, scenario);
+    const double noisy_us =
+        std::max(0.0, mean.as_us() + rng.normal(0.0, cal::kCstateNoiseSigmaUs));
+    return Time::from_us(noisy_us);
+}
+
+}  // namespace hsw::cstates

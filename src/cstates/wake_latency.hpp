@@ -1,0 +1,57 @@
+// Wake-up latency model (Section VI-B, Figures 5/6, following [27]).
+//
+// Transition latency back to C0 depends on the wakee's C-state, its core
+// frequency, whether the waker sits on the same socket (local) or the other
+// one (remote), and whether the wakee's package was in a deep sleep state
+// (package C3/C6 adds the uncore restart).
+#pragma once
+
+#include "arch/generation.hpp"
+#include "cstates/cstate.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace hsw::cstates {
+
+using util::Frequency;
+using util::Time;
+
+/// The three measurement scenarios of Figures 5/6.
+enum class WakeScenario {
+    Local,       // waker and wakee on the same processor
+    RemoteActive,// waker on the other processor, third core keeps wakee's
+                 // package out of deep sleep ("remote C3/C6")
+    RemoteIdle,  // waker on the other processor, wakee's package fully idle
+                 // ("package C3/C6")
+};
+
+[[nodiscard]] constexpr std::string_view name(WakeScenario s) {
+    switch (s) {
+        case WakeScenario::Local: return "local";
+        case WakeScenario::RemoteActive: return "remote-active";
+        case WakeScenario::RemoteIdle: return "remote-idle";
+    }
+    return "?";
+}
+
+class WakeLatencyModel {
+public:
+    explicit WakeLatencyModel(arch::Generation generation);
+
+    /// Deterministic mean latency for waking a core in `state` at core
+    /// frequency `f` under the given scenario.
+    [[nodiscard]] Time mean_latency(CState state, Frequency f, WakeScenario scenario) const;
+
+    /// One noisy probe sample (what the measurement tool observes).
+    [[nodiscard]] Time sample(CState state, Frequency f, WakeScenario scenario,
+                              util::Rng& rng) const;
+
+private:
+    [[nodiscard]] double haswell_us(CState state, double f_ghz, WakeScenario scenario) const;
+    [[nodiscard]] double sandy_bridge_us(CState state, double f_ghz,
+                                         WakeScenario scenario) const;
+
+    arch::Generation generation_;
+};
+
+}  // namespace hsw::cstates

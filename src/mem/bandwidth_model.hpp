@@ -1,0 +1,62 @@
+// Shared L3 / DRAM read bandwidth model (Section VII, Figures 7/8).
+//
+// Per-thread achievable bandwidth follows a two-resource latency model,
+//     bw = 1 / (c_core/f_core + c_unc/f_unc + c_flat),
+// so it is core-bound at low core clocks and flattens as the uncore term
+// dominates. The aggregate is capped by the domain capacity: the ring/L3
+// complex (scales with the uncore clock) or the IMCs (fixed DRAM peak;
+// on Sandy Bridge-EP effectively scaled by the core-coupled uncore clock,
+// which is what makes its DRAM bandwidth frequency dependent).
+#pragma once
+
+#include "arch/generation.hpp"
+#include "util/units.hpp"
+
+namespace hsw::mem {
+
+using util::Bandwidth;
+using util::Frequency;
+
+struct ConcurrencyConfig {
+    unsigned cores = 1;             // distinct physical cores in use
+    unsigned threads_per_core = 1;  // 1 or 2 (Hyper-Threading)
+};
+
+class BandwidthModel {
+public:
+    explicit BandwidthModel(arch::Generation generation, unsigned socket_cores);
+
+    /// Aggregate L3 read bandwidth of the socket.
+    [[nodiscard]] Bandwidth l3_read(ConcurrencyConfig c, Frequency core,
+                                    Frequency uncore) const;
+
+    /// Aggregate local-DRAM read bandwidth of the socket.
+    [[nodiscard]] Bandwidth dram_read(ConcurrencyConfig c, Frequency core,
+                                      Frequency uncore) const;
+
+    /// Per-core demand the workload places on DRAM (used by the power model
+    /// and the UFS stall estimate).
+    [[nodiscard]] Bandwidth dram_demand_per_core(Frequency core) const;
+
+    [[nodiscard]] arch::Generation generation() const { return generation_; }
+
+private:
+    struct LevelCoeffs {
+        double core_cpb;   // core cycles per byte term
+        double unc_cpb;    // uncore cycles per byte term
+        double flat;       // frequency-independent term (s/GB)
+        double capacity_bytes_per_uncore_cycle;  // 0 => fixed capacity
+        double fixed_capacity_gbs;               // used when above is 0
+    };
+
+    [[nodiscard]] Bandwidth aggregate(const LevelCoeffs& k, ConcurrencyConfig c,
+                                      Frequency core, Frequency uncore,
+                                      bool l3_bonus) const;
+
+    arch::Generation generation_;
+    unsigned socket_cores_;
+    LevelCoeffs l3_{};
+    LevelCoeffs dram_{};
+};
+
+}  // namespace hsw::mem

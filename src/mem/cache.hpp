@@ -1,0 +1,48 @@
+// Cache hierarchy parameters per generation.
+//
+// Capacities/latencies feed the FIRESTARTER payload generator (its loop
+// must overflow the uop cache but fit in L1I, and its data groups target
+// specific levels) and the Table I bandwidth validation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "arch/generation.hpp"
+#include "util/units.hpp"
+
+namespace hsw::mem {
+
+enum class Level { L1D, L2, L3, Dram };
+
+[[nodiscard]] constexpr std::string_view name(Level l) {
+    switch (l) {
+        case Level::L1D: return "L1D";
+        case Level::L2: return "L2";
+        case Level::L3: return "L3";
+        case Level::Dram: return "DRAM";
+    }
+    return "?";
+}
+
+struct CacheLevelParams {
+    Level level;
+    std::size_t capacity_bytes;      // per core for L1/L2; per-core slice for L3
+    unsigned latency_cycles;         // load-to-use at the core clock
+    unsigned line_bytes;
+    double read_bytes_per_cycle;     // peak per-core read bandwidth
+    double write_bytes_per_cycle;
+};
+
+struct CacheHierarchy {
+    std::array<CacheLevelParams, 4> levels;
+    [[nodiscard]] const CacheLevelParams& at(Level l) const;
+
+    /// Which level a working set of `bytes` per core lives in.
+    [[nodiscard]] Level level_for_working_set(std::size_t bytes, unsigned l3_slices) const;
+};
+
+[[nodiscard]] const CacheHierarchy& hierarchy_for(arch::Generation g);
+
+}  // namespace hsw::mem

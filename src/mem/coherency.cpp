@@ -1,0 +1,82 @@
+#include "mem/coherency.hpp"
+
+#include <algorithm>
+
+#include "mem/cache.hpp"
+
+namespace hsw::mem {
+
+namespace {
+
+/// Latency composition per source: core-clocked cycles, uncore-clocked
+/// cycles, and QPI hops (one way).
+struct Composition {
+    double core_cycles;
+    double uncore_cycles;
+    double qpi_hops;
+    double dram_ns;  // fixed DRAM array access time
+};
+
+Composition compose(LineSource source, const CacheHierarchy& h) {
+    const double l1 = h.at(Level::L1D).latency_cycles;
+    const double l2 = h.at(Level::L2).latency_cycles;
+    const double l3_unc = 22.0;  // L3 slice + ring share, uncore cycles
+    switch (source) {
+        case LineSource::OwnL1:
+            return {l1, 0.0, 0.0, 0.0};
+        case LineSource::OwnL2:
+            return {l2, 0.0, 0.0, 0.0};
+        case LineSource::L3Clean:
+            // L1/L2 miss handling at the core clock + slice at the uncore.
+            return {l2, l3_unc, 0.0, 0.0};
+        case LineSource::PeerModified:
+            // Home slice snoop + forward from the peer's private cache:
+            // roughly double the uncore path plus the peer's L2 readout.
+            return {l2 + l2, 2.2 * l3_unc, 0.0, 0.0};
+        case LineSource::RemoteL3:
+            return {l2, 1.6 * l3_unc, 2.0, 0.0};
+        case LineSource::RemoteModified:
+            return {l2 + l2, 2.6 * l3_unc, 2.0, 0.0};
+        case LineSource::Dram:
+            return {l2, 1.4 * l3_unc, 0.0, 50.0};
+    }
+    return {l1, 0.0, 0.0, 0.0};
+}
+
+}  // namespace
+
+CoherencyModel::CoherencyModel(arch::Generation generation,
+                               const arch::DieTopology& topology)
+    : generation_{generation}, topo_{topology}, link_{generation} {}
+
+double CoherencyModel::latency_ns(LineSource source, unsigned requester,
+                                  unsigned holder, Frequency core,
+                                  Frequency uncore) const {
+    const auto& hierarchy = hierarchy_for(generation_);
+    Composition c = compose(source, hierarchy);
+
+    // Cross-partition transfers ride the inter-ring queues (Figure 1).
+    if (source == LineSource::PeerModified &&
+        topo_.crosses_partition(requester % topo_.enabled_cores,
+                                holder % topo_.enabled_cores)) {
+        c.uncore_cycles += 2.0 * RingInterconnect::kQueueHopCycles;
+    }
+
+    const double core_ghz = std::max(core.as_ghz(), 0.1);
+    const double unc_ghz = std::max(uncore.as_ghz(), 0.1);
+    return c.core_cycles / core_ghz + c.uncore_cycles / unc_ghz +
+           c.qpi_hops * link_.hop_latency_ns() + c.dram_ns;
+}
+
+double CoherencyModel::uncore_share(LineSource source) const {
+    const auto& hierarchy = hierarchy_for(generation_);
+    const Composition c = compose(source, hierarchy);
+    // Evaluate at the reference point (2.5 GHz core, 3.0 GHz uncore).
+    const double core_ns = c.core_cycles / 2.5;
+    const double unc_ns = c.uncore_cycles / 3.0;
+    const double fixed = c.qpi_hops * link_.hop_latency_ns() + c.dram_ns;
+    const double total = core_ns + unc_ns + fixed;
+    return total > 0.0 ? unc_ns / total : 0.0;
+}
+
+}  // namespace hsw::mem

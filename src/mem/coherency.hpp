@@ -1,0 +1,68 @@
+// Cache-line transfer latency model (the paper's companion methodology,
+// [28]: "Memory Performance and Cache Coherency Effects").
+//
+// Reading a line that another core holds traverses the ring to the home
+// L3 slice, possibly a cross-partition queue (Figure 1), and for modified
+// remote-socket lines the QPI link. Latencies therefore split into a
+// core-clocked part (L1/L2 pipelines) and an uncore-clocked part (ring
+// hops, L3 slice, snoop) -- which is why the paper notes the uncore
+// frequency has "a significant impact on on-die cache-line transfer
+// rates" (Section II-D).
+#pragma once
+
+#include "arch/topology.hpp"
+#include "mem/qpi.hpp"
+#include "mem/ring.hpp"
+#include "util/units.hpp"
+
+namespace hsw::mem {
+
+using util::Frequency;
+
+/// Where the requested line currently lives.
+enum class LineSource {
+    OwnL1,          // hit in the requesting core's L1D
+    OwnL2,          // hit in the requesting core's L2
+    L3Clean,        // unowned copy in the home L3 slice
+    PeerModified,   // modified in another core's L1/L2 (same socket)
+    RemoteL3,       // clean in the other socket's L3
+    RemoteModified, // modified in a core of the other socket
+    Dram,           // nowhere cached: home IMC access
+};
+
+[[nodiscard]] constexpr const char* name(LineSource s) {
+    switch (s) {
+        case LineSource::OwnL1: return "own L1";
+        case LineSource::OwnL2: return "own L2";
+        case LineSource::L3Clean: return "L3 (clean)";
+        case LineSource::PeerModified: return "peer modified";
+        case LineSource::RemoteL3: return "remote L3";
+        case LineSource::RemoteModified: return "remote modified";
+        case LineSource::Dram: return "local DRAM";
+    }
+    return "?";
+}
+
+class CoherencyModel {
+public:
+    CoherencyModel(arch::Generation generation, const arch::DieTopology& topology);
+
+    /// Load-to-use latency for a line from `source`, in nanoseconds.
+    /// `requester`/`holder` are physical core ids on the die (used for the
+    /// cross-partition queue penalty); `holder` is ignored for own-cache,
+    /// DRAM and remote sources.
+    [[nodiscard]] double latency_ns(LineSource source, unsigned requester,
+                                    unsigned holder, Frequency core,
+                                    Frequency uncore) const;
+
+    /// Fraction of the latency paid in uncore cycles (the UFS-sensitive
+    /// share; 0 for own-cache hits).
+    [[nodiscard]] double uncore_share(LineSource source) const;
+
+private:
+    arch::Generation generation_;
+    arch::DieTopology topo_;
+    QpiLink link_;
+};
+
+}  // namespace hsw::mem

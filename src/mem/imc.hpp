@@ -1,0 +1,42 @@
+// Integrated memory controller model.
+//
+// Haswell-EP hosts one IMC per ring partition, each driving two DDR4-2133
+// channels (Figure 1); theoretical peak is 68.2 GB/s per socket (Table I).
+#pragma once
+
+#include "arch/generation.hpp"
+#include "util/units.hpp"
+
+namespace hsw::mem {
+
+using util::Bandwidth;
+
+struct DdrConfig {
+    const char* type;       // "DDR3-1600" / "DDR4-2133"
+    double mega_transfers;  // MT/s
+    unsigned bus_bytes = 8; // 64-bit channel
+};
+
+[[nodiscard]] DdrConfig ddr_config_for(arch::Generation g);
+
+class Imc {
+public:
+    Imc(arch::Generation generation, unsigned channels);
+
+    /// Theoretical peak = channels * bus bytes * MT/s.
+    [[nodiscard]] Bandwidth theoretical_peak() const;
+
+    /// Sustained read bandwidth (efficiency-derated theoretical peak).
+    [[nodiscard]] Bandwidth sustained_read_peak() const;
+
+    [[nodiscard]] unsigned channels() const { return channels_; }
+
+    /// Read efficiency of open-page streaming accesses.
+    static constexpr double kStreamEfficiency = 0.85;
+
+private:
+    arch::Generation generation_;
+    unsigned channels_;
+};
+
+}  // namespace hsw::mem

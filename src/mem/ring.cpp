@@ -1,0 +1,24 @@
+#include "mem/ring.hpp"
+
+namespace hsw::mem {
+
+RingInterconnect::RingInterconnect(const arch::DieTopology& topo,
+                                   double bytes_per_cycle_capacity)
+    : topo_{topo}, bytes_per_cycle_{bytes_per_cycle_capacity} {}
+
+Bandwidth RingInterconnect::capacity(Frequency uncore) const {
+    return Bandwidth::bytes_per_sec(bytes_per_cycle_ * uncore.as_hz());
+}
+
+Bandwidth RingInterconnect::path_capacity(unsigned core_a, unsigned core_b,
+                                          Frequency uncore) const {
+    if (!topo_.crosses_partition(core_a, core_b)) return capacity(uncore);
+    return capacity(uncore) * kQueueCapacityFraction;
+}
+
+unsigned RingInterconnect::cross_partition_penalty_cycles(unsigned core_a,
+                                                          unsigned core_b) const {
+    return topo_.crosses_partition(core_a, core_b) ? kQueueHopCycles : 0;
+}
+
+}  // namespace hsw::mem

@@ -1,0 +1,43 @@
+// Ring interconnect model (Section II-A, Figure 1).
+//
+// On-die transfers ride bidirectional rings clocked at the uncore frequency.
+// Partitioned dies (12/18-core) join their rings through buffered queues;
+// crossing them adds latency and shares queue bandwidth.
+#pragma once
+
+#include "arch/topology.hpp"
+#include "util/units.hpp"
+
+namespace hsw::mem {
+
+using util::Bandwidth;
+using util::Frequency;
+
+class RingInterconnect {
+public:
+    RingInterconnect(const arch::DieTopology& topo, double bytes_per_cycle_capacity);
+
+    /// Aggregate transfer capacity of the ring complex at an uncore clock.
+    [[nodiscard]] Bandwidth capacity(Frequency uncore) const;
+
+    /// Capacity available to a transfer between two cores (or core and L3
+    /// slice); crossing partitions is constrained by the inter-ring queues.
+    [[nodiscard]] Bandwidth path_capacity(unsigned core_a, unsigned core_b,
+                                          Frequency uncore) const;
+
+    /// Extra hop latency in uncore cycles when a transfer crosses partitions.
+    [[nodiscard]] unsigned cross_partition_penalty_cycles(unsigned core_a,
+                                                          unsigned core_b) const;
+
+    [[nodiscard]] const arch::DieTopology& topology() const { return topo_; }
+
+    /// Queue capacity fraction relative to ring capacity.
+    static constexpr double kQueueCapacityFraction = 0.5;
+    static constexpr unsigned kQueueHopCycles = 5;
+
+private:
+    arch::DieTopology topo_;
+    double bytes_per_cycle_;
+};
+
+}  // namespace hsw::mem

@@ -1,0 +1,58 @@
+// Model-specific register addresses used by the simulated machine.
+// Numbers follow the Intel SDM Vol. 3 / Xeon E5 v3 registers datasheet so
+// that tool code reads like real LIKWID/msr-tools code.
+#pragma once
+
+#include <cstdint>
+
+namespace hsw::msr {
+
+using MsrAddress = std::uint32_t;
+
+// Per-thread time-stamp and feedback counters.
+inline constexpr MsrAddress IA32_MPERF = 0xE7;  // counts at nominal frequency in C0
+inline constexpr MsrAddress IA32_APERF = 0xE8;  // counts at actual frequency in C0
+
+// P-state request/status (Section VI-A: requests go through IA32_PERF_CTL;
+// the hardware applies them at the next PCU opportunity).
+inline constexpr MsrAddress IA32_PERF_STATUS = 0x198;
+inline constexpr MsrAddress IA32_PERF_CTL = 0x199;
+
+// Performance and Energy Bias Hint (Section II-C). 4 bits; 0 performance,
+// 6 balanced, 15 energy saving.
+inline constexpr MsrAddress IA32_ENERGY_PERF_BIAS = 0x1B0;
+
+// Fixed-function core counters (simplified: direct counter reads).
+inline constexpr MsrAddress IA32_FIXED_CTR0 = 0x309;  // INST_RETIRED.ANY
+inline constexpr MsrAddress IA32_FIXED_CTR1 = 0x30A;  // CPU_CLK_UNHALTED.CORE
+inline constexpr MsrAddress IA32_FIXED_CTR2 = 0x30B;  // CPU_CLK_UNHALTED.REF
+
+// A programmable event the tools use: resource/memory stall cycles.
+inline constexpr MsrAddress MSR_STALL_CYCLES = 0x30C;  // model-internal
+
+// C-state residency counters (TSC-rate ticks spent in the state).
+inline constexpr MsrAddress MSR_PKG_C3_RESIDENCY = 0x3F8;
+inline constexpr MsrAddress MSR_PKG_C6_RESIDENCY = 0x3F9;
+inline constexpr MsrAddress MSR_CORE_C3_RESIDENCY = 0x3FC;
+inline constexpr MsrAddress MSR_CORE_C6_RESIDENCY = 0x3FD;
+
+// RAPL (Section IV).
+inline constexpr MsrAddress MSR_RAPL_POWER_UNIT = 0x606;
+inline constexpr MsrAddress MSR_PKG_POWER_LIMIT = 0x610;
+inline constexpr MsrAddress MSR_PKG_ENERGY_STATUS = 0x611;
+inline constexpr MsrAddress MSR_DRAM_POWER_LIMIT = 0x618;
+inline constexpr MsrAddress MSR_DRAM_ENERGY_STATUS = 0x619;
+inline constexpr MsrAddress MSR_PP0_ENERGY_STATUS = 0x639;
+
+// Uncore frequency control/observation.
+// "it can be specified via the MSR UNCORE_RATIO_LIMIT. However, neither the
+// actual number of this MSR nor the encoded information is available"
+// (Section II-D; the number 0x620 became public later).
+inline constexpr MsrAddress MSR_UNCORE_RATIO_LIMIT = 0x620;
+
+// U-box fixed counter: counts uncore clocks (LIKWID's UNCORE_CLOCK:UBOXFIX,
+// Section V-A footnote).
+inline constexpr MsrAddress U_MSR_PMON_UCLK_FIXED_CTL = 0x703;
+inline constexpr MsrAddress U_MSR_PMON_UCLK_FIXED_CTR = 0x704;
+
+}  // namespace hsw::msr

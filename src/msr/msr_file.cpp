@@ -1,0 +1,70 @@
+#include "msr/msr_file.hpp"
+
+#include <cstdio>
+
+namespace hsw::msr {
+
+namespace {
+std::uint64_t storage_key(MsrAddress addr, unsigned cpu) {
+    return (static_cast<std::uint64_t>(addr) << 32) | cpu;
+}
+std::string hex(MsrAddress addr) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%X", addr);
+    return buf;
+}
+}  // namespace
+
+void MsrFile::register_msr(MsrAddress addr, ReadFn read, WriteFn write) {
+    register_msr_range(addr, 0, std::numeric_limits<unsigned>::max(), std::move(read),
+                       std::move(write));
+}
+
+void MsrFile::register_msr_range(MsrAddress addr, unsigned first_cpu, unsigned last_cpu,
+                                 ReadFn read, WriteFn write) {
+    handlers_[addr].push_back(
+        RangeHandlers{first_cpu, last_cpu, std::move(read), std::move(write)});
+}
+
+void MsrFile::register_storage(MsrAddress addr, std::uint64_t initial) {
+    register_msr(
+        addr,
+        [this, addr, initial](unsigned cpu) {
+            const auto it = storage_.find(storage_key(addr, cpu));
+            return it == storage_.end() ? initial : it->second;
+        },
+        [this, addr](unsigned cpu, std::uint64_t value) {
+            storage_[storage_key(addr, cpu)] = value;
+        });
+}
+
+const MsrFile::RangeHandlers* MsrFile::find(unsigned cpu, MsrAddress addr) const {
+    const auto it = handlers_.find(addr);
+    if (it == handlers_.end()) return nullptr;
+    // Later registrations take precedence: scan back to front.
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        if (cpu >= rit->first && cpu <= rit->last) return &*rit;
+    }
+    return nullptr;
+}
+
+std::uint64_t MsrFile::read(unsigned cpu, MsrAddress addr) const {
+    const RangeHandlers* h = find(cpu, addr);
+    if (h == nullptr || !h->read) {
+        throw MsrError{"rdmsr " + hex(addr) + ": unimplemented MSR (#GP)"};
+    }
+    return h->read(cpu);
+}
+
+void MsrFile::write(unsigned cpu, MsrAddress addr, std::uint64_t value) {
+    const RangeHandlers* h = find(cpu, addr);
+    if (h == nullptr) {
+        throw MsrError{"wrmsr " + hex(addr) + ": unimplemented MSR (#GP)"};
+    }
+    if (!h->write) {
+        throw MsrError{"wrmsr " + hex(addr) + ": read-only MSR (#GP)"};
+    }
+    h->write(cpu, value);
+}
+
+}  // namespace hsw::msr

@@ -1,0 +1,54 @@
+#include "os/cpufreq.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "msr/addresses.hpp"
+
+namespace hsw::os {
+
+CpufreqPolicy::CpufreqPolicy(core::Node& node, unsigned cpu)
+    : node_{&node}, cpu_{cpu} {}
+
+void CpufreqPolicy::set_governor(Governor g) {
+    governor_ = g;
+    switch (g) {
+        case Governor::Performance:
+            node_->set_pstate(cpu_, Frequency::from_ratio(
+                                        node_->sku().nominal_frequency.ratio() + 1));
+            break;
+        case Governor::Powersave:
+            node_->set_pstate(cpu_, node_->sku().min_frequency);
+            break;
+        case Governor::Userspace:
+            break;  // keeps the current request until set_speed
+    }
+}
+
+void CpufreqPolicy::set_speed(Frequency f) {
+    if (governor_ != Governor::Userspace) {
+        throw std::logic_error{"cpufreq: scaling_setspeed requires the userspace governor"};
+    }
+    node_->set_pstate(cpu_, f);
+}
+
+Frequency CpufreqPolicy::scaling_cur_freq() const {
+    // Deliberately the *request*: read back IA32_PERF_CTL, not PERF_STATUS.
+    const auto raw = node_->msrs().read(cpu_, msr::IA32_PERF_CTL);
+    return Frequency::from_ratio(static_cast<unsigned>((raw >> 8) & 0xFF));
+}
+
+Frequency CpufreqPolicy::scaling_min_freq() const { return node_->sku().min_frequency; }
+
+Frequency CpufreqPolicy::scaling_max_freq() const {
+    return node_->sku().turbo_bins.empty() ? node_->sku().nominal_frequency
+                                           : node_->sku().turbo_bins.front();
+}
+
+std::vector<Frequency> CpufreqPolicy::available_frequencies() const {
+    auto fs = node_->sku().selectable_pstates();
+    std::sort(fs.begin(), fs.end(), std::greater<>{});
+    return fs;
+}
+
+}  // namespace hsw::os

@@ -1,0 +1,49 @@
+// Minimal cpufreq subsystem over the simulated MSRs.
+//
+// Faithfully reproduces the pitfall the paper had to work around in FTaLaT
+// (Section VI-A): `scaling_cur_freq` reflects the *last request written to
+// IA32_PERF_CTL*, not the hardware state -- "these readings are not a
+// reliable indicator for an actual frequency switch in hardware". Actual
+// frequencies must be derived from APERF deltas (see os::PerfEvents).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "util/units.hpp"
+
+namespace hsw::os {
+
+using util::Frequency;
+
+enum class Governor { Userspace, Performance, Powersave };
+
+class CpufreqPolicy {
+public:
+    CpufreqPolicy(core::Node& node, unsigned cpu);
+
+    void set_governor(Governor g);
+    [[nodiscard]] Governor governor() const { return governor_; }
+
+    /// scaling_setspeed (userspace governor only; throws otherwise).
+    void set_speed(Frequency f);
+
+    /// scaling_cur_freq: the last *requested* frequency -- NOT reliable as
+    /// an indicator of the hardware state on Haswell-EP.
+    [[nodiscard]] Frequency scaling_cur_freq() const;
+
+    /// scaling_min/max_freq limits of the SKU.
+    [[nodiscard]] Frequency scaling_min_freq() const;
+    [[nodiscard]] Frequency scaling_max_freq() const;
+
+    /// scaling_available_frequencies, descending like sysfs shows them.
+    [[nodiscard]] std::vector<Frequency> available_frequencies() const;
+
+private:
+    core::Node* node_;
+    unsigned cpu_;
+    Governor governor_ = Governor::Userspace;
+};
+
+}  // namespace hsw::os

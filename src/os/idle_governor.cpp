@@ -1,0 +1,44 @@
+#include "os/idle_governor.hpp"
+
+namespace hsw::os {
+
+namespace {
+constexpr cstates::CState kStatesDeepFirst[] = {
+    cstates::CState::C6, cstates::CState::C3, cstates::CState::C1};
+}
+
+IdleGovernor::IdleGovernor(double latency_multiplier) : multiplier_{latency_multiplier} {}
+
+cstates::CState IdleGovernor::select(Time predicted_idle) const {
+    for (cstates::CState s : kStatesDeepFirst) {
+        const Time exit_latency = cstates::acpi_reported_latency(s);
+        if (predicted_idle.as_seconds() >= multiplier_ * exit_latency.as_seconds()) {
+            return s;
+        }
+    }
+    return cstates::CState::C0;  // too short to sleep at all
+}
+
+cstates::CState IdleGovernor::select_with_measured(
+    Time predicted_idle, const cstates::WakeLatencyModel& model,
+    util::Frequency core_frequency) const {
+    for (cstates::CState s : kStatesDeepFirst) {
+        const Time exit_latency =
+            model.mean_latency(s, core_frequency, cstates::WakeScenario::Local);
+        if (predicted_idle.as_seconds() >= multiplier_ * exit_latency.as_seconds()) {
+            return s;
+        }
+    }
+    return cstates::CState::C0;
+}
+
+double IdleGovernor::latency_headroom(const cstates::WakeLatencyModel& model,
+                                      cstates::CState state,
+                                      util::Frequency core_frequency) {
+    const double measured =
+        model.mean_latency(state, core_frequency, cstates::WakeScenario::Local).as_us();
+    if (measured <= 0.0) return 1.0;
+    return cstates::acpi_reported_latency(state).as_us() / measured;
+}
+
+}  // namespace hsw::os

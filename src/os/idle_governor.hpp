@@ -1,0 +1,43 @@
+// Menu-style idle governor.
+//
+// Chooses a C-state for a predicted idle interval using the ACPI-reported
+// latencies (33/133 us). Section VI-B shows the measured latencies are far
+// lower, so the governor is systematically too conservative on Haswell-EP
+// -- quantified by the `latency_headroom` helper and exercised in tests.
+#pragma once
+
+#include "cstates/cstate.hpp"
+#include "cstates/wake_latency.hpp"
+#include "util/units.hpp"
+
+namespace hsw::os {
+
+using util::Time;
+
+class IdleGovernor {
+public:
+    /// `latency_multiplier`: the governor requires predicted_idle >=
+    /// multiplier * exit_latency before it picks a state (menu-governor
+    /// style guard).
+    explicit IdleGovernor(double latency_multiplier = 2.0);
+
+    /// State chosen for a predicted idle interval, based on ACPI tables.
+    [[nodiscard]] cstates::CState select(Time predicted_idle) const;
+
+    /// State that *would* be chosen if the governor knew the measured
+    /// latencies from the model instead of the ACPI tables.
+    [[nodiscard]] cstates::CState select_with_measured(
+        Time predicted_idle, const cstates::WakeLatencyModel& model,
+        util::Frequency core_frequency) const;
+
+    /// Ratio of ACPI-claimed to model-measured latency for a state (the
+    /// argument for a runtime-updatable interface, Section VI-B).
+    [[nodiscard]] static double latency_headroom(const cstates::WakeLatencyModel& model,
+                                                 cstates::CState state,
+                                                 util::Frequency core_frequency);
+
+private:
+    double multiplier_;
+};
+
+}  // namespace hsw::os

@@ -1,0 +1,33 @@
+#include "os/perf_events.hpp"
+
+#include "msr/addresses.hpp"
+
+namespace hsw::os {
+
+namespace {
+msr::MsrAddress address_for(PerfEvent e) {
+    switch (e) {
+        case PerfEvent::CpuCycles: return msr::IA32_FIXED_CTR1;
+        case PerfEvent::Instructions: return msr::IA32_FIXED_CTR0;
+        case PerfEvent::RefCycles: return msr::IA32_FIXED_CTR2;
+        case PerfEvent::StallCycles: return msr::MSR_STALL_CYCLES;
+    }
+    return msr::IA32_FIXED_CTR1;
+}
+}  // namespace
+
+PerfCounter::PerfCounter(core::Node& node, unsigned cpu, PerfEvent event)
+    : node_{&node}, cpu_{cpu}, event_{event} {}
+
+std::uint64_t PerfCounter::read() const {
+    return node_->msrs().read(cpu_, address_for(event_));
+}
+
+Frequency PerfCounter::measure_frequency(Time window) {
+    const std::uint64_t before = read();
+    node_->run_for(window);
+    const std::uint64_t after = read();
+    return Frequency::hz(static_cast<double>(after - before) / window.as_seconds());
+}
+
+}  // namespace hsw::os

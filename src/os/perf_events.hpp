@@ -1,0 +1,38 @@
+// perf_events facade: the reliable way to observe frequency changes.
+//
+// FTaLaT's verification loop (as modified by the paper) counts
+// PERF_COUNT_HW_CPU_CYCLES over a 20 us busy-wait window and derives the
+// actual clock from the delta -- this is that mechanism.
+#pragma once
+
+#include <cstdint>
+
+#include "core/node.hpp"
+#include "util/units.hpp"
+
+namespace hsw::os {
+
+using util::Frequency;
+using util::Time;
+
+enum class PerfEvent { CpuCycles, Instructions, RefCycles, StallCycles };
+
+class PerfCounter {
+public:
+    PerfCounter(core::Node& node, unsigned cpu, PerfEvent event);
+
+    /// Current raw count (monotonic).
+    [[nodiscard]] std::uint64_t read() const;
+
+    /// Busy-wait on the target cpu for `window`, then return the observed
+    /// average frequency over it (cycles delta / wall time). This advances
+    /// the simulation.
+    [[nodiscard]] Frequency measure_frequency(Time window);
+
+private:
+    core::Node* node_;
+    unsigned cpu_;
+    PerfEvent event_;
+};
+
+}  // namespace hsw::os

@@ -1,0 +1,118 @@
+#include "os/sysfs.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "cstates/cstate.hpp"
+#include "msr/addresses.hpp"
+
+namespace hsw::os {
+
+namespace {
+
+constexpr const char* kPrefix = "/sys/devices/system/cpu/cpu";
+
+const cstates::CState kIdleStates[] = {cstates::CState::C1, cstates::CState::C3,
+                                       cstates::CState::C6};
+
+std::string khz(double hz) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(hz / 1000.0));
+    return buf;
+}
+
+}  // namespace
+
+VirtualSysfs::VirtualSysfs(core::Node& node) : node_{&node} {}
+
+bool VirtualSysfs::parse(const std::string& path, Parsed& out) const {
+    const std::string prefix{kPrefix};
+    if (path.rfind(prefix, 0) != 0) return false;
+    std::size_t pos = prefix.size();
+    std::size_t digits = 0;
+    unsigned cpu = 0;
+    while (pos + digits < path.size() && std::isdigit(path[pos + digits])) {
+        cpu = cpu * 10 + static_cast<unsigned>(path[pos + digits] - '0');
+        ++digits;
+    }
+    if (digits == 0 || cpu >= node_->cpu_count()) return false;
+    pos += digits;
+    if (pos >= path.size() || path[pos] != '/') return false;
+    ++pos;
+    const std::size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) return false;
+    out.cpu = cpu;
+    out.group = path.substr(pos, slash - pos);
+    out.attr = path.substr(slash + 1);
+    return !out.attr.empty();
+}
+
+bool VirtualSysfs::exists(const std::string& path) const {
+    try {
+        (void)read(path);
+        return true;
+    } catch (const std::invalid_argument&) {
+        return false;
+    }
+}
+
+std::string VirtualSysfs::read(const std::string& path) const {
+    Parsed p;
+    if (!parse(path, p)) throw std::invalid_argument{"sysfs: no such path: " + path};
+    core::Node& node = *node_;
+
+    if (p.group == "cpufreq") {
+        if (p.attr == "scaling_cur_freq") {
+            // The request-echo pitfall (Section VI-A): this is the last
+            // value written to IA32_PERF_CTL, not the hardware state.
+            const auto raw = node.msrs().read(p.cpu, msr::IA32_PERF_CTL);
+            return khz(static_cast<double>((raw >> 8) & 0xFF) * 100e6);
+        }
+        if (p.attr == "scaling_min_freq") return khz(node.sku().min_frequency.as_hz());
+        if (p.attr == "scaling_max_freq") {
+            return khz(node.sku().turbo_bins.front().as_hz());
+        }
+        if (p.attr == "scaling_governor") return "userspace";
+        if (p.attr == "cpuinfo_cur_freq") {
+            // Root-only attribute: the *actual* hardware frequency.
+            return khz(node.core_frequency(p.cpu).as_hz());
+        }
+    }
+    if (p.group == "topology") {
+        if (p.attr == "physical_package_id") {
+            return std::to_string(node.socket_of(p.cpu));
+        }
+        if (p.attr == "core_id") return std::to_string(node.core_of(p.cpu));
+    }
+    if (p.group == "cpuidle") {
+        // stateK/name or stateK/latency, K in 0..2 for C1/C3/C6.
+        if (p.attr.rfind("state", 0) == 0 && p.attr.size() >= 7) {
+            const unsigned k = static_cast<unsigned>(p.attr[5] - '0');
+            if (k < 3 && p.attr[6] == '/') {
+                const std::string leaf = p.attr.substr(7);
+                if (leaf == "name") return std::string{cstates::name(kIdleStates[k])};
+                if (leaf == "latency") {
+                    // Microseconds, from the ACPI tables (the stale values
+                    // Section VI-B complains about).
+                    return std::to_string(static_cast<long long>(
+                        cstates::acpi_reported_latency(kIdleStates[k]).as_us()));
+                }
+            }
+        }
+    }
+    throw std::invalid_argument{"sysfs: no such path: " + path};
+}
+
+void VirtualSysfs::write(const std::string& path, const std::string& value) {
+    Parsed p;
+    if (!parse(path, p)) throw std::invalid_argument{"sysfs: no such path: " + path};
+    if (p.group == "cpufreq" && p.attr == "scaling_setspeed") {
+        const double khz_value = std::stod(value);
+        node_->set_pstate(p.cpu, util::Frequency::hz(khz_value * 1000.0));
+        return;
+    }
+    throw std::invalid_argument{"sysfs: read-only or unknown attribute: " + path};
+}
+
+}  // namespace hsw::os

@@ -1,0 +1,42 @@
+// Virtual sysfs: the string-keyed view Linux tools actually read.
+//
+// Maps the familiar /sys paths onto the simulated machine:
+//   /sys/devices/system/cpu/cpuN/cpufreq/{scaling_cur_freq,scaling_min_freq,
+//       scaling_max_freq,scaling_governor,scaling_setspeed}
+//   /sys/devices/system/cpu/cpuN/topology/physical_package_id
+//   /sys/devices/system/cpu/cpuN/cpuidle/stateK/{name,latency}
+// Reads return the file content as a string (frequencies in kHz like the
+// kernel); writes accept the same formats. scaling_cur_freq inherits the
+// request-echo pitfall from os::CpufreqPolicy.
+#pragma once
+
+#include <string>
+
+#include "core/node.hpp"
+
+namespace hsw::os {
+
+class VirtualSysfs {
+public:
+    explicit VirtualSysfs(core::Node& node);
+
+    /// Read a path; throws std::invalid_argument for unknown paths.
+    [[nodiscard]] std::string read(const std::string& path) const;
+
+    /// Write a path (only the writable cpufreq attributes).
+    void write(const std::string& path, const std::string& value);
+
+    [[nodiscard]] bool exists(const std::string& path) const;
+
+private:
+    struct Parsed {
+        unsigned cpu = 0;
+        std::string group;  // "cpufreq", "topology", "cpuidle"
+        std::string attr;   // e.g. "scaling_cur_freq" or "state1/latency"
+    };
+    [[nodiscard]] bool parse(const std::string& path, Parsed& out) const;
+
+    core::Node* node_;
+};
+
+}  // namespace hsw::os

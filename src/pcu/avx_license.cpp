@@ -1,0 +1,26 @@
+#include "pcu/avx_license.hpp"
+
+#include "arch/calibration.hpp"
+
+namespace hsw::pcu {
+
+namespace cal = hsw::arch::cal;
+
+void AvxLicense::update(double avx_fraction, Time now) {
+    const bool avx_active = avx_fraction >= kLicenseThreshold;
+    if (avx_active) {
+        last_avx_seen_ = now;
+        if (!licensed_) {
+            licensed_ = true;
+            ramp_end_ = now + kRampDuration;
+        }
+        return;
+    }
+    // "The PCU returns to regular (non-AVX) operating mode 1 ms after AVX
+    // instructions are completed."
+    if (licensed_ && now - last_avx_seen_ >= cal::kAvxRelaxDelay) {
+        licensed_ = false;
+    }
+}
+
+}  // namespace hsw::pcu

@@ -1,0 +1,55 @@
+// AVX frequency license state machine (Section II-F).
+//
+// Workflow modeled after the paper's description:
+//  1. AVX instructions draw more current; the core signals the PCU,
+//  2. execution of AVX instructions is slowed during the voltage ramp,
+//  3. the clock may drop to stay inside TDP (handled by the budget loop),
+//  4. full throughput resumes once the voltage is adjusted,
+//  5. the license is dropped 1 ms after the last AVX instruction.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace hsw::pcu {
+
+using util::Time;
+using util::Voltage;
+
+class AvxLicense {
+public:
+    /// AVX density above which a core requests the 256-bit license.
+    static constexpr double kLicenseThreshold = 0.30;
+    /// Extra voltage while the license is held.
+    static constexpr double kLicenseVoltageAdderVolts = 0.020;
+    /// Duration of the reduced-throughput voltage ramp phase.
+    static constexpr Time kRampDuration = Time::us(10);
+    /// Throughput factor while ramping (execution "slowed").
+    static constexpr double kRampThroughputFactor = 0.25;
+
+    /// Update with the current workload AVX density; `now` is sim time.
+    void update(double avx_fraction, Time now);
+
+    [[nodiscard]] bool licensed() const { return licensed_; }
+
+    /// True while the voltage ramp throttles execution.
+    [[nodiscard]] bool ramping(Time now) const {
+        return licensed_ && now < ramp_end_;
+    }
+
+    /// Voltage adder to apply to the core's V-f point.
+    [[nodiscard]] Voltage voltage_adder() const {
+        return Voltage::volts(licensed_ ? kLicenseVoltageAdderVolts : 0.0);
+    }
+
+    /// Throughput multiplier for instruction execution at `now`.
+    [[nodiscard]] double throughput_factor(Time now) const {
+        return ramping(now) ? kRampThroughputFactor : 1.0;
+    }
+
+private:
+    bool licensed_ = false;
+    Time ramp_end_ = Time::zero();
+    Time last_avx_seen_ = Time::zero();
+};
+
+}  // namespace hsw::pcu

@@ -1,0 +1,113 @@
+// Power control unit firmware model.
+//
+// Each socket's PCU evaluates its control loops on the 500 us opportunity
+// grid (Section VI-A): it latches pending p-state requests, resolves turbo
+// and AVX-license caps, runs energy-efficient turbo, decides the uncore
+// clock (UFS), and enforces the package power limit by first throttling
+// cores (holding the UFS floor) and then granting remaining headroom to the
+// uncore -- the mechanism behind Table IV's "lower core frequency setting
+// can increase performance" observation.
+//
+// Fractional TDP equilibria are realized by dithering between adjacent
+// 100 MHz ratios across opportunity ticks, exactly like the real PCU's
+// running-average limiter; time-averaged counters then show the
+// non-multiple frequencies the paper reports (e.g. 2.31 GHz).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/sku.hpp"
+#include "cstates/cstate.hpp"
+#include "msr/msr_file.hpp"
+#include "pcu/avx_license.hpp"
+#include "pcu/turbo.hpp"
+#include "pcu/uncore_scaling.hpp"
+#include "power/vf_curve.hpp"
+#include "util/units.hpp"
+
+namespace hsw::pcu {
+
+using util::Frequency;
+using util::Power;
+using util::Time;
+using util::Voltage;
+
+struct CoreInputs {
+    cstates::CState state = cstates::CState::C6;
+    unsigned requested_ratio = 12;   // IA32_PERF_CTL target (nominal+1 = turbo)
+    double avx_fraction = 0.0;       // of the running workload
+    double stall_fraction = 0.0;
+    double cdyn_utilization = 0.0;   // current dynamic activity
+};
+
+struct PcuInputs {
+    std::vector<CoreInputs> cores;
+    msr::EpbPolicy epb = msr::EpbPolicy::Balanced;
+    bool turbo_enabled = true;
+    double uncore_traffic = 0.0;       // [0,1]
+    double current_intensity = 0.0;    // worst over running workloads
+    bool system_active = true;         // any C0 core anywhere (both sockets)
+    Frequency fastest_system_core;     // for the passive-socket uncore rule
+    /// Software package power cap from MSR_PKG_POWER_LIMIT (0 = use TDP).
+    double power_limit_watts = 0.0;
+    /// Raw MSR_UNCORE_RATIO_LIMIT value (0 = unconstrained).
+    std::uint64_t uncore_ratio_limit_raw = 0;
+};
+
+struct CoreGrant {
+    Frequency frequency;
+    Voltage voltage;
+    bool avx_licensed = false;
+    double throughput_factor = 1.0;  // < 1 during the AVX voltage ramp
+};
+
+struct PcuOutputs {
+    std::vector<CoreGrant> cores;
+    Frequency uncore_frequency;
+    Voltage uncore_voltage;
+    bool uncore_clock_halted = false;
+    bool tdp_limited = false;
+    Power estimated_package_power;
+};
+
+class PcuController {
+public:
+    PcuController(const arch::Sku& sku, unsigned socket_id);
+
+    /// Run one opportunity-grid evaluation. Deterministic given inputs.
+    [[nodiscard]] PcuOutputs evaluate(const PcuInputs& in, Time now);
+
+    /// Model-estimated package power for a hypothetical operating point
+    /// (used by the budget loop and exposed for tests).
+    [[nodiscard]] Power estimate_package_power(const PcuInputs& in,
+                                               const std::vector<unsigned>& core_ratios,
+                                               Frequency uncore) const;
+
+    [[nodiscard]] const arch::Sku& sku() const { return *sku_; }
+    [[nodiscard]] unsigned socket_id() const { return socket_id_; }
+
+    /// Effective power budget after the peak-current guardband: very
+    /// current-intense code (LINPACK) is budgeted below TDP, which is why
+    /// it shows both lower frequency and lower power in Table V.
+    [[nodiscard]] Power effective_budget(double current_intensity) const;
+
+private:
+    [[nodiscard]] Voltage core_voltage(unsigned core, Frequency f, bool licensed) const;
+
+    const arch::Sku* sku_;
+    unsigned socket_id_;
+    power::VfCurve core_curve_;
+    power::VfCurve uncore_curve_;
+    std::vector<AvxLicense> licenses_;
+    double core_dither_accum_ = 0.0;
+    double uncore_dither_accum_ = 0.0;
+    std::uint64_t tick_count_ = 0;
+    // EET polls the stall data only sporadically (1 ms per the patent,
+    // Section II-E); decisions between polls use the stale snapshot, which
+    // is what hurts workloads that change phase at unfavorable rates.
+    Time last_eet_poll_ = Time::ns(-1'000'000'000);
+    double eet_stall_snapshot_ = 0.0;
+};
+
+}  // namespace hsw::pcu

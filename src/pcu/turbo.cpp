@@ -1,0 +1,50 @@
+#include "pcu/turbo.hpp"
+
+#include <algorithm>
+
+#include "arch/calibration.hpp"
+
+namespace hsw::pcu {
+
+namespace cal = hsw::arch::cal;
+
+Frequency resolve_cap(const TurboContext& ctx, Frequency requested, bool avx_licensed) {
+    const arch::Sku& sku = *ctx.sku;
+    const bool turbo_request = requested > sku.nominal_frequency;
+
+    // "When setting EPB to performance, turbo mode will be active even when
+    // the base frequency is selected" (Section II-C).
+    const bool wants_turbo =
+        ctx.turbo_enabled &&
+        (turbo_request || (ctx.epb == msr::EpbPolicy::Performance &&
+                           requested >= sku.nominal_frequency));
+
+    const Frequency bin = avx_licensed ? sku.max_avx_turbo(ctx.active_cores)
+                                       : sku.max_turbo(ctx.active_cores);
+
+    if (wants_turbo) return bin;
+
+    // Fixed p-state request: the cap is the request itself, except that an
+    // AVX license can pull even nominal requests down to the AVX bins.
+    Frequency cap = std::min(requested, sku.nominal_frequency);
+    if (avx_licensed) cap = std::min(cap, bin);
+    return cap;
+}
+
+Frequency eet_demote(const TurboContext& ctx, Frequency cap, double stall_fraction) {
+    const arch::Sku& sku = *ctx.sku;
+    if (ctx.epb == msr::EpbPolicy::Performance) return cap;
+    if (cap <= sku.nominal_frequency) return cap;
+
+    // Stall-dominated code gains little from turbo: balanced EPB strips the
+    // turbo range, energy saving additionally drops to a mid p-state.
+    if (stall_fraction >= cal::kUfsStallHighWatermark) {
+        if (ctx.epb == msr::EpbPolicy::Balanced) return sku.nominal_frequency;
+        const unsigned mid =
+            (sku.nominal_frequency.ratio() + sku.min_frequency.ratio()) / 2;
+        return Frequency::from_ratio(mid);
+    }
+    return cap;
+}
+
+}  // namespace hsw::pcu

@@ -1,0 +1,38 @@
+// Turbo bin resolution and energy-efficient turbo (Sections II-E, II-F).
+//
+// The per-active-core-count turbo tables come from the SKU; EET demotes
+// turbo when the stall profile predicts little performance benefit, taking
+// the EPB setting into account.
+#pragma once
+
+#include "arch/sku.hpp"
+#include "msr/msr_file.hpp"
+#include "util/units.hpp"
+
+namespace hsw::pcu {
+
+using util::Frequency;
+
+/// Upper bound for a core's clock before power limiting, considering the
+/// request, turbo enablement, active-core turbo bins and the AVX license.
+struct TurboContext {
+    const arch::Sku* sku = nullptr;
+    unsigned active_cores = 1;
+    bool turbo_enabled = true;
+    msr::EpbPolicy epb = msr::EpbPolicy::Balanced;
+};
+
+/// Resolve the frequency cap for one core.
+/// `requested` is the p-state request (ratio nominal+1 encodes "turbo");
+/// `avx_licensed` selects the AVX frequency tables.
+[[nodiscard]] Frequency resolve_cap(const TurboContext& ctx, Frequency requested,
+                                    bool avx_licensed);
+
+/// Energy-efficient turbo: given the observed stall fraction, possibly
+/// demote a turbo-range cap. Returns the (possibly reduced) cap.
+/// With EPB=performance EET never demotes; with balanced it removes turbo
+/// for stall-dominated code; with energy-saving it is more aggressive.
+[[nodiscard]] Frequency eet_demote(const TurboContext& ctx, Frequency cap,
+                                   double stall_fraction);
+
+}  // namespace hsw::pcu

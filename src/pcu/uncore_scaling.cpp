@@ -1,0 +1,135 @@
+#include "pcu/uncore_scaling.hpp"
+
+#include <algorithm>
+
+#include "arch/calibration.hpp"
+
+namespace hsw::pcu {
+
+namespace cal = hsw::arch::cal;
+
+Frequency ladder_frequency(unsigned core_ratio) {
+    // Entries are sorted descending by core ratio; pick the first entry
+    // whose core ratio is <= the requested one, clamping at the ends.
+    const auto& ladder = cal::kUncoreLadder;
+    const auto* chosen = &ladder[std::size(ladder) - 1];
+    for (const auto& e : ladder) {
+        if (core_ratio >= e.core_ratio) {
+            chosen = &e;
+            break;
+        }
+    }
+    return Frequency::mhz(static_cast<double>(chosen->uncore_ratio_x2) * 50.0);
+}
+
+namespace {
+
+UfsDecision policy_unclamped(const UfsInputs& in);
+
+}  // namespace
+
+UfsDecision uncore_policy(const UfsInputs& in) {
+    UfsDecision d = policy_unclamped(in);
+    // Software clamp from MSR_UNCORE_RATIO_LIMIT (Section II-D mentions the
+    // register; the encoding became public after the paper).
+    if (in.msr_max_ratio != 0) {
+        const Frequency cap = Frequency::from_ratio(in.msr_max_ratio);
+        d.target = std::min(d.target, cap);
+        d.floor = std::min(d.floor, cap);
+    }
+    if (in.msr_min_ratio != 0) {
+        const Frequency fl = Frequency::from_ratio(in.msr_min_ratio);
+        d.target = std::max(d.target, fl);
+        d.floor = std::max(d.floor, fl);
+    }
+    return d;
+}
+
+namespace {
+
+UfsDecision policy_unclamped(const UfsInputs& in) {
+    const arch::Sku& sku = *in.sku;
+    UfsDecision d;
+
+    // Pre-Haswell parts have no UFS: Nehalem/Westmere-EP run a fixed uncore
+    // clock; Sandy/Ivy Bridge-EP clock the uncore with the fastest core
+    // (Section II-D) -- the source of their frequency-dependent DRAM
+    // bandwidth in Figure 7.
+    const auto clocking = arch::traits(sku.generation).uncore_clocking;
+    if (clocking == arch::UncoreClocking::Fixed) {
+        d.target = d.floor = sku.uncore_max;
+        return d;
+    }
+    if (clocking == arch::UncoreClocking::CoupledToCore) {
+        const Frequency fastest =
+            in.socket_active ? in.fastest_local_core : sku.uncore_min;
+        d.target = d.floor = std::clamp(fastest, sku.uncore_min, sku.uncore_max);
+        return d;
+    }
+
+    if (!in.system_active) {
+        // Whole system idle: packages may enter PC3/PC6 and the uncore
+        // clock halts (Section V-A).
+        d.clock_halted = true;
+        d.target = d.floor = sku.uncore_min;
+        return d;
+    }
+
+    if (!in.socket_active) {
+        // Passive socket: tracks the system's fastest core one step lower
+        // (Table III second row); at turbo it hovers just below maximum.
+        if (in.turbo_requested || in.epb == msr::EpbPolicy::Performance) {
+            d.target = d.floor = sku.uncore_max;
+            return d;
+        }
+        const Frequency ladder = ladder_frequency(in.fastest_system_core.ratio());
+        const double mhz = std::max(ladder.as_mhz() -
+                                        50.0 * cal::kPassiveUncoreStepX2,
+                                    sku.uncore_min.as_mhz());
+        d.target = d.floor = Frequency::mhz(mhz);
+        return d;
+    }
+
+    // EPB=performance drives the uncore to maximum whenever headroom
+    // exists (Table III footnote), but under power limiting the cores keep
+    // priority -- Table V shows EPB has very little impact on TDP-bound
+    // frequencies.
+    if (in.epb == msr::EpbPolicy::Performance) {
+        d.target = sku.uncore_max;
+        d.floor = std::clamp(in.fastest_local_core, sku.uncore_min, sku.uncore_max);
+        return d;
+    }
+
+    if (in.stall_fraction >= cal::kUfsStallHighWatermark) {
+        // Memory bound: drive the uncore to its maximum; hold at least the
+        // tracking point while cores are power limited.
+        d.target = sku.uncore_max;
+        d.floor = std::min(in.fastest_local_core, sku.uncore_max);
+        return d;
+    }
+
+    if (in.stall_fraction >= cal::kUfsTrackingStallThreshold) {
+        // Moderate stalls: track the fastest core 1:1 and spend remaining
+        // headroom on more uncore clock (Table IV).
+        d.floor = std::clamp(in.fastest_local_core, sku.uncore_min, sku.uncore_max);
+        d.target = sku.uncore_max;
+        return d;
+    }
+
+    // No stalls: the firmware ladder. A turbo request targets the maximum
+    // (Table III "Turbo" column) but yields to the cores under power
+    // limiting, like the EPB=performance case.
+    if (in.turbo_requested) {
+        d.target = sku.uncore_max;
+        d.floor = std::clamp(ladder_frequency(in.fastest_local_core.ratio()),
+                             sku.uncore_min, sku.uncore_max);
+        return d;
+    }
+    const Frequency ladder = ladder_frequency(in.fastest_local_core.ratio());
+    d.target = d.floor = std::clamp(ladder, sku.uncore_min, sku.uncore_max);
+    return d;
+}
+
+}  // namespace
+
+}  // namespace hsw::pcu

@@ -1,0 +1,55 @@
+#include "perfmon/counters.hpp"
+
+#include "msr/addresses.hpp"
+
+namespace hsw::perfmon {
+
+CounterReader::CounterReader(const msr::MsrFile& file, Frequency nominal)
+    : file_{&file}, nominal_{nominal} {}
+
+CounterSnapshot CounterReader::snapshot(unsigned cpu, Time now) const {
+    CounterSnapshot s;
+    s.when = now;
+    s.aperf = file_->read(cpu, msr::IA32_APERF);
+    s.mperf = file_->read(cpu, msr::IA32_MPERF);
+    s.instructions = file_->read(cpu, msr::IA32_FIXED_CTR0);
+    s.core_cycles = file_->read(cpu, msr::IA32_FIXED_CTR1);
+    s.stall_cycles = file_->read(cpu, msr::MSR_STALL_CYCLES);
+    s.uncore_cycles = file_->read(cpu, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    return s;
+}
+
+DerivedMetrics CounterReader::derive(const CounterSnapshot& begin,
+                                     const CounterSnapshot& end) const {
+    DerivedMetrics m;
+    m.wall_seconds = (end.when - begin.when).as_seconds();
+    if (m.wall_seconds <= 0.0) return m;
+
+    const auto d = [](std::uint64_t a, std::uint64_t b) {
+        return static_cast<double>(b - a);  // wraparound-safe for uint64
+    };
+    const double aperf = d(begin.aperf, end.aperf);
+    const double mperf = d(begin.mperf, end.mperf);
+    const double instr = d(begin.instructions, end.instructions);
+    const double cycles = d(begin.core_cycles, end.core_cycles);
+    const double stalls = d(begin.stall_cycles, end.stall_cycles);
+    const double uclk = d(begin.uncore_cycles, end.uncore_cycles);
+
+    // Effective frequency over the C0 share: APERF/MPERF * nominal gives
+    // the average clock while running; over a fully busy interval this
+    // equals d(APERF)/dt.
+    m.c0_residency = mperf / (nominal_.as_hz() * m.wall_seconds);
+    if (mperf > 0.0) {
+        m.effective_frequency =
+            Frequency::hz(aperf / mperf * nominal_.as_hz());
+    }
+    m.uncore_frequency = Frequency::hz(uclk / m.wall_seconds);
+    if (cycles > 0.0) {
+        m.ipc = instr / cycles;
+        m.stall_fraction = stalls / cycles;
+    }
+    m.giga_instructions_per_sec = instr / m.wall_seconds * 1e-9;
+    return m;
+}
+
+}  // namespace hsw::perfmon

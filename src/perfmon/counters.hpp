@@ -1,0 +1,55 @@
+// LIKWID-like performance counter access (Section III / V, [22]).
+//
+// Everything is read through the MSR file, exactly like likwid-perfctr:
+// APERF/MPERF for the effective frequency, the fixed counters for
+// instructions and core clocks, the U-box fixed counter for the uncore
+// clock (UNCORE_CLOCK:UBOXFIX). Derived metrics come from deltas between
+// two snapshots.
+#pragma once
+
+#include <cstdint>
+
+#include "msr/msr_file.hpp"
+#include "util/units.hpp"
+
+namespace hsw::perfmon {
+
+using util::Frequency;
+using util::Time;
+
+struct CounterSnapshot {
+    Time when;
+    std::uint64_t aperf = 0;
+    std::uint64_t mperf = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t core_cycles = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t uncore_cycles = 0;  // UBOXFIX, package scope
+};
+
+/// Metrics derived from two snapshots of the same cpu.
+struct DerivedMetrics {
+    double wall_seconds = 0.0;
+    Frequency effective_frequency;   // d(APERF)/dt while in C0
+    Frequency uncore_frequency;      // d(UBOXFIX)/dt
+    double ipc = 0.0;                // instructions / core cycle
+    double giga_instructions_per_sec = 0.0;
+    double stall_fraction = 0.0;
+    double c0_residency = 0.0;       // d(MPERF)/(nominal*dt)
+};
+
+class CounterReader {
+public:
+    CounterReader(const msr::MsrFile& file, Frequency nominal);
+
+    [[nodiscard]] CounterSnapshot snapshot(unsigned cpu, Time now) const;
+
+    [[nodiscard]] DerivedMetrics derive(const CounterSnapshot& begin,
+                                        const CounterSnapshot& end) const;
+
+private:
+    const msr::MsrFile* file_;
+    Frequency nominal_;
+};
+
+}  // namespace hsw::perfmon

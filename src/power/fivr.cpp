@@ -1,0 +1,25 @@
+#include "power/fivr.hpp"
+
+#include <cmath>
+
+namespace hsw::power {
+
+Fivr::Fivr(Voltage initial, double efficiency, double ramp_volts_per_sec)
+    : output_{initial}, efficiency_{efficiency}, ramp_volts_per_sec_{ramp_volts_per_sec} {}
+
+Time Fivr::set_voltage(Voltage v) {
+    const double delta = std::abs(v.as_volts() - output_.as_volts());
+    output_ = v;
+    return Time::from_seconds(delta / ramp_volts_per_sec_);
+}
+
+Power Fivr::input_power(Power domain_load) const {
+    if (domain_load <= Power::zero()) return Power::zero();
+    return Power::watts(domain_load.as_watts() / efficiency_);
+}
+
+Power Fivr::conversion_loss(Power domain_load) const {
+    return input_power(domain_load) - domain_load;
+}
+
+}  // namespace hsw::power

@@ -1,0 +1,48 @@
+// Fully integrated voltage regulator (Section II-B, [1]).
+//
+// Haswell moves the per-domain regulators onto the die: each core has its
+// own FIVR, which is what enables per-core p-states. A FIVR converts the
+// board VCCin (~1.8 V) down to the domain voltage at ~90 % efficiency; the
+// conversion loss appears inside the package RAPL domain, which is also why
+// Haswell RAPL can *measure* consumption at the regulator.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace hsw::power {
+
+using util::Power;
+using util::Time;
+using util::Voltage;
+
+class Fivr {
+public:
+    /// `ramp_rate` in volts/second bounds how fast the output can move
+    /// (contributes to the p-state switching time).
+    explicit Fivr(Voltage initial = Voltage::volts(0.0),
+                  double efficiency = 0.90,
+                  double ramp_volts_per_sec = 5000.0);
+
+    /// Request a new output voltage; returns the ramp time needed.
+    Time set_voltage(Voltage v);
+
+    [[nodiscard]] Voltage output_voltage() const { return output_; }
+    [[nodiscard]] double efficiency() const { return efficiency_; }
+
+    /// Input power drawn from VCCin for a given domain load.
+    [[nodiscard]] Power input_power(Power domain_load) const;
+
+    /// Conversion loss for a given domain load (dissipated on-die).
+    [[nodiscard]] Power conversion_loss(Power domain_load) const;
+
+    /// Power-gate the domain (C6): output collapses to 0 V.
+    void gate() { output_ = Voltage::volts(0.0); }
+    [[nodiscard]] bool gated() const { return output_ == Voltage::volts(0.0); }
+
+private:
+    Voltage output_;
+    double efficiency_;
+    double ramp_volts_per_sec_;
+};
+
+}  // namespace hsw::power

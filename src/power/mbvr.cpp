@@ -1,0 +1,49 @@
+#include "power/mbvr.hpp"
+
+namespace hsw::power {
+
+Mbvr::Mbvr()
+    : vccin_{Voltage::volts(1.8)},
+      vccd01_{Voltage::volts(1.2)},   // DDR4 VDD
+      vccd23_{Voltage::volts(1.2)} {}
+
+void Mbvr::svid_set_voltage(MbvrLane lane, Voltage v) {
+    switch (lane) {
+        case MbvrLane::VccIn: vccin_ = v; break;
+        case MbvrLane::Vccd01: vccd01_ = v; break;
+        case MbvrLane::Vccd23: vccd23_ = v; break;
+    }
+}
+
+Voltage Mbvr::lane_voltage(MbvrLane lane) const {
+    switch (lane) {
+        case MbvrLane::VccIn: return vccin_;
+        case MbvrLane::Vccd01: return vccd01_;
+        case MbvrLane::Vccd23: return vccd23_;
+    }
+    return vccin_;
+}
+
+void Mbvr::update_estimated_load(Power estimated) {
+    const double w = estimated.as_watts();
+    if (w > 60.0) {
+        state_ = MbvrPowerState::PS0;
+    } else if (w > 15.0) {
+        state_ = MbvrPowerState::PS1;
+    } else {
+        state_ = MbvrPowerState::PS2;
+    }
+}
+
+Power Mbvr::conversion_loss(Power delivered) const {
+    // Efficiency by power state; PS0 is tuned for heavy load.
+    double efficiency = 0.0;
+    switch (state_) {
+        case MbvrPowerState::PS0: efficiency = 0.93; break;
+        case MbvrPowerState::PS1: efficiency = 0.91; break;
+        case MbvrPowerState::PS2: efficiency = 0.88; break;
+    }
+    return Power::watts(delivered.as_watts() * (1.0 - efficiency) / efficiency);
+}
+
+}  // namespace hsw::power

@@ -1,0 +1,51 @@
+// Mainboard voltage regulator (Section II-B).
+//
+// With FIVR only three voltage lanes remain on the board: processor VCCin
+// and the two DRAM lanes VCCD_01 / VCCD_23. The processor steers VCCin via
+// serial voltage ID (SVID) commands, and the MBVR switches between three
+// power states according to the estimated current draw.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace hsw::power {
+
+using util::Power;
+using util::Voltage;
+
+enum class MbvrLane { VccIn, Vccd01, Vccd23 };
+
+enum class MbvrPowerState {
+    PS0,  // full phase count, high current
+    PS1,  // reduced phases
+    PS2,  // light load
+};
+
+class Mbvr {
+public:
+    Mbvr();
+
+    /// SVID command from the processor: set the VCCin setpoint.
+    void svid_set_voltage(MbvrLane lane, Voltage v);
+    [[nodiscard]] Voltage lane_voltage(MbvrLane lane) const;
+
+    /// The processor reports estimated power; the MBVR picks its state
+    /// ([11, Section 2.2.9]).
+    void update_estimated_load(Power estimated);
+    [[nodiscard]] MbvrPowerState power_state() const { return state_; }
+
+    /// Board-side conversion loss for a given delivered power (worse at
+    /// light load in a too-high power state).
+    [[nodiscard]] Power conversion_loss(Power delivered) const;
+
+    /// Lane count sanity: Haswell needs 3 lanes (previous products: 5).
+    static constexpr unsigned kLaneCount = 3;
+
+private:
+    Voltage vccin_;
+    Voltage vccd01_;
+    Voltage vccd23_;
+    MbvrPowerState state_ = MbvrPowerState::PS2;
+};
+
+}  // namespace hsw::power

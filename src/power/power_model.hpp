@@ -1,0 +1,38 @@
+// Package power assembly.
+//
+// Dynamic power follows P = cdyn * V^2 * f with workload-dependent cdyn
+// (utilization of execution units, decoders and data transfers, Section
+// VIII / [30]); leakage scales with V^2 and vanishes for power-gated (C6)
+// cores; DRAM power has a background plus a bandwidth-proportional part.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace hsw::power {
+
+using util::Frequency;
+using util::Power;
+using util::Voltage;
+
+struct CoreActivity {
+    /// Relative dynamic-capacitance utilization (FIRESTARTER payload = 1.0).
+    double cdyn_utilization = 0.0;
+    /// True while in C0 (leakage applies in shallow idle, not in C6).
+    bool clock_running = false;
+    /// True when the domain is power-gated (C6): no dynamic, no leakage.
+    bool power_gated = false;
+};
+
+/// Dynamic + leakage power of one core.
+[[nodiscard]] Power core_power(const CoreActivity& activity, Voltage v, Frequency f);
+
+/// Uncore (ring, L3, IMC front end) power for a traffic level in [0, 1].
+[[nodiscard]] Power uncore_power(double traffic_utilization, Voltage v, Frequency f);
+
+/// DRAM power for one socket at the given aggregate read+write bandwidth.
+[[nodiscard]] Power dram_power(util::Bandwidth bw);
+
+/// Static per-socket floor (IO, PLLs) inside the package RAPL domain.
+[[nodiscard]] Power socket_static_power();
+
+}  // namespace hsw::power

@@ -1,0 +1,38 @@
+#include "power/psu.hpp"
+
+#include <cmath>
+
+#include "arch/calibration.hpp"
+
+namespace hsw::power {
+
+namespace cal = hsw::arch::cal;
+
+NodeAcModel::NodeAcModel(arch::Generation generation) {
+    if (generation == arch::Generation::HaswellEP ||
+        generation == arch::Generation::HaswellHE) {
+        quad_ = cal::kAcQuadCoeff;
+        lin_ = cal::kAcLinCoeff;
+        constant_ = cal::kAcConstCoeff;
+    } else {
+        quad_ = cal::kSnbAcQuadCoeff;
+        lin_ = cal::kSnbAcLinCoeff;
+        constant_ = cal::kSnbAcConstCoeff;
+    }
+}
+
+Power NodeAcModel::ac_power(Power rapl_domain_power) const {
+    const double r = rapl_domain_power.as_watts();
+    return Power::watts(quad_ * r * r + lin_ * r + constant_);
+}
+
+Power NodeAcModel::rapl_power_for_ac(Power ac) const {
+    // Positive root of quad*r^2 + lin*r + (constant - ac) = 0.
+    const double c = constant_ - ac.as_watts();
+    if (quad_ == 0.0) return Power::watts(-c / lin_);
+    const double disc = lin_ * lin_ - 4.0 * quad_ * c;
+    if (disc <= 0.0) return Power::zero();
+    return Power::watts((-lin_ + std::sqrt(disc)) / (2.0 * quad_));
+}
+
+}  // namespace hsw::power

@@ -1,0 +1,33 @@
+// AC-side node model (Section III / Figure 2).
+//
+// The reference power meter measures at the wall: AC power includes the PSU
+// conversion loss (nonlinear), fans (held at maximum speed), and mainboard
+// consumers. The paper's Haswell node follows
+//   P_AC = 0.0003 * R^2 + 1.097 * R + 225.7 W        (footnote 2)
+// with R the RAPL-covered DC power (package + DRAM over both sockets).
+#pragma once
+
+#include "arch/generation.hpp"
+#include "util/units.hpp"
+
+namespace hsw::power {
+
+using util::Power;
+
+class NodeAcModel {
+public:
+    explicit NodeAcModel(arch::Generation generation);
+
+    /// Wall power for a given RAPL-domain (pkg+DRAM, all sockets) DC power.
+    [[nodiscard]] Power ac_power(Power rapl_domain_power) const;
+
+    /// Inverse: RAPL-domain power implied by an AC reading (for tests).
+    [[nodiscard]] Power rapl_power_for_ac(Power ac) const;
+
+private:
+    double quad_;
+    double lin_;
+    double constant_;
+};
+
+}  // namespace hsw::power

@@ -1,0 +1,26 @@
+#include "power/thermal.hpp"
+
+#include <cmath>
+
+namespace hsw::power {
+
+ThermalModel::ThermalModel(double resistance_k_per_w, double capacitance_j_per_k,
+                           double ambient_celsius)
+    : r_{resistance_k_per_w}, c_{capacitance_j_per_k}, ambient_{ambient_celsius},
+      temp_{ambient_celsius} {}
+
+void ThermalModel::advance(Power p, Time dt) {
+    // Exponential approach to the steady state with time constant RC.
+    const double target = steady_state_celsius(p);
+    const double tau = r_ * c_;
+    const double alpha = 1.0 - std::exp(-dt.as_seconds() / tau);
+    temp_ += (target - temp_) * alpha;
+}
+
+double ThermalModel::steady_state_celsius(Power p) const {
+    return ambient_ + r_ * p.as_watts();
+}
+
+void ThermalModel::reset(double temperature_celsius) { temp_ = temperature_celsius; }
+
+}  // namespace hsw::power

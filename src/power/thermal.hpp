@@ -1,0 +1,42 @@
+// First-order RC thermal model of a package.
+//
+// The paper attributes socket 0's lower sustained turbo to "thermal
+// reasons" (Section III); the PCU consults this model to derate the turbo
+// ceiling when the die runs hot.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace hsw::power {
+
+using util::Power;
+using util::Time;
+
+class ThermalModel {
+public:
+    /// `resistance` in K/W, `capacitance` in J/K, `ambient` in deg C.
+    ThermalModel(double resistance_k_per_w = 0.28, double capacitance_j_per_k = 180.0,
+                 double ambient_celsius = 28.0);
+
+    /// Advance the model by `dt` with constant dissipation `p`.
+    void advance(Power p, Time dt);
+
+    [[nodiscard]] double temperature_celsius() const { return temp_; }
+    [[nodiscard]] double steady_state_celsius(Power p) const;
+
+    /// Throttle temperature (PROCHOT) for Haswell-EP parts.
+    static constexpr double kTjMax = 92.0;
+
+    /// True when the PCU should shave turbo bins.
+    [[nodiscard]] bool hot() const { return temp_ > kTjMax - 5.0; }
+
+    void reset(double temperature_celsius);
+
+private:
+    double r_;
+    double c_;
+    double ambient_;
+    double temp_;
+};
+
+}  // namespace hsw::power

@@ -1,0 +1,63 @@
+#include "rapl/model.hpp"
+
+namespace hsw::rapl {
+
+namespace {
+
+// Event weights of the modeled (Sandy Bridge) estimator. These are
+// deliberately *not* a perfect inverse of the ground-truth power model:
+// the estimator assumes nominal voltage and charges flat energy per event,
+// which is exactly why its output is biased per workload class.
+constexpr double kIdleWatts = 9.0;                 // per socket
+constexpr double kJoulesPerGigaCycle = 2.6;        // core clock tree estimate
+constexpr double kJoulesPerGigaUop = 1.9;
+constexpr double kJoulesPerGigaAvxOp = 3.4;
+constexpr double kJoulesPerGB = 0.30;              // uncore/IMC events
+constexpr double kJoulesPerGigaUncoreCycle = 1.1;
+
+// Haswell measurement noise (current-sense ADC), relative one sigma.
+constexpr double kMeasurementNoise = 0.002;
+
+}  // namespace
+
+RaplEstimator::RaplEstimator(arch::RaplBackend backend, std::uint64_t noise_seed)
+    : backend_{backend}, rng_{noise_seed} {}
+
+Power RaplEstimator::package_power(Power true_power, const ActivityVector& av) {
+    switch (backend_) {
+        case arch::RaplBackend::None:
+            return Power::zero();
+        case arch::RaplBackend::Measured: {
+            const double noisy =
+                true_power.as_watts() * (1.0 + rng_.normal(0.0, kMeasurementNoise));
+            return Power::watts(noisy);
+        }
+        case arch::RaplBackend::Modeled: {
+            const double watts = kIdleWatts +
+                                 kJoulesPerGigaCycle * av.core_cycles_per_s * 1e-9 +
+                                 kJoulesPerGigaUop * av.uops_per_s * 1e-9 +
+                                 kJoulesPerGigaAvxOp * av.avx_ops_per_s * 1e-9 +
+                                 kJoulesPerGigaUncoreCycle * av.uncore_cycles_per_s * 1e-9;
+            return Power::watts(watts);
+        }
+    }
+    return Power::zero();
+}
+
+Power RaplEstimator::dram_power(Power true_power, const ActivityVector& av) {
+    switch (backend_) {
+        case arch::RaplBackend::None:
+            return Power::zero();
+        case arch::RaplBackend::Measured: {
+            const double noisy =
+                true_power.as_watts() * (1.0 + rng_.normal(0.0, kMeasurementNoise));
+            return Power::watts(noisy);
+        }
+        case arch::RaplBackend::Modeled:
+            // Event-count estimate: background guess plus per-byte energy.
+            return Power::watts(3.0 + kJoulesPerGB * av.dram_gbs);
+    }
+    return Power::zero();
+}
+
+}  // namespace hsw::rapl

@@ -1,0 +1,46 @@
+// RAPL backends (Section IV).
+//
+// Pre-Haswell RAPL *models* energy from event counts with weights that
+// ignore voltage and workload specifics -- so different workloads map to
+// different RAPL-vs-AC lines (Figure 2a). Haswell RAPL *measures* at the
+// FIVRs, so one quadratic (PSU-shaped) relation fits all workloads
+// (Figure 2b).
+#pragma once
+
+#include "arch/generation.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace hsw::rapl {
+
+using util::Power;
+
+/// Per-second machine activity rates a modeled-RAPL implementation can see
+/// through its event counters.
+struct ActivityVector {
+    double core_cycles_per_s = 0.0;  // sum over cores, unhalted
+    double uops_per_s = 0.0;
+    double avx_ops_per_s = 0.0;
+    double dram_gbs = 0.0;           // DRAM traffic
+    double uncore_cycles_per_s = 0.0;
+};
+
+class RaplEstimator {
+public:
+    RaplEstimator(arch::RaplBackend backend, std::uint64_t noise_seed);
+
+    /// Package power as RAPL would report it, given the ground truth and
+    /// the observable activity.
+    [[nodiscard]] Power package_power(Power true_power, const ActivityVector& av);
+
+    /// DRAM power as RAPL would report it.
+    [[nodiscard]] Power dram_power(Power true_power, const ActivityVector& av);
+
+    [[nodiscard]] arch::RaplBackend backend() const { return backend_; }
+
+private:
+    arch::RaplBackend backend_;
+    util::Rng rng_;
+};
+
+}  // namespace hsw::rapl

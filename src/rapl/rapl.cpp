@@ -1,0 +1,119 @@
+#include "rapl/rapl.hpp"
+
+#include <cmath>
+
+#include "arch/calibration.hpp"
+#include "msr/addresses.hpp"
+
+namespace hsw::rapl {
+
+namespace cal = hsw::arch::cal;
+
+namespace {
+// Default PKG_POWER_LIMIT: PL1 enabled at TDP is configured by firmware;
+// we start with the enable bit clear, meaning "TDP from the SKU".
+constexpr std::uint64_t kPowerLimitEnableBit = 1ULL << 15;
+constexpr double kPowerLimitUnitWatts = 0.125;  // 1/8 W per the unit MSR
+}  // namespace
+
+RaplPackage::RaplPackage(arch::Generation generation, unsigned socket_id,
+                         DramMode dram_mode, std::uint64_t noise_seed)
+    : generation_{generation},
+      dram_mode_{dram_mode},
+      estimator_{arch::traits(generation).rapl_backend,
+                 noise_seed * 7919 + socket_id},
+      mode0_rng_{noise_seed * 104729 + socket_id},
+      power_limit_raw_{0} {}
+
+void RaplPackage::integrate(Power pkg_true, Power dram_true, const ActivityVector& av,
+                            Time dt) {
+    true_pkg_ += pkg_true * dt;
+    true_dram_ += dram_true * dt;
+    reported_pkg_ += estimator_.package_power(pkg_true, av) * dt;
+    reported_dram_ += estimator_.dram_power(dram_true, av) * dt;
+}
+
+void RaplPackage::publish() {
+    pkg_raw_ = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(reported_pkg_.as_joules() / energy_unit(Domain::Package)));
+
+    if (dram_mode_ == DramMode::Mode0 &&
+        (generation_ == arch::Generation::HaswellEP ||
+         generation_ == arch::Generation::HaswellHE)) {
+        // "Using DRAM mode 0 will result in unspecified behavior": the
+        // counter advances erratically and is useless for measurement.
+        dram_raw_ += static_cast<std::uint32_t>(mode0_rng_.uniform_u64(1u << 18));
+        return;
+    }
+    dram_raw_ = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(reported_dram_.as_joules() / energy_unit(Domain::Dram)));
+}
+
+std::uint64_t RaplPackage::power_unit_msr() const {
+    // Bits 3:0 power unit = 3 (1/8 W), bits 12:8 energy status unit = 14
+    // (2^-14 J), bits 19:16 time unit = 10 (976 us).
+    return (10ULL << 16) | (14ULL << 8) | 3ULL;
+}
+
+double RaplPackage::energy_unit(Domain d) const {
+    if (d == Domain::Dram && dram_mode_ == DramMode::Mode1 &&
+        (generation_ == arch::Generation::HaswellEP ||
+         generation_ == arch::Generation::HaswellHE)) {
+        // The documented-elsewhere 15.3 uJ unit (Section IV): NOT what the
+        // generic unit register advertises.
+        return cal::kDramEnergyUnitJoules;
+    }
+    return cal::kPackageEnergyUnitJoules;
+}
+
+bool RaplPackage::has_domain(Domain d) const {
+    const auto t = arch::traits(generation_);
+    switch (d) {
+        case Domain::Package: return t.rapl_backend != arch::RaplBackend::None;
+        case Domain::Pp0: return t.has_pp0_domain;
+        case Domain::Dram: return t.has_dram_rapl_domain;
+    }
+    return false;
+}
+
+void RaplPackage::write_power_limit_msr(std::uint64_t value) { power_limit_raw_ = value; }
+
+std::optional<Power> RaplPackage::active_power_limit() const {
+    if ((power_limit_raw_ & kPowerLimitEnableBit) == 0) return std::nullopt;
+    const double watts = static_cast<double>(power_limit_raw_ & 0x7FFF) * kPowerLimitUnitWatts;
+    return Power::watts(watts);
+}
+
+void RaplPackage::attach(msr::MsrFile& file, unsigned first_cpu, unsigned last_cpu) {
+    first_cpu_ = first_cpu;
+    last_cpu_ = last_cpu;
+    // The handlers below capture `this`; the package outlives the MSR file
+    // inside Node, which owns both. Registration is scoped to this
+    // package's CPU range so each socket answers for its own cores.
+    file.register_msr_range(msr::MSR_RAPL_POWER_UNIT, first_cpu, last_cpu,
+                            [this](unsigned) { return power_unit_msr(); });
+    file.register_msr_range(msr::MSR_PKG_ENERGY_STATUS, first_cpu, last_cpu,
+                            [this](unsigned) {
+                                return static_cast<std::uint64_t>(pkg_energy_raw());
+                            });
+    if (has_domain(Domain::Dram)) {
+        file.register_msr_range(msr::MSR_DRAM_ENERGY_STATUS, first_cpu, last_cpu,
+                                [this](unsigned) {
+                                    return static_cast<std::uint64_t>(dram_energy_raw());
+                                });
+    }
+    if (has_domain(Domain::Pp0)) {
+        file.register_msr_range(
+            msr::MSR_PP0_ENERGY_STATUS, first_cpu, last_cpu, [this](unsigned) {
+                // PP0 mirrors a core share of the package on parts that have it.
+                return static_cast<std::uint64_t>(reported_pkg_.as_joules() * 0.7 /
+                                                  energy_unit(Domain::Package));
+            });
+    }
+    file.register_msr_range(
+        msr::MSR_PKG_POWER_LIMIT, first_cpu, last_cpu,
+        [this](unsigned) { return power_limit_msr(); },
+        [this](unsigned, std::uint64_t v) { write_power_limit_msr(v); });
+}
+
+}  // namespace hsw::rapl

@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace hsw::sim {
+
+EventId Simulator::schedule_at(Time t, Callback cb) {
+    if (t < now_) throw std::invalid_argument{"Simulator::schedule_at: time in the past"};
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(Event{t, seq, std::move(cb)});
+    return EventId{seq};
+}
+
+bool Simulator::cancel(EventId id) {
+    if (!id.valid()) return false;
+    // Lazy cancellation: remember the seq; the event is dropped when popped.
+    return cancelled_.insert(id.seq).second;
+}
+
+std::uint64_t Simulator::schedule_periodic(Time start, Time period,
+                                           std::function<void(Time)> cb) {
+    const std::uint64_t pid = next_periodic_++;
+    auto shared = std::make_shared<std::function<void(Time)>>(std::move(cb));
+    reschedule_periodic(pid, start, period, shared);
+    return pid;
+}
+
+void Simulator::cancel_periodic(std::uint64_t periodic_id) {
+    dead_periodics_.insert(periodic_id);
+}
+
+void Simulator::reschedule_periodic(std::uint64_t pid, Time next, Time period,
+                                    std::shared_ptr<std::function<void(Time)>> cb) {
+    schedule_at(next, [this, pid, next, period, cb] {
+        if (dead_periodics_.contains(pid)) {
+            dead_periodics_.erase(pid);
+            return;
+        }
+        (*cb)(next);
+        reschedule_periodic(pid, next + period, period, cb);
+    });
+}
+
+bool Simulator::step() {
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (cancelled_.erase(ev.seq) > 0) continue;  // skip cancelled
+        assert(ev.when >= now_);
+        now_ = ev.when;
+        ++processed_;
+        ev.cb();
+        return true;
+    }
+    return false;
+}
+
+void Simulator::run_until(Time t) {
+    while (!queue_.empty() && queue_.top().when <= t) {
+        if (!step()) break;
+    }
+    if (now_ < t) now_ = t;
+}
+
+void Simulator::run_all() {
+    while (step()) {
+    }
+}
+
+std::size_t Simulator::pending_events() const {
+    // cancelled_ entries still sit in the queue until popped.
+    return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
+}
+
+}  // namespace hsw::sim

@@ -1,0 +1,43 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace hsw::sim {
+
+void Trace::record(util::Time when, std::string_view category, std::string_view subject,
+                   std::string_view detail, double value) {
+    if (!enabled_) return;
+    records_.push_back(TraceRecord{when, std::string{category}, std::string{subject},
+                                   std::string{detail}, value});
+}
+
+std::vector<TraceRecord> Trace::filter(std::string_view category) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+        if (r.category == category) out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<TraceRecord> Trace::filter(std::string_view category,
+                                       std::string_view subject) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+        if (r.category == category && r.subject == subject) out.push_back(r);
+    }
+    return out;
+}
+
+std::string Trace::render() const {
+    std::string out;
+    char buf[256];
+    for (const auto& r : records_) {
+        std::snprintf(buf, sizeof buf, "[%12.3f us] %-8s %-16s %s (%.3f)\n",
+                      r.when.as_us(), r.category.c_str(), r.subject.c_str(),
+                      r.detail.c_str(), r.value);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace hsw::sim

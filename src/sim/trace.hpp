@@ -1,0 +1,52 @@
+// Timeline trace recorder.
+//
+// Components emit (time, category, subject, value) records; the Figure 4
+// bench uses this to show the request -> opportunity -> complete sequence of
+// p-state changes, and tests use it to assert event ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hsw::sim {
+
+struct TraceRecord {
+    util::Time when;
+    std::string category;  // e.g. "pstate", "cstate", "rapl"
+    std::string subject;   // e.g. "socket0.core3"
+    std::string detail;    // free-form, e.g. "request 12->13"
+    double value = 0.0;
+};
+
+class Trace {
+public:
+    void enable(bool on = true) { enabled_ = on; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    void record(util::Time when, std::string_view category, std::string_view subject,
+                std::string_view detail, double value = 0.0);
+
+    [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+
+    /// All records of one category, in time order.
+    [[nodiscard]] std::vector<TraceRecord> filter(std::string_view category) const;
+
+    /// All records of one category and subject.
+    [[nodiscard]] std::vector<TraceRecord> filter(std::string_view category,
+                                                  std::string_view subject) const;
+
+    void clear() { records_.clear(); }
+
+    /// Render as a readable timeline ("[  123.456 us] pstate socket0.core3 ...").
+    [[nodiscard]] std::string render() const;
+
+private:
+    bool enabled_ = false;
+    std::vector<TraceRecord> records_;
+};
+
+}  // namespace hsw::sim

@@ -1,0 +1,73 @@
+#include "sim/trace_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace hsw::sim {
+
+namespace {
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Trace& trace, const std::string& process_name) {
+    std::string out = "{\"traceEvents\":[";
+    char buf[512];
+    bool first = true;
+
+    auto append = [&](const std::string& event) {
+        if (!first) out += ',';
+        first = false;
+        out += event;
+    };
+
+    // Process metadata.
+    std::snprintf(buf, sizeof buf,
+                  R"({"name":"process_name","ph":"M","pid":1,"args":{"name":"%s"}})",
+                  escape(process_name).c_str());
+    append(buf);
+
+    for (const auto& r : trace.records()) {
+        // Instant event on the subject's "thread" row.
+        std::snprintf(buf, sizeof buf,
+                      R"({"name":"%s","cat":"%s","ph":"i","ts":%.3f,"pid":1,)"
+                      R"("tid":"%s","s":"t","args":{"value":%g}})",
+                      escape(r.detail).c_str(), escape(r.category).c_str(),
+                      r.when.as_us(), escape(r.subject).c_str(), r.value);
+        append(buf);
+        // Counter series for valued records (renders as a graph).
+        if (r.value != 0.0) {
+            std::snprintf(buf, sizeof buf,
+                          R"({"name":"%s.%s","ph":"C","ts":%.3f,"pid":1,)"
+                          R"("args":{"value":%g}})",
+                          escape(r.subject).c_str(), escape(r.category).c_str(),
+                          r.when.as_us(), r.value);
+            append(buf);
+        }
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+void write_chrome_trace(const Trace& trace, const std::string& path,
+                        const std::string& process_name) {
+    std::ofstream out{path};
+    if (!out) throw std::runtime_error{"write_chrome_trace: cannot open " + path};
+    out << to_chrome_trace_json(trace, process_name);
+}
+
+}  // namespace hsw::sim

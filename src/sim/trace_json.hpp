@@ -1,0 +1,23 @@
+// Chrome trace-event export (chrome://tracing / Perfetto "traceEvents"
+// JSON). Each trace record becomes an instant event; frequency-valued
+// records additionally emit counter events so p-state/uncore timelines
+// render as graphs.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace hsw::sim {
+
+/// Serialize to the Trace Event Format. `process_name` labels the pid row.
+[[nodiscard]] std::string to_chrome_trace_json(const Trace& trace,
+                                               const std::string& process_name =
+                                                   "haswell-survey");
+
+/// Convenience: write the JSON to a file; throws std::runtime_error on
+/// failure.
+void write_chrome_trace(const Trace& trace, const std::string& path,
+                        const std::string& process_name = "haswell-survey");
+
+}  // namespace hsw::sim

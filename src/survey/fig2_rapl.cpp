@@ -1,0 +1,45 @@
+#include "survey/fig2_rapl.hpp"
+
+#include "arch/sku.hpp"
+#include "util/table.hpp"
+
+namespace hsw::survey {
+
+std::string RaplAccuracyResult::render() const {
+    const auto traits = arch::traits(generation);
+    util::Table t{std::string{"Figure 2 data: RAPL (pkg+DRAM, both sockets) vs AC -- "} +
+                  std::string{traits.name}};
+    t.set_header({"workload", "cores/socket", "thr/core", "AC (W)", "RAPL (W)"});
+    for (const auto& p : report.points) {
+        t.add_row({p.workload, std::to_string(p.active_cores_per_socket),
+                   std::to_string(p.threads_per_core), util::Table::fmt(p.ac_watts, 1),
+                   util::Table::fmt(p.rapl_watts, 1)});
+    }
+    std::string out = t.render();
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "linear fit   : RAPL = %.4f * AC %+.1f   (R^2 = %.5f)\n"
+                  "quadratic fit: a=%.6f b=%.4f c=%.1f     (R^2 = %.5f)\n"
+                  "per-workload slope spread: %.1f %%  (%s backend)\n",
+                  report.linear.slope, report.linear.intercept, report.linear.r_squared,
+                  report.quadratic.a, report.quadratic.b, report.quadratic.c,
+                  report.quadratic.r_squared, report.slope_spread * 100.0,
+                  traits.rapl_backend == arch::RaplBackend::Measured ? "measured"
+                                                                     : "modeled");
+    out += buf;
+    return out;
+}
+
+RaplAccuracyResult fig2_run(arch::Generation generation, util::Time window,
+                            std::uint64_t seed) {
+    core::NodeConfig cfg;
+    cfg.seed = seed;
+    cfg.sku = generation == arch::Generation::SandyBridgeEP ? &arch::xeon_e5_2670()
+                                                            : &arch::xeon_e5_2680_v3();
+    core::Node node{cfg};
+    tools::RaplValidator validator{node};
+    RaplAccuracyResult result{generation, validator.run_suite(window)};
+    return result;
+}
+
+}  // namespace hsw::survey

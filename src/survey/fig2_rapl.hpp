@@ -1,0 +1,25 @@
+// Figure 2: RAPL vs AC reference power, Sandy Bridge-EP (modeled RAPL,
+// per-workload bias) vs Haswell-EP (measured RAPL, single quadratic).
+#pragma once
+
+#include <string>
+
+#include "arch/generation.hpp"
+#include "tools/rapl_validate.hpp"
+#include "util/units.hpp"
+
+namespace hsw::survey {
+
+struct RaplAccuracyResult {
+    arch::Generation generation;
+    tools::RaplValidationReport report;
+
+    [[nodiscard]] std::string render() const;
+};
+
+/// Run the Fig. 2 suite on a freshly built node of the given generation.
+[[nodiscard]] RaplAccuracyResult fig2_run(arch::Generation generation,
+                                          util::Time window = util::Time::sec(4),
+                                          std::uint64_t seed = 0xC0FFEE);
+
+}  // namespace hsw::survey

@@ -1,0 +1,58 @@
+#include "survey/fig3_pstate.hpp"
+
+#include "core/node.hpp"
+
+namespace hsw::survey {
+
+util::Histogram PstateLatencyResult::histogram(std::size_t idx, std::size_t bins) const {
+    util::Histogram h{0.0, 560.0, bins};
+    h.add_all(series.at(idx).result.latencies_us);
+    return h;
+}
+
+std::string PstateLatencyResult::render(std::size_t bins) const {
+    std::string out;
+    char buf[256];
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const auto& s = series[i];
+        std::snprintf(buf, sizeof buf,
+                      "--- %s: n=%zu min=%.1f us median=%.1f us max=%.1f us "
+                      "(99%% CI +-%.1f us)\n",
+                      s.label.c_str(), s.result.latencies_us.size(), s.result.min(),
+                      s.result.median(), s.result.max(), s.result.ci99());
+        out += buf;
+        out += histogram(i, bins).render(46);
+    }
+    return out;
+}
+
+PstateLatencyResult fig3(const PstateLatencyConfig& cfg) {
+    core::NodeConfig node_cfg;
+    node_cfg.seed = cfg.seed;
+    core::Node node{node_cfg};
+    tools::Ftalat ftalat{node};
+
+    auto run = [&](tools::DelayMode mode, util::Time fixed, std::string label) {
+        tools::FtalatConfig fc;
+        fc.cpu = 0;
+        fc.from_ratio = 12;  // 1.2 GHz
+        fc.to_ratio = 13;    // 1.3 GHz
+        fc.delay_mode = mode;
+        fc.fixed_delay = fixed;
+        fc.samples = cfg.samples;
+        return PstateLatencySeries{std::move(label), ftalat.measure(fc)};
+    };
+
+    PstateLatencyResult result;
+    result.series.push_back(
+        run(tools::DelayMode::Random, util::Time::zero(), "random request times"));
+    result.series.push_back(run(tools::DelayMode::Immediate, util::Time::zero(),
+                                "immediately after last change"));
+    result.series.push_back(
+        run(tools::DelayMode::Fixed, util::Time::us(400), "400 us after last change"));
+    result.series.push_back(
+        run(tools::DelayMode::Fixed, util::Time::us(500), "500 us after last change"));
+    return result;
+}
+
+}  // namespace hsw::survey

@@ -1,0 +1,32 @@
+// Figure 3: histogram of p-state transition latencies (1.2 <-> 1.3 GHz)
+// under four request-timing regimes: random, immediately after the last
+// change, 400 us after, and ~500 us after (the racy case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/ftalat.hpp"
+#include "util/histogram.hpp"
+
+namespace hsw::survey {
+
+struct PstateLatencySeries {
+    std::string label;
+    tools::FtalatResult result;
+};
+
+struct PstateLatencyResult {
+    std::vector<PstateLatencySeries> series;
+    [[nodiscard]] std::string render(std::size_t bins = 28) const;
+    [[nodiscard]] util::Histogram histogram(std::size_t idx, std::size_t bins = 28) const;
+};
+
+struct PstateLatencyConfig {
+    unsigned samples = 1000;
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+[[nodiscard]] PstateLatencyResult fig3(const PstateLatencyConfig& cfg = {});
+
+}  // namespace hsw::survey

@@ -1,0 +1,81 @@
+#include "survey/fig4_opportunity.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/node.hpp"
+#include "tools/ftalat.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::survey {
+
+std::string OpportunityResult::render() const {
+    std::string out = "Figure 4: p-state change mechanism (request -> opportunity -> "
+                      "complete)\n\n";
+    out += timeline;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "\nobserved opportunity period : %.1f us (paper: ~500 us)\n"
+                  "same-socket completion delta: %.1f us (cores switch together)\n"
+                  "cross-socket completion delta: %.1f us (sockets independent)\n",
+                  observed_period_us, same_socket_delta_us, cross_socket_delta_us);
+    out += buf;
+    return out;
+}
+
+OpportunityResult fig4(std::uint64_t seed) {
+    OpportunityResult result;
+
+    // --- timeline of one request cycle, with tracing on ---
+    {
+        core::NodeConfig cfg;
+        cfg.seed = seed;
+        cfg.trace_enabled = true;
+        core::Node node{cfg};
+        node.set_workload(0, &workloads::while_one(), 1);
+        node.set_pstate(0, util::Frequency::from_ratio(12));
+        node.run_for(util::Time::ms(3));
+        node.trace().clear();
+        node.set_pstate(0, util::Frequency::from_ratio(13));
+        node.run_for(util::Time::ms(2));
+
+        // Keep only the interesting categories.
+        std::string timeline;
+        for (const auto& rec : node.trace().records()) {
+            if (rec.category == "pstate" || rec.category == "pcu") {
+                char line[256];
+                std::snprintf(line, sizeof line, "[%10.1f us] %-6s %-10s %s\n",
+                              rec.when.as_us(), rec.category.c_str(),
+                              rec.subject.c_str(), rec.detail.c_str());
+                timeline += line;
+            }
+        }
+        result.timeline = timeline;
+
+        // Measure the grid period from consecutive socket-0 opportunities.
+        const auto opps = node.trace().filter("pcu", "socket0");
+        if (opps.size() >= 3) {
+            double sum = 0.0;
+            for (std::size_t i = 1; i < opps.size(); ++i) {
+                sum += (opps[i].when - opps[i - 1].when).as_us();
+            }
+            result.observed_period_us = sum / static_cast<double>(opps.size() - 1);
+        }
+    }
+
+    // --- simultaneity: same socket vs different sockets ---
+    {
+        core::NodeConfig cfg;
+        cfg.seed = seed + 1;
+        core::Node node{cfg};
+        tools::Ftalat ftalat{node};
+        const auto same = ftalat.measure_pair(node.cpu_id(0, 0), node.cpu_id(0, 3), 12, 13);
+        result.same_socket_delta_us = std::abs((same.change_a - same.change_b).as_us());
+        const auto cross = ftalat.measure_pair(node.cpu_id(0, 0), node.cpu_id(1, 0), 12, 13);
+        result.cross_socket_delta_us = std::abs((cross.change_a - cross.change_b).as_us());
+    }
+
+    return result;
+}
+
+}  // namespace hsw::survey

@@ -1,0 +1,24 @@
+// Figure 4: the presumed p-state change mechanism -- requests latch until
+// the next ~500 us PCU opportunity; cores on the same socket switch
+// together, sockets switch independently. Produces an annotated timeline
+// trace and the simultaneity measurements.
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace hsw::survey {
+
+struct OpportunityResult {
+    std::string timeline;             // rendered trace of one request cycle
+    double same_socket_delta_us = 0;  // |t_a - t_b| for cores on one socket
+    double cross_socket_delta_us = 0; // |t_a - t_b| across sockets
+    double observed_period_us = 0;    // measured opportunity grid period
+
+    [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] OpportunityResult fig4(std::uint64_t seed = 0xC0FFEE);
+
+}  // namespace hsw::survey

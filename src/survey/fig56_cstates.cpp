@@ -1,0 +1,79 @@
+#include "survey/fig56_cstates.hpp"
+
+#include <stdexcept>
+
+#include "arch/sku.hpp"
+#include "core/node.hpp"
+#include "tools/cstate_probe.hpp"
+#include "util/table.hpp"
+
+namespace hsw::survey {
+
+std::string CstateLatencyResult::render() const {
+    util::Table t{std::string{"Figure "} + (state == cstates::CState::C3 ? "5" : "6") +
+                  " data: " + std::string{cstates::name(state)} +
+                  " wake-up latencies (us) vs core frequency"};
+    t.set_header({"generation", "scenario", "frequency [GHz]", "latency [us]", "stddev"});
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            t.add_row({std::string{arch::traits(s.generation).name},
+                       std::string{cstates::name(s.scenario)},
+                       util::Table::fmt(p.freq_ghz, 1), util::Table::fmt(p.latency_us, 2),
+                       util::Table::fmt(p.stddev_us, 2)});
+        }
+        t.add_separator();
+    }
+    return t.render();
+}
+
+const CstateLatencySeries& CstateLatencyResult::find(arch::Generation g,
+                                                     cstates::WakeScenario s) const {
+    for (const auto& ser : series) {
+        if (ser.generation == g && ser.scenario == s) return ser;
+    }
+    throw std::out_of_range{"no such series"};
+}
+
+CstateLatencyResult fig56(cstates::CState state, const CstateSweepConfig& cfg) {
+    CstateLatencyResult result;
+    result.state = state;
+
+    const arch::Generation generations[] = {arch::Generation::HaswellEP,
+                                            arch::Generation::SandyBridgeEP};
+    const cstates::WakeScenario scenarios[] = {cstates::WakeScenario::Local,
+                                               cstates::WakeScenario::RemoteActive,
+                                               cstates::WakeScenario::RemoteIdle};
+
+    for (arch::Generation gen : generations) {
+        core::NodeConfig node_cfg;
+        node_cfg.seed = cfg.seed;
+        node_cfg.sku = gen == arch::Generation::SandyBridgeEP ? &arch::xeon_e5_2670()
+                                                              : &arch::xeon_e5_2680_v3();
+        core::Node node{node_cfg};
+        tools::CstateProbe probe{node};
+
+        for (cstates::WakeScenario scenario : scenarios) {
+            CstateLatencySeries series;
+            series.generation = gen;
+            series.state = state;
+            series.scenario = scenario;
+
+            const unsigned min_r = node.sku().min_frequency.ratio();
+            const unsigned max_r = node.sku().nominal_frequency.ratio();
+            for (unsigned r = min_r; r <= max_r; ++r) {
+                tools::CstateProbeConfig pc;
+                pc.state = state;
+                pc.scenario = scenario;
+                pc.core_frequency = util::Frequency::from_ratio(r);
+                pc.samples = cfg.samples_per_point;
+                const auto pr = probe.measure(pc);
+                series.points.push_back(CstateLatencyPoint{
+                    pc.core_frequency.as_ghz(), pr.mean(), pr.stddev()});
+            }
+            result.series.push_back(std::move(series));
+        }
+    }
+    return result;
+}
+
+}  // namespace hsw::survey

@@ -1,0 +1,46 @@
+// Figures 5/6: C3 and C6 wake-up latencies vs core frequency for the three
+// scenarios (local / remote-active / remote-idle aka package state), on
+// Haswell-EP with the Sandy Bridge-EP comparison series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/generation.hpp"
+#include "cstates/cstate.hpp"
+#include "cstates/wake_latency.hpp"
+#include "util/units.hpp"
+
+namespace hsw::survey {
+
+struct CstateLatencyPoint {
+    double freq_ghz = 0.0;
+    double latency_us = 0.0;   // mean over probe samples
+    double stddev_us = 0.0;
+};
+
+struct CstateLatencySeries {
+    arch::Generation generation;
+    cstates::CState state;
+    cstates::WakeScenario scenario;
+    std::vector<CstateLatencyPoint> points;
+};
+
+struct CstateLatencyResult {
+    cstates::CState state;  // C3 for Fig. 5, C6 for Fig. 6
+    std::vector<CstateLatencySeries> series;
+    [[nodiscard]] std::string render() const;
+    [[nodiscard]] const CstateLatencySeries& find(arch::Generation g,
+                                                  cstates::WakeScenario s) const;
+};
+
+struct CstateSweepConfig {
+    unsigned samples_per_point = 40;
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+/// Fig. 5 (state = C3) or Fig. 6 (state = C6).
+[[nodiscard]] CstateLatencyResult fig56(cstates::CState state,
+                                        const CstateSweepConfig& cfg = {});
+
+}  // namespace hsw::survey

@@ -1,0 +1,21 @@
+#include "survey/fig56_csv.hpp"
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace hsw::survey {
+
+void dump_fig56_csv(const CstateLatencyResult& result, const std::string& path) {
+    util::CsvWriter csv{path};
+    csv.write_header({"generation", "scenario", "freq_ghz", "latency_us", "stddev_us"});
+    for (const auto& s : result.series) {
+        for (const auto& p : s.points) {
+            csv.write_row(std::vector<std::string>{
+                std::string{arch::traits(s.generation).name},
+                std::string{cstates::name(s.scenario)}, util::Table::fmt(p.freq_ghz, 1),
+                util::Table::fmt(p.latency_us, 3), util::Table::fmt(p.stddev_us, 3)});
+        }
+    }
+}
+
+}  // namespace hsw::survey

@@ -1,0 +1,12 @@
+// CSV export helpers for the Figure 5/6 latency series.
+#pragma once
+
+#include <string>
+
+#include "survey/fig56_cstates.hpp"
+
+namespace hsw::survey {
+
+void dump_fig56_csv(const CstateLatencyResult& result, const std::string& path);
+
+}  // namespace hsw::survey

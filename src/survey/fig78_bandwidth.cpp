@@ -1,0 +1,140 @@
+#include "survey/fig78_bandwidth.hpp"
+
+#include <stdexcept>
+
+#include "arch/sku.hpp"
+#include "core/node.hpp"
+#include "util/table.hpp"
+
+namespace hsw::survey {
+
+namespace {
+
+const arch::Sku* sku_for(arch::Generation g) {
+    switch (g) {
+        case arch::Generation::WestmereEP: return &arch::xeon_x5670();
+        case arch::Generation::SandyBridgeEP: return &arch::xeon_e5_2670();
+        default: return &arch::xeon_e5_2680_v3();
+    }
+}
+
+}  // namespace
+
+std::string Fig7Result::render() const {
+    util::Table t{
+        "Figure 7 data: relative L3 / DRAM read bandwidth at max concurrency\n"
+        "(normalized to the bandwidth at base frequency)"};
+    t.set_header({"generation", "set [GHz]", "L3 rel.", "DRAM rel."});
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            t.add_row({std::string{arch::traits(s.generation).name},
+                       util::Table::fmt(p.set_ghz, 2), util::Table::fmt(p.relative_l3, 3),
+                       util::Table::fmt(p.relative_dram, 3)});
+        }
+        t.add_separator();
+    }
+    return t.render();
+}
+
+const RelativeBandwidthSeries& Fig7Result::find(arch::Generation g) const {
+    for (const auto& s : series) {
+        if (s.generation == g) return s;
+    }
+    throw std::out_of_range{"no such generation series"};
+}
+
+Fig7Result fig7(std::uint64_t seed) {
+    Fig7Result result;
+    const arch::Generation gens[] = {arch::Generation::WestmereEP,
+                                     arch::Generation::SandyBridgeEP,
+                                     arch::Generation::HaswellEP};
+    for (arch::Generation g : gens) {
+        core::NodeConfig cfg;
+        cfg.seed = seed;
+        cfg.sku = sku_for(g);
+        core::Node node{cfg};
+        tools::Membench bench{node, 1};
+
+        const unsigned cores = node.cores_per_socket();
+        RelativeBandwidthSeries series;
+        series.generation = g;
+
+        // Baseline at nominal frequency, maximum thread concurrency.
+        const auto base =
+            bench.measure(cores, 2, node.sku().nominal_frequency);
+
+        for (unsigned r = node.sku().min_frequency.ratio();
+             r <= node.sku().nominal_frequency.ratio(); ++r) {
+            const auto p = bench.measure(cores, 2, util::Frequency::from_ratio(r));
+            series.points.push_back(RelativeBandwidthPoint{
+                p.set_ghz,
+                base.l3_gbs > 0 ? p.l3_gbs / base.l3_gbs : 0.0,
+                base.dram_gbs > 0 ? p.dram_gbs / base.dram_gbs : 0.0});
+        }
+        result.series.push_back(std::move(series));
+    }
+    return result;
+}
+
+std::string Fig8Result::render() const {
+    std::string out;
+    auto grid = [&](const std::vector<std::vector<double>>& g, const char* title) {
+        util::Table t{title};
+        std::vector<std::string> header{"threads \\ set GHz"};
+        for (double f : set_ghz) {
+            header.push_back(f == 0.0 ? "Turbo" : util::Table::fmt(f, 1));
+        }
+        t.set_header(std::move(header));
+        for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+            std::vector<std::string> row{std::to_string(threads[ti])};
+            for (std::size_t fi = 0; fi < set_ghz.size(); ++fi) {
+                row.push_back(util::Table::fmt(g[ti][fi], 1));
+            }
+            t.add_row(std::move(row));
+        }
+        out += t.render();
+        out += "\n";
+    };
+    grid(l3_gbs, "Figure 8 data: L3 read bandwidth (GB/s), threads x frequency");
+    grid(dram_gbs, "Figure 8 data: DRAM read bandwidth (GB/s), threads x frequency");
+    return out;
+}
+
+Fig8Result fig8(std::uint64_t seed) {
+    core::NodeConfig cfg;
+    cfg.seed = seed;
+    core::Node node{cfg};
+    tools::Membench bench{node, 1};
+
+    Fig8Result result;
+    const unsigned nominal = node.sku().nominal_frequency.ratio();
+    for (unsigned r = node.sku().min_frequency.ratio(); r <= nominal; ++r) {
+        result.set_ghz.push_back(util::Frequency::from_ratio(r).as_ghz());
+    }
+    result.set_ghz.push_back(0.0);  // turbo request, rendered as "Turbo"
+
+    const unsigned cores = node.cores_per_socket();
+    for (unsigned t = 1; t <= 2 * cores; ++t) result.threads.push_back(t);
+
+    for (unsigned t : result.threads) {
+        // Threads fill physical cores first, then second hardware threads,
+        // as the paper's pinning does.
+        const unsigned used_cores = std::min(t, cores);
+        const unsigned threads_per_core = t > cores ? 2 : 1;
+        std::vector<double> l3_row;
+        std::vector<double> dram_row;
+        for (double f : result.set_ghz) {
+            const util::Frequency setting =
+                f == 0.0 ? util::Frequency::from_ratio(nominal + 1)
+                         : util::Frequency::ghz(f);
+            const auto p = bench.measure(used_cores, threads_per_core, setting);
+            l3_row.push_back(p.l3_gbs);
+            dram_row.push_back(p.dram_gbs);
+        }
+        result.l3_gbs.push_back(std::move(l3_row));
+        result.dram_gbs.push_back(std::move(dram_row));
+    }
+    return result;
+}
+
+}  // namespace hsw::survey

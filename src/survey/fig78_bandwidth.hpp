@@ -1,0 +1,57 @@
+// Figure 7: relative L3 / DRAM read bandwidth at maximum concurrency vs
+// core frequency, normalized to base frequency, across generations
+// (Westmere-EP / Sandy Bridge-EP / Haswell-EP).
+// Figure 8: absolute L3 and DRAM read bandwidth over the full
+// (concurrency x frequency) grid on Haswell-EP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/generation.hpp"
+#include "tools/membench.hpp"
+#include "util/units.hpp"
+
+namespace hsw::survey {
+
+// --- Figure 7 ---
+
+struct RelativeBandwidthPoint {
+    double set_ghz = 0.0;
+    double relative_l3 = 0.0;    // normalized to base frequency
+    double relative_dram = 0.0;
+};
+
+struct RelativeBandwidthSeries {
+    arch::Generation generation;
+    std::vector<RelativeBandwidthPoint> points;
+};
+
+struct Fig7Result {
+    std::vector<RelativeBandwidthSeries> series;
+    [[nodiscard]] std::string render() const;
+    [[nodiscard]] const RelativeBandwidthSeries& find(arch::Generation g) const;
+};
+
+[[nodiscard]] Fig7Result fig7(std::uint64_t seed = 0xC0FFEE);
+
+// --- Figure 8 ---
+
+struct Fig8Result {
+    std::vector<double> set_ghz;            // frequency axis (ascending, turbo last)
+    std::vector<unsigned> threads;          // concurrency axis (1..2*cores)
+    // grids indexed [thread_idx][freq_idx]
+    std::vector<std::vector<double>> l3_gbs;
+    std::vector<std::vector<double>> dram_gbs;
+    [[nodiscard]] std::string render() const;
+    [[nodiscard]] double at_l3(unsigned thread_idx, unsigned freq_idx) const {
+        return l3_gbs.at(thread_idx).at(freq_idx);
+    }
+    [[nodiscard]] double at_dram(unsigned thread_idx, unsigned freq_idx) const {
+        return dram_gbs.at(thread_idx).at(freq_idx);
+    }
+};
+
+[[nodiscard]] Fig8Result fig8(std::uint64_t seed = 0xC0FFEE);
+
+}  // namespace hsw::survey

@@ -1,0 +1,69 @@
+#include "survey/table1_microarch.hpp"
+
+#include "util/table.hpp"
+
+namespace hsw::survey {
+
+double MicroarchComparison::flops_ratio() const {
+    return static_cast<double>(hsw->flops_per_cycle_double) /
+           static_cast<double>(snb->flops_per_cycle_double);
+}
+
+double MicroarchComparison::l1_bandwidth_ratio() const {
+    return static_cast<double>(hsw->l1d_load_bytes_per_cycle +
+                               hsw->l1d_store_bytes_per_cycle) /
+           static_cast<double>(snb->l1d_load_bytes_per_cycle +
+                               snb->l1d_store_bytes_per_cycle);
+}
+
+double MicroarchComparison::l2_bandwidth_ratio() const {
+    return static_cast<double>(hsw->l2_bytes_per_cycle) /
+           static_cast<double>(snb->l2_bytes_per_cycle);
+}
+
+double MicroarchComparison::dram_bandwidth_ratio() const {
+    return hsw->dram_bandwidth_gbs / snb->dram_bandwidth_gbs;
+}
+
+std::string MicroarchComparison::render() const {
+    util::Table t{"Table I: Comparison of Sandy Bridge and Haswell microarchitecture"};
+    t.set_header({"Microarchitecture", std::string{snb->name}, std::string{hsw->name}});
+    auto u = [](unsigned v) { return std::to_string(v); };
+    t.add_row({"Decode (x86/cycle)", u(snb->decode_per_cycle), u(hsw->decode_per_cycle)});
+    t.add_row({"Allocation queue",
+               u(snb->allocation_queue) + (snb->allocation_queue_per_thread ? "/thread" : ""),
+               u(hsw->allocation_queue) + (hsw->allocation_queue_per_thread ? "/thread" : "")});
+    t.add_row({"Execute (uops/cycle)", u(snb->execute_uops_per_cycle),
+               u(hsw->execute_uops_per_cycle)});
+    t.add_row({"Retire (uops/cycle)", u(snb->retire_uops_per_cycle),
+               u(hsw->retire_uops_per_cycle)});
+    t.add_row({"Scheduler entries", u(snb->scheduler_entries), u(hsw->scheduler_entries)});
+    t.add_row({"ROB entries", u(snb->rob_entries), u(hsw->rob_entries)});
+    t.add_row({"INT/FP register file",
+               u(snb->int_register_file) + "/" + u(snb->fp_register_file),
+               u(hsw->int_register_file) + "/" + u(hsw->fp_register_file)});
+    t.add_row({"SIMD ISA", std::string{snb->simd_isa}, std::string{hsw->simd_isa}});
+    t.add_row({"FPU width", snb->has_fma ? "2x256 bit FMA" : "2x256 bit (1 add, 1 mul)",
+               hsw->has_fma ? "2x256 bit FMA" : "2x256 bit (1 add, 1 mul)"});
+    t.add_row({"FLOPS/cycle (double)", u(snb->flops_per_cycle_double),
+               u(hsw->flops_per_cycle_double)});
+    t.add_row({"Load/store buffers", u(snb->load_buffers) + "/" + u(snb->store_buffers),
+               u(hsw->load_buffers) + "/" + u(hsw->store_buffers)});
+    t.add_row({"L1D load+store (B/cycle)",
+               u(snb->l1d_load_bytes_per_cycle) + "+" + u(snb->l1d_store_bytes_per_cycle),
+               u(hsw->l1d_load_bytes_per_cycle) + "+" + u(hsw->l1d_store_bytes_per_cycle)});
+    t.add_row({"L2 bytes/cycle", u(snb->l2_bytes_per_cycle), u(hsw->l2_bytes_per_cycle)});
+    t.add_row({"Supported memory", std::string{snb->supported_memory},
+               std::string{hsw->supported_memory}});
+    t.add_row({"DRAM bandwidth (GB/s)", util::Table::fmt(snb->dram_bandwidth_gbs, 1),
+               util::Table::fmt(hsw->dram_bandwidth_gbs, 1)});
+    t.add_row({"QPI speed (GT/s)", util::Table::fmt(snb->qpi_speed_gts, 1),
+               util::Table::fmt(hsw->qpi_speed_gts, 1)});
+    return t.render();
+}
+
+MicroarchComparison table1() {
+    return MicroarchComparison{&arch::sandy_bridge_ep_params(), &arch::haswell_ep_params()};
+}
+
+}  // namespace hsw::survey

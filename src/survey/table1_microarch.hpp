@@ -1,0 +1,29 @@
+// Table I: Sandy Bridge-EP vs Haswell-EP microarchitecture comparison.
+//
+// Renders the parameter database side by side and cross-checks the derived
+// quantities the rest of the simulator relies on (peak FLOPS/cycle, L1/L2
+// bandwidth doubling, DRAM peak).
+#pragma once
+
+#include <string>
+
+#include "arch/microarch.hpp"
+
+namespace hsw::survey {
+
+struct MicroarchComparison {
+    const arch::MicroarchParams* snb;
+    const arch::MicroarchParams* hsw;
+
+    /// Derived checks (Table I's punchlines).
+    [[nodiscard]] double flops_ratio() const;        // 2x from FMA
+    [[nodiscard]] double l1_bandwidth_ratio() const; // 2x
+    [[nodiscard]] double l2_bandwidth_ratio() const; // 2x
+    [[nodiscard]] double dram_bandwidth_ratio() const;
+
+    [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] MicroarchComparison table1();
+
+}  // namespace hsw::survey

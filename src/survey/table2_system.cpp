@@ -1,0 +1,52 @@
+#include "survey/table2_system.hpp"
+
+#include "arch/generation.hpp"
+#include "util/table.hpp"
+
+namespace hsw::survey {
+
+std::string SystemReport::render() const {
+    util::Table t{"Table II: test system details"};
+    t.set_header({"Property", "Value"});
+    t.add_row({"Processor", "2x " + processor});
+    t.add_row({"Frequency range (selectable p-states)",
+               util::Table::fmt(min_ghz, 1) + " - " + util::Table::fmt(nominal_ghz, 1) +
+                   " GHz"});
+    t.add_row({"Turbo frequency", "up to " + util::Table::fmt(max_turbo_ghz, 1) + " GHz"});
+    t.add_row({"AVX base frequency", util::Table::fmt(avx_base_ghz, 1) + " GHz"});
+    t.add_row({"Energy perf. bias", epb});
+    t.add_row({"Energy-efficient turbo (EET)", eet_enabled ? "enabled" : "disabled"});
+    t.add_row({"Uncore frequency scaling (UFS)", ufs_enabled ? "enabled" : "disabled"});
+    t.add_row({"Per-core p-states (PCPS)", pcps_enabled ? "enabled" : "disabled"});
+    t.add_row({"Idle power (fan speed maximum)",
+               util::Table::fmt(idle_ac_watts, 1) + " W"});
+    t.add_row({"Power meter", "ZES LMG450 (model), 0.07 % + 0.23 W"});
+    return t.render();
+}
+
+SystemReport table2(util::Time idle_window) {
+    core::Node node;  // the default config *is* the paper's test system
+    node.clear_all_workloads();
+    node.run_for(util::Time::ms(100));  // settle
+
+    const util::Time t0 = node.now();
+    node.run_for(idle_window);
+    const util::Time t1 = node.now();
+
+    const auto& sku = node.sku();
+    const auto traits = arch::traits(sku.generation);
+    SystemReport r;
+    r.processor = std::string{sku.model};
+    r.min_ghz = sku.min_frequency.as_ghz();
+    r.nominal_ghz = sku.nominal_frequency.as_ghz();
+    r.max_turbo_ghz = sku.turbo_bins.front().as_ghz();
+    r.avx_base_ghz = sku.avx_base_frequency.as_ghz();
+    r.epb = "balanced";
+    r.eet_enabled = true;
+    r.ufs_enabled = traits.uncore_clocking == arch::UncoreClocking::IndependentUfs;
+    r.pcps_enabled = traits.per_core_pstates;
+    r.idle_ac_watts = node.meter().average(t0, t1).as_watts();
+    return r;
+}
+
+}  // namespace hsw::survey

@@ -1,0 +1,29 @@
+// Table II: test system details, including the measured idle power at
+// maximum fan speed (261.5 W in the paper).
+#pragma once
+
+#include <string>
+
+#include "core/node.hpp"
+
+namespace hsw::survey {
+
+struct SystemReport {
+    std::string processor;
+    double min_ghz = 0.0;
+    double nominal_ghz = 0.0;
+    double max_turbo_ghz = 0.0;
+    double avx_base_ghz = 0.0;
+    std::string epb;
+    bool eet_enabled = true;
+    bool ufs_enabled = true;
+    bool pcps_enabled = true;
+    double idle_ac_watts = 0.0;
+
+    [[nodiscard]] std::string render() const;
+};
+
+/// Builds the paper's test system and measures its idle AC power.
+[[nodiscard]] SystemReport table2(util::Time idle_window = util::Time::sec(4));
+
+}  // namespace hsw::survey

@@ -1,0 +1,92 @@
+#include "survey/table3_uncore.hpp"
+
+#include "msr/addresses.hpp"
+#include "util/table.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::survey {
+
+namespace {
+
+/// Uncore frequency of a socket measured LIKWID-style: UBOXFIX delta / time.
+double measure_uncore_ghz(core::Node& node, unsigned socket, util::Time dwell) {
+    const unsigned cpu = node.cpu_id(socket, 0);
+    const auto before = node.msrs().read(cpu, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    node.run_for(dwell);
+    const auto after = node.msrs().read(cpu, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    return static_cast<double>(after - before) / dwell.as_seconds() * 1e-9;
+}
+
+UncoreTableRow measure_setting(core::Node& node, util::Frequency setting, bool turbo,
+                               util::Time dwell) {
+    node.set_pstate_all(setting);
+    node.run_for(util::Time::ms(5));  // a few opportunity periods to settle
+
+    UncoreTableRow row;
+    row.set_ghz = turbo ? 0.0 : setting.as_ghz();
+    row.turbo = turbo;
+    // Measure both sockets over the same window: split the dwell.
+    const unsigned cpu0 = node.cpu_id(0, 0);
+    const unsigned cpu1 = node.cpu_id(1, 0);
+    const auto b0 = node.msrs().read(cpu0, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    const auto b1 = node.msrs().read(cpu1, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    node.run_for(dwell);
+    const auto a0 = node.msrs().read(cpu0, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    const auto a1 = node.msrs().read(cpu1, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    row.active_uncore_ghz =
+        static_cast<double>(a0 - b0) / dwell.as_seconds() * 1e-9;
+    row.passive_uncore_ghz =
+        static_cast<double>(a1 - b1) / dwell.as_seconds() * 1e-9;
+    return row;
+}
+
+}  // namespace
+
+std::string UncoreTableResult::render() const {
+    util::Table t{
+        "Table III: uncore frequencies, single-threaded no-memory-stalls scenario\n"
+        "(while(1) on processor 0; uncore in GHz)"};
+    t.set_header({"Core setting [GHz]", "Active uncore", "Passive uncore",
+                  "Active uncore (EPB=perf)"});
+    for (const auto& r : rows) {
+        t.add_row({r.turbo ? "Turbo" : util::Table::fmt(r.set_ghz, 1),
+                   util::Table::fmt(r.active_uncore_ghz, 2),
+                   util::Table::fmt(r.passive_uncore_ghz, 2),
+                   util::Table::fmt(r.active_uncore_perf_epb_ghz, 2)});
+    }
+    return t.render();
+}
+
+UncoreTableResult table3(util::Time dwell, std::uint64_t seed) {
+    core::NodeConfig cfg;
+    cfg.seed = seed;
+    core::Node node{cfg};
+
+    // One busy loop on core 0 of processor 0; everything else parked.
+    node.clear_all_workloads();
+    node.set_workload(node.cpu_id(0, 0), &workloads::while_one(), 1);
+
+    UncoreTableResult result;
+
+    // Turbo row first, then 2.5 down to 1.2 GHz (the paper's columns).
+    const unsigned nominal = node.sku().nominal_frequency.ratio();
+    std::vector<std::pair<util::Frequency, bool>> settings;
+    settings.emplace_back(util::Frequency::from_ratio(nominal + 1), true);
+    for (unsigned r = nominal; r >= node.sku().min_frequency.ratio(); --r) {
+        settings.emplace_back(util::Frequency::from_ratio(r), false);
+    }
+
+    for (const auto& [setting, turbo] : settings) {
+        node.set_epb(msr::EpbPolicy::Balanced);
+        UncoreTableRow row = measure_setting(node, setting, turbo, dwell);
+        // EPB=performance variant (Table III footnote: 3.0 GHz).
+        node.set_epb(msr::EpbPolicy::Performance);
+        node.run_for(util::Time::ms(5));
+        row.active_uncore_perf_epb_ghz = measure_uncore_ghz(node, 0, dwell);
+        node.set_epb(msr::EpbPolicy::Balanced);
+        result.rows.push_back(row);
+    }
+    return result;
+}
+
+}  // namespace hsw::survey

@@ -1,0 +1,33 @@
+// Table III: uncore frequencies in the single-threaded no-memory-stalls
+// scenario (while(1) on one core of processor 0), for every core frequency
+// setting, on both the active and the passive processor; plus the
+// EPB=performance variant (3.0 GHz).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "util/units.hpp"
+
+namespace hsw::survey {
+
+struct UncoreTableRow {
+    double set_ghz = 0.0;          // 0 = turbo request
+    bool turbo = false;
+    double active_uncore_ghz = 0.0;   // processor 0 (runs the thread)
+    double passive_uncore_ghz = 0.0;  // processor 1 (idle)
+    double active_uncore_perf_epb_ghz = 0.0;  // EPB = performance
+};
+
+struct UncoreTableResult {
+    std::vector<UncoreTableRow> rows;
+    [[nodiscard]] std::string render() const;
+};
+
+/// `dwell`: measurement time per setting (the paper uses 10 s; shorter is
+/// fine in simulation since the uncore settles within a few PCU periods).
+[[nodiscard]] UncoreTableResult table3(util::Time dwell = util::Time::sec(1),
+                                       std::uint64_t seed = 0xC0FFEE);
+
+}  // namespace hsw::survey

@@ -1,0 +1,119 @@
+#include "survey/table4_firestarter.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "perfmon/counters.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::survey {
+
+namespace {
+
+FirestarterRow measure_setting(core::Node& node, util::Frequency setting, bool turbo,
+                               const FirestarterSweepConfig& cfg) {
+    node.set_pstate_all(setting);
+    node.run_for(util::Time::ms(20));  // settle PCU equilibrium/dither
+
+    perfmon::CounterReader reader{node.msrs(), node.sku().nominal_frequency};
+
+    // Sample one core per processor once per second, LIKWID-style.
+    std::vector<double> core_f[2];
+    std::vector<double> uncore_f[2];
+    std::vector<double> gips[2];
+    std::vector<double> pkg_w[2];
+
+    perfmon::CounterSnapshot prev[2] = {
+        reader.snapshot(node.cpu_id(0, 0), node.now()),
+        reader.snapshot(node.cpu_id(1, 0), node.now()),
+    };
+    auto rapl_prev = std::array{
+        node.socket(0).rapl().true_pkg_energy().as_joules(),
+        node.socket(1).rapl().true_pkg_energy().as_joules(),
+    };
+
+    const double threads = cfg.hyperthreading ? 2.0 : 1.0;
+    for (unsigned i = 0; i < cfg.samples; ++i) {
+        node.run_for(cfg.sample_period);
+        for (unsigned s = 0; s < 2; ++s) {
+            const auto snap = reader.snapshot(node.cpu_id(s, 0), node.now());
+            const auto m = reader.derive(prev[s], snap);
+            prev[s] = snap;
+            core_f[s].push_back(m.effective_frequency.as_ghz());
+            uncore_f[s].push_back(m.uncore_frequency.as_ghz());
+            gips[s].push_back(m.giga_instructions_per_sec / threads);
+            const double e = node.socket(s).rapl().true_pkg_energy().as_joules();
+            pkg_w[s].push_back((e - rapl_prev[s]) / cfg.sample_period.as_seconds());
+            rapl_prev[s] = e;
+        }
+    }
+
+    FirestarterRow row;
+    row.turbo = turbo;
+    row.set_ghz = turbo ? 0.0 : setting.as_ghz();
+    for (unsigned s = 0; s < 2; ++s) {
+        row.core_ghz[s] = util::median(core_f[s]);
+        row.uncore_ghz[s] = util::median(uncore_f[s]);
+        row.gips[s] = util::median(gips[s]);
+        row.rapl_pkg_watts[s] = util::median(pkg_w[s]);
+    }
+    return row;
+}
+
+}  // namespace
+
+std::string FirestarterSweepResult::render() const {
+    util::Table t{
+        "Table IV: FIRESTARTER performance at different frequency settings\n"
+        "(Hyper-Threading, turbo enabled; GIPS = per hardware thread)"};
+    t.set_header({"Setting [GHz]", "core P0", "core P1", "uncore P0", "uncore P1",
+                  "GIPS P0", "GIPS P1", "pkg W P0", "pkg W P1"});
+    for (const auto& r : rows) {
+        t.add_row({r.turbo ? "Turbo" : util::Table::fmt(r.set_ghz, 1),
+                   util::Table::fmt(r.core_ghz[0], 2), util::Table::fmt(r.core_ghz[1], 2),
+                   util::Table::fmt(r.uncore_ghz[0], 2),
+                   util::Table::fmt(r.uncore_ghz[1], 2), util::Table::fmt(r.gips[0], 2),
+                   util::Table::fmt(r.gips[1], 2),
+                   util::Table::fmt(r.rapl_pkg_watts[0], 1),
+                   util::Table::fmt(r.rapl_pkg_watts[1], 1)});
+    }
+    return t.render();
+}
+
+const FirestarterRow& FirestarterSweepResult::best_by_gips() const {
+    if (rows.empty()) throw std::logic_error{"empty sweep"};
+    const FirestarterRow* best = &rows.front();
+    for (const auto& r : rows) {
+        if (r.gips[1] > best->gips[1]) best = &r;
+    }
+    return *best;
+}
+
+const FirestarterRow& FirestarterSweepResult::turbo_row() const {
+    for (const auto& r : rows) {
+        if (r.turbo) return r;
+    }
+    throw std::logic_error{"no turbo row"};
+}
+
+FirestarterSweepResult table4(const FirestarterSweepConfig& cfg) {
+    core::NodeConfig node_cfg;
+    node_cfg.seed = cfg.seed;
+    core::Node node{node_cfg};
+
+    node.set_all_workloads(&workloads::firestarter(), cfg.hyperthreading ? 2 : 1);
+
+    FirestarterSweepResult result;
+    const unsigned nominal = node.sku().nominal_frequency.ratio();
+    result.rows.push_back(
+        measure_setting(node, util::Frequency::from_ratio(nominal + 1), true, cfg));
+    for (unsigned r = nominal; r >= 21; --r) {
+        result.rows.push_back(
+            measure_setting(node, util::Frequency::from_ratio(r), false, cfg));
+    }
+    return result;
+}
+
+}  // namespace hsw::survey

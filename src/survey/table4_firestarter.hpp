@@ -1,0 +1,45 @@
+// Table IV: FIRESTARTER under different frequency settings (turbo, 2.5 ..
+// 2.1 GHz) with Hyper-Threading. Reports the median over per-second LIKWID
+// samples of core frequency, uncore frequency and GIPS (instructions per
+// second of one hardware thread), for both processors.
+//
+// The headline result: lowering the setting from turbo to 2.3 GHz *raises*
+// IPS by ~1 % because the PCU reassigns the freed power budget to the
+// uncore.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "util/units.hpp"
+
+namespace hsw::survey {
+
+struct FirestarterRow {
+    bool turbo = false;
+    double set_ghz = 0.0;
+    double core_ghz[2] = {0.0, 0.0};    // median, per socket
+    double uncore_ghz[2] = {0.0, 0.0};
+    double gips[2] = {0.0, 0.0};        // per hardware thread
+    double rapl_pkg_watts[2] = {0.0, 0.0};
+};
+
+struct FirestarterSweepResult {
+    std::vector<FirestarterRow> rows;
+    [[nodiscard]] std::string render() const;
+    /// Best row by socket-1 GIPS (the paper's crossover discussion).
+    [[nodiscard]] const FirestarterRow& best_by_gips() const;
+    [[nodiscard]] const FirestarterRow& turbo_row() const;
+};
+
+struct FirestarterSweepConfig {
+    unsigned samples = 50;              // per-second samples per setting
+    util::Time sample_period = util::Time::sec(1);
+    bool hyperthreading = true;
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+[[nodiscard]] FirestarterSweepResult table4(const FirestarterSweepConfig& cfg = {});
+
+}  // namespace hsw::survey

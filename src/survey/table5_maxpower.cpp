@@ -1,0 +1,139 @@
+#include "survey/table5_maxpower.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/node.hpp"
+#include "msr/addresses.hpp"
+#include "perfmon/counters.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::survey {
+
+namespace {
+
+MaxPowerCell run_cell(const workloads::Workload* w, bool turbo_setting,
+                      msr::EpbPolicy epb, const MaxPowerConfig& cfg) {
+    core::NodeConfig node_cfg;
+    node_cfg.seed = cfg.seed;
+    core::Node node{node_cfg};
+
+    node.set_epb(epb);
+    node.set_all_workloads(w, 1);  // Hyper-Threading not active (Table V)
+    if (turbo_setting) {
+        node.request_turbo_all();
+    } else {
+        node.set_pstate_all(util::Frequency::ghz(2.5));
+    }
+    node.run_for(util::Time::ms(100));  // settle
+
+    // Record frequency samples once per meter sample so the best AC window
+    // can be paired with the frequency over the same window.
+    perfmon::CounterReader reader{node.msrs(), node.sku().nominal_frequency};
+    std::vector<double> times;
+    std::vector<double> freqs;
+    auto prev = reader.snapshot(node.cpu_id(0, 0), node.now());
+    const util::Time start = node.now();
+    const util::Time step = util::Time::ms(250);
+    while (node.now() - start < cfg.run_time) {
+        node.run_for(step);
+        const auto snap = reader.snapshot(node.cpu_id(0, 0), node.now());
+        const auto m = reader.derive(prev, snap);
+        prev = snap;
+        times.push_back(node.now().as_seconds());
+        freqs.push_back(m.effective_frequency.as_ghz());
+    }
+
+    // Best AC window from the LMG450 series.
+    std::vector<double> ac_times;
+    std::vector<double> ac_values;
+    for (const auto& s : node.meter().series()) {
+        if (s.when >= start) {
+            ac_times.push_back(s.when.as_seconds());
+            ac_values.push_back(s.power.as_watts());
+        }
+    }
+    const auto best = util::best_window(ac_times, ac_values, cfg.window.as_seconds());
+
+    // Mean frequency over that window.
+    std::vector<double> window_freqs;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        if (times[i] >= best.start_time &&
+            times[i] < best.start_time + cfg.window.as_seconds()) {
+            window_freqs.push_back(freqs[i]);
+        }
+    }
+
+    MaxPowerCell cell;
+    cell.workload = std::string{w->name};
+    cell.turbo_setting = turbo_setting;
+    cell.epb = epb == msr::EpbPolicy::Performance ? "perf"
+               : epb == msr::EpbPolicy::Balanced  ? "bal"
+                                                  : "power";
+    cell.ac_watts = best.average;
+    cell.core_ghz = window_freqs.empty() ? util::mean(freqs) : util::mean(window_freqs);
+    return cell;
+}
+
+}  // namespace
+
+std::string MaxPowerResult::render() const {
+    util::Table t{
+        "Table V: average power and measured core frequency over the best window\n"
+        "(Hyper-Threading not active)"};
+    t.set_header({"Selected", "EPB", "FIRESTARTER", "LINPACK", "mprime"});
+    auto row_for = [&](bool turbo, const std::string& epb, const char* metric) {
+        std::vector<std::string> row{
+            std::string{turbo ? "Turbo" : "2500 MHz"} + " " + metric, epb};
+        for (const char* wl : {"FIRESTARTER", "LINPACK", "mprime"}) {
+            const auto& c = find(wl, turbo, epb);
+            row.push_back(metric == std::string{"power"}
+                              ? util::Table::fmt(c.ac_watts, 1)
+                              : util::Table::fmt(c.core_ghz, 2));
+        }
+        t.add_row(std::move(row));
+    };
+    for (const char* metric : {"power", "freq"}) {
+        for (bool turbo : {false, true}) {
+            for (const char* epb : {"power", "bal", "perf"}) row_for(turbo, epb, metric);
+        }
+        t.add_separator();
+    }
+    return t.render();
+}
+
+const MaxPowerCell& MaxPowerResult::find(const std::string& workload, bool turbo,
+                                         const std::string& epb) const {
+    for (const auto& c : cells) {
+        if (c.workload == workload && c.turbo_setting == turbo && c.epb == epb) return c;
+    }
+    throw std::out_of_range{"no such Table V cell"};
+}
+
+double MaxPowerResult::max_ac(const std::string& workload) const {
+    double best = 0.0;
+    for (const auto& c : cells) {
+        if (c.workload == workload) best = std::max(best, c.ac_watts);
+    }
+    return best;
+}
+
+MaxPowerResult table5(const MaxPowerConfig& cfg) {
+    MaxPowerResult result;
+    const workloads::Workload* wls[] = {&workloads::firestarter(), &workloads::linpack(),
+                                        &workloads::mprime()};
+    for (const auto* w : wls) {
+        for (bool turbo : {false, true}) {
+            for (msr::EpbPolicy epb : {msr::EpbPolicy::EnergySaving,
+                                       msr::EpbPolicy::Balanced,
+                                       msr::EpbPolicy::Performance}) {
+                result.cells.push_back(run_cell(w, turbo, epb, cfg));
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace hsw::survey

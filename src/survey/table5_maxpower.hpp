@@ -1,0 +1,41 @@
+// Table V: maximum node power consumption -- FIRESTARTER vs LINPACK vs
+// mprime across {2.5 GHz, turbo} x EPB {power, balanced, performance},
+// Hyper-Threading off. For each configuration the highest-average AC window
+// is extracted (the paper uses 1 minute) together with the measured core
+// frequency over that window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+#include "workloads/workload.hpp"
+
+namespace hsw::survey {
+
+struct MaxPowerCell {
+    std::string workload;
+    bool turbo_setting = false;   // false = fixed 2.5 GHz request
+    std::string epb;              // "power" / "bal" / "perf"
+    double ac_watts = 0.0;        // best window average
+    double core_ghz = 0.0;        // measured over the same window
+};
+
+struct MaxPowerResult {
+    std::vector<MaxPowerCell> cells;
+    [[nodiscard]] std::string render() const;
+    [[nodiscard]] const MaxPowerCell& find(const std::string& workload, bool turbo,
+                                           const std::string& epb) const;
+    /// Max/min AC over all cells for a workload (power constancy summary).
+    [[nodiscard]] double max_ac(const std::string& workload) const;
+};
+
+struct MaxPowerConfig {
+    util::Time run_time = util::Time::sec(30);
+    util::Time window = util::Time::sec(10);  // paper: 60 s over a 1000 s run
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+[[nodiscard]] MaxPowerResult table5(const MaxPowerConfig& cfg = {});
+
+}  // namespace hsw::survey

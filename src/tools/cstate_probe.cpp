@@ -1,0 +1,67 @@
+#include "tools/cstate_probe.hpp"
+
+#include <stdexcept>
+
+#include "workloads/mixes.hpp"
+
+namespace hsw::tools {
+
+CstateProbe::CstateProbe(core::Node& node) : node_{&node} {}
+
+CstateProbeResult CstateProbe::measure(const CstateProbeConfig& cfg) {
+    core::Node& node = *node_;
+    if (node.socket_count() < 2 && cfg.scenario != cstates::WakeScenario::Local) {
+        throw std::invalid_argument{"remote scenarios need a second socket"};
+    }
+
+    // Scenario placement: waker on socket 0; wakee local (same socket) or
+    // remote (socket 1). In remote-active a third core on the wakee's
+    // socket stays busy so its package cannot sleep.
+    unsigned waker;
+    unsigned wakee;
+    unsigned keeper = 0;
+    bool use_keeper = false;
+    switch (cfg.scenario) {
+        case cstates::WakeScenario::Local:
+            waker = node.cpu_id(0, 0);
+            wakee = node.cpu_id(0, 1);
+            break;
+        case cstates::WakeScenario::RemoteActive:
+            waker = node.cpu_id(0, 0);
+            wakee = node.cpu_id(1, 0);
+            keeper = node.cpu_id(1, 1);
+            use_keeper = true;
+            break;
+        case cstates::WakeScenario::RemoteIdle:
+        default:
+            waker = node.cpu_id(0, 0);
+            wakee = node.cpu_id(1, 0);
+            break;
+    }
+
+    node.clear_all_workloads();
+    node.set_workload(waker, &workloads::while_one(), 1);
+    if (use_keeper) node.set_workload(keeper, &workloads::while_one(), 1);
+
+    // The wakee resumes at the configured frequency.
+    node.set_pstate(wakee, cfg.core_frequency);
+    node.set_pstate(waker, cfg.core_frequency);
+    node.run_for(Time::ms(2));  // settle p-states
+
+    CstateProbeResult result;
+    result.latencies_us.reserve(cfg.samples);
+    for (unsigned i = 0; i < cfg.samples; ++i) {
+        node.park(wakee, cfg.state);
+        // Let the package state settle (PC-states resolve immediately in
+        // the model, but keep a realistic residency before waking).
+        node.run_for(Time::us(500));
+        const Time latency = node.wake(waker, wakee);
+        result.latencies_us.push_back(latency.as_us());
+        node.run_for(latency + Time::us(50));  // wakee back in C0
+    }
+
+    node.clear_all_workloads();
+    return result;
+}
+
+}  // namespace hsw::tools

@@ -1,0 +1,46 @@
+// C-state wake-up latency probe (Section VI-B, following [27]).
+//
+// A waker core signals a wakee parked in a target C-state; the measured
+// latency is the time until the wakee executes again. Scenarios follow
+// Figures 5/6: local (same socket), remote-active (other socket, third
+// core keeps the wakee's package awake), remote-idle (other socket,
+// wakee's package in a deep sleep state).
+#pragma once
+
+#include <vector>
+
+#include "core/node.hpp"
+#include "cstates/wake_latency.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace hsw::tools {
+
+using util::Frequency;
+using util::Time;
+
+struct CstateProbeConfig {
+    cstates::CState state = cstates::CState::C3;
+    cstates::WakeScenario scenario = cstates::WakeScenario::Local;
+    Frequency core_frequency = Frequency::ghz(2.5);
+    unsigned samples = 100;
+};
+
+struct CstateProbeResult {
+    std::vector<double> latencies_us;
+    [[nodiscard]] double mean() const { return util::mean(latencies_us); }
+    [[nodiscard]] double median() const { return util::median(latencies_us); }
+    [[nodiscard]] double stddev() const { return util::stddev(latencies_us); }
+};
+
+class CstateProbe {
+public:
+    explicit CstateProbe(core::Node& node);
+
+    [[nodiscard]] CstateProbeResult measure(const CstateProbeConfig& cfg);
+
+private:
+    core::Node* node_;
+};
+
+}  // namespace hsw::tools

@@ -1,0 +1,145 @@
+#include "tools/ftalat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msr/addresses.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::tools {
+
+namespace {
+constexpr double kDetectToleranceGhz = 0.055;  // within 55 MHz of the target
+}
+
+double FtalatResult::min() const { return util::min_of(latencies_us); }
+double FtalatResult::max() const { return util::max_of(latencies_us); }
+double FtalatResult::median() const { return util::median(latencies_us); }
+double FtalatResult::mean() const { return util::mean(latencies_us); }
+double FtalatResult::ci99() const { return util::confidence_halfwidth(latencies_us, 0.99); }
+
+Ftalat::Ftalat(core::Node& node) : node_{&node} {}
+
+Frequency Ftalat::observe(unsigned cpu, Time window) {
+    // The paper's modification: count cycles over a busy-wait window via
+    // the perf interface instead of trusting scaling_cur_freq.
+    const auto before = node_->msrs().read(cpu, msr::IA32_FIXED_CTR1);
+    node_->run_for(window);
+    const auto after = node_->msrs().read(cpu, msr::IA32_FIXED_CTR1);
+    return Frequency::hz(static_cast<double>(after - before) / window.as_seconds());
+}
+
+Time Ftalat::detect_frequency(unsigned cpu, Frequency from, Frequency to, Time window,
+                              Time timeout) {
+    const Time start = node_->now();
+    const double delta = to.as_ghz() - from.as_ghz();
+    while (node_->now() - start < timeout) {
+        const Time window_start = node_->now();
+        const Frequency f = observe(cpu, window);
+        if (std::abs(f.as_ghz() - to.as_ghz()) < kDetectToleranceGhz) {
+            // The window's cycle count mixes the old and new clock:
+            //   f = from + x * (to - from), x = target-clock share.
+            // Interpolate the change instant inside the window.
+            double x = 1.0;
+            if (std::abs(delta) > 1e-12) {
+                x = std::clamp((f.as_ghz() - from.as_ghz()) / delta, 0.0, 1.0);
+            }
+            const double into_window_us = (1.0 - x) * window.as_us();
+            return window_start + Time::from_us(into_window_us);
+        }
+    }
+    return node_->now();
+}
+
+FtalatResult Ftalat::measure(const FtalatConfig& cfg) {
+    // The probe thread busy-spins on the target core for the whole run.
+    node_->set_workload(cfg.cpu, &workloads::while_one(), 1);
+
+    unsigned from = cfg.from_ratio;
+    unsigned to = cfg.to_ratio;
+
+    // Settle at the start frequency.
+    node_->set_pstate(cfg.cpu, Frequency::from_ratio(from));
+    detect_frequency(cfg.cpu, Frequency::from_ratio(to), Frequency::from_ratio(from),
+                     cfg.verify_window, cfg.detect_timeout);
+
+    FtalatResult result;
+    result.latencies_us.reserve(cfg.samples);
+
+    for (unsigned i = 0; i < cfg.samples; ++i) {
+        switch (cfg.delay_mode) {
+            case DelayMode::Random:
+                // Requests land uniformly across the opportunity grid.
+                node_->run_for(Time::from_us(node_->rng().uniform(0.0, 1500.0)));
+                break;
+            case DelayMode::Immediate:
+                break;  // request right after the previous detection
+            case DelayMode::Fixed: {
+                // nanosleep-class delays carry slop; the paper's ~500 us
+                // series owes its bimodality to this race against the grid.
+                const double slop = node_->rng().uniform(cfg.delay_slop_lo.as_us(),
+                                                         cfg.delay_slop_hi.as_us());
+                node_->run_for(cfg.fixed_delay + Time::from_us(slop));
+                break;
+            }
+        }
+
+        const Time t0 = node_->now();
+        node_->set_pstate(cfg.cpu, Frequency::from_ratio(to));
+        const Time changed =
+            detect_frequency(cfg.cpu, Frequency::from_ratio(from),
+                             Frequency::from_ratio(to), cfg.verify_window,
+                             cfg.detect_timeout);
+        result.latencies_us.push_back((changed - t0).as_us());
+        std::swap(from, to);
+    }
+
+    node_->clear_workload(cfg.cpu);
+    return result;
+}
+
+Ftalat::PairResult Ftalat::measure_pair(unsigned cpu_a, unsigned cpu_b,
+                                        unsigned from_ratio, unsigned to_ratio) {
+    node_->set_workload(cpu_a, &workloads::while_one(), 1);
+    node_->set_workload(cpu_b, &workloads::while_one(), 1);
+    node_->set_pstate(cpu_a, Frequency::from_ratio(from_ratio));
+    node_->set_pstate(cpu_b, Frequency::from_ratio(from_ratio));
+    node_->run_for(Time::ms(3));  // settle both
+
+    // Desynchronize from the grid, then request both changes in the same
+    // instant.
+    node_->run_for(Time::from_us(node_->rng().uniform(0.0, 500.0)));
+    node_->set_pstate(cpu_a, Frequency::from_ratio(to_ratio));
+    node_->set_pstate(cpu_b, Frequency::from_ratio(to_ratio));
+
+    const Frequency target = Frequency::from_ratio(to_ratio);
+    const Time window = Time::us(20);
+    Time change_a = Time::zero();
+    Time change_b = Time::zero();
+    const Time deadline = node_->now() + Time::ms(5);
+    auto prev_a = node_->msrs().read(cpu_a, msr::IA32_FIXED_CTR1);
+    auto prev_b = node_->msrs().read(cpu_b, msr::IA32_FIXED_CTR1);
+    while (node_->now() < deadline &&
+           (change_a == Time::zero() || change_b == Time::zero())) {
+        node_->run_for(window);
+        const auto now_a = node_->msrs().read(cpu_a, msr::IA32_FIXED_CTR1);
+        const auto now_b = node_->msrs().read(cpu_b, msr::IA32_FIXED_CTR1);
+        const double fa = static_cast<double>(now_a - prev_a) / window.as_seconds();
+        const double fb = static_cast<double>(now_b - prev_b) / window.as_seconds();
+        if (change_a == Time::zero() &&
+            std::abs(fa * 1e-9 - target.as_ghz()) < kDetectToleranceGhz) {
+            change_a = node_->now();
+        }
+        if (change_b == Time::zero() &&
+            std::abs(fb * 1e-9 - target.as_ghz()) < kDetectToleranceGhz) {
+            change_b = node_->now();
+        }
+        prev_a = now_a;
+        prev_b = now_b;
+    }
+    node_->clear_workload(cpu_a);
+    node_->clear_workload(cpu_b);
+    return PairResult{change_a, change_b};
+}
+
+}  // namespace hsw::tools

@@ -1,0 +1,88 @@
+// FTaLaT-style p-state transition latency measurement (Section VI-A, [26])
+// with the paper's modifications:
+//  - frequency switches are verified by counting PERF_COUNT_HW_CPU_CYCLES
+//    over 20 us busy-wait windows (scaling_cur_freq only echoes the request),
+//  - 99 % confidence reporting,
+//  - support for measuring two cores in parallel,
+//  - configurable delay relative to the previous frequency change.
+#pragma once
+
+#include <vector>
+
+#include "core/node.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace hsw::tools {
+
+using util::Frequency;
+using util::Time;
+
+/// When the next change is requested, relative to the previous one.
+enum class DelayMode {
+    Random,     // request at a random time ("random" series in Fig. 3)
+    Immediate,  // right after the previous change was detected
+    Fixed,      // a fixed delay after the previous change was detected
+};
+
+struct FtalatConfig {
+    unsigned cpu = 0;
+    unsigned from_ratio = 12;  // 1.2 GHz
+    unsigned to_ratio = 13;    // 1.3 GHz
+    DelayMode delay_mode = DelayMode::Random;
+    Time fixed_delay = Time::us(400);
+    /// Timer slop of the fixed-delay sleep (nanosleep is not exact); the
+    /// request lands uniformly in [delay + slop_lo, delay + slop_hi].
+    Time delay_slop_lo = Time::us(-45);
+    Time delay_slop_hi = Time::us(15);
+    unsigned samples = 1000;
+    Time verify_window = Time::us(20);
+    /// Give up detecting a switch after this long (hardware may coalesce
+    /// same-ratio requests).
+    Time detect_timeout = Time::ms(5);
+};
+
+struct FtalatResult {
+    std::vector<double> latencies_us;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double median() const;
+    [[nodiscard]] double mean() const;
+    /// Half-width of the 99 % confidence interval for the mean.
+    [[nodiscard]] double ci99() const;
+};
+
+class Ftalat {
+public:
+    explicit Ftalat(core::Node& node);
+
+    /// Run the measurement series; the probe core runs a busy loop and the
+    /// simulation advances as the tool polls.
+    [[nodiscard]] FtalatResult measure(const FtalatConfig& cfg);
+
+    /// Request the same target on two cpus in the same instant and return
+    /// the two detected change-completion times (for the same-socket
+    /// simultaneity experiment).
+    struct PairResult {
+        Time change_a;
+        Time change_b;
+    };
+    [[nodiscard]] PairResult measure_pair(unsigned cpu_a, unsigned cpu_b,
+                                          unsigned from_ratio, unsigned to_ratio);
+
+private:
+    /// Busy-wait in `window` steps until the observed frequency reaches
+    /// `to`. Returns the *estimated change time*: the cycle count of a
+    /// window straddling the switch is a mix of both clocks, so the change
+    /// instant can be interpolated to sub-window precision -- this is how
+    /// the 21 us minimum of Figure 3 is observable despite the 20 us
+    /// verification window. Returns the timeout instant on failure.
+    Time detect_frequency(unsigned cpu, Frequency from, Frequency to, Time window,
+                          Time timeout);
+
+    [[nodiscard]] Frequency observe(unsigned cpu, Time window);
+
+    core::Node* node_;
+};
+
+}  // namespace hsw::tools

@@ -1,0 +1,45 @@
+#include "tools/membench.hpp"
+
+#include <algorithm>
+
+#include "workloads/mixes.hpp"
+
+namespace hsw::tools {
+
+Membench::Membench(core::Node& node, unsigned socket) : node_{&node}, socket_{socket} {}
+
+MembenchPoint Membench::measure(unsigned cores, unsigned threads_per_core,
+                                Frequency setting, Time settle) {
+    core::Node& node = *node_;
+    node.clear_all_workloads();
+
+    const unsigned n = std::min(cores, node.cores_per_socket());
+    MembenchPoint p;
+    p.cores = n;
+    p.threads_per_core = threads_per_core;
+    p.set_ghz = setting.as_ghz();
+
+    // Phase 1: the 17 MB L3-resident sweep (no DRAM traffic).
+    for (unsigned c = 0; c < n; ++c) {
+        node.set_workload(node.cpu_id(socket_, c), &workloads::l3_stream(),
+                          threads_per_core);
+        node.set_pstate(node.cpu_id(socket_, c), setting);
+    }
+    node.run_for(settle);  // a few PCU opportunity periods
+    p.core_ghz = node.core_frequency(node.cpu_id(socket_, 0)).as_ghz();
+    p.uncore_ghz = node.uncore_frequency(socket_).as_ghz();
+    p.l3_gbs = node.socket(socket_).achieved_l3_bandwidth().as_gb_per_sec();
+
+    // Phase 2: the 350 MB DRAM sweep.
+    for (unsigned c = 0; c < n; ++c) {
+        node.set_workload(node.cpu_id(socket_, c), &workloads::memory_stream(),
+                          threads_per_core);
+    }
+    node.run_for(settle);
+    p.dram_gbs = node.socket(socket_).achieved_dram_bandwidth().as_gb_per_sec();
+
+    node.clear_all_workloads();
+    return p;
+}
+
+}  // namespace hsw::tools

@@ -1,0 +1,47 @@
+// Memory bandwidth benchmark (Section VII, extending [28]).
+//
+// Consecutively reads a 17 MB working set for the L3 measurement and a
+// 350 MB working set for DRAM, at a configurable concurrency and frequency,
+// and reports the achieved aggregate read bandwidth on the measured socket
+// (processor 1 in the paper; processor 0 stays idle).
+#pragma once
+
+#include "core/node.hpp"
+#include "util/units.hpp"
+
+namespace hsw::tools {
+
+using util::Bandwidth;
+using util::Frequency;
+using util::Time;
+
+struct MembenchPoint {
+    unsigned cores = 0;
+    unsigned threads_per_core = 1;
+    double set_ghz = 0.0;        // requested core clock (0 = turbo)
+    double core_ghz = 0.0;       // measured core clock
+    double uncore_ghz = 0.0;     // measured uncore clock
+    double l3_gbs = 0.0;
+    double dram_gbs = 0.0;
+};
+
+class Membench {
+public:
+    /// `socket`: the measured processor (the paper uses processor 1).
+    Membench(core::Node& node, unsigned socket = 1);
+
+    static constexpr std::size_t kL3WorkingSet = 17u * 1024u * 1024u;    // 17 MB
+    static constexpr std::size_t kDramWorkingSet = 350u * 1024u * 1024u; // 350 MB
+
+    /// Measure one (concurrency, frequency) point. `setting` may be the
+    /// turbo request (nominal ratio + 1).
+    [[nodiscard]] MembenchPoint measure(unsigned cores, unsigned threads_per_core,
+                                        Frequency setting,
+                                        Time settle = Time::ms(20));
+
+private:
+    core::Node* node_;
+    unsigned socket_;
+};
+
+}  // namespace hsw::tools

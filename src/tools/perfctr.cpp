@@ -1,0 +1,96 @@
+#include "tools/perfctr.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "msr/addresses.hpp"
+#include "perfmon/counters.hpp"
+
+namespace hsw::tools {
+
+double GroupMeasurement::value(const std::string& metric_name) const {
+    for (const auto& m : metrics) {
+        if (m.name == metric_name) return m.value;
+    }
+    throw std::out_of_range{"no metric named " + metric_name};
+}
+
+std::string GroupMeasurement::render() const {
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line, "Group %s, cpu %u, %.3f s:\n",
+                  tools::name(group), cpu, seconds);
+    out += line;
+    for (const auto& m : metrics) {
+        std::snprintf(line, sizeof line, "  %-28s %12.4f %s\n", m.name.c_str(),
+                      m.value, m.unit.c_str());
+        out += line;
+    }
+    return out;
+}
+
+Perfctr::Perfctr(core::Node& node) : node_{&node} {}
+
+GroupMeasurement Perfctr::measure(MetricGroup group, unsigned cpu,
+                                  util::Time duration) {
+    core::Node& node = *node_;
+    GroupMeasurement gm;
+    gm.group = group;
+    gm.cpu = cpu;
+    gm.seconds = duration.as_seconds();
+
+    perfmon::CounterReader reader{node.msrs(), node.sku().nominal_frequency};
+    const auto before = reader.snapshot(cpu, node.now());
+    const unsigned socket = node.socket_of(cpu);
+    const auto first_cpu = node.cpu_id(socket, 0);
+    const auto pkg0 =
+        static_cast<std::uint32_t>(node.msrs().read(first_cpu, msr::MSR_PKG_ENERGY_STATUS));
+    const auto dram0 = static_cast<std::uint32_t>(
+        node.msrs().read(first_cpu, msr::MSR_DRAM_ENERGY_STATUS));
+
+    node.run_for(duration);
+
+    const auto after = reader.snapshot(cpu, node.now());
+    const auto m = reader.derive(before, after);
+
+    switch (group) {
+        case MetricGroup::Clock:
+            gm.metrics.push_back({"Clock [MHz]", m.effective_frequency.as_mhz(), ""});
+            gm.metrics.push_back({"Uncore Clock [MHz]", m.uncore_frequency.as_mhz(), ""});
+            gm.metrics.push_back({"C0 residency", m.c0_residency, ""});
+            gm.metrics.push_back({"CPI", m.ipc > 0.0 ? 1.0 / m.ipc : 0.0, ""});
+            gm.metrics.push_back({"IPC", m.ipc, ""});
+            break;
+        case MetricGroup::Energy: {
+            const auto pkg1 = static_cast<std::uint32_t>(
+                node.msrs().read(first_cpu, msr::MSR_PKG_ENERGY_STATUS));
+            const auto dram1 = static_cast<std::uint32_t>(
+                node.msrs().read(first_cpu, msr::MSR_DRAM_ENERGY_STATUS));
+            const double pkg_j =
+                static_cast<std::uint32_t>(pkg1 - pkg0) *
+                node.socket(socket).rapl().energy_unit(rapl::Domain::Package);
+            const double dram_j =
+                static_cast<std::uint32_t>(dram1 - dram0) *
+                node.socket(socket).rapl().energy_unit(rapl::Domain::Dram);
+            gm.metrics.push_back({"Energy PKG [J]", pkg_j, ""});
+            gm.metrics.push_back({"Power PKG [W]", pkg_j / gm.seconds, ""});
+            gm.metrics.push_back({"Energy DRAM [J]", dram_j, ""});
+            gm.metrics.push_back({"Power DRAM [W]", dram_j / gm.seconds, ""});
+            break;
+        }
+        case MetricGroup::Mem:
+            gm.metrics.push_back(
+                {"Memory read BW [GB/s]",
+                 node.socket(socket).achieved_dram_bandwidth().as_gb_per_sec(), ""});
+            gm.metrics.push_back(
+                {"L3 read BW [GB/s]",
+                 node.socket(socket).achieved_l3_bandwidth().as_gb_per_sec(), ""});
+            gm.metrics.push_back(
+                {"DRAM traffic [GB/s]",
+                 node.socket(socket).current_dram_traffic().as_gb_per_sec(), ""});
+            break;
+    }
+    return gm;
+}
+
+}  // namespace hsw::tools

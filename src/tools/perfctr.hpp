@@ -1,0 +1,56 @@
+// likwid-perfctr-style metric groups ([22]).
+//
+// The paper samples "core and uncore cycles, instructions, and RAPL values
+// ... once per second via LIKWID". This tool packages those reads into the
+// familiar metric groups: CLOCK (frequencies, C0 residency, IPC), ENERGY
+// (RAPL package/DRAM power), MEM (achieved bandwidths).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+
+namespace hsw::tools {
+
+enum class MetricGroup { Clock, Energy, Mem };
+
+[[nodiscard]] constexpr const char* name(MetricGroup g) {
+    switch (g) {
+        case MetricGroup::Clock: return "CLOCK";
+        case MetricGroup::Energy: return "ENERGY";
+        case MetricGroup::Mem: return "MEM";
+    }
+    return "?";
+}
+
+struct Metric {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+};
+
+struct GroupMeasurement {
+    MetricGroup group;
+    unsigned cpu = 0;
+    double seconds = 0.0;
+    std::vector<Metric> metrics;
+
+    /// Value by metric name; throws std::out_of_range if absent.
+    [[nodiscard]] double value(const std::string& metric_name) const;
+    [[nodiscard]] std::string render() const;
+};
+
+class Perfctr {
+public:
+    explicit Perfctr(core::Node& node);
+
+    /// Measure one group on `cpu` over `duration` (advances the sim).
+    [[nodiscard]] GroupMeasurement measure(MetricGroup group, unsigned cpu,
+                                           util::Time duration);
+
+private:
+    core::Node* node_;
+};
+
+}  // namespace hsw::tools

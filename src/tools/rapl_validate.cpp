@@ -1,0 +1,123 @@
+#include "tools/rapl_validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "msr/addresses.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::tools {
+
+using util::Time;
+
+RaplValidator::RaplValidator(core::Node& node) : node_{&node} {}
+
+RaplSamplePoint RaplValidator::run_point(const workloads::Workload* w, unsigned cores,
+                                         unsigned threads_per_core, Time window) {
+    core::Node& node = *node_;
+    node.clear_all_workloads();
+    if (w != nullptr && cores > 0) {
+        for (unsigned s = 0; s < node.socket_count(); ++s) {
+            for (unsigned c = 0; c < std::min(cores, node.cores_per_socket()); ++c) {
+                node.set_workload(node.cpu_id(s, c), w, threads_per_core);
+            }
+        }
+    }
+    // Warm up so the PCU settles (p-states, uncore, licenses).
+    node.run_for(Time::ms(100));
+
+    // Read RAPL energies before/after the constant-load window; the AC side
+    // is averaged from the meter series over the same window.
+    std::vector<std::uint32_t> pkg0(node.socket_count());
+    std::vector<std::uint32_t> dram0(node.socket_count());
+    for (unsigned s = 0; s < node.socket_count(); ++s) {
+        const unsigned cpu = node.cpu_id(s, 0);
+        pkg0[s] = static_cast<std::uint32_t>(
+            node.msrs().read(cpu, msr::MSR_PKG_ENERGY_STATUS));
+        dram0[s] = static_cast<std::uint32_t>(
+            node.msrs().read(cpu, msr::MSR_DRAM_ENERGY_STATUS));
+    }
+    const Time t0 = node.now();
+    node.run_for(window);
+    const Time t1 = node.now();
+
+    double rapl_watts = 0.0;
+    for (unsigned s = 0; s < node.socket_count(); ++s) {
+        const unsigned cpu = node.cpu_id(s, 0);
+        const auto pkg1 = static_cast<std::uint32_t>(
+            node.msrs().read(cpu, msr::MSR_PKG_ENERGY_STATUS));
+        const auto dram1 = static_cast<std::uint32_t>(
+            node.msrs().read(cpu, msr::MSR_DRAM_ENERGY_STATUS));
+        const double pkg_j =
+            static_cast<std::uint32_t>(pkg1 - pkg0[s]) *
+            node.socket(s).rapl().energy_unit(rapl::Domain::Package);
+        const double dram_j =
+            static_cast<std::uint32_t>(dram1 - dram0[s]) *
+            node.socket(s).rapl().energy_unit(rapl::Domain::Dram);
+        rapl_watts += (pkg_j + dram_j) / window.as_seconds();
+    }
+
+    RaplSamplePoint p;
+    p.workload = w == nullptr ? "idle" : std::string{w->name};
+    p.active_cores_per_socket = w == nullptr ? 0 : cores;
+    p.threads_per_core = threads_per_core;
+    p.rapl_watts = rapl_watts;
+    p.ac_watts = node.meter().average(t0, t1).as_watts();
+    return p;
+}
+
+RaplValidationReport RaplValidator::run_suite(Time window) {
+    std::vector<RaplSamplePoint> points;
+    points.push_back(run_point(nullptr, 0, 1, window));  // idle
+
+    const unsigned max_cores = node_->cores_per_socket();
+    const unsigned concurrency_steps[] = {1, max_cores / 2, max_cores};
+    for (const workloads::Workload* w : workloads::rapl_validation_set()) {
+        for (unsigned cores : concurrency_steps) {
+            if (cores == 0) continue;
+            points.push_back(run_point(w, cores, 1, window));
+        }
+        points.push_back(run_point(w, max_cores, 2, window));
+    }
+    node_->clear_all_workloads();
+    return analyze(std::move(points));
+}
+
+RaplValidationReport analyze(std::vector<RaplSamplePoint> points) {
+    RaplValidationReport report;
+    report.points = std::move(points);
+
+    std::vector<double> ac;
+    std::vector<double> rapl;
+    for (const auto& p : report.points) {
+        ac.push_back(p.ac_watts);
+        rapl.push_back(p.rapl_watts);
+    }
+    // Like Figure 2: RAPL on the y axis as a function of AC on the x axis.
+    report.linear = util::fit_linear(ac, rapl);
+    report.quadratic = util::fit_quadratic(ac, rapl);
+
+    // Per-workload fits (need >= 3 points per workload for a stable slope).
+    std::map<std::string, std::pair<std::vector<double>, std::vector<double>>> buckets;
+    for (const auto& p : report.points) {
+        buckets[p.workload].first.push_back(p.ac_watts);
+        buckets[p.workload].second.push_back(p.rapl_watts);
+    }
+    double spread = 0.0;
+    for (auto& [name, xy] : buckets) {
+        if (xy.first.size() < 3) continue;
+        RaplValidationReport::WorkloadFit wf;
+        wf.workload = name;
+        wf.fit = util::fit_linear(xy.first, xy.second);
+        if (report.linear.slope != 0.0) {
+            spread = std::max(spread, std::abs(wf.fit.slope - report.linear.slope) /
+                                          std::abs(report.linear.slope));
+        }
+        report.per_workload.push_back(std::move(wf));
+    }
+    report.slope_spread = spread;
+    return report;
+}
+
+}  // namespace hsw::tools

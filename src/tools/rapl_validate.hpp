@@ -1,0 +1,62 @@
+// RAPL validation harness (Section IV, Figure 2).
+//
+// Runs microbenchmarks at several thread counts, averages a 4-second
+// constant-load window, and pairs the RAPL package+DRAM reading (both
+// sockets) with the AC reference from the LMG450. The per-generation fits
+// (linear for the modeled Sandy Bridge backend, quadratic for the measured
+// Haswell backend) and their R-squared reproduce Figure 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "util/stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace hsw::tools {
+
+struct RaplSamplePoint {
+    std::string workload;
+    unsigned active_cores_per_socket = 0;
+    unsigned threads_per_core = 1;
+    double ac_watts = 0.0;
+    double rapl_watts = 0.0;  // pkg + DRAM, both sockets
+};
+
+struct RaplValidationReport {
+    std::vector<RaplSamplePoint> points;
+    util::LinearFit linear;        // over all points
+    util::QuadraticFit quadratic;  // over all points
+    /// Per-workload linear fits (workload bias shows as divergent slopes).
+    struct WorkloadFit {
+        std::string workload;
+        util::LinearFit fit;
+    };
+    std::vector<WorkloadFit> per_workload;
+    /// Max per-workload deviation of the slope from the global slope,
+    /// relative (large on SNB, small on HSW).
+    double slope_spread = 0.0;
+};
+
+class RaplValidator {
+public:
+    explicit RaplValidator(core::Node& node);
+
+    /// One measurement point: `cores` active cores on *each* socket.
+    [[nodiscard]] RaplSamplePoint run_point(const workloads::Workload* w, unsigned cores,
+                                            unsigned threads_per_core,
+                                            util::Time window = util::Time::sec(4));
+
+    /// The full Fig. 2 suite: idle + each microbenchmark at several
+    /// concurrency levels.
+    [[nodiscard]] RaplValidationReport run_suite(util::Time window = util::Time::sec(4));
+
+private:
+    core::Node* node_;
+};
+
+/// Fit helper exposed for tests and the bench harness.
+[[nodiscard]] RaplValidationReport analyze(std::vector<RaplSamplePoint> points);
+
+}  // namespace hsw::tools

@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hsw::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_{path} {
+    if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string s = "\"";
+    for (char ch : cell) {
+        if (ch == '"') s += '"';
+        s += ch;
+    }
+    s += '"';
+    return s;
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+    write_row(columns);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values, int precision) {
+    char buf[64];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) out_ << ',';
+        std::snprintf(buf, sizeof buf, "%.*g", precision, values[i]);
+        out_ << buf;
+    }
+    out_ << '\n';
+}
+
+}  // namespace hsw::util

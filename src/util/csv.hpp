@@ -1,0 +1,26 @@
+// Minimal CSV writer for figure series (the bench harnesses can dump the
+// exact data behind each paper figure for external plotting).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hsw::util {
+
+class CsvWriter {
+public:
+    /// Opens `path` for writing; throws std::runtime_error on failure.
+    explicit CsvWriter(const std::string& path);
+
+    void write_header(const std::vector<std::string>& columns);
+    void write_row(const std::vector<std::string>& cells);
+    void write_row(const std::vector<double>& values, int precision = 6);
+
+    [[nodiscard]] static std::string escape(const std::string& cell);
+
+private:
+    std::ofstream out_;
+};
+
+}  // namespace hsw::util

@@ -1,0 +1,80 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hsw::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, bin_width_{(hi - lo) / static_cast<double>(bins)},
+      counts_(bins, 0) {
+    if (bins == 0 || hi <= lo) {
+        throw std::invalid_argument{"Histogram: need bins > 0 and hi > lo"};
+    }
+}
+
+void Histogram::add(double x) {
+    samples_.push_back(x);
+    ++total_;
+    std::size_t bin;
+    if (x < lo_) {
+        ++underflow_;
+        bin = 0;
+    } else if (x >= hi_) {
+        ++overflow_;
+        bin = counts_.size() - 1;
+    } else {
+        bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+        bin = std::min(bin, counts_.size() - 1);
+    }
+    ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+    for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+    return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+double Histogram::bin_center(std::size_t bin) const {
+    return bin_lo(bin) + 0.5 * bin_width_;
+}
+
+std::size_t Histogram::mode_bin() const {
+    return static_cast<std::size_t>(
+        std::distance(counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+}
+
+double Histogram::fraction_in(double lo, double hi) const {
+    if (samples_.empty()) return 0.0;
+    std::size_t n = 0;
+    for (double x : samples_) {
+        if (x >= lo && x < hi) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::string out;
+    const std::size_t peak = counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double scale = peak == 0 ? 0.0
+                                       : static_cast<double>(counts_[i]) /
+                                             static_cast<double>(peak);
+        const auto bar_len = static_cast<std::size_t>(scale * static_cast<double>(width));
+        std::snprintf(line, sizeof line, "[%8.1f, %8.1f) %6zu |", bin_lo(i), bin_hi(i),
+                      counts_[i]);
+        out += line;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace hsw::util

@@ -1,0 +1,50 @@
+// Fixed-bin histogram with an ASCII renderer, used for the Figure 3
+// p-state transition latency distributions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hsw::util {
+
+class Histogram {
+public:
+    /// Bins cover [lo, hi) uniformly; samples outside are clamped into the
+    /// first/last bin (underflow/overflow counts are also tracked).
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    void add_all(std::span<const double> xs);
+
+    [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+    [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] std::size_t total() const { return total_; }
+    [[nodiscard]] std::size_t underflow() const { return underflow_; }
+    [[nodiscard]] std::size_t overflow() const { return overflow_; }
+    [[nodiscard]] double bin_lo(std::size_t bin) const;
+    [[nodiscard]] double bin_hi(std::size_t bin) const;
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+
+    /// Index of the fullest bin.
+    [[nodiscard]] std::size_t mode_bin() const;
+
+    /// Fraction of samples falling in [lo, hi).
+    [[nodiscard]] double fraction_in(double lo, double hi) const;
+
+    /// Multi-line ASCII rendering: one row per bin, bar scaled to `width`.
+    [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double bin_width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::vector<double> samples_;  // retained for fraction_in queries
+};
+
+}  // namespace hsw::util

@@ -1,0 +1,110 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the simulator (measurement noise, silicon
+// variation, PCU grid phase) is drawn from Xoshiro256** streams seeded via
+// SplitMix64, so a node constructed with the same seed replays exactly.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace hsw::util {
+
+/// SplitMix64: used only to expand a user seed into Xoshiro state.
+class SplitMix64 {
+public:
+    constexpr explicit SplitMix64(std::uint64_t seed) : state_{seed} {}
+
+    constexpr std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Xoshiro256** by Blackman & Vigna; fast, high-quality, 2^256-1 period.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) {
+        SplitMix64 sm{seed};
+        for (auto& s : s_) s = sm.next();
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t uniform_u64(std::uint64_t n) {
+        // Lemire's multiply-shift rejection method (unbiased).
+        std::uint64_t x = next_u64();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto l = static_cast<std::uint64_t>(m);
+        if (l < n) {
+            const std::uint64_t t = (0 - n) % n;
+            while (l < t) {
+                x = next_u64();
+                m = static_cast<__uint128_t>(x) * n;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Standard normal via Box-Muller (caches the second deviate).
+    double normal() {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = uniform();
+        while (u1 <= 0.0) u1 = uniform();
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * std::numbers::pi * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+    /// Derive an independent child stream (for per-core/per-socket noise).
+    [[nodiscard]] Rng fork(std::uint64_t stream_id) {
+        SplitMix64 sm{next_u64() ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1))};
+        Rng child{0};
+        for (auto& s : child.s_) s = sm.next();
+        return child;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> s_{};
+    double cached_ = 0.0;
+    bool have_cached_ = false;
+};
+
+}  // namespace hsw::util

@@ -1,0 +1,201 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hsw::util {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs) s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+    if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+    if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+    if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::vector<double> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= v.size()) return v.back();
+    return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+namespace {
+
+// Two-sided Student's t critical values for common confidence levels.
+// Rows are degrees of freedom; beyond the table we use the normal limit.
+double t_critical(std::size_t dof, double level) {
+    struct Entry { std::size_t dof; double t95; double t99; };
+    static constexpr Entry table[] = {
+        {1, 12.706, 63.657}, {2, 4.303, 9.925},  {3, 3.182, 5.841},
+        {4, 2.776, 4.604},   {5, 2.571, 4.032},  {6, 2.447, 3.707},
+        {7, 2.365, 3.499},   {8, 2.306, 3.355},  {9, 2.262, 3.250},
+        {10, 2.228, 3.169},  {12, 2.179, 3.055}, {15, 2.131, 2.947},
+        {20, 2.086, 2.845},  {25, 2.060, 2.787}, {30, 2.042, 2.750},
+        {40, 2.021, 2.704},  {60, 2.000, 2.660}, {120, 1.980, 2.617},
+    };
+    const bool want99 = level > 0.97;
+    double result = want99 ? 2.576 : 1.960;  // normal limit
+    for (const auto& e : table) {
+        if (dof <= e.dof) {
+            result = want99 ? e.t99 : e.t95;
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+double confidence_halfwidth(std::span<const double> xs, double level) {
+    if (xs.size() < 2) return 0.0;
+    const double se = stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+    return t_critical(xs.size() - 1, level) * se;
+}
+
+namespace {
+
+double r_squared_of(std::span<const double> x, std::span<const double> y,
+                    auto&& predict) {
+    const double my = mean(y);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double e = y[i] - predict(x[i]);
+        ss_res += e * e;
+        ss_tot += (y[i] - my) * (y[i] - my);
+    }
+    if (ss_tot == 0.0) return 1.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+    if (x.size() != y.size() || x.size() < 2) {
+        throw std::invalid_argument{"fit_linear: need >= 2 equally sized samples"};
+    }
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxx += (x[i] - mx) * (x[i] - mx);
+        sxy += (x[i] - mx) * (y[i] - my);
+    }
+    LinearFit f;
+    f.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+    f.intercept = my - f.slope * mx;
+    f.r_squared = r_squared_of(x, y, [&](double v) { return f.slope * v + f.intercept; });
+    return f;
+}
+
+QuadraticFit fit_quadratic(std::span<const double> x, std::span<const double> y) {
+    if (x.size() != y.size() || x.size() < 3) {
+        throw std::invalid_argument{"fit_quadratic: need >= 3 equally sized samples"};
+    }
+    // Normal equations for [a b c] with moments up to x^4.
+    double s0 = static_cast<double>(x.size());
+    double s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+    double t0 = 0, t1 = 0, t2 = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double xi = x[i];
+        const double xi2 = xi * xi;
+        s1 += xi; s2 += xi2; s3 += xi2 * xi; s4 += xi2 * xi2;
+        t0 += y[i]; t1 += y[i] * xi; t2 += y[i] * xi2;
+    }
+    // Solve the symmetric 3x3 system via Cramer's rule:
+    //  [s4 s3 s2][a]   [t2]
+    //  [s3 s2 s1][b] = [t1]
+    //  [s2 s1 s0][c]   [t0]
+    const double det = s4 * (s2 * s0 - s1 * s1) - s3 * (s3 * s0 - s1 * s2) +
+                       s2 * (s3 * s1 - s2 * s2);
+    QuadraticFit f;
+    if (det != 0.0) {
+        f.a = (t2 * (s2 * s0 - s1 * s1) - s3 * (t1 * s0 - t0 * s1) +
+               s2 * (t1 * s1 - t0 * s2)) / det;
+        f.b = (s4 * (t1 * s0 - t0 * s1) - t2 * (s3 * s0 - s1 * s2) +
+               s2 * (s3 * t0 - t1 * s2)) / det;
+        f.c = (s4 * (s2 * t0 - t1 * s1) - s3 * (s3 * t0 - t1 * s2) +
+               t2 * (s3 * s1 - s2 * s2)) / det;
+    }
+    f.r_squared = r_squared_of(x, y, [&](double v) { return (f.a * v + f.b) * v + f.c; });
+    return f;
+}
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+WindowAverage best_window(std::span<const double> times,
+                          std::span<const double> values,
+                          double window_length) {
+    assert(times.size() == values.size());
+    WindowAverage best;
+    if (times.empty()) return best;
+    best.average = -std::numeric_limits<double>::infinity();
+    std::size_t lo = 0;
+    double sum = 0.0;
+    for (std::size_t hi = 0; hi < times.size(); ++hi) {
+        sum += values[hi];
+        while (times[hi] - times[lo] > window_length) {
+            sum -= values[lo];
+            ++lo;
+        }
+        const double avg = sum / static_cast<double>(hi - lo + 1);
+        if (avg > best.average) {
+            best.average = avg;
+            best.start_time = times[lo];
+        }
+    }
+    return best;
+}
+
+}  // namespace hsw::util

@@ -1,0 +1,84 @@
+// Descriptive statistics, confidence intervals, and least-squares fits.
+//
+// These are the statistical tools the paper's methodology relies on:
+// medians over 50 one-second samples (Table IV), 99 % confidence intervals
+// (FTaLaT modification, Section VI-A), and the linear/quadratic RAPL-vs-AC
+// fits with R-squared (Figure 2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hsw::util {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  // sample variance (n-1)
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// Median; copies and partially sorts the input.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Quantile q in [0,1] with linear interpolation between order statistics.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Two-sided confidence interval half-width for the mean at the given level
+/// (0.95 or 0.99), using Student's t for small n and the normal limit above
+/// n = 120.
+[[nodiscard]] double confidence_halfwidth(std::span<const double> xs, double level);
+
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+    [[nodiscard]] double operator()(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+struct QuadraticFit {
+    double a = 0.0;  // x^2 coefficient
+    double b = 0.0;  // x coefficient
+    double c = 0.0;  // constant
+    double r_squared = 0.0;
+    [[nodiscard]] double operator()(double x) const { return (a * x + b) * x + c; }
+};
+
+/// Least squares y = a*x^2 + b*x + c via the 3x3 normal equations.
+[[nodiscard]] QuadraticFit fit_quadratic(std::span<const double> x, std::span<const double> y);
+
+/// Running accumulator for streaming mean/variance (Welford).
+class RunningStats {
+public:
+    void add(double x);
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return mean_; }
+    [[nodiscard]] double variance() const;  // sample variance
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+    void reset();
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Sliding one-minute-style window over (time, value) samples; returns the
+/// window with the highest average value, as used for Table V ("we extract
+/// the 1 minute interval with the highest average power consumption").
+struct WindowAverage {
+    double start_time = 0.0;
+    double average = 0.0;
+};
+[[nodiscard]] WindowAverage best_window(std::span<const double> times,
+                                        std::span<const double> values,
+                                        double window_length);
+
+}  // namespace hsw::util

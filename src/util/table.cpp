@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hsw::util {
+
+Table::Table(std::string title) : title_{std::move(title)} {}
+
+void Table::set_header(std::vector<std::string> columns) { header_ = std::move(columns); }
+
+void Table::add_row(std::vector<std::string> cells) {
+    rows_.push_back(Row{std::move(cells), pending_separator_});
+    pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+std::string Table::fmt(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string Table::render() const {
+    // Compute column widths over header + all rows.
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+    std::vector<std::size_t> widths(ncols, 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r.cells);
+
+    auto hline = [&] {
+        std::string s = "+";
+        for (auto w : widths) s += std::string(w + 2, '-') + "+";
+        s += '\n';
+        return s;
+    };
+    auto render_row = [&](const std::vector<std::string>& cells) {
+        std::string s = "|";
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string& c = i < cells.size() ? cells[i] : std::string{};
+            s += " " + c + std::string(widths[i] - c.size(), ' ') + " |";
+        }
+        s += '\n';
+        return s;
+    };
+
+    std::string out;
+    if (!title_.empty()) out += title_ + "\n";
+    out += hline();
+    if (!header_.empty()) {
+        out += render_row(header_);
+        out += hline();
+    }
+    for (const auto& r : rows_) {
+        if (r.separator_before) out += hline();
+        out += render_row(r.cells);
+    }
+    out += hline();
+    return out;
+}
+
+}  // namespace hsw::util

@@ -1,0 +1,42 @@
+// ASCII table rendering for the paper-style result tables printed by the
+// bench harnesses (Tables I-V).
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hsw::util {
+
+class Table {
+public:
+    explicit Table(std::string title = {});
+
+    /// The header row. Must be set before any data row.
+    void set_header(std::vector<std::string> columns);
+
+    /// Append a data row; shorter rows are padded with empty cells.
+    void add_row(std::vector<std::string> cells);
+
+    /// Insert a horizontal separator before the next row.
+    void add_separator();
+
+    /// Convenience: format a double with the given precision.
+    [[nodiscard]] static std::string fmt(double v, int precision = 2);
+
+    [[nodiscard]] std::string render() const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separator_before = false;
+    };
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+    bool pending_separator_ = false;
+};
+
+}  // namespace hsw::util

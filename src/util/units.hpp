@@ -1,0 +1,174 @@
+// Strong-typed physical units used throughout the simulator.
+//
+// Time is an integer nanosecond count so that event ordering is exact and
+// replayable; the analog quantities (frequency, voltage, power, energy) are
+// doubles wrapped in distinct types so that a watt can never be passed where
+// a volt is expected.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace hsw::util {
+
+/// Simulation time: signed 64-bit nanoseconds (covers ~292 years).
+class Time {
+public:
+    constexpr Time() = default;
+
+    [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v}; }
+    [[nodiscard]] static constexpr Time us(std::int64_t v) { return Time{v * 1000}; }
+    [[nodiscard]] static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+    [[nodiscard]] static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
+    /// Construct from a floating-point second count (rounded to the nearest ns).
+    [[nodiscard]] static constexpr Time from_seconds(double s) {
+        return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+    }
+    [[nodiscard]] static constexpr Time from_us(double us) { return from_seconds(us * 1e-6); }
+    [[nodiscard]] static constexpr Time max() {
+        return Time{std::numeric_limits<std::int64_t>::max()};
+    }
+    [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+
+    [[nodiscard]] constexpr std::int64_t as_ns() const { return ns_; }
+    [[nodiscard]] constexpr double as_us() const { return static_cast<double>(ns_) * 1e-3; }
+    [[nodiscard]] constexpr double as_ms() const { return static_cast<double>(ns_) * 1e-6; }
+    [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+    constexpr auto operator<=>(const Time&) const = default;
+    constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+    constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+    friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+    friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+    friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+    friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+    friend constexpr std::int64_t operator/(Time a, Time b) { return a.ns_ / b.ns_; }
+    friend constexpr Time operator%(Time a, Time b) { return Time{a.ns_ % b.ns_}; }
+
+private:
+    constexpr explicit Time(std::int64_t v) : ns_{v} {}
+    std::int64_t ns_ = 0;
+};
+
+/// Clock frequency in Hz. P-state ratios on real hardware are multiples of
+/// the 100 MHz BCLK; `from_ratio` mirrors that encoding.
+class Frequency {
+public:
+    constexpr Frequency() = default;
+
+    [[nodiscard]] static constexpr Frequency hz(double v) { return Frequency{v}; }
+    [[nodiscard]] static constexpr Frequency mhz(double v) { return Frequency{v * 1e6}; }
+    [[nodiscard]] static constexpr Frequency ghz(double v) { return Frequency{v * 1e9}; }
+    /// BCLK multiple (12 -> 1.2 GHz), the encoding used in IA32_PERF_CTL.
+    [[nodiscard]] static constexpr Frequency from_ratio(unsigned ratio) {
+        return Frequency{static_cast<double>(ratio) * 100e6};
+    }
+    [[nodiscard]] static constexpr Frequency zero() { return Frequency{0.0}; }
+
+    [[nodiscard]] constexpr double as_hz() const { return hz_; }
+    [[nodiscard]] constexpr double as_mhz() const { return hz_ * 1e-6; }
+    [[nodiscard]] constexpr double as_ghz() const { return hz_ * 1e-9; }
+    /// Nearest BCLK multiple, as written to IA32_PERF_CTL[15:8].
+    [[nodiscard]] constexpr unsigned ratio() const {
+        return static_cast<unsigned>(hz_ / 100e6 + 0.5);
+    }
+    /// Cycles elapsed over `t` at this frequency.
+    [[nodiscard]] constexpr double cycles_in(Time t) const { return hz_ * t.as_seconds(); }
+
+    constexpr auto operator<=>(const Frequency&) const = default;
+    friend constexpr Frequency operator+(Frequency a, Frequency b) { return Frequency{a.hz_ + b.hz_}; }
+    friend constexpr Frequency operator-(Frequency a, Frequency b) { return Frequency{a.hz_ - b.hz_}; }
+    friend constexpr Frequency operator*(Frequency a, double k) { return Frequency{a.hz_ * k}; }
+    friend constexpr Frequency operator*(double k, Frequency a) { return Frequency{a.hz_ * k}; }
+    friend constexpr double operator/(Frequency a, Frequency b) { return a.hz_ / b.hz_; }
+
+private:
+    constexpr explicit Frequency(double v) : hz_{v} {}
+    double hz_ = 0.0;
+};
+
+class Voltage {
+public:
+    constexpr Voltage() = default;
+    [[nodiscard]] static constexpr Voltage volts(double v) { return Voltage{v}; }
+    [[nodiscard]] static constexpr Voltage millivolts(double v) { return Voltage{v * 1e-3}; }
+    [[nodiscard]] constexpr double as_volts() const { return v_; }
+    [[nodiscard]] constexpr double as_millivolts() const { return v_ * 1e3; }
+    constexpr auto operator<=>(const Voltage&) const = default;
+    friend constexpr Voltage operator+(Voltage a, Voltage b) { return Voltage{a.v_ + b.v_}; }
+    friend constexpr Voltage operator-(Voltage a, Voltage b) { return Voltage{a.v_ - b.v_}; }
+    friend constexpr Voltage operator*(Voltage a, double k) { return Voltage{a.v_ * k}; }
+    friend constexpr Voltage operator*(double k, Voltage a) { return Voltage{a.v_ * k}; }
+private:
+    constexpr explicit Voltage(double v) : v_{v} {}
+    double v_ = 0.0;
+};
+
+class Energy;
+
+class Power {
+public:
+    constexpr Power() = default;
+    [[nodiscard]] static constexpr Power watts(double v) { return Power{v}; }
+    [[nodiscard]] static constexpr Power milliwatts(double v) { return Power{v * 1e-3}; }
+    [[nodiscard]] static constexpr Power zero() { return Power{0.0}; }
+    [[nodiscard]] constexpr double as_watts() const { return w_; }
+    constexpr auto operator<=>(const Power&) const = default;
+    friend constexpr Power operator+(Power a, Power b) { return Power{a.w_ + b.w_}; }
+    friend constexpr Power operator-(Power a, Power b) { return Power{a.w_ - b.w_}; }
+    friend constexpr Power operator*(Power a, double k) { return Power{a.w_ * k}; }
+    friend constexpr Power operator*(double k, Power a) { return Power{a.w_ * k}; }
+    friend constexpr double operator/(Power a, Power b) { return a.w_ / b.w_; }
+    constexpr Power& operator+=(Power o) { w_ += o.w_; return *this; }
+    friend constexpr Energy operator*(Power p, Time t);
+private:
+    constexpr explicit Power(double v) : w_{v} {}
+    double w_ = 0.0;
+};
+
+class Energy {
+public:
+    constexpr Energy() = default;
+    [[nodiscard]] static constexpr Energy joules(double v) { return Energy{v}; }
+    [[nodiscard]] static constexpr Energy microjoules(double v) { return Energy{v * 1e-6}; }
+    [[nodiscard]] static constexpr Energy zero() { return Energy{0.0}; }
+    [[nodiscard]] constexpr double as_joules() const { return j_; }
+    [[nodiscard]] constexpr double as_microjoules() const { return j_ * 1e6; }
+    constexpr auto operator<=>(const Energy&) const = default;
+    friend constexpr Energy operator+(Energy a, Energy b) { return Energy{a.j_ + b.j_}; }
+    friend constexpr Energy operator-(Energy a, Energy b) { return Energy{a.j_ - b.j_}; }
+    friend constexpr Energy operator*(Energy a, double k) { return Energy{a.j_ * k}; }
+    constexpr Energy& operator+=(Energy o) { j_ += o.j_; return *this; }
+    /// Average power over an interval.
+    [[nodiscard]] constexpr Power over(Time t) const { return Power::watts(j_ / t.as_seconds()); }
+private:
+    constexpr explicit Energy(double v) : j_{v} {}
+    double j_ = 0.0;
+};
+
+constexpr Energy operator*(Power p, Time t) { return Energy::joules(p.w_ * t.as_seconds()); }
+constexpr Energy operator*(Time t, Power p) { return p * t; }
+
+/// Data rate in bytes/second (memory bandwidth).
+class Bandwidth {
+public:
+    constexpr Bandwidth() = default;
+    [[nodiscard]] static constexpr Bandwidth bytes_per_sec(double v) { return Bandwidth{v}; }
+    [[nodiscard]] static constexpr Bandwidth gib_per_sec(double v) {
+        return Bandwidth{v * 1024.0 * 1024.0 * 1024.0};
+    }
+    [[nodiscard]] static constexpr Bandwidth gb_per_sec(double v) { return Bandwidth{v * 1e9}; }
+    [[nodiscard]] constexpr double as_bytes_per_sec() const { return bps_; }
+    [[nodiscard]] constexpr double as_gb_per_sec() const { return bps_ * 1e-9; }
+    constexpr auto operator<=>(const Bandwidth&) const = default;
+    friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) { return Bandwidth{a.bps_ + b.bps_}; }
+    friend constexpr Bandwidth operator*(Bandwidth a, double k) { return Bandwidth{a.bps_ * k}; }
+    friend constexpr double operator/(Bandwidth a, Bandwidth b) { return a.bps_ / b.bps_; }
+private:
+    constexpr explicit Bandwidth(double v) : bps_{v} {}
+    double bps_ = 0.0;
+};
+
+}  // namespace hsw::util

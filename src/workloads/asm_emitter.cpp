@@ -1,0 +1,156 @@
+#include "workloads/asm_emitter.hpp"
+
+#include <cstdio>
+
+namespace hsw::workloads {
+
+namespace {
+
+/// Pointer register per memory level (reg groups use none).
+const char* pointer_reg(GroupTarget t) {
+    switch (t) {
+        case GroupTarget::L1: return "%r9";
+        case GroupTarget::L2: return "%r10";
+        case GroupTarget::L3: return "%r11";
+        case GroupTarget::Mem: return "%r12";
+        case GroupTarget::Reg: return nullptr;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+std::string emit_asm(const FirestarterPayload& payload, const AsmEmitOptions& opt) {
+    std::string out;
+    char line[256];
+
+    out += "# FIRESTARTER-style stress kernel, generated from the group IR\n";
+    out += "# (groups of 4 instructions in 16-byte fetch windows; Section VIII)\n";
+    out += "\t.text\n";
+    std::snprintf(line, sizeof line, "\t.globl %s\n\t.type %s, @function\n",
+                  opt.function_name.c_str(), opt.function_name.c_str());
+    out += line;
+    std::snprintf(line, sizeof line, "%s:\n", opt.function_name.c_str());
+    out += line;
+
+    // Prologue: rdi = buffer base, rsi = iteration count.
+    out += "\t# rdi: 64-byte aligned work buffer, rsi: loop iterations\n";
+    out += "\tpush %r12\n";
+    out += "\tlea (%rdi), %r9          # L1 pointer\n";
+    std::snprintf(line, sizeof line, "\tlea %zu(%%rdi), %%r10   # L2 pointer\n",
+                  opt.l1_span);
+    out += line;
+    std::snprintf(line, sizeof line, "\tlea %zu(%%rdi), %%r11   # L3 pointer\n",
+                  opt.l1_span + opt.l2_span);
+    out += line;
+    std::snprintf(line, sizeof line, "\tlea %zu(%%rdi), %%r12   # mem pointer\n",
+                  opt.l1_span + opt.l2_span + opt.l3_span);
+    out += line;
+    out += "\tmov $0x5555555555555555, %r8\n";
+    out += "\tvmovapd (%rdi), %ymm14    # multiplicand constant\n";
+    out += "\tvmovapd 32(%rdi), %ymm15  # addend constant\n";
+    out += "\t.align 16\n";
+    std::snprintf(line, sizeof line, ".L%s_loop:\n", opt.function_name.c_str());
+    out += line;
+
+    unsigned data_reg = 0;  // rotate through ymm0..ymm13
+    auto next_reg = [&] {
+        const unsigned r = data_reg;
+        data_reg = (data_reg + 1) % 14;
+        return r;
+    };
+
+    for (const auto& g : payload.groups()) {
+        const char* ptr = pointer_reg(g.target);
+        const unsigned a = next_reg();
+        std::snprintf(line, sizeof line, "\t# group: %s\n", name(g.target));
+        out += line;
+        for (const auto& i : g.instructions) {
+            switch (i.op) {
+                case Op::Fma:
+                    std::snprintf(line, sizeof line,
+                                  "\tvfmadd231pd %%ymm14, %%ymm15, %%ymm%u\n", a);
+                    break;
+                case Op::Store:
+                    std::snprintf(line, sizeof line,
+                                  "\tvmovapd %%ymm%u, (%s)\n", a, ptr);
+                    break;
+                case Op::FmaLoad:
+                    std::snprintf(line, sizeof line,
+                                  "\tvfmadd231pd 32(%s), %%ymm15, %%ymm%u\n", ptr, a);
+                    break;
+                case Op::Shift:
+                    std::snprintf(line, sizeof line, "\tshr $1, %%r8\n");
+                    break;
+                case Op::Xor:
+                    std::snprintf(line, sizeof line, "\txor %%r13d, %%r13d\n");
+                    break;
+                case Op::AddPtr:
+                    std::snprintf(line, sizeof line, "\tadd $64, %s\n", ptr);
+                    break;
+            }
+            out += line;
+        }
+    }
+
+    // Wrap the pointers so each level's working set stays resident.
+    out += "\t# wrap level pointers to their spans\n";
+    struct Wrap {
+        const char* reg;
+        std::size_t offset;
+        std::size_t span;
+    };
+    const Wrap wraps[] = {{"%r9", 0, opt.l1_span},
+                          {"%r10", opt.l1_span, opt.l2_span},
+                          {"%r11", opt.l1_span + opt.l2_span, opt.l3_span},
+                          {"%r12", opt.l1_span + opt.l2_span + opt.l3_span,
+                           opt.mem_span}};
+    for (const auto& w : wraps) {
+        std::snprintf(line, sizeof line,
+                      "\tlea %zu(%%rdi), %%r13\n\tcmp %%r13, %s\n"
+                      "\tcmovae %%r13, %s\n",
+                      w.offset, w.reg, w.reg);
+        out += line;
+        (void)w.span;  // the cmov resets to the level base on overflow
+    }
+
+    std::snprintf(line, sizeof line,
+                  "\tdec %%rsi\n\tjnz .L%s_loop\n", opt.function_name.c_str());
+    out += line;
+    out += "\tpop %r12\n";
+    out += "\tret\n";
+    std::snprintf(line, sizeof line, "\t.size %s, .-%s\n", opt.function_name.c_str(),
+                  opt.function_name.c_str());
+    out += line;
+    return out;
+}
+
+AsmStats analyze_asm(const std::string& text) {
+    AsmStats stats;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) eol = text.size();
+        const std::string_view ln{text.data() + pos, eol - pos};
+        pos = eol + 1;
+        if (ln.empty()) continue;
+        if (ln.find(':') != std::string_view::npos &&
+            ln.find("\t") != 0) {
+            ++stats.label_count;
+            continue;
+        }
+        if (ln[0] != '\t' || ln.size() < 2 || ln[1] == '.' || ln[1] == '#') continue;
+        ++stats.instruction_lines;
+        if (ln.find("vfmadd231pd") != std::string_view::npos) {
+            ++stats.fma_count;
+            if (ln.find("(%r") != std::string_view::npos) ++stats.load_fma_count;
+        }
+        if (ln.find("vmovapd %ymm") != std::string_view::npos &&
+            ln.find(", (") != std::string_view::npos) {
+            ++stats.store_count;
+        }
+    }
+    return stats;
+}
+
+}  // namespace hsw::workloads

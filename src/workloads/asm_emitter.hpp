@@ -1,0 +1,42 @@
+// x86-64 assembly emission for FIRESTARTER payloads.
+//
+// Turns the instruction-group IR into a complete AT&T-syntax GNU assembler
+// translation unit: buffer setup, register allocation (ymm0-ymm13 data,
+// ymm14/15 constants; one pointer register per memory level), the unrolled
+// group loop, and a loop-count epilogue. The emitted code follows the
+// Section VIII structure: 4-instruction groups aligned to the 16-byte
+// fetch window, per-level pointer strides sized so each level's accesses
+// stay resident in the intended cache.
+#pragma once
+
+#include <string>
+
+#include "workloads/firestarter.hpp"
+
+namespace hsw::workloads {
+
+struct AsmEmitOptions {
+    std::string function_name = "firestarter_kernel";
+    /// Bytes accessed per pointer before wrapping (per memory level:
+    /// L1, L2, L3, mem). Defaults follow FIRESTARTER: stay inside the level.
+    std::size_t l1_span = 24 * 1024;
+    std::size_t l2_span = 192 * 1024;
+    std::size_t l3_span = 2 * 1024 * 1024;
+    std::size_t mem_span = 64 * 1024 * 1024;
+};
+
+/// Emit a standalone .s translation unit for the payload.
+[[nodiscard]] std::string emit_asm(const FirestarterPayload& payload,
+                                   const AsmEmitOptions& options = {});
+
+/// Statistics over the emitted text (for tests and reporting).
+struct AsmStats {
+    std::size_t instruction_lines = 0;
+    std::size_t fma_count = 0;
+    std::size_t store_count = 0;
+    std::size_t load_fma_count = 0;
+    std::size_t label_count = 0;
+};
+[[nodiscard]] AsmStats analyze_asm(const std::string& text);
+
+}  // namespace hsw::workloads

@@ -1,0 +1,198 @@
+#include "workloads/firestarter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "arch/calibration.hpp"
+
+namespace hsw::workloads {
+
+namespace cal = hsw::arch::cal;
+
+unsigned InstructionGroup::bytes() const {
+    unsigned b = 0;
+    for (const auto& i : instructions) b += i.bytes;
+    return b;
+}
+
+unsigned InstructionGroup::uops() const {
+    unsigned u = 0;
+    for (const auto& i : instructions) u += i.uops;
+    return u;
+}
+
+double InstructionGroup::flops() const {
+    double f = 0.0;
+    for (const auto& i : instructions) f += i.flops;
+    return f;
+}
+
+InstructionGroup make_group(GroupTarget target) {
+    // A 256-bit FMA performs 4 fused multiply-adds = 8 double FLOPs.
+    constexpr double kFmaFlops = 8.0;
+    const bool reg = target == GroupTarget::Reg;
+
+    // I1: packed double FMA working on registers (reg, mem) or a store to
+    // the respective cache level (L1, L2, L3).
+    Instruction i1;
+    if (reg || target == GroupTarget::Mem) {
+        i1 = {Op::Fma, true, 4, 1, false, false, kFmaFlops};
+    } else {
+        i1 = {Op::Store, true, 4, 1, false, true, 0.0};
+    }
+    // I2: FMA, combined with a load for the cache/memory levels.
+    const Instruction i2 = reg
+        ? Instruction{Op::Fma, true, 4, 1, false, false, kFmaFlops}
+        : Instruction{Op::FmaLoad, true, 5, 1, true, false, kFmaFlops};
+    // I3: right shift.
+    const Instruction i3{Op::Shift, false, 3, 1, false, false, 0.0};
+    // I4: xor (reg) or pointer-increment add.
+    const Instruction i4 = reg
+        ? Instruction{Op::Xor, false, 3, 1, false, false, 0.0}
+        : Instruction{Op::AddPtr, false, 4, 1, false, false, 0.0};
+
+    return InstructionGroup{target, {i1, i2, i3, i4}};
+}
+
+namespace {
+
+/// Largest-remainder apportionment of `total` groups to the paper's ratios.
+std::array<std::size_t, 5> apportion(std::size_t total) {
+    const std::array<double, 5> ratios{cal::kFsRegRatio, cal::kFsL1Ratio, cal::kFsL2Ratio,
+                                       cal::kFsL3Ratio, cal::kFsMemRatio};
+    std::array<std::size_t, 5> counts{};
+    std::array<double, 5> remainders{};
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+        const double exact = ratios[i] * static_cast<double>(total);
+        counts[i] = static_cast<std::size_t>(exact);
+        remainders[i] = exact - static_cast<double>(counts[i]);
+        assigned += counts[i];
+    }
+    while (assigned < total) {
+        const std::size_t best = static_cast<std::size_t>(std::distance(
+            remainders.begin(), std::max_element(remainders.begin(), remainders.end())));
+        ++counts[best];
+        remainders[best] = -1.0;
+        ++assigned;
+    }
+    return counts;
+}
+
+constexpr std::array<GroupTarget, 5> kTargets{GroupTarget::Reg, GroupTarget::L1,
+                                              GroupTarget::L2, GroupTarget::L3,
+                                              GroupTarget::Mem};
+
+}  // namespace
+
+FirestarterPayload::FirestarterPayload(std::size_t group_count) {
+    *this = from_counts(apportion(group_count));
+}
+
+FirestarterPayload FirestarterPayload::from_counts(
+    const std::array<std::size_t, 5>& counts) {
+    std::size_t group_count = 0;
+    for (std::size_t c : counts) group_count += c;
+
+    // Deterministic low-discrepancy interleaving: at every step emit the
+    // target whose achieved fraction lags its goal the most, spreading the
+    // rare L3/mem groups evenly through the loop.
+    FirestarterPayload payload{EmptyTag{}};
+    std::array<std::size_t, 5> emitted{};
+    payload.groups_.reserve(group_count);
+    for (std::size_t step = 0; step < group_count; ++step) {
+        std::size_t best = 0;
+        double best_deficit = -1e300;
+        for (std::size_t i = 0; i < 5; ++i) {
+            if (emitted[i] >= counts[i]) continue;
+            const double goal = static_cast<double>(counts[i]) *
+                                static_cast<double>(step + 1) /
+                                static_cast<double>(group_count);
+            const double deficit = goal - static_cast<double>(emitted[i]);
+            if (deficit > best_deficit) {
+                best_deficit = deficit;
+                best = i;
+            }
+        }
+        ++emitted[best];
+        payload.groups_.push_back(make_group(kTargets[best]));
+    }
+    return payload;
+}
+
+PayloadProperties FirestarterPayload::analyze() const {
+    PayloadProperties p;
+    p.group_count = groups_.size();
+    std::size_t avx = 0;
+    std::size_t loads = 0;
+    std::size_t stores = 0;
+    double flops = 0.0;
+    std::array<std::size_t, 5> per_target{};
+    for (const auto& g : groups_) {
+        p.code_bytes += g.bytes();
+        p.uop_count += g.uops();
+        p.instruction_count += g.instructions.size();
+        flops += g.flops();
+        per_target[static_cast<std::size_t>(g.target)]++;
+        for (const auto& i : g.instructions) {
+            if (i.is_avx) ++avx;
+            if (i.loads) ++loads;
+            if (i.stores) ++stores;
+        }
+    }
+    if (p.instruction_count > 0) {
+        p.avx_fraction = static_cast<double>(avx) / static_cast<double>(p.instruction_count);
+        p.load_fraction = static_cast<double>(loads) / static_cast<double>(p.instruction_count);
+        p.store_fraction =
+            static_cast<double>(stores) / static_cast<double>(p.instruction_count);
+    }
+    if (p.group_count > 0) {
+        p.flops_per_group_avg = flops / static_cast<double>(p.group_count);
+        for (std::size_t i = 0; i < 5; ++i) {
+            p.target_ratios[i] =
+                static_cast<double>(per_target[i]) / static_cast<double>(p.group_count);
+        }
+    }
+    p.exceeds_uop_cache = p.uop_count > cal::kUopCacheCapacityUops;
+    p.fits_l1i = p.code_bytes <= cal::kL1ICapacityBytes;
+    return p;
+}
+
+std::string FirestarterPayload::disassemble(std::size_t max_groups) const {
+    static constexpr const char* kOpNames[] = {
+        "vfmadd231pd ymm, ymm, ymm", "vmovapd [ptr], ymm",
+        "vfmadd231pd ymm, ymm, [ptr]", "shr r, 1", "xor r, r", "add ptr, 64"};
+    std::string out;
+    char line[128];
+    const std::size_t n = std::min(max_groups, groups_.size());
+    for (std::size_t g = 0; g < n; ++g) {
+        std::snprintf(line, sizeof line, "; group %zu (%s)\n", g, name(groups_[g].target));
+        out += line;
+        for (const auto& i : groups_[g].instructions) {
+            std::snprintf(line, sizeof line, "  %s\n",
+                          kOpNames[static_cast<std::size_t>(i.op)]);
+            out += line;
+        }
+    }
+    if (groups_.size() > n) out += "; ...\n";
+    return out;
+}
+
+double FirestarterPayload::estimated_ipc(bool hyperthreading) const {
+    // Ideally one 4-instruction group issues per cycle (16-byte fetch
+    // window). Cache/memory groups stall the pipeline in proportion to
+    // their level's latency; a second hardware thread hides part of that.
+    const PayloadProperties p = analyze();
+    // Average stall cycles added per group, by target level.
+    constexpr std::array<double, 5> stall_per_group{0.0, 0.05, 0.45, 2.5, 9.0};
+    double stall = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) stall += p.target_ratios[i] * stall_per_group[i];
+    const double hiding = hyperthreading ? 0.55 : 0.45;  // latency hidden
+    const double cycles_per_group = 1.0 + stall * (1.0 - hiding);
+    const double ideal = static_cast<double>(cal::kFsGroupInstructions);
+    const double frontend = hyperthreading ? 0.854 : 0.78;  // decode/alloc share
+    return ideal / cycles_per_group * frontend;
+}
+
+}  // namespace hsw::workloads

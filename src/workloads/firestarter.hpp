@@ -1,0 +1,103 @@
+// FIRESTARTER payload generator (Section VIII, [23]).
+//
+// The stress loop is built from groups of four instructions (I1..I4) that
+// fit the 16-byte fetch window, one group per memory level:
+//   I1: packed-double FMA on registers, or a store to the level,
+//   I2: FMA, fused with a load for the cache/memory levels,
+//   I3: shift,
+//   I4: xor (reg) or pointer-increment add (cache/memory levels).
+// Groups are mixed at 27.8 % reg / 62.7 % L1 / 7.1 % L2 / 0.8 % L3 /
+// 1.6 % mem, and the loop must overflow the uop cache while fitting in L1I.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace hsw::workloads {
+
+enum class GroupTarget { Reg, L1, L2, L3, Mem };
+
+[[nodiscard]] constexpr const char* name(GroupTarget t) {
+    switch (t) {
+        case GroupTarget::Reg: return "reg";
+        case GroupTarget::L1: return "L1";
+        case GroupTarget::L2: return "L2";
+        case GroupTarget::L3: return "L3";
+        case GroupTarget::Mem: return "mem";
+    }
+    return "?";
+}
+
+enum class Op { Fma, Store, FmaLoad, Shift, Xor, AddPtr };
+
+struct Instruction {
+    Op op;
+    bool is_avx;       // 256-bit operand
+    unsigned bytes;    // encoded length
+    unsigned uops;
+    bool loads;
+    bool stores;
+    double flops;      // double-precision FLOPs contributed
+};
+
+struct InstructionGroup {
+    GroupTarget target;
+    std::array<Instruction, 4> instructions;
+    [[nodiscard]] unsigned bytes() const;
+    [[nodiscard]] unsigned uops() const;
+    [[nodiscard]] double flops() const;
+};
+
+/// Builds the canonical group for a memory level.
+[[nodiscard]] InstructionGroup make_group(GroupTarget target);
+
+struct PayloadProperties {
+    std::size_t group_count = 0;
+    std::size_t instruction_count = 0;
+    std::size_t code_bytes = 0;
+    std::size_t uop_count = 0;
+    double flops_per_group_avg = 0.0;
+    double avx_fraction = 0.0;        // AVX instructions / all instructions
+    double load_fraction = 0.0;
+    double store_fraction = 0.0;
+    bool exceeds_uop_cache = false;   // required for full decoder activity
+    bool fits_l1i = false;            // required to avoid fetch stalls
+    std::array<double, 5> target_ratios{};  // reg,L1,L2,L3,mem achieved
+};
+
+class FirestarterPayload {
+public:
+    /// Generate a loop of `group_count` groups at the paper's ratios using
+    /// largest-remainder apportionment and deterministic interleaving.
+    /// Default size is chosen to overflow the uop cache but fit in L1I.
+    explicit FirestarterPayload(std::size_t group_count = 560);
+
+    /// Build a payload with explicit per-target group counts
+    /// (reg, L1, L2, L3, mem), interleaved with the same low-discrepancy
+    /// scheme. Used by experiments that vary the mix.
+    [[nodiscard]] static FirestarterPayload from_counts(
+        const std::array<std::size_t, 5>& counts);
+
+    [[nodiscard]] const std::vector<InstructionGroup>& groups() const { return groups_; }
+    [[nodiscard]] PayloadProperties analyze() const;
+
+    /// Human-readable assembly-like listing (for the quickstart example).
+    [[nodiscard]] std::string disassemble(std::size_t max_groups = 16) const;
+
+    /// Estimated IPC on Haswell-EP given threading (decoder-limited group
+    /// issue derated by memory-group stalls). Reproduces the paper's
+    /// 3.1 (HT) / 2.8 (no HT).
+    [[nodiscard]] double estimated_ipc(bool hyperthreading) const;
+
+private:
+    struct EmptyTag {};
+    explicit FirestarterPayload(EmptyTag) {}  // used by from_counts
+
+    std::vector<InstructionGroup> groups_;
+};
+
+}  // namespace hsw::workloads

@@ -1,0 +1,37 @@
+// Workload registry: the Figure 2 microbenchmarks, the Table V stress
+// tests, and the Table III probe. Power/IPC parameters are calibrated so
+// the TDP-limited equilibria land on the paper's measured operating points
+// (see arch/calibration.hpp for the derivation anchors).
+#pragma once
+
+#include <span>
+
+#include "workloads/workload.hpp"
+
+namespace hsw::workloads {
+
+// --- Figure 2 microbenchmarks (RAPL validation, Section IV) ---
+[[nodiscard]] const Workload& sinus();
+[[nodiscard]] const Workload& busy_wait();
+[[nodiscard]] const Workload& memory_stream();
+[[nodiscard]] const Workload& compute();
+[[nodiscard]] const Workload& dgemm();
+[[nodiscard]] const Workload& sqrt_loop();
+
+/// All Fig. 2 microbenchmarks (excluding idle, which is "no workload").
+[[nodiscard]] std::span<const Workload* const> rapl_validation_set();
+
+// --- Section V / Table III probe ---
+/// while(1) loop: no memory accesses at all (uncore lower-bound scenario).
+[[nodiscard]] const Workload& while_one();
+
+// --- Section VII membench kernels ---
+/// Streaming reads over a 17 MB set: L3 resident, no DRAM traffic.
+[[nodiscard]] const Workload& l3_stream();
+
+// --- Section VIII stress tests (Table V) ---
+[[nodiscard]] const Workload& firestarter();
+[[nodiscard]] const Workload& linpack();
+[[nodiscard]] const Workload& mprime();
+
+}  // namespace hsw::workloads

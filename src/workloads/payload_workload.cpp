@@ -1,0 +1,90 @@
+#include "workloads/payload_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsw::workloads {
+
+namespace {
+
+// Per-level dynamic-power weights: how much switching activity one group
+// targeting the level causes, relative to a register-only FMA group
+// (execution units dominate; data movement through bigger structures costs
+// more per byte but stalls reduce issue rate, [30]).
+constexpr std::array<double, 5> kGroupPowerWeight{1.00, 1.08, 0.98, 0.72, 0.55};
+
+// Per-level DRAM traffic contribution (GB/s per core at full issue rate)
+// of one 100 % share of that group type.
+constexpr std::array<double, 5> kGroupDramGBs{0.0, 0.0, 0.0, 0.0, 230.0};
+
+// Per-level off-core stall contribution at 100 % share.
+constexpr std::array<double, 5> kGroupStall{0.0, 0.01, 0.10, 0.55, 0.95};
+
+}  // namespace
+
+FirestarterPayload payload_with_ratios(const std::array<double, 5>& ratios,
+                                       std::size_t groups) {
+    // Normalize and synthesize a payload with the requested mix by building
+    // it group-by-group with the same low-discrepancy scheme the canonical
+    // constructor uses -- reuse it by scaling counts.
+    double total = 0.0;
+    for (double r : ratios) total += std::max(0.0, r);
+    if (total <= 0.0) total = 1.0;
+
+    // Largest-remainder apportionment of the (normalized) custom ratios.
+    std::array<std::size_t, 5> counts{};
+    std::size_t assigned = 0;
+    std::array<double, 5> remainders{};
+    for (std::size_t i = 0; i < 5; ++i) {
+        const double exact = std::max(0.0, ratios[i]) / total * static_cast<double>(groups);
+        counts[i] = static_cast<std::size_t>(exact);
+        remainders[i] = exact - static_cast<double>(counts[i]);
+        assigned += counts[i];
+    }
+    while (assigned < groups) {
+        const std::size_t best = static_cast<std::size_t>(std::distance(
+            remainders.begin(), std::max_element(remainders.begin(), remainders.end())));
+        ++counts[best];
+        remainders[best] = -1.0;
+        ++assigned;
+    }
+    return FirestarterPayload::from_counts(counts);
+}
+
+Workload workload_from_payload(const FirestarterPayload& payload, std::string_view name) {
+    const PayloadProperties p = payload.analyze();
+
+    double power_weight = 0.0;
+    double dram = 0.0;
+    double stall = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) {
+        power_weight += p.target_ratios[i] * kGroupPowerWeight[i];
+        dram += p.target_ratios[i] * kGroupDramGBs[i];
+        stall += p.target_ratios[i] * kGroupStall[i];
+    }
+
+    const double ipc_ht = payload.estimated_ipc(true);
+    const double ipc_noht = payload.estimated_ipc(false);
+    // Power scales with activity = weight * issue-rate share; stalled
+    // payloads burn less in the cores.
+    const double issue_share_ht = ipc_ht / 3.1;
+    const double issue_share_noht = ipc_noht / 2.8;
+
+    Workload w;
+    w.name = name;
+    w.cdyn_ht = power_weight * issue_share_ht;
+    w.cdyn_noht = 0.88 * power_weight * issue_share_noht;
+    w.uncore_traffic = std::min(1.0, 0.3 + 3.0 * (p.target_ratios[3] + p.target_ratios[4]) +
+                                         0.8 * p.target_ratios[1]);
+    w.dram_gbs_per_core = std::min(dram * issue_share_ht, 5.0);
+    w.ipc_unity_ht = ipc_ht;
+    w.ipc_unity_noht = ipc_noht;
+    w.ipc_uncore_sens = 0.944 * (stall / 0.03);  // canonical payload ~0.03
+    w.avx_fraction = p.avx_fraction * 1.9;       // slot share vs count share
+    w.avx_fraction = std::min(w.avx_fraction, 1.0);
+    w.stall_fraction = std::clamp(stall * 2.0, 0.0, 0.95);
+    w.current_intensity = std::min(1.0, 0.9 * power_weight);
+    return w;
+}
+
+}  // namespace hsw::workloads

@@ -1,0 +1,24 @@
+// Bridge from a FIRESTARTER payload *structure* to an executable workload
+// profile: the power/IPC characteristics are derived from the instruction
+// groups rather than hand-calibrated. This lets experiments vary the group
+// ratios and observe the node-level power response (the Section VIII
+// design question: which mix maximizes consumption?).
+#pragma once
+
+#include "workloads/firestarter.hpp"
+#include "workloads/workload.hpp"
+
+namespace hsw::workloads {
+
+/// Derive a workload profile from a payload. The canonical payload (the
+/// paper's ratios) maps to cdyn ~= 1.0 and the published IPC anchors; other
+/// mixes scale by their execution-unit, decoder and data-transfer
+/// utilization ([30]: power = f(EU utilization, data transfers)).
+[[nodiscard]] Workload workload_from_payload(const FirestarterPayload& payload,
+                                             std::string_view name = "custom payload");
+
+/// Group ratio vector (reg, L1, L2, L3, mem) -> payload of `groups` groups.
+[[nodiscard]] FirestarterPayload payload_with_ratios(const std::array<double, 5>& ratios,
+                                                     std::size_t groups = 560);
+
+}  // namespace hsw::workloads

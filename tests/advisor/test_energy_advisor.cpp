@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "advisor/energy_advisor.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::advisor {
+namespace {
+
+AdvisorConfig quick(Objective obj) {
+    AdvisorConfig cfg;
+    cfg.objective = obj;
+    cfg.dwell = util::Time::ms(100);
+    cfg.frequency_step = 4;
+    return cfg;
+}
+
+TEST(EnergyAdvisor, PerformanceObjectivePicksFastestPoint) {
+    EnergyAdvisor adv{quick(Objective::Performance)};
+    const auto rec = adv.recommend(workloads::compute());
+    // Nothing in the sweep beats the chosen point.
+    for (const auto& p : rec.sweep) {
+        EXPECT_LE(p.gips, rec.best.gips + 1e-9);
+    }
+    EXPECT_EQ(rec.best.cores, 12u);
+}
+
+TEST(EnergyAdvisor, MemoryBoundGetsDownclocked) {
+    auto cfg = quick(Objective::Energy);
+    cfg.performance_tolerance = 0.15;
+    EnergyAdvisor adv{cfg};
+    const auto rec = adv.recommend(workloads::memory_stream());
+    // Fig. 7b: frequency can drop with little bandwidth cost, so the
+    // energy-optimal point is below nominal.
+    EXPECT_GT(rec.best.set_ghz, 0.0);      // not turbo
+    EXPECT_LT(rec.best.set_ghz, 2.5);
+    EXPECT_GT(rec.energy_saving_vs_turbo, 0.0);
+    EXPECT_LT(rec.performance_loss_vs_turbo, 0.16);
+}
+
+TEST(EnergyAdvisor, ComputeBoundKeepsFrequencyUnderTightTolerance) {
+    auto cfg = quick(Objective::Energy);
+    cfg.performance_tolerance = 0.05;
+    EnergyAdvisor adv{cfg};
+    const auto rec = adv.recommend(workloads::compute());
+    // With only 5 % slack a compute-bound code cannot shed much clock.
+    EXPECT_LT(rec.performance_loss_vs_turbo, 0.06);
+}
+
+TEST(EnergyAdvisor, PowerCapIsRespected) {
+    auto cfg = quick(Objective::PerformanceCapped);
+    cfg.power_cap_watts = 200.0;
+    EnergyAdvisor adv{cfg};
+    const auto rec = adv.recommend(workloads::dgemm());
+    EXPECT_LE(rec.best.watts, 200.0 + 1.0);
+}
+
+TEST(EnergyAdvisor, SweepContainsBaselineAndVariants) {
+    EnergyAdvisor adv{quick(Objective::Energy)};
+    const auto rec = adv.recommend(workloads::compute());
+    EXPECT_GT(rec.sweep.size(), 10u);
+    // The first sweep entry is the all-cores turbo baseline.
+    EXPECT_EQ(rec.sweep.front().cores, 12u);
+    EXPECT_EQ(rec.sweep.front().set_ghz, 0.0);
+    // Concurrency variants were evaluated.
+    bool smaller = false;
+    for (const auto& p : rec.sweep) smaller |= p.cores < 12;
+    EXPECT_TRUE(smaller);
+}
+
+TEST(EnergyAdvisor, RenderMentionsTheOperatingPoint) {
+    EnergyAdvisor adv{quick(Objective::Energy)};
+    const auto rec = adv.recommend(workloads::memory_stream());
+    const std::string s = rec.render();
+    EXPECT_NE(s.find("cores/socket"), std::string::npos);
+    EXPECT_NE(s.find("GIPS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsw::advisor

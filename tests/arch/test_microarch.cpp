@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "arch/microarch.hpp"
+
+namespace hsw::arch {
+namespace {
+
+// Table I anchors.
+TEST(Microarch, HaswellDoublesFlopsViaFma) {
+    const auto& snb = sandy_bridge_ep_params();
+    const auto& hsw = haswell_ep_params();
+    EXPECT_EQ(snb.flops_per_cycle_double, 8u);
+    EXPECT_EQ(hsw.flops_per_cycle_double, 16u);
+    EXPECT_FALSE(snb.has_fma);
+    EXPECT_TRUE(hsw.has_fma);
+}
+
+TEST(Microarch, DecodeAndRetireUnchanged) {
+    EXPECT_EQ(sandy_bridge_ep_params().decode_per_cycle,
+              haswell_ep_params().decode_per_cycle);
+    EXPECT_EQ(sandy_bridge_ep_params().retire_uops_per_cycle,
+              haswell_ep_params().retire_uops_per_cycle);
+}
+
+TEST(Microarch, OutOfOrderResourcesGrew) {
+    const auto& snb = sandy_bridge_ep_params();
+    const auto& hsw = haswell_ep_params();
+    EXPECT_GT(hsw.execute_uops_per_cycle, snb.execute_uops_per_cycle);
+    EXPECT_GT(hsw.scheduler_entries, snb.scheduler_entries);
+    EXPECT_GT(hsw.rob_entries, snb.rob_entries);
+    EXPECT_GT(hsw.load_buffers, snb.load_buffers);
+    EXPECT_GT(hsw.store_buffers, snb.store_buffers);
+    EXPECT_EQ(hsw.rob_entries, 192u);
+    EXPECT_EQ(hsw.scheduler_entries, 60u);
+}
+
+TEST(Microarch, CacheBandwidthDoubled) {
+    const auto& snb = sandy_bridge_ep_params();
+    const auto& hsw = haswell_ep_params();
+    EXPECT_EQ(hsw.l1d_load_bytes_per_cycle, 2 * snb.l1d_load_bytes_per_cycle);
+    EXPECT_EQ(hsw.l1d_store_bytes_per_cycle, 2 * snb.l1d_store_bytes_per_cycle);
+    EXPECT_EQ(hsw.l2_bytes_per_cycle, 2 * snb.l2_bytes_per_cycle);
+}
+
+TEST(Microarch, PlatformNumbers) {
+    const auto& hsw = haswell_ep_params();
+    EXPECT_DOUBLE_EQ(hsw.dram_bandwidth_gbs, 68.2);
+    EXPECT_DOUBLE_EQ(hsw.qpi_speed_gts, 9.6);
+    EXPECT_EQ(hsw.supported_memory, "4x DDR4-2133");
+    const auto& snb = sandy_bridge_ep_params();
+    EXPECT_DOUBLE_EQ(snb.dram_bandwidth_gbs, 51.2);
+    EXPECT_DOUBLE_EQ(snb.qpi_speed_gts, 8.0);
+}
+
+TEST(Microarch, ParamsForGenerationMapping) {
+    EXPECT_EQ(&params_for(Generation::HaswellEP), &haswell_ep_params());
+    EXPECT_EQ(&params_for(Generation::HaswellHE), &haswell_ep_params());
+    EXPECT_EQ(&params_for(Generation::SandyBridgeEP), &sandy_bridge_ep_params());
+    EXPECT_EQ(&params_for(Generation::IvyBridgeEP), &sandy_bridge_ep_params());
+    EXPECT_EQ(&params_for(Generation::WestmereEP), &westmere_ep_params());
+}
+
+TEST(GenerationTraits, PowerManagementMatrix) {
+    const auto hsw = traits(Generation::HaswellEP);
+    EXPECT_EQ(hsw.uncore_clocking, UncoreClocking::IndependentUfs);
+    EXPECT_EQ(hsw.rapl_backend, RaplBackend::Measured);
+    EXPECT_TRUE(hsw.per_core_pstates);
+    EXPECT_TRUE(hsw.deferred_pstate_grid);
+    EXPECT_TRUE(hsw.has_dram_rapl_domain);
+    EXPECT_FALSE(hsw.has_pp0_domain);  // PP0 unsupported on Haswell-EP
+
+    const auto snb = traits(Generation::SandyBridgeEP);
+    EXPECT_EQ(snb.uncore_clocking, UncoreClocking::CoupledToCore);
+    EXPECT_EQ(snb.rapl_backend, RaplBackend::Modeled);
+    EXPECT_FALSE(snb.per_core_pstates);
+    EXPECT_FALSE(snb.deferred_pstate_grid);
+
+    const auto wsm = traits(Generation::WestmereEP);
+    EXPECT_EQ(wsm.uncore_clocking, UncoreClocking::Fixed);
+    EXPECT_EQ(wsm.rapl_backend, RaplBackend::None);
+
+    // Haswell-HE: FIVR and measured RAPL, but immediate p-states.
+    const auto he = traits(Generation::HaswellHE);
+    EXPECT_EQ(he.rapl_backend, RaplBackend::Measured);
+    EXPECT_FALSE(he.deferred_pstate_grid);
+    EXPECT_FALSE(he.per_core_pstates);
+}
+
+}  // namespace
+}  // namespace hsw::arch

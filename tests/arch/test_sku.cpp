@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "arch/sku.hpp"
+
+namespace hsw::arch {
+namespace {
+
+using util::Frequency;
+
+// Table II anchors for the paper's test-system part.
+TEST(Sku, E52680v3MatchesTable2) {
+    const Sku& sku = xeon_e5_2680_v3();
+    EXPECT_EQ(sku.cores, 12u);
+    EXPECT_DOUBLE_EQ(sku.min_frequency.as_ghz(), 1.2);
+    EXPECT_DOUBLE_EQ(sku.nominal_frequency.as_ghz(), 2.5);
+    EXPECT_DOUBLE_EQ(sku.max_turbo(1).as_ghz(), 3.3);
+    EXPECT_DOUBLE_EQ(sku.avx_base_frequency.as_ghz(), 2.1);
+    EXPECT_DOUBLE_EQ(sku.tdp.as_watts(), 120.0);
+    EXPECT_DOUBLE_EQ(sku.uncore_max.as_ghz(), 3.0);
+    EXPECT_EQ(sku.l3_bytes, 30ull * 1024 * 1024);  // 12 x 2.5 MiB
+}
+
+TEST(Sku, TurboBinsMonotonicallyNonIncreasing) {
+    for (const Sku* sku : {&xeon_e5_2680_v3(), &xeon_e5_2667_v3(), &xeon_e5_2699_v3(),
+                           &xeon_e5_2670(), &xeon_x5670()}) {
+        for (std::size_t i = 1; i < sku->turbo_bins.size(); ++i) {
+            EXPECT_LE(sku->turbo_bins[i].as_ghz(), sku->turbo_bins[i - 1].as_ghz())
+                << sku->model << " bin " << i;
+        }
+        EXPECT_EQ(sku->turbo_bins.size(), sku->cores) << sku->model;
+    }
+}
+
+TEST(Sku, AvxTurboBetween28And31ForTestSystem) {
+    // Section II-F: "The AVX turbo frequencies are between 2.8 and 3.1 GHz,
+    // depending on the number of active cores."
+    const Sku& sku = xeon_e5_2680_v3();
+    for (unsigned n = 1; n <= sku.cores; ++n) {
+        const double f = sku.max_avx_turbo(n).as_ghz();
+        EXPECT_GE(f, 2.8);
+        EXPECT_LE(f, 3.1);
+        // AVX turbo never exceeds the non-AVX bin.
+        EXPECT_LE(f, sku.max_turbo(n).as_ghz());
+    }
+}
+
+TEST(Sku, TurboLookupClampsActiveCores) {
+    const Sku& sku = xeon_e5_2680_v3();
+    EXPECT_EQ(sku.max_turbo(0).as_ghz(), sku.max_turbo(1).as_ghz());
+    EXPECT_EQ(sku.max_turbo(100).as_ghz(), sku.max_turbo(sku.cores).as_ghz());
+}
+
+TEST(Sku, SandyBridgeHasNoSeparateAvxLevel) {
+    const Sku& sku = xeon_e5_2670();
+    EXPECT_TRUE(sku.avx_turbo_bins.empty());
+    EXPECT_EQ(sku.avx_base_frequency.as_ghz(), sku.nominal_frequency.as_ghz());
+    // Without AVX bins, the AVX lookup falls back to the normal bins.
+    EXPECT_EQ(sku.max_avx_turbo(4).as_ghz(), sku.max_turbo(4).as_ghz());
+}
+
+TEST(Sku, SelectablePstatesCoverRangePlusTurbo) {
+    const Sku& sku = xeon_e5_2680_v3();
+    const auto ps = sku.selectable_pstates();
+    // 1.2 .. 2.5 in 100 MHz steps = 14 levels, + the turbo request level.
+    ASSERT_EQ(ps.size(), 15u);
+    EXPECT_DOUBLE_EQ(ps.front().as_ghz(), 1.2);
+    EXPECT_DOUBLE_EQ(ps[13].as_ghz(), 2.5);
+    EXPECT_EQ(ps.back().ratio(), 26u);  // turbo request encoding
+    for (std::size_t i = 1; i < ps.size(); ++i) EXPECT_GT(ps[i], ps[i - 1]);
+}
+
+TEST(Sku, DieSiblingsCoverAllVariants) {
+    EXPECT_EQ(xeon_e5_2667_v3().cores, 8u);    // 8-core die
+    EXPECT_EQ(xeon_e5_2680_v3().cores, 12u);   // 12-core die
+    EXPECT_EQ(xeon_e5_2699_v3().cores, 18u);   // 18-core die
+}
+
+TEST(Sku, WestmereHasFixedUncoreRange) {
+    const Sku& sku = xeon_x5670();
+    EXPECT_EQ(sku.uncore_min.as_ghz(), sku.uncore_max.as_ghz());
+}
+
+}  // namespace
+}  // namespace hsw::arch

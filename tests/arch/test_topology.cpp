@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "arch/topology.hpp"
+
+#include <stdexcept>
+
+namespace hsw::arch {
+namespace {
+
+// Figure 1 anchors.
+TEST(Topology, EightCoreDieSingleRing) {
+    for (unsigned cores : {4u, 6u, 8u}) {
+        const auto topo = make_die_topology(cores);
+        EXPECT_EQ(topo.variant, DieVariant::EightCore) << cores;
+        EXPECT_EQ(topo.partitions.size(), 1u);
+        EXPECT_EQ(topo.queue_links, 0u);
+        EXPECT_EQ(topo.total_channels(), 4u);
+    }
+}
+
+TEST(Topology, TwelveCoreDieHas8Plus4Partitions) {
+    const auto topo = make_die_topology(12);
+    EXPECT_EQ(topo.variant, DieVariant::TwelveCore);
+    ASSERT_EQ(topo.partitions.size(), 2u);
+    EXPECT_EQ(topo.partitions[0].core_ids.size(), 8u);
+    EXPECT_EQ(topo.partitions[1].core_ids.size(), 4u);
+    EXPECT_EQ(topo.queue_links, 2u);
+    // Each partition has an IMC with two channels.
+    EXPECT_TRUE(topo.partitions[0].has_imc);
+    EXPECT_TRUE(topo.partitions[1].has_imc);
+    EXPECT_EQ(topo.total_channels(), 4u);
+}
+
+TEST(Topology, TenCoreUsesTwelveCoreDie) {
+    const auto topo = make_die_topology(10);
+    EXPECT_EQ(topo.variant, DieVariant::TwelveCore);
+    EXPECT_EQ(topo.partitions[1].core_ids.size(), 2u);
+}
+
+TEST(Topology, EighteenCoreDieHas8Plus10Partitions) {
+    const auto topo = make_die_topology(18);
+    EXPECT_EQ(topo.variant, DieVariant::EighteenCore);
+    ASSERT_EQ(topo.partitions.size(), 2u);
+    EXPECT_EQ(topo.partitions[0].core_ids.size(), 8u);
+    EXPECT_EQ(topo.partitions[1].core_ids.size(), 10u);
+}
+
+TEST(Topology, FourteenAndSixteenUseEighteenCoreDie) {
+    EXPECT_EQ(make_die_topology(14).variant, DieVariant::EighteenCore);
+    EXPECT_EQ(make_die_topology(16).variant, DieVariant::EighteenCore);
+}
+
+TEST(Topology, PartitionOfAndCrossing) {
+    const auto topo = make_die_topology(12);
+    EXPECT_EQ(topo.partition_of(0), 0u);
+    EXPECT_EQ(topo.partition_of(7), 0u);
+    EXPECT_EQ(topo.partition_of(8), 1u);
+    EXPECT_EQ(topo.partition_of(11), 1u);
+    EXPECT_FALSE(topo.crosses_partition(0, 7));
+    EXPECT_TRUE(topo.crosses_partition(0, 8));
+    EXPECT_THROW((void)topo.partition_of(12), std::out_of_range);
+}
+
+TEST(Topology, L3SliceCountEqualsEnabledCores) {
+    EXPECT_EQ(make_die_topology(12).l3_slices(), 12u);
+    EXPECT_EQ(make_die_topology(6).l3_slices(), 6u);
+}
+
+TEST(Topology, InvalidCoreCounts) {
+    EXPECT_THROW((void)make_die_topology(0), std::invalid_argument);
+    EXPECT_THROW((void)make_die_topology(19), std::invalid_argument);
+}
+
+// Property sweep: every supported core count yields a consistent topology.
+class TopologySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TopologySweep, ConsistentLayout) {
+    const unsigned cores = GetParam();
+    const auto topo = make_die_topology(cores);
+    EXPECT_EQ(topo.enabled_cores, cores);
+
+    // All core ids covered exactly once, contiguous from 0.
+    std::size_t total = 0;
+    std::vector<bool> seen(cores, false);
+    for (const auto& p : topo.partitions) {
+        total += p.core_ids.size();
+        for (unsigned id : p.core_ids) {
+            ASSERT_LT(id, cores);
+            EXPECT_FALSE(seen[id]);
+            seen[id] = true;
+        }
+    }
+    EXPECT_EQ(total, cores);
+    // Four memory channels per socket across all variants (Fig. 1).
+    EXPECT_EQ(topo.total_channels(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCoreCounts, TopologySweep,
+                         ::testing::Range(1u, 19u));
+
+}  // namespace
+}  // namespace hsw::arch

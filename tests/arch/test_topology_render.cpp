@@ -1,0 +1,33 @@
+#include <gtest/gtest.h>
+
+#include "arch/topology_render.hpp"
+
+namespace hsw::arch {
+namespace {
+
+TEST(TopologyRender, TwelveCoreShowsBothPartitionsAndQueues) {
+    const std::string s = render_die_ascii(make_die_topology(12));
+    EXPECT_NE(s.find("12-core die"), std::string::npos);
+    EXPECT_NE(s.find("ring partition 0 (8 cores)"), std::string::npos);
+    EXPECT_NE(s.find("ring partition 1 (4 cores)"), std::string::npos);
+    EXPECT_NE(s.find("queue"), std::string::npos);
+    EXPECT_NE(s.find("[C00|L3]"), std::string::npos);
+    EXPECT_NE(s.find("[C11|L3]"), std::string::npos);
+    EXPECT_NE(s.find("IMC"), std::string::npos);
+}
+
+TEST(TopologyRender, SingleRingHasNoQueues) {
+    const std::string s = render_die_ascii(make_die_topology(8));
+    EXPECT_EQ(s.find("queue"), std::string::npos);
+    EXPECT_NE(s.find("8-core die"), std::string::npos);
+}
+
+TEST(TopologyRender, EighteenCoreShows8Plus10) {
+    const std::string s = render_die_ascii(make_die_topology(18));
+    EXPECT_NE(s.find("ring partition 0 (8 cores)"), std::string::npos);
+    EXPECT_NE(s.find("ring partition 1 (10 cores)"), std::string::npos);
+    EXPECT_NE(s.find("[C17|L3]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsw::arch

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "msr/addresses.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::core {
+namespace {
+
+using util::Frequency;
+using util::Time;
+
+TEST(Node, DefaultIsThePaperTestSystem) {
+    Node node;
+    EXPECT_EQ(node.socket_count(), 2u);
+    EXPECT_EQ(node.cores_per_socket(), 12u);
+    EXPECT_EQ(node.cpu_count(), 24u);
+    EXPECT_EQ(node.sku().model, "Intel Xeon E5-2680 v3");
+    EXPECT_EQ(node.generation(), arch::Generation::HaswellEP);
+}
+
+TEST(Node, CpuIdMapping) {
+    Node node;
+    EXPECT_EQ(node.cpu_id(0, 0), 0u);
+    EXPECT_EQ(node.cpu_id(1, 0), 12u);
+    EXPECT_EQ(node.socket_of(13), 1u);
+    EXPECT_EQ(node.core_of(13), 1u);
+}
+
+TEST(Node, TimeAdvances) {
+    Node node;
+    EXPECT_EQ(node.now().as_ns(), 0);
+    node.run_for(Time::ms(3));
+    EXPECT_EQ(node.now(), Time::ms(3));
+    node.run_until(Time::ms(10));
+    EXPECT_EQ(node.now(), Time::ms(10));
+}
+
+TEST(Node, WorkloadWakesCoreAndCountersAdvance) {
+    Node node;
+    node.set_workload(0, &workloads::while_one(), 1);
+    EXPECT_EQ(node.core_state(0), cstates::CState::C0);
+    const auto a0 = node.msrs().read(0, msr::IA32_APERF);
+    node.run_for(Time::ms(5));
+    const auto a1 = node.msrs().read(0, msr::IA32_APERF);
+    EXPECT_GT(a1, a0);
+    // A parked core's APERF does not move.
+    const auto b0 = node.msrs().read(5, msr::IA32_APERF);
+    node.run_for(Time::ms(5));
+    EXPECT_EQ(node.msrs().read(5, msr::IA32_APERF), b0);
+}
+
+TEST(Node, PstateRequestAppliesAtOpportunity) {
+    Node node;
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.set_pstate(0, Frequency::ghz(1.5));
+    // Not instantaneous: the change waits for the PCU grid.
+    node.run_for(Time::ms(2));  // > one full grid period
+    EXPECT_DOUBLE_EQ(node.core_frequency(0).as_ghz(), 1.5);
+    // IA32_PERF_STATUS reflects the granted ratio.
+    EXPECT_EQ((node.msrs().read(0, msr::IA32_PERF_STATUS) >> 8) & 0xFF, 15u);
+}
+
+TEST(Node, MperfCountsAtNominalWhileRunning) {
+    Node node;
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.set_pstate(0, Frequency::ghz(1.2));
+    node.run_for(Time::ms(2));
+    const auto m0 = node.msrs().read(0, msr::IA32_MPERF);
+    const auto a0 = node.msrs().read(0, msr::IA32_APERF);
+    node.run_for(Time::ms(10));
+    const auto dm = node.msrs().read(0, msr::IA32_MPERF) - m0;
+    const auto da = node.msrs().read(0, msr::IA32_APERF) - a0;
+    // APERF/MPERF ratio = actual/nominal = 1.2/2.5.
+    EXPECT_NEAR(static_cast<double>(da) / static_cast<double>(dm), 1.2 / 2.5, 0.01);
+}
+
+TEST(Node, EpbWritesReachTheSocketPolicy) {
+    Node node;
+    node.set_epb(msr::EpbPolicy::Performance);
+    EXPECT_EQ(node.socket(0).epb(), msr::EpbPolicy::Performance);
+    EXPECT_EQ(node.socket(1).epb(), msr::EpbPolicy::Performance);
+    EXPECT_EQ(node.msrs().read(0, msr::IA32_ENERGY_PERF_BIAS), 0u);
+    node.msrs().write(13, msr::IA32_ENERGY_PERF_BIAS, 15);
+    EXPECT_EQ(node.socket(1).epb(), msr::EpbPolicy::EnergySaving);
+    EXPECT_EQ(node.socket(0).epb(), msr::EpbPolicy::Performance);
+}
+
+TEST(Node, UncoreCounterTracksUncoreClock) {
+    Node node;
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.set_pstate_all(Frequency::ghz(2.0));
+    node.run_for(Time::ms(5));
+    const auto u0 = node.msrs().read(0, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    node.run_for(Time::sec(1));
+    const auto u1 = node.msrs().read(0, msr::U_MSR_PMON_UCLK_FIXED_CTR);
+    const double ghz = static_cast<double>(u1 - u0) * 1e-9;
+    EXPECT_NEAR(ghz, 1.75, 0.02);  // Table III: 2.0 GHz core -> 1.75 uncore
+}
+
+TEST(Node, TraceRecordsPstateLifecycle) {
+    NodeConfig cfg;
+    cfg.trace_enabled = true;
+    Node node{cfg};
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.run_for(Time::ms(2));
+    node.trace().clear();
+    node.set_pstate(0, Frequency::ghz(1.3));
+    node.run_for(Time::ms(2));
+    EXPECT_FALSE(node.trace().filter("pstate", "cpu0").empty());
+    EXPECT_FALSE(node.trace().filter("pcu", "socket0").empty());
+}
+
+TEST(Node, UnknownMsrFaults) {
+    Node node;
+    EXPECT_THROW((void)node.msrs().read(0, 0x123), msr::MsrError);
+}
+
+TEST(Node, SingleSocketConfig) {
+    NodeConfig cfg;
+    cfg.sockets = 1;
+    Node node{cfg};
+    EXPECT_EQ(node.cpu_count(), 12u);
+    node.set_workload(0, &workloads::compute(), 1);
+    node.run_for(Time::ms(10));
+    EXPECT_GT(node.msrs().read(0, msr::IA32_FIXED_CTR0), 0u);
+}
+
+TEST(Node, EighteenCoreSkuWorks) {
+    NodeConfig cfg;
+    cfg.sku = &arch::xeon_e5_2699_v3();
+    Node node{cfg};
+    EXPECT_EQ(node.cores_per_socket(), 18u);
+    node.set_all_workloads(&workloads::compute(), 1);
+    node.run_for(Time::ms(10));
+    EXPECT_GT(node.msrs().read(17, msr::IA32_FIXED_CTR0), 0u);
+}
+
+}  // namespace
+}  // namespace hsw::core

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::core {
+namespace {
+
+using util::Frequency;
+using util::Time;
+
+TEST(NodeCstates, DefaultParkStateIsC6) {
+    Node node;
+    for (unsigned cpu = 0; cpu < node.cpu_count(); ++cpu) {
+        EXPECT_EQ(node.core_state(cpu), cstates::CState::C6);
+    }
+}
+
+TEST(NodeCstates, IdleSystemEntersPackageC6) {
+    Node node;
+    node.run_for(Time::ms(5));
+    EXPECT_EQ(node.package_state(0), cstates::PackageCState::PC6);
+    EXPECT_EQ(node.package_state(1), cstates::PackageCState::PC6);
+    EXPECT_TRUE(node.socket(0).uncore_halted());
+}
+
+TEST(NodeCstates, RemoteActiveCoreBlocksPackageSleep) {
+    // Section V-A: "these states are not used when there is still any core
+    // active in the system -- even if this core is located on the other
+    // processor".
+    Node node;
+    node.set_workload(node.cpu_id(1, 0), &workloads::while_one(), 1);
+    node.run_for(Time::ms(5));
+    EXPECT_EQ(node.package_state(0), cstates::PackageCState::PC0);
+    EXPECT_FALSE(node.socket(0).uncore_halted());
+}
+
+TEST(NodeCstates, WakeLatencyDependsOnState) {
+    Node node;
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.run_for(Time::ms(5));
+
+    node.park(1, cstates::CState::C1);
+    node.run_for(Time::ms(1));
+    const Time c1 = node.wake(0, 1);
+    node.run_for(Time::ms(1));
+
+    node.park(1, cstates::CState::C3);
+    node.run_for(Time::ms(1));
+    const Time c3 = node.wake(0, 1);
+    node.run_for(Time::ms(1));
+
+    node.park(1, cstates::CState::C6);
+    node.run_for(Time::ms(1));
+    const Time c6 = node.wake(0, 1);
+
+    EXPECT_LT(c1, c3);
+    EXPECT_LT(c3, c6);
+    EXPECT_LT(c6.as_us(), 40.0);
+}
+
+TEST(NodeCstates, WakeeReachesC0AfterLatency) {
+    Node node;
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.park(1, cstates::CState::C6);
+    node.run_for(Time::ms(1));
+    const Time latency = node.wake(0, 1);
+    EXPECT_EQ(node.core_state(1), cstates::CState::C6);  // not yet
+    node.run_for(latency + Time::us(1));
+    EXPECT_EQ(node.core_state(1), cstates::CState::C0);
+}
+
+TEST(NodeCstates, WakingARunningCoreIsFree) {
+    Node node;
+    node.set_workload(1, &workloads::while_one(), 1);
+    node.run_for(Time::ms(1));
+    EXPECT_EQ(node.wake(0, 1), Time::zero());
+}
+
+TEST(NodeCstates, RemoteIdleScenarioSlowerThanRemoteActive) {
+    Node node;
+    node.set_workload(node.cpu_id(0, 0), &workloads::while_one(), 1);
+    node.run_for(Time::ms(5));
+
+    // Remote idle: wakee socket fully asleep.
+    node.park(node.cpu_id(1, 0), cstates::CState::C6);
+    node.run_for(Time::ms(1));
+    double idle_sum = 0;
+    for (int i = 0; i < 30; ++i) {
+        node.park(node.cpu_id(1, 0), cstates::CState::C6);
+        node.run_for(Time::us(500));
+        idle_sum += node.wake(node.cpu_id(0, 0), node.cpu_id(1, 0)).as_us();
+        node.run_for(Time::us(100));
+    }
+
+    // Remote active: a second core keeps the wakee's package awake.
+    node.set_workload(node.cpu_id(1, 5), &workloads::while_one(), 1);
+    node.run_for(Time::ms(1));
+    double active_sum = 0;
+    for (int i = 0; i < 30; ++i) {
+        node.park(node.cpu_id(1, 0), cstates::CState::C6);
+        node.run_for(Time::us(500));
+        active_sum += node.wake(node.cpu_id(0, 0), node.cpu_id(1, 0)).as_us();
+        node.run_for(Time::us(100));
+    }
+    EXPECT_GT(idle_sum / 30.0, active_sum / 30.0 + 5.0);  // package C6 ~ +8 us
+}
+
+TEST(NodeCstates, GatedCoresSavePower) {
+    NodeConfig deep;
+    deep.park_state = cstates::CState::C6;
+    Node gated{deep};
+    NodeConfig shallow;
+    shallow.park_state = cstates::CState::C1;
+    Node halted{shallow};
+    // Apply the configured park state to every core, then keep one core
+    // active so both systems' uncores stay awake -- isolating the core
+    // leakage difference (C6 gates it, C1 does not).
+    gated.clear_all_workloads();
+    halted.clear_all_workloads();
+    gated.set_workload(0, &workloads::while_one(), 1);
+    halted.set_workload(0, &workloads::while_one(), 1);
+    gated.run_for(Time::ms(50));
+    halted.run_for(Time::ms(50));
+    EXPECT_LT(gated.true_node_dc_power().as_watts(),
+              halted.true_node_dc_power().as_watts());
+}
+
+}  // namespace
+}  // namespace hsw::core

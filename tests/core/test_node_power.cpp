@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "util/stats.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::core {
+namespace {
+
+using util::Frequency;
+using util::Power;
+using util::Time;
+
+TEST(NodePower, IdleAcMatchesTable2) {
+    Node node;
+    node.run_for(Time::ms(200));
+    const Time t0 = node.now();
+    node.run_for(Time::sec(2));
+    const double idle = node.meter().average(t0, node.now()).as_watts();
+    EXPECT_NEAR(idle, 261.5, 2.0);  // Table II: 261.5 W at max fan speed
+}
+
+TEST(NodePower, FirestarterReachesTdpOnBothSockets) {
+    Node node;
+    node.set_all_workloads(&workloads::firestarter(), 2);
+    node.request_turbo_all();
+    node.run_for(Time::ms(100));
+    for (unsigned s = 0; s < 2; ++s) {
+        const auto w = node.rapl_window(s, Time::sec(2));
+        EXPECT_NEAR(w.package.as_watts(), 120.0, 1.5) << "socket " << s;
+    }
+}
+
+TEST(NodePower, FullLoadAcNearPaperValue) {
+    Node node;
+    node.set_all_workloads(&workloads::firestarter(), 2);
+    node.request_turbo_all();
+    node.run_for(Time::ms(100));
+    const Time t0 = node.now();
+    node.run_for(Time::sec(2));
+    const double ac = node.meter().average(t0, node.now()).as_watts();
+    EXPECT_NEAR(ac, 560.0, 12.0);  // Table V: ~560 W
+}
+
+TEST(NodePower, RaplWindowMatchesTrueEnergy) {
+    Node node;
+    node.set_all_workloads(&workloads::compute(), 1);
+    node.run_for(Time::ms(50));
+    const double true_before = node.socket(0).rapl().true_pkg_energy().as_joules();
+    const auto w = node.rapl_window(0, Time::sec(1));
+    const double true_delta =
+        node.socket(0).rapl().true_pkg_energy().as_joules() - true_before;
+    EXPECT_NEAR(w.package.as_watts(), true_delta, true_delta * 0.02);
+}
+
+TEST(NodePower, DramPowerScalesWithTraffic) {
+    Node node;
+    node.set_all_workloads(&workloads::memory_stream(), 1);
+    node.run_for(Time::ms(50));
+    const auto busy = node.rapl_window(0, Time::sec(1));
+    Node idle_node;
+    idle_node.run_for(Time::ms(50));
+    const auto idle = idle_node.rapl_window(0, Time::sec(1));
+    EXPECT_GT(busy.dram.as_watts(), idle.dram.as_watts() + 10.0);
+}
+
+TEST(NodePower, MeterSeriesAccumulatesAt20SaPerSec) {
+    Node node;
+    node.meter().clear();
+    node.run_for(Time::sec(2));
+    // 20 Sa/s over 2 s.
+    EXPECT_NEAR(static_cast<double>(node.meter().series().size()), 40.0, 2.0);
+}
+
+TEST(NodePower, AcPowerConsistentWithPsuModel) {
+    Node node;
+    node.set_all_workloads(&workloads::dgemm(), 1);
+    node.run_for(Time::ms(100));
+    const Power dc = node.true_node_dc_power();
+    const Power ac = node.ac_power();
+    const double expected =
+        0.0003 * dc.as_watts() * dc.as_watts() + 1.097 * dc.as_watts() + 225.7;
+    EXPECT_NEAR(ac.as_watts(), expected, 0.5);
+}
+
+TEST(NodePower, Socket0DrawsMorePowerAtSameFrequency) {
+    // Fixed sub-TDP frequency: socket 0's higher voltage costs power.
+    Node node;
+    node.set_all_workloads(&workloads::compute(), 1);
+    node.set_pstate_all(Frequency::ghz(1.8));
+    node.run_for(Time::ms(50));
+    const double p0_before = node.socket(0).rapl().true_pkg_energy().as_joules();
+    const double p1_before = node.socket(1).rapl().true_pkg_energy().as_joules();
+    node.run_for(Time::sec(1));
+    const double p0 = node.socket(0).rapl().true_pkg_energy().as_joules() - p0_before;
+    const double p1 = node.socket(1).rapl().true_pkg_energy().as_joules() - p1_before;
+    EXPECT_GT(p0, p1 * 1.01);
+}
+
+TEST(NodePower, SinusWorkloadModulatesPower) {
+    Node node;
+    for (unsigned c = 0; c < 12; ++c) {
+        node.set_workload(node.cpu_id(0, c), &workloads::sinus(), 1);
+    }
+    node.run_for(Time::ms(100));
+    // Sample power over half a modulation period apart.
+    std::vector<double> samples;
+    for (int i = 0; i < 20; ++i) {
+        node.run_for(Time::ms(100));
+        samples.push_back(node.true_node_dc_power().as_watts());
+    }
+    const double spread = util::max_of(samples) - util::min_of(samples);
+    EXPECT_GT(spread, 10.0);  // visibly non-constant (2 s period, 0.7 depth)
+}
+
+}  // namespace
+}  // namespace hsw::core

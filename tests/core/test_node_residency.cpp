@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "msr/addresses.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::core {
+namespace {
+
+using util::Time;
+
+TEST(Residency, CoreCountersTrackParkState) {
+    Node node;
+    node.set_workload(0, &workloads::while_one(), 1);  // keep system alive
+    node.park(1, cstates::CState::C3);
+    node.park(2, cstates::CState::C6);
+    node.run_for(Time::ms(100));
+
+    const double tsc_per_100ms = 2.5e9 * 0.1;
+    const auto c3 = node.msrs().read(1, msr::MSR_CORE_C3_RESIDENCY);
+    const auto c6 = node.msrs().read(2, msr::MSR_CORE_C6_RESIDENCY);
+    EXPECT_NEAR(static_cast<double>(c3), tsc_per_100ms, tsc_per_100ms * 0.05);
+    EXPECT_NEAR(static_cast<double>(c6), tsc_per_100ms, tsc_per_100ms * 0.05);
+    // Cross-state counters stay at zero.
+    EXPECT_EQ(node.msrs().read(1, msr::MSR_CORE_C6_RESIDENCY), 0u);
+    EXPECT_EQ(node.msrs().read(2, msr::MSR_CORE_C3_RESIDENCY), 0u);
+    // The running core accumulates no idle residency.
+    EXPECT_EQ(node.msrs().read(0, msr::MSR_CORE_C3_RESIDENCY), 0u);
+}
+
+TEST(Residency, PackageC6OnlyWhenWholeSystemIdle) {
+    Node node;
+    node.run_for(Time::ms(50));  // fully idle: all cores default to C6
+    const auto pc6_idle = node.msrs().read(0, msr::MSR_PKG_C6_RESIDENCY);
+    EXPECT_GT(pc6_idle, 0u);
+
+    // A single busy core anywhere blocks package sleep on BOTH sockets.
+    node.set_workload(node.cpu_id(1, 0), &workloads::while_one(), 1);
+    node.run_for(Time::ms(50));
+    const auto pc6_after = node.msrs().read(0, msr::MSR_PKG_C6_RESIDENCY);
+    EXPECT_NEAR(static_cast<double>(pc6_after), static_cast<double>(pc6_idle),
+                2.5e9 * 0.002);  // at most ~2 ms of slack from event timing
+}
+
+TEST(Residency, PackageC3WhenShallowestCoreIsC3) {
+    Node node;
+    for (unsigned cpu = 0; cpu < node.cpu_count(); ++cpu) {
+        node.park(cpu, cstates::CState::C3);
+    }
+    node.run_for(Time::ms(50));
+    EXPECT_GT(node.msrs().read(0, msr::MSR_PKG_C3_RESIDENCY), 0u);
+    EXPECT_EQ(node.msrs().read(0, msr::MSR_PKG_C6_RESIDENCY), 0u);
+}
+
+TEST(Voltage, PerfStatusReportsVoltage) {
+    Node node;
+    node.set_workload(0, &workloads::compute(), 1);
+    node.set_pstate(0, util::Frequency::ghz(2.0));
+    node.run_for(Time::ms(3));
+    const auto status = node.msrs().read(0, msr::IA32_PERF_STATUS);
+    const double volts = static_cast<double>((status >> 32) & 0xFFFF) / 8192.0;
+    // V(2.0) = 0.55 + 0.2 + 0.14 = 0.89 V, +- socket/core factors.
+    EXPECT_NEAR(volts, 0.9, 0.05);
+}
+
+TEST(Voltage, Socket0CoresReadHigherThanSocket1) {
+    // Section III: "the cores' voltages for a given p-state differ on the
+    // two processors" -- averaged over the cores, socket 0 is higher.
+    Node node;
+    node.set_all_workloads(&workloads::compute(), 1);
+    node.set_pstate_all(util::Frequency::ghz(2.0));
+    node.run_for(Time::ms(3));
+    auto avg_voltage = [&](unsigned socket) {
+        double sum = 0.0;
+        for (unsigned c = 0; c < node.cores_per_socket(); ++c) {
+            const auto status =
+                node.msrs().read(node.cpu_id(socket, c), msr::IA32_PERF_STATUS);
+            sum += static_cast<double>((status >> 32) & 0xFFFF) / 8192.0;
+        }
+        return sum / node.cores_per_socket();
+    };
+    EXPECT_GT(avg_voltage(0), avg_voltage(1));
+}
+
+TEST(Voltage, CoresOnOneSocketDiffer) {
+    Node node;
+    node.set_all_workloads(&workloads::compute(), 1);
+    node.set_pstate_all(util::Frequency::ghz(2.0));
+    node.run_for(Time::ms(3));
+    double lo = 10.0;
+    double hi = 0.0;
+    for (unsigned c = 0; c < node.cores_per_socket(); ++c) {
+        const auto status = node.msrs().read(c, msr::IA32_PERF_STATUS);
+        const double v = static_cast<double>((status >> 32) & 0xFFFF) / 8192.0;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_GT(hi - lo, 0.001);  // per-core silicon variation visible
+    EXPECT_LT(hi - lo, 0.06);
+}
+
+}  // namespace
+}  // namespace hsw::core

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "cstates/cstate.hpp"
+
+#include <vector>
+
+namespace hsw::cstates {
+namespace {
+
+TEST(CState, Predicates) {
+    EXPECT_TRUE(executing(CState::C0));
+    EXPECT_FALSE(executing(CState::C1));
+    EXPECT_TRUE(power_gated(CState::C6));
+    EXPECT_FALSE(power_gated(CState::C3));
+    EXPECT_EQ(name(CState::C3), "C3");
+    EXPECT_EQ(name(PackageCState::PC6), "PC6");
+}
+
+TEST(PackageState, AnyActiveCoreInSystemBlocksDeepSleep) {
+    // Section V-A: package C-states "are not used when there is still any
+    // core active in the system -- even if this core is located on the
+    // other processor".
+    const std::vector<CState> all_c6(12, CState::C6);
+    EXPECT_EQ(resolve_package_state(all_c6, /*any_core_active_in_system=*/true),
+              PackageCState::PC0);
+    EXPECT_EQ(resolve_package_state(all_c6, false), PackageCState::PC6);
+}
+
+TEST(PackageState, ShallowestCoreLimitsDepth) {
+    std::vector<CState> states(4, CState::C6);
+    states[2] = CState::C3;
+    EXPECT_EQ(resolve_package_state(states, false), PackageCState::PC3);
+    states[2] = CState::C1;
+    EXPECT_EQ(resolve_package_state(states, false), PackageCState::PC2);
+    states[2] = CState::C0;
+    EXPECT_EQ(resolve_package_state(states, false), PackageCState::PC0);
+}
+
+TEST(PackageState, UncoreClockHaltsOnlyInDeepStates) {
+    EXPECT_FALSE(uncore_clock_halted(PackageCState::PC0));
+    EXPECT_FALSE(uncore_clock_halted(PackageCState::PC2));
+    EXPECT_TRUE(uncore_clock_halted(PackageCState::PC3));
+    EXPECT_TRUE(uncore_clock_halted(PackageCState::PC6));
+}
+
+TEST(Acpi, ReportedLatenciesMatchTables) {
+    // Section VI-B: ACPI tables report 33 us (C3) and 133 us (C6).
+    EXPECT_EQ(acpi_reported_latency(CState::C3).as_us(), 33.0);
+    EXPECT_EQ(acpi_reported_latency(CState::C6).as_us(), 133.0);
+    EXPECT_EQ(acpi_reported_latency(CState::C0).as_ns(), 0);
+    EXPECT_GT(acpi_reported_latency(CState::C1).as_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace hsw::cstates

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "survey/fig2_rapl.hpp"
+
+namespace hsw::survey {
+namespace {
+
+using util::Time;
+
+class Fig2 : public ::testing::Test {
+protected:
+    // Shortened 1 s windows: the equilibria settle within milliseconds.
+    static const RaplAccuracyResult& haswell() {
+        static const RaplAccuracyResult r =
+            fig2_run(arch::Generation::HaswellEP, Time::sec(1));
+        return r;
+    }
+    static const RaplAccuracyResult& sandy_bridge() {
+        static const RaplAccuracyResult r =
+            fig2_run(arch::Generation::SandyBridgeEP, Time::sec(1));
+        return r;
+    }
+};
+
+TEST_F(Fig2, HaswellQuadraticFitIsNearPerfect) {
+    // "an almost perfect correlation ... R^2 > 0.9998" (footnote 2).
+    EXPECT_GT(haswell().report.quadratic.r_squared, 0.9995);
+}
+
+TEST_F(Fig2, HaswellWorkloadBiasIsSmall) {
+    EXPECT_LT(haswell().report.slope_spread, 0.10);
+}
+
+TEST_F(Fig2, SandyBridgeShowsWorkloadBias) {
+    // Fig. 2a: "a bias towards certain workloads can be noted".
+    EXPECT_GT(sandy_bridge().report.slope_spread, 0.20);
+    EXPECT_GT(sandy_bridge().report.slope_spread,
+              3.0 * haswell().report.slope_spread);
+}
+
+TEST_F(Fig2, HaswellAxisRangesMatchFigure) {
+    // Fig. 2b x-axis: ~200-600 W AC (full-speed fans); y: up to ~300 W RAPL.
+    double min_ac = 1e9;
+    double max_ac = 0.0;
+    double max_rapl = 0.0;
+    for (const auto& p : haswell().report.points) {
+        min_ac = std::min(min_ac, p.ac_watts);
+        max_ac = std::max(max_ac, p.ac_watts);
+        max_rapl = std::max(max_rapl, p.rapl_watts);
+    }
+    EXPECT_GT(min_ac, 200.0);
+    EXPECT_LT(max_ac, 620.0);
+    EXPECT_GT(max_ac, 480.0);
+    EXPECT_LT(max_rapl, 320.0);
+}
+
+TEST_F(Fig2, RaplAlwaysBelowAc) {
+    // The wall reading includes PSU losses, fans and the mainboard, so the
+    // RAPL domains can never exceed it.
+    for (const auto& p : haswell().report.points) {
+        EXPECT_LT(p.rapl_watts, p.ac_watts) << p.workload;
+    }
+}
+
+TEST_F(Fig2, IdleIsTheLowestPoint) {
+    const auto& pts = haswell().report.points;
+    const auto& idle = pts.front();
+    ASSERT_EQ(idle.workload, "idle");
+    for (const auto& p : pts) {
+        EXPECT_GE(p.ac_watts, idle.ac_watts - 1.0);
+    }
+}
+
+TEST_F(Fig2, QuadraticCoefficientsNearPaperFit) {
+    // Our quadratic is RAPL(AC); inverting the paper's AC(RAPL) fit around
+    // the operating range gives a slope near 1/1.097 ~ 0.91 at mid-range.
+    const auto& q = haswell().report.quadratic;
+    const double slope_mid = 2.0 * q.a * 400.0 + q.b;  // d(RAPL)/d(AC) at 400 W
+    EXPECT_NEAR(slope_mid, 1.0 / 1.097, 0.12);
+}
+
+}  // namespace
+}  // namespace hsw::survey

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "survey/fig3_pstate.hpp"
+#include "survey/fig4_opportunity.hpp"
+
+namespace hsw::survey {
+namespace {
+
+class Fig3 : public ::testing::Test {
+protected:
+    static const PstateLatencyResult& result() {
+        static const PstateLatencyResult r = [] {
+            PstateLatencyConfig cfg;
+            cfg.samples = 300;  // CI variant of the paper's 1000
+            return fig3(cfg);
+        }();
+        return r;
+    }
+};
+
+TEST_F(Fig3, RandomRequestsUniformBetween21And524) {
+    const auto& random = result().series[0].result;
+    EXPECT_GT(random.min(), 15.0);
+    EXPECT_LT(random.min(), 60.0);
+    EXPECT_GT(random.max(), 450.0);
+    EXPECT_LT(random.max(), 560.0);
+    // Roughly uniform: the quartiles split the range into ~equal mass.
+    const auto h = result().histogram(0, 4);
+    for (std::size_t bin = 0; bin < 4; ++bin) {
+        EXPECT_NEAR(static_cast<double>(h.count(bin)), 75.0, 40.0) << "bin " << bin;
+    }
+}
+
+TEST_F(Fig3, ImmediateRequestsTakeAFullPeriod) {
+    // "Requesting a frequency transition instantly after a frequency change
+    // ... leads to around 500 us in the majority of the results."
+    const auto& immediate = result().series[1].result;
+    EXPECT_NEAR(immediate.median(), 500.0, 40.0);
+    const auto h = result().histogram(1, 28);
+    EXPECT_GT(h.fraction_in(430.0, 560.0), 0.85);
+}
+
+TEST_F(Fig3, FourHundredDelayGivesAboutHundred) {
+    const auto& fixed400 = result().series[2].result;
+    EXPECT_NEAR(fixed400.median(), 100.0, 35.0);
+}
+
+TEST_F(Fig3, FiveHundredDelaySplitsIntoTwoClasses) {
+    const auto& fixed500 = result().series[3].result;
+    util::Histogram h{0.0, 560.0, 28};
+    h.add_all(fixed500.latencies_us);
+    const double immediate_class = h.fraction_in(0.0, 150.0);
+    const double long_class = h.fraction_in(400.0, 560.0);
+    EXPECT_GT(immediate_class, 0.05);
+    EXPECT_GT(long_class, 0.4);
+    EXPECT_NEAR(immediate_class + long_class, 1.0, 0.02);
+}
+
+TEST_F(Fig3, RenderShowsAllFourSeries) {
+    const std::string s = result().render();
+    EXPECT_NE(s.find("random"), std::string::npos);
+    EXPECT_NE(s.find("immediately"), std::string::npos);
+    EXPECT_NE(s.find("400 us"), std::string::npos);
+    EXPECT_NE(s.find("500 us"), std::string::npos);
+}
+
+TEST(Fig4, OpportunityMechanism) {
+    const auto r = fig4(0xBEEF);
+    // The measured grid period is ~500 us.
+    EXPECT_NEAR(r.observed_period_us, 500.0, 10.0);
+    // Cores on one socket change together; sockets independently.
+    EXPECT_LT(r.same_socket_delta_us, 25.0);
+    EXPECT_NE(r.timeline.find("opportunity"), std::string::npos);
+    EXPECT_NE(r.timeline.find("request"), std::string::npos);
+    EXPECT_NE(r.timeline.find("change complete"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsw::survey

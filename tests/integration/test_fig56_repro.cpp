@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "survey/fig56_cstates.hpp"
+
+namespace hsw::survey {
+namespace {
+
+class Fig56 : public ::testing::Test {
+protected:
+    static const CstateLatencyResult& c3() {
+        static const CstateLatencyResult r = [] {
+            CstateSweepConfig cfg;
+            cfg.samples_per_point = 12;
+            return fig56(cstates::CState::C3, cfg);
+        }();
+        return r;
+    }
+    static const CstateLatencyResult& c6() {
+        static const CstateLatencyResult r = [] {
+            CstateSweepConfig cfg;
+            cfg.samples_per_point = 12;
+            return fig56(cstates::CState::C6, cfg);
+        }();
+        return r;
+    }
+};
+
+TEST_F(Fig56, C3MostlyFrequencyIndependent) {
+    const auto& local =
+        c3().find(arch::Generation::HaswellEP, cstates::WakeScenario::Local);
+    const double spread = [&] {
+        double lo = 1e9;
+        double hi = 0;
+        for (const auto& p : local.points) {
+            lo = std::min(lo, p.latency_us);
+            hi = std::max(hi, p.latency_us);
+        }
+        return hi - lo;
+    }();
+    EXPECT_LT(spread, 2.5);  // only the 1.5 us step above 1.5 GHz
+}
+
+TEST_F(Fig56, C6StronglyFrequencyDependent) {
+    const auto& local =
+        c6().find(arch::Generation::HaswellEP, cstates::WakeScenario::Local);
+    const double at_min = local.points.front().latency_us;   // 1.2 GHz
+    const double at_max = local.points.back().latency_us;    // 2.5 GHz
+    EXPECT_GT(at_min - at_max, 3.0);  // slower at low clocks
+}
+
+TEST_F(Fig56, PackageStatesAddLatency) {
+    for (const auto* result : {&c3(), &c6()}) {
+        const auto& local =
+            result->find(arch::Generation::HaswellEP, cstates::WakeScenario::Local);
+        const auto& pkg = result->find(arch::Generation::HaswellEP,
+                                       cstates::WakeScenario::RemoteIdle);
+        for (std::size_t i = 0; i < local.points.size(); ++i) {
+            EXPECT_GT(pkg.points[i].latency_us, local.points[i].latency_us + 1.5);
+        }
+    }
+}
+
+TEST_F(Fig56, SandyBridgeSeriesSlower) {
+    // The grey comparison series in Figures 5/6.
+    const auto& hsw_local =
+        c6().find(arch::Generation::HaswellEP, cstates::WakeScenario::Local);
+    const auto& snb_local =
+        c6().find(arch::Generation::SandyBridgeEP, cstates::WakeScenario::Local);
+    // Compare at overlapping frequencies (1.2-2.5 GHz on both).
+    EXPECT_GT(snb_local.points.front().latency_us,
+              hsw_local.points.front().latency_us + 5.0);
+}
+
+TEST_F(Fig56, EverythingBelowAcpiTables) {
+    for (const auto& s : c3().series) {
+        if (s.generation != arch::Generation::HaswellEP) continue;
+        for (const auto& p : s.points) EXPECT_LT(p.latency_us, 33.0);
+    }
+    for (const auto& s : c6().series) {
+        if (s.generation != arch::Generation::HaswellEP) continue;
+        for (const auto& p : s.points) EXPECT_LT(p.latency_us, 133.0);
+    }
+}
+
+TEST_F(Fig56, SixSeriesPerFigure) {
+    // 2 generations x 3 scenarios.
+    EXPECT_EQ(c3().series.size(), 6u);
+    EXPECT_EQ(c6().series.size(), 6u);
+    EXPECT_NE(c3().render().find("remote-idle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsw::survey

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "survey/fig78_bandwidth.hpp"
+
+namespace hsw::survey {
+namespace {
+
+class Fig78 : public ::testing::Test {
+protected:
+    static const Fig7Result& f7() {
+        static const Fig7Result r = fig7();
+        return r;
+    }
+    static const Fig8Result& f8() {
+        static const Fig8Result r = fig8();
+        return r;
+    }
+};
+
+TEST_F(Fig78, HaswellDramFlatAcrossFrequency) {
+    // Fig. 7b: "DRAM performance at maximal concurrency does not depend on
+    // the core frequency."
+    const auto& hsw = f7().find(arch::Generation::HaswellEP);
+    for (const auto& p : hsw.points) {
+        EXPECT_NEAR(p.relative_dram, 1.0, 0.03) << p.set_ghz;
+    }
+}
+
+TEST_F(Fig78, SandyBridgeDramTracksFrequency) {
+    const auto& snb = f7().find(arch::Generation::SandyBridgeEP);
+    EXPECT_LT(snb.points.front().relative_dram, 0.6);   // at min frequency
+    // Monotonically recovering toward 1.0.
+    double prev = 0.0;
+    for (const auto& p : snb.points) {
+        EXPECT_GE(p.relative_dram, prev - 0.01);
+        prev = p.relative_dram;
+    }
+}
+
+TEST_F(Fig78, WestmereDramFlatLikeHaswell) {
+    // "The behavior of the Westmere-EP generation with its constant uncore
+    // frequency was similar."
+    const auto& wsm = f7().find(arch::Generation::WestmereEP);
+    for (const auto& p : wsm.points) {
+        EXPECT_NEAR(p.relative_dram, 1.0, 0.05) << p.set_ghz;
+    }
+}
+
+TEST_F(Fig78, HaswellL3TracksCoreFrequency) {
+    const auto& hsw = f7().find(arch::Generation::HaswellEP);
+    EXPECT_LT(hsw.points.front().relative_l3, 0.65);
+    EXPECT_GT(hsw.points.front().relative_l3, 0.40);
+}
+
+TEST_F(Fig78, DramSaturatesAroundEightToTenCores) {
+    // Fig. 8: saturation at ~8 cores; frequency independent from 10 cores.
+    const auto& r = f8();
+    const std::size_t top_freq = r.set_ghz.size() - 2;  // 2.5 GHz column
+    const double at8 = r.at_dram(7, top_freq);
+    const double at12 = r.at_dram(11, top_freq);
+    EXPECT_GT(at8 / at12, 0.90);
+    // Frequency independence at >= 10 cores: min vs max frequency.
+    const double lo_f = r.at_dram(10, 2);
+    const double hi_f = r.at_dram(10, top_freq);
+    EXPECT_GT(lo_f / hi_f, 0.85);
+}
+
+TEST_F(Fig78, L3GrowsWithBothAxes) {
+    const auto& r = f8();
+    // More threads -> more L3 bandwidth (same frequency).
+    for (std::size_t t = 1; t < 12; ++t) {
+        EXPECT_GE(r.at_l3(t, 5), r.at_l3(t - 1, 5));
+    }
+    // More frequency -> more L3 bandwidth (same threads).
+    for (std::size_t fi = 1; fi + 1 < r.set_ghz.size(); ++fi) {
+        EXPECT_GE(r.at_l3(11, fi), r.at_l3(11, fi - 1));
+    }
+}
+
+TEST_F(Fig78, HyperThreadingOnlyHelpsBeforeSaturation) {
+    const auto& r = f8();
+    const std::size_t top_freq = r.set_ghz.size() - 2;
+    // 24 threads vs 12 threads at full frequency: DRAM already saturated.
+    const double t12 = r.at_dram(11, top_freq);
+    const double t24 = r.at_dram(23, top_freq);
+    EXPECT_NEAR(t24 / t12, 1.0, 0.05);
+    // 2 threads on 1 core vs 1 thread: clear benefit.
+    const double t1 = r.at_dram(0, top_freq);
+    const double t2_on_1core = r.at_dram(12, top_freq);  // 13 threads fills HT
+    (void)t2_on_1core;
+    const double l3_t1 = r.at_l3(0, top_freq);
+    const double l3_t13 = r.at_l3(12, top_freq);
+    EXPECT_GT(l3_t13, l3_t1);  // sanity: more threads, more bandwidth
+    EXPECT_GT(t1, 0.0);
+}
+
+TEST_F(Fig78, GridDimensions) {
+    const auto& r = f8();
+    EXPECT_EQ(r.set_ghz.size(), 15u);   // 1.2 .. 2.5 + turbo
+    EXPECT_EQ(r.threads.size(), 24u);   // up to 2 threads x 12 cores
+    EXPECT_EQ(r.l3_gbs.size(), 24u);
+    EXPECT_EQ(r.dram_gbs.size(), 24u);
+}
+
+}  // namespace
+}  // namespace hsw::survey

@@ -1,0 +1,71 @@
+// Haswell-HE (desktop) cross-checks: Section IV notes "similarly good
+// results on a Haswell-HE platform, also benefiting from the availability
+// of the DRAM domain in contrast to previous generation desktop
+// platforms"; Section VI-A notes its p-state requests apply immediately.
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "tools/ftalat.hpp"
+#include "tools/rapl_validate.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw {
+namespace {
+
+using util::Frequency;
+using util::Time;
+
+core::NodeConfig he_config() {
+    core::NodeConfig cfg;
+    cfg.sku = &arch::core_i7_4770();
+    cfg.sockets = 1;
+    return cfg;
+}
+
+TEST(HaswellHe, HasMeasuredRaplWithDramDomain) {
+    core::Node node{he_config()};
+    EXPECT_TRUE(node.socket(0).rapl().has_domain(rapl::Domain::Dram));
+    EXPECT_EQ(arch::traits(node.generation()).rapl_backend,
+              arch::RaplBackend::Measured);
+}
+
+TEST(HaswellHe, RaplTracksTruthLikeTheEpPart) {
+    core::Node node{he_config()};
+    node.set_all_workloads(&workloads::compute(), 1);
+    node.run_for(Time::ms(100));
+    const double true_before = node.socket(0).rapl().true_pkg_energy().as_joules();
+    const auto window = node.rapl_window(0, Time::sec(1));
+    const double true_delta =
+        node.socket(0).rapl().true_pkg_energy().as_joules() - true_before;
+    EXPECT_NEAR(window.package.as_watts(), true_delta, true_delta * 0.02);
+}
+
+TEST(HaswellHe, PstateRequestsApplyImmediately) {
+    core::Node node{he_config()};
+    tools::Ftalat ftalat{node};
+    tools::FtalatConfig cfg;
+    cfg.from_ratio = 8;   // 0.8 GHz
+    cfg.to_ratio = 9;
+    cfg.delay_mode = tools::DelayMode::Random;
+    cfg.samples = 80;
+    const auto r = ftalat.measure(cfg);
+    // Only the legacy ~10 us switching time -- no 500 us grid.
+    EXPECT_LT(r.median(), 40.0);
+    EXPECT_LT(r.max(), 80.0);
+}
+
+TEST(HaswellHe, NoPerCorePstates) {
+    // PCPS needs the per-core FIVR arrangement of the EP parts: a desktop
+    // part grants one frequency domain. (We model this at the trait level.)
+    EXPECT_FALSE(arch::traits(arch::Generation::HaswellHE).per_core_pstates);
+    EXPECT_TRUE(arch::traits(arch::Generation::HaswellEP).per_core_pstates);
+}
+
+TEST(HaswellHe, FourCoreTopologyIsSingleRing) {
+    core::Node node{he_config()};
+    EXPECT_EQ(node.socket(0).topology().variant, arch::DieVariant::EightCore);
+    EXPECT_EQ(node.socket(0).topology().partitions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,48 @@
+// Rendering/formatting checks for the survey layer: the bench binaries'
+// human-readable output must name the paper's rows and anchors.
+#include <gtest/gtest.h>
+
+#include "survey/table1_microarch.hpp"
+#include "survey/table2_system.hpp"
+
+namespace hsw::survey {
+namespace {
+
+TEST(Table1Render, ListsAllRows) {
+    const auto cmp = table1();
+    const std::string s = cmp.render();
+    for (const char* row : {"Decode", "Allocation queue", "Execute", "Retire",
+                            "Scheduler entries", "ROB entries", "SIMD ISA",
+                            "FLOPS/cycle", "Load/store buffers", "L2 bytes/cycle",
+                            "Supported memory", "DRAM bandwidth", "QPI speed"}) {
+        EXPECT_NE(s.find(row), std::string::npos) << row;
+    }
+    EXPECT_NE(s.find("AVX2"), std::string::npos);
+    EXPECT_NE(s.find("4x DDR4-2133"), std::string::npos);
+}
+
+TEST(Table1Render, DerivedRatios) {
+    const auto cmp = table1();
+    EXPECT_DOUBLE_EQ(cmp.flops_ratio(), 2.0);
+    EXPECT_DOUBLE_EQ(cmp.l1_bandwidth_ratio(), 2.0);
+    EXPECT_DOUBLE_EQ(cmp.l2_bandwidth_ratio(), 2.0);
+    EXPECT_NEAR(cmp.dram_bandwidth_ratio(), 68.2 / 51.2, 1e-9);
+}
+
+TEST(Table2Render, MatchesThePaperRows) {
+    const auto report = table2(util::Time::ms(500));
+    const std::string s = report.render();
+    EXPECT_NE(s.find("2x Intel Xeon E5-2680 v3"), std::string::npos);
+    EXPECT_NE(s.find("1.2 - 2.5 GHz"), std::string::npos);
+    EXPECT_NE(s.find("up to 3.3 GHz"), std::string::npos);
+    EXPECT_NE(s.find("2.1 GHz"), std::string::npos);
+    EXPECT_NE(s.find("balanced"), std::string::npos);
+    EXPECT_NE(s.find("LMG450"), std::string::npos);
+    EXPECT_TRUE(report.eet_enabled);
+    EXPECT_TRUE(report.ufs_enabled);
+    EXPECT_TRUE(report.pcps_enabled);
+    EXPECT_NEAR(report.idle_ac_watts, 261.5, 3.0);
+}
+
+}  // namespace
+}  // namespace hsw::survey

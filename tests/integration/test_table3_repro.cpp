@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "survey/table3_uncore.hpp"
+
+namespace hsw::survey {
+namespace {
+
+class Table3 : public ::testing::Test {
+protected:
+    static const UncoreTableResult& result() {
+        static const UncoreTableResult r = table3(util::Time::ms(200));
+        return r;
+    }
+};
+
+TEST_F(Table3, TurboRowReachesUncoreMax) {
+    const auto& turbo = result().rows.front();
+    ASSERT_TRUE(turbo.turbo);
+    EXPECT_NEAR(turbo.active_uncore_ghz, 3.0, 0.02);
+    // Passive socket fluctuates 2.9-3.0 at turbo.
+    EXPECT_GE(turbo.passive_uncore_ghz, 2.88);
+    EXPECT_LE(turbo.passive_uncore_ghz, 3.0);
+}
+
+TEST_F(Table3, LadderRowsMatchPaper) {
+    // Paper Table III: core setting -> active uncore.
+    const std::vector<std::pair<double, double>> expectations{
+        {2.5, 2.2}, {2.4, 2.1}, {2.3, 2.0}, {2.2, 1.9}, {2.1, 1.8},
+        {2.0, 1.75}, {1.9, 1.65}, {1.8, 1.6}, {1.7, 1.5}, {1.6, 1.4},
+        {1.5, 1.3}, {1.4, 1.2}, {1.3, 1.2}, {1.2, 1.2}};
+    for (const auto& [set, expected] : expectations) {
+        bool found = false;
+        for (const auto& row : result().rows) {
+            if (!row.turbo && std::abs(row.set_ghz - set) < 1e-9) {
+                EXPECT_NEAR(row.active_uncore_ghz, expected, 0.03)
+                    << "setting " << set;
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << "missing row " << set;
+    }
+}
+
+TEST_F(Table3, PassiveSocketOneStepLower) {
+    for (const auto& row : result().rows) {
+        if (row.turbo) continue;
+        if (row.active_uncore_ghz <= 1.21) {
+            // Both at the 1.2 GHz floor.
+            EXPECT_NEAR(row.passive_uncore_ghz, 1.2, 0.03);
+        } else {
+            EXPECT_NEAR(row.active_uncore_ghz - row.passive_uncore_ghz, 0.1, 0.04)
+                << "setting " << row.set_ghz;
+        }
+    }
+}
+
+TEST_F(Table3, EpbPerformanceForcesMaximumEverywhere) {
+    // Table III footnote: 3.0 GHz if EPB is set to performance.
+    for (const auto& row : result().rows) {
+        EXPECT_NEAR(row.active_uncore_perf_epb_ghz, 3.0, 0.02)
+            << "setting " << row.set_ghz;
+    }
+}
+
+TEST_F(Table3, FifteenRowsLikeThePaper) {
+    EXPECT_EQ(result().rows.size(), 15u);  // turbo + 2.5 .. 1.2
+    EXPECT_NE(result().render().find("Turbo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsw::survey

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "survey/table4_firestarter.hpp"
+
+namespace hsw::survey {
+namespace {
+
+class Table4 : public ::testing::Test {
+protected:
+    static const FirestarterSweepResult& result() {
+        static const FirestarterSweepResult r = [] {
+            FirestarterSweepConfig cfg;
+            cfg.samples = 8;  // fast CI variant of the paper's 50
+            return table4(cfg);
+        }();
+        return r;
+    }
+};
+
+TEST_F(Table4, TurboEquilibriumNearPaper) {
+    const auto& t = result().turbo_row();
+    // Paper: core 2.30/2.32, uncore 2.33/2.35, GIPS 3.55/3.58.
+    EXPECT_NEAR(t.core_ghz[0], 2.30, 0.06);
+    EXPECT_NEAR(t.core_ghz[1], 2.32, 0.06);
+    EXPECT_NEAR(t.uncore_ghz[0], 2.33, 0.08);
+    EXPECT_NEAR(t.gips[0], 3.55, 0.10);
+    EXPECT_NEAR(t.gips[1], 3.58, 0.10);
+}
+
+TEST_F(Table4, Socket1OutperformsSocket0) {
+    // Section III: processor 0 is the less efficient part.
+    const auto& t = result().turbo_row();
+    EXPECT_GE(t.core_ghz[1], t.core_ghz[0]);
+    EXPECT_GE(t.gips[1], t.gips[0]);
+}
+
+TEST_F(Table4, TdpLimitedAtAndAbove22) {
+    for (const auto& row : result().rows) {
+        if (row.turbo || row.set_ghz >= 2.2 - 1e-9) {
+            EXPECT_NEAR(row.rapl_pkg_watts[1], 120.0, 1.5)
+                << "setting " << (row.turbo ? 0.0 : row.set_ghz);
+        }
+    }
+}
+
+TEST_F(Table4, TwoPointOneRunsBelowTdpWithMaxUncore) {
+    const auto& row = result().rows.back();
+    ASSERT_NEAR(row.set_ghz, 2.1, 1e-9);
+    EXPECT_NEAR(row.core_ghz[1], 2.1, 0.02);       // no throttling
+    EXPECT_NEAR(row.uncore_ghz[1], 3.0, 0.02);     // uncore at max turbo
+    EXPECT_LT(row.rapl_pkg_watts[1], 120.0);
+}
+
+TEST_F(Table4, HeadroomFlowsToUncoreAsSettingDrops) {
+    // Monotonic: lower core setting -> higher uncore (2.3 .. 2.1 rows).
+    double prev_uncore = 0.0;
+    for (const auto& row : result().rows) {
+        if (row.turbo || row.set_ghz > 2.35) continue;
+        EXPECT_GE(row.uncore_ghz[1], prev_uncore - 0.02)
+            << "setting " << row.set_ghz;
+        prev_uncore = row.uncore_ghz[1];
+    }
+}
+
+TEST_F(Table4, DownclockingBeatsTurboByAboutOnePercent) {
+    const double turbo_gips = result().turbo_row().gips[1];
+    const double best_gips = result().best_by_gips().gips[1];
+    const double gain = best_gips / turbo_gips - 1.0;
+    EXPECT_GT(gain, 0.002);  // there IS an inversion
+    EXPECT_LT(gain, 0.03);   // and it is small, ~1 %
+    EXPECT_FALSE(result().best_by_gips().turbo);
+}
+
+TEST_F(Table4, RenderListsAllSettings) {
+    const std::string s = result().render();
+    EXPECT_NE(s.find("Turbo"), std::string::npos);
+    EXPECT_NE(s.find("2.1"), std::string::npos);
+    EXPECT_EQ(result().rows.size(), 6u);  // turbo, 2.5 .. 2.1
+}
+
+}  // namespace
+}  // namespace hsw::survey

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "survey/table5_maxpower.hpp"
+
+namespace hsw::survey {
+namespace {
+
+class Table5 : public ::testing::Test {
+protected:
+    static const MaxPowerResult& result() {
+        static const MaxPowerResult r = [] {
+            MaxPowerConfig cfg;
+            cfg.run_time = util::Time::sec(8);  // CI variant
+            cfg.window = util::Time::sec(4);
+            return table5(cfg);
+        }();
+        return r;
+    }
+};
+
+TEST_F(Table5, FirestarterNearPaperPower) {
+    // Paper: 559.8 - 561.0 W across all settings.
+    for (bool turbo : {false, true}) {
+        for (const char* epb : {"power", "bal", "perf"}) {
+            const auto& c = result().find("FIRESTARTER", turbo, epb);
+            EXPECT_NEAR(c.ac_watts, 560.0, 12.0) << turbo << " " << epb;
+        }
+    }
+}
+
+TEST_F(Table5, LinpackDrawsLessPowerAndRunsSlowest) {
+    // The Section VIII observation: LINPACK is both the lowest-power and
+    // the lowest-frequency stress test (current-guardband limited).
+    const double fs = result().max_ac("FIRESTARTER");
+    const double lp = result().max_ac("LINPACK");
+    EXPECT_LT(lp, fs - 5.0);
+    for (bool turbo : {false, true}) {
+        const auto& lp_cell = result().find("LINPACK", turbo, "bal");
+        const auto& fs_cell = result().find("FIRESTARTER", turbo, "bal");
+        const auto& mp_cell = result().find("mprime", turbo, "bal");
+        EXPECT_LT(lp_cell.core_ghz, fs_cell.core_ghz);
+        EXPECT_LT(lp_cell.core_ghz, mp_cell.core_ghz);
+    }
+}
+
+TEST_F(Table5, LinpackFrequencyNearPaper) {
+    const auto& c = result().find("LINPACK", true, "bal");
+    EXPECT_NEAR(c.core_ghz, 2.28, 0.1);  // paper: 2.27-2.28
+}
+
+TEST_F(Table5, MprimeRunsFastest) {
+    const auto& mp = result().find("mprime", true, "bal");
+    EXPECT_GT(mp.core_ghz, 2.45);
+    EXPECT_LT(mp.core_ghz, 2.70);  // paper: up to 2.62
+}
+
+TEST_F(Table5, SettingsHaveLittleImpact) {
+    // "EPB, turbo mode ... have very little impact on the core frequency
+    // and the power consumption."
+    for (const char* wl : {"FIRESTARTER", "LINPACK"}) {
+        double min_w = 1e9;
+        double max_w = 0;
+        for (bool turbo : {false, true}) {
+            for (const char* epb : {"power", "bal", "perf"}) {
+                const auto& c = result().find(wl, turbo, epb);
+                min_w = std::min(min_w, c.ac_watts);
+                max_w = std::max(max_w, c.ac_watts);
+            }
+        }
+        EXPECT_LT(max_w - min_w, 15.0) << wl;
+    }
+}
+
+TEST_F(Table5, AllFrequenciesTdpConstrained) {
+    // Nobody sustains nominal 2.5 GHz + turbo: every cell sits between the
+    // AVX base (2.1) and the all-core turbo region.
+    for (const auto& c : result().cells) {
+        EXPECT_GE(c.core_ghz, 2.1 - 0.05) << c.workload;
+        EXPECT_LE(c.core_ghz, 2.9) << c.workload;
+    }
+}
+
+TEST_F(Table5, EighteenCells) {
+    EXPECT_EQ(result().cells.size(), 18u);  // 3 workloads x 2 settings x 3 EPB
+    EXPECT_NE(result().render().find("FIRESTARTER"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsw::survey

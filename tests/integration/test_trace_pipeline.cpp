@@ -1,0 +1,68 @@
+// End-to-end trace pipeline: a real node run produces a well-formed
+// Chrome trace with the p-state lifecycle visible.
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "sim/trace_json.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw {
+namespace {
+
+using util::Time;
+
+TEST(TracePipeline, NodeRunExportsPstateLifecycle) {
+    core::NodeConfig cfg;
+    cfg.trace_enabled = true;
+    core::Node node{cfg};
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.run_for(Time::ms(2));
+    node.set_pstate(0, util::Frequency::ghz(1.5));
+    node.run_for(Time::ms(2));
+    node.park(0, cstates::CState::C6);
+    node.set_workload(1, &workloads::while_one(), 1);
+    node.run_for(Time::ms(1));
+
+    const std::string json = sim::to_chrome_trace_json(node.trace(), "node-run");
+    EXPECT_NE(json.find("\"cat\":\"pstate\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"pcu\""), std::string::npos);
+    EXPECT_NE(json.find("request"), std::string::npos);
+    EXPECT_NE(json.find("change complete"), std::string::npos);
+    EXPECT_NE(json.find("node-run"), std::string::npos);
+
+    // The JSON stays parseable-shaped: balanced braces outside strings.
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+        if (in_string) continue;
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(TracePipeline, RequestPrecedesOpportunityPrecedesComplete) {
+    core::NodeConfig cfg;
+    cfg.trace_enabled = true;
+    core::Node node{cfg};
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.run_for(Time::ms(2));
+    node.trace().clear();
+    node.set_pstate(0, util::Frequency::ghz(1.4));
+    node.run_for(Time::ms(2));
+
+    const auto requests = node.trace().filter("pstate", "cpu0");
+    const auto completes = node.trace().filter("pstate", "socket0");
+    ASSERT_FALSE(requests.empty());
+    ASSERT_FALSE(completes.empty());
+    // The completion follows the request by the grid wait + switch time.
+    const double gap_us = (completes.front().when - requests.front().when).as_us();
+    EXPECT_GE(gap_us, 19.0);
+    EXPECT_LE(gap_us, 530.0);
+}
+
+}  // namespace
+}  // namespace hsw

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "mem/bandwidth_model.hpp"
+
+namespace hsw::mem {
+namespace {
+
+using util::Frequency;
+
+class HswBandwidth : public ::testing::Test {
+protected:
+    BandwidthModel model{arch::Generation::HaswellEP, 12};
+    static constexpr Frequency kUncMax = Frequency::ghz(3.0);
+};
+
+TEST_F(HswBandwidth, DramFrequencyIndependentAtFullConcurrency) {
+    // Figure 7b: at maximal concurrency DRAM bandwidth does not depend on
+    // the core frequency.
+    const ConcurrencyConfig full{12, 2};
+    const double at_min = model.dram_read(full, Frequency::ghz(1.2), kUncMax).as_gb_per_sec();
+    const double at_max = model.dram_read(full, Frequency::ghz(2.5), kUncMax).as_gb_per_sec();
+    EXPECT_NEAR(at_min / at_max, 1.0, 0.02);
+}
+
+TEST_F(HswBandwidth, DramSaturatesAroundEightCores) {
+    // Figure 8: "main memory read bandwidth saturates at 8 cores".
+    const Frequency f = Frequency::ghz(2.5);
+    const double at8 = model.dram_read({8, 1}, f, kUncMax).as_gb_per_sec();
+    const double at12 = model.dram_read({12, 1}, f, kUncMax).as_gb_per_sec();
+    EXPECT_GT(at8 / at12, 0.92);
+    const double at4 = model.dram_read({4, 1}, f, kUncMax).as_gb_per_sec();
+    EXPECT_LT(at4 / at12, 0.60);
+}
+
+TEST_F(HswBandwidth, L3CorrelatesWithCoreFrequency) {
+    // Figure 7a: L3 bandwidth strongly correlates with the core clock.
+    const ConcurrencyConfig full{12, 2};
+    const double at_min = model.l3_read(full, Frequency::ghz(1.2), kUncMax).as_gb_per_sec();
+    const double at_max = model.l3_read(full, Frequency::ghz(2.5), kUncMax).as_gb_per_sec();
+    EXPECT_LT(at_min / at_max, 0.65);
+    EXPECT_GT(at_min / at_max, 0.40);
+}
+
+TEST_F(HswBandwidth, L3FlattensAtHighFrequencyWithoutPlateau) {
+    // "scales linearly with frequency for lower frequencies but flattens at
+    // higher frequency levels without converging to a specific plateau".
+    const ConcurrencyConfig full{12, 2};
+    auto bw = [&](double f) {
+        return model.l3_read(full, Frequency::ghz(f), kUncMax).as_gb_per_sec();
+    };
+    const double low_gain = bw(1.4) / bw(1.2);   // ~ +16.7 % frequency step
+    const double high_gain = bw(2.5) / bw(2.3);  // ~ +8.7 % frequency step
+    EXPECT_GT(low_gain, 1.10);
+    // Still increasing at the top (no plateau) but with diminishing slope.
+    EXPECT_GT(high_gain, 1.02);
+    EXPECT_LT(high_gain - 1.0, (low_gain - 1.0) * (2.3 / 1.2) * 0.9);
+}
+
+TEST_F(HswBandwidth, HyperThreadingHelpsOnlyAtLowConcurrency) {
+    const Frequency f = Frequency::ghz(2.5);
+    const double ht1 = model.dram_read({2, 1}, f, kUncMax).as_gb_per_sec();
+    const double ht2 = model.dram_read({2, 2}, f, kUncMax).as_gb_per_sec();
+    EXPECT_GT(ht2, ht1 * 1.1);  // clear benefit at 2 cores
+    const double full1 = model.dram_read({12, 1}, f, kUncMax).as_gb_per_sec();
+    const double full2 = model.dram_read({12, 2}, f, kUncMax).as_gb_per_sec();
+    EXPECT_NEAR(full2 / full1, 1.0, 0.02);  // none at saturation
+}
+
+TEST_F(HswBandwidth, L3SlightlySuperlinearAtLowConcurrency) {
+    const Frequency f = Frequency::ghz(2.0);
+    const double c1 = model.l3_read({1, 1}, f, kUncMax).as_gb_per_sec();
+    const double c4 = model.l3_read({4, 1}, f, kUncMax).as_gb_per_sec();
+    EXPECT_GT(c4, 4.0 * c1);          // better than linear early on
+    EXPECT_LT(c4, 4.0 * c1 * 1.08);   // but only slightly
+}
+
+TEST_F(HswBandwidth, MonotonicInCoresAndFrequency) {
+    const Frequency f = Frequency::ghz(2.0);
+    double prev = 0.0;
+    for (unsigned n = 1; n <= 12; ++n) {
+        const double bw = model.l3_read({n, 1}, f, kUncMax).as_gb_per_sec();
+        EXPECT_GE(bw, prev);
+        prev = bw;
+    }
+    prev = 0.0;
+    for (double g = 1.2; g <= 2.51; g += 0.1) {
+        const double bw = model.l3_read({6, 1}, Frequency::ghz(g), kUncMax).as_gb_per_sec();
+        EXPECT_GT(bw, prev);
+        prev = bw;
+    }
+}
+
+TEST(SnbBandwidth, DramTracksCoreCoupledUncore) {
+    // Figure 7b: "On Sandy Bridge-EP, the uncore frequency reflects the core
+    // frequency, making DRAM bandwidth highly dependent on core frequency."
+    BandwidthModel model{arch::Generation::SandyBridgeEP, 8};
+    const ConcurrencyConfig full{8, 2};
+    // The uncore clock equals the core clock on SNB.
+    const double at_min =
+        model.dram_read(full, Frequency::ghz(1.2), Frequency::ghz(1.2)).as_gb_per_sec();
+    const double at_max =
+        model.dram_read(full, Frequency::ghz(2.6), Frequency::ghz(2.6)).as_gb_per_sec();
+    EXPECT_LT(at_min / at_max, 0.6);
+}
+
+TEST(WsmBandwidth, DramFlatWithFixedUncore) {
+    BandwidthModel model{arch::Generation::WestmereEP, 6};
+    const ConcurrencyConfig full{6, 2};
+    const Frequency unc = Frequency::ghz(2.66);  // fixed
+    const double at_min = model.dram_read(full, Frequency::ghz(1.6), unc).as_gb_per_sec();
+    const double at_max = model.dram_read(full, Frequency::ghz(2.93), unc).as_gb_per_sec();
+    EXPECT_GT(at_min / at_max, 0.95);
+}
+
+TEST(BandwidthSanity, PeaksRespectHardwareLimits) {
+    BandwidthModel hsw{arch::Generation::HaswellEP, 12};
+    const double peak =
+        hsw.dram_read({12, 2}, Frequency::ghz(2.5), Frequency::ghz(3.0)).as_gb_per_sec();
+    EXPECT_LE(peak, 68.2);  // below the DDR4 theoretical peak (Table I)
+    EXPECT_GT(peak, 45.0);  // but in a realistic stream range
+}
+
+// Parameterized sweep: dram_demand_per_core is positive and grows with the
+// core clock for every ratio.
+class DemandSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DemandSweep, PositiveAndMonotonic) {
+    BandwidthModel model{arch::Generation::HaswellEP, 12};
+    const unsigned ratio = GetParam();
+    const double demand =
+        model.dram_demand_per_core(Frequency::from_ratio(ratio)).as_gb_per_sec();
+    EXPECT_GT(demand, 0.0);
+    if (ratio > 12) {
+        EXPECT_GT(demand, model.dram_demand_per_core(Frequency::from_ratio(ratio - 1))
+                              .as_gb_per_sec());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, DemandSweep, ::testing::Range(12u, 26u));
+
+}  // namespace
+}  // namespace hsw::mem

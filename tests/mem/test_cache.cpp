@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace hsw::mem {
+namespace {
+
+TEST(Cache, HaswellDoublesL1L2BandwidthOverSandyBridge) {
+    const auto& hsw = hierarchy_for(arch::Generation::HaswellEP);
+    const auto& snb = hierarchy_for(arch::Generation::SandyBridgeEP);
+    EXPECT_EQ(hsw.at(Level::L1D).read_bytes_per_cycle,
+              2 * snb.at(Level::L1D).read_bytes_per_cycle);
+    EXPECT_EQ(hsw.at(Level::L2).read_bytes_per_cycle,
+              2 * snb.at(Level::L2).read_bytes_per_cycle);
+}
+
+TEST(Cache, StandardCapacities) {
+    const auto& hsw = hierarchy_for(arch::Generation::HaswellEP);
+    EXPECT_EQ(hsw.at(Level::L1D).capacity_bytes, 32u * 1024);
+    EXPECT_EQ(hsw.at(Level::L2).capacity_bytes, 256u * 1024);
+    EXPECT_EQ(hsw.at(Level::L3).capacity_bytes, 2560u * 1024);  // per slice
+    EXPECT_EQ(hsw.at(Level::L1D).line_bytes, 64u);
+}
+
+TEST(Cache, LatencyIncreasesDownTheHierarchy) {
+    for (auto gen : {arch::Generation::HaswellEP, arch::Generation::SandyBridgeEP,
+                     arch::Generation::WestmereEP}) {
+        const auto& h = hierarchy_for(gen);
+        EXPECT_LT(h.at(Level::L1D).latency_cycles, h.at(Level::L2).latency_cycles);
+        EXPECT_LT(h.at(Level::L2).latency_cycles, h.at(Level::L3).latency_cycles);
+        EXPECT_LT(h.at(Level::L3).latency_cycles, h.at(Level::Dram).latency_cycles);
+    }
+}
+
+TEST(Cache, WorkingSetLevelResolution) {
+    const auto& h = hierarchy_for(arch::Generation::HaswellEP);
+    EXPECT_EQ(h.level_for_working_set(16 * 1024, 12), Level::L1D);
+    EXPECT_EQ(h.level_for_working_set(128 * 1024, 12), Level::L2);
+    // The paper's 17 MB L3 set fits the 30 MiB L3 of the 12-core part.
+    EXPECT_EQ(h.level_for_working_set(17u * 1024 * 1024, 12), Level::L3);
+    // The 350 MB DRAM set does not.
+    EXPECT_EQ(h.level_for_working_set(350u * 1024 * 1024, 12), Level::Dram);
+}
+
+TEST(Cache, LevelNames) {
+    EXPECT_EQ(name(Level::L1D), "L1D");
+    EXPECT_EQ(name(Level::Dram), "DRAM");
+}
+
+}  // namespace
+}  // namespace hsw::mem

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "mem/coherency.hpp"
+
+namespace hsw::mem {
+namespace {
+
+using util::Frequency;
+
+class Coherency : public ::testing::Test {
+protected:
+    arch::DieTopology topo = arch::make_die_topology(12);
+    CoherencyModel model{arch::Generation::HaswellEP, topo};
+    static constexpr Frequency kCore = Frequency::ghz(2.5);
+    static constexpr Frequency kUnc = Frequency::ghz(3.0);
+
+    double lat(LineSource s, unsigned req = 0, unsigned hold = 1) const {
+        return model.latency_ns(s, req, hold, kCore, kUnc);
+    }
+};
+
+TEST_F(Coherency, LatencyOrderingDownTheHierarchy) {
+    EXPECT_LT(lat(LineSource::OwnL1), lat(LineSource::OwnL2));
+    EXPECT_LT(lat(LineSource::OwnL2), lat(LineSource::L3Clean));
+    EXPECT_LT(lat(LineSource::L3Clean), lat(LineSource::PeerModified));
+    EXPECT_LT(lat(LineSource::PeerModified), lat(LineSource::RemoteL3));
+    EXPECT_LT(lat(LineSource::RemoteL3), lat(LineSource::RemoteModified));
+    EXPECT_LT(lat(LineSource::L3Clean), lat(LineSource::Dram));
+}
+
+TEST_F(Coherency, PlausibleAbsoluteValues) {
+    EXPECT_NEAR(lat(LineSource::OwnL1), 1.6, 0.3);        // 4 cyc @ 2.5 GHz
+    EXPECT_NEAR(lat(LineSource::L3Clean), 12.1, 2.0);     // ~30-40 cyc total
+    EXPECT_GT(lat(LineSource::RemoteModified), 90.0);     // QPI round trip
+    EXPECT_GT(lat(LineSource::Dram), 60.0);
+    EXPECT_LT(lat(LineSource::Dram), 120.0);
+}
+
+TEST_F(Coherency, CrossPartitionTransfersPayTheQueues) {
+    // cores 0-7 on partition 0, 8-11 on partition 1 (12-core die, Fig. 1a).
+    const double same = model.latency_ns(LineSource::PeerModified, 0, 5, kCore, kUnc);
+    const double cross = model.latency_ns(LineSource::PeerModified, 0, 9, kCore, kUnc);
+    EXPECT_GT(cross, same + 2.0);
+}
+
+TEST_F(Coherency, UncoreClockGovernsOnDieTransfers) {
+    // Section II-D: "The uncore frequency has a significant impact on
+    // on-die cache-line transfer rates."
+    const double fast =
+        model.latency_ns(LineSource::PeerModified, 0, 5, kCore, Frequency::ghz(3.0));
+    const double slow =
+        model.latency_ns(LineSource::PeerModified, 0, 5, kCore, Frequency::ghz(1.2));
+    EXPECT_GT(slow, fast * 1.8);
+    // Own-cache hits do not care about the uncore.
+    EXPECT_DOUBLE_EQ(
+        model.latency_ns(LineSource::OwnL1, 0, 0, kCore, Frequency::ghz(3.0)),
+        model.latency_ns(LineSource::OwnL1, 0, 0, kCore, Frequency::ghz(1.2)));
+}
+
+TEST_F(Coherency, UncoreShareHighestForOnDieTransfers) {
+    EXPECT_EQ(model.uncore_share(LineSource::OwnL1), 0.0);
+    EXPECT_GT(model.uncore_share(LineSource::PeerModified), 0.5);
+    // Remote transfers are dominated by the fixed QPI hop.
+    EXPECT_LT(model.uncore_share(LineSource::RemoteModified),
+              model.uncore_share(LineSource::PeerModified));
+}
+
+TEST_F(Coherency, CoreClockGovernsPrivateHits) {
+    const double fast =
+        model.latency_ns(LineSource::OwnL2, 0, 0, Frequency::ghz(2.5), kUnc);
+    const double slow =
+        model.latency_ns(LineSource::OwnL2, 0, 0, Frequency::ghz(1.2), kUnc);
+    EXPECT_NEAR(slow / fast, 2.5 / 1.2, 0.01);
+}
+
+TEST(CoherencySnb, HaswellNotSlowerOnDie) {
+    const auto topo_hsw = arch::make_die_topology(12);
+    const auto topo_snb = arch::make_die_topology(8);
+    const CoherencyModel hsw{arch::Generation::HaswellEP, topo_hsw};
+    const CoherencyModel snb{arch::Generation::SandyBridgeEP, topo_snb};
+    const Frequency core = Frequency::ghz(2.5);
+    // At its (higher) native uncore clock, Haswell's L3 path is at least
+    // as fast as Sandy Bridge's core-coupled one.
+    EXPECT_LE(hsw.latency_ns(LineSource::L3Clean, 0, 1, core, Frequency::ghz(3.0)),
+              snb.latency_ns(LineSource::L3Clean, 0, 1, core, Frequency::ghz(2.5)) +
+                  1.0);
+}
+
+}  // namespace
+}  // namespace hsw::mem

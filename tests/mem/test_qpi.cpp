@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "mem/qpi.hpp"
+
+namespace hsw::mem {
+namespace {
+
+using util::Frequency;
+
+TEST(Qpi, LinkBandwidthMatchesTable1) {
+    EXPECT_NEAR(QpiLink{arch::Generation::HaswellEP}.raw_bandwidth().as_gb_per_sec(),
+                38.4, 1e-9);
+    EXPECT_NEAR(QpiLink{arch::Generation::SandyBridgeEP}.raw_bandwidth().as_gb_per_sec(),
+                32.0, 1e-9);
+    EXPECT_NEAR(QpiLink{arch::Generation::WestmereEP}.raw_bandwidth().as_gb_per_sec(),
+                25.6, 1e-9);
+}
+
+TEST(Qpi, EffectiveBelowRaw) {
+    const QpiLink link{arch::Generation::HaswellEP};
+    EXPECT_LT(link.effective_bandwidth().as_gb_per_sec(),
+              link.raw_bandwidth().as_gb_per_sec());
+    EXPECT_GT(link.effective_bandwidth().as_gb_per_sec(), 25.0);
+}
+
+class RemoteMemory : public ::testing::Test {
+protected:
+    RemoteMemoryModel model{arch::Generation::HaswellEP, 12};
+    static constexpr Frequency kCore = Frequency::ghz(2.5);
+    static constexpr Frequency kUnc = Frequency::ghz(3.0);
+};
+
+TEST_F(RemoteMemory, RemoteBelowLocal) {
+    const BandwidthModel local{arch::Generation::HaswellEP, 12};
+    const ConcurrencyConfig full{12, 2};
+    const double remote =
+        model.remote_dram_read(full, kCore, kUnc, kUnc).as_gb_per_sec();
+    const double loc = local.dram_read(full, kCore, kUnc).as_gb_per_sec();
+    EXPECT_LT(remote, loc);
+    EXPECT_GT(remote, 0.3 * loc);  // but not catastrophically so
+}
+
+TEST_F(RemoteMemory, CappedByQpiAtFullConcurrency) {
+    const ConcurrencyConfig full{12, 2};
+    const double remote =
+        model.remote_dram_read(full, kCore, kUnc, kUnc).as_gb_per_sec();
+    EXPECT_LE(remote, model.link().effective_bandwidth().as_gb_per_sec() + 1e-9);
+}
+
+TEST_F(RemoteMemory, HaswellRemoteAlwaysQpiBound) {
+    // Across the whole valid uncore range (1.2-3.0 GHz) the Haswell remote
+    // IMC cap stays above the QPI payload bandwidth: the link is the
+    // binding constraint (uncore slowdowns do not throttle further).
+    const ConcurrencyConfig full{12, 2};
+    const double fast =
+        model.remote_dram_read(full, kCore, kUnc, Frequency::ghz(3.0)).as_gb_per_sec();
+    const double slow =
+        model.remote_dram_read(full, kCore, kUnc, Frequency::ghz(1.2)).as_gb_per_sec();
+    EXPECT_NEAR(fast, model.link().effective_bandwidth().as_gb_per_sec(), 1e-6);
+    EXPECT_NEAR(slow, fast, 1e-6);
+}
+
+TEST(RemoteMemorySnbThrottle, CoupledUncoreShrinksRemoteImcCap) {
+    // On Sandy Bridge-EP the remote IMC capacity drops with the (coupled)
+    // remote uncore clock below the QPI payload cap, so a slow remote
+    // socket bounds the achievable bandwidth.
+    RemoteMemoryModel snb{arch::Generation::SandyBridgeEP, 8};
+    const BandwidthModel local_model{arch::Generation::SandyBridgeEP, 8};
+    const ConcurrencyConfig full{8, 2};
+    const Frequency core = Frequency::ghz(2.6);
+    const double slow =
+        snb.remote_dram_read(full, core, Frequency::ghz(2.6), Frequency::ghz(1.2))
+            .as_gb_per_sec();
+    const double remote_cap =
+        local_model.dram_read(full, core, Frequency::ghz(1.2)).as_gb_per_sec();
+    EXPECT_LT(remote_cap, snb.link().effective_bandwidth().as_gb_per_sec());
+    EXPECT_LE(slow, remote_cap + 1e-9);
+    // ...and it never exceeds the fast-remote case.
+    const double fast =
+        snb.remote_dram_read(full, core, Frequency::ghz(2.6), Frequency::ghz(2.6))
+            .as_gb_per_sec();
+    EXPECT_LE(slow, fast + 1e-9);
+}
+
+TEST_F(RemoteMemory, NumaFactorInRealisticRange) {
+    const double f = model.numa_factor(ConcurrencyConfig{12, 2}, kCore, kUnc);
+    EXPECT_GT(f, 0.40);
+    EXPECT_LT(f, 0.85);
+}
+
+TEST_F(RemoteMemory, SingleThreadDominatedByLatency) {
+    // One thread: the extra QPI hop shows as a bandwidth loss even though
+    // the link is nowhere near saturated.
+    const ConcurrencyConfig one{1, 1};
+    const double remote =
+        model.remote_dram_read(one, kCore, kUnc, kUnc).as_gb_per_sec();
+    const BandwidthModel local{arch::Generation::HaswellEP, 12};
+    const double loc = local.dram_read(one, kCore, kUnc).as_gb_per_sec();
+    EXPECT_LT(remote, loc * 0.95);
+    EXPECT_LT(remote, model.link().effective_bandwidth().as_gb_per_sec());
+}
+
+TEST(RemoteMemorySnb, OlderLinkIsSlower) {
+    RemoteMemoryModel hsw{arch::Generation::HaswellEP, 12};
+    RemoteMemoryModel wsm{arch::Generation::WestmereEP, 6};
+    const ConcurrencyConfig full{6, 2};
+    const Frequency core = Frequency::ghz(2.5);
+    EXPECT_GT(hsw.remote_dram_read(full, core, Frequency::ghz(3.0), Frequency::ghz(3.0))
+                  .as_gb_per_sec(),
+              wsm.remote_dram_read(full, core, Frequency::ghz(2.66), Frequency::ghz(2.66))
+                  .as_gb_per_sec());
+}
+
+}  // namespace
+}  // namespace hsw::mem

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "mem/imc.hpp"
+#include "mem/ring.hpp"
+
+namespace hsw::mem {
+namespace {
+
+using util::Frequency;
+
+TEST(Ring, CapacityScalesWithUncoreClock) {
+    const auto topo = arch::make_die_topology(12);
+    const RingInterconnect ring{topo, 110.0};
+    const double at_15 = ring.capacity(Frequency::ghz(1.5)).as_gb_per_sec();
+    const double at_30 = ring.capacity(Frequency::ghz(3.0)).as_gb_per_sec();
+    EXPECT_NEAR(at_30, 2.0 * at_15, 1e-9);
+}
+
+TEST(Ring, CrossPartitionPathsShareQueues) {
+    const auto topo = arch::make_die_topology(12);
+    const RingInterconnect ring{topo, 110.0};
+    const Frequency unc = Frequency::ghz(3.0);
+    // cores 0-7 on partition 0, 8-11 on partition 1 (Fig. 1a).
+    EXPECT_DOUBLE_EQ(ring.path_capacity(0, 7, unc).as_gb_per_sec(),
+                     ring.capacity(unc).as_gb_per_sec());
+    EXPECT_DOUBLE_EQ(ring.path_capacity(0, 9, unc).as_gb_per_sec(),
+                     ring.capacity(unc).as_gb_per_sec() *
+                         RingInterconnect::kQueueCapacityFraction);
+    EXPECT_EQ(ring.cross_partition_penalty_cycles(0, 7), 0u);
+    EXPECT_EQ(ring.cross_partition_penalty_cycles(0, 9),
+              RingInterconnect::kQueueHopCycles);
+}
+
+TEST(Imc, TheoreticalPeakMatchesTable1) {
+    // 4 x DDR4-2133 x 8 B = 68.2 GB/s (Table I).
+    const Imc hsw{arch::Generation::HaswellEP, 4};
+    EXPECT_NEAR(hsw.theoretical_peak().as_gb_per_sec(), 68.2, 0.1);
+    // 4 x DDR3-1600 x 8 B = 51.2 GB/s.
+    const Imc snb{arch::Generation::SandyBridgeEP, 4};
+    EXPECT_NEAR(snb.theoretical_peak().as_gb_per_sec(), 51.2, 0.1);
+}
+
+TEST(Imc, SustainedBelowTheoretical) {
+    const Imc imc{arch::Generation::HaswellEP, 4};
+    EXPECT_LT(imc.sustained_read_peak().as_gb_per_sec(),
+              imc.theoretical_peak().as_gb_per_sec());
+    EXPECT_GT(imc.sustained_read_peak().as_gb_per_sec(),
+              imc.theoretical_peak().as_gb_per_sec() * 0.7);
+}
+
+TEST(Imc, ChannelScaling) {
+    const Imc two{arch::Generation::HaswellEP, 2};
+    const Imc four{arch::Generation::HaswellEP, 4};
+    EXPECT_NEAR(four.theoretical_peak().as_gb_per_sec(),
+                2.0 * two.theoretical_peak().as_gb_per_sec(), 1e-9);
+}
+
+}  // namespace
+}  // namespace hsw::mem

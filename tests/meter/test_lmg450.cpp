@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "meter/lmg450.hpp"
+#include "util/stats.hpp"
+
+namespace hsw::meter {
+namespace {
+
+using util::Power;
+using util::Time;
+
+TEST(Lmg450, SamplesTrackTruthWithinSpec) {
+    const double truth = 560.0;
+    Lmg450 meter{[&] { return Power::watts(truth); }, 7};
+    std::vector<double> readings;
+    for (int i = 0; i < 1000; ++i) {
+        readings.push_back(meter.sample(Time::ms(50 * i)).power.as_watts());
+    }
+    // Mean unbiased; spread within the 0.07 % + 0.23 W band (2 sigma).
+    EXPECT_NEAR(util::mean(readings), truth, 0.1);
+    EXPECT_LT(util::stddev(readings), (truth * 0.0007 + 0.23));
+}
+
+TEST(Lmg450, AverageOverWindow) {
+    double truth = 100.0;
+    Lmg450 meter{[&] { return Power::watts(truth); }, 7};
+    for (int i = 0; i < 20; ++i) meter.sample(Time::ms(50 * i));
+    truth = 300.0;
+    for (int i = 20; i < 40; ++i) meter.sample(Time::ms(50 * i));
+    EXPECT_NEAR(meter.average(Time::ms(0), Time::ms(1000)).as_watts(), 100.0, 1.0);
+    EXPECT_NEAR(meter.average(Time::ms(1000), Time::ms(2000)).as_watts(), 300.0, 1.0);
+}
+
+TEST(Lmg450, AverageOfEmptyWindowIsZero) {
+    Lmg450 meter{[] { return Power::watts(1.0); }, 7};
+    EXPECT_EQ(meter.average(Time::ms(0), Time::ms(100)).as_watts(), 0.0);
+}
+
+TEST(Lmg450, ClearResetsSeries) {
+    Lmg450 meter{[] { return Power::watts(1.0); }, 7};
+    meter.sample(Time::ms(0));
+    EXPECT_EQ(meter.series().size(), 1u);
+    meter.clear();
+    EXPECT_TRUE(meter.series().empty());
+}
+
+TEST(Lmg450, SamplePeriodIs20SaPerSecond) {
+    EXPECT_EQ(Lmg450::kSamplePeriod.as_ms(), 50.0);
+}
+
+}  // namespace
+}  // namespace hsw::meter

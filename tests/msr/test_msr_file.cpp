@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "msr/addresses.hpp"
+#include "msr/msr_file.hpp"
+
+namespace hsw::msr {
+namespace {
+
+TEST(MsrFile, UnimplementedAccessFaults) {
+    MsrFile file;
+    EXPECT_THROW((void)file.read(0, 0x999), MsrError);
+    EXPECT_THROW(file.write(0, 0x999, 1), MsrError);
+    EXPECT_FALSE(file.exists(0x999));
+}
+
+TEST(MsrFile, ReadOnlyRegisterRejectsWrites) {
+    MsrFile file;
+    file.register_msr(IA32_APERF, [](unsigned) { return 42ULL; });
+    EXPECT_EQ(file.read(3, IA32_APERF), 42ULL);
+    EXPECT_THROW(file.write(3, IA32_APERF, 1), MsrError);
+}
+
+TEST(MsrFile, StorageIsPerCpu) {
+    MsrFile file;
+    file.register_storage(IA32_ENERGY_PERF_BIAS, 6);
+    EXPECT_EQ(file.read(0, IA32_ENERGY_PERF_BIAS), 6ULL);  // initial
+    file.write(0, IA32_ENERGY_PERF_BIAS, 15);
+    file.write(1, IA32_ENERGY_PERF_BIAS, 0);
+    EXPECT_EQ(file.read(0, IA32_ENERGY_PERF_BIAS), 15ULL);
+    EXPECT_EQ(file.read(1, IA32_ENERGY_PERF_BIAS), 0ULL);
+    EXPECT_EQ(file.read(2, IA32_ENERGY_PERF_BIAS), 6ULL);
+}
+
+TEST(MsrFile, RangeRegistrationDispatchesByCpu) {
+    MsrFile file;
+    file.register_msr_range(MSR_PKG_ENERGY_STATUS, 0, 11,
+                            [](unsigned) { return 100ULL; });
+    file.register_msr_range(MSR_PKG_ENERGY_STATUS, 12, 23,
+                            [](unsigned) { return 200ULL; });
+    EXPECT_EQ(file.read(0, MSR_PKG_ENERGY_STATUS), 100ULL);
+    EXPECT_EQ(file.read(11, MSR_PKG_ENERGY_STATUS), 100ULL);
+    EXPECT_EQ(file.read(12, MSR_PKG_ENERGY_STATUS), 200ULL);
+    EXPECT_EQ(file.read(23, MSR_PKG_ENERGY_STATUS), 200ULL);
+    EXPECT_THROW((void)file.read(24, MSR_PKG_ENERGY_STATUS), MsrError);
+}
+
+TEST(MsrFile, LaterRegistrationTakesPrecedence) {
+    MsrFile file;
+    file.register_msr(IA32_PERF_STATUS, [](unsigned) { return 1ULL; });
+    file.register_msr_range(IA32_PERF_STATUS, 5, 5, [](unsigned) { return 2ULL; });
+    EXPECT_EQ(file.read(0, IA32_PERF_STATUS), 1ULL);
+    EXPECT_EQ(file.read(5, IA32_PERF_STATUS), 2ULL);
+}
+
+TEST(MsrFile, WriteHandlerReceivesCpuAndValue) {
+    MsrFile file;
+    unsigned got_cpu = 0;
+    std::uint64_t got_value = 0;
+    file.register_msr(
+        IA32_PERF_CTL, [](unsigned) { return 0ULL; },
+        [&](unsigned cpu, std::uint64_t v) {
+            got_cpu = cpu;
+            got_value = v;
+        });
+    file.write(7, IA32_PERF_CTL, 13ULL << 8);
+    EXPECT_EQ(got_cpu, 7u);
+    EXPECT_EQ(got_value, 13ULL << 8);
+}
+
+// --- EPB semantics (Section II-C): 0/6/15 defined; measured mapping of the
+// undefined values: 1-7 balanced, 8-14 energy saving. ---
+
+TEST(Epb, DefinedValues) {
+    EXPECT_EQ(decode_epb(0), EpbPolicy::Performance);
+    EXPECT_EQ(decode_epb(6), EpbPolicy::Balanced);
+    EXPECT_EQ(decode_epb(15), EpbPolicy::EnergySaving);
+}
+
+class EpbMapping : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EpbMapping, UndefinedValuesMapAsMeasured) {
+    const unsigned raw = GetParam();
+    const EpbPolicy expected = raw == 0   ? EpbPolicy::Performance
+                               : raw <= 7 ? EpbPolicy::Balanced
+                                          : EpbPolicy::EnergySaving;
+    EXPECT_EQ(decode_epb(raw), expected) << "raw = " << raw;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteenSettings, EpbMapping, ::testing::Range(0u, 16u));
+
+TEST(Epb, OnlyLowFourBitsMatter) {
+    EXPECT_EQ(decode_epb(0xF0), EpbPolicy::Performance);
+    EXPECT_EQ(decode_epb(0x16), EpbPolicy::Balanced);
+}
+
+TEST(Epb, EncodeDecodeRoundTrip) {
+    for (EpbPolicy p : {EpbPolicy::Performance, EpbPolicy::Balanced,
+                        EpbPolicy::EnergySaving}) {
+        EXPECT_EQ(decode_epb(encode_epb(p)), p);
+    }
+    EXPECT_EQ(encode_epb(EpbPolicy::Performance), 0ULL);
+    EXPECT_EQ(encode_epb(EpbPolicy::Balanced), 6ULL);
+    EXPECT_EQ(encode_epb(EpbPolicy::EnergySaving), 15ULL);
+}
+
+}  // namespace
+}  // namespace hsw::msr

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "os/cpufreq.hpp"
+#include "os/perf_events.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::os {
+namespace {
+
+using util::Frequency;
+using util::Time;
+
+TEST(Cpufreq, UserspaceSetSpeedRequestsPstate) {
+    core::Node node;
+    CpufreqPolicy policy{node, 0};
+    node.set_workload(0, &workloads::while_one(), 1);
+    policy.set_speed(Frequency::ghz(1.4));
+    node.run_for(Time::ms(2));
+    EXPECT_DOUBLE_EQ(node.core_frequency(0).as_ghz(), 1.4);
+}
+
+TEST(Cpufreq, ScalingCurFreqIsTheRequestNotTheHardwareState) {
+    // The FTaLaT pitfall (Section VI-A): right after a request the sysfs
+    // value already shows the target although the hardware has not switched.
+    core::Node node;
+    CpufreqPolicy policy{node, 0};
+    node.set_workload(0, &workloads::while_one(), 1);
+    policy.set_speed(Frequency::ghz(1.2));
+    node.run_for(Time::ms(2));
+
+    policy.set_speed(Frequency::ghz(2.0));
+    // No time has passed: hardware still at 1.2, sysfs already says 2.0.
+    EXPECT_DOUBLE_EQ(policy.scaling_cur_freq().as_ghz(), 2.0);
+    EXPECT_DOUBLE_EQ(node.core_frequency(0).as_ghz(), 1.2);
+
+    // The reliable method: count cycles over a busy-wait window.
+    PerfCounter cycles{node, 0, PerfEvent::CpuCycles};
+    const Frequency measured_now = cycles.measure_frequency(Time::us(20));
+    EXPECT_NEAR(measured_now.as_ghz(), 1.2, 0.06);
+    node.run_for(Time::ms(2));
+    const Frequency measured_later = cycles.measure_frequency(Time::us(20));
+    EXPECT_NEAR(measured_later.as_ghz(), 2.0, 0.06);
+}
+
+TEST(Cpufreq, PerformanceGovernorRequestsTurbo) {
+    core::Node node;
+    CpufreqPolicy policy{node, 0};
+    node.set_workload(0, &workloads::compute(), 1);
+    policy.set_governor(Governor::Performance);
+    node.run_for(Time::ms(2));
+    // Single active core: non-AVX turbo bin is 3.3 GHz.
+    EXPECT_GT(node.core_frequency(0).as_ghz(), 2.5);
+}
+
+TEST(Cpufreq, PowersaveGovernorRequestsMinimum) {
+    core::Node node;
+    CpufreqPolicy policy{node, 0};
+    node.set_workload(0, &workloads::compute(), 1);
+    policy.set_governor(Governor::Powersave);
+    node.run_for(Time::ms(2));
+    EXPECT_DOUBLE_EQ(node.core_frequency(0).as_ghz(), 1.2);
+}
+
+TEST(Cpufreq, SetSpeedRequiresUserspaceGovernor) {
+    core::Node node;
+    CpufreqPolicy policy{node, 0};
+    policy.set_governor(Governor::Performance);
+    EXPECT_THROW(policy.set_speed(Frequency::ghz(1.5)), std::logic_error);
+}
+
+TEST(Cpufreq, AvailableFrequenciesDescending) {
+    core::Node node;
+    CpufreqPolicy policy{node, 0};
+    const auto fs = policy.available_frequencies();
+    ASSERT_FALSE(fs.empty());
+    for (std::size_t i = 1; i < fs.size(); ++i) EXPECT_LT(fs[i], fs[i - 1]);
+    EXPECT_DOUBLE_EQ(policy.scaling_min_freq().as_ghz(), 1.2);
+    EXPECT_DOUBLE_EQ(policy.scaling_max_freq().as_ghz(), 3.3);
+}
+
+}  // namespace
+}  // namespace hsw::os

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "os/sysfs.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::os {
+namespace {
+
+using util::Time;
+
+class Sysfs : public ::testing::Test {
+protected:
+    core::Node node;
+    VirtualSysfs fs{node};
+};
+
+TEST_F(Sysfs, CpufreqAttributesInKhz) {
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_min_freq"),
+              "1200000");
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_max_freq"),
+              "3300000");
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"),
+              "userspace");
+}
+
+TEST_F(Sysfs, SetspeedWriteRequestsPstate) {
+    node.set_workload(0, &workloads::while_one(), 1);
+    fs.write("/sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed", "1500000");
+    node.run_for(Time::ms(2));
+    EXPECT_DOUBLE_EQ(node.core_frequency(0).as_ghz(), 1.5);
+}
+
+TEST_F(Sysfs, ScalingCurFreqEchoesTheRequest) {
+    node.set_workload(0, &workloads::while_one(), 1);
+    fs.write("/sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed", "1200000");
+    node.run_for(Time::ms(2));
+    fs.write("/sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed", "2000000");
+    // No time passes: sysfs already claims 2.0 GHz, hardware is at 1.2.
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq"),
+              "2000000");
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_cur_freq"),
+              "1200000");
+}
+
+TEST_F(Sysfs, TopologyIdentifiesSockets) {
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/topology/physical_package_id"),
+              "0");
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu13/topology/physical_package_id"),
+              "1");
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu13/topology/core_id"), "1");
+}
+
+TEST_F(Sysfs, CpuidleExposesAcpiLatencies) {
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpuidle/state0/name"), "C1");
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpuidle/state1/name"), "C3");
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpuidle/state2/name"), "C6");
+    // Section VI-B: the tables claim 33/133 us.
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpuidle/state1/latency"), "33");
+    EXPECT_EQ(fs.read("/sys/devices/system/cpu/cpu0/cpuidle/state2/latency"), "133");
+}
+
+TEST_F(Sysfs, UnknownPathsFault) {
+    EXPECT_THROW((void)fs.read("/sys/nope"), std::invalid_argument);
+    EXPECT_THROW((void)fs.read("/sys/devices/system/cpu/cpu99/cpufreq/scaling_cur_freq"),
+                 std::invalid_argument);
+    EXPECT_THROW(fs.write("/sys/devices/system/cpu/cpu0/cpufreq/scaling_min_freq", "1"),
+                 std::invalid_argument);
+    EXPECT_FALSE(fs.exists("/sys/devices/system/cpu/cpu0/cpufreq/bogus"));
+    EXPECT_TRUE(fs.exists("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq"));
+}
+
+}  // namespace
+}  // namespace hsw::os

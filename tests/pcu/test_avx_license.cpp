@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "pcu/avx_license.hpp"
+
+namespace hsw::pcu {
+namespace {
+
+using util::Time;
+
+TEST(AvxLicense, GrantsOnDenseAvx) {
+    AvxLicense lic;
+    EXPECT_FALSE(lic.licensed());
+    lic.update(0.95, Time::us(10));
+    EXPECT_TRUE(lic.licensed());
+}
+
+TEST(AvxLicense, SparseAvxDoesNotTrigger) {
+    AvxLicense lic;
+    lic.update(0.1, Time::us(10));
+    EXPECT_FALSE(lic.licensed());
+    EXPECT_DOUBLE_EQ(lic.voltage_adder().as_volts(), 0.0);
+}
+
+TEST(AvxLicense, VoltageAdderWhileHeld) {
+    AvxLicense lic;
+    lic.update(0.9, Time::us(10));
+    EXPECT_NEAR(lic.voltage_adder().as_volts(), AvxLicense::kLicenseVoltageAdderVolts,
+                1e-12);
+}
+
+TEST(AvxLicense, RampThrottlesExecutionBriefly) {
+    // "The core signals the PCU ... and slows the execution of AVX
+    // instructions" until the voltage is adjusted.
+    AvxLicense lic;
+    lic.update(0.9, Time::us(100));
+    EXPECT_TRUE(lic.ramping(Time::us(105)));
+    EXPECT_LT(lic.throughput_factor(Time::us(105)), 1.0);
+    EXPECT_FALSE(lic.ramping(Time::us(100) + AvxLicense::kRampDuration + Time::us(1)));
+    EXPECT_DOUBLE_EQ(
+        lic.throughput_factor(Time::us(100) + AvxLicense::kRampDuration + Time::us(1)),
+        1.0);
+}
+
+TEST(AvxLicense, DropsOneMillisecondAfterLastAvx) {
+    // "The PCU returns to regular (non-AVX) operating mode 1 ms after AVX
+    // instructions are completed" (Section II-F).
+    AvxLicense lic;
+    lic.update(0.9, Time::us(0));
+    ASSERT_TRUE(lic.licensed());
+    lic.update(0.0, Time::us(500));
+    EXPECT_TRUE(lic.licensed());  // only 0.5 ms since last AVX
+    lic.update(0.0, Time::us(999));
+    EXPECT_TRUE(lic.licensed());
+    lic.update(0.0, Time::us(1001));
+    EXPECT_FALSE(lic.licensed());
+}
+
+TEST(AvxLicense, ContinuedAvxKeepsLicenseAlive) {
+    AvxLicense lic;
+    for (int t = 0; t < 10; ++t) {
+        lic.update(0.9, Time::ms(t));
+        ASSERT_TRUE(lic.licensed());
+    }
+    // No re-ramp while continuously held.
+    EXPECT_FALSE(lic.ramping(Time::ms(9)));
+}
+
+TEST(AvxLicense, RelicensingRestartsRamp) {
+    AvxLicense lic;
+    lic.update(0.9, Time::ms(0));
+    lic.update(0.0, Time::ms(5));   // license expires (> 1 ms since AVX)
+    ASSERT_FALSE(lic.licensed());
+    lic.update(0.9, Time::ms(6));
+    EXPECT_TRUE(lic.licensed());
+    EXPECT_TRUE(lic.ramping(Time::ms(6) + Time::us(2)));
+}
+
+}  // namespace
+}  // namespace hsw::pcu

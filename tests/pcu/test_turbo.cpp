@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "arch/sku.hpp"
+#include "pcu/turbo.hpp"
+
+namespace hsw::pcu {
+namespace {
+
+using util::Frequency;
+
+TurboContext ctx(unsigned active, bool turbo = true,
+                 msr::EpbPolicy epb = msr::EpbPolicy::Balanced) {
+    return TurboContext{&arch::xeon_e5_2680_v3(), active, turbo, epb};
+}
+
+TEST(Turbo, TurboRequestResolvesToActiveCoreBin) {
+    const Frequency turbo_req = Frequency::from_ratio(26);
+    EXPECT_DOUBLE_EQ(resolve_cap(ctx(1), turbo_req, false).as_ghz(), 3.3);
+    EXPECT_DOUBLE_EQ(resolve_cap(ctx(12), turbo_req, false).as_ghz(), 2.9);
+}
+
+TEST(Turbo, FixedRequestHonored) {
+    EXPECT_DOUBLE_EQ(resolve_cap(ctx(12), Frequency::ghz(1.8), false).as_ghz(), 1.8);
+    EXPECT_DOUBLE_EQ(resolve_cap(ctx(1), Frequency::ghz(2.5), false).as_ghz(), 2.5);
+}
+
+TEST(Turbo, DisabledTurboClampsToNominal) {
+    const Frequency turbo_req = Frequency::from_ratio(26);
+    EXPECT_DOUBLE_EQ(resolve_cap(ctx(1, /*turbo=*/false), turbo_req, false).as_ghz(), 2.5);
+}
+
+TEST(Turbo, AvxLicenseSelectsAvxBins) {
+    const Frequency turbo_req = Frequency::from_ratio(26);
+    // All-core AVX turbo is 2.8 GHz on the test system (Section II-F).
+    EXPECT_DOUBLE_EQ(resolve_cap(ctx(12), turbo_req, true).as_ghz(), 2.8);
+    EXPECT_DOUBLE_EQ(resolve_cap(ctx(1), turbo_req, true).as_ghz(), 3.1);
+}
+
+TEST(Turbo, AvxLicensePullsDownNominalRequests) {
+    // Even a fixed 2.5 GHz (nominal) request is capped below the AVX bins
+    // would be... but only when the bins are lower than the request.
+    const Frequency nominal = Frequency::ghz(2.5);
+    const Frequency cap = resolve_cap(ctx(12), nominal, true);
+    EXPECT_LE(cap.as_ghz(), 2.8);
+    EXPECT_DOUBLE_EQ(cap.as_ghz(), 2.5);  // 2.5 < 2.8, so the request stands
+}
+
+TEST(Turbo, EpbPerformanceActivatesTurboAtNominal) {
+    // Section II-C: "turbo mode will be active even when the base frequency
+    // is selected".
+    const Frequency nominal = Frequency::ghz(2.5);
+    const Frequency cap = resolve_cap(ctx(12, true, msr::EpbPolicy::Performance),
+                                      nominal, false);
+    EXPECT_DOUBLE_EQ(cap.as_ghz(), 2.9);
+}
+
+TEST(Turbo, EpbPerformanceDoesNotBoostLowRequests) {
+    const Frequency cap = resolve_cap(ctx(12, true, msr::EpbPolicy::Performance),
+                                      Frequency::ghz(1.5), false);
+    EXPECT_DOUBLE_EQ(cap.as_ghz(), 1.5);
+}
+
+TEST(Eet, PerformanceEpbNeverDemotes) {
+    const Frequency cap = Frequency::ghz(3.3);
+    EXPECT_DOUBLE_EQ(
+        eet_demote(ctx(1, true, msr::EpbPolicy::Performance), cap, 0.9).as_ghz(), 3.3);
+}
+
+TEST(Eet, BalancedDemotesStallBoundTurboToNominal) {
+    const Frequency cap = Frequency::ghz(3.3);
+    EXPECT_DOUBLE_EQ(eet_demote(ctx(1), cap, 0.8).as_ghz(), 2.5);
+    // Low-stall code keeps its turbo.
+    EXPECT_DOUBLE_EQ(eet_demote(ctx(1), cap, 0.05).as_ghz(), 3.3);
+}
+
+TEST(Eet, EnergySavingDemotesDeeper) {
+    const Frequency cap = Frequency::ghz(3.3);
+    const Frequency demoted =
+        eet_demote(ctx(1, true, msr::EpbPolicy::EnergySaving), cap, 0.8);
+    EXPECT_LT(demoted.as_ghz(), 2.5);
+    EXPECT_GE(demoted.as_ghz(), 1.2);
+}
+
+TEST(Eet, NonTurboCapsUntouched) {
+    EXPECT_DOUBLE_EQ(eet_demote(ctx(1), Frequency::ghz(2.0), 0.9).as_ghz(), 2.0);
+}
+
+}  // namespace
+}  // namespace hsw::pcu

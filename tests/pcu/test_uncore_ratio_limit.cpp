@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "msr/addresses.hpp"
+#include "pcu/uncore_scaling.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::pcu {
+namespace {
+
+using util::Frequency;
+using util::Time;
+
+TEST(UncoreRatioLimit, EncodeDecodeRoundTrip) {
+    const auto lim = decode_uncore_ratio_limit(encode_uncore_ratio_limit(28, 15));
+    EXPECT_EQ(lim.max_ratio, 28u);
+    EXPECT_EQ(lim.min_ratio, 15u);
+    const auto none = decode_uncore_ratio_limit(0);
+    EXPECT_EQ(none.max_ratio, 0u);
+    EXPECT_EQ(none.min_ratio, 0u);
+}
+
+TEST(UncoreRatioLimit, MaxClampsPolicy) {
+    UfsInputs in;
+    in.sku = &arch::xeon_e5_2680_v3();
+    in.socket_active = true;
+    in.system_active = true;
+    in.stall_fraction = 0.8;  // would demand 3.0 GHz
+    in.fastest_local_core = Frequency::ghz(2.5);
+    in.msr_max_ratio = 24;    // clamp to 2.4 GHz
+    const auto d = uncore_policy(in);
+    EXPECT_NEAR(d.target.as_ghz(), 2.4, 1e-9);
+}
+
+TEST(UncoreRatioLimit, MinRaisesFloor) {
+    UfsInputs in;
+    in.sku = &arch::xeon_e5_2680_v3();
+    in.socket_active = true;
+    in.system_active = true;
+    in.stall_fraction = 0.0;
+    in.fastest_local_core = Frequency::ghz(1.2);  // ladder -> 1.2
+    in.msr_min_ratio = 20;
+    const auto d = uncore_policy(in);
+    EXPECT_NEAR(d.floor.as_ghz(), 2.0, 1e-9);
+    EXPECT_NEAR(d.target.as_ghz(), 2.0, 1e-9);
+}
+
+TEST(UncoreRatioLimit, EndToEndThroughTheMsr) {
+    core::Node node;
+    // Memory-bound load would pin the uncore at 3.0 GHz...
+    node.set_workload(0, &workloads::memory_stream(), 1);
+    node.run_for(Time::ms(5));
+    EXPECT_NEAR(node.uncore_frequency(0).as_ghz(), 3.0, 0.01);
+    // ...until software writes a 2.2 GHz cap into the MSR.
+    node.msrs().write(0, msr::MSR_UNCORE_RATIO_LIMIT, encode_uncore_ratio_limit(22, 0));
+    node.run_for(Time::ms(5));
+    EXPECT_NEAR(node.uncore_frequency(0).as_ghz(), 2.2, 0.01);
+    // Per-package scope: the other socket is unaffected.
+    EXPECT_EQ(node.msrs().read(12, msr::MSR_UNCORE_RATIO_LIMIT), 0u);
+    // Clearing the register restores hardware control.
+    node.msrs().write(0, msr::MSR_UNCORE_RATIO_LIMIT, 0);
+    node.run_for(Time::ms(5));
+    EXPECT_NEAR(node.uncore_frequency(0).as_ghz(), 3.0, 0.01);
+}
+
+TEST(UncoreRatioLimit, CapCostsMemoryBandwidth) {
+    core::Node node;
+    for (unsigned c = 0; c < 12; ++c) {
+        node.set_workload(node.cpu_id(0, c), &workloads::memory_stream(), 1);
+    }
+    node.run_for(Time::ms(10));
+    const double free_bw = node.socket(0).achieved_dram_bandwidth().as_gb_per_sec();
+    node.msrs().write(0, msr::MSR_UNCORE_RATIO_LIMIT, encode_uncore_ratio_limit(15, 0));
+    node.run_for(Time::ms(10));
+    const double capped_bw = node.socket(0).achieved_dram_bandwidth().as_gb_per_sec();
+    EXPECT_LT(capped_bw, free_bw * 0.9);
+}
+
+}  // namespace
+}  // namespace hsw::pcu

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "power/fivr.hpp"
+#include "power/mbvr.hpp"
+
+namespace hsw::power {
+namespace {
+
+using util::Power;
+using util::Time;
+using util::Voltage;
+
+TEST(Fivr, ConversionLossMatchesEfficiency) {
+    Fivr fivr{Voltage::volts(0.9), 0.90};
+    const Power load = Power::watts(90);
+    EXPECT_NEAR(fivr.input_power(load).as_watts(), 100.0, 1e-9);
+    EXPECT_NEAR(fivr.conversion_loss(load).as_watts(), 10.0, 1e-9);
+    EXPECT_EQ(fivr.input_power(Power::zero()).as_watts(), 0.0);
+}
+
+TEST(Fivr, RampTimeProportionalToDelta) {
+    Fivr fivr{Voltage::volts(0.80), 0.90, 5000.0};
+    const Time t1 = fivr.set_voltage(Voltage::volts(0.85));  // 50 mV
+    EXPECT_NEAR(t1.as_us(), 10.0, 0.1);
+    const Time t2 = fivr.set_voltage(Voltage::volts(0.95));  // 100 mV
+    EXPECT_NEAR(t2.as_us(), 20.0, 0.1);
+    EXPECT_DOUBLE_EQ(fivr.output_voltage().as_volts(), 0.95);
+}
+
+TEST(Fivr, PowerGatingCollapsesOutput) {
+    Fivr fivr{Voltage::volts(0.9)};
+    EXPECT_FALSE(fivr.gated());
+    fivr.gate();
+    EXPECT_TRUE(fivr.gated());
+    EXPECT_DOUBLE_EQ(fivr.output_voltage().as_volts(), 0.0);
+}
+
+TEST(Mbvr, ThreeLanesOnly) {
+    // Section II-B: three voltage lanes on Haswell vs five before.
+    EXPECT_EQ(Mbvr::kLaneCount, 3u);
+}
+
+TEST(Mbvr, SvidControlsLanes) {
+    Mbvr mbvr;
+    EXPECT_NEAR(mbvr.lane_voltage(MbvrLane::VccIn).as_volts(), 1.8, 1e-9);
+    mbvr.svid_set_voltage(MbvrLane::VccIn, Voltage::volts(1.7));
+    EXPECT_NEAR(mbvr.lane_voltage(MbvrLane::VccIn).as_volts(), 1.7, 1e-9);
+    // DRAM lanes default to DDR4 VDD.
+    EXPECT_NEAR(mbvr.lane_voltage(MbvrLane::Vccd01).as_volts(), 1.2, 1e-9);
+    EXPECT_NEAR(mbvr.lane_voltage(MbvrLane::Vccd23).as_volts(), 1.2, 1e-9);
+}
+
+TEST(Mbvr, PowerStateFollowsEstimatedLoad) {
+    Mbvr mbvr;
+    mbvr.update_estimated_load(Power::watts(5));
+    EXPECT_EQ(mbvr.power_state(), MbvrPowerState::PS2);
+    mbvr.update_estimated_load(Power::watts(30));
+    EXPECT_EQ(mbvr.power_state(), MbvrPowerState::PS1);
+    mbvr.update_estimated_load(Power::watts(150));
+    EXPECT_EQ(mbvr.power_state(), MbvrPowerState::PS0);
+}
+
+TEST(Mbvr, HeavyLoadStateIsMostEfficient) {
+    Mbvr mbvr;
+    const Power load = Power::watts(100);
+    mbvr.update_estimated_load(Power::watts(150));
+    const double loss_ps0 = mbvr.conversion_loss(load).as_watts();
+    mbvr.update_estimated_load(Power::watts(5));
+    const double loss_ps2 = mbvr.conversion_loss(load).as_watts();
+    EXPECT_LT(loss_ps0, loss_ps2);
+}
+
+}  // namespace
+}  // namespace hsw::power

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "power/vf_curve.hpp"
+
+namespace hsw::power {
+namespace {
+
+using util::Frequency;
+using util::Voltage;
+
+TEST(VfCurve, VoltageIncreasesWithFrequency) {
+    const VfCurve c = VfCurve::core_curve(1);
+    double prev = 0.0;
+    for (double f = 1.2; f <= 3.3; f += 0.1) {
+        const double v = c.voltage_for(Frequency::ghz(f)).as_volts();
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(VfCurve, VoltageInPlausibleRange) {
+    const VfCurve c = VfCurve::core_curve(1);
+    EXPECT_GT(c.voltage_for(Frequency::ghz(1.2)).as_volts(), 0.6);
+    EXPECT_LT(c.voltage_for(Frequency::ghz(3.3)).as_volts(), 1.3);
+}
+
+TEST(VfCurve, Socket0NeedsMoreVoltage) {
+    // Section III: the first processor's cores run at higher voltage.
+    const VfCurve s0 = VfCurve::core_curve(0);
+    const VfCurve s1 = VfCurve::core_curve(1);
+    for (double f = 1.2; f <= 3.0; f += 0.3) {
+        EXPECT_GT(s0.voltage_for(Frequency::ghz(f)).as_volts(),
+                  s1.voltage_for(Frequency::ghz(f)).as_volts());
+    }
+}
+
+TEST(VfCurve, InverseMapRoundTrips) {
+    const VfCurve core = VfCurve::core_curve(0);
+    const VfCurve uncore = VfCurve::uncore_curve(0);
+    for (double f = 1.2; f <= 3.0; f += 0.2) {
+        const Voltage v = core.voltage_for(Frequency::ghz(f));
+        EXPECT_NEAR(core.frequency_for(v).as_ghz(), f, 1e-9);
+        const Voltage vu = uncore.voltage_for(Frequency::ghz(f));
+        EXPECT_NEAR(uncore.frequency_for(vu).as_ghz(), f, 1e-9);
+    }
+}
+
+TEST(VfCurve, UncoreCurveFlatterThanCore) {
+    const VfCurve core = VfCurve::core_curve(1);
+    const VfCurve uncore = VfCurve::uncore_curve(1);
+    const double dc = core.voltage_for(Frequency::ghz(3.0)).as_volts() -
+                      core.voltage_for(Frequency::ghz(1.2)).as_volts();
+    const double du = uncore.voltage_for(Frequency::ghz(3.0)).as_volts() -
+                      uncore.voltage_for(Frequency::ghz(1.2)).as_volts();
+    EXPECT_GT(dc, du);
+}
+
+TEST(VfCurve, InverseBelowCurveMinimumIsClamped) {
+    const VfCurve c = VfCurve::core_curve(1);
+    EXPECT_LE(c.frequency_for(Voltage::volts(0.0)).as_ghz(), 0.0);
+}
+
+}  // namespace
+}  // namespace hsw::power

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "rapl/model.hpp"
+
+namespace hsw::rapl {
+namespace {
+
+using util::Power;
+
+TEST(Estimator, MeasuredTracksGroundTruth) {
+    RaplEstimator est{arch::RaplBackend::Measured, 1};
+    double worst = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const double truth = 50.0 + i;
+        const double reported =
+            est.package_power(Power::watts(truth), ActivityVector{}).as_watts();
+        worst = std::max(worst, std::abs(reported - truth) / truth);
+    }
+    EXPECT_LT(worst, 0.02);  // sense noise is fractions of a percent
+}
+
+TEST(Estimator, ModeledIgnoresGroundTruth) {
+    RaplEstimator est{arch::RaplBackend::Modeled, 1};
+    ActivityVector av;
+    av.core_cycles_per_s = 12 * 2.5e9;
+    av.uops_per_s = 12 * 2.5e9 * 2.0;
+    // Same activity, very different true power -> identical estimate.
+    const double a = est.package_power(Power::watts(80), av).as_watts();
+    const double b = est.package_power(Power::watts(130), av).as_watts();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Estimator, ModeledBiasDependsOnWorkloadMix) {
+    // Two workloads with the same true power but different instruction
+    // mixes get different modeled readings -- the Figure 2a workload bias.
+    RaplEstimator est{arch::RaplBackend::Modeled, 1};
+    ActivityVector avx_heavy;
+    avx_heavy.core_cycles_per_s = 12 * 2.5e9;
+    avx_heavy.uops_per_s = 12 * 2.5e9 * 2.5;
+    avx_heavy.avx_ops_per_s = 12 * 2.5e9 * 2.0;
+    ActivityVector scalar;
+    scalar.core_cycles_per_s = 12 * 2.5e9;
+    scalar.uops_per_s = 12 * 2.5e9 * 1.0;
+    const Power truth = Power::watts(100);
+    EXPECT_GT(est.package_power(truth, avx_heavy).as_watts(),
+              est.package_power(truth, scalar).as_watts() * 1.3);
+}
+
+TEST(Estimator, NoneBackendReportsZero) {
+    RaplEstimator est{arch::RaplBackend::None, 1};
+    EXPECT_EQ(est.package_power(Power::watts(100), ActivityVector{}).as_watts(), 0.0);
+    EXPECT_EQ(est.dram_power(Power::watts(20), ActivityVector{}).as_watts(), 0.0);
+}
+
+TEST(Estimator, ModeledDramScalesWithTraffic) {
+    RaplEstimator est{arch::RaplBackend::Modeled, 1};
+    ActivityVector lo;
+    lo.dram_gbs = 5.0;
+    ActivityVector hi;
+    hi.dram_gbs = 50.0;
+    EXPECT_GT(est.dram_power(Power::watts(20), hi).as_watts(),
+              est.dram_power(Power::watts(20), lo).as_watts());
+}
+
+}  // namespace
+}  // namespace hsw::rapl

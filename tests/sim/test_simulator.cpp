@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+#include <vector>
+
+namespace hsw::sim {
+namespace {
+
+using util::Time;
+
+TEST(Simulator, ProcessesEventsInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(Time::us(30), [&] { order.push_back(3); });
+    sim.schedule_at(Time::us(10), [&] { order.push_back(1); });
+    sim.schedule_at(Time::us(20), [&] { order.push_back(2); });
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), Time::us(30));
+}
+
+TEST(Simulator, TieBreaksByInsertionOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_at(Time::us(5), [&order, i] { order.push_back(i); });
+    }
+    sim.run_all();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+    Simulator sim;
+    sim.run_until(Time::ms(5));
+    EXPECT_EQ(sim.now(), Time::ms(5));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_at(Time::us(10), [&] { ++fired; });
+    sim.schedule_at(Time::us(20), [&] { ++fired; });
+    sim.run_until(Time::us(15));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), Time::us(15));
+    sim.run_until(Time::us(25));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsAtBoundaryIncluded) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_at(Time::us(10), [&] { ++fired; });
+    sim.run_until(Time::us(10));
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+    Simulator sim;
+    sim.run_until(Time::us(100));
+    EXPECT_THROW(sim.schedule_at(Time::us(50), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+    Simulator sim;
+    int fired = 0;
+    const EventId id = sim.schedule_at(Time::us(10), [&] { ++fired; });
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id));  // double cancel
+    sim.run_all();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+    Simulator sim;
+    std::vector<std::int64_t> at;
+    sim.schedule_at(Time::us(1), [&] {
+        at.push_back(sim.now().as_ns());
+        sim.schedule_after(Time::us(2), [&] { at.push_back(sim.now().as_ns()); });
+    });
+    sim.run_all();
+    EXPECT_EQ(at, (std::vector<std::int64_t>{1000, 3000}));
+}
+
+TEST(Simulator, PeriodicFiresOnGrid) {
+    Simulator sim;
+    std::vector<std::int64_t> fires;
+    sim.schedule_periodic(Time::us(100), Time::us(500),
+                          [&](Time t) { fires.push_back(t.as_ns() / 1000); });
+    sim.run_until(Time::us(1700));
+    EXPECT_EQ(fires, (std::vector<std::int64_t>{100, 600, 1100, 1600}));
+}
+
+TEST(Simulator, PeriodicCancellationStopsChain) {
+    Simulator sim;
+    int fired = 0;
+    const auto pid = sim.schedule_periodic(Time::us(10), Time::us(10),
+                                           [&](Time) { ++fired; });
+    sim.run_until(Time::us(35));
+    EXPECT_EQ(fired, 3);
+    sim.cancel_periodic(pid);
+    sim.run_until(Time::us(100));
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, ProcessedEventCount) {
+    Simulator sim;
+    for (int i = 1; i <= 5; ++i) sim.schedule_at(Time::us(i), [] {});
+    sim.run_all();
+    EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle) {
+    Simulator sim;
+    EXPECT_FALSE(sim.step());
+    sim.schedule_at(Time::us(1), [] {});
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace hsw::sim

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+
+namespace hsw::sim {
+namespace {
+
+using util::Time;
+
+TEST(Trace, DisabledByDefault) {
+    Trace t;
+    t.record(Time::us(1), "pstate", "cpu0", "request");
+    EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+    Trace t;
+    t.enable();
+    t.record(Time::us(1), "pstate", "cpu0", "request", 1.2);
+    t.record(Time::us(2), "cstate", "cpu1", "wake", 14.0);
+    ASSERT_EQ(t.records().size(), 2u);
+    EXPECT_EQ(t.records()[0].category, "pstate");
+    EXPECT_EQ(t.records()[1].value, 14.0);
+}
+
+TEST(Trace, FilterByCategoryAndSubject) {
+    Trace t;
+    t.enable();
+    t.record(Time::us(1), "pstate", "cpu0", "a");
+    t.record(Time::us(2), "pstate", "cpu1", "b");
+    t.record(Time::us(3), "cstate", "cpu0", "c");
+    EXPECT_EQ(t.filter("pstate").size(), 2u);
+    EXPECT_EQ(t.filter("pstate", "cpu1").size(), 1u);
+    EXPECT_EQ(t.filter("nothing").size(), 0u);
+}
+
+TEST(Trace, RenderAndClear) {
+    Trace t;
+    t.enable();
+    t.record(Time::us(123), "pcu", "socket0", "opportunity");
+    const std::string s = t.render();
+    EXPECT_NE(s.find("socket0"), std::string::npos);
+    EXPECT_NE(s.find("opportunity"), std::string::npos);
+    t.clear();
+    EXPECT_TRUE(t.records().empty());
+}
+
+}  // namespace
+}  // namespace hsw::sim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hsw::sim {
+namespace {
+
+using util::Time;
+
+Trace make_trace() {
+    Trace t;
+    t.enable();
+    t.record(Time::us(100), "pstate", "cpu0", "request 12->13", 1.3);
+    t.record(Time::us(600), "pcu", "socket0", "opportunity");
+    t.record(Time::us(621), "pstate", "socket0", "change complete", 1.3);
+    return t;
+}
+
+TEST(TraceJson, ContainsEventsAndMetadata) {
+    const std::string json = to_chrome_trace_json(make_trace(), "my-node");
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("my-node"), std::string::npos);
+    EXPECT_NE(json.find("request 12->13"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // instant event
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);   // counter series
+    EXPECT_NE(json.find("\"ts\":100.000"), std::string::npos); // microseconds
+}
+
+TEST(TraceJson, ZeroValuedRecordsSkipCounterSeries) {
+    Trace t;
+    t.enable();
+    t.record(Time::us(1), "pcu", "socket0", "opportunity");  // value 0
+    const std::string json = to_chrome_trace_json(t);
+    EXPECT_EQ(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(TraceJson, EscapesQuotesAndBackslashes) {
+    Trace t;
+    t.enable();
+    t.record(Time::us(1), "cat", "sub", "say \"hi\" \\ bye");
+    const std::string json = to_chrome_trace_json(t);
+    EXPECT_NE(json.find("say \\\"hi\\\" \\\\ bye"), std::string::npos);
+}
+
+TEST(TraceJson, BalancedBracesAndBrackets) {
+    const std::string json = to_chrome_trace_json(make_trace());
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+        if (in_string) continue;
+        if (c == '{') ++braces;
+        if (c == '}') --braces;
+        if (c == '[') ++brackets;
+        if (c == ']') --brackets;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceJson, WritesFile) {
+    const std::string path = ::testing::TempDir() + "hsw_trace.json";
+    write_chrome_trace(make_trace(), path);
+    std::ifstream in{path};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("traceEvents"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceJson, ThrowsOnBadPath) {
+    EXPECT_THROW(write_chrome_trace(make_trace(), "/no-such-dir-xyz/t.json"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hsw::sim

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "tools/cstate_probe.hpp"
+
+namespace hsw::tools {
+namespace {
+
+using util::Frequency;
+
+TEST(CstateProbe, LocalC3NearModelMean) {
+    core::Node node;
+    CstateProbe probe{node};
+    CstateProbeConfig cfg;
+    cfg.state = cstates::CState::C3;
+    cfg.scenario = cstates::WakeScenario::Local;
+    cfg.core_frequency = Frequency::ghz(2.5);
+    cfg.samples = 60;
+    const auto r = probe.measure(cfg);
+    ASSERT_EQ(r.latencies_us.size(), 60u);
+    EXPECT_NEAR(r.mean(), 15.5, 0.5);  // 14 us base + 1.5 us above 1.5 GHz
+    EXPECT_LT(r.stddev(), 0.5);
+}
+
+TEST(CstateProbe, C6SlowerAtLowFrequency) {
+    core::Node node;
+    CstateProbe probe{node};
+    CstateProbeConfig cfg;
+    cfg.state = cstates::CState::C6;
+    cfg.samples = 40;
+    cfg.core_frequency = Frequency::ghz(1.2);
+    const double slow = probe.measure(cfg).mean();
+    cfg.core_frequency = Frequency::ghz(2.5);
+    const double fast = probe.measure(cfg).mean();
+    EXPECT_GT(slow, fast + 4.0);  // 8 us extra at 1.2 vs 2 us at 2.5
+}
+
+TEST(CstateProbe, PackageScenarioSlowest) {
+    core::Node node;
+    CstateProbe probe{node};
+    CstateProbeConfig cfg;
+    cfg.state = cstates::CState::C6;
+    cfg.samples = 40;
+    cfg.core_frequency = Frequency::ghz(2.0);
+    cfg.scenario = cstates::WakeScenario::Local;
+    const double local = probe.measure(cfg).mean();
+    cfg.scenario = cstates::WakeScenario::RemoteActive;
+    const double remote = probe.measure(cfg).mean();
+    cfg.scenario = cstates::WakeScenario::RemoteIdle;
+    const double pkg = probe.measure(cfg).mean();
+    EXPECT_LT(local, remote);
+    EXPECT_LT(remote, pkg);
+    EXPECT_GT(pkg - remote, 7.0);  // package C6 adds ~8 us + pkg C3 extra
+}
+
+TEST(CstateProbe, RemoteScenarioNeedsTwoSockets) {
+    core::NodeConfig cfg;
+    cfg.sockets = 1;
+    core::Node node{cfg};
+    CstateProbe probe{node};
+    CstateProbeConfig pc;
+    pc.scenario = cstates::WakeScenario::RemoteActive;
+    EXPECT_THROW((void)probe.measure(pc), std::invalid_argument);
+}
+
+TEST(CstateProbe, MeasurementsBelowAcpiClaims) {
+    core::Node node;
+    CstateProbe probe{node};
+    for (auto state : {cstates::CState::C3, cstates::CState::C6}) {
+        CstateProbeConfig cfg;
+        cfg.state = state;
+        cfg.samples = 30;
+        const auto r = probe.measure(cfg);
+        EXPECT_LT(r.mean(), cstates::acpi_reported_latency(state).as_us());
+    }
+}
+
+}  // namespace
+}  // namespace hsw::tools

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "tools/ftalat.hpp"
+
+namespace hsw::tools {
+namespace {
+
+using util::Time;
+
+FtalatConfig quick_config(DelayMode mode, unsigned samples = 60) {
+    FtalatConfig cfg;
+    cfg.cpu = 0;
+    cfg.from_ratio = 12;
+    cfg.to_ratio = 13;
+    cfg.delay_mode = mode;
+    cfg.samples = samples;
+    return cfg;
+}
+
+TEST(Ftalat, RandomModeSpansTheOpportunityGrid) {
+    core::Node node;
+    Ftalat ftalat{node};
+    const auto r = ftalat.measure(quick_config(DelayMode::Random, 200));
+    ASSERT_EQ(r.latencies_us.size(), 200u);
+    // Figure 3: minimum ~21 us, maximum ~524 us.
+    EXPECT_LT(r.min(), 60.0);
+    EXPECT_GT(r.min(), 15.0);
+    EXPECT_GT(r.max(), 450.0);
+    EXPECT_LT(r.max(), 560.0);
+}
+
+TEST(Ftalat, ImmediateModeClustersNearFullPeriod) {
+    // "around 500 us in the majority of the results" -- a few samples race
+    // the grid when the request coincides with an opportunity.
+    core::Node node;
+    Ftalat ftalat{node};
+    const auto r = ftalat.measure(quick_config(DelayMode::Immediate, 100));
+    EXPECT_NEAR(r.median(), 500.0, 40.0);
+    unsigned near_full_period = 0;
+    for (double v : r.latencies_us) {
+        if (v > 430.0 && v < 560.0) ++near_full_period;
+    }
+    EXPECT_GT(near_full_period, 80u);
+}
+
+TEST(Ftalat, FourHundredMicrosecondDelayYieldsAboutHundred) {
+    core::Node node;
+    Ftalat ftalat{node};
+    auto cfg = quick_config(DelayMode::Fixed, 100);
+    cfg.fixed_delay = Time::us(400);
+    const auto r = ftalat.measure(cfg);
+    EXPECT_NEAR(r.median(), 100.0, 35.0);
+}
+
+TEST(Ftalat, FiveHundredMicrosecondDelayIsBimodal) {
+    core::Node node;
+    Ftalat ftalat{node};
+    auto cfg = quick_config(DelayMode::Fixed, 300);
+    cfg.fixed_delay = Time::us(500);
+    const auto r = ftalat.measure(cfg);
+    unsigned immediate = 0;
+    unsigned long_wait = 0;
+    for (double v : r.latencies_us) {
+        if (v < 150.0) ++immediate;
+        if (v > 400.0) ++long_wait;
+    }
+    // "some yield an immediate frequency change while others require over
+    // 500 us" (Section VI-A).
+    EXPECT_GT(immediate, 10u);
+    EXPECT_GT(long_wait, 10u);
+    EXPECT_EQ(immediate + long_wait, r.latencies_us.size());
+}
+
+TEST(Ftalat, StatisticsHelpers) {
+    FtalatResult r;
+    r.latencies_us = {10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(r.min(), 10);
+    EXPECT_DOUBLE_EQ(r.max(), 50);
+    EXPECT_DOUBLE_EQ(r.median(), 30);
+    EXPECT_DOUBLE_EQ(r.mean(), 30);
+    EXPECT_GT(r.ci99(), 0.0);
+}
+
+TEST(Ftalat, SameSocketCoresSwitchTogether) {
+    core::Node node;
+    Ftalat ftalat{node};
+    const auto pair = ftalat.measure_pair(node.cpu_id(0, 0), node.cpu_id(0, 5), 12, 13);
+    ASSERT_NE(pair.change_a, Time::zero());
+    ASSERT_NE(pair.change_b, Time::zero());
+    EXPECT_LT(std::abs((pair.change_a - pair.change_b).as_us()), 25.0);
+}
+
+TEST(Ftalat, DifferentSocketsSwitchIndependently) {
+    // With independent grid phases the completion times differ by hundreds
+    // of microseconds on average; assert they are NOT locked together.
+    double max_delta = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        core::NodeConfig cfg;
+        cfg.seed = seed * 97;
+        core::Node node{cfg};
+        Ftalat ftalat{node};
+        const auto pair =
+            ftalat.measure_pair(node.cpu_id(0, 0), node.cpu_id(1, 0), 12, 13);
+        max_delta = std::max(max_delta,
+                             std::abs((pair.change_a - pair.change_b).as_us()));
+    }
+    EXPECT_GT(max_delta, 40.0);
+}
+
+TEST(Ftalat, LegacyPartSwitchesImmediately) {
+    static arch::Sku he = arch::xeon_e5_2680_v3();
+    he.generation = arch::Generation::HaswellHE;
+    core::NodeConfig cfg;
+    cfg.sku = &he;
+    core::Node node{cfg};
+    Ftalat ftalat{node};
+    const auto r = ftalat.measure(quick_config(DelayMode::Random, 50));
+    EXPECT_LT(r.median(), 40.0);  // only the ~10 us switching time
+}
+
+}  // namespace
+}  // namespace hsw::tools

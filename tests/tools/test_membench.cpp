@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "tools/membench.hpp"
+
+namespace hsw::tools {
+namespace {
+
+using util::Frequency;
+
+TEST(Membench, WorkingSetSizesMatchPaper) {
+    EXPECT_EQ(Membench::kL3WorkingSet, 17u * 1024 * 1024);
+    EXPECT_EQ(Membench::kDramWorkingSet, 350u * 1024 * 1024);
+}
+
+TEST(Membench, MeasuresOnRequestedSocket) {
+    core::Node node;
+    Membench bench{node, 1};
+    const auto p = bench.measure(4, 1, Frequency::ghz(2.0));
+    EXPECT_EQ(p.cores, 4u);
+    EXPECT_NEAR(p.core_ghz, 2.0, 0.01);
+    EXPECT_GT(p.l3_gbs, 0.0);
+    EXPECT_GT(p.dram_gbs, 0.0);
+    // Memory-stall scenario drives the uncore to max (Section V-A).
+    EXPECT_NEAR(p.uncore_ghz, 3.0, 0.05);
+}
+
+TEST(Membench, ConcurrencyClampedToSocketCores) {
+    core::Node node;
+    Membench bench{node, 1};
+    const auto p = bench.measure(64, 1, Frequency::ghz(2.0));
+    EXPECT_EQ(p.cores, 12u);
+}
+
+TEST(Membench, DramFlatL3ScalesWithFrequency) {
+    core::Node node;
+    Membench bench{node, 1};
+    const auto lo = bench.measure(12, 2, Frequency::ghz(1.2));
+    const auto hi = bench.measure(12, 2, Frequency::ghz(2.5));
+    EXPECT_NEAR(lo.dram_gbs / hi.dram_gbs, 1.0, 0.03);  // Fig. 7b
+    EXPECT_LT(lo.l3_gbs / hi.l3_gbs, 0.7);              // Fig. 7a
+}
+
+TEST(Membench, CleansUpWorkloads) {
+    core::Node node;
+    Membench bench{node, 1};
+    (void)bench.measure(12, 2, Frequency::ghz(2.0));
+    for (unsigned cpu = 0; cpu < node.cpu_count(); ++cpu) {
+        EXPECT_NE(node.core_state(cpu), cstates::CState::C0);
+    }
+}
+
+}  // namespace
+}  // namespace hsw::tools

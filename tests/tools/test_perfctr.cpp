@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "tools/perfctr.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::tools {
+namespace {
+
+using util::Time;
+
+TEST(Perfctr, ClockGroupReportsFrequencies) {
+    core::Node node;
+    node.set_workload(0, &workloads::while_one(), 1);
+    node.set_pstate(0, util::Frequency::ghz(2.0));
+    node.run_for(Time::ms(5));
+    Perfctr tool{node};
+    const auto g = tool.measure(MetricGroup::Clock, 0, Time::ms(500));
+    EXPECT_NEAR(g.value("Clock [MHz]"), 2000.0, 20.0);
+    EXPECT_NEAR(g.value("Uncore Clock [MHz]"), 1750.0, 20.0);  // Table III ladder
+    EXPECT_NEAR(g.value("C0 residency"), 1.0, 0.01);
+    EXPECT_GT(g.value("IPC"), 0.0);
+    EXPECT_NEAR(g.value("CPI") * g.value("IPC"), 1.0, 1e-9);
+}
+
+TEST(Perfctr, EnergyGroupMatchesRaplWindow) {
+    core::Node node;
+    node.set_all_workloads(&workloads::firestarter(), 2);
+    node.request_turbo_all();
+    node.run_for(Time::ms(50));
+    Perfctr tool{node};
+    const auto g = tool.measure(MetricGroup::Energy, 0, Time::sec(1));
+    EXPECT_NEAR(g.value("Power PKG [W]"), 120.0, 2.5);  // TDP limited
+    EXPECT_GT(g.value("Power DRAM [W]"), 10.0);
+    EXPECT_NEAR(g.value("Energy PKG [J]"), g.value("Power PKG [W]"), 0.01);
+}
+
+TEST(Perfctr, MemGroupReportsBandwidths) {
+    core::Node node;
+    for (unsigned c = 0; c < 12; ++c) {
+        node.set_workload(node.cpu_id(0, c), &workloads::memory_stream(), 1);
+    }
+    node.run_for(Time::ms(20));
+    Perfctr tool{node};
+    const auto g = tool.measure(MetricGroup::Mem, 0, Time::ms(200));
+    EXPECT_GT(g.value("Memory read BW [GB/s]"), 40.0);
+    EXPECT_GT(g.value("L3 read BW [GB/s]"), 100.0);
+}
+
+TEST(Perfctr, RenderAndUnknownMetric) {
+    core::Node node;
+    Perfctr tool{node};
+    const auto g = tool.measure(MetricGroup::Clock, 0, Time::ms(100));
+    EXPECT_NE(g.render().find("CLOCK"), std::string::npos);
+    EXPECT_THROW((void)g.value("does not exist"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hsw::tools

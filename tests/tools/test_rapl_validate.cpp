@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "tools/rapl_validate.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::tools {
+namespace {
+
+using util::Time;
+
+TEST(RaplValidator, IdlePointMatchesBaseline) {
+    core::Node node;
+    RaplValidator validator{node};
+    const auto p = validator.run_point(nullptr, 0, 1, Time::sec(1));
+    EXPECT_EQ(p.workload, "idle");
+    EXPECT_NEAR(p.ac_watts, 261.5, 3.0);
+    EXPECT_NEAR(p.rapl_watts, 32.3, 3.0);
+}
+
+TEST(RaplValidator, LoadedPointScalesWithConcurrency) {
+    core::Node node;
+    RaplValidator validator{node};
+    const auto one = validator.run_point(&workloads::compute(), 1, 1, Time::sec(1));
+    const auto twelve = validator.run_point(&workloads::compute(), 12, 1, Time::sec(1));
+    EXPECT_GT(twelve.rapl_watts, one.rapl_watts + 30.0);
+    EXPECT_GT(twelve.ac_watts, one.ac_watts + 30.0);
+}
+
+TEST(RaplValidator, AnalyzeComputesGlobalAndPerWorkloadFits) {
+    std::vector<RaplSamplePoint> pts;
+    // Two synthetic workloads on the same global line: spread ~0.
+    for (double ac = 300; ac <= 500; ac += 50) {
+        pts.push_back({"a", 1, 1, ac, 0.9 * ac - 200});
+        pts.push_back({"b", 1, 1, ac + 10, 0.9 * (ac + 10) - 200});
+    }
+    const auto report = analyze(pts);
+    EXPECT_NEAR(report.linear.slope, 0.9, 1e-6);
+    EXPECT_GT(report.linear.r_squared, 0.999);
+    EXPECT_EQ(report.per_workload.size(), 2u);
+    EXPECT_LT(report.slope_spread, 0.01);
+}
+
+TEST(RaplValidator, BiasedWorkloadsShowSlopeSpread) {
+    std::vector<RaplSamplePoint> pts;
+    for (double ac = 300; ac <= 500; ac += 50) {
+        pts.push_back({"lean", 1, 1, ac, 0.5 * ac - 100});
+        pts.push_back({"steep", 1, 1, ac, 1.2 * ac - 300});
+    }
+    const auto report = analyze(pts);
+    EXPECT_GT(report.slope_spread, 0.2);
+}
+
+TEST(RaplValidator, SuiteCoversAllWorkloadsPlusIdle) {
+    core::Node node;
+    RaplValidator validator{node};
+    const auto report = validator.run_suite(Time::ms(500));
+    // idle + 6 workloads x (3 concurrency + 1 HT) = 25 points.
+    EXPECT_EQ(report.points.size(), 25u);
+    EXPECT_EQ(report.points.front().workload, "idle");
+    // Haswell: near-perfect global fit.
+    EXPECT_GT(report.quadratic.r_squared, 0.999);
+}
+
+}  // namespace
+}  // namespace hsw::tools

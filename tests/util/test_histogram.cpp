@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+#include <stdexcept>
+
+namespace hsw::util {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+    Histogram h{0.0, 100.0, 10};
+    h.add(5.0);    // bin 0
+    h.add(15.0);   // bin 1
+    h.add(99.9);   // bin 9
+    h.add(10.0);   // exactly on the edge -> bin 1
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowOverflowClampIntoEdgeBins) {
+    Histogram h{0.0, 10.0, 5};
+    h.add(-1.0);
+    h.add(42.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, BinEdgesAndCenters) {
+    Histogram h{10.0, 20.0, 5};
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+    EXPECT_DOUBLE_EQ(h.bin_center(2), 15.0);
+}
+
+TEST(Histogram, ModeBin) {
+    Histogram h{0.0, 30.0, 3};
+    h.add_all(std::vector<double>{1, 11, 12, 13, 21});
+    EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, FractionIn) {
+    Histogram h{0.0, 100.0, 10};
+    h.add_all(std::vector<double>{10, 20, 30, 40});
+    EXPECT_DOUBLE_EQ(h.fraction_in(0.0, 25.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction_in(90.0, 100.0), 0.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+    Histogram h{0.0, 10.0, 2};
+    h.add(1.0);
+    h.add(1.5);
+    h.add(7.0);
+    const std::string s = h.render(10);
+    EXPECT_NE(s.find('#'), std::string::npos);
+    EXPECT_NE(s.find("2 |"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction) {
+    EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+    EXPECT_THROW(Histogram(10.0, 10.0, 5), std::invalid_argument);
+    EXPECT_THROW(Histogram(10.0, 0.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsw::util

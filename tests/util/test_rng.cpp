@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+#include <vector>
+
+namespace hsw::util {
+namespace {
+
+TEST(Rng, DeterministicReplay) {
+    Rng a{42};
+    Rng b{42};
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a{1};
+    Rng b{2};
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformRange) {
+    Rng rng{7};
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(3.0, 5.0);
+        ASSERT_GE(u, 3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndSpread) {
+    Rng rng{11};
+    std::vector<double> xs;
+    xs.reserve(20000);
+    for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform());
+    EXPECT_NEAR(mean(xs), 0.5, 0.01);
+    EXPECT_NEAR(stddev(xs), 1.0 / std::sqrt(12.0), 0.01);
+}
+
+TEST(Rng, UniformU64Unbiased) {
+    Rng rng{13};
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; ++i) {
+        ++counts[rng.uniform_u64(10)];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(c, 5000, 350);
+    }
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng{17};
+    std::vector<double> xs;
+    xs.reserve(50000);
+    for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(mean(xs), 10.0, 0.05);
+    EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+    Rng parent{23};
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (c1.next_u64() == c2.next_u64()) ++equal;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+    SplitMix64 sm{0};
+    const std::uint64_t first = sm.next();
+    SplitMix64 sm2{0};
+    EXPECT_EQ(sm2.next(), first);
+    EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace hsw::util

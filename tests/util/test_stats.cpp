@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace hsw::util {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_EQ(variance({}), 0.0);
+    const std::vector<double> one{3.0};
+    EXPECT_EQ(variance(one), 0.0);
+    EXPECT_TRUE(std::isnan(min_of({})));
+    EXPECT_TRUE(std::isnan(max_of({})));
+}
+
+TEST(Stats, MedianOddEven) {
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, Quantiles) {
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+    // Out-of-range q clamps.
+    EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 5.0);
+}
+
+TEST(Stats, ConfidenceIntervalShrinksWithN) {
+    Rng rng{3};
+    std::vector<double> small;
+    std::vector<double> large;
+    for (int i = 0; i < 10; ++i) small.push_back(rng.normal(0, 1));
+    for (int i = 0; i < 1000; ++i) large.push_back(rng.normal(0, 1));
+    EXPECT_GT(confidence_halfwidth(small, 0.99), confidence_halfwidth(large, 0.99));
+    // 99 % interval is wider than 95 %.
+    EXPECT_GT(confidence_halfwidth(small, 0.99), confidence_halfwidth(small, 0.95));
+}
+
+TEST(Stats, LinearFitExact) {
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> y{3, 5, 7, 9};  // y = 2x + 1
+    const LinearFit f = fit_linear(x, y);
+    EXPECT_NEAR(f.slope, 2.0, 1e-12);
+    EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+    EXPECT_NEAR(f(10.0), 21.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisy) {
+    Rng rng{5};
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 500; ++i) {
+        const double xi = rng.uniform(0, 100);
+        x.push_back(xi);
+        y.push_back(1.097 * xi + 225.7 + rng.normal(0, 0.5));
+    }
+    const LinearFit f = fit_linear(x, y);
+    EXPECT_NEAR(f.slope, 1.097, 0.01);
+    EXPECT_NEAR(f.intercept, 225.7, 0.5);
+    EXPECT_GT(f.r_squared, 0.999);
+}
+
+TEST(Stats, QuadraticFitRecoversPaperCoefficients) {
+    // The Figure 2b fit: AC = 0.0003 R^2 + 1.097 R + 225.7.
+    std::vector<double> r;
+    std::vector<double> ac;
+    for (double v = 30; v <= 300; v += 5) {
+        r.push_back(v);
+        ac.push_back(0.0003 * v * v + 1.097 * v + 225.7);
+    }
+    const QuadraticFit f = fit_quadratic(r, ac);
+    EXPECT_NEAR(f.a, 0.0003, 1e-6);
+    EXPECT_NEAR(f.b, 1.097, 1e-4);
+    EXPECT_NEAR(f.c, 225.7, 1e-2);
+    EXPECT_GT(f.r_squared, 0.999999);
+}
+
+TEST(Stats, FitErrorCases) {
+    EXPECT_THROW((void)fit_linear(std::vector<double>{1}, std::vector<double>{1}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)fit_linear(std::vector<double>{1, 2}, std::vector<double>{1}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)fit_quadratic(std::vector<double>{1, 2}, std::vector<double>{1, 2}),
+        std::invalid_argument);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+    Rng rng{9};
+    std::vector<double> xs;
+    RunningStats rs;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(5, 3);
+        xs.push_back(x);
+        rs.add(x);
+    }
+    EXPECT_EQ(rs.count(), 1000u);
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+    EXPECT_DOUBLE_EQ(rs.min(), min_of(xs));
+    EXPECT_DOUBLE_EQ(rs.max(), max_of(xs));
+    rs.reset();
+    EXPECT_EQ(rs.count(), 0u);
+}
+
+TEST(Stats, BestWindowFindsHottestMinute) {
+    // Samples at 1 Hz: power ramps up, holds a plateau, then drops.
+    std::vector<double> times;
+    std::vector<double> values;
+    for (int t = 0; t < 300; ++t) {
+        times.push_back(t);
+        values.push_back(t >= 100 && t < 200 ? 560.0 : 300.0);
+    }
+    const auto best = best_window(times, values, 60.0);
+    EXPECT_NEAR(best.average, 560.0, 1.0);
+    EXPECT_GE(best.start_time, 100.0);
+    EXPECT_LE(best.start_time, 140.0);
+}
+
+TEST(Stats, BestWindowEmpty) {
+    const auto best = best_window({}, {}, 60.0);
+    EXPECT_EQ(best.average, 0.0);
+}
+
+}  // namespace
+}  // namespace hsw::util

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hsw::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+    Table t{"title"};
+    t.set_header({"a", "long-header"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer-cell", "2"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("title"), std::string::npos);
+    EXPECT_NE(s.find("| a           | long-header |"), std::string::npos);
+    EXPECT_NE(s.find("| longer-cell | 2           |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+    Table t;
+    t.set_header({"a", "b", "c"});
+    t.add_row({"1"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+    Table t;
+    t.set_header({"a"});
+    t.add_row({"1"});
+    t.add_separator();
+    t.add_row({"2"});
+    const std::string s = t.render();
+    // top + header rule + separator + bottom = 4 horizontal lines total
+    std::size_t rules = 0;
+    for (std::size_t pos = 0; (pos = s.find("+---", pos)) != std::string::npos; ++pos) {
+        ++rules;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, FmtPrecision) {
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(CsvWriter::escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(Csv, WritesFile) {
+    const std::string path = ::testing::TempDir() + "hsw_test.csv";
+    {
+        CsvWriter csv{path};
+        csv.write_header({"a", "b"});
+        csv.write_row(std::vector<std::string>{"x,y", "1"});
+        csv.write_row(std::vector<double>{1.5, 2.25});
+    }
+    std::ifstream in{path};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "a,b\n\"x,y\",1\n1.5,2.25\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+    EXPECT_THROW(CsvWriter{"/nonexistent-dir-xyz/file.csv"}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hsw::util

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace hsw::util {
+namespace {
+
+TEST(Time, FactoriesAndAccessors) {
+    EXPECT_EQ(Time::ns(5).as_ns(), 5);
+    EXPECT_EQ(Time::us(5).as_ns(), 5000);
+    EXPECT_EQ(Time::ms(5).as_ns(), 5'000'000);
+    EXPECT_EQ(Time::sec(5).as_ns(), 5'000'000'000LL);
+    EXPECT_DOUBLE_EQ(Time::us(1500).as_ms(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::ms(1500).as_seconds(), 1.5);
+}
+
+TEST(Time, FromSecondsRoundsToNearestNs) {
+    EXPECT_EQ(Time::from_seconds(1e-9).as_ns(), 1);
+    EXPECT_EQ(Time::from_seconds(1.4e-9).as_ns(), 1);
+    EXPECT_EQ(Time::from_seconds(1.6e-9).as_ns(), 2);
+    EXPECT_EQ(Time::from_seconds(-1.6e-9).as_ns(), -2);
+    EXPECT_EQ(Time::from_us(2.5).as_ns(), 2500);
+}
+
+TEST(Time, Arithmetic) {
+    const Time a = Time::us(10);
+    const Time b = Time::us(4);
+    EXPECT_EQ((a + b).as_ns(), 14000);
+    EXPECT_EQ((a - b).as_ns(), 6000);
+    EXPECT_EQ((a * 3).as_ns(), 30000);
+    EXPECT_EQ(a / b, 2);
+    EXPECT_EQ((a % b).as_ns(), 2000);
+    EXPECT_LT(b, a);
+    EXPECT_EQ(Time::zero().as_ns(), 0);
+}
+
+TEST(Frequency, RatioEncoding) {
+    // P-states encode as 100 MHz BCLK multiples (IA32_PERF_CTL).
+    EXPECT_DOUBLE_EQ(Frequency::from_ratio(12).as_ghz(), 1.2);
+    EXPECT_DOUBLE_EQ(Frequency::from_ratio(25).as_ghz(), 2.5);
+    EXPECT_EQ(Frequency::ghz(2.5).ratio(), 25u);
+    EXPECT_EQ(Frequency::ghz(1.25).ratio(), 13u);  // nearest multiple
+    EXPECT_EQ(Frequency::mhz(1750).ratio(), 18u);
+}
+
+TEST(Frequency, CyclesIn) {
+    EXPECT_DOUBLE_EQ(Frequency::ghz(2.0).cycles_in(Time::us(1)), 2000.0);
+    EXPECT_DOUBLE_EQ(Frequency::mhz(100).cycles_in(Time::sec(1)), 1e8);
+}
+
+TEST(PowerEnergy, Integration) {
+    const Power p = Power::watts(120);
+    const Energy e = p * Time::sec(2);
+    EXPECT_DOUBLE_EQ(e.as_joules(), 240.0);
+    EXPECT_DOUBLE_EQ(e.over(Time::sec(4)).as_watts(), 60.0);
+    EXPECT_DOUBLE_EQ((Time::ms(500) * p).as_joules(), 60.0);
+}
+
+TEST(PowerEnergy, Arithmetic) {
+    Power p = Power::watts(10);
+    p += Power::watts(5);
+    EXPECT_DOUBLE_EQ(p.as_watts(), 15.0);
+    EXPECT_DOUBLE_EQ((p - Power::watts(5)).as_watts(), 10.0);
+    EXPECT_DOUBLE_EQ((p * 2.0).as_watts(), 30.0);
+    EXPECT_DOUBLE_EQ(Power::watts(30) / Power::watts(10), 3.0);
+
+    Energy e = Energy::microjoules(15.3);
+    EXPECT_NEAR(e.as_joules(), 15.3e-6, 1e-12);
+    e += Energy::joules(1.0);
+    EXPECT_NEAR(e.as_microjoules(), 1e6 + 15.3, 1e-6);
+}
+
+TEST(Voltage, Basics) {
+    EXPECT_DOUBLE_EQ(Voltage::millivolts(900).as_volts(), 0.9);
+    EXPECT_DOUBLE_EQ((Voltage::volts(0.9) + Voltage::volts(0.02)).as_millivolts(), 920.0);
+    EXPECT_LT(Voltage::volts(0.8), Voltage::volts(0.9));
+}
+
+TEST(Bandwidth, Conversions) {
+    EXPECT_DOUBLE_EQ(Bandwidth::gb_per_sec(68.2).as_bytes_per_sec(), 68.2e9);
+    EXPECT_DOUBLE_EQ(Bandwidth::gib_per_sec(1.0).as_bytes_per_sec(), 1073741824.0);
+    EXPECT_DOUBLE_EQ(Bandwidth::gb_per_sec(10) / Bandwidth::gb_per_sec(5), 2.0);
+}
+
+}  // namespace
+}  // namespace hsw::util

@@ -1,0 +1,54 @@
+// End-to-end validation of the assembly emitter: on an x86-64 host with a
+// toolchain available, the emitted FIRESTARTER kernel must actually
+// assemble. Skipped gracefully elsewhere.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "workloads/asm_emitter.hpp"
+
+namespace hsw::workloads {
+namespace {
+
+bool have_assembler() {
+#if defined(__x86_64__) && defined(__linux__)
+    return std::system("command -v cc >/dev/null 2>&1 || command -v c++ "
+                       ">/dev/null 2>&1") == 0;
+#else
+    return false;
+#endif
+}
+
+TEST(AsmAssembles, EmittedKernelPassesTheSystemAssembler) {
+    if (!have_assembler()) {
+        GTEST_SKIP() << "no x86-64 toolchain available";
+    }
+    const FirestarterPayload payload{560};  // the full-size loop
+    const std::string asm_text = emit_asm(payload);
+
+    const std::string dir = ::testing::TempDir();
+    const std::string src = dir + "hsw_fs_kernel.s";
+    const std::string obj = dir + "hsw_fs_kernel.o";
+    {
+        std::ofstream out{src};
+        ASSERT_TRUE(out.good());
+        out << asm_text;
+    }
+    const std::string cmd = "c++ -c " + src + " -o " + obj + " 2>" + dir +
+                            "hsw_fs_kernel.err";
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        std::ifstream err{dir + "hsw_fs_kernel.err"};
+        std::string msg((std::istreambuf_iterator<char>(err)),
+                        std::istreambuf_iterator<char>());
+        FAIL() << "assembler rejected the emitted kernel:\n" << msg.substr(0, 2000);
+    }
+    std::remove(src.c_str());
+    std::remove(obj.c_str());
+    std::remove((dir + "hsw_fs_kernel.err").c_str());
+}
+
+}  // namespace
+}  // namespace hsw::workloads

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "workloads/asm_emitter.hpp"
+#include "workloads/payload_workload.hpp"
+
+namespace hsw::workloads {
+namespace {
+
+TEST(AsmEmitter, EmitsCompleteTranslationUnit) {
+    const FirestarterPayload payload{64};
+    const std::string s = emit_asm(payload);
+    EXPECT_NE(s.find(".globl firestarter_kernel"), std::string::npos);
+    EXPECT_NE(s.find("firestarter_kernel:"), std::string::npos);
+    EXPECT_NE(s.find(".Lfirestarter_kernel_loop:"), std::string::npos);
+    EXPECT_NE(s.find("\tret\n"), std::string::npos);
+    EXPECT_NE(s.find(".align 16"), std::string::npos);
+}
+
+TEST(AsmEmitter, InstructionCountsMatchTheIr) {
+    const FirestarterPayload payload{200};
+    const auto props = payload.analyze();
+    const AsmStats stats = analyze_asm(emit_asm(payload));
+
+    // Every IR instruction appears, plus the fixed prologue/epilogue.
+    EXPECT_GE(stats.instruction_lines, props.instruction_count);
+    EXPECT_LE(stats.instruction_lines, props.instruction_count + 40);
+
+    // FMA count = I1-of-reg/mem + all I2 = (reg+mem groups)*2 + others*1.
+    std::size_t expected_fma = 0;
+    std::size_t expected_store = 0;
+    for (const auto& g : payload.groups()) {
+        for (const auto& i : g.instructions) {
+            if (i.op == Op::Fma || i.op == Op::FmaLoad) ++expected_fma;
+            if (i.op == Op::Store) ++expected_store;
+        }
+    }
+    EXPECT_EQ(stats.fma_count, expected_fma);
+    EXPECT_EQ(stats.store_count, expected_store);
+}
+
+TEST(AsmEmitter, LoadFmasTargetTheirLevelPointers) {
+    const FirestarterPayload payload{500};
+    const std::string s = emit_asm(payload);
+    // Each cache/memory level owns one pointer register.
+    EXPECT_NE(s.find("32(%r9)"), std::string::npos);   // L1 loads
+    EXPECT_NE(s.find("32(%r10)"), std::string::npos);  // L2 loads
+    EXPECT_NE(s.find("32(%r11)"), std::string::npos);  // L3 loads
+    // mem groups do FMA on registers (I1) and FMA+load (I2) on %r12.
+    EXPECT_NE(s.find("32(%r12)"), std::string::npos);
+}
+
+TEST(AsmEmitter, RegisterOnlyPayloadTouchesNoMemoryInLoop) {
+    const auto payload = payload_with_ratios({1.0, 0.0, 0.0, 0.0, 0.0}, 64);
+    const AsmStats stats = analyze_asm(emit_asm(payload));
+    EXPECT_EQ(stats.store_count, 0u);
+    EXPECT_EQ(stats.load_fma_count, 0u);
+    EXPECT_GT(stats.fma_count, 0u);
+}
+
+TEST(AsmEmitter, CustomFunctionName) {
+    AsmEmitOptions opt;
+    opt.function_name = "my_kernel";
+    const std::string s = emit_asm(FirestarterPayload{16}, opt);
+    EXPECT_NE(s.find("my_kernel:"), std::string::npos);
+    EXPECT_NE(s.find(".Lmy_kernel_loop"), std::string::npos);
+    EXPECT_EQ(s.find("firestarter_kernel"), std::string::npos);
+}
+
+TEST(AsmEmitter, PointerSpansConfigurable) {
+    AsmEmitOptions opt;
+    opt.l1_span = 1234;
+    const std::string s = emit_asm(FirestarterPayload{16}, opt);
+    EXPECT_NE(s.find("lea 1234(%rdi), %r10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsw::workloads

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "arch/calibration.hpp"
+#include "workloads/firestarter.hpp"
+
+namespace hsw::workloads {
+namespace {
+
+namespace cal = hsw::arch::cal;
+
+TEST(FirestarterPayload, GroupRatiosMatchPaper) {
+    // 27.8 % reg, 62.7 % L1, 7.1 % L2, 0.8 % L3, 1.6 % mem (Section VIII).
+    const FirestarterPayload payload{1000};
+    const auto p = payload.analyze();
+    EXPECT_NEAR(p.target_ratios[0], 0.278, 0.002);
+    EXPECT_NEAR(p.target_ratios[1], 0.627, 0.002);
+    EXPECT_NEAR(p.target_ratios[2], 0.071, 0.002);
+    EXPECT_NEAR(p.target_ratios[3], 0.008, 0.002);
+    EXPECT_NEAR(p.target_ratios[4], 0.016, 0.002);
+}
+
+TEST(FirestarterPayload, LoopSizeConstraints) {
+    // "the stresstest loop has to be larger than the micro-op cache but
+    // small enough for the L1 instruction cache".
+    const FirestarterPayload payload;  // default size
+    const auto p = payload.analyze();
+    EXPECT_TRUE(p.exceeds_uop_cache);
+    EXPECT_TRUE(p.fits_l1i);
+    EXPECT_GT(p.uop_count, cal::kUopCacheCapacityUops);
+    EXPECT_LE(p.code_bytes, cal::kL1ICapacityBytes);
+}
+
+TEST(FirestarterPayload, GroupsAreFourInstructionsInFetchWindow) {
+    const FirestarterPayload payload{100};
+    for (const auto& g : payload.groups()) {
+        EXPECT_EQ(g.instructions.size(), 4u);
+        EXPECT_LE(g.bytes(), cal::kFetchWindowBytes);
+    }
+}
+
+TEST(FirestarterPayload, GroupStructureByTarget) {
+    // reg group: FMA/FMA/shift/xor; cache groups: store/FMA+load/shift/add.
+    const auto reg = make_group(GroupTarget::Reg);
+    EXPECT_EQ(reg.instructions[0].op, Op::Fma);
+    EXPECT_EQ(reg.instructions[1].op, Op::Fma);
+    EXPECT_EQ(reg.instructions[2].op, Op::Shift);
+    EXPECT_EQ(reg.instructions[3].op, Op::Xor);
+    EXPECT_DOUBLE_EQ(reg.flops(), 16.0);  // two 256-bit FMAs
+
+    const auto l2 = make_group(GroupTarget::L2);
+    EXPECT_EQ(l2.instructions[0].op, Op::Store);
+    EXPECT_EQ(l2.instructions[1].op, Op::FmaLoad);
+    EXPECT_EQ(l2.instructions[3].op, Op::AddPtr);
+    EXPECT_TRUE(l2.instructions[0].stores);
+    EXPECT_TRUE(l2.instructions[1].loads);
+
+    // mem group: I1 is an FMA on registers (not a store).
+    const auto mem = make_group(GroupTarget::Mem);
+    EXPECT_EQ(mem.instructions[0].op, Op::Fma);
+}
+
+TEST(FirestarterPayload, EstimatedIpcMatchesPaper) {
+    const FirestarterPayload payload;
+    EXPECT_NEAR(payload.estimated_ipc(true), 3.1, 0.2);   // HT
+    EXPECT_NEAR(payload.estimated_ipc(false), 2.8, 0.2);  // no HT
+    EXPECT_GT(payload.estimated_ipc(true), payload.estimated_ipc(false));
+}
+
+TEST(FirestarterPayload, RareGroupsSpreadThroughLoop) {
+    // The low-discrepancy interleaving must not clump the 1.6 % mem groups.
+    const FirestarterPayload payload{1000};
+    std::vector<std::size_t> mem_positions;
+    const auto& gs = payload.groups();
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+        if (gs[i].target == GroupTarget::Mem) mem_positions.push_back(i);
+    }
+    ASSERT_GE(mem_positions.size(), 10u);
+    for (std::size_t i = 1; i < mem_positions.size(); ++i) {
+        const auto gap = mem_positions[i] - mem_positions[i - 1];
+        EXPECT_GT(gap, 30u);   // roughly evenly spaced (expected ~62)
+        EXPECT_LT(gap, 100u);
+    }
+}
+
+TEST(FirestarterPayload, DeterministicConstruction) {
+    const FirestarterPayload a{560};
+    const FirestarterPayload b{560};
+    ASSERT_EQ(a.groups().size(), b.groups().size());
+    for (std::size_t i = 0; i < a.groups().size(); ++i) {
+        EXPECT_EQ(a.groups()[i].target, b.groups()[i].target);
+    }
+}
+
+TEST(FirestarterPayload, DisassembleListsGroups) {
+    const FirestarterPayload payload{8};
+    const std::string s = payload.disassemble(2);
+    EXPECT_NE(s.find("group 0"), std::string::npos);
+    EXPECT_NE(s.find("vfmadd231pd"), std::string::npos);
+    EXPECT_NE(s.find("; ..."), std::string::npos);
+}
+
+TEST(FirestarterPayload, AvxFractionIsHalfOfInstructions) {
+    // I1/I2 are 256-bit, I3/I4 scalar -> AVX fraction 0.5 of instruction
+    // count (the *workload* avx_fraction refers to execution-slot share).
+    const auto p = FirestarterPayload{500}.analyze();
+    EXPECT_NEAR(p.avx_fraction, 0.5, 0.01);
+}
+
+// Parameterized sweep over payload sizes.
+class PayloadSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PayloadSizes, ApportionmentExact) {
+    const FirestarterPayload payload{GetParam()};
+    EXPECT_EQ(payload.groups().size(), GetParam());
+    const auto p = payload.analyze();
+    double total = 0.0;
+    for (double r : p.target_ratios) total += r;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadSizes,
+                         ::testing::Values(10, 63, 127, 560, 1000, 4096));
+
+}  // namespace
+}  // namespace hsw::workloads
