@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dvfs_vs_dct.dir/bench_ablation_dvfs_vs_dct.cpp.o"
+  "CMakeFiles/bench_ablation_dvfs_vs_dct.dir/bench_ablation_dvfs_vs_dct.cpp.o.d"
+  "bench_ablation_dvfs_vs_dct"
+  "bench_ablation_dvfs_vs_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dvfs_vs_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

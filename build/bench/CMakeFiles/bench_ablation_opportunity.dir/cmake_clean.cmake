@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_opportunity.dir/bench_ablation_opportunity.cpp.o"
+  "CMakeFiles/bench_ablation_opportunity.dir/bench_ablation_opportunity.cpp.o.d"
+  "bench_ablation_opportunity"
+  "bench_ablation_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

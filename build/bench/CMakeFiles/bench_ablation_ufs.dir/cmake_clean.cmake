@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ufs.dir/bench_ablation_ufs.cpp.o"
+  "CMakeFiles/bench_ablation_ufs.dir/bench_ablation_ufs.cpp.o.d"
+  "bench_ablation_ufs"
+  "bench_ablation_ufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rapl.dir/bench_fig2_rapl.cpp.o"
+  "CMakeFiles/bench_fig2_rapl.dir/bench_fig2_rapl.cpp.o.d"
+  "bench_fig2_rapl"
+  "bench_fig2_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

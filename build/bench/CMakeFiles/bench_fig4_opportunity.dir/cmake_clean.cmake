@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_opportunity.dir/bench_fig4_opportunity.cpp.o"
+  "CMakeFiles/bench_fig4_opportunity.dir/bench_fig4_opportunity.cpp.o.d"
+  "bench_fig4_opportunity"
+  "bench_fig4_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_uncore.dir/bench_table3_uncore.cpp.o"
+  "CMakeFiles/bench_table3_uncore.dir/bench_table3_uncore.cpp.o.d"
+  "bench_table3_uncore"
+  "bench_table3_uncore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_uncore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_firestarter.dir/bench_table4_firestarter.cpp.o"
+  "CMakeFiles/bench_table4_firestarter.dir/bench_table4_firestarter.cpp.o.d"
+  "bench_table4_firestarter"
+  "bench_table4_firestarter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_firestarter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

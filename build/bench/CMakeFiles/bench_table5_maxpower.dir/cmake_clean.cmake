@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_maxpower.dir/bench_table5_maxpower.cpp.o"
+  "CMakeFiles/bench_table5_maxpower.dir/bench_table5_maxpower.cpp.o.d"
+  "bench_table5_maxpower"
+  "bench_table5_maxpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_maxpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

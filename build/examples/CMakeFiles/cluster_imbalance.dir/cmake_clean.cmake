@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_imbalance.dir/cluster_imbalance.cpp.o"
+  "CMakeFiles/cluster_imbalance.dir/cluster_imbalance.cpp.o.d"
+  "cluster_imbalance"
+  "cluster_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_advisor_demo.dir/energy_advisor_demo.cpp.o"
+  "CMakeFiles/energy_advisor_demo.dir/energy_advisor_demo.cpp.o.d"
+  "energy_advisor_demo"
+  "energy_advisor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_advisor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

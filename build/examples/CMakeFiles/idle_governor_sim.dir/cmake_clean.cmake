@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idle_governor_sim.dir/idle_governor_sim.cpp.o"
+  "CMakeFiles/idle_governor_sim.dir/idle_governor_sim.cpp.o.d"
+  "idle_governor_sim"
+  "idle_governor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idle_governor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

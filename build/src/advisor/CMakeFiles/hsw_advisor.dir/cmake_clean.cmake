@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_advisor.dir/energy_advisor.cpp.o"
+  "CMakeFiles/hsw_advisor.dir/energy_advisor.cpp.o.d"
+  "libhsw_advisor.a"
+  "libhsw_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

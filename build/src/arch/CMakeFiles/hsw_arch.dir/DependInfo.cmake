@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/microarch.cpp" "src/arch/CMakeFiles/hsw_arch.dir/microarch.cpp.o" "gcc" "src/arch/CMakeFiles/hsw_arch.dir/microarch.cpp.o.d"
+  "/root/repo/src/arch/sku.cpp" "src/arch/CMakeFiles/hsw_arch.dir/sku.cpp.o" "gcc" "src/arch/CMakeFiles/hsw_arch.dir/sku.cpp.o.d"
+  "/root/repo/src/arch/topology.cpp" "src/arch/CMakeFiles/hsw_arch.dir/topology.cpp.o" "gcc" "src/arch/CMakeFiles/hsw_arch.dir/topology.cpp.o.d"
+  "/root/repo/src/arch/topology_render.cpp" "src/arch/CMakeFiles/hsw_arch.dir/topology_render.cpp.o" "gcc" "src/arch/CMakeFiles/hsw_arch.dir/topology_render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_arch.dir/microarch.cpp.o"
+  "CMakeFiles/hsw_arch.dir/microarch.cpp.o.d"
+  "CMakeFiles/hsw_arch.dir/sku.cpp.o"
+  "CMakeFiles/hsw_arch.dir/sku.cpp.o.d"
+  "CMakeFiles/hsw_arch.dir/topology.cpp.o"
+  "CMakeFiles/hsw_arch.dir/topology.cpp.o.d"
+  "CMakeFiles/hsw_arch.dir/topology_render.cpp.o"
+  "CMakeFiles/hsw_arch.dir/topology_render.cpp.o.d"
+  "libhsw_arch.a"
+  "libhsw_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

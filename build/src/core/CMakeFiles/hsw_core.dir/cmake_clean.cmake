@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_core.dir/node.cpp.o"
+  "CMakeFiles/hsw_core.dir/node.cpp.o.d"
+  "CMakeFiles/hsw_core.dir/socket.cpp.o"
+  "CMakeFiles/hsw_core.dir/socket.cpp.o.d"
+  "libhsw_core.a"
+  "libhsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cstates/cstate.cpp" "src/cstates/CMakeFiles/hsw_cstates.dir/cstate.cpp.o" "gcc" "src/cstates/CMakeFiles/hsw_cstates.dir/cstate.cpp.o.d"
+  "/root/repo/src/cstates/wake_latency.cpp" "src/cstates/CMakeFiles/hsw_cstates.dir/wake_latency.cpp.o" "gcc" "src/cstates/CMakeFiles/hsw_cstates.dir/wake_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hsw_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

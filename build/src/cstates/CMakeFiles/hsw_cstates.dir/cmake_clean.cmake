@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_cstates.dir/cstate.cpp.o"
+  "CMakeFiles/hsw_cstates.dir/cstate.cpp.o.d"
+  "CMakeFiles/hsw_cstates.dir/wake_latency.cpp.o"
+  "CMakeFiles/hsw_cstates.dir/wake_latency.cpp.o.d"
+  "libhsw_cstates.a"
+  "libhsw_cstates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_cstates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bandwidth_model.cpp" "src/mem/CMakeFiles/hsw_mem.dir/bandwidth_model.cpp.o" "gcc" "src/mem/CMakeFiles/hsw_mem.dir/bandwidth_model.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/hsw_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/hsw_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/coherency.cpp" "src/mem/CMakeFiles/hsw_mem.dir/coherency.cpp.o" "gcc" "src/mem/CMakeFiles/hsw_mem.dir/coherency.cpp.o.d"
+  "/root/repo/src/mem/imc.cpp" "src/mem/CMakeFiles/hsw_mem.dir/imc.cpp.o" "gcc" "src/mem/CMakeFiles/hsw_mem.dir/imc.cpp.o.d"
+  "/root/repo/src/mem/qpi.cpp" "src/mem/CMakeFiles/hsw_mem.dir/qpi.cpp.o" "gcc" "src/mem/CMakeFiles/hsw_mem.dir/qpi.cpp.o.d"
+  "/root/repo/src/mem/ring.cpp" "src/mem/CMakeFiles/hsw_mem.dir/ring.cpp.o" "gcc" "src/mem/CMakeFiles/hsw_mem.dir/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hsw_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_mem.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/hsw_mem.dir/bandwidth_model.cpp.o.d"
+  "CMakeFiles/hsw_mem.dir/cache.cpp.o"
+  "CMakeFiles/hsw_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/hsw_mem.dir/coherency.cpp.o"
+  "CMakeFiles/hsw_mem.dir/coherency.cpp.o.d"
+  "CMakeFiles/hsw_mem.dir/imc.cpp.o"
+  "CMakeFiles/hsw_mem.dir/imc.cpp.o.d"
+  "CMakeFiles/hsw_mem.dir/qpi.cpp.o"
+  "CMakeFiles/hsw_mem.dir/qpi.cpp.o.d"
+  "CMakeFiles/hsw_mem.dir/ring.cpp.o"
+  "CMakeFiles/hsw_mem.dir/ring.cpp.o.d"
+  "libhsw_mem.a"
+  "libhsw_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

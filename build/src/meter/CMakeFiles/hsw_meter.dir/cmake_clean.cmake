@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_meter.dir/lmg450.cpp.o"
+  "CMakeFiles/hsw_meter.dir/lmg450.cpp.o.d"
+  "libhsw_meter.a"
+  "libhsw_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_msr.dir/msr_file.cpp.o"
+  "CMakeFiles/hsw_msr.dir/msr_file.cpp.o.d"
+  "libhsw_msr.a"
+  "libhsw_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hsw_msr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cpufreq.cpp" "src/os/CMakeFiles/hsw_os.dir/cpufreq.cpp.o" "gcc" "src/os/CMakeFiles/hsw_os.dir/cpufreq.cpp.o.d"
+  "/root/repo/src/os/idle_governor.cpp" "src/os/CMakeFiles/hsw_os.dir/idle_governor.cpp.o" "gcc" "src/os/CMakeFiles/hsw_os.dir/idle_governor.cpp.o.d"
+  "/root/repo/src/os/perf_events.cpp" "src/os/CMakeFiles/hsw_os.dir/perf_events.cpp.o" "gcc" "src/os/CMakeFiles/hsw_os.dir/perf_events.cpp.o.d"
+  "/root/repo/src/os/sysfs.cpp" "src/os/CMakeFiles/hsw_os.dir/sysfs.cpp.o" "gcc" "src/os/CMakeFiles/hsw_os.dir/sysfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/hsw_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hsw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cstates/CMakeFiles/hsw_cstates.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcu/CMakeFiles/hsw_pcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hsw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/hsw_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hsw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hsw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/hsw_meter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

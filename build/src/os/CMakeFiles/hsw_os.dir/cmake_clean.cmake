@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_os.dir/cpufreq.cpp.o"
+  "CMakeFiles/hsw_os.dir/cpufreq.cpp.o.d"
+  "CMakeFiles/hsw_os.dir/idle_governor.cpp.o"
+  "CMakeFiles/hsw_os.dir/idle_governor.cpp.o.d"
+  "CMakeFiles/hsw_os.dir/perf_events.cpp.o"
+  "CMakeFiles/hsw_os.dir/perf_events.cpp.o.d"
+  "CMakeFiles/hsw_os.dir/sysfs.cpp.o"
+  "CMakeFiles/hsw_os.dir/sysfs.cpp.o.d"
+  "libhsw_os.a"
+  "libhsw_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsw_os.a"
+)

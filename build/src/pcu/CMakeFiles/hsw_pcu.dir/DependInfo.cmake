@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcu/avx_license.cpp" "src/pcu/CMakeFiles/hsw_pcu.dir/avx_license.cpp.o" "gcc" "src/pcu/CMakeFiles/hsw_pcu.dir/avx_license.cpp.o.d"
+  "/root/repo/src/pcu/pcu.cpp" "src/pcu/CMakeFiles/hsw_pcu.dir/pcu.cpp.o" "gcc" "src/pcu/CMakeFiles/hsw_pcu.dir/pcu.cpp.o.d"
+  "/root/repo/src/pcu/turbo.cpp" "src/pcu/CMakeFiles/hsw_pcu.dir/turbo.cpp.o" "gcc" "src/pcu/CMakeFiles/hsw_pcu.dir/turbo.cpp.o.d"
+  "/root/repo/src/pcu/uncore_scaling.cpp" "src/pcu/CMakeFiles/hsw_pcu.dir/uncore_scaling.cpp.o" "gcc" "src/pcu/CMakeFiles/hsw_pcu.dir/uncore_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hsw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hsw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/hsw_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cstates/CMakeFiles/hsw_cstates.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

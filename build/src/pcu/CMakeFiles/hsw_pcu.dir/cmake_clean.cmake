@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_pcu.dir/avx_license.cpp.o"
+  "CMakeFiles/hsw_pcu.dir/avx_license.cpp.o.d"
+  "CMakeFiles/hsw_pcu.dir/pcu.cpp.o"
+  "CMakeFiles/hsw_pcu.dir/pcu.cpp.o.d"
+  "CMakeFiles/hsw_pcu.dir/turbo.cpp.o"
+  "CMakeFiles/hsw_pcu.dir/turbo.cpp.o.d"
+  "CMakeFiles/hsw_pcu.dir/uncore_scaling.cpp.o"
+  "CMakeFiles/hsw_pcu.dir/uncore_scaling.cpp.o.d"
+  "libhsw_pcu.a"
+  "libhsw_pcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_pcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

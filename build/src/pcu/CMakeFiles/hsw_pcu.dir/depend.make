@@ -1,0 +1,2 @@
+# Empty dependencies file for hsw_pcu.
+# This may be replaced when dependencies are built.

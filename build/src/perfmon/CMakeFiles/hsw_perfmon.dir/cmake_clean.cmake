@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_perfmon.dir/counters.cpp.o"
+  "CMakeFiles/hsw_perfmon.dir/counters.cpp.o.d"
+  "libhsw_perfmon.a"
+  "libhsw_perfmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

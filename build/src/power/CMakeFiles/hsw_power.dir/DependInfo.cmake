@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/fivr.cpp" "src/power/CMakeFiles/hsw_power.dir/fivr.cpp.o" "gcc" "src/power/CMakeFiles/hsw_power.dir/fivr.cpp.o.d"
+  "/root/repo/src/power/mbvr.cpp" "src/power/CMakeFiles/hsw_power.dir/mbvr.cpp.o" "gcc" "src/power/CMakeFiles/hsw_power.dir/mbvr.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/hsw_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/hsw_power.dir/power_model.cpp.o.d"
+  "/root/repo/src/power/psu.cpp" "src/power/CMakeFiles/hsw_power.dir/psu.cpp.o" "gcc" "src/power/CMakeFiles/hsw_power.dir/psu.cpp.o.d"
+  "/root/repo/src/power/thermal.cpp" "src/power/CMakeFiles/hsw_power.dir/thermal.cpp.o" "gcc" "src/power/CMakeFiles/hsw_power.dir/thermal.cpp.o.d"
+  "/root/repo/src/power/vf_curve.cpp" "src/power/CMakeFiles/hsw_power.dir/vf_curve.cpp.o" "gcc" "src/power/CMakeFiles/hsw_power.dir/vf_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hsw_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

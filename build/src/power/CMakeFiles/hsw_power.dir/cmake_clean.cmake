@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_power.dir/fivr.cpp.o"
+  "CMakeFiles/hsw_power.dir/fivr.cpp.o.d"
+  "CMakeFiles/hsw_power.dir/mbvr.cpp.o"
+  "CMakeFiles/hsw_power.dir/mbvr.cpp.o.d"
+  "CMakeFiles/hsw_power.dir/power_model.cpp.o"
+  "CMakeFiles/hsw_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/hsw_power.dir/psu.cpp.o"
+  "CMakeFiles/hsw_power.dir/psu.cpp.o.d"
+  "CMakeFiles/hsw_power.dir/thermal.cpp.o"
+  "CMakeFiles/hsw_power.dir/thermal.cpp.o.d"
+  "CMakeFiles/hsw_power.dir/vf_curve.cpp.o"
+  "CMakeFiles/hsw_power.dir/vf_curve.cpp.o.d"
+  "libhsw_power.a"
+  "libhsw_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

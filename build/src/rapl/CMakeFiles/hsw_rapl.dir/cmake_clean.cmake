@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_rapl.dir/model.cpp.o"
+  "CMakeFiles/hsw_rapl.dir/model.cpp.o.d"
+  "CMakeFiles/hsw_rapl.dir/rapl.cpp.o"
+  "CMakeFiles/hsw_rapl.dir/rapl.cpp.o.d"
+  "libhsw_rapl.a"
+  "libhsw_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hsw_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hsw_sim.dir/trace.cpp.o"
+  "CMakeFiles/hsw_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/hsw_sim.dir/trace_json.cpp.o"
+  "CMakeFiles/hsw_sim.dir/trace_json.cpp.o.d"
+  "libhsw_sim.a"
+  "libhsw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survey/fig2_rapl.cpp" "src/survey/CMakeFiles/hsw_survey.dir/fig2_rapl.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/fig2_rapl.cpp.o.d"
+  "/root/repo/src/survey/fig3_pstate.cpp" "src/survey/CMakeFiles/hsw_survey.dir/fig3_pstate.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/fig3_pstate.cpp.o.d"
+  "/root/repo/src/survey/fig4_opportunity.cpp" "src/survey/CMakeFiles/hsw_survey.dir/fig4_opportunity.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/fig4_opportunity.cpp.o.d"
+  "/root/repo/src/survey/fig56_cstates.cpp" "src/survey/CMakeFiles/hsw_survey.dir/fig56_cstates.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/fig56_cstates.cpp.o.d"
+  "/root/repo/src/survey/fig56_csv.cpp" "src/survey/CMakeFiles/hsw_survey.dir/fig56_csv.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/fig56_csv.cpp.o.d"
+  "/root/repo/src/survey/fig78_bandwidth.cpp" "src/survey/CMakeFiles/hsw_survey.dir/fig78_bandwidth.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/fig78_bandwidth.cpp.o.d"
+  "/root/repo/src/survey/table1_microarch.cpp" "src/survey/CMakeFiles/hsw_survey.dir/table1_microarch.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/table1_microarch.cpp.o.d"
+  "/root/repo/src/survey/table2_system.cpp" "src/survey/CMakeFiles/hsw_survey.dir/table2_system.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/table2_system.cpp.o.d"
+  "/root/repo/src/survey/table3_uncore.cpp" "src/survey/CMakeFiles/hsw_survey.dir/table3_uncore.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/table3_uncore.cpp.o.d"
+  "/root/repo/src/survey/table4_firestarter.cpp" "src/survey/CMakeFiles/hsw_survey.dir/table4_firestarter.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/table4_firestarter.cpp.o.d"
+  "/root/repo/src/survey/table5_maxpower.cpp" "src/survey/CMakeFiles/hsw_survey.dir/table5_maxpower.cpp.o" "gcc" "src/survey/CMakeFiles/hsw_survey.dir/table5_maxpower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/hsw_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/hsw_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hsw_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hsw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcu/CMakeFiles/hsw_pcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hsw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/hsw_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/hsw_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/hsw_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cstates/CMakeFiles/hsw_cstates.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hsw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hsw_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

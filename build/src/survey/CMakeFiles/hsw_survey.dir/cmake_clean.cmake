@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_survey.dir/fig2_rapl.cpp.o"
+  "CMakeFiles/hsw_survey.dir/fig2_rapl.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/fig3_pstate.cpp.o"
+  "CMakeFiles/hsw_survey.dir/fig3_pstate.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/fig4_opportunity.cpp.o"
+  "CMakeFiles/hsw_survey.dir/fig4_opportunity.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/fig56_cstates.cpp.o"
+  "CMakeFiles/hsw_survey.dir/fig56_cstates.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/fig56_csv.cpp.o"
+  "CMakeFiles/hsw_survey.dir/fig56_csv.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/fig78_bandwidth.cpp.o"
+  "CMakeFiles/hsw_survey.dir/fig78_bandwidth.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/table1_microarch.cpp.o"
+  "CMakeFiles/hsw_survey.dir/table1_microarch.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/table2_system.cpp.o"
+  "CMakeFiles/hsw_survey.dir/table2_system.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/table3_uncore.cpp.o"
+  "CMakeFiles/hsw_survey.dir/table3_uncore.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/table4_firestarter.cpp.o"
+  "CMakeFiles/hsw_survey.dir/table4_firestarter.cpp.o.d"
+  "CMakeFiles/hsw_survey.dir/table5_maxpower.cpp.o"
+  "CMakeFiles/hsw_survey.dir/table5_maxpower.cpp.o.d"
+  "libhsw_survey.a"
+  "libhsw_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

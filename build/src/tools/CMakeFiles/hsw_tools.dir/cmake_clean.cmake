@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_tools.dir/cstate_probe.cpp.o"
+  "CMakeFiles/hsw_tools.dir/cstate_probe.cpp.o.d"
+  "CMakeFiles/hsw_tools.dir/ftalat.cpp.o"
+  "CMakeFiles/hsw_tools.dir/ftalat.cpp.o.d"
+  "CMakeFiles/hsw_tools.dir/membench.cpp.o"
+  "CMakeFiles/hsw_tools.dir/membench.cpp.o.d"
+  "CMakeFiles/hsw_tools.dir/perfctr.cpp.o"
+  "CMakeFiles/hsw_tools.dir/perfctr.cpp.o.d"
+  "CMakeFiles/hsw_tools.dir/rapl_validate.cpp.o"
+  "CMakeFiles/hsw_tools.dir/rapl_validate.cpp.o.d"
+  "libhsw_tools.a"
+  "libhsw_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_util.dir/csv.cpp.o"
+  "CMakeFiles/hsw_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hsw_util.dir/histogram.cpp.o"
+  "CMakeFiles/hsw_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/hsw_util.dir/stats.cpp.o"
+  "CMakeFiles/hsw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hsw_util.dir/table.cpp.o"
+  "CMakeFiles/hsw_util.dir/table.cpp.o.d"
+  "libhsw_util.a"
+  "libhsw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/asm_emitter.cpp" "src/workloads/CMakeFiles/hsw_workloads.dir/asm_emitter.cpp.o" "gcc" "src/workloads/CMakeFiles/hsw_workloads.dir/asm_emitter.cpp.o.d"
+  "/root/repo/src/workloads/firestarter.cpp" "src/workloads/CMakeFiles/hsw_workloads.dir/firestarter.cpp.o" "gcc" "src/workloads/CMakeFiles/hsw_workloads.dir/firestarter.cpp.o.d"
+  "/root/repo/src/workloads/mixes.cpp" "src/workloads/CMakeFiles/hsw_workloads.dir/mixes.cpp.o" "gcc" "src/workloads/CMakeFiles/hsw_workloads.dir/mixes.cpp.o.d"
+  "/root/repo/src/workloads/payload_workload.cpp" "src/workloads/CMakeFiles/hsw_workloads.dir/payload_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/hsw_workloads.dir/payload_workload.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/hsw_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/hsw_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hsw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hsw_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsw_workloads.dir/asm_emitter.cpp.o"
+  "CMakeFiles/hsw_workloads.dir/asm_emitter.cpp.o.d"
+  "CMakeFiles/hsw_workloads.dir/firestarter.cpp.o"
+  "CMakeFiles/hsw_workloads.dir/firestarter.cpp.o.d"
+  "CMakeFiles/hsw_workloads.dir/mixes.cpp.o"
+  "CMakeFiles/hsw_workloads.dir/mixes.cpp.o.d"
+  "CMakeFiles/hsw_workloads.dir/payload_workload.cpp.o"
+  "CMakeFiles/hsw_workloads.dir/payload_workload.cpp.o.d"
+  "CMakeFiles/hsw_workloads.dir/workload.cpp.o"
+  "CMakeFiles/hsw_workloads.dir/workload.cpp.o.d"
+  "libhsw_workloads.a"
+  "libhsw_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsw_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

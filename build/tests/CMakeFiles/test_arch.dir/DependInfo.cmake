@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/test_microarch.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_microarch.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_microarch.cpp.o.d"
+  "/root/repo/tests/arch/test_sku.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_sku.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_sku.cpp.o.d"
+  "/root/repo/tests/arch/test_topology.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_topology.cpp.o.d"
+  "/root/repo/tests/arch/test_topology_render.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_topology_render.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_topology_render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/survey/CMakeFiles/hsw_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/hsw_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hsw_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/hsw_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/hsw_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcu/CMakeFiles/hsw_pcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hsw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cstates/CMakeFiles/hsw_cstates.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/hsw_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/hsw_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/hsw_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hsw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hsw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hsw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

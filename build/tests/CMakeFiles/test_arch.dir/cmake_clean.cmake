@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_microarch.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_microarch.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_sku.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_sku.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_topology.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_topology.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_topology_render.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_topology_render.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

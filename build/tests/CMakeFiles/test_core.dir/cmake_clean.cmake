@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_node_avx_generations.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_node_avx_generations.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_node_basics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_node_basics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_node_cstates.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_node_cstates.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_node_power.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_node_power.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_node_residency.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_node_residency.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cstates.dir/cstates/test_cstate.cpp.o"
+  "CMakeFiles/test_cstates.dir/cstates/test_cstate.cpp.o.d"
+  "CMakeFiles/test_cstates.dir/cstates/test_wake_latency.cpp.o"
+  "CMakeFiles/test_cstates.dir/cstates/test_wake_latency.cpp.o.d"
+  "test_cstates"
+  "test_cstates.pdb"
+  "test_cstates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cstates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_determinism.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_determinism.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fig2_repro.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fig2_repro.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fig3_repro.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fig3_repro.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fig56_repro.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fig56_repro.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fig78_repro.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fig78_repro.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_haswell_he.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_haswell_he.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_property_sweeps.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_property_sweeps.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_survey_renders.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_survey_renders.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_table3_repro.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_table3_repro.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_table4_repro.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_table4_repro.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_table5_repro.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_table5_repro.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_trace_pipeline.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_trace_pipeline.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_bandwidth_model.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_bandwidth_model.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_coherency.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_coherency.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_qpi.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_qpi.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_ring_imc.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_ring_imc.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msr.dir/msr/test_msr_file.cpp.o"
+  "CMakeFiles/test_msr.dir/msr/test_msr_file.cpp.o.d"
+  "test_msr"
+  "test_msr.pdb"
+  "test_msr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcu.dir/pcu/test_avx_license.cpp.o"
+  "CMakeFiles/test_pcu.dir/pcu/test_avx_license.cpp.o.d"
+  "CMakeFiles/test_pcu.dir/pcu/test_pcu_controller.cpp.o"
+  "CMakeFiles/test_pcu.dir/pcu/test_pcu_controller.cpp.o.d"
+  "CMakeFiles/test_pcu.dir/pcu/test_turbo.cpp.o"
+  "CMakeFiles/test_pcu.dir/pcu/test_turbo.cpp.o.d"
+  "CMakeFiles/test_pcu.dir/pcu/test_uncore_policy.cpp.o"
+  "CMakeFiles/test_pcu.dir/pcu/test_uncore_policy.cpp.o.d"
+  "CMakeFiles/test_pcu.dir/pcu/test_uncore_ratio_limit.cpp.o"
+  "CMakeFiles/test_pcu.dir/pcu/test_uncore_ratio_limit.cpp.o.d"
+  "test_pcu"
+  "test_pcu.pdb"
+  "test_pcu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

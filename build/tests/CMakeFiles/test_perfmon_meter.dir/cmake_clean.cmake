@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmon_meter.dir/meter/test_lmg450.cpp.o"
+  "CMakeFiles/test_perfmon_meter.dir/meter/test_lmg450.cpp.o.d"
+  "CMakeFiles/test_perfmon_meter.dir/perfmon/test_counters.cpp.o"
+  "CMakeFiles/test_perfmon_meter.dir/perfmon/test_counters.cpp.o.d"
+  "test_perfmon_meter"
+  "test_perfmon_meter.pdb"
+  "test_perfmon_meter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmon_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

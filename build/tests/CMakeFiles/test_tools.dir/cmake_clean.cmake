@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tools.dir/tools/test_cstate_probe.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_cstate_probe.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/test_ftalat.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_ftalat.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/test_membench.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_membench.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/test_perfctr.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_perfctr.cpp.o.d"
+  "CMakeFiles/test_tools.dir/tools/test_rapl_validate.cpp.o"
+  "CMakeFiles/test_tools.dir/tools/test_rapl_validate.cpp.o.d"
+  "test_tools"
+  "test_tools.pdb"
+  "test_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

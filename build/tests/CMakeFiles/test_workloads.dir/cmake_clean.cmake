@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_asm_assembles.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_asm_assembles.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_asm_emitter.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_asm_emitter.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_firestarter.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_firestarter.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_payload_workload.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_payload_workload.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_workload.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_workload.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
