@@ -85,7 +85,7 @@ Recommendation EnergyAdvisor::recommend(const workloads::Workload& workload,
     const OperatingPoint* best = &rec.sweep.front();
     double best_score = -std::numeric_limits<double>::infinity();
     for (const auto& p : rec.sweep) {
-        double score;
+        double score = -std::numeric_limits<double>::infinity();
         switch (cfg_.objective) {
             case Objective::Performance:
                 score = p.gips;

@@ -1,0 +1,73 @@
+// Audit modes and tolerances for the invariant checker.
+//
+// The checker is wired into the survey drivers behind this config: Off adds
+// zero overhead (nothing attaches), Warn collects diagnostics and prints a
+// summary to stderr, Strict turns any violation into an AuditError so the
+// reproduction sweeps double as invariant tests.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace hsw::analysis {
+
+enum class AuditMode { Off, Warn, Strict };
+
+/// Thrown by InvariantChecker::finish() in Strict mode when the run
+/// produced diagnostics; carries the sink summary.
+class AuditError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct AuditConfig {
+    AuditMode mode = AuditMode::Off;
+
+    /// Cadence of the periodic state sampling event on the simulator.
+    util::Time sample_period = util::Time::us(100);
+
+    /// Package power upper bound: TDP * (1 + fraction) + absolute. The
+    /// margin covers the PCU's deliberate dither overshoot around the
+    /// budget and the modeled-RAPL workload bias (Fig. 2a).
+    double power_margin_fraction = 0.15;
+    util::Power power_margin = util::Power::watts(10.0);
+
+    /// Package power floor while any core is in C0 (leakage + static rails
+    /// can never vanish under load).
+    util::Power active_power_floor = util::Power::watts(0.5);
+
+    /// Upper bound on plausible DRAM-domain power for the wrap check.
+    util::Power dram_power_bound = util::Power::watts(60.0);
+
+    /// Residency sum may exceed wall time by this fraction (tick rounding
+    /// at sample edges) plus a small absolute tick slack.
+    double residency_slack_fraction = 0.01;
+    double residency_slack_ticks = 1e6;  // 400 us of 2.5 GHz TSC ticks
+
+    /// P-state grid tolerances: opportunity spacing must stay within
+    /// `grid_period_slack` of the ~500 us period, and a "change complete"
+    /// must trail its opportunity by at most switch-time-max plus
+    /// `grid_apply_slack`.
+    util::Time grid_period_slack = util::Time::us(25);
+    util::Time grid_apply_slack = util::Time::us(5);
+
+    /// Diagnostics retained verbatim by the sink (everything is counted).
+    std::size_t max_diagnostics = 256;
+
+    [[nodiscard]] static AuditConfig off() { return AuditConfig{}; }
+    [[nodiscard]] static AuditConfig warn() {
+        AuditConfig c;
+        c.mode = AuditMode::Warn;
+        return c;
+    }
+    [[nodiscard]] static AuditConfig strict() {
+        AuditConfig c;
+        c.mode = AuditMode::Strict;
+        return c;
+    }
+};
+
+}  // namespace hsw::analysis

@@ -1,0 +1,314 @@
+#include "analysis/invariant_checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "arch/calibration.hpp"
+#include "arch/generation.hpp"
+#include "core/node.hpp"
+#include "pcu/uncore_scaling.hpp"
+
+namespace hsw::analysis {
+
+namespace cal = hsw::arch::cal;
+using util::Frequency;
+using util::Power;
+using util::Time;
+
+namespace {
+
+/// Frequency comparisons tolerate half a ratio step of float noise.
+constexpr double kHzTolerance = 0.5e6;
+/// Residency monotonicity tolerance (counter quantization).
+constexpr double kTickTolerance = 1.0;
+/// Absolute slack on decoded energy deltas (counter quantization, joules).
+constexpr double kEnergySlackJoules = 0.5;
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(AuditConfig cfg)
+    : cfg_{cfg}, sink_{cfg.max_diagnostics}, linter_{sink_} {}
+
+InvariantChecker::~InvariantChecker() { detach(); }
+
+void InvariantChecker::violation(Invariant inv, Time when, std::string subject,
+                                 std::string message, double value, double bound) {
+    sink_.report(Diagnostic{
+        .invariant = inv,
+        .severity = Severity::Violation,
+        .when = when,
+        .subject = std::move(subject),
+        .message = std::move(message),
+        .value = value,
+        .bound = bound,
+    });
+}
+
+Power InvariantChecker::package_power_bound(const arch::Sku& sku) const {
+    return sku.tdp * (1.0 + cfg_.power_margin_fraction) + cfg_.power_margin;
+}
+
+// --- node attachment --------------------------------------------------------
+
+void InvariantChecker::attach(core::Node& node) {
+    if (cfg_.mode == AuditMode::Off || node_ != nullptr) return;
+    node_ = &node;
+    deferred_grid_ = arch::traits(node.sku().generation).deferred_pstate_grid;
+
+    node.trace().set_observer(
+        [this](const sim::TraceRecord& rec) { observe_trace(rec, deferred_grid_); });
+
+    node.msrs().set_observer([this](const msr::MsrAccessEvent& access) {
+        const Time now = node_->now();
+        if (access.kind == msr::MsrAccessEvent::Kind::Read) {
+            observe_msr_read(now, access.cpu, access.address);
+        } else {
+            observe_msr_write(now, access.cpu, access.address, access.value);
+        }
+    });
+
+    periodic_id_ = node.simulator().schedule_periodic(
+        node.now() + cfg_.sample_period, cfg_.sample_period, [this](Time) { sample(); });
+
+    sample();  // establish counter/residency baselines at attach time
+}
+
+void InvariantChecker::detach() {
+    if (node_ == nullptr) return;
+    node_->trace().set_observer(nullptr);
+    node_->msrs().set_observer(nullptr);
+    node_->simulator().cancel_periodic(periodic_id_);
+    periodic_id_ = 0;
+    node_ = nullptr;
+}
+
+void InvariantChecker::sample() {
+    if (node_ == nullptr) return;
+    core::Node& n = *node_;
+    n.sync();
+    const Time now = n.now();
+    const arch::Sku& sku = n.sku();
+    const double tick_hz = sku.nominal_frequency.as_hz();
+    // The wrap check only needs to separate real accumulation from the
+    // absurd deltas a backwards counter decodes to, so it runs with a
+    // deliberately loose bound (modeled RAPL on SNB-EP has workload bias).
+    const Power pkg_wrap_bound = sku.tdp * 2.0 + Power::watts(20.0);
+
+    for (unsigned s = 0; s < n.socket_count(); ++s) {
+        const core::Socket& sock = n.socket(s);
+        const std::string tag = "socket" + std::to_string(s);
+
+        const rapl::RaplPackage& rp = sock.rapl();
+        observe_energy_counter(tag + ".pkg", now, rp.pkg_energy_raw(),
+                               rp.energy_unit(rapl::Domain::Package), pkg_wrap_bound);
+        // DRAM mode 0 produces unspecified values on Haswell-EP (Section
+        // IV) -- no invariant to hold there.
+        if (rp.has_domain(rapl::Domain::Dram) && rp.dram_mode() == rapl::DramMode::Mode1) {
+            observe_energy_counter(tag + ".dram", now, rp.dram_energy_raw(),
+                                   rp.energy_unit(rapl::Domain::Dram),
+                                   cfg_.dram_power_bound);
+        }
+
+        observe_package_power(sku, now, s, sock.current_package_power(now),
+                              sock.any_core_active());
+
+        const auto limit = pcu::decode_uncore_ratio_limit(sock.uncore_ratio_limit());
+        observe_uncore(sku, now, s, sock.uncore_frequency(), sock.uncore_halted(),
+                       limit.max_ratio);
+
+        observe_residency(tag + ".pkg-cstate", now, sock.pkg_c3_residency(),
+                          sock.pkg_c6_residency(), tick_hz);
+
+        for (unsigned c = 0; c < n.cores_per_socket(); ++c) {
+            const core::SimCore& core = sock.cores()[c];
+            const unsigned cpu = n.cpu_id(s, c);
+            observe_core(sku, now, cpu, core.state, core.frequency, core.avx_licensed);
+            observe_residency("cpu" + std::to_string(cpu), now, core.c3_residency,
+                              core.c6_residency, tick_hz);
+        }
+    }
+}
+
+// --- observation primitives -------------------------------------------------
+
+void InvariantChecker::observe_trace(const sim::TraceRecord& rec, bool deferred_grid) {
+    if (trace_time_seen_ && rec.when < last_trace_time_) {
+        violation(Invariant::TimeMonotonic, rec.when, rec.category + "/" + rec.subject,
+                  "trace record earlier than its predecessor", rec.when.as_us(),
+                  last_trace_time_.as_us());
+    } else {
+        last_trace_time_ = rec.when;
+        trace_time_seen_ = true;
+    }
+
+    // Grid semantics only exist on parts with the deferred p-state
+    // mechanism (Section VI-A); legacy parts apply requests immediately.
+    if (!deferred_grid) return;
+
+    if (rec.category == "pcu" && rec.detail == "opportunity") {
+        const auto it = last_opportunity_.find(rec.subject);
+        if (it != last_opportunity_.end()) {
+            const Time spacing = rec.when - it->second;
+            const Time slack = cal::kPstateOpportunityJitter + cfg_.grid_period_slack;
+            if (spacing < cal::kPstateOpportunityPeriod - slack ||
+                spacing > cal::kPstateOpportunityPeriod + slack) {
+                violation(Invariant::PstateGrid, rec.when, rec.subject,
+                          "opportunity spacing off the ~500 us grid", spacing.as_us(),
+                          cal::kPstateOpportunityPeriod.as_us());
+            }
+            it->second = rec.when;
+        } else {
+            last_opportunity_.emplace(rec.subject, rec.when);
+        }
+        return;
+    }
+
+    if (rec.category == "pstate" && rec.detail == "change complete") {
+        const auto it = last_opportunity_.find(rec.subject);
+        if (it == last_opportunity_.end()) {
+            violation(Invariant::PstateGrid, rec.when, rec.subject,
+                      "p-state grant without a preceding PCU opportunity",
+                      rec.when.as_us(), 0.0);
+            return;
+        }
+        const Time delta = rec.when - it->second;
+        const Time lo = cal::kPstateSwitchTimeMin - cfg_.grid_apply_slack;
+        const Time hi = cal::kPstateSwitchTimeMax + cfg_.grid_apply_slack;
+        if (delta < lo || delta > hi) {
+            violation(Invariant::PstateGrid, rec.when, rec.subject,
+                      "grant applied outside the switching window after the "
+                      "opportunity",
+                      delta.as_us(), hi.as_us());
+        }
+    }
+}
+
+void InvariantChecker::observe_energy_counter(std::string_view subject, Time when,
+                                              std::uint32_t raw, double joules_per_count,
+                                              Power max_plausible) {
+    CounterState& st = counters_[std::string{subject}];
+    if (st.seen && raw != st.raw) {
+        // A well-behaved counter only wraps forward: any decrease decodes
+        // to a near-2^32 delta, i.e. an impossible energy for the interval.
+        const std::uint32_t delta = raw - st.raw;
+        const double joules = static_cast<double>(delta) * joules_per_count;
+        const double dt = (when - st.when).as_seconds();
+        const double budget = max_plausible.as_watts() * dt + kEnergySlackJoules;
+        if (joules > budget) {
+            violation(Invariant::EnergyCounter, when, std::string{subject},
+                      "energy counter regressed or jumped implausibly", joules, budget);
+        }
+    }
+    if (!st.seen || raw != st.raw) {
+        st.raw = raw;
+        st.when = when;
+        st.seen = true;
+    }
+}
+
+void InvariantChecker::observe_core(const arch::Sku& sku, Time when, unsigned cpu,
+                                    cstates::CState state, Frequency granted,
+                                    bool avx_licensed) {
+    (void)state;  // grants exist (as the resume point) even for parked cores
+    const double hz = granted.as_hz();
+    const double lo = sku.min_frequency.as_hz() - kHzTolerance;
+    const double hi = sku.max_turbo(1).as_hz() + kHzTolerance;
+    const std::string subject = "cpu" + std::to_string(cpu);
+    if (hz < lo || hz > hi) {
+        violation(Invariant::CoreFrequency, when, subject,
+                  "granted clock outside the SKU's p-state range", granted.as_ghz(),
+                  hz < lo ? sku.min_frequency.as_ghz() : sku.max_turbo(1).as_ghz());
+        return;
+    }
+    if (avx_licensed && hz > sku.max_avx_turbo(1).as_hz() + kHzTolerance) {
+        violation(Invariant::AvxLicense, when, subject,
+                  "AVX-licensed core above its AVX turbo bin", granted.as_ghz(),
+                  sku.max_avx_turbo(1).as_ghz());
+    }
+}
+
+void InvariantChecker::observe_uncore(const arch::Sku& sku, Time when, unsigned socket,
+                                      Frequency frequency, bool clock_halted,
+                                      unsigned msr_max_ratio) {
+    if (clock_halted) return;  // PC3/PC6: the clock is stopped, not scaled
+    double lo = sku.uncore_min.as_hz();
+    if (msr_max_ratio != 0) {
+        // A software UNCORE_RATIO_LIMIT cap may legitimately pull the
+        // uncore below the UFS hardware floor.
+        lo = std::min(lo, Frequency::from_ratio(msr_max_ratio).as_hz());
+    }
+    const double hz = frequency.as_hz();
+    if (hz < lo - kHzTolerance || hz > sku.uncore_max.as_hz() + kHzTolerance) {
+        violation(Invariant::UncoreFrequency, when, "socket" + std::to_string(socket),
+                  "uncore clock outside the UFS bounds", frequency.as_ghz(),
+                  hz < lo ? Frequency::hz(lo).as_ghz() : sku.uncore_max.as_ghz());
+    }
+}
+
+void InvariantChecker::observe_package_power(const arch::Sku& sku, Time when,
+                                             unsigned socket, Power power,
+                                             bool any_core_active) {
+    const std::string subject = "socket" + std::to_string(socket);
+    const Power upper = package_power_bound(sku);
+    if (power > upper) {
+        violation(Invariant::PackagePower, when, subject,
+                  "package power above TDP plus capping margin", power.as_watts(),
+                  upper.as_watts());
+        return;
+    }
+    const Power floor = any_core_active ? cfg_.active_power_floor : Power::zero();
+    if (power < floor) {
+        violation(Invariant::PackagePower, when, subject,
+                  any_core_active ? "package power below the active idle floor"
+                                  : "negative package power",
+                  power.as_watts(), floor.as_watts());
+    }
+}
+
+void InvariantChecker::observe_residency(std::string_view subject, Time when,
+                                         double c3_ticks, double c6_ticks,
+                                         double tick_hz) {
+    ResidencyState& st = residencies_[std::string{subject}];
+    if (!st.seen) {
+        st.seen = true;
+        st.c3 = st.c3_base = c3_ticks;
+        st.c6 = st.c6_base = c6_ticks;
+        st.base_time = when;
+        return;
+    }
+    if (c3_ticks + kTickTolerance < st.c3 || c6_ticks + kTickTolerance < st.c6) {
+        violation(Invariant::Residency, when, std::string{subject},
+                  "C-state residency counter regressed",
+                  std::min(c3_ticks - st.c3, c6_ticks - st.c6), 0.0);
+    }
+    const double wall_ticks = (when - st.base_time).as_seconds() * tick_hz;
+    const double used = (c3_ticks - st.c3_base) + (c6_ticks - st.c6_base);
+    const double bound =
+        wall_ticks * (1.0 + cfg_.residency_slack_fraction) + cfg_.residency_slack_ticks;
+    if (used > bound) {
+        violation(Invariant::Residency, when, std::string{subject},
+                  "C3+C6 residency exceeds elapsed wall time", used, bound);
+    }
+    st.c3 = c3_ticks;
+    st.c6 = c6_ticks;
+}
+
+void InvariantChecker::observe_msr_read(Time when, unsigned cpu, msr::MsrAddress addr) {
+    linter_.check_read(when, cpu, addr);
+}
+
+void InvariantChecker::observe_msr_write(Time when, unsigned cpu, msr::MsrAddress addr,
+                                         std::uint64_t value) {
+    linter_.check_write(when, cpu, addr, value);
+}
+
+// --- results ----------------------------------------------------------------
+
+void InvariantChecker::finish() {
+    if (node_ != nullptr) sample();
+    if (sink_.empty() || cfg_.mode == AuditMode::Off) return;
+    if (cfg_.mode == AuditMode::Strict) throw AuditError{sink_.summary()};
+    std::fputs(sink_.summary().c_str(), stderr);
+}
+
+}  // namespace hsw::analysis

@@ -1,0 +1,143 @@
+// Runtime invariant audit for the simulated machine.
+//
+// The checker attaches to a live core::Node and mechanically enforces the
+// physical and architectural invariants the paper's results rest on:
+//  - the event/trace stream is time-monotone,
+//  - RAPL energy counters only grow (modulo the 32-bit wrap), at a
+//    plausible rate,
+//  - package power stays inside [idle floor, TDP + capping margin],
+//  - granted core clocks stay inside the SKU's p-state range and, when the
+//    AVX license is held, inside the AVX turbo bins (Section II-F),
+//  - the uncore clock respects the UFS bounds (Section II-D / Table III),
+//  - p-state grants follow the ~500 us opportunity grid semantics of
+//    Figures 3/4 (opportunity spacing, apply-after-switch-time),
+//  - C-state residency counters are monotone and sum to <= wall time,
+//  - every MSR access passes the msr_lint catalog.
+//
+// Attachment uses three hooks: a sim::Trace observer (grid + monotonicity),
+// an msr::MsrFile observer (access linting), and a periodic sampling event
+// on the node's simulator (state bounds). All observe_* primitives are
+// public so tests can feed synthetic out-of-spec data without a node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "analysis/audit_config.hpp"
+#include "analysis/diagnostic.hpp"
+#include "analysis/msr_lint.hpp"
+#include "arch/sku.hpp"
+#include "cstates/cstate.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace hsw::core {
+class Node;
+}
+
+namespace hsw::analysis {
+
+class InvariantChecker {
+public:
+    explicit InvariantChecker(AuditConfig cfg = AuditConfig::warn());
+    ~InvariantChecker();
+    InvariantChecker(const InvariantChecker&) = delete;
+    InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+    /// Hook into a node: trace observer, MSR observer, periodic sampling.
+    /// No-op when the config mode is Off. The node must outlive the checker
+    /// or detach() must be called first.
+    void attach(core::Node& node);
+    void detach();
+    [[nodiscard]] bool attached() const { return node_ != nullptr; }
+
+    /// One full sampling pass over the attached node (runs periodically
+    /// while attached; public so tests can force a pass).
+    void sample();
+
+    // --- observation primitives (public for synthetic-data tests) ---
+
+    /// Trace stream: time monotonicity, and on grid-scheduled parts the
+    /// opportunity spacing / grant timing invariants.
+    void observe_trace(const sim::TraceRecord& rec, bool deferred_grid = true);
+
+    /// One reading of a wrapping 32-bit energy counter. `max_plausible`
+    /// bounds the decoded power between counter changes; a counter that
+    /// moves backwards decodes to an absurd wrapped delta and trips it.
+    void observe_energy_counter(std::string_view subject, util::Time when,
+                                std::uint32_t raw, double joules_per_count,
+                                util::Power max_plausible);
+
+    /// One core operating point: granted clock within the SKU's p-state
+    /// range; licensed cores within the AVX turbo bins.
+    void observe_core(const arch::Sku& sku, util::Time when, unsigned cpu,
+                      cstates::CState state, util::Frequency granted, bool avx_licensed);
+
+    /// Uncore clock within [UFS min (or MSR clamp), UFS max].
+    void observe_uncore(const arch::Sku& sku, util::Time when, unsigned socket,
+                        util::Frequency frequency, bool clock_halted,
+                        unsigned msr_max_ratio);
+
+    /// Package power within [idle floor, TDP + capping margin].
+    void observe_package_power(const arch::Sku& sku, util::Time when, unsigned socket,
+                               util::Power power, bool any_core_active);
+
+    /// C-state residency counters (ticks at `tick_hz`): monotone, and the
+    /// accumulation since the first observation bounded by wall time.
+    void observe_residency(std::string_view subject, util::Time when, double c3_ticks,
+                           double c6_ticks, double tick_hz);
+
+    /// MSR accesses (delegates to the msr_lint catalog).
+    void observe_msr_read(util::Time when, unsigned cpu, msr::MsrAddress addr);
+    void observe_msr_write(util::Time when, unsigned cpu, msr::MsrAddress addr,
+                           std::uint64_t value);
+
+    // --- results ---
+
+    [[nodiscard]] const DiagnosticSink& sink() const { return sink_; }
+    [[nodiscard]] bool clean() const { return sink_.empty(); }
+    [[nodiscard]] std::string report() const { return sink_.summary(); }
+    [[nodiscard]] const AuditConfig& config() const { return cfg_; }
+
+    /// Final audit pass + mode action: Strict throws AuditError when any
+    /// diagnostic was recorded; Warn prints the summary to stderr. Survey
+    /// drivers call this after their sweeps.
+    void finish();
+
+private:
+    struct CounterState {
+        bool seen = false;
+        std::uint32_t raw = 0;
+        util::Time when;
+    };
+    struct ResidencyState {
+        bool seen = false;
+        double c3 = 0.0;
+        double c6 = 0.0;
+        double c3_base = 0.0;
+        double c6_base = 0.0;
+        util::Time base_time;
+    };
+
+    [[nodiscard]] util::Power package_power_bound(const arch::Sku& sku) const;
+    void violation(Invariant inv, util::Time when, std::string subject,
+                   std::string message, double value, double bound);
+
+    AuditConfig cfg_;
+    DiagnosticSink sink_;
+    MsrLinter linter_;
+
+    core::Node* node_ = nullptr;
+    bool deferred_grid_ = true;
+    std::uint64_t periodic_id_ = 0;
+
+    bool trace_time_seen_ = false;
+    util::Time last_trace_time_;
+    std::map<std::string, util::Time, std::less<>> last_opportunity_;
+    std::map<std::string, CounterState, std::less<>> counters_;
+    std::map<std::string, ResidencyState, std::less<>> residencies_;
+};
+
+}  // namespace hsw::analysis

@@ -1,0 +1,120 @@
+#include "analysis/msr_lint.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace hsw::analysis {
+
+namespace {
+
+using msr::MsrAddress;
+
+// One entry per register the simulated machine implements. Read-only-ness
+// follows the device models: status registers and hardware-maintained
+// counters reject writes; control registers accept them with the field
+// widths used by the model (ratio fields are 100 MHz multiples in bits 15:8,
+// EPB is a 4-bit hint, UNCORE_RATIO_LIMIT packs two 7-bit ratios).
+constexpr std::array<MsrSpec, 22> kCatalog = {{
+    {msr::IA32_MPERF, "IA32_MPERF", false, 64},
+    {msr::IA32_APERF, "IA32_APERF", false, 64},
+    {msr::IA32_PERF_STATUS, "IA32_PERF_STATUS", false, 64},
+    {msr::IA32_PERF_CTL, "IA32_PERF_CTL", true, 16},
+    {msr::IA32_ENERGY_PERF_BIAS, "IA32_ENERGY_PERF_BIAS", true, 4},
+    {msr::IA32_FIXED_CTR0, "IA32_FIXED_CTR0", false, 64},
+    {msr::IA32_FIXED_CTR1, "IA32_FIXED_CTR1", false, 64},
+    {msr::IA32_FIXED_CTR2, "IA32_FIXED_CTR2", false, 64},
+    {msr::MSR_STALL_CYCLES, "MSR_STALL_CYCLES", false, 64},
+    {msr::MSR_PKG_C3_RESIDENCY, "MSR_PKG_C3_RESIDENCY", false, 64},
+    {msr::MSR_PKG_C6_RESIDENCY, "MSR_PKG_C6_RESIDENCY", false, 64},
+    {msr::MSR_CORE_C3_RESIDENCY, "MSR_CORE_C3_RESIDENCY", false, 64},
+    {msr::MSR_CORE_C6_RESIDENCY, "MSR_CORE_C6_RESIDENCY", false, 64},
+    {msr::MSR_RAPL_POWER_UNIT, "MSR_RAPL_POWER_UNIT", false, 64},
+    {msr::MSR_PKG_POWER_LIMIT, "MSR_PKG_POWER_LIMIT", true, 64},
+    {msr::MSR_PKG_ENERGY_STATUS, "MSR_PKG_ENERGY_STATUS", false, 64},
+    {msr::MSR_DRAM_POWER_LIMIT, "MSR_DRAM_POWER_LIMIT", true, 64},
+    {msr::MSR_DRAM_ENERGY_STATUS, "MSR_DRAM_ENERGY_STATUS", false, 64},
+    {msr::MSR_UNCORE_RATIO_LIMIT, "MSR_UNCORE_RATIO_LIMIT", true, 15},
+    // PP0 is a valid architectural address (present on SNB-EP); whether the
+    // running part implements it is the MsrFile's #GP decision, not a lint.
+    {msr::MSR_PP0_ENERGY_STATUS, "MSR_PP0_ENERGY_STATUS", false, 64},
+    {msr::U_MSR_PMON_UCLK_FIXED_CTL, "U_MSR_PMON_UCLK_FIXED_CTL", true, 32},
+    {msr::U_MSR_PMON_UCLK_FIXED_CTR, "U_MSR_PMON_UCLK_FIXED_CTR", false, 64},
+}};
+
+std::string subject_for(MsrAddress addr) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "msr 0x%X", addr);
+    return buf;
+}
+
+}  // namespace
+
+std::span<const MsrSpec> msr_catalog() { return kCatalog; }
+
+const MsrSpec* msr_lookup(MsrAddress addr) {
+    for (const auto& spec : kCatalog) {
+        if (spec.address == addr) return &spec;
+    }
+    return nullptr;
+}
+
+bool MsrLinter::check_read(util::Time when, unsigned cpu, MsrAddress addr) {
+    if (msr_lookup(addr) != nullptr) return true;
+    sink_->report(Diagnostic{
+        .invariant = Invariant::MsrAccess,
+        .severity = Severity::Violation,
+        .when = when,
+        .subject = subject_for(addr),
+        .message = "rdmsr of unknown register on cpu" + std::to_string(cpu),
+        .value = static_cast<double>(addr),
+        .bound = 0.0,
+    });
+    return false;
+}
+
+bool MsrLinter::check_write(util::Time when, unsigned cpu, MsrAddress addr,
+                            std::uint64_t value) {
+    const MsrSpec* spec = msr_lookup(addr);
+    if (spec == nullptr) {
+        sink_->report(Diagnostic{
+            .invariant = Invariant::MsrAccess,
+            .severity = Severity::Violation,
+            .when = when,
+            .subject = subject_for(addr),
+            .message = "wrmsr to unknown register on cpu" + std::to_string(cpu),
+            .value = static_cast<double>(addr),
+            .bound = 0.0,
+        });
+        return false;
+    }
+    if (!spec->writable) {
+        sink_->report(Diagnostic{
+            .invariant = Invariant::MsrAccess,
+            .severity = Severity::Violation,
+            .when = when,
+            .subject = subject_for(addr),
+            .message = std::string{"wrmsr to read-only "} + std::string{spec->name} +
+                       " on cpu" + std::to_string(cpu),
+            .value = static_cast<double>(value),
+            .bound = 0.0,
+        });
+        return false;
+    }
+    if (spec->write_width_bits < 64 && (value >> spec->write_width_bits) != 0) {
+        sink_->report(Diagnostic{
+            .invariant = Invariant::MsrAccess,
+            .severity = Severity::Violation,
+            .when = when,
+            .subject = subject_for(addr),
+            .message = std::string{"wrmsr value exceeds "} +
+                       std::to_string(spec->write_width_bits) + "-bit field of " +
+                       std::string{spec->name} + " on cpu" + std::to_string(cpu),
+            .value = static_cast<double>(value),
+            .bound = static_cast<double>((std::uint64_t{1} << spec->write_width_bits) - 1),
+        });
+        return false;
+    }
+    return true;
+}
+
+}  // namespace hsw::analysis

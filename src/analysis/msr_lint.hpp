@@ -1,0 +1,52 @@
+// MSR access linter.
+//
+// Validates every simulated rdmsr/wrmsr against a catalog derived from
+// msr/addresses.hpp: the address must be known, writes must target writable
+// registers (IA32_PERF_STATUS, the energy-status counters and the other
+// hardware-maintained counters reject writes, like the #GP a real wrmsr
+// raises), and written values must fit the register's architected field
+// width. Violations become Invariant::MsrAccess diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "analysis/diagnostic.hpp"
+#include "msr/addresses.hpp"
+#include "util/units.hpp"
+
+namespace hsw::analysis {
+
+struct MsrSpec {
+    msr::MsrAddress address = 0;
+    std::string_view name;
+    bool writable = false;
+    /// Highest meaningful bit count for writes; values with bits at or
+    /// above this width are flagged (64 = no width restriction).
+    unsigned write_width_bits = 64;
+};
+
+/// The full catalog (every address in msr/addresses.hpp), address-sorted.
+[[nodiscard]] std::span<const MsrSpec> msr_catalog();
+
+/// Catalog entry for an address, or nullptr if unknown.
+[[nodiscard]] const MsrSpec* msr_lookup(msr::MsrAddress addr);
+
+/// Stateless per-access linter reporting into a shared sink.
+class MsrLinter {
+public:
+    explicit MsrLinter(DiagnosticSink& sink) : sink_{&sink} {}
+
+    /// Lint one read; returns true when the access is clean.
+    bool check_read(util::Time when, unsigned cpu, msr::MsrAddress addr);
+
+    /// Lint one write; returns true when the access is clean.
+    bool check_write(util::Time when, unsigned cpu, msr::MsrAddress addr,
+                     std::uint64_t value);
+
+private:
+    DiagnosticSink* sink_;
+};
+
+}  // namespace hsw::analysis

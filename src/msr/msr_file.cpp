@@ -49,6 +49,9 @@ const MsrFile::RangeHandlers* MsrFile::find(unsigned cpu, MsrAddress addr) const
 }
 
 std::uint64_t MsrFile::read(unsigned cpu, MsrAddress addr) const {
+    if (observer_) {
+        observer_(MsrAccessEvent{MsrAccessEvent::Kind::Read, cpu, addr, 0});
+    }
     const RangeHandlers* h = find(cpu, addr);
     if (h == nullptr || !h->read) {
         throw MsrError{"rdmsr " + hex(addr) + ": unimplemented MSR (#GP)"};
@@ -57,6 +60,9 @@ std::uint64_t MsrFile::read(unsigned cpu, MsrAddress addr) const {
 }
 
 void MsrFile::write(unsigned cpu, MsrAddress addr, std::uint64_t value) {
+    if (observer_) {
+        observer_(MsrAccessEvent{MsrAccessEvent::Kind::Write, cpu, addr, value});
+    }
     const RangeHandlers* h = find(cpu, addr);
     if (h == nullptr) {
         throw MsrError{"wrmsr " + hex(addr) + ": unimplemented MSR (#GP)"};

@@ -24,10 +24,22 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+/// One rdmsr/wrmsr as seen by an access observer. `value` is the written
+/// value for writes and zero for reads (the observer fires before the read
+/// handler runs, mirroring a bus-level probe).
+struct MsrAccessEvent {
+    enum class Kind { Read, Write };
+    Kind kind = Kind::Read;
+    unsigned cpu = 0;
+    MsrAddress address = 0;
+    std::uint64_t value = 0;
+};
+
 class MsrFile {
 public:
     using ReadFn = std::function<std::uint64_t(unsigned cpu)>;
     using WriteFn = std::function<void(unsigned cpu, std::uint64_t value)>;
+    using Observer = std::function<void(const MsrAccessEvent&)>;
 
     /// Register handlers valid for all CPUs. Pass nullptr WriteFn for
     /// read-only registers. Later registrations for an overlapping range
@@ -47,6 +59,11 @@ public:
 
     [[nodiscard]] bool exists(MsrAddress addr) const { return handlers_.contains(addr); }
 
+    /// Install a tap that sees every access before it is dispatched (the
+    /// analysis layer's MSR linter). Observers must not access the MsrFile
+    /// reentrantly. Pass nullptr to remove.
+    void set_observer(Observer observer) { observer_ = std::move(observer); }
+
 private:
     struct RangeHandlers {
         unsigned first;
@@ -59,6 +76,7 @@ private:
     std::unordered_map<MsrAddress, std::vector<RangeHandlers>> handlers_;
     // Backing store for register_storage cells: (addr, cpu) -> value.
     std::unordered_map<std::uint64_t, std::uint64_t> storage_;
+    Observer observer_;
 };
 
 /// EPB policy semantics (Section II-C): only 0, 6 and 15 are architecturally

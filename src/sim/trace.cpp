@@ -6,9 +6,11 @@ namespace hsw::sim {
 
 void Trace::record(util::Time when, std::string_view category, std::string_view subject,
                    std::string_view detail, double value) {
-    if (!enabled_) return;
-    records_.push_back(TraceRecord{when, std::string{category}, std::string{subject},
-                                   std::string{detail}, value});
+    if (!enabled_ && !observer_) return;
+    TraceRecord rec{when, std::string{category}, std::string{subject},
+                    std::string{detail}, value};
+    if (observer_) observer_(rec);
+    if (enabled_) records_.push_back(std::move(rec));
 }
 
 std::vector<TraceRecord> Trace::filter(std::string_view category) const {

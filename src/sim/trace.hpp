@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,8 +25,15 @@ struct TraceRecord {
 
 class Trace {
 public:
+    using Observer = std::function<void(const TraceRecord&)>;
+
     void enable(bool on = true) { enabled_ = on; }
     [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Install a tap that sees every record as it is emitted, even while
+    /// recording is disabled (the analysis layer audits the event stream
+    /// without paying for record storage). Pass nullptr to remove.
+    void set_observer(Observer observer) { observer_ = std::move(observer); }
 
     void record(util::Time when, std::string_view category, std::string_view subject,
                 std::string_view detail, double value = 0.0);
@@ -46,6 +54,7 @@ public:
 
 private:
     bool enabled_ = false;
+    Observer observer_;
     std::vector<TraceRecord> records_;
 };
 

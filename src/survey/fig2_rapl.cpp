@@ -1,5 +1,6 @@
 #include "survey/fig2_rapl.hpp"
 
+#include "analysis/invariant_checker.hpp"
 #include "arch/sku.hpp"
 #include "util/table.hpp"
 
@@ -31,14 +32,17 @@ std::string RaplAccuracyResult::render() const {
 }
 
 RaplAccuracyResult fig2_run(arch::Generation generation, util::Time window,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, const analysis::AuditConfig& audit) {
     core::NodeConfig cfg;
     cfg.seed = seed;
     cfg.sku = generation == arch::Generation::SandyBridgeEP ? &arch::xeon_e5_2670()
                                                             : &arch::xeon_e5_2680_v3();
     core::Node node{cfg};
+    analysis::InvariantChecker checker{audit};
+    checker.attach(node);
     tools::RaplValidator validator{node};
     RaplAccuracyResult result{generation, validator.run_suite(window)};
+    checker.finish();
     return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "analysis/audit_config.hpp"
 #include "arch/generation.hpp"
 #include "tools/rapl_validate.hpp"
 #include "util/units.hpp"
@@ -18,8 +19,12 @@ struct RaplAccuracyResult {
 };
 
 /// Run the Fig. 2 suite on a freshly built node of the given generation.
+/// `audit` attaches an analysis::InvariantChecker to the node for the whole
+/// sweep (off by default; strict mode throws analysis::AuditError on any
+/// model-invariant violation).
 [[nodiscard]] RaplAccuracyResult fig2_run(arch::Generation generation,
                                           util::Time window = util::Time::sec(4),
-                                          std::uint64_t seed = 0xC0FFEE);
+                                          std::uint64_t seed = 0xC0FFEE,
+                                          const analysis::AuditConfig& audit = {});
 
 }  // namespace hsw::survey

@@ -1,5 +1,6 @@
 #include "survey/fig3_pstate.hpp"
 
+#include "analysis/invariant_checker.hpp"
 #include "core/node.hpp"
 
 namespace hsw::survey {
@@ -30,6 +31,8 @@ PstateLatencyResult fig3(const PstateLatencyConfig& cfg) {
     core::NodeConfig node_cfg;
     node_cfg.seed = cfg.seed;
     core::Node node{node_cfg};
+    analysis::InvariantChecker checker{cfg.audit};
+    checker.attach(node);
     tools::Ftalat ftalat{node};
 
     auto run = [&](tools::DelayMode mode, util::Time fixed, std::string label) {
@@ -52,6 +55,7 @@ PstateLatencyResult fig3(const PstateLatencyConfig& cfg) {
         run(tools::DelayMode::Fixed, util::Time::us(400), "400 us after last change"));
     result.series.push_back(
         run(tools::DelayMode::Fixed, util::Time::us(500), "500 us after last change"));
+    checker.finish();
     return result;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/audit_config.hpp"
 #include "tools/ftalat.hpp"
 #include "util/histogram.hpp"
 
@@ -25,6 +26,8 @@ struct PstateLatencyResult {
 struct PstateLatencyConfig {
     unsigned samples = 1000;
     std::uint64_t seed = 0xC0FFEE;
+    /// Invariant audit applied to the node for the whole run (off by default).
+    analysis::AuditConfig audit;
 };
 
 [[nodiscard]] PstateLatencyResult fig3(const PstateLatencyConfig& cfg = {});

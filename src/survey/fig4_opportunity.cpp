@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/invariant_checker.hpp"
 #include "core/node.hpp"
 #include "tools/ftalat.hpp"
 #include "workloads/mixes.hpp"
@@ -23,7 +24,7 @@ std::string OpportunityResult::render() const {
     return out;
 }
 
-OpportunityResult fig4(std::uint64_t seed) {
+OpportunityResult fig4(std::uint64_t seed, const analysis::AuditConfig& audit) {
     OpportunityResult result;
 
     // --- timeline of one request cycle, with tracing on ---
@@ -32,6 +33,8 @@ OpportunityResult fig4(std::uint64_t seed) {
         cfg.seed = seed;
         cfg.trace_enabled = true;
         core::Node node{cfg};
+        analysis::InvariantChecker checker{audit};
+        checker.attach(node);
         node.set_workload(0, &workloads::while_one(), 1);
         node.set_pstate(0, util::Frequency::from_ratio(12));
         node.run_for(util::Time::ms(3));
@@ -61,6 +64,7 @@ OpportunityResult fig4(std::uint64_t seed) {
             }
             result.observed_period_us = sum / static_cast<double>(opps.size() - 1);
         }
+        checker.finish();
     }
 
     // --- simultaneity: same socket vs different sockets ---
@@ -68,11 +72,14 @@ OpportunityResult fig4(std::uint64_t seed) {
         core::NodeConfig cfg;
         cfg.seed = seed + 1;
         core::Node node{cfg};
+        analysis::InvariantChecker checker{audit};
+        checker.attach(node);
         tools::Ftalat ftalat{node};
         const auto same = ftalat.measure_pair(node.cpu_id(0, 0), node.cpu_id(0, 3), 12, 13);
         result.same_socket_delta_us = std::abs((same.change_a - same.change_b).as_us());
         const auto cross = ftalat.measure_pair(node.cpu_id(0, 0), node.cpu_id(1, 0), 12, 13);
         result.cross_socket_delta_us = std::abs((cross.change_a - cross.change_b).as_us());
+        checker.finish();
     }
 
     return result;

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "analysis/audit_config.hpp"
 #include "util/units.hpp"
 
 namespace hsw::survey {
@@ -19,6 +20,7 @@ struct OpportunityResult {
     [[nodiscard]] std::string render() const;
 };
 
-[[nodiscard]] OpportunityResult fig4(std::uint64_t seed = 0xC0FFEE);
+[[nodiscard]] OpportunityResult fig4(std::uint64_t seed = 0xC0FFEE,
+                                     const analysis::AuditConfig& audit = {});
 
 }  // namespace hsw::survey

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/invariant_checker.hpp"
 #include "arch/sku.hpp"
 #include "core/node.hpp"
 #include "tools/cstate_probe.hpp"
@@ -50,6 +51,8 @@ CstateLatencyResult fig56(cstates::CState state, const CstateSweepConfig& cfg) {
         node_cfg.sku = gen == arch::Generation::SandyBridgeEP ? &arch::xeon_e5_2670()
                                                               : &arch::xeon_e5_2680_v3();
         core::Node node{node_cfg};
+        analysis::InvariantChecker checker{cfg.audit};
+        checker.attach(node);
         tools::CstateProbe probe{node};
 
         for (cstates::WakeScenario scenario : scenarios) {
@@ -72,6 +75,7 @@ CstateLatencyResult fig56(cstates::CState state, const CstateSweepConfig& cfg) {
             }
             result.series.push_back(std::move(series));
         }
+        checker.finish();
     }
     return result;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/audit_config.hpp"
 #include "arch/generation.hpp"
 #include "cstates/cstate.hpp"
 #include "cstates/wake_latency.hpp"
@@ -37,6 +38,9 @@ struct CstateLatencyResult {
 struct CstateSweepConfig {
     unsigned samples_per_point = 40;
     std::uint64_t seed = 0xC0FFEE;
+    /// Invariant audit applied to each node built for the sweep (off by
+    /// default).
+    analysis::AuditConfig audit;
 };
 
 /// Fig. 5 (state = C3) or Fig. 6 (state = C6).

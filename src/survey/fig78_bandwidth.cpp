@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/invariant_checker.hpp"
 #include "arch/sku.hpp"
 #include "core/node.hpp"
 #include "util/table.hpp"
@@ -43,7 +44,7 @@ const RelativeBandwidthSeries& Fig7Result::find(arch::Generation g) const {
     throw std::out_of_range{"no such generation series"};
 }
 
-Fig7Result fig7(std::uint64_t seed) {
+Fig7Result fig7(std::uint64_t seed, const analysis::AuditConfig& audit) {
     Fig7Result result;
     const arch::Generation gens[] = {arch::Generation::WestmereEP,
                                      arch::Generation::SandyBridgeEP,
@@ -53,6 +54,8 @@ Fig7Result fig7(std::uint64_t seed) {
         cfg.seed = seed;
         cfg.sku = sku_for(g);
         core::Node node{cfg};
+        analysis::InvariantChecker checker{audit};
+        checker.attach(node);
         tools::Membench bench{node, 1};
 
         const unsigned cores = node.cores_per_socket();
@@ -72,6 +75,7 @@ Fig7Result fig7(std::uint64_t seed) {
                 base.dram_gbs > 0 ? p.dram_gbs / base.dram_gbs : 0.0});
         }
         result.series.push_back(std::move(series));
+        checker.finish();
     }
     return result;
 }
@@ -100,10 +104,12 @@ std::string Fig8Result::render() const {
     return out;
 }
 
-Fig8Result fig8(std::uint64_t seed) {
+Fig8Result fig8(std::uint64_t seed, const analysis::AuditConfig& audit) {
     core::NodeConfig cfg;
     cfg.seed = seed;
     core::Node node{cfg};
+    analysis::InvariantChecker checker{audit};
+    checker.attach(node);
     tools::Membench bench{node, 1};
 
     Fig8Result result;
@@ -134,6 +140,7 @@ Fig8Result fig8(std::uint64_t seed) {
         result.l3_gbs.push_back(std::move(l3_row));
         result.dram_gbs.push_back(std::move(dram_row));
     }
+    checker.finish();
     return result;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/audit_config.hpp"
 #include "arch/generation.hpp"
 #include "tools/membench.hpp"
 #include "util/units.hpp"
@@ -33,7 +34,8 @@ struct Fig7Result {
     [[nodiscard]] const RelativeBandwidthSeries& find(arch::Generation g) const;
 };
 
-[[nodiscard]] Fig7Result fig7(std::uint64_t seed = 0xC0FFEE);
+[[nodiscard]] Fig7Result fig7(std::uint64_t seed = 0xC0FFEE,
+                              const analysis::AuditConfig& audit = {});
 
 // --- Figure 8 ---
 
@@ -52,6 +54,7 @@ struct Fig8Result {
     }
 };
 
-[[nodiscard]] Fig8Result fig8(std::uint64_t seed = 0xC0FFEE);
+[[nodiscard]] Fig8Result fig8(std::uint64_t seed = 0xC0FFEE,
+                              const analysis::AuditConfig& audit = {});
 
 }  // namespace hsw::survey

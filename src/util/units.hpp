@@ -22,13 +22,24 @@ public:
     [[nodiscard]] static constexpr Time us(std::int64_t v) { return Time{v * 1000}; }
     [[nodiscard]] static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
     [[nodiscard]] static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
-    /// Construct from a floating-point second count (rounded to the nearest ns).
+    /// Construct from a floating-point second count (rounded to the nearest
+    /// ns). Values beyond the int64 nanosecond range saturate to max()/min()
+    /// instead of hitting the undefined float-to-int conversion; NaN maps
+    /// to zero().
     [[nodiscard]] static constexpr Time from_seconds(double s) {
-        return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+        constexpr double kSaturationNs = 9223372036854775808.0;  // 2^63
+        const double ns = s * 1e9;
+        if (ns != ns) return zero();  // NaN
+        if (ns >= kSaturationNs) return max();
+        if (ns <= -kSaturationNs) return min();
+        return Time{static_cast<std::int64_t>(ns + (ns >= 0 ? 0.5 : -0.5))};
     }
     [[nodiscard]] static constexpr Time from_us(double us) { return from_seconds(us * 1e-6); }
     [[nodiscard]] static constexpr Time max() {
         return Time{std::numeric_limits<std::int64_t>::max()};
+    }
+    [[nodiscard]] static constexpr Time min() {
+        return Time{std::numeric_limits<std::int64_t>::min()};
     }
     [[nodiscard]] static constexpr Time zero() { return Time{0}; }
 

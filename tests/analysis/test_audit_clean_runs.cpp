@@ -1,0 +1,64 @@
+// The reproduction sweeps double as invariant tests: each figure driver runs
+// under a strict audit and must finish without a single diagnostic. Sweep
+// sizes are the fast CI variants used by the repro tests.
+#include <gtest/gtest.h>
+
+#include "analysis/audit_config.hpp"
+#include "survey/fig2_rapl.hpp"
+#include "survey/fig3_pstate.hpp"
+#include "survey/fig4_opportunity.hpp"
+#include "survey/fig56_cstates.hpp"
+#include "survey/fig78_bandwidth.hpp"
+
+namespace hsw::survey {
+namespace {
+
+using util::Time;
+
+analysis::AuditConfig strict() { return analysis::AuditConfig::strict(); }
+
+TEST(AuditCleanRuns, Fig2RaplSweepHaswell) {
+    EXPECT_NO_THROW(
+        (void)fig2_run(arch::Generation::HaswellEP, Time::sec(1), 0xC0FFEE, strict()));
+}
+
+TEST(AuditCleanRuns, Fig2RaplSweepSandyBridge) {
+    EXPECT_NO_THROW(
+        (void)fig2_run(arch::Generation::SandyBridgeEP, Time::sec(1), 0xC0FFEE, strict()));
+}
+
+TEST(AuditCleanRuns, Fig3PstateLatencies) {
+    PstateLatencyConfig cfg;
+    cfg.samples = 120;
+    cfg.audit = strict();
+    EXPECT_NO_THROW((void)fig3(cfg));
+}
+
+TEST(AuditCleanRuns, Fig4OpportunityMechanism) {
+    EXPECT_NO_THROW((void)fig4(0xC0FFEE, strict()));
+}
+
+TEST(AuditCleanRuns, Fig5CstateC3Sweep) {
+    CstateSweepConfig cfg;
+    cfg.samples_per_point = 8;
+    cfg.audit = strict();
+    EXPECT_NO_THROW((void)fig56(cstates::CState::C3, cfg));
+}
+
+TEST(AuditCleanRuns, Fig6CstateC6Sweep) {
+    CstateSweepConfig cfg;
+    cfg.samples_per_point = 8;
+    cfg.audit = strict();
+    EXPECT_NO_THROW((void)fig56(cstates::CState::C6, cfg));
+}
+
+TEST(AuditCleanRuns, Fig7RelativeBandwidth) {
+    EXPECT_NO_THROW((void)fig7(0xC0FFEE, strict()));
+}
+
+TEST(AuditCleanRuns, Fig8BandwidthGrid) {
+    EXPECT_NO_THROW((void)fig8(0xC0FFEE, strict()));
+}
+
+}  // namespace
+}  // namespace hsw::survey

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "analysis/invariant_checker.hpp"
+#include "arch/calibration.hpp"
+#include "arch/sku.hpp"
+#include "core/node.hpp"
+
+namespace hsw::analysis {
+namespace {
+
+namespace cal = hsw::arch::cal;
+using util::Frequency;
+using util::Power;
+using util::Time;
+
+sim::TraceRecord rec(Time when, std::string category, std::string subject,
+                     std::string detail) {
+    return sim::TraceRecord{when, std::move(category), std::move(subject),
+                            std::move(detail), 0.0};
+}
+
+InvariantChecker make_checker() { return InvariantChecker{AuditConfig::warn()}; }
+
+// --- one violation scenario per invariant -----------------------------------
+
+TEST(InvariantChecker, FlagsBackwardsTraceTime) {
+    auto chk = make_checker();
+    chk.observe_trace(rec(Time::us(10), "pstate", "cpu0", "request"));
+    chk.observe_trace(rec(Time::us(5), "pstate", "cpu0", "request"));
+    EXPECT_EQ(chk.sink().count(Invariant::TimeMonotonic), 1u);
+    EXPECT_EQ(chk.sink().total(), 1u);
+}
+
+TEST(InvariantChecker, FlagsEnergyCounterRegression) {
+    auto chk = make_checker();
+    const double unit = 6.103515625e-05;  // 2^-14 J, the HSW-EP pkg unit
+    const Power bound = Power::watts(260.0);
+    chk.observe_energy_counter("socket0.pkg", Time::ms(1), 1'000'000, unit, bound);
+    // A decrease decodes (via the wrap) to ~2^32 counts in 1 ms: impossible.
+    chk.observe_energy_counter("socket0.pkg", Time::ms(2), 999'000, unit, bound);
+    EXPECT_EQ(chk.sink().count(Invariant::EnergyCounter), 1u);
+}
+
+TEST(InvariantChecker, AcceptsLegitimateCounterWrap) {
+    auto chk = make_checker();
+    const double unit = 6.103515625e-05;
+    const Power bound = Power::watts(260.0);
+    // 100 W for 100 ms = 10 J = ~163840 counts across the 2^32 boundary.
+    chk.observe_energy_counter("socket0.pkg", Time::ms(100), 0xFFFF0000u, unit, bound);
+    chk.observe_energy_counter("socket0.pkg", Time::ms(200), 0x00018000u, unit, bound);
+    EXPECT_TRUE(chk.clean());
+}
+
+TEST(InvariantChecker, FlagsPackagePowerOutsideEnvelope) {
+    auto chk = make_checker();
+    const arch::Sku& sku = arch::xeon_e5_2680_v3();  // TDP 120 W
+    // Above TDP * 1.15 + 10 W.
+    chk.observe_package_power(sku, Time::ms(1), 0, Power::watts(180.0), true);
+    // Below the active idle floor while a core is in C0.
+    chk.observe_package_power(sku, Time::ms(2), 0, Power::watts(0.1), true);
+    // Negative even while fully idle.
+    chk.observe_package_power(sku, Time::ms(3), 1, Power::watts(-1.0), false);
+    EXPECT_EQ(chk.sink().count(Invariant::PackagePower), 3u);
+}
+
+TEST(InvariantChecker, FlagsCoreClockOutsidePstateRange) {
+    auto chk = make_checker();
+    const arch::Sku& sku = arch::xeon_e5_2680_v3();  // 1.2 .. 3.3 GHz
+    chk.observe_core(sku, Time::ms(1), 0, cstates::CState::C0, Frequency::ghz(3.5),
+                     false);
+    chk.observe_core(sku, Time::ms(2), 1, cstates::CState::C0, Frequency::ghz(0.8),
+                     false);
+    EXPECT_EQ(chk.sink().count(Invariant::CoreFrequency), 2u);
+}
+
+TEST(InvariantChecker, FlagsLicensedCoreAboveAvxBin) {
+    auto chk = make_checker();
+    const arch::Sku& sku = arch::xeon_e5_2680_v3();  // AVX 1-core turbo 3.1 GHz
+    // 3.3 GHz is a legal non-AVX clock but above the AVX license bin.
+    chk.observe_core(sku, Time::ms(1), 0, cstates::CState::C0, sku.max_turbo(1), true);
+    EXPECT_EQ(chk.sink().count(Invariant::AvxLicense), 1u);
+    EXPECT_EQ(chk.sink().count(Invariant::CoreFrequency), 0u);
+}
+
+TEST(InvariantChecker, FlagsUncoreClockOutsideUfsBounds) {
+    auto chk = make_checker();
+    const arch::Sku& sku = arch::xeon_e5_2680_v3();  // uncore 1.2 .. 3.0 GHz
+    chk.observe_uncore(sku, Time::ms(1), 0, Frequency::ghz(3.4), false, 30);
+    chk.observe_uncore(sku, Time::ms(2), 0, Frequency::ghz(0.9), false, 30);
+    EXPECT_EQ(chk.sink().count(Invariant::UncoreFrequency), 2u);
+}
+
+TEST(InvariantChecker, UncoreRespectsMsrClampAndHaltedClock) {
+    auto chk = make_checker();
+    const arch::Sku& sku = arch::xeon_e5_2680_v3();
+    // An UNCORE_RATIO_LIMIT cap of 10 (1.0 GHz) legitimately pulls the
+    // uncore below the UFS hardware floor.
+    chk.observe_uncore(sku, Time::ms(1), 0, Frequency::ghz(1.0), false, 10);
+    // A halted clock (PC3/PC6) reads 0 Hz: not a scaling violation.
+    chk.observe_uncore(sku, Time::ms(2), 0, Frequency::zero(), true, 30);
+    EXPECT_TRUE(chk.clean());
+}
+
+TEST(InvariantChecker, FlagsOpportunityGridViolations) {
+    auto chk = make_checker();
+    // Spacing way off the ~500 us grid.
+    chk.observe_trace(rec(Time::us(500), "pcu", "socket0", "opportunity"));
+    chk.observe_trace(rec(Time::us(1200), "pcu", "socket0", "opportunity"));
+    EXPECT_EQ(chk.sink().count(Invariant::PstateGrid), 1u);
+    // A grant with no preceding opportunity on that socket.
+    chk.observe_trace(rec(Time::us(1300), "pstate", "socket1", "change complete"));
+    EXPECT_EQ(chk.sink().count(Invariant::PstateGrid), 2u);
+    // A grant far outside the 19-24 us switching window after the opportunity.
+    chk.observe_trace(rec(Time::us(1400), "pstate", "socket0", "change complete"));
+    EXPECT_EQ(chk.sink().count(Invariant::PstateGrid), 3u);
+}
+
+TEST(InvariantChecker, AcceptsWellFormedGrantSequence) {
+    auto chk = make_checker();
+    const Time t0 = Time::us(500);
+    const Time t1 = t0 + cal::kPstateOpportunityPeriod;
+    chk.observe_trace(rec(t0, "pcu", "socket0", "opportunity"));
+    chk.observe_trace(rec(t1, "pcu", "socket0", "opportunity"));
+    chk.observe_trace(rec(t1 + Time::us(21), "pstate", "socket0", "change complete"));
+    EXPECT_TRUE(chk.clean());
+}
+
+TEST(InvariantChecker, LegacyPartsAreExemptFromGridSemantics) {
+    auto chk = make_checker();
+    // SNB-EP applies requests immediately: a grant with no opportunity is
+    // the designed behavior, not a violation.
+    chk.observe_trace(rec(Time::us(100), "pstate", "socket0", "change complete"),
+                      /*deferred_grid=*/false);
+    EXPECT_TRUE(chk.clean());
+}
+
+TEST(InvariantChecker, FlagsResidencyRegressionAndOverflow) {
+    auto chk = make_checker();
+    const double tsc = 2.5e9;
+    chk.observe_residency("cpu0", Time::ms(1), 1000.0, 2000.0, tsc);
+    // Counter moving backwards.
+    chk.observe_residency("cpu0", Time::ms(2), 500.0, 2000.0, tsc);
+    EXPECT_EQ(chk.sink().count(Invariant::Residency), 1u);
+    // C3+C6 accumulation exceeding elapsed wall time (1 ms = 2.5e6 ticks,
+    // bound ~3.5e6 with slack; claim 8e6).
+    chk.observe_residency("cpu1", Time::ms(1), 0.0, 0.0, tsc);
+    chk.observe_residency("cpu1", Time::ms(2), 4.0e6, 4.0e6, tsc);
+    EXPECT_EQ(chk.sink().count(Invariant::Residency), 2u);
+}
+
+TEST(InvariantChecker, FlagsBadMsrWriteThroughTheLinter) {
+    auto chk = make_checker();
+    chk.observe_msr_write(Time::ms(1), 0, msr::IA32_PERF_STATUS, 0x1900);
+    EXPECT_EQ(chk.sink().count(Invariant::MsrAccess), 1u);
+    chk.observe_msr_read(Time::ms(2), 0, msr::MSR_PKG_ENERGY_STATUS);
+    EXPECT_EQ(chk.sink().total(), 1u);
+}
+
+// --- mode semantics ----------------------------------------------------------
+
+TEST(InvariantChecker, StrictFinishThrowsOnViolations) {
+    InvariantChecker chk{AuditConfig::strict()};
+    chk.observe_msr_write(Time::ms(1), 0, msr::IA32_PERF_STATUS, 1);
+    EXPECT_FALSE(chk.clean());
+    EXPECT_THROW(chk.finish(), AuditError);
+}
+
+TEST(InvariantChecker, StrictFinishIsQuietWhenClean) {
+    InvariantChecker chk{AuditConfig::strict()};
+    EXPECT_NO_THROW(chk.finish());
+}
+
+TEST(InvariantChecker, OffModeNeverAttaches) {
+    core::NodeConfig cfg;
+    core::Node node{cfg};
+    InvariantChecker chk{AuditConfig::off()};
+    chk.attach(node);
+    EXPECT_FALSE(chk.attached());
+    EXPECT_NO_THROW(chk.finish());
+}
+
+// --- attached to a live node -------------------------------------------------
+
+TEST(InvariantChecker, AttachedNodeRunsCleanUnderStrictAudit) {
+    core::NodeConfig cfg;
+    cfg.seed = 0xABCDEF;
+    core::Node node{cfg};
+    InvariantChecker chk{AuditConfig::strict()};
+    chk.attach(node);
+    ASSERT_TRUE(chk.attached());
+    node.set_pstate(0, Frequency::from_ratio(14));
+    node.run_for(Time::ms(5));
+    EXPECT_NO_THROW(chk.finish());
+    EXPECT_TRUE(chk.clean()) << chk.report();
+    chk.detach();
+    EXPECT_FALSE(chk.attached());
+}
+
+TEST(InvariantChecker, AttachedCheckerLintsNodeMsrTraffic) {
+    core::NodeConfig cfg;
+    core::Node node{cfg};
+    InvariantChecker chk{AuditConfig::warn()};
+    chk.attach(node);
+    // An out-of-catalog read through the node's MSR file is observed even
+    // though the MsrFile itself throws #GP.
+    EXPECT_THROW((void)node.msrs().read(0, 0x1234), msr::MsrError);
+    EXPECT_EQ(chk.sink().count(Invariant::MsrAccess), 1u);
+    chk.detach();
+}
+
+}  // namespace
+}  // namespace hsw::analysis

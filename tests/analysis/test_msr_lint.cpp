@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "analysis/msr_lint.hpp"
+
+namespace hsw::analysis {
+namespace {
+
+using util::Time;
+
+TEST(MsrCatalog, CoversEveryKnownAddressSorted) {
+    const auto cat = msr_catalog();
+    ASSERT_FALSE(cat.empty());
+    for (std::size_t i = 1; i < cat.size(); ++i) {
+        EXPECT_LT(cat[i - 1].address, cat[i].address) << "catalog not address-sorted";
+    }
+    // Spot-check semantics: status registers are read-only, control
+    // registers writable with the architected field widths.
+    ASSERT_NE(msr_lookup(msr::IA32_PERF_STATUS), nullptr);
+    EXPECT_FALSE(msr_lookup(msr::IA32_PERF_STATUS)->writable);
+    ASSERT_NE(msr_lookup(msr::IA32_PERF_CTL), nullptr);
+    EXPECT_TRUE(msr_lookup(msr::IA32_PERF_CTL)->writable);
+    EXPECT_EQ(msr_lookup(msr::IA32_PERF_CTL)->write_width_bits, 16u);
+    EXPECT_EQ(msr_lookup(msr::IA32_ENERGY_PERF_BIAS)->write_width_bits, 4u);
+    EXPECT_FALSE(msr_lookup(msr::MSR_PKG_ENERGY_STATUS)->writable);
+    EXPECT_EQ(msr_lookup(0xDEAD), nullptr);
+}
+
+TEST(MsrLinter, CleanAccessesProduceNoDiagnostics) {
+    DiagnosticSink sink;
+    MsrLinter lint{sink};
+    EXPECT_TRUE(lint.check_read(Time::us(1), 0, msr::MSR_PKG_ENERGY_STATUS));
+    EXPECT_TRUE(lint.check_write(Time::us(2), 0, msr::IA32_PERF_CTL, 12u << 8));
+    EXPECT_TRUE(lint.check_write(Time::us(3), 3, msr::IA32_ENERGY_PERF_BIAS, 15));
+    EXPECT_TRUE(sink.empty());
+}
+
+TEST(MsrLinter, FlagsUnknownAddressOnReadAndWrite) {
+    DiagnosticSink sink;
+    MsrLinter lint{sink};
+    EXPECT_FALSE(lint.check_read(Time::us(1), 0, 0x1234));
+    EXPECT_FALSE(lint.check_write(Time::us(2), 1, 0x1234, 0));
+    EXPECT_EQ(sink.total(), 2u);
+    EXPECT_EQ(sink.count(Invariant::MsrAccess), 2u);
+    EXPECT_EQ(sink.diagnostics()[0].subject, "msr 0x1234");
+}
+
+TEST(MsrLinter, RejectsWriteToReadOnlyRegister) {
+    DiagnosticSink sink;
+    MsrLinter lint{sink};
+    EXPECT_FALSE(lint.check_write(Time::us(5), 2, msr::MSR_PKG_ENERGY_STATUS, 42));
+    ASSERT_EQ(sink.total(), 1u);
+    const Diagnostic& d = sink.diagnostics().front();
+    EXPECT_EQ(d.invariant, Invariant::MsrAccess);
+    EXPECT_NE(d.message.find("read-only"), std::string::npos);
+    EXPECT_NE(d.message.find("MSR_PKG_ENERGY_STATUS"), std::string::npos);
+}
+
+TEST(MsrLinter, RejectsValueWiderThanTheArchitectedField) {
+    DiagnosticSink sink;
+    MsrLinter lint{sink};
+    // EPB is a 4-bit hint: 15 is the widest legal value, 16 overflows.
+    EXPECT_TRUE(lint.check_write(Time::us(1), 0, msr::IA32_ENERGY_PERF_BIAS, 15));
+    EXPECT_FALSE(lint.check_write(Time::us(2), 0, msr::IA32_ENERGY_PERF_BIAS, 16));
+    // PERF_CTL carries the ratio in bits 15:8; bit 16 and up is junk.
+    EXPECT_FALSE(lint.check_write(Time::us(3), 0, msr::IA32_PERF_CTL, 1u << 16));
+    EXPECT_EQ(sink.total(), 2u);
+    EXPECT_DOUBLE_EQ(sink.diagnostics()[0].bound, 15.0);
+}
+
+TEST(DiagnosticSink, CountsEverythingButRetainsOnlyCapacity) {
+    DiagnosticSink sink{4};
+    MsrLinter lint{sink};
+    for (int i = 0; i < 10; ++i) {
+        lint.check_write(Time::us(i), 0, msr::MSR_PKG_ENERGY_STATUS, 1);
+    }
+    EXPECT_EQ(sink.total(), 10u);
+    EXPECT_EQ(sink.diagnostics().size(), 4u);
+    EXPECT_FALSE(sink.summary().empty());
+    sink.clear();
+    EXPECT_TRUE(sink.empty());
+}
+
+}  // namespace
+}  // namespace hsw::analysis

@@ -22,6 +22,19 @@ TEST(Time, FromSecondsRoundsToNearestNs) {
     EXPECT_EQ(Time::from_us(2.5).as_ns(), 2500);
 }
 
+TEST(Time, FromSecondsSaturatesInsteadOfOverflowing) {
+    // Seconds counts past the int64 nanosecond range used to hit the
+    // undefined float->int conversion; they must clamp instead.
+    EXPECT_EQ(Time::from_seconds(1e300), Time::max());
+    EXPECT_EQ(Time::from_seconds(-1e300), Time::min());
+    EXPECT_EQ(Time::from_seconds(std::numeric_limits<double>::infinity()), Time::max());
+    EXPECT_EQ(Time::from_seconds(-std::numeric_limits<double>::infinity()), Time::min());
+    EXPECT_EQ(Time::from_seconds(std::numeric_limits<double>::quiet_NaN()), Time::zero());
+    // The largest representable count still converts exactly.
+    EXPECT_EQ(Time::from_seconds(9.0e9).as_ns(), 9'000'000'000'000'000'000LL);
+    EXPECT_EQ(Time::from_us(1e300), Time::max());
+}
+
 TEST(Time, Arithmetic) {
     const Time a = Time::us(10);
     const Time b = Time::us(4);
