@@ -1,0 +1,87 @@
+// Measures full-survey wall time through the experiment engine at
+// jobs in {1, 2, 4, 8}, cold cache vs warm cache, and emits the numbers
+// as JSON (stdout + bench_engine_scaling.json). The interesting ratios:
+// cold(1)/cold(8) is the scheduler's parallel speedup (bounded by the
+// longest unsplittable job, Table IV); warm/cold is the cache win (warm
+// reruns only verify content hashes, target < 10 % of cold).
+//
+//   bench_engine_scaling [--quick] [--max-jobs N]
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/survey_experiments.hpp"
+
+using namespace hsw;
+
+namespace {
+
+double run_once(const std::vector<engine::Experiment>& experiments, unsigned jobs,
+                const std::filesystem::path& cache_dir) {
+    engine::RunOptions options;
+    options.jobs = jobs;
+    options.cache_dir = cache_dir;
+    const engine::RunReport report = engine::run_experiments(experiments, options);
+    if (!report.ok()) {
+        std::fprintf(stderr, "engine run failed:\n%s", report.summary().c_str());
+        std::exit(1);
+    }
+    return report.wall_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    unsigned max_jobs = 8;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--max-jobs") == 0 && i + 1 < argc) {
+            max_jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--max-jobs N]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const engine::SurveyTuning tuning =
+        quick ? engine::SurveyTuning::quick() : engine::SurveyTuning{};
+    const auto experiments = engine::survey_experiments(tuning);
+
+    std::string json = "{\n  \"quick\": ";
+    json += quick ? "true" : "false";
+    json += ",\n  \"runs\": [\n";
+    bool first = true;
+    for (unsigned jobs = 1; jobs <= max_jobs; jobs *= 2) {
+        const std::filesystem::path cache_dir =
+            ".hsw-scaling-cache-jobs" + std::to_string(jobs);
+        std::filesystem::remove_all(cache_dir);
+        const double cold_ms = run_once(experiments, jobs, cache_dir);
+        const double warm_ms = run_once(experiments, jobs, cache_dir);
+        std::filesystem::remove_all(cache_dir);
+
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "    %s{\"jobs\": %u, \"cold_ms\": %.1f, \"warm_ms\": %.1f, "
+                      "\"warm_over_cold\": %.3f}",
+                      first ? "" : ",", jobs, cold_ms, warm_ms,
+                      cold_ms > 0 ? warm_ms / cold_ms : 0.0);
+        json += line;
+        json += '\n';
+        first = false;
+        std::fprintf(stderr, "jobs=%u cold=%.0f ms warm=%.0f ms\n", jobs, cold_ms,
+                     warm_ms);
+    }
+    json += "  ]\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    std::FILE* f = std::fopen("bench_engine_scaling.json", "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+    }
+    return 0;
+}

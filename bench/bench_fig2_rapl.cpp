@@ -1,41 +1,13 @@
 // Reproduces Figure 2: RAPL (package+DRAM, both sockets) vs AC reference
 // power on Sandy Bridge-EP (modeled RAPL, per-workload bias -> linear fit
 // per workload, poor global fit) and Haswell-EP (measured RAPL -> one
-// quadratic fit, R^2 > 0.999). Dumps the scatter data as CSV next to the
-// binary for external plotting.
-#include <cstdio>
-
-#include "survey/fig2_rapl.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
-
-using namespace hsw;
-
-namespace {
-void dump_csv(const survey::RaplAccuracyResult& r, const char* path) {
-    util::CsvWriter csv{path};
-    csv.write_header({"workload", "cores_per_socket", "threads_per_core", "ac_watts",
-                      "rapl_watts"});
-    for (const auto& p : r.report.points) {
-        csv.write_row({p.workload, std::to_string(p.active_cores_per_socket),
-                       std::to_string(p.threads_per_core),
-                       util::Table::fmt(p.ac_watts, 2), util::Table::fmt(p.rapl_watts, 2)});
-    }
-}
-}  // namespace
+// quadratic fit, R^2 > 0.999). Runs through the experiment engine and
+// dumps the scatter data as CSV next to the binary for external plotting.
+#include "engine_bench_main.hpp"
 
 int main() {
-    const auto snb = survey::fig2_run(arch::Generation::SandyBridgeEP);
-    std::printf("%s\n", snb.render().c_str());
-    dump_csv(snb, "fig2a_sandy_bridge.csv");
-
-    const auto hsw_result = survey::fig2_run(arch::Generation::HaswellEP);
-    std::printf("%s\n", hsw_result.render().c_str());
-    dump_csv(hsw_result, "fig2b_haswell.csv");
-
-    std::printf("shape check: SNB per-workload slope spread %.1f %% vs HSW %.1f %%;\n"
-                "HSW quadratic R^2 = %.5f (paper: > 0.9998)\n",
-                snb.report.slope_spread * 100.0, hsw_result.report.slope_spread * 100.0,
-                hsw_result.report.quadratic.r_squared);
-    return 0;
+    return hsw::bench::engine_bench_main(
+        {"fig2a", "fig2b"},
+        "paper anchors: SNB per-workload slopes spread widely (modeled RAPL);\n"
+        "HSW collapses onto one quadratic with R^2 > 0.9998 (measured RAPL).");
 }

@@ -2,25 +2,6 @@
 // 1.2 and 1.3 GHz under four request-timing regimes (4 x 1000 samples).
 // Shape anchors: random -> uniform in [~21, ~524] us; immediate -> ~500 us;
 // 400 us delay -> ~100 us; 500 us delay -> bimodal.
-#include <cstdio>
+#include "engine_bench_main.hpp"
 
-#include "survey/fig3_pstate.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
-
-int main() {
-    hsw::survey::PstateLatencyConfig cfg;
-    cfg.samples = 1000;
-    const auto result = hsw::survey::fig3(cfg);
-    std::printf("%s\n", result.render().c_str());
-
-    hsw::util::CsvWriter csv{"fig3_pstate_latencies.csv"};
-    csv.write_header({"series", "latency_us"});
-    for (const auto& s : result.series) {
-        for (double v : s.result.latencies_us) {
-            csv.write_row(std::vector<std::string>{s.label, hsw::util::Table::fmt(v, 2)});
-        }
-    }
-    std::puts("raw samples written to fig3_pstate_latencies.csv");
-    return 0;
-}
+int main() { return hsw::bench::engine_bench_main({"fig3"}); }

@@ -2,12 +2,6 @@
 // latches until the next ~500 us PCU opportunity, then completes after the
 // switching time. Also verifies the Section VI-A parallel observation:
 // cores of one socket switch simultaneously, sockets independently.
-#include <cstdio>
+#include "engine_bench_main.hpp"
 
-#include "survey/fig4_opportunity.hpp"
-
-int main() {
-    const auto result = hsw::survey::fig4();
-    std::printf("%s\n", result.render().c_str());
-    return 0;
-}
+int main() { return hsw::bench::engine_bench_main({"fig4"}); }

@@ -3,15 +3,6 @@
 // with the Sandy Bridge-EP comparison series. Anchors: ~independent of
 // frequency, +1.5 us above 1.5 GHz, package C3 adds 2-4 us, all below the
 // 33 us ACPI claim.
-#include <cstdio>
+#include "engine_bench_main.hpp"
 
-#include "survey/fig56_cstates.hpp"
-#include "survey/fig56_csv.hpp"
-
-int main() {
-    const auto result = hsw::survey::fig56(hsw::cstates::CState::C3);
-    std::printf("%s\n", result.render().c_str());
-    hsw::survey::dump_fig56_csv(result, "fig5_c3_latencies.csv");
-    std::puts("series written to fig5_c3_latencies.csv");
-    return 0;
-}
+int main() { return hsw::bench::engine_bench_main({"fig5"}); }

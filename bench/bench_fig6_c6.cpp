@@ -1,15 +1,6 @@
 // Reproduces Figure 6: C6 wake-up latencies. Anchors: strongly frequency
 // dependent (2-8 us over C3, more at low clocks), package C6 adds 8 us
 // over package C3, all far below the 133 us ACPI claim.
-#include <cstdio>
+#include "engine_bench_main.hpp"
 
-#include "survey/fig56_cstates.hpp"
-#include "survey/fig56_csv.hpp"
-
-int main() {
-    const auto result = hsw::survey::fig56(hsw::cstates::CState::C6);
-    std::printf("%s\n", result.render().c_str());
-    hsw::survey::dump_fig56_csv(result, "fig6_c6_latencies.csv");
-    std::puts("series written to fig6_c6_latencies.csv");
-    return 0;
-}
+int main() { return hsw::bench::engine_bench_main({"fig6"}); }

@@ -3,35 +3,11 @@
 // Sandy Bridge-EP and Haswell-EP. Shape anchors: HSW DRAM flat (frequency
 // independent), SNB DRAM ~proportional to core clock, Westmere flat;
 // HSW L3 strongly correlated with core frequency.
-#include <cstdio>
-
-#include "survey/fig78_bandwidth.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
+#include "engine_bench_main.hpp"
 
 int main() {
-    const auto result = hsw::survey::fig7();
-    std::printf("%s\n", result.render().c_str());
-
-    hsw::util::CsvWriter csv{"fig7_relative_bandwidth.csv"};
-    csv.write_header({"generation", "set_ghz", "relative_l3", "relative_dram"});
-    for (const auto& s : result.series) {
-        for (const auto& p : s.points) {
-            csv.write_row(std::vector<std::string>{
-                std::string{hsw::arch::traits(s.generation).name},
-                hsw::util::Table::fmt(p.set_ghz, 2),
-                hsw::util::Table::fmt(p.relative_l3, 4),
-                hsw::util::Table::fmt(p.relative_dram, 4)});
-        }
-    }
-
-    const auto& hswep = result.find(hsw::arch::Generation::HaswellEP);
-    const auto& snb = result.find(hsw::arch::Generation::SandyBridgeEP);
-    std::printf("shape check at the lowest p-state:\n"
-                "  HSW DRAM relative: %.3f (paper: ~1.0, frequency independent)\n"
-                "  SNB DRAM relative: %.3f (paper: strongly reduced)\n"
-                "  HSW L3 relative:   %.3f (paper: ~f/f_base)\n",
-                hswep.points.front().relative_dram, snb.points.front().relative_dram,
-                hswep.points.front().relative_l3);
-    return 0;
+    return hsw::bench::engine_bench_main(
+        {"fig7"},
+        "paper anchors at the lowest p-state: HSW DRAM relative ~1.0 (frequency\n"
+        "independent), SNB DRAM strongly reduced, HSW L3 ~f/f_base.");
 }

@@ -2,27 +2,6 @@
 // the full concurrency x frequency grid on Haswell-EP. Shape anchors:
 // DRAM saturates at ~8 cores and becomes frequency independent at >= 10
 // cores; L3 scales with both; HT helps only at low concurrency.
-#include <cstdio>
+#include "engine_bench_main.hpp"
 
-#include "survey/fig78_bandwidth.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
-
-int main() {
-    const auto result = hsw::survey::fig8();
-    std::printf("%s\n", result.render().c_str());
-
-    hsw::util::CsvWriter csv{"fig8_bandwidth_grid.csv"};
-    csv.write_header({"threads", "set_ghz", "l3_gbs", "dram_gbs"});
-    for (std::size_t ti = 0; ti < result.threads.size(); ++ti) {
-        for (std::size_t fi = 0; fi < result.set_ghz.size(); ++fi) {
-            csv.write_row(std::vector<std::string>{
-                std::to_string(result.threads[ti]),
-                hsw::util::Table::fmt(result.set_ghz[fi], 1),
-                hsw::util::Table::fmt(result.l3_gbs[ti][fi], 2),
-                hsw::util::Table::fmt(result.dram_gbs[ti][fi], 2)});
-        }
-    }
-    std::puts("grid written to fig8_bandwidth_grid.csv");
-    return 0;
-}
+int main() { return hsw::bench::engine_bench_main({"fig8"}); }

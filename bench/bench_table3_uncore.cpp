@@ -1,14 +1,11 @@
 // Reproduces Table III: uncore frequencies in the single-threaded
 // no-memory-stalls scenario, active vs passive processor, plus the
 // EPB=performance column (3.0 GHz).
-#include <cstdio>
-
-#include "survey/table3_uncore.hpp"
+#include "engine_bench_main.hpp"
 
 int main() {
-    const auto result = hsw::survey::table3();
-    std::printf("%s\n", result.render().c_str());
-    std::puts("paper anchors: turbo -> 3.0 GHz; 2.5 -> 2.2; 2.0 -> 1.75; 1.4-1.2 -> 1.2;\n"
-              "passive socket one 100 MHz step lower; EPB=performance -> 3.0 GHz.");
-    return 0;
+    return hsw::bench::engine_bench_main(
+        {"table3"},
+        "paper anchors: turbo -> 3.0 GHz; 2.5 -> 2.2; 2.0 -> 1.75; 1.4-1.2 -> 1.2;\n"
+        "passive socket one 100 MHz step lower; EPB=performance -> 3.0 GHz.");
 }

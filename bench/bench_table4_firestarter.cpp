@@ -2,24 +2,11 @@
 // shape to reproduce: at and above the 2.2 GHz setting both packages are
 // TDP limited; lowering the setting frees budget that the PCU gives to the
 // uncore; GIPS peaks around the 2.2-2.3 GHz settings (~1 % above turbo).
-#include <cstdio>
-
-#include "survey/table4_firestarter.hpp"
-#include "util/table.hpp"
+#include "engine_bench_main.hpp"
 
 int main() {
-    hsw::survey::FirestarterSweepConfig cfg;
-    cfg.samples = 50;  // the paper's 50 one-second samples
-    const auto result = hsw::survey::table4(cfg);
-    std::printf("%s\n", result.render().c_str());
-
-    const auto& turbo = result.turbo_row();
-    const auto& best = result.best_by_gips();
-    std::printf("turbo GIPS (P1): %.3f; best GIPS (P1): %.3f at %s GHz (+%.1f %%)\n",
-                turbo.gips[1], best.gips[1],
-                best.turbo ? "turbo" : hsw::util::Table::fmt(best.set_ghz, 1).c_str(),
-                (best.gips[1] / turbo.gips[1] - 1.0) * 100.0);
-    std::puts("paper: +1 % when reducing the setting from turbo to 2.3 GHz;\n"
-              "uncore rises from ~2.35 (turbo) to 3.0 GHz (2.1 setting).");
-    return 0;
+    return hsw::bench::engine_bench_main(
+        {"table4"},
+        "paper anchors: +1 % GIPS when reducing the setting from turbo to 2.3 GHz;\n"
+        "uncore rises from ~2.35 (turbo) to 3.0 GHz (2.1 setting).");
 }

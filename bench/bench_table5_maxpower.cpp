@@ -2,21 +2,11 @@
 // mprime under {2.5 GHz, turbo} x EPB {power, balanced, performance}, HT
 // off. Shape anchors: FIRESTARTER and mprime ~560 W, LINPACK ~548 W with
 // the lowest measured frequency (~2.28 GHz); EPB/turbo have little impact.
-#include <cstdio>
-
-#include "survey/table5_maxpower.hpp"
+#include "engine_bench_main.hpp"
 
 int main() {
-    hsw::survey::MaxPowerConfig cfg;
-    cfg.run_time = hsw::util::Time::sec(70);
-    cfg.window = hsw::util::Time::sec(60);  // the paper's 1-minute window
-    const auto result = hsw::survey::table5(cfg);
-    std::printf("%s\n", result.render().c_str());
-
-    std::printf("max AC: FIRESTARTER %.1f W, LINPACK %.1f W, mprime %.1f W\n",
-                result.max_ac("FIRESTARTER"), result.max_ac("LINPACK"),
-                result.max_ac("mprime"));
-    std::puts("paper: 561.0 / 548.6 / 561.3 W; LINPACK also runs at the lowest\n"
-              "frequency (TDP/current-limited).");
-    return 0;
+    return hsw::bench::engine_bench_main(
+        {"table5"},
+        "paper anchors: max AC 561.0 (FIRESTARTER) / 548.6 (LINPACK) / 561.3 W\n"
+        "(mprime); LINPACK also runs at the lowest frequency (TDP/current-limited).");
 }

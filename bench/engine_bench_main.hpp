@@ -1,0 +1,54 @@
+// Shared main() body for the figure/table reproduction benches.
+//
+// Every bench now routes through the experiment engine -- the same code
+// path as tools/hsw_survey -- so the CSV it drops next to the binary is
+// byte-identical to the hsw_survey artifact for that experiment. Benches
+// run serially (jobs=1, no cache): they are the reference runs the
+// parallel engine is validated against.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "engine/survey_experiments.hpp"
+
+namespace hsw::bench {
+
+inline int engine_bench_main(std::initializer_list<const char*> names,
+                             const char* anchors = nullptr) {
+    const auto all = engine::survey_experiments(engine::SurveyTuning{});
+    std::vector<engine::Experiment> subset;
+    for (const char* name : names) {
+        const engine::Experiment* e = engine::find_experiment(all, name);
+        if (!e) {
+            std::fprintf(stderr, "no experiment named '%s'\n", name);
+            return 1;
+        }
+        subset.push_back(*e);
+    }
+
+    engine::RunOptions options;
+    options.jobs = 1;
+    options.cache_dir.reset();
+    const engine::RunReport report = engine::run_experiments(subset, options);
+
+    for (const auto& artifact : report.artifacts) {
+        if (artifact.kind == engine::ArtifactKind::Render) {
+            std::printf("%s\n", artifact.contents.c_str());
+        }
+    }
+    engine::write_artifacts(report, ".", /*renders=*/false);
+    for (const auto& artifact : report.artifacts) {
+        if (artifact.kind == engine::ArtifactKind::Csv) {
+            std::printf("data written to %s\n", artifact.filename.c_str());
+        }
+    }
+    if (anchors) std::printf("%s\n", anchors);
+    if (!report.ok()) {
+        std::fputs(report.summary().c_str(), stderr);
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace hsw::bench

@@ -16,6 +16,7 @@ std::string_view name(Invariant i) {
         case Invariant::PstateGrid: return "pstate-grid";
         case Invariant::Residency: return "residency";
         case Invariant::MsrAccess: return "msr-access";
+        case Invariant::EngineJob: return "engine-job";
     }
     return "?";
 }
@@ -49,10 +50,11 @@ void DiagnosticSink::clear() {
 
 std::string DiagnosticSink::summary() const {
     if (empty()) return {};
-    constexpr std::array<Invariant, 9> kAll = {
+    constexpr std::array<Invariant, 10> kAll = {
         Invariant::TimeMonotonic, Invariant::EnergyCounter,  Invariant::PackagePower,
         Invariant::CoreFrequency, Invariant::AvxLicense,     Invariant::UncoreFrequency,
         Invariant::PstateGrid,    Invariant::Residency,      Invariant::MsrAccess,
+        Invariant::EngineJob,
     };
     std::string out;
     char buf[128];

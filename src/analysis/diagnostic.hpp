@@ -27,6 +27,7 @@ enum class Invariant {
     PstateGrid,        // grant outside the ~500 us opportunity grid semantics
     Residency,         // C-state residency regressed or exceeds wall time
     MsrAccess,         // unknown MSR, write to read-only, or oversized value
+    EngineJob,         // experiment-engine job retried or failed permanently
 };
 
 [[nodiscard]] std::string_view name(Invariant i);

@@ -55,10 +55,10 @@ void InvariantChecker::attach(core::Node& node) {
     node_ = &node;
     deferred_grid_ = arch::traits(node.sku().generation).deferred_pstate_grid;
 
-    node.trace().set_observer(
+    trace_observer_ = node.trace().add_observer(
         [this](const sim::TraceRecord& rec) { observe_trace(rec, deferred_grid_); });
 
-    node.msrs().set_observer([this](const msr::MsrAccessEvent& access) {
+    msr_observer_ = node.msrs().add_observer([this](const msr::MsrAccessEvent& access) {
         const Time now = node_->now();
         if (access.kind == msr::MsrAccessEvent::Kind::Read) {
             observe_msr_read(now, access.cpu, access.address);
@@ -75,8 +75,12 @@ void InvariantChecker::attach(core::Node& node) {
 
 void InvariantChecker::detach() {
     if (node_ == nullptr) return;
-    node_->trace().set_observer(nullptr);
-    node_->msrs().set_observer(nullptr);
+    // Remove only this checker's taps: another observer registered on the
+    // same node (an engine metrics probe, a second checker) stays live.
+    node_->trace().remove_observer(trace_observer_);
+    node_->msrs().remove_observer(msr_observer_);
+    trace_observer_ = 0;
+    msr_observer_ = 0;
     node_->simulator().cancel_periodic(periodic_id_);
     periodic_id_ = 0;
     node_ = nullptr;

@@ -29,6 +29,7 @@
 #include "analysis/diagnostic.hpp"
 #include "analysis/msr_lint.hpp"
 #include "arch/sku.hpp"
+#include "msr/msr_file.hpp"
 #include "cstates/cstate.hpp"
 #include "sim/trace.hpp"
 #include "util/units.hpp"
@@ -132,6 +133,8 @@ private:
     core::Node* node_ = nullptr;
     bool deferred_grid_ = true;
     std::uint64_t periodic_id_ = 0;
+    sim::Trace::ObserverId trace_observer_ = 0;
+    msr::MsrFile::ObserverId msr_observer_ = 0;
 
     bool trace_time_seen_ = false;
     util::Time last_trace_time_;

@@ -1,0 +1,73 @@
+#include "engine/blob.hpp"
+
+namespace hsw::engine {
+
+namespace {
+
+constexpr std::string_view kMagic = "hsw-blob v1\n";
+
+/// Parses a non-negative decimal integer; false on empty/overflow/garbage.
+bool parse_size(std::string_view text, std::size_t& out) {
+    if (text.empty()) return false;
+    std::size_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') return false;
+        if (value > (static_cast<std::size_t>(-1) - 9) / 10) return false;
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+std::string pack_sections(const BlobSections& sections) {
+    std::string out{kMagic};
+    for (const auto& [name, payload] : sections) {
+        out += "section ";
+        out += name;
+        out += ' ';
+        out += std::to_string(payload.size());
+        out += '\n';
+        out += payload;
+        out += '\n';
+    }
+    return out;
+}
+
+std::optional<BlobSections> unpack_sections(std::string_view blob) {
+    if (blob.substr(0, kMagic.size()) != kMagic) return std::nullopt;
+    blob.remove_prefix(kMagic.size());
+
+    BlobSections sections;
+    while (!blob.empty()) {
+        const std::size_t eol = blob.find('\n');
+        if (eol == std::string_view::npos) return std::nullopt;
+        const std::string_view header = blob.substr(0, eol);
+        blob.remove_prefix(eol + 1);
+
+        if (header.substr(0, 8) != "section ") return std::nullopt;
+        const std::string_view rest = header.substr(8);
+        const std::size_t space = rest.rfind(' ');
+        if (space == std::string_view::npos || space == 0) return std::nullopt;
+        std::size_t length = 0;
+        if (!parse_size(rest.substr(space + 1), length)) return std::nullopt;
+        if (blob.size() < length + 1 || blob[length] != '\n') return std::nullopt;
+
+        sections.emplace_back(std::string{rest.substr(0, space)},
+                              std::string{blob.substr(0, length)});
+        blob.remove_prefix(length + 1);
+    }
+    return sections;
+}
+
+std::optional<std::string> section(std::string_view blob, std::string_view name) {
+    const auto sections = unpack_sections(blob);
+    if (!sections) return std::nullopt;
+    for (const auto& [key, payload] : *sections) {
+        if (key == name) return payload;
+    }
+    return std::nullopt;
+}
+
+}  // namespace hsw::engine

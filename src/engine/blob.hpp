@@ -1,0 +1,35 @@
+// Length-prefixed multi-section payload format for cached job results.
+//
+// A job usually produces more than one byte stream (its CSV fragment, its
+// rendered text, full-precision data for result reconstruction). The blob
+// format packs named sections into one string that the result cache can
+// store and verify as a unit:
+//
+//   hsw-blob v1\n
+//   section <name> <byte-count>\n<bytes>\n      (repeated)
+//
+// Section payloads are length-prefixed, so they may contain anything --
+// including newlines and further "section" lines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hsw::engine {
+
+using BlobSections = std::vector<std::pair<std::string, std::string>>;
+
+[[nodiscard]] std::string pack_sections(const BlobSections& sections);
+
+/// nullopt on any structural violation (bad magic, truncated section,
+/// malformed length) -- the cache treats that as a miss.
+[[nodiscard]] std::optional<BlobSections> unpack_sections(std::string_view blob);
+
+/// First section with the given name; nullopt when absent.
+[[nodiscard]] std::optional<std::string> section(std::string_view blob,
+                                                std::string_view name);
+
+}  // namespace hsw::engine

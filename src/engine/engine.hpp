@@ -1,0 +1,114 @@
+// The experiment-execution engine.
+//
+// An Experiment is an ordered list of independent Jobs (one per sweep
+// point) plus an assemble step that folds the jobs' payload blobs -- in
+// point order, never in completion order -- into named artifacts (CSV
+// files, rendered tables). The engine fans all jobs of all requested
+// experiments across a work-stealing Scheduler, consults the
+// content-addressed ResultCache before computing anything, and reports
+// retries/permanent failures as Invariant::EngineJob diagnostics through
+// the standard DiagnosticSink.
+//
+// Determinism contract: a job's only seed input is spec.job_seed(), derived
+// from the spec's content hash -- so outputs are byte-identical across
+// thread counts, schedules, and cache hit/miss patterns.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "engine/result_cache.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/spec.hpp"
+
+namespace hsw::engine {
+
+struct Job {
+    ExperimentSpec spec;
+    /// Computes the job's payload blob (see blob.hpp). Must derive all
+    /// randomness from spec.job_seed().
+    std::function<std::string(const ExperimentSpec&)> run;
+};
+
+enum class ArtifactKind { Csv, Render };
+
+struct Artifact {
+    std::string filename;  // e.g. "fig7_relative_bandwidth.csv"
+    ArtifactKind kind = ArtifactKind::Csv;
+    std::string contents;
+};
+
+struct Experiment {
+    std::string name;         // "fig2a" .. "table5"
+    std::string description;  // one line for --list
+    std::vector<Job> jobs;
+    /// Folds job payloads (ordered like `jobs`) into artifacts.
+    std::function<std::vector<Artifact>(const std::vector<std::string>&)> assemble;
+};
+
+struct JobStats {
+    std::string experiment;
+    std::string point;
+    std::string spec_hash;  // hex, abbreviated to 12 chars
+    bool cache_hit = false;
+    bool ok = false;
+    unsigned attempts = 0;
+    double wall_ms = 0.0;
+    std::string error;
+};
+
+struct RunReport {
+    std::vector<Artifact> artifacts;
+    std::vector<JobStats> jobs;          // survey order (experiment, then point)
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t failures = 0;            // permanently failed jobs
+    std::size_t retries = 0;
+    double wall_ms = 0.0;                // whole run, scheduling included
+    analysis::DiagnosticSink diagnostics{64};  // EngineJob records
+
+    [[nodiscard]] bool ok() const { return failures == 0; }
+    /// Multi-line run summary (job counts, cache hits, slowest points).
+    [[nodiscard]] std::string summary() const;
+};
+
+struct ProgressEvent {
+    enum class Kind { CacheHit, Finished, Failed } kind = Kind::Finished;
+    std::string label;    // "experiment/point"
+    unsigned attempts = 0;
+    double wall_ms = 0.0;
+    std::size_t done = 0;    // jobs finished so far (hits included)
+    std::size_t total = 0;
+};
+
+struct RunOptions {
+    unsigned jobs = 1;
+    /// nullopt disables caching entirely.
+    std::optional<std::filesystem::path> cache_dir;
+    std::string cache_salt{kCodeVersion};
+    unsigned max_attempts = 2;
+    std::chrono::milliseconds retry_deadline{5 * 60 * 1000};
+    /// Called after each job resolves (cache hit, success or permanent
+    /// failure); serialized, may run on any worker thread.
+    std::function<void(const ProgressEvent&)> on_progress;
+};
+
+/// Runs every job of every experiment, assembles artifacts for experiments
+/// whose jobs all succeeded, and never throws on job failure -- check
+/// RunReport::ok().
+[[nodiscard]] RunReport run_experiments(const std::vector<Experiment>& experiments,
+                                        const RunOptions& options = {});
+
+/// Writes the report's artifacts under `dir` (created if needed). Renders
+/// (.txt artifacts) are skipped unless `renders` is set; CSVs are always
+/// written. Throws std::runtime_error when a file cannot be written.
+void write_artifacts(const RunReport& report, const std::filesystem::path& dir,
+                     bool renders = false);
+
+}  // namespace hsw::engine

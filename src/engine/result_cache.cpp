@@ -1,0 +1,113 @@
+#include "engine/result_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace hsw::engine {
+
+namespace {
+
+constexpr std::string_view kMagic = "HSWRESULT v1\n";
+
+/// "key value" line reader; false when the line is absent or mislabeled.
+bool read_field(std::istream& in, std::string_view key, std::string& value) {
+    std::string line;
+    if (!std::getline(in, line)) return false;
+    if (line.size() < key.size() + 1 || line.compare(0, key.size(), key) != 0 ||
+        line[key.size()] != ' ') {
+        return false;
+    }
+    value = line.substr(key.size() + 1);
+    return true;
+}
+
+bool parse_size(const std::string& text, std::size_t& out) {
+    if (text.empty()) return false;
+    std::size_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') return false;
+        if (value > (static_cast<std::size_t>(-1) - 9) / 10) return false;
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::filesystem::path dir, std::string salt)
+    : dir_{std::move(dir)}, salt_{std::move(salt)} {}
+
+std::filesystem::path ResultCache::entry_path(const ExperimentSpec& spec) const {
+    return dir_ / (spec.hash_hex() + ".result");
+}
+
+std::optional<std::string> ResultCache::load(const ExperimentSpec& spec) const {
+    std::ifstream in{entry_path(spec), std::ios::binary};
+    if (!in) return std::nullopt;
+
+    std::string magic(kMagic.size(), '\0');
+    if (!in.read(magic.data(), static_cast<std::streamsize>(magic.size())) ||
+        magic != kMagic) {
+        return std::nullopt;
+    }
+
+    std::string salt, spec_bytes_text, payload_bytes_text, payload_digest;
+    if (!read_field(in, "salt", salt) || salt != salt_) return std::nullopt;
+    if (!read_field(in, "spec-bytes", spec_bytes_text)) return std::nullopt;
+    if (!read_field(in, "payload-bytes", payload_bytes_text)) return std::nullopt;
+    if (!read_field(in, "payload-sha256", payload_digest)) return std::nullopt;
+
+    std::size_t spec_bytes = 0;
+    std::size_t payload_bytes = 0;
+    if (!parse_size(spec_bytes_text, spec_bytes) ||
+        !parse_size(payload_bytes_text, payload_bytes)) {
+        return std::nullopt;
+    }
+
+    std::string spec_text(spec_bytes, '\0');
+    if (!in.read(spec_text.data(), static_cast<std::streamsize>(spec_bytes)) ||
+        spec_text != spec.canonical_text()) {
+        return std::nullopt;
+    }
+
+    std::string payload(payload_bytes, '\0');
+    if (!in.read(payload.data(), static_cast<std::streamsize>(payload_bytes))) {
+        return std::nullopt;  // truncated entry -> recompute, never crash
+    }
+    if (in.get() != std::char_traits<char>::eof()) return std::nullopt;  // trailing junk
+    if (sha256_hex(payload) != payload_digest) return std::nullopt;
+    return payload;
+}
+
+void ResultCache::store(const ExperimentSpec& spec, std::string_view payload) const {
+    std::filesystem::create_directories(dir_);
+    const std::filesystem::path final_path = entry_path(spec);
+    // Unique-enough temp name: concurrent writers of the *same* spec write
+    // identical bytes, so the last rename winning is harmless.
+    const std::filesystem::path tmp_path =
+        final_path.string() + ".tmp" + std::to_string(spec.hash64() & 0xFFFF);
+
+    const std::string spec_text = spec.canonical_text();
+    {
+        std::ofstream out{tmp_path, std::ios::binary | std::ios::trunc};
+        if (!out) {
+            throw std::runtime_error{"result cache: cannot write " + tmp_path.string()};
+        }
+        out << kMagic;
+        out << "salt " << salt_ << "\n";
+        out << "spec-bytes " << spec_text.size() << "\n";
+        out << "payload-bytes " << payload.size() << "\n";
+        out << "payload-sha256 " << sha256_hex(payload) << "\n";
+        out << spec_text;
+        out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+        if (!out) {
+            throw std::runtime_error{"result cache: short write to " + tmp_path.string()};
+        }
+    }
+    std::filesystem::rename(tmp_path, final_path);
+}
+
+}  // namespace hsw::engine

@@ -1,0 +1,51 @@
+// Content-addressed on-disk result cache.
+//
+// Key = SHA-256 of the ExperimentSpec's canonical text; one file per entry
+// under the cache directory, named "<hash-hex>.result". Entries embed a
+// code-version salt (bumped whenever driver semantics change), the full
+// spec text (collision guard and inspectability) and the payload's own
+// SHA-256, so a stale, truncated or bit-flipped entry always reads as a
+// miss -- the engine then recomputes and rewrites it. Stores are atomic
+// (write to a temp file, then rename), which keeps concurrent survey runs
+// over one cache directory safe.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/spec.hpp"
+
+namespace hsw::engine {
+
+/// Salt mixed into every cache entry. Bump when any experiment driver or
+/// the blob/spec format changes in a way that alters result bytes --
+/// existing caches then invalidate wholesale instead of serving stale data.
+inline constexpr std::string_view kCodeVersion = "hsw-engine-v1";
+
+class ResultCache {
+public:
+    /// Creates `dir` (and parents) on first store; `salt` defaults to
+    /// kCodeVersion and is overridable for tests.
+    explicit ResultCache(std::filesystem::path dir,
+                         std::string salt = std::string{kCodeVersion});
+
+    /// The payload stored for `spec`, or nullopt on miss. A present but
+    /// unreadable entry (wrong salt, wrong spec, truncation, corruption)
+    /// is a miss, never an error.
+    [[nodiscard]] std::optional<std::string> load(const ExperimentSpec& spec) const;
+
+    /// Atomically (re)writes the entry for `spec`.
+    void store(const ExperimentSpec& spec, std::string_view payload) const;
+
+    [[nodiscard]] std::filesystem::path entry_path(const ExperimentSpec& spec) const;
+    [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+    [[nodiscard]] const std::string& salt() const { return salt_; }
+
+private:
+    std::filesystem::path dir_;
+    std::string salt_;
+};
+
+}  // namespace hsw::engine

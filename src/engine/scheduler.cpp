@@ -1,0 +1,136 @@
+#include "engine/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace hsw::engine {
+
+struct Scheduler::Batch {
+    std::vector<Task> tasks;
+    std::vector<JobOutcome> outcomes;
+    // One deque + lock per worker; owner pops back, thieves pop front.
+    std::vector<std::deque<std::size_t>> deques;
+    std::vector<std::mutex> locks;
+    std::mutex listener_lock;
+    std::atomic<std::size_t> remaining{0};
+    std::chrono::steady_clock::time_point started;
+
+    Batch(std::vector<Task> t, std::size_t workers)
+        : tasks{std::move(t)},
+          outcomes(tasks.size()),
+          deques(workers),
+          locks(workers),
+          remaining{tasks.size()},
+          started{std::chrono::steady_clock::now()} {}
+};
+
+Scheduler::Scheduler(SchedulerConfig cfg) : cfg_{cfg} {
+    cfg_.threads = std::max(1u, cfg_.threads);
+    cfg_.max_attempts = std::max(1u, cfg_.max_attempts);
+}
+
+bool Scheduler::next_task(Batch& batch, std::size_t worker, std::size_t& out_index) {
+    {
+        std::lock_guard lock{batch.locks[worker]};
+        auto& own = batch.deques[worker];
+        if (!own.empty()) {
+            out_index = own.back();
+            own.pop_back();
+            return true;
+        }
+    }
+    for (std::size_t i = 1; i < batch.deques.size(); ++i) {
+        const std::size_t victim = (worker + i) % batch.deques.size();
+        std::lock_guard lock{batch.locks[victim]};
+        auto& other = batch.deques[victim];
+        if (!other.empty()) {
+            out_index = other.front();
+            other.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void Scheduler::work(Batch& batch, std::size_t worker) {
+    while (batch.remaining.load(std::memory_order_acquire) > 0) {
+        std::size_t index = 0;
+        if (!next_task(batch, worker, index)) {
+            // Nothing to grab, but tasks still in flight elsewhere may yet
+            // fail and re-queue -- stay alive until `remaining` hits zero.
+            std::this_thread::yield();
+            continue;
+        }
+
+        auto& outcome = batch.outcomes[index];
+        outcome.index = index;
+        ++outcome.attempts;
+        progress_.running.fetch_add(1, std::memory_order_relaxed);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string error;
+        bool ok = true;
+        try {
+            batch.tasks[index]();
+        } catch (const std::exception& e) {
+            ok = false;
+            error = e.what();
+        } catch (...) {
+            ok = false;
+            error = "unknown exception";
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        outcome.wall_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        progress_.running.fetch_sub(1, std::memory_order_relaxed);
+
+        if (!ok) {
+            outcome.error = error;
+            const bool attempts_left = outcome.attempts < cfg_.max_attempts;
+            const bool before_deadline =
+                cfg_.retry_deadline.count() == 0 ||
+                t1 - batch.started < cfg_.retry_deadline;
+            if (attempts_left && before_deadline) {
+                progress_.retries.fetch_add(1, std::memory_order_relaxed);
+                std::lock_guard lock{batch.locks[worker]};
+                batch.deques[worker].push_back(index);
+                continue;  // not finished -- remaining stays up
+            }
+            progress_.failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        outcome.ok = ok;
+
+        if (listener_) {
+            std::lock_guard lock{batch.listener_lock};
+            listener_(outcome);
+        }
+        progress_.done.fetch_add(1, std::memory_order_relaxed);
+        batch.remaining.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+std::vector<JobOutcome> Scheduler::run(std::vector<Task> tasks) {
+    const std::size_t workers =
+        std::min<std::size_t>(cfg_.threads, std::max<std::size_t>(1, tasks.size()));
+    Batch batch{std::move(tasks), workers};
+    progress_.queued.store(batch.tasks.size(), std::memory_order_relaxed);
+
+    for (std::size_t i = 0; i < batch.tasks.size(); ++i) {
+        batch.deques[i % workers].push_back(i);
+    }
+
+    if (workers == 1) {
+        work(batch, 0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([this, &batch, w] { work(batch, w); });
+        }
+        for (auto& t : pool) t.join();
+    }
+    return std::move(batch.outcomes);
+}
+
+}  // namespace hsw::engine

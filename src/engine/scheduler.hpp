@@ -1,0 +1,81 @@
+// Work-stealing thread pool for independent experiment jobs.
+//
+// run() takes a batch of tasks, distributes them round-robin over
+// per-worker deques, and lets idle workers steal from the front of busy
+// workers' deques (the owner pops from the back, so a steal grabs the
+// oldest -- typically largest-remaining -- job). Tasks must be independent:
+// nothing here orders them, and determinism comes from each task writing to
+// its own pre-allocated result slot, never from completion order.
+//
+// A task that throws is retried on the same pool (up to `max_attempts`
+// total attempts, and only while the batch is younger than
+// `retry_deadline`); a task that keeps throwing is recorded as failed and
+// the rest of the batch continues. Counters in Progress are atomics a
+// monitoring thread may read while run() is in flight.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hsw::engine {
+
+struct SchedulerConfig {
+    /// Worker thread count; 0 is clamped to 1.
+    unsigned threads = 1;
+    /// Total attempts per task (first run + retries).
+    unsigned max_attempts = 2;
+    /// No retry starts after this much wall time from the start of run().
+    /// zero() disables the deadline.
+    std::chrono::milliseconds retry_deadline{0};
+};
+
+struct JobOutcome {
+    std::size_t index = 0;     // position in the submitted batch
+    bool ok = false;
+    unsigned attempts = 0;
+    std::string error;         // last exception message when !ok
+    double wall_ms = 0.0;      // total execution time across attempts
+};
+
+class Scheduler {
+public:
+    using Task = std::function<void()>;
+    /// Invoked after a task finishes for good (success or permanent
+    /// failure). Serialized by the scheduler; may run on any worker.
+    using Listener = std::function<void(const JobOutcome&)>;
+
+    struct Progress {
+        std::atomic<std::size_t> queued{0};
+        std::atomic<std::size_t> running{0};
+        std::atomic<std::size_t> done{0};
+        std::atomic<std::size_t> failed{0};   // permanent failures (subset of done)
+        std::atomic<std::size_t> retries{0};  // re-queues after an exception
+    };
+
+    explicit Scheduler(SchedulerConfig cfg = {});
+
+    void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+    /// Runs the batch to completion; outcomes are indexed like `tasks`.
+    /// Workers live only for the duration of the call.
+    std::vector<JobOutcome> run(std::vector<Task> tasks);
+
+    [[nodiscard]] const Progress& progress() const { return progress_; }
+
+private:
+    struct Batch;
+    void work(Batch& batch, std::size_t worker);
+    bool next_task(Batch& batch, std::size_t worker, std::size_t& out_index);
+
+    SchedulerConfig cfg_;
+    Listener listener_;
+    Progress progress_;
+};
+
+}  // namespace hsw::engine

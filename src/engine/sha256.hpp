@@ -1,0 +1,28 @@
+// SHA-256 (FIPS 180-4), self-contained.
+//
+// The engine content-addresses experiment results: the cache key is the
+// digest of an ExperimentSpec's canonical serialization (plus the code
+// version salt), and every cache entry carries the digest of its payload so
+// truncation or bit rot reads as a miss instead of poisoning a survey run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hsw::engine {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+[[nodiscard]] Sha256Digest sha256(std::string_view data);
+
+/// Lowercase hex rendering (64 chars).
+[[nodiscard]] std::string hex(const Sha256Digest& digest);
+
+[[nodiscard]] std::string sha256_hex(std::string_view data);
+
+/// First eight digest bytes as a big-endian integer (for seed derivation).
+[[nodiscard]] std::uint64_t digest_prefix64(const Sha256Digest& digest);
+
+}  // namespace hsw::engine

@@ -1,0 +1,72 @@
+#include "engine/spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace hsw::engine {
+
+std::string_view name(analysis::AuditMode mode) {
+    switch (mode) {
+        case analysis::AuditMode::Off: return "off";
+        case analysis::AuditMode::Warn: return "warn";
+        case analysis::AuditMode::Strict: return "strict";
+    }
+    return "off";
+}
+
+void ExperimentSpec::set_param(std::string name, std::string value) {
+    const auto pos = std::lower_bound(
+        params_.begin(), params_.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (pos != params_.end() && pos->first == name) {
+        pos->second = std::move(value);
+    } else {
+        params_.emplace(pos, std::move(name), std::move(value));
+    }
+}
+
+const std::string* ExperimentSpec::param(std::string_view name) const {
+    for (const auto& [key, value] : params_) {
+        if (key == name) return &value;
+    }
+    return nullptr;
+}
+
+std::string ExperimentSpec::canonical_text() const {
+    std::string out = "hsw-experiment-spec v1\n";
+    out += "experiment=" + experiment + "\n";
+    out += "point=" + point + "\n";
+    char seed_buf[32];
+    std::snprintf(seed_buf, sizeof seed_buf, "seed=0x%016llx\n",
+                  static_cast<unsigned long long>(base_seed));
+    out += seed_buf;
+    out += "audit=";
+    out += name(audit);
+    out += "\n";
+    for (const auto& [key, value] : params_) {
+        out += "param." + key + "=" + value + "\n";
+    }
+    return out;
+}
+
+Sha256Digest ExperimentSpec::hash() const { return sha256(canonical_text()); }
+
+std::string ExperimentSpec::hash_hex() const { return hex(hash()); }
+
+std::uint64_t ExperimentSpec::hash64() const { return digest_prefix64(hash()); }
+
+std::uint64_t ExperimentSpec::job_seed() const {
+    return util::Rng::derive(hash64(), "engine/job-seed");
+}
+
+analysis::AuditConfig ExperimentSpec::audit_config() const {
+    analysis::AuditConfig cfg;
+    cfg.mode = audit;
+    return cfg;
+}
+
+std::string ExperimentSpec::label() const { return experiment + "/" + point; }
+
+}  // namespace hsw::engine

@@ -1,0 +1,67 @@
+// Declarative description of one experiment job.
+//
+// An ExperimentSpec pins down everything that determines a job's output
+// bytes: the experiment and sweep point it belongs to, the base seed, the
+// audit mode, and every tuning parameter the driver reads. The spec has a
+// canonical text serialization and a SHA-256 content hash over it; the hash
+// is both the result-cache key (together with the code-version salt) and
+// the root of the job's RNG seed, so two specs that serialize identically
+// are guaranteed to replay identically -- no matter which worker thread or
+// process computes them, and no matter in which order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/audit_config.hpp"
+#include "engine/sha256.hpp"
+
+namespace hsw::engine {
+
+struct ExperimentSpec {
+    /// Experiment this job belongs to, e.g. "fig7" or "table5".
+    std::string experiment;
+    /// Sweep point within the experiment, e.g. "generation=haswell-ep";
+    /// "all" for single-job experiments.
+    std::string point = "all";
+    /// Base seed the whole survey was invoked with. The job never consumes
+    /// it directly -- it reaches the driver only through job_seed(), i.e.
+    /// mixed with the full content hash.
+    std::uint64_t base_seed = 0xC0FFEE;
+    analysis::AuditMode audit = analysis::AuditMode::Off;
+
+    void set_param(std::string name, std::string value);
+    /// nullptr when the parameter is absent.
+    [[nodiscard]] const std::string* param(std::string_view name) const;
+
+    /// Canonical serialization: fixed header, one "key=value" line per
+    /// field, parameters sorted by name. Line-based and human-readable so
+    /// cache entries can be inspected with a pager.
+    [[nodiscard]] std::string canonical_text() const;
+
+    [[nodiscard]] Sha256Digest hash() const;
+    [[nodiscard]] std::string hash_hex() const;
+    [[nodiscard]] std::uint64_t hash64() const;
+
+    /// The seed handed to the driver: util::Rng::derive over the content
+    /// hash. Any spec change (experiment, point, seed, audit, any param)
+    /// yields an unrelated seed; identical specs always yield the same one.
+    [[nodiscard]] std::uint64_t job_seed() const;
+
+    /// AuditConfig with defaults and `audit` as the mode.
+    [[nodiscard]] analysis::AuditConfig audit_config() const;
+
+    /// "experiment/point" for progress lines and diagnostics.
+    [[nodiscard]] std::string label() const;
+
+private:
+    // Sorted by name; set_param keeps the order canonical on insert.
+    std::vector<std::pair<std::string, std::string>> params_;
+};
+
+[[nodiscard]] std::string_view name(analysis::AuditMode mode);
+
+}  // namespace hsw::engine

@@ -49,8 +49,8 @@ const MsrFile::RangeHandlers* MsrFile::find(unsigned cpu, MsrAddress addr) const
 }
 
 std::uint64_t MsrFile::read(unsigned cpu, MsrAddress addr) const {
-    if (observer_) {
-        observer_(MsrAccessEvent{MsrAccessEvent::Kind::Read, cpu, addr, 0});
+    for (const auto& [id, observer] : observers_) {
+        observer(MsrAccessEvent{MsrAccessEvent::Kind::Read, cpu, addr, 0});
     }
     const RangeHandlers* h = find(cpu, addr);
     if (h == nullptr || !h->read) {
@@ -60,8 +60,8 @@ std::uint64_t MsrFile::read(unsigned cpu, MsrAddress addr) const {
 }
 
 void MsrFile::write(unsigned cpu, MsrAddress addr, std::uint64_t value) {
-    if (observer_) {
-        observer_(MsrAccessEvent{MsrAccessEvent::Kind::Write, cpu, addr, value});
+    for (const auto& [id, observer] : observers_) {
+        observer(MsrAccessEvent{MsrAccessEvent::Kind::Write, cpu, addr, value});
     }
     const RangeHandlers* h = find(cpu, addr);
     if (h == nullptr) {

@@ -40,6 +40,7 @@ public:
     using ReadFn = std::function<std::uint64_t(unsigned cpu)>;
     using WriteFn = std::function<void(unsigned cpu, std::uint64_t value)>;
     using Observer = std::function<void(const MsrAccessEvent&)>;
+    using ObserverId = std::uint64_t;
 
     /// Register handlers valid for all CPUs. Pass nullptr WriteFn for
     /// read-only registers. Later registrations for an overlapping range
@@ -61,8 +62,21 @@ public:
 
     /// Install a tap that sees every access before it is dispatched (the
     /// analysis layer's MSR linter). Observers must not access the MsrFile
-    /// reentrantly. Pass nullptr to remove.
-    void set_observer(Observer observer) { observer_ = std::move(observer); }
+    /// reentrantly. Multiple observers coexist; registration never
+    /// displaces another component's tap. Observer state is per-MsrFile
+    /// (per-Node): worker threads each driving their own node never share
+    /// any of it.
+    ObserverId add_observer(Observer observer) {
+        observers_.emplace_back(next_observer_id_, std::move(observer));
+        return next_observer_id_++;
+    }
+
+    /// Remove one observer by its add_observer id; unknown ids are ignored.
+    void remove_observer(ObserverId id) {
+        std::erase_if(observers_, [id](const auto& o) { return o.first == id; });
+    }
+
+    [[nodiscard]] std::size_t observer_count() const { return observers_.size(); }
 
 private:
     struct RangeHandlers {
@@ -76,7 +90,8 @@ private:
     std::unordered_map<MsrAddress, std::vector<RangeHandlers>> handlers_;
     // Backing store for register_storage cells: (addr, cpu) -> value.
     std::unordered_map<std::uint64_t, std::uint64_t> storage_;
-    Observer observer_;
+    ObserverId next_observer_id_ = 1;
+    std::vector<std::pair<ObserverId, Observer>> observers_;
 };
 
 /// EPB policy semantics (Section II-C): only 0, 6 and 15 are architecturally

@@ -6,10 +6,10 @@ namespace hsw::sim {
 
 void Trace::record(util::Time when, std::string_view category, std::string_view subject,
                    std::string_view detail, double value) {
-    if (!enabled_ && !observer_) return;
+    if (!enabled_ && observers_.empty()) return;
     TraceRecord rec{when, std::string{category}, std::string{subject},
                     std::string{detail}, value};
-    if (observer_) observer_(rec);
+    for (const auto& [id, observer] : observers_) observer(rec);
     if (enabled_) records_.push_back(std::move(rec));
 }
 

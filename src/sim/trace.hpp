@@ -26,14 +26,30 @@ struct TraceRecord {
 class Trace {
 public:
     using Observer = std::function<void(const TraceRecord&)>;
+    using ObserverId = std::uint64_t;
 
     void enable(bool on = true) { enabled_ = on; }
     [[nodiscard]] bool enabled() const { return enabled_; }
 
     /// Install a tap that sees every record as it is emitted, even while
     /// recording is disabled (the analysis layer audits the event stream
-    /// without paying for record storage). Pass nullptr to remove.
-    void set_observer(Observer observer) { observer_ = std::move(observer); }
+    /// without paying for record storage). Multiple observers coexist --
+    /// registration never displaces another component's tap, so an audit
+    /// checker and an engine metrics probe can watch the same node. Each
+    /// observer belongs to this Trace (and therefore to one Node): nodes
+    /// owned by different worker threads never share observer state.
+    ObserverId add_observer(Observer observer) {
+        observers_.emplace_back(next_observer_id_, std::move(observer));
+        return next_observer_id_++;
+    }
+
+    /// Remove one observer by the id add_observer returned. Unknown ids
+    /// are ignored (the observer may already be gone).
+    void remove_observer(ObserverId id) {
+        std::erase_if(observers_, [id](const auto& o) { return o.first == id; });
+    }
+
+    [[nodiscard]] std::size_t observer_count() const { return observers_.size(); }
 
     void record(util::Time when, std::string_view category, std::string_view subject,
                 std::string_view detail, double value = 0.0);
@@ -54,7 +70,8 @@ public:
 
 private:
     bool enabled_ = false;
-    Observer observer_;
+    ObserverId next_observer_id_ = 1;
+    std::vector<std::pair<ObserverId, Observer>> observers_;
     std::vector<TraceRecord> records_;
 };
 

@@ -6,6 +6,7 @@
 #include "analysis/invariant_checker.hpp"
 #include "core/node.hpp"
 #include "tools/ftalat.hpp"
+#include "util/rng.hpp"
 #include "workloads/mixes.hpp"
 
 namespace hsw::survey {
@@ -70,7 +71,7 @@ OpportunityResult fig4(std::uint64_t seed, const analysis::AuditConfig& audit) {
     // --- simultaneity: same socket vs different sockets ---
     {
         core::NodeConfig cfg;
-        cfg.seed = seed + 1;
+        cfg.seed = util::Rng::derive(seed, "fig4/simultaneity");
         core::Node node{cfg};
         analysis::InvariantChecker checker{audit};
         checker.attach(node);

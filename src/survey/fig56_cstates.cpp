@@ -35,47 +35,57 @@ const CstateLatencySeries& CstateLatencyResult::find(arch::Generation g,
     throw std::out_of_range{"no such series"};
 }
 
+std::vector<CstateLatencySeries> fig56_generation(cstates::CState state,
+                                                  arch::Generation generation,
+                                                  const CstateSweepConfig& cfg) {
+    const cstates::WakeScenario scenarios[] = {cstates::WakeScenario::Local,
+                                               cstates::WakeScenario::RemoteActive,
+                                               cstates::WakeScenario::RemoteIdle};
+
+    core::NodeConfig node_cfg;
+    node_cfg.seed = cfg.seed;
+    node_cfg.sku = generation == arch::Generation::SandyBridgeEP
+                       ? &arch::xeon_e5_2670()
+                       : &arch::xeon_e5_2680_v3();
+    core::Node node{node_cfg};
+    analysis::InvariantChecker checker{cfg.audit};
+    checker.attach(node);
+    tools::CstateProbe probe{node};
+
+    std::vector<CstateLatencySeries> out;
+    for (cstates::WakeScenario scenario : scenarios) {
+        CstateLatencySeries series;
+        series.generation = generation;
+        series.state = state;
+        series.scenario = scenario;
+
+        const unsigned min_r = node.sku().min_frequency.ratio();
+        const unsigned max_r = node.sku().nominal_frequency.ratio();
+        for (unsigned r = min_r; r <= max_r; ++r) {
+            tools::CstateProbeConfig pc;
+            pc.state = state;
+            pc.scenario = scenario;
+            pc.core_frequency = util::Frequency::from_ratio(r);
+            pc.samples = cfg.samples_per_point;
+            const auto pr = probe.measure(pc);
+            series.points.push_back(
+                CstateLatencyPoint{pc.core_frequency.as_ghz(), pr.mean(), pr.stddev()});
+        }
+        out.push_back(std::move(series));
+    }
+    checker.finish();
+    return out;
+}
+
 CstateLatencyResult fig56(cstates::CState state, const CstateSweepConfig& cfg) {
     CstateLatencyResult result;
     result.state = state;
 
     const arch::Generation generations[] = {arch::Generation::HaswellEP,
                                             arch::Generation::SandyBridgeEP};
-    const cstates::WakeScenario scenarios[] = {cstates::WakeScenario::Local,
-                                               cstates::WakeScenario::RemoteActive,
-                                               cstates::WakeScenario::RemoteIdle};
-
     for (arch::Generation gen : generations) {
-        core::NodeConfig node_cfg;
-        node_cfg.seed = cfg.seed;
-        node_cfg.sku = gen == arch::Generation::SandyBridgeEP ? &arch::xeon_e5_2670()
-                                                              : &arch::xeon_e5_2680_v3();
-        core::Node node{node_cfg};
-        analysis::InvariantChecker checker{cfg.audit};
-        checker.attach(node);
-        tools::CstateProbe probe{node};
-
-        for (cstates::WakeScenario scenario : scenarios) {
-            CstateLatencySeries series;
-            series.generation = gen;
-            series.state = state;
-            series.scenario = scenario;
-
-            const unsigned min_r = node.sku().min_frequency.ratio();
-            const unsigned max_r = node.sku().nominal_frequency.ratio();
-            for (unsigned r = min_r; r <= max_r; ++r) {
-                tools::CstateProbeConfig pc;
-                pc.state = state;
-                pc.scenario = scenario;
-                pc.core_frequency = util::Frequency::from_ratio(r);
-                pc.samples = cfg.samples_per_point;
-                const auto pr = probe.measure(pc);
-                series.points.push_back(CstateLatencyPoint{
-                    pc.core_frequency.as_ghz(), pr.mean(), pr.stddev()});
-            }
-            result.series.push_back(std::move(series));
-        }
-        checker.finish();
+        auto series = fig56_generation(state, gen, cfg);
+        for (auto& s : series) result.series.push_back(std::move(s));
     }
     return result;
 }

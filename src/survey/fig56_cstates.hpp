@@ -47,4 +47,12 @@ struct CstateSweepConfig {
 [[nodiscard]] CstateLatencyResult fig56(cstates::CState state,
                                         const CstateSweepConfig& cfg = {});
 
+/// One generation's share of the Fig. 5/6 sweep (all three scenarios on a
+/// node built for `generation`). This is the independent unit the
+/// experiment engine fans out: fig56() is exactly the concatenation of
+/// fig56_generation() over [Haswell-EP, Sandy Bridge-EP], so parallel
+/// per-generation jobs reproduce the serial sweep byte for byte.
+[[nodiscard]] std::vector<CstateLatencySeries> fig56_generation(
+    cstates::CState state, arch::Generation generation, const CstateSweepConfig& cfg = {});
+
 }  // namespace hsw::survey

@@ -44,38 +44,42 @@ const RelativeBandwidthSeries& Fig7Result::find(arch::Generation g) const {
     throw std::out_of_range{"no such generation series"};
 }
 
+RelativeBandwidthSeries fig7_generation(arch::Generation generation, std::uint64_t seed,
+                                        const analysis::AuditConfig& audit) {
+    core::NodeConfig cfg;
+    cfg.seed = seed;
+    cfg.sku = sku_for(generation);
+    core::Node node{cfg};
+    analysis::InvariantChecker checker{audit};
+    checker.attach(node);
+    tools::Membench bench{node, 1};
+
+    const unsigned cores = node.cores_per_socket();
+    RelativeBandwidthSeries series;
+    series.generation = generation;
+
+    // Baseline at nominal frequency, maximum thread concurrency.
+    const auto base = bench.measure(cores, 2, node.sku().nominal_frequency);
+
+    for (unsigned r = node.sku().min_frequency.ratio();
+         r <= node.sku().nominal_frequency.ratio(); ++r) {
+        const auto p = bench.measure(cores, 2, util::Frequency::from_ratio(r));
+        series.points.push_back(RelativeBandwidthPoint{
+            p.set_ghz,
+            base.l3_gbs > 0 ? p.l3_gbs / base.l3_gbs : 0.0,
+            base.dram_gbs > 0 ? p.dram_gbs / base.dram_gbs : 0.0});
+    }
+    checker.finish();
+    return series;
+}
+
 Fig7Result fig7(std::uint64_t seed, const analysis::AuditConfig& audit) {
     Fig7Result result;
     const arch::Generation gens[] = {arch::Generation::WestmereEP,
                                      arch::Generation::SandyBridgeEP,
                                      arch::Generation::HaswellEP};
     for (arch::Generation g : gens) {
-        core::NodeConfig cfg;
-        cfg.seed = seed;
-        cfg.sku = sku_for(g);
-        core::Node node{cfg};
-        analysis::InvariantChecker checker{audit};
-        checker.attach(node);
-        tools::Membench bench{node, 1};
-
-        const unsigned cores = node.cores_per_socket();
-        RelativeBandwidthSeries series;
-        series.generation = g;
-
-        // Baseline at nominal frequency, maximum thread concurrency.
-        const auto base =
-            bench.measure(cores, 2, node.sku().nominal_frequency);
-
-        for (unsigned r = node.sku().min_frequency.ratio();
-             r <= node.sku().nominal_frequency.ratio(); ++r) {
-            const auto p = bench.measure(cores, 2, util::Frequency::from_ratio(r));
-            series.points.push_back(RelativeBandwidthPoint{
-                p.set_ghz,
-                base.l3_gbs > 0 ? p.l3_gbs / base.l3_gbs : 0.0,
-                base.dram_gbs > 0 ? p.dram_gbs / base.dram_gbs : 0.0});
-        }
-        result.series.push_back(std::move(series));
-        checker.finish();
+        result.series.push_back(fig7_generation(g, seed, audit));
     }
     return result;
 }

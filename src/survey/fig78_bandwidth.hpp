@@ -37,6 +37,13 @@ struct Fig7Result {
 [[nodiscard]] Fig7Result fig7(std::uint64_t seed = 0xC0FFEE,
                               const analysis::AuditConfig& audit = {});
 
+/// One generation's Fig. 7 series (own node, own audit pass) -- the
+/// independent unit the experiment engine fans out; fig7() is the ordered
+/// concatenation over [Westmere-EP, Sandy Bridge-EP, Haswell-EP].
+[[nodiscard]] RelativeBandwidthSeries fig7_generation(
+    arch::Generation generation, std::uint64_t seed = 0xC0FFEE,
+    const analysis::AuditConfig& audit = {});
+
 // --- Figure 8 ---
 
 struct Fig8Result {

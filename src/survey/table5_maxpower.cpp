@@ -12,16 +12,14 @@
 
 namespace hsw::survey {
 
-namespace {
-
-MaxPowerCell run_cell(const workloads::Workload* w, bool turbo_setting,
-                      msr::EpbPolicy epb, const MaxPowerConfig& cfg) {
+MaxPowerCell table5_cell(const workloads::Workload& w, bool turbo_setting,
+                         msr::EpbPolicy epb, const MaxPowerConfig& cfg) {
     core::NodeConfig node_cfg;
     node_cfg.seed = cfg.seed;
     core::Node node{node_cfg};
 
     node.set_epb(epb);
-    node.set_all_workloads(w, 1);  // Hyper-Threading not active (Table V)
+    node.set_all_workloads(&w, 1);  // Hyper-Threading not active (Table V)
     if (turbo_setting) {
         node.request_turbo_all();
     } else {
@@ -67,7 +65,7 @@ MaxPowerCell run_cell(const workloads::Workload* w, bool turbo_setting,
     }
 
     MaxPowerCell cell;
-    cell.workload = std::string{w->name};
+    cell.workload = std::string{w.name};
     cell.turbo_setting = turbo_setting;
     cell.epb = epb == msr::EpbPolicy::Performance ? "perf"
                : epb == msr::EpbPolicy::Balanced  ? "bal"
@@ -76,8 +74,6 @@ MaxPowerCell run_cell(const workloads::Workload* w, bool turbo_setting,
     cell.core_ghz = window_freqs.empty() ? util::mean(freqs) : util::mean(window_freqs);
     return cell;
 }
-
-}  // namespace
 
 std::string MaxPowerResult::render() const {
     util::Table t{
@@ -129,7 +125,7 @@ MaxPowerResult table5(const MaxPowerConfig& cfg) {
             for (msr::EpbPolicy epb : {msr::EpbPolicy::EnergySaving,
                                        msr::EpbPolicy::Balanced,
                                        msr::EpbPolicy::Performance}) {
-                result.cells.push_back(run_cell(w, turbo, epb, cfg));
+                result.cells.push_back(table5_cell(*w, turbo, epb, cfg));
             }
         }
     }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "msr/msr_file.hpp"
 #include "util/units.hpp"
 #include "workloads/workload.hpp"
 
@@ -37,5 +38,11 @@ struct MaxPowerConfig {
 };
 
 [[nodiscard]] MaxPowerResult table5(const MaxPowerConfig& cfg = {});
+
+/// One Table V cell (workload x frequency setting x EPB) on its own node --
+/// the independent unit the experiment engine fans out; table5() is the
+/// ordered loop over all 18 cells.
+[[nodiscard]] MaxPowerCell table5_cell(const workloads::Workload& w, bool turbo_setting,
+                                       msr::EpbPolicy epb, const MaxPowerConfig& cfg = {});
 
 }  // namespace hsw::survey

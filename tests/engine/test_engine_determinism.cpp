@@ -1,0 +1,119 @@
+// The engine's core promise: output bytes do not depend on the worker
+// count, the schedule, or the cache state. Runs the full (tuned-down)
+// survey at --jobs 1 and --jobs 8 and compares every artifact byte for
+// byte, then checks the engine against direct serial driver calls.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "engine/survey_experiments.hpp"
+#include "survey/fig78_bandwidth.hpp"
+#include "survey/table5_maxpower.hpp"
+#include "util/table.hpp"
+#include "workloads/mixes.hpp"
+
+namespace hsw::engine {
+namespace {
+
+std::map<std::string, std::string> artifact_map(const RunReport& report) {
+    std::map<std::string, std::string> out;
+    for (const auto& a : report.artifacts) out[a.filename] = a.contents;
+    return out;
+}
+
+RunReport run_survey(unsigned jobs, std::optional<std::filesystem::path> cache = {}) {
+    RunOptions options;
+    options.jobs = jobs;
+    options.cache_dir = std::move(cache);
+    return run_experiments(survey_experiments(SurveyTuning::quick()), options);
+}
+
+TEST(EngineDeterminism, Jobs8MatchesJobs1ByteForByteOnEveryArtifact) {
+    const RunReport serial = run_survey(1);
+    const RunReport parallel = run_survey(8);
+    ASSERT_TRUE(serial.ok()) << serial.summary();
+    ASSERT_TRUE(parallel.ok()) << parallel.summary();
+
+    const auto a = artifact_map(serial);
+    const auto b = artifact_map(parallel);
+    ASSERT_EQ(a.size(), b.size());
+    // Every figure/table driver is represented: 11 experiments x (csv + render).
+    EXPECT_EQ(a.size(), 22u);
+    for (const auto& [name, contents] : a) {
+        ASSERT_TRUE(b.count(name)) << name;
+        EXPECT_EQ(contents, b.at(name)) << "artifact " << name << " differs";
+    }
+}
+
+TEST(EngineDeterminism, RepeatedRunsAreIdentical) {
+    const auto a = artifact_map(run_survey(4));
+    const auto b = artifact_map(run_survey(4));
+    EXPECT_EQ(a, b);
+}
+
+TEST(EngineDeterminism, WarmCacheRunReturnsIdenticalBytesAllHits) {
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "hsw_determinism_cache";
+    std::filesystem::remove_all(dir);
+
+    const RunReport cold = run_survey(8, dir);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_EQ(cold.cache_hits, 0u);
+
+    const RunReport warm = run_survey(8, dir);
+    EXPECT_EQ(warm.cache_hits, warm.jobs.size());
+    EXPECT_EQ(warm.cache_misses, 0u);
+    EXPECT_EQ(artifact_map(cold), artifact_map(warm));
+    std::filesystem::remove_all(dir);
+}
+
+// The engine's artifacts must agree with calling the serial drivers
+// directly, seeded with the same spec-derived seeds -- the parallel fan-out
+// may not alter a single byte relative to the plain driver path.
+TEST(EngineDeterminism, EngineMatchesDirectDriverCalls) {
+    const SurveyTuning tuning = SurveyTuning::quick();
+    const auto experiments = survey_experiments(tuning);
+    const auto artifacts = artifact_map(run_survey(8));
+
+    // fig7: per-generation driver calls, concatenated in experiment order.
+    const Experiment* fig7 = find_experiment(experiments, "fig7");
+    ASSERT_NE(fig7, nullptr);
+    std::string expected_csv = "generation,set_ghz,relative_l3,relative_dram\n";
+    const arch::Generation gens[] = {arch::Generation::WestmereEP,
+                                     arch::Generation::SandyBridgeEP,
+                                     arch::Generation::HaswellEP};
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto series = survey::fig7_generation(
+            gens[i], fig7->jobs[i].spec.job_seed(), fig7->jobs[i].spec.audit_config());
+        for (const auto& p : series.points) {
+            expected_csv += std::string{arch::traits(series.generation).name} + ',' +
+                            util::Table::fmt(p.set_ghz, 2) + ',' +
+                            util::Table::fmt(p.relative_l3, 4) + ',' +
+                            util::Table::fmt(p.relative_dram, 4) + '\n';
+        }
+    }
+    ASSERT_TRUE(artifacts.count("fig7_relative_bandwidth.csv"));
+    EXPECT_EQ(artifacts.at("fig7_relative_bandwidth.csv"), expected_csv);
+
+    // table5: one independent cell, computed directly with the job's seed.
+    const Experiment* table5 = find_experiment(experiments, "table5");
+    ASSERT_NE(table5, nullptr);
+    const Job& first_cell = table5->jobs.front();  // FIRESTARTER, fixed, power
+    survey::MaxPowerConfig cfg;
+    cfg.run_time = tuning.table5_run_time;
+    cfg.window = tuning.table5_window;
+    cfg.seed = first_cell.spec.job_seed();
+    const auto cell = survey::table5_cell(workloads::firestarter(), false,
+                                          msr::EpbPolicy::EnergySaving, cfg);
+    const std::string expected_row = "FIRESTARTER,2.5,power," +
+                                     util::Table::fmt(cell.ac_watts, 1) + ',' +
+                                     util::Table::fmt(cell.core_ghz, 2) + '\n';
+    ASSERT_TRUE(artifacts.count("table5_maxpower.csv"));
+    const std::string& csv = artifacts.at("table5_maxpower.csv");
+    const std::size_t header_end = csv.find('\n') + 1;
+    EXPECT_EQ(csv.substr(header_end, expected_row.size()), expected_row);
+}
+
+}  // namespace
+}  // namespace hsw::engine

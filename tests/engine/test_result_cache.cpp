@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "engine/engine.hpp"
+#include "engine/result_cache.hpp"
+
+namespace hsw::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResultCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("hsw_cache_test_" +
+                std::string{::testing::UnitTest::GetInstance()->current_test_info()->name()});
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    static ExperimentSpec spec(const char* point = "all") {
+        ExperimentSpec s;
+        s.experiment = "fig3";
+        s.point = point;
+        s.set_param("samples", "40");
+        return s;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(ResultCacheTest, MissOnEmptyThenHitAfterStore) {
+    ResultCache cache{dir_};
+    EXPECT_EQ(cache.load(spec()), std::nullopt);
+    cache.store(spec(), "payload bytes\nwith newline");
+    EXPECT_EQ(cache.load(spec()), "payload bytes\nwith newline");
+}
+
+TEST_F(ResultCacheTest, StoreOverwrites) {
+    ResultCache cache{dir_};
+    cache.store(spec(), "first");
+    cache.store(spec(), "second");
+    EXPECT_EQ(cache.load(spec()), "second");
+}
+
+TEST_F(ResultCacheTest, DifferentSpecsDoNotCollide) {
+    ResultCache cache{dir_};
+    cache.store(spec("a"), "for a");
+    cache.store(spec("b"), "for b");
+    EXPECT_EQ(cache.load(spec("a")), "for a");
+    EXPECT_EQ(cache.load(spec("b")), "for b");
+}
+
+TEST_F(ResultCacheTest, TruncatedEntryIsMissNotCrash) {
+    ResultCache cache{dir_};
+    cache.store(spec(), "a payload long enough to truncate meaningfully");
+    const fs::path entry = cache.entry_path(spec());
+    const auto full_size = fs::file_size(entry);
+    for (const std::uintmax_t keep : {full_size - 1, full_size / 2,
+                                      std::uintmax_t{16}, std::uintmax_t{0}}) {
+        fs::resize_file(entry, keep);
+        EXPECT_EQ(cache.load(spec()), std::nullopt) << "kept " << keep << " bytes";
+    }
+}
+
+TEST_F(ResultCacheTest, BitFlippedPayloadIsMiss) {
+    ResultCache cache{dir_};
+    cache.store(spec(), "payload payload payload");
+    const fs::path entry = cache.entry_path(spec());
+    std::string bytes;
+    {
+        std::ifstream in{entry, std::ios::binary};
+        bytes.assign(std::istreambuf_iterator<char>{in}, {});
+    }
+    bytes[bytes.size() - 5] ^= 0x40;  // flip a bit inside the payload
+    {
+        std::ofstream out{entry, std::ios::binary | std::ios::trunc};
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_EQ(cache.load(spec()), std::nullopt);
+}
+
+TEST_F(ResultCacheTest, TrailingJunkIsMiss) {
+    ResultCache cache{dir_};
+    cache.store(spec(), "payload");
+    std::ofstream out{cache.entry_path(spec()), std::ios::binary | std::ios::app};
+    out << "extra";
+    out.close();
+    EXPECT_EQ(cache.load(spec()), std::nullopt);
+}
+
+TEST_F(ResultCacheTest, CodeVersionSaltInvalidates) {
+    ResultCache v1{dir_, "engine-v1"};
+    v1.store(spec(), "computed under v1");
+    EXPECT_EQ(v1.load(spec()), "computed under v1");
+
+    ResultCache v2{dir_, "engine-v2"};
+    EXPECT_EQ(v2.load(spec()), std::nullopt);
+    v2.store(spec(), "computed under v2");
+    EXPECT_EQ(v2.load(spec()), "computed under v2");
+    // Same path, so the v1 entry was superseded, not duplicated.
+    EXPECT_EQ(v1.load(spec()), std::nullopt);
+}
+
+// Partial rerun through the engine: editing one spec recomputes only that
+// job; the untouched jobs all come back as cache hits.
+TEST_F(ResultCacheTest, PartialRerunRecomputesOnlyEditedPoints) {
+    auto make_experiment = [](const std::string& samples) {
+        Experiment e;
+        e.name = "synthetic";
+        for (const char* point : {"a", "b", "c"}) {
+            Job job;
+            job.spec.experiment = "synthetic";
+            job.spec.point = point;
+            job.spec.set_param("samples", point == std::string{"b"} ? samples : "10");
+            job.run = [](const ExperimentSpec& s) {
+                return s.point + ":" + *s.param("samples");
+            };
+            e.jobs.push_back(std::move(job));
+        }
+        e.assemble = [](const std::vector<std::string>& payloads) {
+            std::string all;
+            for (const auto& p : payloads) all += p + "\n";
+            return std::vector<Artifact>{Artifact{"synthetic.csv", ArtifactKind::Csv, all}};
+        };
+        return e;
+    };
+
+    RunOptions options;
+    options.cache_dir = dir_;
+    const RunReport cold = run_experiments({make_experiment("10")}, options);
+    EXPECT_EQ(cold.cache_hits, 0u);
+    EXPECT_EQ(cold.cache_misses, 3u);
+
+    const RunReport warm = run_experiments({make_experiment("10")}, options);
+    EXPECT_EQ(warm.cache_hits, 3u);
+    EXPECT_EQ(warm.cache_misses, 0u);
+    ASSERT_EQ(warm.artifacts.size(), 1u);
+    EXPECT_EQ(warm.artifacts[0].contents, cold.artifacts[0].contents);
+
+    const RunReport edited = run_experiments({make_experiment("99")}, options);
+    EXPECT_EQ(edited.cache_hits, 2u);
+    EXPECT_EQ(edited.cache_misses, 1u);
+    EXPECT_NE(edited.artifacts[0].contents, cold.artifacts[0].contents);
+}
+
+}  // namespace
+}  // namespace hsw::engine

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "engine/blob.hpp"
+#include "engine/spec.hpp"
+
+namespace hsw::engine {
+namespace {
+
+TEST(Sha256, KnownVectors) {
+    // FIPS 180-4 test vectors.
+    EXPECT_EQ(sha256_hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(sha256_hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongInputCrossesBlockBoundaries) {
+    // One million 'a' characters (FIPS vector), exercising the multi-block path.
+    const std::string a_million(1'000'000, 'a');
+    EXPECT_EQ(sha256_hex(a_million),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+    // 55/56/63/64/65 bytes straddle the single- vs two-block padding split.
+    for (const std::size_t n : {55u, 56u, 63u, 64u, 65u}) {
+        EXPECT_EQ(sha256_hex(std::string(n, 'x')).size(), 64u);
+    }
+}
+
+TEST(Sha256, Prefix64IsBigEndianDigestHead) {
+    const auto digest = sha256("abc");
+    EXPECT_EQ(digest_prefix64(digest), 0xba7816bf8f01cfeaULL);
+}
+
+TEST(ExperimentSpec, CanonicalTextIsInsertionOrderIndependent) {
+    ExperimentSpec a;
+    a.experiment = "fig7";
+    a.point = "generation=Haswell-EP";
+    a.set_param("zeta", "1");
+    a.set_param("alpha", "2");
+
+    ExperimentSpec b = a;
+    b = ExperimentSpec{};
+    b.experiment = "fig7";
+    b.point = "generation=Haswell-EP";
+    b.set_param("alpha", "2");
+    b.set_param("zeta", "1");
+
+    EXPECT_EQ(a.canonical_text(), b.canonical_text());
+    EXPECT_EQ(a.hash_hex(), b.hash_hex());
+
+    // Re-setting a parameter replaces, not duplicates.
+    b.set_param("alpha", "3");
+    b.set_param("alpha", "2");
+    EXPECT_EQ(a.canonical_text(), b.canonical_text());
+}
+
+TEST(ExperimentSpec, EveryFieldReachesTheHash) {
+    ExperimentSpec base;
+    base.experiment = "fig3";
+    base.set_param("samples", "1000");
+    const std::string h0 = base.hash_hex();
+
+    ExperimentSpec s = base;
+    s.experiment = "fig4";
+    EXPECT_NE(s.hash_hex(), h0);
+
+    s = base;
+    s.point = "generation=Haswell-EP";
+    EXPECT_NE(s.hash_hex(), h0);
+
+    s = base;
+    s.base_seed = 0xDEADBEEF;
+    EXPECT_NE(s.hash_hex(), h0);
+
+    s = base;
+    s.audit = analysis::AuditMode::Strict;
+    EXPECT_NE(s.hash_hex(), h0);
+
+    s = base;
+    s.set_param("samples", "1001");
+    EXPECT_NE(s.hash_hex(), h0);
+}
+
+TEST(ExperimentSpec, JobSeedIsStableAndPointSensitive) {
+    ExperimentSpec a;
+    a.experiment = "table5";
+    a.point = "FIRESTARTER.turbo.perf";
+    EXPECT_EQ(a.job_seed(), a.job_seed());
+
+    ExperimentSpec b = a;
+    b.point = "FIRESTARTER.turbo.bal";
+    EXPECT_NE(a.job_seed(), b.job_seed());
+
+    // Not the base seed itself: jobs never consume the raw user seed.
+    EXPECT_NE(a.job_seed(), a.base_seed);
+}
+
+TEST(ExperimentSpec, ParamLookup) {
+    ExperimentSpec s;
+    s.set_param("samples", "40");
+    ASSERT_NE(s.param("samples"), nullptr);
+    EXPECT_EQ(*s.param("samples"), "40");
+    EXPECT_EQ(s.param("absent"), nullptr);
+}
+
+TEST(Blob, RoundTripsArbitraryBytes) {
+    const BlobSections sections{
+        {"csv", "a,b\n1,2\n"},
+        {"binary", std::string{"\x00\x01section x 3\n\xff", 17}},
+        {"empty", ""},
+    };
+    const std::string packed = pack_sections(sections);
+    const auto unpacked = unpack_sections(packed);
+    ASSERT_TRUE(unpacked.has_value());
+    EXPECT_EQ(*unpacked, sections);
+
+    EXPECT_EQ(section(packed, "csv"), "a,b\n1,2\n");
+    EXPECT_EQ(section(packed, "empty"), "");
+    EXPECT_EQ(section(packed, "missing"), std::nullopt);
+}
+
+TEST(Blob, RejectsCorruption) {
+    const std::string packed = pack_sections({{"csv", "payload"}});
+    EXPECT_FALSE(unpack_sections("not a blob").has_value());
+    EXPECT_FALSE(unpack_sections(packed.substr(0, packed.size() - 3)).has_value());
+    std::string bad_length = packed;
+    bad_length.replace(bad_length.find(" 7\n"), 3, " 9\n");
+    EXPECT_FALSE(unpack_sections(bad_length).has_value());
+}
+
+}  // namespace
+}  // namespace hsw::engine

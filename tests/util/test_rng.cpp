@@ -88,5 +88,41 @@ TEST(SplitMix64, KnownSequenceIsStable) {
     EXPECT_NE(sm.next(), first);
 }
 
+TEST(Rng, DeriveIsAPureFunctionOfBaseAndLabel) {
+    EXPECT_EQ(Rng::derive(42, "fig4/simultaneity"), Rng::derive(42, "fig4/simultaneity"));
+    EXPECT_NE(Rng::derive(42, "fig4/simultaneity"), Rng::derive(43, "fig4/simultaneity"));
+    EXPECT_NE(Rng::derive(42, "fig4/simultaneity"), Rng::derive(42, "engine/job-seed"));
+    // Not the identity and not trivially related to the base.
+    EXPECT_NE(Rng::derive(42, "x"), 42u);
+    EXPECT_NE(Rng::derive(42, "x"), Rng::derive(42, "y"));
+}
+
+TEST(Rng, DeriveIsUsableAtCompileTime) {
+    constexpr std::uint64_t at_compile_time = Rng::derive(7, "label");
+    EXPECT_EQ(at_compile_time, Rng::derive(7, "label"));
+}
+
+TEST(Rng, SplitGivesIndependentDeterministicStreams) {
+    Rng parent{99};
+    Rng a = parent.split("alpha");
+    Rng b = parent.split("beta");
+    Rng a_again = parent.split("alpha");
+
+    int equal_ab = 0;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t va = a.next_u64();
+        ASSERT_EQ(va, a_again.next_u64());  // same label -> same stream
+        if (va == b.next_u64()) ++equal_ab;
+    }
+    EXPECT_EQ(equal_ab, 0);  // different labels -> unrelated streams
+}
+
+TEST(Rng, SplitDoesNotPerturbTheParent) {
+    Rng a{5};
+    Rng b{5};
+    (void)a.split("child");
+    for (int i = 0; i < 10; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
 }  // namespace
 }  // namespace hsw::util
