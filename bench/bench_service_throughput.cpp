@@ -1,0 +1,167 @@
+// Measures survey-service throughput and latency through an in-process
+// SurveyService at client concurrency in {1, 4, 16}, for three cache
+// states, and emits the numbers as JSON (stdout +
+// bench_service_throughput.json):
+//
+//   cold       nothing cached: every request computes
+//   warm-disk  on-disk ResultCache populated, hot cache disabled
+//   hot        in-memory hot cache populated
+//
+// The interesting ratios: hot/cold p50 is the hot-cache win (a shard-mutex
+// lookup versus a full computation), warm-disk/hot is the cost of the disk
+// probe + SHA-256 verify the hot cache saves, and requests/s at 16 clients
+// versus 1 shows how far coalescing + sharding keep concurrent identical
+// queries from serializing.
+//
+//   bench_service_throughput [--requests N] [--experiment NAME]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+#include "util/stats.hpp"
+
+using namespace hsw;
+
+namespace {
+
+struct Scenario {
+    const char* label;
+    bool disk_cache = false;
+    bool hot_cache = false;
+    bool prewarm = false;
+};
+
+struct Measurement {
+    double wall_s = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double requests_per_s = 0.0;
+};
+
+service::protocol::Request make_request(const std::string& experiment) {
+    service::protocol::Request req;
+    req.verb = service::protocol::Verb::Query;
+    req.experiment = experiment;
+    req.quick = true;  // quick tuning keeps a bench run in seconds
+    return req;
+}
+
+Measurement measure(service::SurveyService& svc, const std::string& experiment,
+                    unsigned clients, unsigned requests) {
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&svc, &latencies, &experiment, c, clients, requests] {
+            const auto req = make_request(experiment);
+            for (unsigned i = c; i < requests; i += clients) {
+                const auto q0 = std::chrono::steady_clock::now();
+                const auto result = svc.query(req);
+                const auto q1 = std::chrono::steady_clock::now();
+                if (!result.ok()) {
+                    std::fprintf(stderr, "query failed: %s\n", result.message.c_str());
+                    std::exit(1);
+                }
+                latencies[c].push_back(
+                    std::chrono::duration<double, std::milli>{q1 - q0}.count());
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    Measurement m;
+    m.wall_s =
+        std::chrono::duration<double>{std::chrono::steady_clock::now() - t0}.count();
+    std::vector<double> all;
+    for (const auto& slice : latencies) {
+        all.insert(all.end(), slice.begin(), slice.end());
+    }
+    if (!all.empty()) {
+        m.p50_ms = util::quantile(all, 0.50);
+        m.p99_ms = util::quantile(all, 0.99);
+        m.requests_per_s = static_cast<double>(all.size()) / m.wall_s;
+    }
+    return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    unsigned requests = 64;
+    std::string experiment = "fig3";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+            requests = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--experiment") == 0 && i + 1 < argc) {
+            experiment = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--requests N] [--experiment NAME]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const std::filesystem::path disk_dir = ".hsw-service-bench-cache";
+    const Scenario scenarios[] = {
+        // Cold: no caches at all, every request recomputes -- the baseline.
+        {"cold", false, false, false},
+        // Warm disk: results on disk, hot cache off, so every request pays
+        // the file read + hash verify.
+        {"warm-disk", true, false, true},
+        // Hot: in-memory cache populated; requests cost a shard lookup.
+        {"hot", false, true, true},
+    };
+    const unsigned client_counts[] = {1, 4, 16};
+
+    std::string json = "{\n  \"experiment\": \"" + experiment + "\",\n";
+    json += "  \"requests\": " + std::to_string(requests) + ",\n  \"runs\": [\n";
+    bool first = true;
+    for (const Scenario& scenario : scenarios) {
+        for (const unsigned clients : client_counts) {
+            std::filesystem::remove_all(disk_dir);
+            service::ServiceConfig cfg;
+            cfg.workers = 4;
+            if (scenario.disk_cache) cfg.disk_cache_dir = disk_dir;
+            if (!scenario.hot_cache) cfg.hot_cache.max_bytes = 0;
+            service::SurveyService svc{cfg};
+            if (scenario.prewarm) {
+                const auto warmup = svc.query(make_request(experiment));
+                if (!warmup.ok()) {
+                    std::fprintf(stderr, "warmup failed: %s\n",
+                                 warmup.message.c_str());
+                    return 1;
+                }
+            }
+
+            const Measurement m = measure(svc, experiment, clients, requests);
+            char line[200];
+            std::snprintf(line, sizeof line,
+                          "    %s{\"scenario\": \"%s\", \"clients\": %u, "
+                          "\"req_per_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+                          first ? "" : ",", scenario.label, clients, m.requests_per_s,
+                          m.p50_ms, m.p99_ms);
+            json += line;
+            json += '\n';
+            first = false;
+            std::fprintf(stderr,
+                         "%-9s clients=%-2u %8.1f req/s  p50 %7.3f ms  p99 %7.3f ms\n",
+                         scenario.label, clients, m.requests_per_s, m.p50_ms,
+                         m.p99_ms);
+        }
+    }
+    std::filesystem::remove_all(disk_dir);
+    json += "  ]\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    std::FILE* f = std::fopen("bench_service_throughput.json", "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+    }
+    return 0;
+}

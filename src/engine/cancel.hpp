@@ -1,0 +1,67 @@
+// Cooperative per-job cancellation and deadlines.
+//
+// A CancelToken is shared between the party that owns a job (a service
+// request handler, a draining daemon) and the code that executes it. The
+// executor polls stop_requested() -- or calls check(), which throws
+// CancelledError -- at its natural checkpoints: before the cache probe,
+// before the compute, before the store. Cancellation is cooperative and
+// monotonic: once requested it never clears, and a deadline in the past is
+// indistinguishable from an explicit cancel().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace hsw::engine {
+
+/// Thrown by CancelToken::check() when the job should stop. Deliberately a
+/// distinct type so callers can tell "gave up on purpose" from a driver
+/// failure when deciding whether to retry or surface a rejection.
+class CancelledError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class CancelToken {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+    explicit CancelToken(Clock::time_point deadline) { set_deadline(deadline); }
+
+    /// Sets (or moves) the deadline; time_point::max() means none.
+    void set_deadline(Clock::time_point deadline) {
+        deadline_ns_.store(deadline.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+    }
+
+    void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+    [[nodiscard]] bool cancelled() const {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] bool expired() const {
+        const auto ns = deadline_ns_.load(std::memory_order_relaxed);
+        return ns != kNoDeadline && Clock::now().time_since_epoch().count() >= ns;
+    }
+
+    [[nodiscard]] bool stop_requested() const { return cancelled() || expired(); }
+
+    /// Throws CancelledError when cancelled or past the deadline.
+    void check() const {
+        if (cancelled()) throw CancelledError{"job cancelled"};
+        if (expired()) throw CancelledError{"job deadline exceeded"};
+    }
+
+private:
+    static constexpr Clock::rep kNoDeadline = Clock::time_point::max()
+                                                  .time_since_epoch()
+                                                  .count();
+
+    std::atomic<bool> cancelled_{false};
+    std::atomic<Clock::rep> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace hsw::engine

@@ -26,6 +26,14 @@ std::string RunReport::summary() const {
                   "%zu failed, %.0f ms total\n",
                   jobs.size(), cache_hits, cache_misses, retries, failures, wall_ms);
     out += line;
+    if (cache_enabled) {
+        std::snprintf(line, sizeof line,
+                      "  result-cache: %llu hits, %llu misses, %llu stores\n",
+                      static_cast<unsigned long long>(disk_cache.hits),
+                      static_cast<unsigned long long>(disk_cache.misses),
+                      static_cast<unsigned long long>(disk_cache.stores));
+        out += line;
+    }
 
     std::vector<const JobStats*> slowest;
     for (const auto& j : jobs) {
@@ -172,10 +180,30 @@ RunReport run_experiments(const std::vector<Experiment>& experiments,
         for (auto& a : artifacts) report.artifacts.push_back(std::move(a));
     }
 
+    if (cache) {
+        report.cache_enabled = true;
+        report.disk_cache = cache->counters();
+    }
+
     report.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - run_start)
                          .count();
     return report;
+}
+
+JobResult run_job(const Job& job, const ResultCache* cache, const CancelToken* token) {
+    if (token) token->check();
+    if (cache) {
+        if (auto hit = cache->load(job.spec)) {
+            return JobResult{std::move(*hit), JobSource::DiskCache};
+        }
+    }
+    if (token) token->check();
+    JobResult result;
+    result.payload = job.run(job.spec);
+    result.source = JobSource::Computed;
+    if (cache) cache->store(job.spec, result.payload);
+    return result;
 }
 
 void write_artifacts(const RunReport& report, const std::filesystem::path& dir,

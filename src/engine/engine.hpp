@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
+#include "engine/cancel.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/spec.hpp"
@@ -68,6 +69,11 @@ struct RunReport {
     std::vector<JobStats> jobs;          // survey order (experiment, then point)
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
+    /// The ResultCache's own probe/store tallies for this run. Unlike
+    /// cache_hits/cache_misses (one per job), these count every disk probe
+    /// -- a corrupt entry shows up here as a miss plus a re-store.
+    ResultCache::Counters disk_cache;
+    bool cache_enabled = false;
     std::size_t failures = 0;            // permanently failed jobs
     std::size_t retries = 0;
     double wall_ms = 0.0;                // whole run, scheduling included
@@ -110,5 +116,22 @@ struct RunOptions {
 /// written. Throws std::runtime_error when a file cannot be written.
 void write_artifacts(const RunReport& report, const std::filesystem::path& dir,
                      bool renders = false);
+
+/// Where a single job's payload came from.
+enum class JobSource { DiskCache, Computed };
+
+struct JobResult {
+    std::string payload;
+    JobSource source = JobSource::Computed;
+};
+
+/// Runs one job through the standard cache discipline -- probe `cache`,
+/// else compute and store -- honoring `token` at each checkpoint (throws
+/// CancelledError rather than starting doomed work). Both pointers may be
+/// null: no cache means always compute, no token means never cancel. This
+/// is the long-lived-service entry point; run_experiments() remains the
+/// batch path.
+[[nodiscard]] JobResult run_job(const Job& job, const ResultCache* cache = nullptr,
+                                const CancelToken* token = nullptr);
 
 }  // namespace hsw::engine

@@ -45,6 +45,12 @@ std::filesystem::path ResultCache::entry_path(const ExperimentSpec& spec) const 
 }
 
 std::optional<std::string> ResultCache::load(const ExperimentSpec& spec) const {
+    std::optional<std::string> payload = read_entry(spec);
+    (payload ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return payload;
+}
+
+std::optional<std::string> ResultCache::read_entry(const ExperimentSpec& spec) const {
     std::ifstream in{entry_path(spec), std::ios::binary};
     if (!in) return std::nullopt;
 
@@ -108,6 +114,15 @@ void ResultCache::store(const ExperimentSpec& spec, std::string_view payload) co
         }
     }
     std::filesystem::rename(tmp_path, final_path);
+    stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCache::Counters ResultCache::counters() const {
+    Counters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.stores = stores_.load(std::memory_order_relaxed);
+    return c;
 }
 
 }  // namespace hsw::engine

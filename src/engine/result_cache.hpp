@@ -10,6 +10,8 @@
 // over one cache directory safe.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <optional>
 #include <string>
@@ -26,6 +28,16 @@ inline constexpr std::string_view kCodeVersion = "hsw-engine-v1";
 
 class ResultCache {
 public:
+    /// Probe/store tallies since construction. `misses` counts every load
+    /// that returned nullopt -- absent entries and entries rejected as
+    /// stale/corrupt alike -- so `stores - misses` over a run exposes
+    /// redundant recomputation.
+    struct Counters {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+    };
+
     /// Creates `dir` (and parents) on first store; `salt` defaults to
     /// kCodeVersion and is overridable for tests.
     explicit ResultCache(std::filesystem::path dir,
@@ -43,9 +55,20 @@ public:
     [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
     [[nodiscard]] const std::string& salt() const { return salt_; }
 
+    /// Snapshot of the probe/store counters; safe to call while other
+    /// threads load and store.
+    [[nodiscard]] Counters counters() const;
+
 private:
+    /// load() minus the counter bookkeeping.
+    [[nodiscard]] std::optional<std::string> read_entry(const ExperimentSpec& spec) const;
+
     std::filesystem::path dir_;
     std::string salt_;
+    // Counters, not state: load()/store() stay logically const.
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    mutable std::atomic<std::uint64_t> stores_{0};
 };
 
 }  // namespace hsw::engine

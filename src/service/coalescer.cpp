@@ -1,0 +1,52 @@
+#include "service/coalescer.hpp"
+
+#include <utility>
+
+namespace hsw::service {
+
+RequestCoalescer::Ticket RequestCoalescer::join(const std::string& key) {
+    std::lock_guard lock{lock_};
+    if (const auto it = flights_.find(key); it != flights_.end()) {
+        ++followers_;
+        return Ticket{it->second->future, false};
+    }
+    auto flight = std::make_shared<Flight>();
+    flight->future = flight->promise.get_future().share();
+    flights_.emplace(key, flight);
+    ++leaders_;
+    return Ticket{flight->future, true};
+}
+
+void RequestCoalescer::complete(const std::string& key, Value value) {
+    std::shared_ptr<Flight> flight;
+    {
+        // Retire the key before waking waiters: a request arriving after
+        // completion must start fresh (and find the hot cache populated),
+        // never attach to a finished flight.
+        std::lock_guard lock{lock_};
+        const auto it = flights_.find(key);
+        if (it == flights_.end()) return;
+        flight = std::move(it->second);
+        flights_.erase(it);
+    }
+    flight->promise.set_value(std::move(value));
+}
+
+void RequestCoalescer::fail(const std::string& key, std::exception_ptr error) {
+    std::shared_ptr<Flight> flight;
+    {
+        std::lock_guard lock{lock_};
+        const auto it = flights_.find(key);
+        if (it == flights_.end()) return;
+        flight = std::move(it->second);
+        flights_.erase(it);
+    }
+    flight->promise.set_exception(std::move(error));
+}
+
+RequestCoalescer::Stats RequestCoalescer::stats() const {
+    std::lock_guard lock{lock_};
+    return Stats{leaders_, followers_, flights_.size()};
+}
+
+}  // namespace hsw::service

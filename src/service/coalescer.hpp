@@ -1,0 +1,77 @@
+// Single-flight request coalescing keyed on spec content hashes.
+//
+// When identical ExperimentSpecs arrive concurrently, exactly one caller
+// (the *leader*) computes the payload; everyone else (the *followers*)
+// blocks on a shared future and receives the same shared payload bytes.
+// The leader is chosen atomically at join() time: the first joiner of a
+// key creates the flight, later joiners attach to it. Once the leader
+// completes (or fails) the flight, it leaves the table -- a subsequent
+// join starts a fresh computation, which is what a cache-fronted service
+// wants: post-completion requests should hit the hot cache instead.
+//
+// Failure is not cached: fail() wakes the followers with the error and
+// clears the key, so a transient failure doesn't poison later requests.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/protocol.hpp"
+
+namespace hsw::service {
+
+class RequestCoalescer {
+public:
+    /// What a flight delivers: the payload bytes (shared between the
+    /// leader and all followers) plus where the leader got them, so a
+    /// follower's response reports the true provenance.
+    struct Value {
+        std::shared_ptr<const std::string> payload;
+        protocol::Source source = protocol::Source::Computed;
+    };
+
+    struct Ticket {
+        /// Resolves when the flight's leader completes or fails.
+        std::shared_future<Value> result;
+        /// True for exactly one joiner per flight: that caller MUST later
+        /// call complete() or fail() for the same key, or followers hang.
+        bool leader = false;
+    };
+
+    struct Stats {
+        std::uint64_t leaders = 0;
+        std::uint64_t followers = 0;
+        std::size_t in_flight = 0;
+    };
+
+    /// Joins (or starts) the flight for `key`.
+    [[nodiscard]] Ticket join(const std::string& key);
+
+    /// Leader-only: publishes the payload to every waiter and retires the
+    /// flight.
+    void complete(const std::string& key, Value value);
+
+    /// Leader-only: propagates `error` to every waiter and retires the
+    /// flight.
+    void fail(const std::string& key, std::exception_ptr error);
+
+    [[nodiscard]] Stats stats() const;
+
+private:
+    struct Flight {
+        std::promise<Value> promise;
+        std::shared_future<Value> future;
+    };
+
+    mutable std::mutex lock_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+    std::uint64_t leaders_ = 0;
+    std::uint64_t followers_ = 0;
+};
+
+}  // namespace hsw::service

@@ -1,0 +1,100 @@
+#include "service/hot_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace hsw::service {
+
+HotCache::HotCache(HotCacheConfig cfg) : cfg_{cfg} {
+    cfg_.shards = std::max(1u, cfg_.shards);
+    per_shard_budget_ = cfg_.max_bytes / cfg_.shards;
+    shards_ = std::vector<Shard>(cfg_.shards);
+}
+
+HotCache::Shard& HotCache::shard_for(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+HotCache::Value HotCache::lookup(const std::string& key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock{shard.lock};
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        ++shard.misses;
+        return nullptr;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->value;
+}
+
+HotCache::Value HotCache::insert(const std::string& key, std::string payload,
+                                 bool pinned) {
+    Value value = std::make_shared<const std::string>(std::move(payload));
+    if (cfg_.max_bytes == 0) return value;
+
+    Shard& shard = shard_for(key);
+    std::lock_guard lock{shard.lock};
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        // Refresh in place; identical specs produce identical bytes, but a
+        // refresh still replaces the value so the byte accounting is exact.
+        shard.bytes -= it->second->value->size();
+        it->second->value = value;
+        if (pinned) ++it->second->pins;
+        shard.bytes += value->size();
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+        shard.lru.push_front(Entry{key, value, pinned ? 1u : 0u});
+        shard.map.emplace(key, shard.lru.begin());
+        shard.bytes += value->size();
+        ++shard.insertions;
+    }
+    evict_over_budget(shard);
+    return value;
+}
+
+void HotCache::evict_over_budget(Shard& shard) {
+    auto it = shard.lru.end();
+    while (shard.bytes > per_shard_budget_ && it != shard.lru.begin()) {
+        --it;
+        if (it->pins > 0) continue;  // in-flight fan-out; never dropped
+        shard.bytes -= it->value->size();
+        shard.map.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.evictions;
+    }
+}
+
+void HotCache::unpin(const std::string& key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock{shard.lock};
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second->pins > 0) --it->second->pins;
+}
+
+HotCacheStats HotCache::stats() const {
+    HotCacheStats out;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock{shard.lock};
+        out.hits += shard.hits;
+        out.misses += shard.misses;
+        out.insertions += shard.insertions;
+        out.evictions += shard.evictions;
+        out.entries += shard.map.size();
+        out.bytes += shard.bytes;
+    }
+    return out;
+}
+
+void HotCache::clear() {
+    for (auto& shard : shards_) {
+        std::lock_guard lock{shard.lock};
+        shard.lru.clear();
+        shard.map.clear();
+        shard.bytes = 0;
+    }
+}
+
+}  // namespace hsw::service

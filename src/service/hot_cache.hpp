@@ -1,0 +1,104 @@
+// Sharded in-memory LRU cache for job payload blobs.
+//
+// Sits in front of the on-disk ResultCache: a hot-cache hit costs one shard
+// mutex and a map lookup instead of a file read plus a SHA-256 verify. Keys
+// are spec content hashes (hex), so shard selection and equality never
+// touch payload bytes. The byte budget is split evenly across shards, each
+// with its own mutex and LRU list -- concurrent lookups of different specs
+// rarely contend.
+//
+// Values are shared_ptr<const string>: eviction drops the cache's
+// reference, never the bytes a reader still holds. On top of that, entries
+// can be *pinned* (a coalescing leader pins while fanning a fresh result
+// out to its waiters); a pinned entry is skipped by eviction even when the
+// shard is over budget, so an in-flight entry can never be dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hsw::service {
+
+struct HotCacheConfig {
+    /// Total payload-byte budget across all shards. 0 disables the cache
+    /// entirely (every lookup misses, inserts are dropped) -- useful for
+    /// isolating the warm-disk path in benches.
+    std::size_t max_bytes = 64u << 20;
+    /// Shard count; clamped to at least 1. More shards = less lock
+    /// contention, coarser per-shard budget.
+    unsigned shards = 8;
+};
+
+struct HotCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;  // payload bytes currently resident
+};
+
+class HotCache {
+public:
+    using Value = std::shared_ptr<const std::string>;
+
+    explicit HotCache(HotCacheConfig cfg = {});
+
+    /// The cached payload, or nullptr on miss. A hit moves the entry to
+    /// the front of its shard's LRU list.
+    [[nodiscard]] Value lookup(const std::string& key);
+
+    /// Inserts (or refreshes) the entry and returns the stored value.
+    /// `pinned` entries are exempt from eviction until unpin(); eviction of
+    /// *other* entries still runs to make room. With max_bytes == 0 the
+    /// payload is returned but not retained.
+    Value insert(const std::string& key, std::string payload, bool pinned = false);
+
+    /// Drops the eviction exemption; a no-op for absent keys. Entries whose
+    /// shard is over budget become evictable on the next insert, not
+    /// immediately -- unpin never frees memory itself.
+    void unpin(const std::string& key);
+
+    /// Aggregated over all shards; counters are lifetime totals.
+    [[nodiscard]] HotCacheStats stats() const;
+
+    void clear();
+
+    [[nodiscard]] std::size_t max_bytes() const { return cfg_.max_bytes; }
+
+private:
+    struct Entry {
+        std::string key;
+        Value value;
+        unsigned pins = 0;
+    };
+    using LruList = std::list<Entry>;
+
+    struct Shard {
+        mutable std::mutex lock;
+        LruList lru;  // front = most recently used
+        std::unordered_map<std::string, LruList::iterator> map;
+        std::size_t bytes = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    Shard& shard_for(const std::string& key);
+    /// Evicts unpinned LRU-tail entries until `shard` fits its budget (or
+    /// only pinned entries remain). Caller holds the shard lock.
+    void evict_over_budget(Shard& shard);
+
+    HotCacheConfig cfg_;
+    std::size_t per_shard_budget_ = 0;
+    std::vector<Shard> shards_;
+};
+
+}  // namespace hsw::service

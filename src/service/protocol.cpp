@@ -1,0 +1,343 @@
+#include "service/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/spec.hpp"  // engine::name(AuditMode)
+
+namespace hsw::service::protocol {
+
+namespace {
+
+void set_error(std::string* error, std::string_view reason) {
+    if (error) *error = std::string{reason};
+}
+
+/// Consumes "<key> <value>\n" from the front of `text`; empty value lines
+/// ("<key>\n") are legal. False when `text` is exhausted.
+bool next_line(std::string_view& text, std::string_view& key, std::string_view& value) {
+    if (text.empty()) return false;
+    const std::size_t eol = text.find('\n');
+    std::string_view line = eol == std::string_view::npos ? text : text.substr(0, eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+        key = line;
+        value = {};
+    } else {
+        key = line.substr(0, space);
+        value = line.substr(space + 1);
+    }
+    return true;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    const std::string copy{text};
+    errno = 0;
+    const unsigned long long v = std::strtoull(copy.c_str(), &end, 0);
+    if (errno != 0 || end != copy.c_str() + copy.size()) return false;
+    out = v;
+    return true;
+}
+
+bool parse_bool(std::string_view text, bool& out) {
+    if (text == "0") {
+        out = false;
+    } else if (text == "1") {
+        out = true;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool consume_magic(std::string_view& text, std::string* error) {
+    std::string_view key, value;
+    if (!next_line(text, key, value) ||
+        std::string_view{kMagic} != (std::string{key} + ' ' + std::string{value})) {
+        set_error(error, "bad magic line");
+        return false;
+    }
+    return true;
+}
+
+/// Full I/O loop; false on error or EOF before `len` bytes.
+bool read_exact(int fd, char* buf, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::read(fd, buf, len);
+        if (n == 0) return false;
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        buf += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool write_all(int fd, const char* buf, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::write(fd, buf, len);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        buf += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string_view name(Verb v) {
+    switch (v) {
+        case Verb::Ping: return "ping";
+        case Verb::Query: return "query";
+        case Verb::Stats: return "stats";
+        case Verb::Shutdown: return "shutdown";
+    }
+    return "ping";
+}
+
+std::string_view name(ErrorCode c) {
+    switch (c) {
+        case ErrorCode::None: return "none";
+        case ErrorCode::MalformedRequest: return "malformed-request";
+        case ErrorCode::UnknownExperiment: return "unknown-experiment";
+        case ErrorCode::UnknownPoint: return "unknown-point";
+        case ErrorCode::Overloaded: return "overloaded";
+        case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
+        case ErrorCode::ShuttingDown: return "shutting-down";
+        case ErrorCode::Internal: return "internal";
+    }
+    return "internal";
+}
+
+std::string_view name(Source s) {
+    switch (s) {
+        case Source::HotCache: return "hot-cache";
+        case Source::DiskCache: return "disk-cache";
+        case Source::Computed: return "computed";
+    }
+    return "computed";
+}
+
+std::string Request::encode() const {
+    std::string out{kMagic};
+    out += '\n';
+    out += "verb ";
+    out += name(verb);
+    out += '\n';
+    if (verb == Verb::Query) {
+        out += "experiment " + experiment + '\n';
+        out += "point " + point + '\n';
+        char seed_buf[32];
+        std::snprintf(seed_buf, sizeof seed_buf, "seed 0x%016llx\n",
+                      static_cast<unsigned long long>(seed));
+        out += seed_buf;
+        out += "audit ";
+        out += engine::name(audit);
+        out += '\n';
+        out += "quick ";
+        out += quick ? '1' : '0';
+        out += '\n';
+    }
+    out += "deadline-ms " + std::to_string(deadline_ms) + '\n';
+    return out;
+}
+
+std::optional<Request> parse_request(std::string_view text, std::string* error) {
+    if (!consume_magic(text, error)) return std::nullopt;
+
+    Request req;
+    bool have_verb = false;
+    std::string_view key, value;
+    while (next_line(text, key, value)) {
+        if (key == "verb") {
+            if (value == "ping") {
+                req.verb = Verb::Ping;
+            } else if (value == "query") {
+                req.verb = Verb::Query;
+            } else if (value == "stats") {
+                req.verb = Verb::Stats;
+            } else if (value == "shutdown") {
+                req.verb = Verb::Shutdown;
+            } else {
+                set_error(error, "unknown verb");
+                return std::nullopt;
+            }
+            have_verb = true;
+        } else if (key == "experiment") {
+            req.experiment = std::string{value};
+        } else if (key == "point") {
+            if (value.empty()) {
+                set_error(error, "empty point");
+                return std::nullopt;
+            }
+            req.point = std::string{value};
+        } else if (key == "seed") {
+            if (!parse_u64(value, req.seed)) {
+                set_error(error, "bad seed");
+                return std::nullopt;
+            }
+        } else if (key == "audit") {
+            if (value == "off") {
+                req.audit = analysis::AuditMode::Off;
+            } else if (value == "warn") {
+                req.audit = analysis::AuditMode::Warn;
+            } else if (value == "strict") {
+                req.audit = analysis::AuditMode::Strict;
+            } else {
+                set_error(error, "bad audit mode");
+                return std::nullopt;
+            }
+        } else if (key == "quick") {
+            if (!parse_bool(value, req.quick)) {
+                set_error(error, "bad quick flag");
+                return std::nullopt;
+            }
+        } else if (key == "deadline-ms") {
+            std::uint64_t ms = 0;
+            if (!parse_u64(value, ms) || ms > 0xFFFFFFFFull) {
+                set_error(error, "bad deadline-ms");
+                return std::nullopt;
+            }
+            req.deadline_ms = static_cast<std::uint32_t>(ms);
+        } else if (!key.empty()) {
+            set_error(error, "unknown request field: " + std::string{key});
+            return std::nullopt;
+        }
+    }
+    if (!have_verb) {
+        set_error(error, "missing verb");
+        return std::nullopt;
+    }
+    if (req.verb == Verb::Query && req.experiment.empty()) {
+        set_error(error, "query without experiment");
+        return std::nullopt;
+    }
+    return req;
+}
+
+std::string Response::encode() const {
+    std::string out{kMagic};
+    out += '\n';
+    out += ok() ? "status ok\n" : "status error\n";
+    if (!ok()) {
+        out += "code ";
+        out += name(code);
+        out += '\n';
+    } else {
+        out += "source ";
+        out += name(source);
+        out += '\n';
+    }
+    out += "payload-bytes " + std::to_string(payload.size()) + '\n';
+    out += payload;
+    return out;
+}
+
+std::optional<Response> parse_response(std::string_view text, std::string* error) {
+    if (!consume_magic(text, error)) return std::nullopt;
+
+    Response resp;
+    bool have_status = false;
+    bool status_ok = false;
+    std::string_view key, value;
+    while (next_line(text, key, value)) {
+        if (key == "status") {
+            if (value == "ok") {
+                status_ok = true;
+            } else if (value == "error") {
+                status_ok = false;
+            } else {
+                set_error(error, "bad status");
+                return std::nullopt;
+            }
+            have_status = true;
+        } else if (key == "code") {
+            bool known = false;
+            for (const ErrorCode c :
+                 {ErrorCode::MalformedRequest, ErrorCode::UnknownExperiment,
+                  ErrorCode::UnknownPoint, ErrorCode::Overloaded,
+                  ErrorCode::DeadlineExceeded, ErrorCode::ShuttingDown,
+                  ErrorCode::Internal}) {
+                if (value == name(c)) {
+                    resp.code = c;
+                    known = true;
+                }
+            }
+            if (!known) {
+                set_error(error, "unknown error code");
+                return std::nullopt;
+            }
+        } else if (key == "source") {
+            bool known = false;
+            for (const Source s :
+                 {Source::HotCache, Source::DiskCache, Source::Computed}) {
+                if (value == name(s)) {
+                    resp.source = s;
+                    known = true;
+                }
+            }
+            if (!known) {
+                set_error(error, "unknown source");
+                return std::nullopt;
+            }
+        } else if (key == "payload-bytes") {
+            std::uint64_t n = 0;
+            if (!parse_u64(value, n) || n != text.size()) {
+                set_error(error, "payload length mismatch");
+                return std::nullopt;
+            }
+            resp.payload = std::string{text};
+            break;  // everything after this line is payload
+        } else {
+            set_error(error, "unknown response field: " + std::string{key});
+            return std::nullopt;
+        }
+    }
+    if (!have_status) {
+        set_error(error, "missing status");
+        return std::nullopt;
+    }
+    if (!status_ok && resp.code == ErrorCode::None) {
+        set_error(error, "error status without code");
+        return std::nullopt;
+    }
+    if (status_ok) resp.code = ErrorCode::None;
+    return resp;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+    if (payload.size() > kMaxFrameBytes) return false;
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const char prefix[4] = {static_cast<char>(len >> 24), static_cast<char>(len >> 16),
+                            static_cast<char>(len >> 8), static_cast<char>(len)};
+    return write_all(fd, prefix, sizeof prefix) &&
+           write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+    unsigned char prefix[4];
+    if (!read_exact(fd, reinterpret_cast<char*>(prefix), sizeof prefix)) {
+        return std::nullopt;
+    }
+    const std::uint32_t len = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                              (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                              (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                              static_cast<std::uint32_t>(prefix[3]);
+    if (len > kMaxFrameBytes) return std::nullopt;
+    std::string payload(len, '\0');
+    if (!read_exact(fd, payload.data(), payload.size())) return std::nullopt;
+    return payload;
+}
+
+}  // namespace hsw::service::protocol

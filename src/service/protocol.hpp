@@ -1,0 +1,104 @@
+// The survey service's request/response protocol.
+//
+// Transport framing is a 4-byte big-endian payload length followed by the
+// payload -- trivially parseable from any language, bounded so a garbage
+// length can't allocate unbounded memory. Frame payloads are line-based
+// text headers (in the spirit of the spec's canonical serialization:
+// inspectable with a pager) followed by length-prefixed raw bytes:
+//
+//   hsw-survey-rpc v1\n
+//   verb query\n
+//   experiment fig3\n
+//   point *\n                  ("*" = whole experiment, assembled artifacts)
+//   seed 0x0000000000c0ffee\n
+//   audit off\n
+//   quick 0\n
+//   deadline-ms 5000\n         (0 = no deadline)
+//
+// Responses carry a status, a structured error code on rejection, the
+// payload's provenance (hot cache / disk cache / computed) on success, and
+// the payload bytes. A whole-experiment payload is a blob (see
+// engine/blob.hpp) with one section per artifact, named "csv:<filename>"
+// or "render:<filename>" in assembly order; a single-point payload is the
+// job's raw payload blob, byte-identical to what the batch engine caches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/audit_config.hpp"
+
+namespace hsw::service::protocol {
+
+inline constexpr std::string_view kMagic = "hsw-survey-rpc v1";
+
+/// Hard ceiling on a single frame, request or response. Large enough for
+/// any assembled survey artifact set, small enough that a malicious or
+/// corrupt length prefix cannot balloon memory.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class Verb { Ping, Query, Stats, Shutdown };
+
+/// Structured rejection reasons; the numeric value is wire ABI, append only.
+enum class ErrorCode {
+    None = 0,
+    MalformedRequest = 1,
+    UnknownExperiment = 2,
+    UnknownPoint = 3,
+    Overloaded = 4,        // admission control: bounded queue full
+    DeadlineExceeded = 5,  // request deadline elapsed before completion
+    ShuttingDown = 6,      // service is draining
+    Internal = 7,          // job threw; message carries the what()
+};
+
+/// Provenance of a successful response's payload. A whole-experiment query
+/// reports the *worst* source over its jobs (computed > disk > hot), so
+/// "hot" means every job was served from memory.
+enum class Source { HotCache, DiskCache, Computed };
+
+[[nodiscard]] std::string_view name(Verb v);
+[[nodiscard]] std::string_view name(ErrorCode c);
+[[nodiscard]] std::string_view name(Source s);
+
+struct Request {
+    Verb verb = Verb::Ping;
+    std::string experiment;     // query only
+    std::string point = "*";    // "*" = all points, assembled
+    std::uint64_t seed = 0xC0FFEE;
+    analysis::AuditMode audit = analysis::AuditMode::Off;
+    bool quick = false;         // SurveyTuning::quick() parameters
+    std::uint32_t deadline_ms = 0;  // 0 = none
+
+    [[nodiscard]] std::string encode() const;
+};
+
+/// nullopt on malformed input; `error` (when non-null) gets a one-line
+/// reason suitable for a MalformedRequest response.
+[[nodiscard]] std::optional<Request> parse_request(std::string_view text,
+                                                   std::string* error = nullptr);
+
+struct Response {
+    ErrorCode code = ErrorCode::None;  // None == success
+    Source source = Source::Computed;  // success only
+    std::string payload;  // artifacts blob / job blob / stats text / error detail
+
+    [[nodiscard]] bool ok() const { return code == ErrorCode::None; }
+    [[nodiscard]] std::string encode() const;
+};
+
+[[nodiscard]] std::optional<Response> parse_response(std::string_view text,
+                                                     std::string* error = nullptr);
+
+// --- Frame I/O over file descriptors (sockets, pipes) ---
+
+/// Writes the 4-byte length prefix plus the payload; retries short writes.
+/// False on any I/O error or when `payload` exceeds kMaxFrameBytes.
+bool write_frame(int fd, std::string_view payload);
+
+/// Reads one frame. nullopt on clean EOF before the first byte, on a
+/// truncated frame, on I/O error, or on an oversized length prefix.
+[[nodiscard]] std::optional<std::string> read_frame(int fd);
+
+}  // namespace hsw::service::protocol

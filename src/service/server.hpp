@@ -1,0 +1,116 @@
+// Loopback TCP front-end for SurveyService.
+//
+// One acceptor thread plus one thread per connection; connections speak
+// the length-prefixed protocol (see protocol.hpp) and may pipeline any
+// number of requests. The connection threads only parse, dispatch to the
+// service (which enforces admission control on its own bounded pool), and
+// write responses -- so a slow compute never blocks accept(), and an
+// overloaded service answers with structured rejections instead of
+// stalling the socket.
+//
+// Shutdown paths converge on stop(): the `shutdown` verb, a signal
+// handler, or the owner calling it directly. stop() closes the listening
+// socket (unblocking accept), lets in-flight requests finish, drains the
+// service, and joins every thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace hsw::service {
+
+struct ServerConfig {
+    /// Loopback only by default; this is a measurement service, not an
+    /// internet-facing one.
+    std::string bind_address = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port (read it back via port()).
+    std::uint16_t port = 0;
+    /// Concurrent connections; excess connects receive one Overloaded
+    /// response and are closed.
+    unsigned max_connections = 64;
+    ServiceConfig service;
+};
+
+class SurveyServer {
+public:
+    /// Binds and listens; throws std::runtime_error on socket failure.
+    explicit SurveyServer(ServerConfig cfg = {});
+    ~SurveyServer();
+
+    SurveyServer(const SurveyServer&) = delete;
+    SurveyServer& operator=(const SurveyServer&) = delete;
+
+    /// The bound port (useful with cfg.port == 0).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Runs the accept loop on a background thread and returns.
+    void start();
+
+    /// Blocks until the server has stopped (shutdown verb or stop()).
+    void wait();
+
+    /// Idempotent: stop accepting, finish in-flight connections, drain the
+    /// service, join all threads.
+    void stop();
+
+    [[nodiscard]] bool stopped() const;
+
+    [[nodiscard]] SurveyService& service() { return *service_; }
+
+private:
+    void accept_loop();
+    void serve_connection(int fd);
+
+    ServerConfig cfg_;
+    std::unique_ptr<SurveyService> service_;
+    std::atomic<int> listen_fd_{-1};
+    std::uint16_t port_ = 0;
+
+    std::thread acceptor_;
+    // Spawned by the `shutdown` verb so the connection thread itself is
+    // never asked to join itself; reaped by the destructor.
+    std::mutex stopper_lock_;
+    std::thread stopper_;
+    std::mutex connections_lock_;
+    std::vector<std::thread> connections_;
+    // Sockets currently served; stop() shuts them down to unblock reads.
+    // Entries are removed (under the lock) before close(), so a shutdown
+    // can never hit a recycled descriptor.
+    std::vector<int> open_fds_;
+    std::atomic<unsigned> open_connections_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+    std::once_flag stop_once_;
+    std::mutex stopped_lock_;
+    std::condition_variable stopped_cv_;
+};
+
+/// Blocking protocol client used by hsw_query and the tests. One
+/// connection, synchronous call(); not thread-safe -- use one client per
+/// thread.
+class ServiceClient {
+public:
+    /// Throws std::runtime_error when the connection fails.
+    ServiceClient(const std::string& host, std::uint16_t port);
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient&) = delete;
+    ServiceClient& operator=(const ServiceClient&) = delete;
+
+    /// Sends the request and waits for the response; throws
+    /// std::runtime_error on transport or framing errors.
+    [[nodiscard]] protocol::Response call(const protocol::Request& request);
+
+private:
+    int fd_ = -1;
+};
+
+}  // namespace hsw::service

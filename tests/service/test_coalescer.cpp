@@ -1,0 +1,155 @@
+// RequestCoalescer: single-flight semantics under real thread contention.
+#include "service/coalescer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace hsw::service;
+
+namespace {
+
+RequestCoalescer::Value make_value(std::string bytes,
+                                   protocol::Source source = protocol::Source::Computed) {
+    return {std::make_shared<const std::string>(std::move(bytes)), source};
+}
+
+}  // namespace
+
+TEST(CoalescerTest, FirstJoinerIsLeader) {
+    RequestCoalescer coalescer;
+    auto first = coalescer.join("spec");
+    auto second = coalescer.join("spec");
+    EXPECT_TRUE(first.leader);
+    EXPECT_FALSE(second.leader);
+
+    coalescer.complete("spec", make_value("payload"));
+    EXPECT_EQ(*first.result.get().payload, "payload");
+    EXPECT_EQ(*second.result.get().payload, "payload");
+    // Both waiters share the leader's allocation.
+    EXPECT_EQ(first.result.get().payload.get(), second.result.get().payload.get());
+}
+
+TEST(CoalescerTest, ExactlyOneLeaderAmongConcurrentJoiners) {
+    RequestCoalescer coalescer;
+    constexpr int kThreads = 16;
+    std::atomic<int> leaders{0};
+    std::atomic<int> delivered{0};
+    std::barrier sync{kThreads};
+    std::barrier all_joined{kThreads};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            sync.arrive_and_wait();  // maximize join() contention
+            auto ticket = coalescer.join("hot-spec");
+            if (ticket.leader) leaders.fetch_add(1);
+            // Nobody completes until everyone joined, so no thread can
+            // arrive after the flight retired and start a fresh one.
+            all_joined.arrive_and_wait();
+            if (ticket.leader) coalescer.complete("hot-spec", make_value("once"));
+            if (*ticket.result.get().payload == "once") delivered.fetch_add(1);
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(leaders.load(), 1);
+    EXPECT_EQ(delivered.load(), kThreads);
+    EXPECT_EQ(coalescer.stats().in_flight, 0u);
+    EXPECT_EQ(coalescer.stats().leaders, 1u);
+    EXPECT_EQ(coalescer.stats().followers,
+              static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(CoalescerTest, DistinctKeysGetDistinctLeaders) {
+    RequestCoalescer coalescer;
+    auto a = coalescer.join("spec-a");
+    auto b = coalescer.join("spec-b");
+    EXPECT_TRUE(a.leader);
+    EXPECT_TRUE(b.leader);
+    coalescer.complete("spec-a", make_value("A"));
+    coalescer.complete("spec-b", make_value("B"));
+    EXPECT_EQ(*a.result.get().payload, "A");
+    EXPECT_EQ(*b.result.get().payload, "B");
+}
+
+TEST(CoalescerTest, ValueCarriesProvenance) {
+    RequestCoalescer coalescer;
+    auto leader = coalescer.join("k");
+    auto follower = coalescer.join("k");
+    coalescer.complete("k", make_value("bytes", protocol::Source::DiskCache));
+    EXPECT_EQ(follower.result.get().source, protocol::Source::DiskCache);
+    EXPECT_EQ(leader.result.get().source, protocol::Source::DiskCache);
+}
+
+TEST(CoalescerTest, FailurePropagatesToEveryWaiter) {
+    RequestCoalescer coalescer;
+    auto leader = coalescer.join("doomed");
+    auto follower = coalescer.join("doomed");
+    ASSERT_TRUE(leader.leader);
+
+    coalescer.fail("doomed",
+                   std::make_exception_ptr(std::runtime_error{"job exploded"}));
+    EXPECT_THROW((void)leader.result.get(), std::runtime_error);
+    EXPECT_THROW((void)follower.result.get(), std::runtime_error);
+}
+
+TEST(CoalescerTest, FailureIsNotCached) {
+    RequestCoalescer coalescer;
+    auto first = coalescer.join("retry");
+    coalescer.fail("retry", std::make_exception_ptr(std::runtime_error{"transient"}));
+    EXPECT_THROW((void)first.result.get(), std::runtime_error);
+
+    // The failed flight left the table: the next join starts fresh and can
+    // succeed.
+    auto second = coalescer.join("retry");
+    EXPECT_TRUE(second.leader);
+    coalescer.complete("retry", make_value("recovered"));
+    EXPECT_EQ(*second.result.get().payload, "recovered");
+}
+
+TEST(CoalescerTest, PostCompletionJoinStartsFreshFlight) {
+    RequestCoalescer coalescer;
+    auto first = coalescer.join("k");
+    coalescer.complete("k", make_value("v1"));
+    ASSERT_EQ(*first.result.get().payload, "v1");
+
+    auto second = coalescer.join("k");
+    EXPECT_TRUE(second.leader);  // not attached to the retired flight
+    coalescer.complete("k", make_value("v2"));
+    EXPECT_EQ(*second.result.get().payload, "v2");
+}
+
+TEST(CoalescerTest, ConcurrentDistinctKeysComputeExactlyOnceEach) {
+    RequestCoalescer coalescer;
+    constexpr int kKeys = 8;
+    constexpr int kThreadsPerKey = 4;
+    std::atomic<int> computations{0};
+    std::barrier all_joined{kKeys * kThreadsPerKey};
+
+    std::vector<std::thread> threads;
+    for (int k = 0; k < kKeys; ++k) {
+        for (int t = 0; t < kThreadsPerKey; ++t) {
+            threads.emplace_back([&, k] {
+                const std::string key = "key-" + std::to_string(k);
+                auto ticket = coalescer.join(key);
+                all_joined.arrive_and_wait();  // see ExactlyOneLeader test
+                if (ticket.leader) {
+                    computations.fetch_add(1);
+                    coalescer.complete(key, make_value(key + "-payload"));
+                }
+                EXPECT_EQ(*ticket.result.get().payload, key + "-payload");
+            });
+        }
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(computations.load(), kKeys);
+    EXPECT_EQ(coalescer.stats().leaders, static_cast<std::uint64_t>(kKeys));
+}

@@ -1,0 +1,194 @@
+// Wire protocol: encode/parse round trips, malformed-input rejection, and
+// frame I/O over a real pipe.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+using namespace hsw::service::protocol;
+
+namespace {
+
+struct Pipe {
+    int read_fd = -1;
+    int write_fd = -1;
+    Pipe() {
+        int fds[2];
+        EXPECT_EQ(::pipe(fds), 0);
+        read_fd = fds[0];
+        write_fd = fds[1];
+    }
+    ~Pipe() {
+        if (read_fd >= 0) ::close(read_fd);
+        if (write_fd >= 0) ::close(write_fd);
+    }
+    void close_write() {
+        ::close(write_fd);
+        write_fd = -1;
+    }
+};
+
+}  // namespace
+
+TEST(ProtocolTest, RequestRoundTripPreservesEveryField) {
+    Request req;
+    req.verb = Verb::Query;
+    req.experiment = "fig7";
+    req.point = "stride=64";
+    req.seed = 0xDEADBEEFCAFEull;
+    req.audit = hsw::analysis::AuditMode::Strict;
+    req.quick = true;
+    req.deadline_ms = 1500;
+
+    std::string error;
+    const auto parsed = parse_request(req.encode(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->verb, Verb::Query);
+    EXPECT_EQ(parsed->experiment, "fig7");
+    EXPECT_EQ(parsed->point, "stride=64");
+    EXPECT_EQ(parsed->seed, 0xDEADBEEFCAFEull);
+    EXPECT_EQ(parsed->audit, hsw::analysis::AuditMode::Strict);
+    EXPECT_TRUE(parsed->quick);
+    EXPECT_EQ(parsed->deadline_ms, 1500u);
+}
+
+TEST(ProtocolTest, NonQueryVerbsOmitQueryFields) {
+    Request req;
+    req.verb = Verb::Ping;
+    const std::string wire = req.encode();
+    EXPECT_EQ(wire.find("experiment"), std::string::npos);
+    const auto parsed = parse_request(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->verb, Verb::Ping);
+}
+
+TEST(ProtocolTest, RequestParseRejectsMalformedInput) {
+    const struct {
+        const char* wire;
+        const char* why;
+    } cases[] = {
+        {"not-the-magic\nverb ping\n", "bad magic"},
+        {"hsw-survey-rpc v1\n", "missing verb"},
+        {"hsw-survey-rpc v1\nverb frobnicate\n", "unknown verb"},
+        {"hsw-survey-rpc v1\nverb query\n", "query without experiment"},
+        {"hsw-survey-rpc v1\nverb query\nexperiment fig3\nseed zzz\n", "bad seed"},
+        {"hsw-survey-rpc v1\nverb query\nexperiment fig3\naudit loud\n", "bad audit"},
+        {"hsw-survey-rpc v1\nverb query\nexperiment fig3\nquick maybe\n",
+         "bad quick"},
+        {"hsw-survey-rpc v1\nverb ping\nbogus-field 1\n", "unknown field"},
+        {"hsw-survey-rpc v1\nverb query\nexperiment fig3\npoint\n", "empty point"},
+        {"hsw-survey-rpc v1\nverb ping\ndeadline-ms 99999999999\n",
+         "deadline overflow"},
+    };
+    for (const auto& c : cases) {
+        std::string error;
+        EXPECT_FALSE(parse_request(c.wire, &error).has_value()) << c.why;
+        EXPECT_FALSE(error.empty()) << c.why;
+    }
+}
+
+TEST(ProtocolTest, SuccessResponseRoundTrip) {
+    Response resp;
+    resp.code = ErrorCode::None;
+    resp.source = Source::DiskCache;
+    // Payload with newlines and a fake header line: the length prefix must
+    // keep the parser from reading it as protocol text.
+    resp.payload = "line1\npayload-bytes 9999\nline3";
+
+    std::string error;
+    const auto parsed = parse_response(resp.encode(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_TRUE(parsed->ok());
+    EXPECT_EQ(parsed->source, Source::DiskCache);
+    EXPECT_EQ(parsed->payload, resp.payload);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrip) {
+    Response resp;
+    resp.code = ErrorCode::Overloaded;
+    resp.payload = "queue full (64 pending)";
+    const auto parsed = parse_response(resp.encode());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(parsed->ok());
+    EXPECT_EQ(parsed->code, ErrorCode::Overloaded);
+    EXPECT_EQ(parsed->payload, "queue full (64 pending)");
+}
+
+TEST(ProtocolTest, ResponseParseRejectsLengthMismatch) {
+    std::string wire = "hsw-survey-rpc v1\nstatus ok\nsource computed\n";
+    wire += "payload-bytes 10\nshort";  // claims 10, carries 5
+    std::string error;
+    EXPECT_FALSE(parse_response(wire, &error).has_value());
+    EXPECT_EQ(error, "payload length mismatch");
+}
+
+TEST(ProtocolTest, ResponseParseRejectsErrorWithoutCode) {
+    std::string error;
+    EXPECT_FALSE(
+        parse_response("hsw-survey-rpc v1\nstatus error\npayload-bytes 0\n", &error)
+            .has_value());
+    EXPECT_EQ(error, "error status without code");
+}
+
+TEST(ProtocolTest, FrameRoundTripOverPipe) {
+    Pipe pipe;
+    const std::string payload{"hello frame \x00\x01\x02 binary", 22};  // embedded NUL
+    ASSERT_TRUE(write_frame(pipe.write_fd, payload));
+    const auto read_back = read_frame(pipe.read_fd);
+    ASSERT_TRUE(read_back.has_value());
+    EXPECT_EQ(*read_back, payload);
+}
+
+TEST(ProtocolTest, EmptyFrameIsLegal) {
+    Pipe pipe;
+    ASSERT_TRUE(write_frame(pipe.write_fd, ""));
+    const auto read_back = read_frame(pipe.read_fd);
+    ASSERT_TRUE(read_back.has_value());
+    EXPECT_TRUE(read_back->empty());
+}
+
+TEST(ProtocolTest, SequentialFramesStayDelimited) {
+    Pipe pipe;
+    ASSERT_TRUE(write_frame(pipe.write_fd, "first"));
+    ASSERT_TRUE(write_frame(pipe.write_fd, "second\nwith newline"));
+    EXPECT_EQ(*read_frame(pipe.read_fd), "first");
+    EXPECT_EQ(*read_frame(pipe.read_fd), "second\nwith newline");
+}
+
+TEST(ProtocolTest, CleanEofYieldsNullopt) {
+    Pipe pipe;
+    pipe.close_write();
+    EXPECT_FALSE(read_frame(pipe.read_fd).has_value());
+}
+
+TEST(ProtocolTest, TruncatedFrameYieldsNullopt) {
+    Pipe pipe;
+    // Length prefix says 100 bytes, writer hangs up after 3.
+    const char prefix[4] = {0, 0, 0, 100};
+    ASSERT_EQ(::write(pipe.write_fd, prefix, 4), 4);
+    ASSERT_EQ(::write(pipe.write_fd, "abc", 3), 3);
+    pipe.close_write();
+    EXPECT_FALSE(read_frame(pipe.read_fd).has_value());
+}
+
+TEST(ProtocolTest, OversizedLengthPrefixIsRejectedBeforeAllocating) {
+    Pipe pipe;
+    const char prefix[4] = {static_cast<char>(0xFF), static_cast<char>(0xFF),
+                            static_cast<char>(0xFF), static_cast<char>(0xFF)};
+    ASSERT_EQ(::write(pipe.write_fd, prefix, 4), 4);
+    EXPECT_FALSE(read_frame(pipe.read_fd).has_value());
+}
+
+TEST(ProtocolTest, NamesAreStableWireStrings) {
+    // These strings are wire ABI (clients match on them); lock them down.
+    EXPECT_EQ(name(ErrorCode::Overloaded), "overloaded");
+    EXPECT_EQ(name(ErrorCode::DeadlineExceeded), "deadline-exceeded");
+    EXPECT_EQ(name(ErrorCode::ShuttingDown), "shutting-down");
+    EXPECT_EQ(name(Source::HotCache), "hot-cache");
+    EXPECT_EQ(name(Source::DiskCache), "disk-cache");
+    EXPECT_EQ(name(Source::Computed), "computed");
+    EXPECT_EQ(name(Verb::Query), "query");
+}

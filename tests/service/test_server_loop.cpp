@@ -1,0 +1,169 @@
+// SurveyServer: loopback round trips, malformed-frame handling, connection
+// admission, and the shutdown verb.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "engine/engine.hpp"
+
+using namespace hsw;
+using namespace hsw::service;
+
+namespace {
+
+/// Server over a tiny synthetic registry so every test query is instant.
+ServerConfig fast_config() {
+    ServerConfig cfg;
+    cfg.service.workers = 2;
+    cfg.service.registry_factory = [](const protocol::Request& request) {
+        engine::Experiment e;
+        e.name = "echo";
+        e.description = "one instant point";
+        engine::Job job;
+        job.spec.experiment = "echo";
+        job.spec.point = "all";
+        job.spec.base_seed = request.seed;
+        job.run = [](const engine::ExperimentSpec& spec) {
+            return "echo seed=" + std::to_string(spec.job_seed());
+        };
+        e.jobs.push_back(std::move(job));
+        e.assemble = [](const std::vector<std::string>& payloads) {
+            return std::vector<engine::Artifact>{
+                {"echo.csv", engine::ArtifactKind::Csv, payloads.at(0)}};
+        };
+        return std::vector<engine::Experiment>{std::move(e)};
+    };
+    return cfg;
+}
+
+int connect_raw(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    return fd;
+}
+
+}  // namespace
+
+TEST(ServerLoop, PingRoundTripOverLoopback) {
+    SurveyServer server{fast_config()};
+    server.start();
+
+    ServiceClient client{"127.0.0.1", server.port()};
+    protocol::Request ping;
+    ping.verb = protocol::Verb::Ping;
+    const auto response = client.call(ping);
+    EXPECT_TRUE(response.ok());
+    EXPECT_EQ(response.payload, "pong");
+    server.stop();
+}
+
+TEST(ServerLoop, QueryRoundTripAndPipelining) {
+    SurveyServer server{fast_config()};
+    server.start();
+
+    ServiceClient client{"127.0.0.1", server.port()};
+    protocol::Request req;
+    req.verb = protocol::Verb::Query;
+    req.experiment = "echo";
+    req.point = "all";
+
+    // Several requests down one connection; the second answers from the
+    // hot cache with identical bytes.
+    const auto first = client.call(req);
+    ASSERT_TRUE(first.ok()) << first.payload;
+    EXPECT_EQ(first.source, protocol::Source::Computed);
+    const auto second = client.call(req);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.source, protocol::Source::HotCache);
+    EXPECT_EQ(first.payload, second.payload);
+    server.stop();
+}
+
+TEST(ServerLoop, UnknownExperimentComesBackStructured) {
+    SurveyServer server{fast_config()};
+    server.start();
+
+    ServiceClient client{"127.0.0.1", server.port()};
+    protocol::Request req;
+    req.verb = protocol::Verb::Query;
+    req.experiment = "no-such-thing";
+    const auto response = client.call(req);
+    EXPECT_EQ(response.code, protocol::ErrorCode::UnknownExperiment);
+    EXPECT_NE(response.payload.find("echo"), std::string::npos);
+    server.stop();
+}
+
+TEST(ServerLoop, GarbageFrameGetsMalformedRequestNotDisconnect) {
+    SurveyServer server{fast_config()};
+    server.start();
+
+    const int fd = connect_raw(server.port());
+    ASSERT_TRUE(protocol::write_frame(fd, "this is not a request"));
+    const auto frame = protocol::read_frame(fd);
+    ASSERT_TRUE(frame.has_value());
+    const auto response = protocol::parse_response(*frame);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->code, protocol::ErrorCode::MalformedRequest);
+
+    // The connection survives: a well-formed request still works.
+    protocol::Request ping;
+    ping.verb = protocol::Verb::Ping;
+    ASSERT_TRUE(protocol::write_frame(fd, ping.encode()));
+    const auto pong = protocol::read_frame(fd);
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_NE(pong->find("pong"), std::string::npos);
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServerLoop, ShutdownVerbStopsTheServer) {
+    SurveyServer server{fast_config()};
+    server.start();
+
+    {
+        ServiceClient client{"127.0.0.1", server.port()};
+        protocol::Request shutdown;
+        shutdown.verb = protocol::Verb::Shutdown;
+        const auto response = client.call(shutdown);
+        EXPECT_TRUE(response.ok());
+        EXPECT_EQ(response.payload, "draining");
+    }
+
+    server.wait();  // returns because the verb drove stop()
+    EXPECT_TRUE(server.stopped());
+    EXPECT_TRUE(server.service().draining());
+}
+
+TEST(ServerLoop, ConnectionLimitRefusesStructurally) {
+    ServerConfig cfg = fast_config();
+    cfg.max_connections = 1;
+    SurveyServer server{cfg};
+    server.start();
+
+    ServiceClient first{"127.0.0.1", server.port()};
+    protocol::Request ping;
+    ping.verb = protocol::Verb::Ping;
+    ASSERT_TRUE(first.call(ping).ok());  // connection 1 is live and counted
+
+    // Connection 2 is refused with one Overloaded response, then closed.
+    const int fd = connect_raw(server.port());
+    const auto frame = protocol::read_frame(fd);
+    ASSERT_TRUE(frame.has_value());
+    const auto response = protocol::parse_response(*frame);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->code, protocol::ErrorCode::Overloaded);
+    ::close(fd);
+    server.stop();
+}

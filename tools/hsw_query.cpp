@@ -1,0 +1,416 @@
+// hsw_query: client and load generator for hsw_surveyd.
+//
+//   hsw_query --port-file /tmp/port --experiment fig3 --out csv/
+//   hsw_query --port 7788 --bench --threads 16 --requests 200
+//             --duplicate-ratio 0.8 --mix fig3,fig7,table3
+//   hsw_query --port 7788 --stats
+//   hsw_query --port 7788 --shutdown
+//
+// A plain query fetches one experiment (or one named sweep point) and
+// writes the artifacts; --bench replays a deterministic request mix from N
+// client threads and reports requests/s plus p50/p99 latency. The
+// duplicate ratio controls how many requests share a spec (and therefore
+// exercise the daemon's coalescing and hot cache) versus carrying a unique
+// seed (forcing a fresh computation).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/blob.hpp"
+#include "service/server.hpp"
+#include "util/stats.hpp"
+
+using namespace hsw;
+
+namespace {
+
+int usage(const char* argv0, int code) {
+    std::FILE* out = code == 0 ? stdout : stderr;
+    std::fprintf(
+        out,
+        "usage: %s [options]\n"
+        "\n"
+        "Queries a running hsw_surveyd (see --port / --port-file).\n"
+        "\n"
+        "connection:\n"
+        "  --host ADDR          daemon address (default: 127.0.0.1)\n"
+        "  --port P             daemon port\n"
+        "  --port-file PATH     read the port from PATH (polls up to 5 s)\n"
+        "\n"
+        "single query:\n"
+        "  --experiment NAME    experiment to fetch (e.g. fig3)\n"
+        "  --point NAME         one sweep point instead of the whole\n"
+        "                       experiment; raw payload blob to stdout\n"
+        "  --out DIR            artifact directory (default: .)\n"
+        "  --renders            also write the rendered .txt tables\n"
+        "  --quick              reduced-sampling tuning (must match daemon use)\n"
+        "  --seed S             base seed, decimal or 0x-hex (default: 0xC0FFEE)\n"
+        "  --audit MODE         off | warn | strict (default: off)\n"
+        "  --deadline-ms N      per-request deadline, 0 = none (default: 0)\n"
+        "\n"
+        "load generation:\n"
+        "  --bench              run the load generator instead of one query\n"
+        "  --threads N          concurrent client connections (default: 4)\n"
+        "  --requests M         total requests across all threads (default: 64)\n"
+        "  --duplicate-ratio R  fraction of requests sharing the base seed,\n"
+        "                       0..1 (default: 0.5); the rest get unique seeds\n"
+        "  --mix LIST           comma-separated experiments to rotate through\n"
+        "                       (default: fig3)\n"
+        "\n"
+        "control verbs:\n"
+        "  --ping               round-trip check\n"
+        "  --stats              print the daemon's stats block\n"
+        "  --shutdown           drain and stop the daemon\n",
+        argv0);
+    return code;
+}
+
+bool parse_unsigned(const char* text, unsigned long& out, unsigned long max) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || v > max) return false;
+    out = v;
+    return true;
+}
+
+/// Polls PATH until it holds a port number; hsw_surveyd publishes the file
+/// atomically once its socket is bound.
+std::optional<std::uint16_t> read_port_file(const std::string& path) {
+    for (int attempt = 0; attempt < 250; ++attempt) {
+        std::ifstream in{path};
+        unsigned long port = 0;
+        if (in && (in >> port) && port > 0 && port <= 65535) {
+            return static_cast<std::uint16_t>(port);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string> split_commas(const std::string& list) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) out.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool write_file(const std::filesystem::path& path, std::string_view bytes) {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
+}
+
+struct BenchSlice {
+    std::vector<double> latencies_ms;
+    std::uint64_t ok = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t hot = 0, disk = 0, computed = 0;
+    std::string first_error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string port_file;
+    std::string out_dir = ".";
+    bool renders = false;
+    bool bench = false;
+    bool ping = false, stats = false, shutdown = false;
+    unsigned threads = 4;
+    unsigned long requests = 64;
+    double duplicate_ratio = 0.5;
+    std::vector<std::string> mix;
+
+    service::protocol::Request request;
+    request.verb = service::protocol::Verb::Query;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        unsigned long n = 0;
+        if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+        if (arg == "--renders") {
+            renders = true;
+        } else if (arg == "--quick") {
+            request.quick = true;
+        } else if (arg == "--bench") {
+            bench = true;
+        } else if (arg == "--ping") {
+            ping = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--shutdown") {
+            shutdown = true;
+        } else if (arg == "--host") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            host = v;
+        } else if (arg == "--port") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 65535) || n == 0) return usage(argv[0], 2);
+            port = static_cast<std::uint16_t>(n);
+        } else if (arg == "--port-file") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            port_file = v;
+        } else if (arg == "--experiment") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            request.experiment = v;
+        } else if (arg == "--point") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            request.point = v;
+        } else if (arg == "--out") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            out_dir = v;
+        } else if (arg == "--seed") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            char* end = nullptr;
+            request.seed = std::strtoull(v, &end, 0);
+            if (end == v || *end != '\0') return usage(argv[0], 2);
+        } else if (arg == "--audit") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            if (std::strcmp(v, "off") == 0) {
+                request.audit = analysis::AuditMode::Off;
+            } else if (std::strcmp(v, "warn") == 0) {
+                request.audit = analysis::AuditMode::Warn;
+            } else if (std::strcmp(v, "strict") == 0) {
+                request.audit = analysis::AuditMode::Strict;
+            } else {
+                return usage(argv[0], 2);
+            }
+        } else if (arg == "--deadline-ms") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 1u << 30)) return usage(argv[0], 2);
+            request.deadline_ms = static_cast<std::uint32_t>(n);
+        } else if (arg == "--threads") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 256) || n == 0) return usage(argv[0], 2);
+            threads = static_cast<unsigned>(n);
+        } else if (arg == "--requests") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, requests, 1u << 20) || requests == 0) {
+                return usage(argv[0], 2);
+            }
+        } else if (arg == "--duplicate-ratio") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            char* end = nullptr;
+            duplicate_ratio = std::strtod(v, &end);
+            if (end == v || *end != '\0' || duplicate_ratio < 0.0 ||
+                duplicate_ratio > 1.0) {
+                return usage(argv[0], 2);
+            }
+        } else if (arg == "--mix") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            mix = split_commas(v);
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    if (!port_file.empty()) {
+        const auto p = read_port_file(port_file);
+        if (!p) {
+            std::fprintf(stderr, "hsw_query: no port in %s after 5 s\n",
+                         port_file.c_str());
+            return 1;
+        }
+        port = *p;
+    }
+    if (port == 0) {
+        std::fprintf(stderr, "hsw_query: --port or --port-file required\n");
+        return 2;
+    }
+
+    try {
+        if (ping || stats || shutdown) {
+            service::ServiceClient client{host, port};
+            service::protocol::Request verb;
+            verb.verb = ping      ? service::protocol::Verb::Ping
+                        : stats   ? service::protocol::Verb::Stats
+                                  : service::protocol::Verb::Shutdown;
+            const auto response = client.call(verb);
+            if (!response.ok()) {
+                std::fprintf(stderr, "hsw_query: %s: %s\n",
+                             std::string{name(response.code)}.c_str(),
+                             response.payload.c_str());
+                return 1;
+            }
+            if (!response.payload.empty()) std::puts(response.payload.c_str());
+            return 0;
+        }
+
+        if (bench) {
+            if (mix.empty()) mix.push_back("fig3");
+            const std::uint64_t total = requests;
+            std::vector<BenchSlice> slices(threads);
+            std::vector<std::thread> workers;
+            const auto t0 = std::chrono::steady_clock::now();
+            for (unsigned t = 0; t < threads; ++t) {
+                workers.emplace_back([&, t] {
+                    BenchSlice& slice = slices[t];
+                    try {
+                        service::ServiceClient client{host, port};
+                        for (std::uint64_t i = t; i < total; i += threads) {
+                            service::protocol::Request r = request;
+                            r.experiment = mix[i % mix.size()];
+                            // Deterministic duplicate pattern: request i is a
+                            // duplicate iff its bucket falls below the ratio;
+                            // the rest get a unique seed (fresh spec).
+                            const bool duplicate =
+                                static_cast<double>(i % 100) < duplicate_ratio * 100.0;
+                            if (!duplicate) r.seed = request.seed + i + 1;
+                            const auto q0 = std::chrono::steady_clock::now();
+                            const auto response = client.call(r);
+                            const auto q1 = std::chrono::steady_clock::now();
+                            slice.latencies_ms.push_back(
+                                std::chrono::duration<double, std::milli>{q1 - q0}
+                                    .count());
+                            if (response.ok()) {
+                                ++slice.ok;
+                                using Source = service::protocol::Source;
+                                if (response.source == Source::HotCache) ++slice.hot;
+                                if (response.source == Source::DiskCache) ++slice.disk;
+                                if (response.source == Source::Computed) {
+                                    ++slice.computed;
+                                }
+                            } else {
+                                ++slice.rejected;
+                                if (slice.first_error.empty()) {
+                                    slice.first_error =
+                                        std::string{name(response.code)} + ": " +
+                                        response.payload;
+                                }
+                            }
+                        }
+                    } catch (const std::exception& e) {
+                        if (slice.first_error.empty()) slice.first_error = e.what();
+                    }
+                });
+            }
+            for (auto& w : workers) w.join();
+            const double wall_s =
+                std::chrono::duration<double>{std::chrono::steady_clock::now() - t0}
+                    .count();
+
+            BenchSlice all;
+            for (const auto& slice : slices) {
+                all.latencies_ms.insert(all.latencies_ms.end(),
+                                        slice.latencies_ms.begin(),
+                                        slice.latencies_ms.end());
+                all.ok += slice.ok;
+                all.rejected += slice.rejected;
+                all.hot += slice.hot;
+                all.disk += slice.disk;
+                all.computed += slice.computed;
+                if (all.first_error.empty()) all.first_error = slice.first_error;
+            }
+            const double sent = static_cast<double>(all.latencies_ms.size());
+            std::printf(
+                "bench: %llu requests (%u threads, duplicate ratio %.2f, mix",
+                static_cast<unsigned long long>(all.latencies_ms.size()), threads,
+                duplicate_ratio);
+            for (const auto& m : mix) std::printf(" %s", m.c_str());
+            std::printf(")\n");
+            std::printf("  ok %llu  rejected %llu  (hot %llu, disk %llu, "
+                        "computed %llu)\n",
+                        static_cast<unsigned long long>(all.ok),
+                        static_cast<unsigned long long>(all.rejected),
+                        static_cast<unsigned long long>(all.hot),
+                        static_cast<unsigned long long>(all.disk),
+                        static_cast<unsigned long long>(all.computed));
+            if (!all.latencies_ms.empty()) {
+                std::printf("  wall %.3f s  %.1f req/s  p50 %.2f ms  p99 %.2f ms\n",
+                            wall_s, sent / wall_s,
+                            util::quantile(all.latencies_ms, 0.50),
+                            util::quantile(all.latencies_ms, 0.99));
+            }
+            if (!all.first_error.empty()) {
+                std::fprintf(stderr, "hsw_query: first error: %s\n",
+                             all.first_error.c_str());
+            }
+            return all.ok == total ? 0 : 1;
+        }
+
+        // Single query.
+        if (request.experiment.empty()) {
+            std::fprintf(stderr, "hsw_query: --experiment required\n");
+            return 2;
+        }
+        service::ServiceClient client{host, port};
+        const auto response = client.call(request);
+        if (!response.ok()) {
+            std::fprintf(stderr, "hsw_query: %s: %s\n",
+                         std::string{name(response.code)}.c_str(),
+                         response.payload.c_str());
+            return 1;
+        }
+        if (request.point != "*") {
+            std::fwrite(response.payload.data(), 1, response.payload.size(), stdout);
+            std::fprintf(stderr, "hsw_query: %s/%s: %zu bytes (%s)\n",
+                         request.experiment.c_str(), request.point.c_str(),
+                         response.payload.size(),
+                         std::string{name(response.source)}.c_str());
+            return 0;
+        }
+        const auto sections = engine::unpack_sections(response.payload);
+        if (!sections) {
+            std::fprintf(stderr, "hsw_query: malformed artifact blob\n");
+            return 1;
+        }
+        std::filesystem::create_directories(out_dir);
+        std::size_t written = 0;
+        for (const auto& [section_name, bytes] : *sections) {
+            std::string_view sv = section_name;
+            std::string_view kind;
+            if (sv.starts_with("csv:")) {
+                kind = "csv";
+                sv.remove_prefix(4);
+            } else if (sv.starts_with("render:")) {
+                if (!renders) continue;
+                kind = "render";
+                sv.remove_prefix(7);
+            } else {
+                continue;
+            }
+            const std::filesystem::path path =
+                std::filesystem::path{out_dir} / std::string{sv};
+            if (!write_file(path, bytes)) {
+                std::fprintf(stderr, "hsw_query: cannot write %s\n",
+                             path.string().c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "hsw_query: wrote %s (%s, %zu bytes)\n",
+                         path.string().c_str(), std::string{kind}.c_str(),
+                         bytes.size());
+            ++written;
+        }
+        std::fprintf(stderr, "hsw_query: %s: %zu artifact(s) (%s)\n",
+                     request.experiment.c_str(), written,
+                     std::string{name(response.source)}.c_str());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "hsw_query: %s\n", e.what());
+        return 1;
+    }
+}

@@ -158,8 +158,13 @@ int main(int argc, char** argv) {
         for (const auto& name : only) {
             const engine::Experiment* e = engine::find_experiment(experiments, name);
             if (!e) {
-                std::fprintf(stderr, "%s: no experiment named '%s' (see --list)\n",
+                std::fprintf(stderr,
+                             "%s: no experiment named '%s'; registered experiments:\n",
                              argv[0], name.c_str());
+                for (const auto& known : experiments) {
+                    std::fprintf(stderr, "  %-8s %s\n", known.name.c_str(),
+                                 known.description.c_str());
+                }
                 return 2;
             }
             subset.push_back(*e);

@@ -1,0 +1,184 @@
+// hsw_surveyd: long-lived survey query daemon.
+//
+//   hsw_surveyd --port 7788 --workers 8 --cache .hsw-cache
+//
+// binds a loopback TCP socket and serves experiment queries through
+// SurveyService: identical in-flight queries coalesce into one
+// computation, repeat queries hit the sharded in-memory hot cache, and an
+// overloaded service answers with structured rejections instead of
+// stalling. Stop it with the protocol `shutdown` verb (hsw_query
+// --shutdown) or SIGINT/SIGTERM; either way in-flight work drains before
+// exit and the final stats block is printed to stderr.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+
+using namespace hsw;
+
+namespace {
+
+int usage(const char* argv0, int code) {
+    std::FILE* out = code == 0 ? stdout : stderr;
+    std::fprintf(
+        out,
+        "usage: %s [options]\n"
+        "\n"
+        "Serves survey experiment queries over a loopback TCP socket (see\n"
+        "hsw_query for the matching client).\n"
+        "\n"
+        "  --port P             listen port (default: 0 = kernel-assigned)\n"
+        "  --port-file PATH     write the bound port to PATH (for port 0)\n"
+        "  --bind ADDR          bind address (default: 127.0.0.1)\n"
+        "  --workers N          compute worker threads (default: 4)\n"
+        "  --queue N            pending-job bound before Overloaded (default: 64)\n"
+        "  --hot-cache-mb N     in-memory hot cache budget, 0 disables (default: 64)\n"
+        "  --cache DIR          on-disk result cache (default: .hsw-cache)\n"
+        "  --no-disk-cache      in-memory caching only\n"
+        "  --max-connections N  concurrent client connections (default: 64)\n"
+        "  --deadline-ms N      default per-request deadline, 0 = none (default: 0)\n"
+        "  --quiet              suppress startup / shutdown chatter\n",
+        argv0);
+    return code;
+}
+
+bool parse_unsigned(const char* text, unsigned long& out, unsigned long max) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || v > max) return false;
+    out = v;
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    service::ServerConfig cfg;
+    cfg.service.disk_cache_dir = ".hsw-cache";
+    std::string port_file;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        unsigned long n = 0;
+        if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+        if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--no-disk-cache") {
+            cfg.service.disk_cache_dir.reset();
+        } else if (arg == "--port") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 65535)) return usage(argv[0], 2);
+            cfg.port = static_cast<std::uint16_t>(n);
+        } else if (arg == "--port-file") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            port_file = v;
+        } else if (arg == "--bind") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            cfg.bind_address = v;
+        } else if (arg == "--workers") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 1024) || n == 0) return usage(argv[0], 2);
+            cfg.service.workers = static_cast<unsigned>(n);
+        } else if (arg == "--queue") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 1u << 20) || n == 0) return usage(argv[0], 2);
+            cfg.service.max_queue = n;
+        } else if (arg == "--hot-cache-mb") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 4096)) return usage(argv[0], 2);
+            cfg.service.hot_cache.max_bytes = n << 20;
+        } else if (arg == "--cache") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            cfg.service.disk_cache_dir = v;
+        } else if (arg == "--max-connections") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 1u << 16) || n == 0) return usage(argv[0], 2);
+            cfg.max_connections = static_cast<unsigned>(n);
+        } else if (arg == "--deadline-ms") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 1u << 30)) return usage(argv[0], 2);
+            cfg.service.default_deadline = std::chrono::milliseconds{n};
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    // Handle SIGINT/SIGTERM synchronously via sigtimedwait: a plain handler
+    // could not safely call stop() (mutexes, condvars).
+    sigset_t stop_signals;
+    sigemptyset(&stop_signals);
+    sigaddset(&stop_signals, SIGINT);
+    sigaddset(&stop_signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+
+    std::optional<service::SurveyServer> server;
+    try {
+        server.emplace(cfg);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "hsw_surveyd: %s\n", e.what());
+        return 1;
+    }
+    server->start();
+
+    if (!port_file.empty()) {
+        // Atomic publish (tmp + rename) so a polling client never reads a
+        // half-written port number.
+        const std::string tmp = port_file + ".tmp";
+        std::FILE* f = std::fopen(tmp.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "hsw_surveyd: cannot write %s\n", tmp.c_str());
+            server->stop();
+            return 1;
+        }
+        std::fprintf(f, "%u\n", static_cast<unsigned>(server->port()));
+        std::fclose(f);
+        if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+            std::fprintf(stderr, "hsw_surveyd: cannot rename %s\n", tmp.c_str());
+            server->stop();
+            return 1;
+        }
+    }
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "hsw_surveyd: listening on %s:%u (%u workers, queue %zu, "
+                     "hot cache %zu MiB, disk cache %s)\n",
+                     cfg.bind_address.c_str(), static_cast<unsigned>(server->port()),
+                     cfg.service.workers, cfg.service.max_queue,
+                     cfg.service.hot_cache.max_bytes >> 20,
+                     cfg.service.disk_cache_dir
+                         ? cfg.service.disk_cache_dir->string().c_str()
+                         : "off");
+    }
+
+    // Wake every 200 ms to notice a protocol-driven shutdown; otherwise
+    // park in sigtimedwait until SIGINT/SIGTERM.
+    while (!server->stopped()) {
+        timespec tick{0, 200 * 1000 * 1000};
+        const int sig = sigtimedwait(&stop_signals, nullptr, &tick);
+        if (sig == SIGINT || sig == SIGTERM) {
+            if (!quiet) {
+                std::fprintf(stderr, "hsw_surveyd: %s, draining\n",
+                             sig == SIGINT ? "SIGINT" : "SIGTERM");
+            }
+            server->stop();
+            break;
+        }
+    }
+    server->wait();
+
+    if (!quiet) {
+        std::fputs(server->service().stats().render().c_str(), stderr);
+        std::fprintf(stderr, "hsw_surveyd: stopped\n");
+    }
+    return 0;
+}
