@@ -1,11 +1,12 @@
 // Measures full-survey wall time through the experiment engine at
 // jobs in {1, 2, 4, 8}, cold cache vs warm cache, and emits the numbers
-// as JSON (stdout + bench_engine_scaling.json). The interesting ratios:
-// cold(1)/cold(8) is the scheduler's parallel speedup (bounded by the
-// longest unsplittable job, Table IV); warm/cold is the cache win (warm
-// reruns only verify content hashes, target < 10 % of cold).
+// through the shared BenchJson reporter (stdout + bench_engine_scaling.json,
+// or --json <path>). The interesting ratios: cold(1)/cold(8) is the
+// scheduler's parallel speedup (bounded by the longest unsplittable job,
+// Table IV); warm/cold is the cache win (warm reruns only verify content
+// hashes, target < 10 % of cold).
 //
-//   bench_engine_scaling [--quick] [--max-jobs N]
+//   bench_engine_scaling [--quick] [--max-jobs N] [--json PATH]
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -13,13 +14,20 @@
 #include <vector>
 
 #include "engine/survey_experiments.hpp"
+#include "util/bench_json.hpp"
 
 using namespace hsw;
 
 namespace {
 
-double run_once(const std::vector<engine::Experiment>& experiments, unsigned jobs,
-                const std::filesystem::path& cache_dir) {
+struct RunNumbers {
+    double wall_ms = 0.0;
+    std::uint64_t sim_events = 0;
+    double events_per_sec = 0.0;
+};
+
+RunNumbers run_once(const std::vector<engine::Experiment>& experiments, unsigned jobs,
+                    const std::filesystem::path& cache_dir) {
     engine::RunOptions options;
     options.jobs = jobs;
     options.cache_dir = cache_dir;
@@ -28,7 +36,17 @@ double run_once(const std::vector<engine::Experiment>& experiments, unsigned job
         std::fprintf(stderr, "engine run failed:\n%s", report.summary().c_str());
         std::exit(1);
     }
-    return report.wall_ms;
+    RunNumbers n;
+    n.wall_ms = report.wall_ms;
+    double body_ms = 0.0;
+    for (const auto& j : report.jobs) {
+        n.sim_events += j.sim_events;
+        if (!j.cache_hit) body_ms += j.wall_ms;
+    }
+    if (body_ms > 0.0) {
+        n.events_per_sec = static_cast<double>(n.sim_events) / (body_ms / 1000.0);
+    }
+    return n;
 }
 
 }  // namespace
@@ -36,13 +54,17 @@ double run_once(const std::vector<engine::Experiment>& experiments, unsigned job
 int main(int argc, char** argv) {
     bool quick = false;
     unsigned max_jobs = 8;
+    std::string json_path = "bench_engine_scaling.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--max-jobs") == 0 && i + 1 < argc) {
             max_jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (util::parse_json_flag(argc, argv, i, json_path)) {
+            // consumed "--json <path>"
         } else {
-            std::fprintf(stderr, "usage: %s [--quick] [--max-jobs N]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--quick] [--max-jobs N] [--json PATH]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -51,37 +73,29 @@ int main(int argc, char** argv) {
         quick ? engine::SurveyTuning::quick() : engine::SurveyTuning{};
     const auto experiments = engine::survey_experiments(tuning);
 
-    std::string json = "{\n  \"quick\": ";
-    json += quick ? "true" : "false";
-    json += ",\n  \"runs\": [\n";
-    bool first = true;
+    util::BenchJson out{"bench_engine_scaling"};
+    out.meta().set("quick", quick).set("max_jobs", max_jobs);
     for (unsigned jobs = 1; jobs <= max_jobs; jobs *= 2) {
         const std::filesystem::path cache_dir =
             ".hsw-scaling-cache-jobs" + std::to_string(jobs);
         std::filesystem::remove_all(cache_dir);
-        const double cold_ms = run_once(experiments, jobs, cache_dir);
-        const double warm_ms = run_once(experiments, jobs, cache_dir);
+        const RunNumbers cold = run_once(experiments, jobs, cache_dir);
+        const RunNumbers warm = run_once(experiments, jobs, cache_dir);
         std::filesystem::remove_all(cache_dir);
 
-        char line[160];
-        std::snprintf(line, sizeof line,
-                      "    %s{\"jobs\": %u, \"cold_ms\": %.1f, \"warm_ms\": %.1f, "
-                      "\"warm_over_cold\": %.3f}",
-                      first ? "" : ",", jobs, cold_ms, warm_ms,
-                      cold_ms > 0 ? warm_ms / cold_ms : 0.0);
-        json += line;
-        json += '\n';
-        first = false;
-        std::fprintf(stderr, "jobs=%u cold=%.0f ms warm=%.0f ms\n", jobs, cold_ms,
-                     warm_ms);
+        out.add_run()
+            .set("jobs", jobs)
+            .set("cold_ms", cold.wall_ms)
+            .set("warm_ms", warm.wall_ms)
+            .set("warm_over_cold", cold.wall_ms > 0 ? warm.wall_ms / cold.wall_ms : 0.0)
+            .set("sim_events", cold.sim_events)
+            .set("events_per_sec", cold.events_per_sec);
+        std::fprintf(stderr, "jobs=%u cold=%.0f ms warm=%.0f ms %.2fM events/sec\n",
+                     jobs, cold.wall_ms, warm.wall_ms, cold.events_per_sec / 1e6);
     }
-    json += "  ]\n}\n";
 
+    const std::string json = out.to_string();
     std::fputs(json.c_str(), stdout);
-    std::FILE* f = std::fopen("bench_engine_scaling.json", "w");
-    if (f) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-    }
+    if (!out.write(json_path)) return 1;
     return 0;
 }

@@ -1,7 +1,7 @@
 // Measures survey-service throughput and latency through an in-process
 // SurveyService at client concurrency in {1, 4, 16}, for three cache
-// states, and emits the numbers as JSON (stdout +
-// bench_service_throughput.json):
+// states, and emits the numbers through the shared BenchJson reporter
+// (stdout + bench_service_throughput.json, or --json <path>):
 //
 //   cold       nothing cached: every request computes
 //   warm-disk  on-disk ResultCache populated, hot cache disabled
@@ -13,7 +13,7 @@
 // versus 1 shows how far coalescing + sharding keep concurrent identical
 // queries from serializing.
 //
-//   bench_service_throughput [--requests N] [--experiment NAME]
+//   bench_service_throughput [--requests N] [--experiment NAME] [--json PATH]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "service/service.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 
 using namespace hsw;
@@ -94,13 +95,17 @@ Measurement measure(service::SurveyService& svc, const std::string& experiment,
 int main(int argc, char** argv) {
     unsigned requests = 64;
     std::string experiment = "fig3";
+    std::string json_path = "bench_service_throughput.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
             requests = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
         } else if (std::strcmp(argv[i], "--experiment") == 0 && i + 1 < argc) {
             experiment = argv[++i];
+        } else if (util::parse_json_flag(argc, argv, i, json_path)) {
+            // consumed "--json <path>"
         } else {
-            std::fprintf(stderr, "usage: %s [--requests N] [--experiment NAME]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--requests N] [--experiment NAME] [--json PATH]\n",
                          argv[0]);
             return 2;
         }
@@ -118,9 +123,8 @@ int main(int argc, char** argv) {
     };
     const unsigned client_counts[] = {1, 4, 16};
 
-    std::string json = "{\n  \"experiment\": \"" + experiment + "\",\n";
-    json += "  \"requests\": " + std::to_string(requests) + ",\n  \"runs\": [\n";
-    bool first = true;
+    util::BenchJson out{"bench_service_throughput"};
+    out.meta().set("experiment", experiment).set("requests", requests);
     for (const Scenario& scenario : scenarios) {
         for (const unsigned clients : client_counts) {
             std::filesystem::remove_all(disk_dir);
@@ -139,15 +143,12 @@ int main(int argc, char** argv) {
             }
 
             const Measurement m = measure(svc, experiment, clients, requests);
-            char line[200];
-            std::snprintf(line, sizeof line,
-                          "    %s{\"scenario\": \"%s\", \"clients\": %u, "
-                          "\"req_per_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}",
-                          first ? "" : ",", scenario.label, clients, m.requests_per_s,
-                          m.p50_ms, m.p99_ms);
-            json += line;
-            json += '\n';
-            first = false;
+            out.add_run()
+                .set("scenario", scenario.label)
+                .set("clients", clients)
+                .set("req_per_s", m.requests_per_s)
+                .set("p50_ms", m.p50_ms)
+                .set("p99_ms", m.p99_ms);
             std::fprintf(stderr,
                          "%-9s clients=%-2u %8.1f req/s  p50 %7.3f ms  p99 %7.3f ms\n",
                          scenario.label, clients, m.requests_per_s, m.p50_ms,
@@ -155,13 +156,9 @@ int main(int argc, char** argv) {
         }
     }
     std::filesystem::remove_all(disk_dir);
-    json += "  ]\n}\n";
 
+    const std::string json = out.to_string();
     std::fputs(json.c_str(), stdout);
-    std::FILE* f = std::fopen("bench_service_throughput.json", "w");
-    if (f) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-    }
+    if (!out.write(json_path)) return 1;
     return 0;
 }

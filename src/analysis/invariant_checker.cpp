@@ -56,7 +56,7 @@ void InvariantChecker::attach(core::Node& node) {
     deferred_grid_ = arch::traits(node.sku().generation).deferred_pstate_grid;
 
     trace_observer_ = node.trace().add_observer(
-        [this](const sim::TraceRecord& rec) { observe_trace(rec, deferred_grid_); });
+        [this](const sim::TraceView& rec) { observe_trace(rec, deferred_grid_); });
 
     msr_observer_ = node.msrs().add_observer([this](const msr::MsrAccessEvent& access) {
         const Time now = node_->now();
@@ -135,9 +135,12 @@ void InvariantChecker::sample() {
 
 // --- observation primitives -------------------------------------------------
 
-void InvariantChecker::observe_trace(const sim::TraceRecord& rec, bool deferred_grid) {
+void InvariantChecker::observe_trace(const sim::TraceView& rec, bool deferred_grid) {
     if (trace_time_seen_ && rec.when < last_trace_time_) {
-        violation(Invariant::TimeMonotonic, rec.when, rec.category + "/" + rec.subject,
+        std::string subject{rec.category};
+        subject += '/';
+        subject += rec.subject;
+        violation(Invariant::TimeMonotonic, rec.when, std::move(subject),
                   "trace record earlier than its predecessor", rec.when.as_us(),
                   last_trace_time_.as_us());
     } else {
@@ -156,7 +159,7 @@ void InvariantChecker::observe_trace(const sim::TraceRecord& rec, bool deferred_
             const Time slack = cal::kPstateOpportunityJitter + cfg_.grid_period_slack;
             if (spacing < cal::kPstateOpportunityPeriod - slack ||
                 spacing > cal::kPstateOpportunityPeriod + slack) {
-                violation(Invariant::PstateGrid, rec.when, rec.subject,
+                violation(Invariant::PstateGrid, rec.when, std::string{rec.subject},
                           "opportunity spacing off the ~500 us grid", spacing.as_us(),
                           cal::kPstateOpportunityPeriod.as_us());
             }
@@ -170,7 +173,7 @@ void InvariantChecker::observe_trace(const sim::TraceRecord& rec, bool deferred_
     if (rec.category == "pstate" && rec.detail == "change complete") {
         const auto it = last_opportunity_.find(rec.subject);
         if (it == last_opportunity_.end()) {
-            violation(Invariant::PstateGrid, rec.when, rec.subject,
+            violation(Invariant::PstateGrid, rec.when, std::string{rec.subject},
                       "p-state grant without a preceding PCU opportunity",
                       rec.when.as_us(), 0.0);
             return;
@@ -179,7 +182,7 @@ void InvariantChecker::observe_trace(const sim::TraceRecord& rec, bool deferred_
         const Time lo = cal::kPstateSwitchTimeMin - cfg_.grid_apply_slack;
         const Time hi = cal::kPstateSwitchTimeMax + cfg_.grid_apply_slack;
         if (delta < lo || delta > hi) {
-            violation(Invariant::PstateGrid, rec.when, rec.subject,
+            violation(Invariant::PstateGrid, rec.when, std::string{rec.subject},
                       "grant applied outside the switching window after the "
                       "opportunity",
                       delta.as_us(), hi.as_us());

@@ -61,8 +61,9 @@ public:
     // --- observation primitives (public for synthetic-data tests) ---
 
     /// Trace stream: time monotonicity, and on grid-scheduled parts the
-    /// opportunity spacing / grant timing invariants.
-    void observe_trace(const sim::TraceRecord& rec, bool deferred_grid = true);
+    /// opportunity spacing / grant timing invariants. Takes the borrowed
+    /// view observers receive (a TraceRecord converts implicitly).
+    void observe_trace(const sim::TraceView& rec, bool deferred_grid = true);
 
     /// One reading of a wrapping 32-bit energy counter. `max_plausible`
     /// bounds the decoded power between counter changes; a counter that

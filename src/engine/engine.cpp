@@ -1,10 +1,13 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <utility>
+
+#include "sim/simulator.hpp"
 
 namespace hsw::engine {
 
@@ -36,16 +39,29 @@ std::string RunReport::summary() const {
     }
 
     std::vector<const JobStats*> slowest;
+    std::uint64_t total_events = 0;
+    double total_body_ms = 0.0;
     for (const auto& j : jobs) {
-        if (!j.cache_hit) slowest.push_back(&j);
+        if (j.cache_hit) continue;
+        slowest.push_back(&j);
+        total_events += j.sim_events;
+        total_body_ms += j.wall_ms;
+    }
+    if (total_events > 0 && total_body_ms > 0.0) {
+        std::snprintf(line, sizeof line,
+                      "  sim-events: %llu dispatched, %.0f events/sec per worker\n",
+                      static_cast<unsigned long long>(total_events),
+                      static_cast<double>(total_events) / (total_body_ms / 1000.0));
+        out += line;
     }
     std::sort(slowest.begin(), slowest.end(),
               [](const JobStats* a, const JobStats* b) { return a->wall_ms > b->wall_ms; });
     const std::size_t shown = std::min<std::size_t>(slowest.size(), 3);
     for (std::size_t i = 0; i < shown; ++i) {
-        std::snprintf(line, sizeof line, "  slowest: %s/%s %.0f ms%s\n",
+        std::snprintf(line, sizeof line, "  slowest: %s/%s %.0f ms, %.0f events/sec%s\n",
                       slowest[i]->experiment.c_str(), slowest[i]->point.c_str(),
-                      slowest[i]->wall_ms, slowest[i]->ok ? "" : " (FAILED)");
+                      slowest[i]->wall_ms, slowest[i]->events_per_sec,
+                      slowest[i]->ok ? "" : " (FAILED)");
         out += line;
     }
     if (!diagnostics.empty()) out += diagnostics.summary();
@@ -87,13 +103,14 @@ RunReport run_experiments(const std::vector<Experiment>& experiments,
     std::mutex progress_lock;
     std::atomic<std::size_t> resolved{0};
     auto emit = [&](ProgressEvent::Kind kind, const FlatJob& fj, unsigned attempts,
-                    double wall_ms) {
+                    double wall_ms, double events_per_sec) {
         if (!options.on_progress) return;
         ProgressEvent ev;
         ev.kind = kind;
         ev.label = fj.job->spec.label();
         ev.attempts = attempts;
         ev.wall_ms = wall_ms;
+        ev.events_per_sec = events_per_sec;
         ev.done = resolved.load(std::memory_order_relaxed);
         ev.total = flat.size();
         std::lock_guard lock{progress_lock};
@@ -114,11 +131,23 @@ RunReport run_experiments(const std::vector<Experiment>& experiments,
                     stats.cache_hit = true;
                     stats.ok = true;
                     resolved.fetch_add(1, std::memory_order_relaxed);
-                    emit(ProgressEvent::Kind::CacheHit, fj, 0, 0.0);
+                    emit(ProgressEvent::Kind::CacheHit, fj, 0, 0.0, 0.0);
                     return;
                 }
             }
+            // Bracket the job body with the worker thread's event counter:
+            // job closures are opaque, but every simulator they drive ticks
+            // the thread-local dispatch count, so the delta is this job's
+            // event work (last attempt wins on retries).
+            const std::uint64_t events_before = sim::Simulator::thread_events_processed();
+            const auto body_start = std::chrono::steady_clock::now();
             std::string payload = fj.job->run(fj.job->spec);
+            const double body_secs =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - body_start)
+                    .count();
+            stats.sim_events = sim::Simulator::thread_events_processed() - events_before;
+            stats.events_per_sec =
+                body_secs > 0.0 ? static_cast<double>(stats.sim_events) / body_secs : 0.0;
             if (cache) cache->store(fj.job->spec, payload);
             payloads[experiment_of[i]][fj.payload_slot] = std::move(payload);
         });
@@ -138,7 +167,8 @@ RunReport run_experiments(const std::vector<Experiment>& experiments,
         stats.error = outcome.error;
         resolved.fetch_add(1, std::memory_order_relaxed);
         emit(outcome.ok ? ProgressEvent::Kind::Finished : ProgressEvent::Kind::Failed,
-             flat[outcome.index], outcome.attempts, outcome.wall_ms);
+             flat[outcome.index], outcome.attempts, outcome.wall_ms,
+             stats.events_per_sec);
     });
 
     const auto outcomes = scheduler.run(std::move(tasks));

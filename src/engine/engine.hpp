@@ -61,6 +61,12 @@ struct JobStats {
     bool ok = false;
     unsigned attempts = 0;
     double wall_ms = 0.0;
+    /// Simulator events dispatched on the worker thread while this job's
+    /// body ran (last attempt; 0 for cache hits and simulation-free jobs).
+    std::uint64_t sim_events = 0;
+    /// sim_events over the job-body wall time -- the survey's per-job
+    /// measure of event-engine throughput.
+    double events_per_sec = 0.0;
     std::string error;
 };
 
@@ -89,6 +95,7 @@ struct ProgressEvent {
     std::string label;    // "experiment/point"
     unsigned attempts = 0;
     double wall_ms = 0.0;
+    double events_per_sec = 0.0;  // 0 for cache hits
     std::size_t done = 0;    // jobs finished so far (hits included)
     std::size_t total = 0;
 };

@@ -1,66 +1,203 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <memory>
 #include <stdexcept>
 
 namespace hsw::sim {
 
-EventId Simulator::schedule_at(Time t, Callback cb) {
+namespace {
+thread_local std::uint64_t g_thread_events = 0;
+}  // namespace
+
+std::uint64_t Simulator::thread_events_processed() { return g_thread_events; }
+
+// --- slab -------------------------------------------------------------------
+
+std::uint32_t Simulator::acquire_slot() {
+    if (free_head_ != kNpos) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = slab_[slot].next_free;
+        slab_[slot].next_free = kNpos;
+        return slot;
+    }
+    slab_.emplace_back();
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+    Event& ev = slab_[slot];
+    ev.live = false;
+    ev.running = false;
+    ev.periodic_id = 0;
+    ev.cb.reset();  // drop captured state promptly, not at slot reuse
+    ev.next_free = free_head_;
+    free_head_ = slot;
+}
+
+// --- 4-ary heap of (when, seq, slot) entries --------------------------------
+
+void Simulator::sift_up(std::size_t pos) {
+    const HeapEntry entry = heap_[pos];
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) / 4;
+        if (!heap_less(entry, heap_[parent])) break;
+        heap_[pos] = heap_[parent];
+        slab_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+        pos = parent;
+    }
+    heap_[pos] = entry;
+    slab_[entry.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::sift_down(std::size_t pos) {
+    const HeapEntry entry = heap_[pos];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first = 4 * pos + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (heap_less(heap_[c], heap_[best])) best = c;
+        }
+        if (!heap_less(heap_[best], entry)) break;
+        heap_[pos] = heap_[best];
+        slab_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+        pos = best;
+    }
+    heap_[pos] = entry;
+    slab_[entry.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::heap_push(HeapEntry entry) {
+    heap_.push_back(entry);
+    sift_up(heap_.size() - 1);
+}
+
+void Simulator::heap_remove(std::uint32_t slot) {
+    const std::size_t pos = slab_[slot].heap_pos;
+    assert(pos < heap_.size() && heap_[pos].slot == slot);
+    slab_[slot].heap_pos = kNpos;
+    const HeapEntry moved = heap_.back();
+    heap_.pop_back();
+    if (pos == heap_.size()) return;  // removed the tail entry
+    heap_[pos] = moved;
+    slab_[moved.slot].heap_pos = static_cast<std::uint32_t>(pos);
+    sift_down(pos);
+    if (slab_[moved.slot].heap_pos == pos) sift_up(pos);
+}
+
+// --- scheduling -------------------------------------------------------------
+
+EventId Simulator::schedule_raw(Time t, Callback cb, Time period,
+                                std::uint64_t periodic_id) {
     if (t < now_) throw std::invalid_argument{"Simulator::schedule_at: time in the past"};
-    const std::uint64_t seq = next_seq_++;
-    queue_.push(Event{t, seq, std::move(cb)});
-    return EventId{seq};
+    if (periodic_id != 0 && period <= Time::zero()) {
+        throw std::invalid_argument{"Simulator::schedule_periodic: period must be > 0"};
+    }
+    const std::uint32_t slot = acquire_slot();
+    Event& ev = slab_[slot];
+    ev.when = t;
+    ev.seq = next_seq_++;
+    ev.period = period;
+    ev.periodic_id = periodic_id;
+    ev.live = true;
+    ev.running = false;
+    ev.cb = std::move(cb);
+    heap_push(HeapEntry{ev.when, ev.seq, slot});
+    if (periodic_id != 0) periodic_slots_.emplace(periodic_id, slot);
+    return EventId{ev.seq, slot};
 }
 
 bool Simulator::cancel(EventId id) {
-    if (!id.valid()) return false;
-    // Lazy cancellation: remember the seq; the event is dropped when popped.
-    return cancelled_.insert(id.seq).second;
+    if (!id.valid() || id.slot >= slab_.size()) return false;
+    const Event& ev = slab_[id.slot];
+    // Stale ids (already fired, already cancelled, reused slot) fail the
+    // seq match; periodic occurrences are not cancellable through this API.
+    if (!ev.live || ev.seq != id.seq || ev.periodic_id != 0) return false;
+    heap_remove(id.slot);
+    release_slot(id.slot);
+    return true;
 }
 
-std::uint64_t Simulator::schedule_periodic(Time start, Time period,
-                                           std::function<void(Time)> cb) {
-    const std::uint64_t pid = next_periodic_++;
-    auto shared = std::make_shared<std::function<void(Time)>>(std::move(cb));
-    reschedule_periodic(pid, start, period, shared);
-    return pid;
-}
-
-void Simulator::cancel_periodic(std::uint64_t periodic_id) {
-    dead_periodics_.insert(periodic_id);
-}
-
-void Simulator::reschedule_periodic(std::uint64_t pid, Time next, Time period,
-                                    std::shared_ptr<std::function<void(Time)>> cb) {
-    schedule_at(next, [this, pid, next, period, cb] {
-        if (dead_periodics_.contains(pid)) {
-            dead_periodics_.erase(pid);
-            return;
-        }
-        (*cb)(next);
-        reschedule_periodic(pid, next + period, period, cb);
-    });
-}
-
-bool Simulator::step() {
-    while (!queue_.empty()) {
-        Event ev = queue_.top();
-        queue_.pop();
-        if (cancelled_.erase(ev.seq) > 0) continue;  // skip cancelled
-        assert(ev.when >= now_);
-        now_ = ev.when;
-        ++processed_;
-        ev.cb();
+bool Simulator::cancel_periodic(std::uint64_t periodic_id) {
+    const auto it = periodic_slots_.find(periodic_id);
+    if (it == periodic_slots_.end()) return false;  // stale: keep no state
+    const std::uint32_t slot = it->second;
+    periodic_slots_.erase(it);
+    Event& ev = slab_[slot];
+    assert(ev.live && ev.periodic_id == periodic_id);
+    if (ev.running) {
+        // Cancelled from inside its own callback: step() owns the slot and
+        // will release it instead of rescheduling.
+        ev.live = false;
         return true;
     }
-    return false;
+    heap_remove(slot);
+    release_slot(slot);
+    return true;
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+bool Simulator::step() {
+    if (heap_.empty()) return false;
+    const std::uint32_t slot = heap_.front().slot;
+    Event& ev = slab_[slot];
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    const Time fired = ev.when;
+    ++processed_;
+    ++g_thread_events;
+
+    if (ev.periodic_id == 0) {
+        heap_remove(slot);
+        // Move the callback out and free the slot before invoking: the
+        // callback may schedule (reusing this slot) or grow the slab.
+        Callback cb = std::move(ev.cb);
+        release_slot(slot);
+        cb(fired);
+        return true;
+    }
+
+    // Periodic: the record stays at the top of the heap while its callback
+    // runs -- nothing the callback can schedule orders before (fired, seq),
+    // so the root cannot be displaced. The next occurrence then takes its
+    // seq *after* the callback body (events the callback schedules keep
+    // their pre-rewrite tie-break order) and a single sift-down restores
+    // heap order, instead of a pop-then-push round trip.
+    ev.running = true;
+    Callback cb = std::move(ev.cb);
+    try {
+        cb(fired);
+    } catch (...) {
+        Event& after = slab_[slot];  // the callback may have grown the slab
+        if (after.live) periodic_slots_.erase(after.periodic_id);
+        heap_remove(slot);
+        release_slot(slot);
+        throw;
+    }
+    Event& after = slab_[slot];
+    after.running = false;
+    if (!after.live) {
+        // cancel_periodic() ran inside the callback.
+        heap_remove(slot);
+        release_slot(slot);
+        return true;
+    }
+    after.cb = std::move(cb);
+    after.when = fired + after.period;
+    after.seq = next_seq_++;
+    const std::size_t pos = after.heap_pos;
+    heap_[pos].when = after.when;
+    heap_[pos].seq = after.seq;
+    sift_down(pos);
+    return true;
 }
 
 void Simulator::run_until(Time t) {
-    while (!queue_.empty() && queue_.top().when <= t) {
-        if (!step()) break;
-    }
+    while (!heap_.empty() && heap_.front().when <= t) step();
     if (now_ < t) now_ = t;
 }
 
@@ -69,9 +206,15 @@ void Simulator::run_all() {
     }
 }
 
-std::size_t Simulator::pending_events() const {
-    // cancelled_ entries still sit in the queue until popped.
-    return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
+Simulator::MemoryStats Simulator::memory_stats() const {
+    MemoryStats stats;
+    stats.slab_capacity = slab_.capacity();
+    stats.heap_capacity = heap_.capacity();
+    std::size_t free_count = 0;
+    for (std::uint32_t s = free_head_; s != kNpos; s = slab_[s].next_free) ++free_count;
+    stats.free_slots = free_count;
+    stats.live_events = slab_.size() - free_count;
+    return stats;
 }
 
 }  // namespace hsw::sim

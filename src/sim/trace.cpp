@@ -1,22 +1,120 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace hsw::sim {
 
+namespace {
+
+/// Grow-by-doubling with a small floor, so bursty tracing settles into
+/// amortized O(1) appends without a thousand tiny reallocations first.
+template <typename Vec>
+void grow_for_append(Vec& v, std::size_t extra) {
+    const std::size_t needed = v.size() + extra;
+    if (needed <= v.capacity()) return;
+    v.reserve(std::max({needed, v.capacity() * 2, std::size_t{64}}));
+}
+
+}  // namespace
+
+Trace::TagId Trace::intern(std::string_view tag) {
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        if (tags_[i] == tag) return static_cast<TagId>(i);
+    }
+    tags_.emplace_back(tag);
+    return static_cast<TagId>(tags_.size() - 1);
+}
+
+std::string_view Trace::detail_at(std::size_t i) const {
+    const std::uint32_t end = detail_ends_[i];
+    const std::uint32_t begin = i == 0 ? 0 : detail_ends_[i - 1];
+    return std::string_view{detail_arena_.data() + begin, end - begin};
+}
+
+void Trace::append_row(util::Time when, TagId category, TagId subject,
+                       std::string_view detail, double value) {
+    grow_for_append(whens_, 1);
+    grow_for_append(values_, 1);
+    grow_for_append(categories_, 1);
+    grow_for_append(subjects_, 1);
+    grow_for_append(detail_ends_, 1);
+    grow_for_append(detail_arena_, detail.size());
+    whens_.push_back(when);
+    values_.push_back(value);
+    categories_.push_back(category);
+    subjects_.push_back(subject);
+    detail_arena_.insert(detail_arena_.end(), detail.begin(), detail.end());
+    detail_ends_.push_back(static_cast<std::uint32_t>(detail_arena_.size()));
+}
+
 void Trace::record(util::Time when, std::string_view category, std::string_view subject,
                    std::string_view detail, double value) {
     if (!enabled_ && observers_.empty()) return;
-    TraceRecord rec{when, std::string{category}, std::string{subject},
-                    std::string{detail}, value};
-    for (const auto& [id, observer] : observers_) observer(rec);
-    if (enabled_) records_.push_back(std::move(rec));
+    const TraceView view{when, category, subject, detail, value};
+    for (const auto& [id, observer] : observers_) observer(view);
+    if (enabled_) append_row(when, intern(category), intern(subject), detail, value);
+}
+
+void Trace::append_n(std::string_view category, std::string_view subject,
+                     std::string_view detail, std::span<const Sample> samples) {
+    if ((!enabled_ && observers_.empty()) || samples.empty()) return;
+    for (const auto& [id, observer] : observers_) {
+        for (const Sample& s : samples) {
+            observer(TraceView{s.when, category, subject, detail, s.value});
+        }
+    }
+    if (!enabled_) return;
+    const TagId cat = intern(category);
+    const TagId subj = intern(subject);
+    grow_for_append(whens_, samples.size());
+    grow_for_append(values_, samples.size());
+    grow_for_append(categories_, samples.size());
+    grow_for_append(subjects_, samples.size());
+    grow_for_append(detail_ends_, samples.size());
+    grow_for_append(detail_arena_, detail.size() * samples.size());
+    for (const Sample& s : samples) {
+        whens_.push_back(s.when);
+        values_.push_back(s.value);
+        categories_.push_back(cat);
+        subjects_.push_back(subj);
+        detail_arena_.insert(detail_arena_.end(), detail.begin(), detail.end());
+        detail_ends_.push_back(static_cast<std::uint32_t>(detail_arena_.size()));
+    }
+}
+
+void Trace::reserve(std::size_t records, std::size_t detail_bytes) {
+    whens_.reserve(records);
+    values_.reserve(records);
+    categories_.reserve(records);
+    subjects_.reserve(records);
+    detail_ends_.reserve(records);
+    detail_arena_.reserve(detail_bytes);
+}
+
+TraceView Trace::view(std::size_t i) const {
+    return TraceView{whens_[i], tags_[categories_[i]], tags_[subjects_[i]],
+                     detail_at(i), values_[i]};
+}
+
+std::vector<TraceRecord> Trace::records() const {
+    std::vector<TraceRecord> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) {
+        const TraceView v = view(i);
+        out.push_back(TraceRecord{v.when, std::string{v.category}, std::string{v.subject},
+                                  std::string{v.detail}, v.value});
+    }
+    return out;
 }
 
 std::vector<TraceRecord> Trace::filter(std::string_view category) const {
     std::vector<TraceRecord> out;
-    for (const auto& r : records_) {
-        if (r.category == category) out.push_back(r);
+    for (std::size_t i = 0; i < size(); ++i) {
+        const TraceView v = view(i);
+        if (v.category != category) continue;
+        out.push_back(TraceRecord{v.when, std::string{v.category}, std::string{v.subject},
+                                  std::string{v.detail}, v.value});
     }
     return out;
 }
@@ -24,19 +122,35 @@ std::vector<TraceRecord> Trace::filter(std::string_view category) const {
 std::vector<TraceRecord> Trace::filter(std::string_view category,
                                        std::string_view subject) const {
     std::vector<TraceRecord> out;
-    for (const auto& r : records_) {
-        if (r.category == category && r.subject == subject) out.push_back(r);
+    for (std::size_t i = 0; i < size(); ++i) {
+        const TraceView v = view(i);
+        if (v.category != category || v.subject != subject) continue;
+        out.push_back(TraceRecord{v.when, std::string{v.category}, std::string{v.subject},
+                                  std::string{v.detail}, v.value});
     }
     return out;
+}
+
+void Trace::clear() {
+    whens_.clear();
+    values_.clear();
+    categories_.clear();
+    subjects_.clear();
+    detail_ends_.clear();
+    detail_arena_.clear();
+    tags_.clear();
 }
 
 std::string Trace::render() const {
     std::string out;
     char buf[256];
-    for (const auto& r : records_) {
-        std::snprintf(buf, sizeof buf, "[%12.3f us] %-8s %-16s %s (%.3f)\n",
-                      r.when.as_us(), r.category.c_str(), r.subject.c_str(),
-                      r.detail.c_str(), r.value);
+    for (std::size_t i = 0; i < size(); ++i) {
+        const TraceView r = view(i);
+        std::snprintf(buf, sizeof buf, "[%12.3f us] %-8.*s %-16.*s %.*s (%.3f)\n",
+                      r.when.as_us(), static_cast<int>(r.category.size()),
+                      r.category.data(), static_cast<int>(r.subject.size()),
+                      r.subject.data(), static_cast<int>(r.detail.size()),
+                      r.detail.data(), r.value);
         out += buf;
     }
     return out;

@@ -8,10 +8,10 @@ namespace hsw::sim {
 
 namespace {
 
-std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
+/// Appends the JSON-escaped bytes of `s` to `out` -- no temporary strings
+/// on the serialization path.
+void append_escaped(std::string& out, std::string_view s) {
+    for (const char c : s) {
         switch (c) {
             case '"': out += "\\\""; break;
             case '\\': out += "\\\\"; break;
@@ -19,44 +19,51 @@ std::string escape(const std::string& s) {
             default: out += c;
         }
     }
-    return out;
+}
+
+void append_format(std::string& out, const char* fmt, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, value);
+    out += buf;
 }
 
 }  // namespace
 
 std::string to_chrome_trace_json(const Trace& trace, const std::string& process_name) {
     std::string out = "{\"traceEvents\":[";
-    char buf[512];
-    bool first = true;
+    // ~96 bytes of JSON scaffolding per record plus the payload strings;
+    // one up-front reservation keeps the append loop realloc-free.
+    out.reserve(128 + trace.size() * 128);
 
-    auto append = [&](const std::string& event) {
-        if (!first) out += ',';
-        first = false;
-        out += event;
-    };
+    out += R"({"name":"process_name","ph":"M","pid":1,"args":{"name":")";
+    append_escaped(out, process_name);
+    out += R"("}})";
 
-    // Process metadata.
-    std::snprintf(buf, sizeof buf,
-                  R"({"name":"process_name","ph":"M","pid":1,"args":{"name":"%s"}})",
-                  escape(process_name).c_str());
-    append(buf);
-
-    for (const auto& r : trace.records()) {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceView r = trace.view(i);
         // Instant event on the subject's "thread" row.
-        std::snprintf(buf, sizeof buf,
-                      R"({"name":"%s","cat":"%s","ph":"i","ts":%.3f,"pid":1,)"
-                      R"("tid":"%s","s":"t","args":{"value":%g}})",
-                      escape(r.detail).c_str(), escape(r.category).c_str(),
-                      r.when.as_us(), escape(r.subject).c_str(), r.value);
-        append(buf);
+        out += R"(,{"name":")";
+        append_escaped(out, r.detail);
+        out += R"(","cat":")";
+        append_escaped(out, r.category);
+        out += R"(","ph":"i","ts":)";
+        append_format(out, "%.3f", r.when.as_us());
+        out += R"(,"pid":1,"tid":")";
+        append_escaped(out, r.subject);
+        out += R"(","s":"t","args":{"value":)";
+        append_format(out, "%g", r.value);
+        out += "}}";
         // Counter series for valued records (renders as a graph).
         if (r.value != 0.0) {
-            std::snprintf(buf, sizeof buf,
-                          R"({"name":"%s.%s","ph":"C","ts":%.3f,"pid":1,)"
-                          R"("args":{"value":%g}})",
-                          escape(r.subject).c_str(), escape(r.category).c_str(),
-                          r.when.as_us(), r.value);
-            append(buf);
+            out += R"(,{"name":")";
+            append_escaped(out, r.subject);
+            out += '.';
+            append_escaped(out, r.category);
+            out += R"(","ph":"C","ts":)";
+            append_format(out, "%.3f", r.when.as_us());
+            out += R"(,"pid":1,"args":{"value":)";
+            append_format(out, "%g", r.value);
+            out += "}}";
         }
     }
     out += "],\"displayTimeUnit\":\"ms\"}";

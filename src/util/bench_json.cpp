@@ -1,0 +1,140 @@
+#include "util/bench_json.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hsw::util {
+
+namespace {
+
+std::string quoted(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string number(double v) {
+    char buf[40];
+    // %.17g round-trips any double but litters short values with noise
+    // digits; %.10g is exact for every value a bench reports (counters and
+    // millisecond timings) while keeping the files diffable.
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    // JSON has no inf/nan literals.
+    if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr) {
+        return "null";
+    }
+    return buf;
+}
+
+void render_object(const std::vector<std::pair<std::string, std::string>>& fields,
+                   std::string& out, const char* indent) {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, raw] : fields) {
+        if (!first) out += ',';
+        first = false;
+        out += '\n';
+        out += indent;
+        out += quoted(key);
+        out += ": ";
+        out += raw;
+    }
+    out += '\n';
+    out.append(indent, std::strlen(indent) >= 2 ? std::strlen(indent) - 2 : 0);
+    out += '}';
+}
+
+}  // namespace
+
+void BenchJson::Object::append_raw(std::string_view key, std::string raw) {
+    for (auto& [k, v] : fields_) {
+        if (k == key) {
+            v = std::move(raw);
+            return;
+        }
+    }
+    fields_.emplace_back(std::string{key}, std::move(raw));
+}
+
+BenchJson::Object& BenchJson::Object::set(std::string_view key, std::string_view value) {
+    append_raw(key, quoted(value));
+    return *this;
+}
+
+BenchJson::Object& BenchJson::Object::set(std::string_view key, const char* value) {
+    return set(key, std::string_view{value});
+}
+
+BenchJson::Object& BenchJson::Object::set(std::string_view key, double value) {
+    append_raw(key, number(value));
+    return *this;
+}
+
+BenchJson::Object& BenchJson::Object::set(std::string_view key, std::uint64_t value) {
+    append_raw(key, std::to_string(value));
+    return *this;
+}
+
+BenchJson::Object& BenchJson::Object::set(std::string_view key, unsigned value) {
+    append_raw(key, std::to_string(value));
+    return *this;
+}
+
+BenchJson::Object& BenchJson::Object::set(std::string_view key, bool value) {
+    append_raw(key, value ? "true" : "false");
+    return *this;
+}
+
+BenchJson::Object& BenchJson::add_run() {
+    runs_.emplace_back();
+    return runs_.back();
+}
+
+std::string BenchJson::to_string() const {
+    std::string out = "{\n  \"bench\": " + quoted(bench_) + ",\n  \"meta\": ";
+    render_object(meta_.fields_, out, "    ");
+    out += ",\n  \"runs\": [";
+    bool first = true;
+    for (const auto& run : runs_) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    ";
+        render_object(run.fields_, out, "      ");
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+bool BenchJson::write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+        return false;
+    }
+    const std::string text = to_string();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+}
+
+bool parse_json_flag(int argc, char** argv, int& i, std::string& out) {
+    if (std::strcmp(argv[i], "--json") != 0) return false;
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json needs a path\n", argv[0]);
+        std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+}
+
+}  // namespace hsw::util

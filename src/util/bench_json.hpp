@@ -1,0 +1,67 @@
+// Machine-readable bench results.
+//
+// Every bench binary in bench/ reports through this writer so the repo's
+// BENCH_*.json trajectory files share one schema:
+//
+//   {
+//     "bench": "<binary name>",
+//     "meta":  { "quick": true, ... },          // run-wide settings
+//     "runs":  [ { "scenario": "...", ... } ]   // one object per sweep point
+//   }
+//
+// Values are strings, bools, or numbers (formatted with enough digits to
+// round-trip a double). Keys keep insertion order, so diffs between two
+// BENCH files line up row by row. Use `parse_json_flag` to wire the shared
+// `--json <path>` command-line flag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hsw::util {
+
+class BenchJson {
+public:
+    class Object {
+    public:
+        Object& set(std::string_view key, std::string_view value);
+        Object& set(std::string_view key, const char* value);
+        Object& set(std::string_view key, double value);
+        Object& set(std::string_view key, std::uint64_t value);
+        Object& set(std::string_view key, unsigned value);
+        Object& set(std::string_view key, bool value);
+
+    private:
+        friend class BenchJson;
+        void append_raw(std::string_view key, std::string raw);
+        std::vector<std::pair<std::string, std::string>> fields_;  // key -> raw JSON
+    };
+
+    explicit BenchJson(std::string_view bench_name) : bench_{bench_name} {}
+
+    /// Run-wide metadata ("quick", "requests", ...).
+    Object& meta() { return meta_; }
+
+    /// Appends one sweep-point object to the "runs" array.
+    Object& add_run();
+
+    [[nodiscard]] std::string to_string() const;
+
+    /// Writes to_string() to `path`. Returns false (and prints to stderr)
+    /// when the file cannot be written.
+    bool write(const std::string& path) const;
+
+private:
+    std::string bench_;
+    Object meta_;
+    std::vector<Object> runs_;
+};
+
+/// Consumes a `--json <path>` argument pair at argv[i]. Returns true and
+/// advances `i` past the value when matched; `out` receives the path.
+bool parse_json_flag(int argc, char** argv, int& i, std::string& out);
+
+}  // namespace hsw::util

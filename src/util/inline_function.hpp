@@ -1,0 +1,163 @@
+// Small-buffer-optimized move-only callable wrapper.
+//
+// InlineFunction<R(Args...), N> stores any callable whose (decayed) capture
+// state fits into N bytes directly inside the wrapper -- no heap allocation
+// on construction, move, or invocation. Larger or over-aligned callables
+// fall back to a single heap allocation, and every fallback is counted in a
+// process-wide tally (`inline_function_heap_allocations()`) so tests can
+// assert that a hot path stayed allocation-free.
+//
+// This is the event-callback type of the simulation core: scheduling an
+// event must not allocate, because the simulator dispatches millions of
+// events per simulated second and the old std::function-based queue spent
+// most of its time in the allocator.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hsw::util {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_inline_function_heap_allocs{0};
+}  // namespace detail
+
+/// Process-wide count of InlineFunction constructions that fell back to the
+/// heap. Test hook: capture before/after a steady-state region and assert
+/// the delta is zero.
+inline std::uint64_t inline_function_heap_allocations() {
+    return detail::g_inline_function_heap_allocs.load(std::memory_order_relaxed);
+}
+
+template <typename Signature, std::size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+public:
+    static constexpr std::size_t inline_capacity = InlineBytes;
+
+    /// True when a callable of type F (after decay) is stored in the inline
+    /// buffer rather than on the heap. Exposed so call sites can
+    /// static_assert that a hot-path lambda stays within budget.
+    template <typename F>
+    static constexpr bool fits_inline =
+        sizeof(std::decay_t<F>) <= InlineBytes &&
+        alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+    InlineFunction() = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+    InlineFunction(F&& f) {  // NOLINT(*-explicit-*): mirrors std::function
+        construct(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction&& other) noexcept { move_from(std::move(other)); }
+
+    InlineFunction& operator=(InlineFunction&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(std::move(other));
+        }
+        return *this;
+    }
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+    InlineFunction& operator=(F&& f) {
+        reset();
+        construct(std::forward<F>(f));
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    void reset() {
+        if (vtable_ != nullptr) {
+            vtable_->destroy(&storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+    /// True when the held callable lives in the inline buffer (always true
+    /// for an empty wrapper -- there is nothing on the heap either way).
+    [[nodiscard]] bool is_inline() const { return vtable_ == nullptr || !vtable_->heap; }
+
+    R operator()(Args... args) {
+        if (vtable_ == nullptr) throw std::bad_function_call{};
+        return vtable_->invoke(&storage_, std::forward<Args>(args)...);
+    }
+
+private:
+    struct VTable {
+        R (*invoke)(void*, Args&&...);
+        void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+        void (*destroy)(void*);
+        bool heap;
+    };
+
+    template <typename F>
+    void construct(F&& f) {
+        using Fn = std::decay_t<F>;
+        if constexpr (fits_inline<Fn>) {
+            ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+            static constexpr VTable vt{
+                [](void* s, Args&&... args) -> R {
+                    return std::invoke(*static_cast<Fn*>(s), std::forward<Args>(args)...);
+                },
+                [](void* dst, void* src) {
+                    auto* from = static_cast<Fn*>(src);
+                    ::new (dst) Fn(std::move(*from));
+                    from->~Fn();
+                },
+                [](void* s) { static_cast<Fn*>(s)->~Fn(); },
+                /*heap=*/false,
+            };
+            vtable_ = &vt;
+        } else {
+            detail::g_inline_function_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+            ::new (static_cast<void*>(&storage_)) Fn*(new Fn(std::forward<F>(f)));
+            static constexpr VTable vt{
+                [](void* s, Args&&... args) -> R {
+                    return std::invoke(**static_cast<Fn**>(s), std::forward<Args>(args)...);
+                },
+                [](void* dst, void* src) {
+                    auto* from = static_cast<Fn**>(src);
+                    ::new (dst) Fn*(*from);  // steal the pointer, no reallocation
+                    *from = nullptr;
+                },
+                [](void* s) { delete *static_cast<Fn**>(s); },
+                /*heap=*/true,
+            };
+            vtable_ = &vt;
+        }
+    }
+
+    void move_from(InlineFunction&& other) noexcept {
+        vtable_ = other.vtable_;
+        if (vtable_ != nullptr) {
+            vtable_->relocate(&storage_, &other.storage_);
+            other.vtable_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte storage_[InlineBytes];
+    const VTable* vtable_ = nullptr;
+};
+
+}  // namespace hsw::util

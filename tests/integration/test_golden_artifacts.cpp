@@ -1,0 +1,82 @@
+// Byte-identity against the committed goldens, through the engine, at two
+// thread counts. The cheap full-tuning experiments (fig3-fig7) regenerate
+// in well under a second; their CSV artifacts must equal the checked-in
+// files byte for byte at jobs=1 and jobs=8 -- the event-engine rewrite's
+// whole contract is that no output byte moves.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/survey_experiments.hpp"
+
+#ifndef HSW_REPO_ROOT
+#error "HSW_REPO_ROOT must point at the source tree (set in tests/CMakeLists.txt)"
+#endif
+
+namespace hsw::engine {
+namespace {
+
+const std::vector<std::string> kCheapExperiments{"fig3", "fig4", "fig5", "fig6", "fig7"};
+
+std::string slurp(const std::filesystem::path& path) {
+    std::ifstream in{path, std::ios::binary};
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+RunReport regenerate(unsigned jobs) {
+    const auto all = survey_experiments(SurveyTuning{});  // full tuning: golden inputs
+    std::vector<Experiment> subset;
+    for (const std::string& name : kCheapExperiments) {
+        const Experiment* e = find_experiment(all, name);
+        if (e != nullptr) subset.push_back(*e);
+    }
+    EXPECT_EQ(subset.size(), kCheapExperiments.size());
+
+    RunOptions options;
+    options.jobs = jobs;
+    return run_experiments(subset, options);
+}
+
+void expect_artifacts_match_goldens(const RunReport& report) {
+    ASSERT_TRUE(report.ok()) << report.summary();
+    const std::filesystem::path root{HSW_REPO_ROOT};
+    std::size_t csvs = 0;
+    for (const Artifact& artifact : report.artifacts) {
+        if (artifact.kind != ArtifactKind::Csv) continue;
+        ++csvs;
+        const std::string golden = slurp(root / artifact.filename);
+        EXPECT_EQ(artifact.contents, golden)
+            << artifact.filename << " drifted from the committed golden";
+    }
+    EXPECT_GE(csvs, kCheapExperiments.size());
+}
+
+TEST(GoldenArtifacts, SerialRunMatchesCommittedCsvsByteForByte) {
+    expect_artifacts_match_goldens(regenerate(1));
+}
+
+TEST(GoldenArtifacts, ParallelRunMatchesCommittedCsvsByteForByte) {
+    expect_artifacts_match_goldens(regenerate(8));
+}
+
+TEST(GoldenArtifacts, JobsReportSimEventsForComputedWork) {
+    const RunReport report = regenerate(4);
+    ASSERT_TRUE(report.ok());
+    std::uint64_t total_events = 0;
+    for (const JobStats& j : report.jobs) {
+        EXPECT_FALSE(j.cache_hit);  // no cache dir configured
+        total_events += j.sim_events;
+        if (j.sim_events > 0) EXPECT_GT(j.events_per_sec, 0.0) << j.point;
+    }
+    EXPECT_GT(total_events, 0u);
+}
+
+}  // namespace
+}  // namespace hsw::engine

@@ -1,0 +1,232 @@
+// Randomized differential test: the slab/4-ary-heap event engine against a
+// naive sorted-vector reference model. Both execute the same random
+// interleaving of schedule / cancel / run_until / step operations
+// (periodics included) and must agree on fire order, pending counts,
+// cancel results, and the clock -- the heap is an optimization, never a
+// semantic change.
+//
+// The model mirrors the engine's determinism contract exactly: events fire
+// in (when, seq) order, and a periodic's next occurrence takes its seq
+// *after* the current one fired.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hsw::sim {
+namespace {
+
+using util::Time;
+
+/// Reference event: a flat struct in an unsorted vector; firing scans for
+/// the (when, seq) minimum. O(n) per op and obviously correct.
+struct ModelEvent {
+    std::int64_t when_ns = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t label = 0;   // what firing appends to the log
+    std::uint64_t pid = 0;     // nonzero => periodic
+    std::int64_t period_ns = 0;
+};
+
+class ReferenceModel {
+public:
+    std::uint64_t schedule_at(std::int64_t when_ns, std::uint64_t label) {
+        const std::uint64_t seq = next_seq_++;
+        events_.push_back({when_ns, seq, label, 0, 0});
+        return seq;
+    }
+
+    std::uint64_t schedule_periodic(std::int64_t start_ns, std::int64_t period_ns,
+                                    std::uint64_t label) {
+        const std::uint64_t pid = next_pid_++;
+        events_.push_back({start_ns, next_seq_++, label, pid, period_ns});
+        return pid;
+    }
+
+    bool cancel(std::uint64_t seq) {
+        const auto it = std::find_if(events_.begin(), events_.end(), [&](const auto& e) {
+            return e.seq == seq && e.pid == 0;
+        });
+        if (it == events_.end()) return false;
+        events_.erase(it);
+        return true;
+    }
+
+    bool cancel_periodic(std::uint64_t pid) {
+        const auto it = std::find_if(events_.begin(), events_.end(),
+                                     [&](const auto& e) { return e.pid == pid; });
+        if (it == events_.end()) return false;
+        events_.erase(it);
+        return true;
+    }
+
+    bool step(std::vector<std::uint64_t>& fired) {
+        const auto it = min_pending();
+        if (it == events_.end()) return false;
+        now_ns_ = it->when_ns;
+        fired.push_back(it->label);
+        if (it->pid != 0) {
+            it->when_ns += it->period_ns;
+            it->seq = next_seq_++;  // seq allocated after the fire, like the engine
+        } else {
+            events_.erase(it);
+        }
+        return true;
+    }
+
+    void run_until(std::int64_t t_ns, std::vector<std::uint64_t>& fired) {
+        while (true) {
+            const auto it = min_pending();
+            if (it == events_.end() || it->when_ns > t_ns) break;
+            step(fired);
+        }
+        now_ns_ = std::max(now_ns_, t_ns);
+    }
+
+    [[nodiscard]] std::size_t pending() const { return events_.size(); }
+    [[nodiscard]] std::int64_t now_ns() const { return now_ns_; }
+
+private:
+    std::vector<ModelEvent>::iterator min_pending() {
+        return std::min_element(events_.begin(), events_.end(),
+                                [](const auto& a, const auto& b) {
+                                    return a.when_ns != b.when_ns ? a.when_ns < b.when_ns
+                                                                  : a.seq < b.seq;
+                                });
+    }
+
+    std::vector<ModelEvent> events_;
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t next_pid_ = 1;
+    std::int64_t now_ns_ = 0;
+};
+
+struct OneShotHandle {
+    std::uint64_t label = 0;
+    std::uint64_t seq = 0;   // model handle
+    EventId id;              // engine handle
+};
+
+void fuzz_round(std::uint64_t seed, unsigned ops) {
+    std::mt19937_64 rng{seed};
+    Simulator sim;
+    ReferenceModel model;
+    std::vector<OneShotHandle> oneshots;
+    std::vector<OneShotHandle> stale;  // fired or cancelled handles
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> periodics;  // model -> engine
+    std::vector<std::uint64_t> sim_fired;
+    std::vector<std::uint64_t> model_fired;
+    std::unordered_set<std::uint64_t> fired_labels;
+    std::size_t compare_cursor = 0;
+    std::uint64_t next_label = 1;
+
+    const auto rand_in = [&](std::int64_t lo, std::int64_t hi) {
+        return lo +
+               static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(hi - lo + 1));
+    };
+
+    for (unsigned op = 0; op < ops; ++op) {
+        switch (rng() % 10) {
+            case 0:
+            case 1:
+            case 2: {  // one-shot at now + [0, 1000] ns
+                const std::int64_t when = model.now_ns() + rand_in(0, 1000);
+                const std::uint64_t label = next_label++;
+                const std::uint64_t seq = model.schedule_at(when, label);
+                const EventId id = sim.schedule_at(
+                    Time::ns(when), [&sim_fired, label] { sim_fired.push_back(label); });
+                ASSERT_EQ(id.seq, seq) << "seq allocation diverged at op " << op;
+                oneshots.push_back({label, seq, id});
+                break;
+            }
+            case 3: {  // periodic, period in [1, 300] ns
+                const std::int64_t start = model.now_ns() + rand_in(0, 500);
+                const std::int64_t period = rand_in(1, 300);
+                const std::uint64_t label = next_label++;
+                const std::uint64_t mpid = model.schedule_periodic(start, period, label);
+                const std::uint64_t pid = sim.schedule_periodic(
+                    Time::ns(start), Time::ns(period),
+                    [&sim_fired, label](Time) { sim_fired.push_back(label); });
+                periodics.emplace_back(mpid, pid);
+                break;
+            }
+            case 4: {  // cancel a random outstanding one-shot
+                if (oneshots.empty()) break;
+                const std::size_t pick = rng() % oneshots.size();
+                const OneShotHandle h = oneshots[pick];
+                oneshots.erase(oneshots.begin() + static_cast<std::ptrdiff_t>(pick));
+                ASSERT_EQ(sim.cancel(h.id), model.cancel(h.seq)) << "op " << op;
+                stale.push_back(h);
+                break;
+            }
+            case 5: {  // cancel a stale (already fired or cancelled) handle
+                if (stale.empty()) break;
+                const OneShotHandle& h = stale[rng() % stale.size()];
+                ASSERT_EQ(sim.cancel(h.id), model.cancel(h.seq)) << "op " << op;
+                break;
+            }
+            case 6: {  // cancel a periodic (sometimes twice -> stale)
+                if (periodics.empty()) break;
+                const std::size_t pick = rng() % periodics.size();
+                const auto [mpid, pid] = periodics[pick];
+                ASSERT_EQ(sim.cancel_periodic(pid), model.cancel_periodic(mpid))
+                    << "op " << op;
+                if (rng() % 2 == 0) {
+                    periodics.erase(periodics.begin() +
+                                    static_cast<std::ptrdiff_t>(pick));
+                }
+                break;
+            }
+            case 7:
+            case 8: {  // run_until now + [0, 800] ns
+                const std::int64_t t = model.now_ns() + rand_in(0, 800);
+                sim.run_until(Time::ns(t));
+                model.run_until(t, model_fired);
+                ASSERT_EQ(sim.now().as_ns(), t);
+                break;
+            }
+            case 9: {  // single step
+                const bool stepped = model.step(model_fired);
+                ASSERT_EQ(sim.step(), stepped) << "op " << op;
+                if (stepped) ASSERT_EQ(sim.now().as_ns(), model.now_ns());
+                break;
+            }
+        }
+
+        ASSERT_EQ(sim.pending_events(), model.pending()) << "op " << op;
+        ASSERT_EQ(sim_fired.size(), model_fired.size()) << "op " << op;
+        for (; compare_cursor < sim_fired.size(); ++compare_cursor) {
+            ASSERT_EQ(sim_fired[compare_cursor], model_fired[compare_cursor])
+                << "fire order diverged at index " << compare_cursor << ", op " << op;
+            fired_labels.insert(sim_fired[compare_cursor]);
+        }
+
+        // Sweep fired one-shots into the stale-handle pool.
+        std::erase_if(oneshots, [&](const OneShotHandle& h) {
+            if (!fired_labels.contains(h.label)) return false;
+            stale.push_back(h);
+            return true;
+        });
+    }
+
+    ASSERT_EQ(sim.processed_events(), sim_fired.size());
+}
+
+TEST(SimulatorFuzz, MatchesReferenceModelAcrossSeeds) {
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        fuzz_round(seed, 400);
+    }
+}
+
+TEST(SimulatorFuzz, LongRunSingleSeed) {
+    fuzz_round(0xD1CEu, 3000);
+}
+
+}  // namespace
+}  // namespace hsw::sim

@@ -1,0 +1,114 @@
+// Tests for the SoA trace storage: bulk append, borrowed views, observer
+// taps on the batch path, and materialized rows.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace hsw::sim {
+namespace {
+
+using util::Time;
+
+TEST(TraceBatch, AppendNStoresSamplesInOrder) {
+    Trace trace;
+    trace.enable();
+    const std::vector<Trace::Sample> samples{
+        {Time::us(1), 1.0}, {Time::us(2), 2.0}, {Time::us(3), 3.0}};
+    trace.append_n("rapl", "socket0", "pkg power", samples);
+
+    ASSERT_EQ(trace.size(), 3u);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceView v = trace.view(i);
+        EXPECT_EQ(v.when, samples[i].when);
+        EXPECT_EQ(v.value, samples[i].value);
+        EXPECT_EQ(v.category, "rapl");
+        EXPECT_EQ(v.subject, "socket0");
+        EXPECT_EQ(v.detail, "pkg power");
+    }
+}
+
+TEST(TraceBatch, AppendNInterleavesWithPointRecords) {
+    Trace trace;
+    trace.enable();
+    trace.record(Time::us(1), "pstate", "cpu0", "request 12->13", 13.0);
+    const std::vector<Trace::Sample> samples{{Time::us(2), 0.5}, {Time::us(3), 0.7}};
+    trace.append_n("rapl", "socket0", "sample", samples);
+    trace.record(Time::us(4), "pstate", "cpu0", "change complete", 13.0);
+
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.view(0).detail, "request 12->13");
+    EXPECT_EQ(trace.view(2).value, 0.7);
+    EXPECT_EQ(trace.view(3).detail, "change complete");
+
+    const auto rapl_rows = trace.filter("rapl");
+    ASSERT_EQ(rapl_rows.size(), 2u);
+    EXPECT_EQ(rapl_rows[0].subject, "socket0");
+    EXPECT_EQ(rapl_rows[1].value, 0.7);
+}
+
+TEST(TraceBatch, ObserversSeeEveryBatchedSampleEvenWhenDisabled) {
+    Trace trace;  // recording stays off
+    std::vector<double> seen;
+    trace.add_observer([&seen](const TraceView& v) { seen.push_back(v.value); });
+
+    const std::vector<Trace::Sample> samples{{Time::us(1), 1.5}, {Time::us(2), 2.5}};
+    trace.append_n("meter", "lmg450", "reading", samples);
+    EXPECT_EQ(seen, (std::vector<double>{1.5, 2.5}));
+    EXPECT_EQ(trace.size(), 0u);  // nothing stored while disabled
+}
+
+TEST(TraceBatch, EmptyBatchIsANoOp) {
+    Trace trace;
+    trace.enable();
+    trace.append_n("rapl", "socket0", "pkg", {});
+    EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceBatch, RecordsMaterializesOwningRows) {
+    Trace trace;
+    trace.enable();
+    trace.record(Time::us(1), "cat", "subj", "detail", 42.0);
+    auto rows = trace.records();
+    trace.clear();  // views into the trace would now dangle; rows must not
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].category, "cat");
+    EXPECT_EQ(rows[0].subject, "subj");
+    EXPECT_EQ(rows[0].detail, "detail");
+    EXPECT_EQ(rows[0].value, 42.0);
+}
+
+TEST(TraceBatch, ReserveAvoidsColumnReallocations) {
+    Trace trace;
+    trace.enable();
+    trace.reserve(1000, 8000);
+    for (int i = 0; i < 1000; ++i) {
+        trace.record(Time::ns(i), "cat", "subj", "detail", i);
+    }
+    EXPECT_EQ(trace.size(), 1000u);
+    EXPECT_EQ(trace.view(999).value, 999.0);
+}
+
+TEST(TraceBatch, TraceViewConvertsFromOwningRecord) {
+    const TraceRecord rec{Time::us(7), "cat", "subj", "det", 1.0};
+    const TraceView v = rec;
+    EXPECT_EQ(v.when, rec.when);
+    EXPECT_EQ(v.category, "cat");
+    EXPECT_EQ(v.detail, "det");
+}
+
+TEST(TraceBatch, InternerSharesTagsAcrossManyRecords) {
+    Trace trace;
+    trace.enable();
+    for (int i = 0; i < 100; ++i) {
+        trace.record(Time::ns(i), i % 2 == 0 ? "pstate" : "cstate", "cpu0", "tick", i);
+    }
+    ASSERT_EQ(trace.size(), 100u);
+    EXPECT_EQ(trace.filter("pstate").size(), 50u);
+    EXPECT_EQ(trace.filter("cstate", "cpu0").size(), 50u);
+}
+
+}  // namespace
+}  // namespace hsw::sim

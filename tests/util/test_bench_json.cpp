@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/bench_json.hpp"
+
+namespace hsw::util {
+namespace {
+
+TEST(BenchJson, EmptyReportHasSchemaScaffolding) {
+    BenchJson b{"bench_x"};
+    const std::string s = b.to_string();
+    EXPECT_NE(s.find("\"bench\": \"bench_x\""), std::string::npos);
+    EXPECT_NE(s.find("\"meta\": {"), std::string::npos);
+    EXPECT_NE(s.find("\"runs\": ["), std::string::npos);
+}
+
+TEST(BenchJson, KeysKeepInsertionOrder) {
+    BenchJson b{"bench_order"};
+    b.add_run().set("zeta", 1.0).set("alpha", 2.0).set("mid", 3.0);
+    const std::string s = b.to_string();
+    const auto z = s.find("\"zeta\"");
+    const auto a = s.find("\"alpha\"");
+    const auto m = s.find("\"mid\"");
+    ASSERT_NE(z, std::string::npos);
+    EXPECT_LT(z, a);
+    EXPECT_LT(a, m);
+}
+
+TEST(BenchJson, DuplicateKeyOverwritesInPlace) {
+    BenchJson b{"bench_dup"};
+    b.meta().set("quick", true).set("jobs", 4u).set("quick", false);
+    const std::string s = b.to_string();
+    EXPECT_EQ(s.find("\"quick\": true"), std::string::npos);
+    const auto q = s.find("\"quick\": false");
+    const auto j = s.find("\"jobs\": 4");
+    ASSERT_NE(q, std::string::npos);
+    ASSERT_NE(j, std::string::npos);
+    EXPECT_LT(q, j);  // overwrite keeps the original position
+}
+
+TEST(BenchJson, EscapesStringsAndHandlesNonFinite) {
+    BenchJson b{"bench_esc"};
+    b.add_run()
+        .set("label", "a\"b\\c\nd")
+        .set("inf", std::numeric_limits<double>::infinity())
+        .set("nan", std::numeric_limits<double>::quiet_NaN());
+    const std::string s = b.to_string();
+    EXPECT_NE(s.find(R"("label": "a\"b\\c\nd")"), std::string::npos);
+    EXPECT_NE(s.find("\"inf\": null"), std::string::npos);
+    EXPECT_NE(s.find("\"nan\": null"), std::string::npos);
+}
+
+TEST(BenchJson, NumberFormattingRoundTripsBenchValues) {
+    BenchJson b{"bench_num"};
+    b.add_run()
+        .set("events_per_sec", 9979249.25)
+        .set("count", std::uint64_t{18446744073709551615ull})
+        .set("small", 0.125);
+    const std::string s = b.to_string();
+    EXPECT_NE(s.find("\"events_per_sec\": 9979249.25"), std::string::npos);
+    EXPECT_NE(s.find("\"count\": 18446744073709551615"), std::string::npos);
+    EXPECT_NE(s.find("\"small\": 0.125"), std::string::npos);
+}
+
+TEST(BenchJson, WriteProducesReadableFile) {
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() / "hsw_bench_json_test.json";
+    BenchJson b{"bench_file"};
+    b.meta().set("quick", true);
+    b.add_run().set("scenario", "s1").set("value", 1.5);
+    ASSERT_TRUE(b.write(path.string()));
+    std::ifstream in{path};
+    std::stringstream read;
+    read << in.rdbuf();
+    EXPECT_EQ(read.str(), b.to_string());
+    std::filesystem::remove(path);
+}
+
+TEST(BenchJson, ParseJsonFlagConsumesPath) {
+    const char* argv_c[] = {"bench", "--json", "out.json", "--quick"};
+    char* argv[4];
+    for (int i = 0; i < 4; ++i) argv[i] = const_cast<char*>(argv_c[i]);
+    std::string out = "default.json";
+    int i = 1;
+    EXPECT_TRUE(parse_json_flag(4, argv, i, out));
+    EXPECT_EQ(out, "out.json");
+    EXPECT_EQ(i, 2);  // advanced past the value; loop ++ lands on --quick
+    i = 3;
+    EXPECT_FALSE(parse_json_flag(4, argv, i, out));
+    EXPECT_EQ(out, "out.json");
+}
+
+}  // namespace
+}  // namespace hsw::util

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "util/inline_function.hpp"
+
+namespace hsw::util {
+namespace {
+
+using Fn = InlineFunction<int(int), 48>;
+
+/// A callable padded to exactly `Bytes` bytes (Bytes >= sizeof(int)).
+template <std::size_t Bytes>
+struct Padded {
+    int base = 0;
+    unsigned char pad[Bytes - sizeof(int)] = {};
+    int operator()(int x) const { return base + x; }
+};
+
+TEST(InlineFunction, InvokesAndForwardsArguments) {
+    Fn f{[](int x) { return x * 2; }};
+    EXPECT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(21), 42);
+}
+
+TEST(InlineFunction, EmptyThrowsBadFunctionCall) {
+    Fn f;
+    EXPECT_FALSE(static_cast<bool>(f));
+    EXPECT_THROW(f(1), std::bad_function_call);
+}
+
+TEST(InlineFunction, CaptureAtExactBudgetStaysInline) {
+    static_assert(Fn::fits_inline<Padded<48>>);
+    static_assert(!Fn::fits_inline<Padded<56>>);
+
+    const auto before = inline_function_heap_allocations();
+    Fn f{Padded<48>{.base = 100}};
+    EXPECT_TRUE(f.is_inline());
+    EXPECT_EQ(inline_function_heap_allocations(), before);
+    EXPECT_EQ(f(1), 101);
+}
+
+TEST(InlineFunction, CaptureOverBudgetFallsBackToHeapOnce) {
+    const auto before = inline_function_heap_allocations();
+    Fn f{Padded<56>{.base = 7}};
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+    EXPECT_EQ(f(3), 10);
+
+    // Moving a heap-backed wrapper steals the pointer -- no new allocation.
+    Fn g{std::move(f)};
+    EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+    EXPECT_EQ(g(3), 10);
+}
+
+TEST(InlineFunction, OverAlignedCallableFallsBackToHeap) {
+    struct alignas(2 * alignof(std::max_align_t)) OverAligned {
+        int base = 5;
+        int operator()(int x) const { return base + x; }
+    };
+    static_assert(!Fn::fits_inline<OverAligned>);
+    Fn f{OverAligned{}};
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(f(1), 6);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureWorksInline) {
+    auto p = std::make_unique<int>(41);
+    InlineFunction<int(), 48> f{[p = std::move(p)] { return *p + 1; }};
+    EXPECT_TRUE(f.is_inline());
+    EXPECT_EQ(f(), 42);
+
+    // Move transfers ownership of the capture; the source goes empty.
+    InlineFunction<int(), 48> g{std::move(f)};
+    EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunction, MutableStateSurvivesMove) {
+    InlineFunction<int(), 48> f{[n = 0]() mutable { return ++n; }};
+    EXPECT_EQ(f(), 1);
+    EXPECT_EQ(f(), 2);
+    InlineFunction<int(), 48> g{std::move(f)};
+    EXPECT_EQ(g(), 3);
+}
+
+TEST(InlineFunction, MoveAssignmentDestroysPreviousCallable) {
+    int destroyed = 0;
+    struct Tracker {
+        int* destroyed;
+        bool armed = true;
+        Tracker(int* d) : destroyed{d} {}
+        Tracker(Tracker&& o) noexcept : destroyed{o.destroyed}, armed{o.armed} {
+            o.armed = false;
+        }
+        ~Tracker() {
+            if (armed) ++*destroyed;
+        }
+        int operator()() const { return 1; }
+    };
+    InlineFunction<int(), 48> f{Tracker{&destroyed}};
+    InlineFunction<int(), 48> g{Tracker{&destroyed}};
+    ASSERT_EQ(destroyed, 0);
+    f = std::move(g);
+    EXPECT_EQ(destroyed, 1);  // f's original callable destroyed
+    EXPECT_FALSE(static_cast<bool>(g));  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(f(), 1);
+}
+
+TEST(InlineFunction, ReassignFromLambdaReplacesCallable) {
+    InlineFunction<int(int), 48> f{[](int x) { return x; }};
+    f = [](int x) { return -x; };
+    EXPECT_EQ(f(5), -5);
+}
+
+}  // namespace
+}  // namespace hsw::util

@@ -177,8 +177,14 @@ int main(int argc, char** argv) {
             const char* what = ev.kind == engine::ProgressEvent::Kind::CacheHit ? "cached"
                                : ev.kind == engine::ProgressEvent::Kind::Failed ? "FAILED"
                                                                                 : "done";
-            std::fprintf(stderr, "[%3zu/%3zu] %-7s %s (%.0f ms)\n", ev.done, ev.total,
-                         what, ev.label.c_str(), ev.wall_ms);
+            if (ev.events_per_sec > 0.0) {
+                std::fprintf(stderr, "[%3zu/%3zu] %-7s %s (%.0f ms, %.2fM events/sec)\n",
+                             ev.done, ev.total, what, ev.label.c_str(), ev.wall_ms,
+                             ev.events_per_sec / 1e6);
+            } else {
+                std::fprintf(stderr, "[%3zu/%3zu] %-7s %s (%.0f ms)\n", ev.done, ev.total,
+                             what, ev.label.c_str(), ev.wall_ms);
+            }
         };
     }
 
