@@ -83,8 +83,9 @@ Measurement measure(service::SurveyService& svc, const std::string& experiment,
         all.insert(all.end(), slice.begin(), slice.end());
     }
     if (!all.empty()) {
-        m.p50_ms = util::quantile(all, 0.50);
-        m.p99_ms = util::quantile(all, 0.99);
+        const util::QuantileSummary q = util::quantile_summary(all);
+        m.p50_ms = q.p50;
+        m.p99_ms = q.p99;
         m.requests_per_s = static_cast<double>(all.size()) / m.wall_s;
     }
     return m;

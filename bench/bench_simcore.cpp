@@ -20,7 +20,11 @@
 // BENCH_simcore.json and fails on >25 % events/sec regression of the
 // periodic-heavy sweep.
 //
-//   bench_simcore [--quick] [--json <path>]
+//   bench_simcore [--quick] [--telemetry] [--json <path>]
+//
+// --telemetry turns the obs metrics registry and span tracing on for the
+// whole run, measuring the instrumented-but-enabled configuration; CI runs
+// the periodic-heavy gate both ways to keep the telemetry tax honest.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +32,8 @@
 #include <vector>
 
 #include "core/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/bench_json.hpp"
 #include "util/stats.hpp"
@@ -44,28 +50,22 @@ double ms_since(Clock::time_point t0) {
     return std::chrono::duration<double, std::milli>{Clock::now() - t0}.count();
 }
 
-struct ChunkStats {
-    double p50_ns = 0.0;
-    double p99_ns = 0.0;
-};
-
 /// p50/p99 of per-event cost across chunks (each chunk = `events_per_chunk`
 /// dispatches timed together; single-event timing would measure the clock).
-ChunkStats chunk_quantiles(const std::vector<double>& chunk_ms, double events_per_chunk) {
-    ChunkStats s;
-    if (chunk_ms.empty() || events_per_chunk <= 0) return s;
+util::QuantileSummary chunk_quantiles(const std::vector<double>& chunk_ms,
+                                      double events_per_chunk) {
+    if (chunk_ms.empty() || events_per_chunk <= 0) return {};
     std::vector<double> per_event_ns;
     per_event_ns.reserve(chunk_ms.size());
     for (const double ms : chunk_ms) {
         per_event_ns.push_back(ms * 1e6 / events_per_chunk);
     }
-    s.p50_ns = util::quantile(per_event_ns, 0.50);
-    s.p99_ns = util::quantile(per_event_ns, 0.99);
-    return s;
+    return util::quantile_summary(per_event_ns);
 }
 
 void report(util::BenchJson& json, const char* scenario, unsigned size,
-            std::uint64_t events, double wall_ms, const ChunkStats& chunks) {
+            std::uint64_t events, double wall_ms,
+            const util::QuantileSummary& chunks) {
     const double events_per_sec = wall_ms > 0 ? static_cast<double>(events) / (wall_ms * 1e-3) : 0.0;
     json.add_run()
         .set("scenario", scenario)
@@ -73,13 +73,13 @@ void report(util::BenchJson& json, const char* scenario, unsigned size,
         .set("events", events)
         .set("wall_ms", wall_ms)
         .set("events_per_sec", events_per_sec)
-        .set("p50_ns_per_event", chunks.p50_ns)
-        .set("p99_ns_per_event", chunks.p99_ns);
+        .set("p50_ns_per_event", chunks.p50)
+        .set("p99_ns_per_event", chunks.p99);
     std::fprintf(stderr,
                  "%-16s size=%-6u %10llu events %9.1f ms %12.0f ev/s  "
                  "p50 %6.1f ns  p99 %6.1f ns\n",
                  scenario, size, static_cast<unsigned long long>(events), wall_ms,
-                 events_per_sec, chunks.p50_ns, chunks.p99_ns);
+                 events_per_sec, chunks.p50, chunks.p99);
 }
 
 void bench_oneshot_churn(util::BenchJson& json, unsigned batch, unsigned repeats) {
@@ -182,7 +182,7 @@ void bench_cancel_churn(util::BenchJson& json, unsigned batch, unsigned repeats)
         for (unsigned i = 0; i < batch; i += 2) sim.cancel(ids[i]);
         sim.run_until(base + Time::ns(batch + 1));
     }
-    report(json, "cancel_churn", batch, scheduled, ms_since(t0), ChunkStats{});
+    report(json, "cancel_churn", batch, scheduled, ms_since(t0), util::QuantileSummary{});
 }
 
 void bench_node_second(util::BenchJson& json, Time simulated) {
@@ -204,27 +204,36 @@ void bench_node_second(util::BenchJson& json, Time simulated) {
         if (attempt == 0 || wall < best_wall) best_wall = wall;
     }
     report(json, "node_second", static_cast<unsigned>(simulated.as_ms()), events,
-           best_wall, ChunkStats{});
+           best_wall, util::QuantileSummary{});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     bool quick = false;
+    bool telemetry = false;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+            telemetry = true;
         } else if (util::parse_json_flag(argc, argv, i, json_path)) {
             // handled
         } else {
-            std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--quick] [--telemetry] [--json <path>]\n",
+                         argv[0]);
             return 2;
         }
     }
 
+    if (telemetry) {
+        obs::set_metrics_enabled(true);
+        obs::trace::enable();
+    }
+
     util::BenchJson json{"simcore"};
-    json.meta().set("quick", quick);
+    json.meta().set("quick", quick).set("telemetry", telemetry);
 
     const unsigned scale = quick ? 1 : 8;
 

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace hsw::engine {
@@ -18,6 +20,17 @@ struct FlatJob {
     const Job* job = nullptr;
     std::size_t payload_slot = 0;  // index into its experiment's payload list
 };
+
+obs::Counter& job_hits_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_engine_job_cache_hits", "run_job / run_experiments disk-cache hits");
+    return c;
+}
+obs::Counter& job_computed_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_engine_jobs_computed", "Jobs whose body actually ran (cache misses)");
+    return c;
+}
 
 }  // namespace
 
@@ -130,6 +143,7 @@ RunReport run_experiments(const std::vector<Experiment>& experiments,
                     payloads[experiment_of[i]][fj.payload_slot] = std::move(*hit);
                     stats.cache_hit = true;
                     stats.ok = true;
+                    job_hits_counter().inc();
                     resolved.fetch_add(1, std::memory_order_relaxed);
                     emit(ProgressEvent::Kind::CacheHit, fj, 0, 0.0, 0.0);
                     return;
@@ -141,10 +155,18 @@ RunReport run_experiments(const std::vector<Experiment>& experiments,
             // event work (last attempt wins on retries).
             const std::uint64_t events_before = sim::Simulator::thread_events_processed();
             const auto body_start = std::chrono::steady_clock::now();
-            std::string payload = fj.job->run(fj.job->spec);
+            std::string payload;
+            {
+                obs::trace::Span span{"engine.job", "engine"};
+                span.set_label(fj.job->spec.label());
+                payload = fj.job->run(fj.job->spec);
+                span.set_events(sim::Simulator::thread_events_processed() -
+                                events_before);
+            }
             const double body_secs =
                 std::chrono::duration<double>(std::chrono::steady_clock::now() - body_start)
                     .count();
+            job_computed_counter().inc();
             stats.sim_events = sim::Simulator::thread_events_processed() - events_before;
             stats.events_per_sec =
                 body_secs > 0.0 ? static_cast<double>(stats.sim_events) / body_secs : 0.0;
@@ -225,12 +247,18 @@ JobResult run_job(const Job& job, const ResultCache* cache, const CancelToken* t
     if (token) token->check();
     if (cache) {
         if (auto hit = cache->load(job.spec)) {
+            job_hits_counter().inc();
             return JobResult{std::move(*hit), JobSource::DiskCache};
         }
     }
     if (token) token->check();
     JobResult result;
-    result.payload = job.run(job.spec);
+    {
+        obs::trace::Span span{"engine.job", "engine"};
+        span.set_label(job.spec.label());
+        result.payload = job.run(job.spec);
+    }
+    job_computed_counter().inc();
     result.source = JobSource::Computed;
     if (cache) cache->store(job.spec, result.payload);
     return result;

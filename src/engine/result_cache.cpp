@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace hsw::engine {
 
 namespace {
@@ -47,6 +49,11 @@ std::filesystem::path ResultCache::entry_path(const ExperimentSpec& spec) const 
 std::optional<std::string> ResultCache::load(const ExperimentSpec& spec) const {
     std::optional<std::string> payload = read_entry(spec);
     (payload ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& c_hits =
+        obs::counter("hsw_result_cache_hits", "Disk result-cache verified hits");
+    static obs::Counter& c_misses = obs::counter(
+        "hsw_result_cache_misses", "Disk result-cache misses (absent or corrupt)");
+    (payload ? c_hits : c_misses).inc();
     return payload;
 }
 
@@ -115,6 +122,9 @@ void ResultCache::store(const ExperimentSpec& spec, std::string_view payload) co
     }
     std::filesystem::rename(tmp_path, final_path);
     stores_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& c_stores =
+        obs::counter("hsw_result_cache_stores", "Disk result-cache entries written");
+    c_stores.inc();
 }
 
 ResultCache::Counters ResultCache::counters() const {

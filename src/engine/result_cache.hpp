@@ -18,13 +18,15 @@
 #include <string_view>
 
 #include "engine/spec.hpp"
+#include "util/version.hpp"
 
 namespace hsw::engine {
 
 /// Salt mixed into every cache entry. Bump when any experiment driver or
 /// the blob/spec format changes in a way that alters result bytes --
 /// existing caches then invalidate wholesale instead of serving stale data.
-inline constexpr std::string_view kCodeVersion = "hsw-engine-v1";
+/// Defined in util/version.hpp so bench metadata stamps the same string.
+inline constexpr std::string_view kCodeVersion = util::kEngineCodeVersion;
 
 class ResultCache {
 public:

@@ -5,7 +5,33 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hsw::engine {
+
+namespace {
+obs::Counter& tasks_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_engine_tasks", "Scheduler task executions (including retry attempts)");
+    return c;
+}
+obs::Counter& steals_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_engine_steals", "Tasks taken from another worker's deque");
+    return c;
+}
+obs::Counter& retries_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_engine_retries", "Failed tasks re-queued for another attempt");
+    return c;
+}
+obs::Counter& failures_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_engine_failures", "Tasks that exhausted retries or the deadline");
+    return c;
+}
+}  // namespace
 
 struct Scheduler::Batch {
     std::vector<Task> tasks;
@@ -48,6 +74,7 @@ bool Scheduler::next_task(Batch& batch, std::size_t worker, std::size_t& out_ind
         if (!other.empty()) {
             out_index = other.front();
             other.pop_front();
+            steals_counter().inc();
             return true;
         }
     }
@@ -72,6 +99,7 @@ void Scheduler::work(Batch& batch, std::size_t worker) {
         std::string error;
         bool ok = true;
         try {
+            obs::trace::Span span{"engine.task", "engine"};
             batch.tasks[index]();
         } catch (const std::exception& e) {
             ok = false;
@@ -84,6 +112,7 @@ void Scheduler::work(Batch& batch, std::size_t worker) {
         outcome.wall_ms +=
             std::chrono::duration<double, std::milli>(t1 - t0).count();
         progress_.running.fetch_sub(1, std::memory_order_relaxed);
+        tasks_counter().inc();
 
         if (!ok) {
             outcome.error = error;
@@ -93,11 +122,13 @@ void Scheduler::work(Batch& batch, std::size_t worker) {
                 t1 - batch.started < cfg_.retry_deadline;
             if (attempts_left && before_deadline) {
                 progress_.retries.fetch_add(1, std::memory_order_relaxed);
+                retries_counter().inc();
                 std::lock_guard lock{batch.locks[worker]};
                 batch.deques[worker].push_back(index);
                 continue;  // not finished -- remaining stays up
             }
             progress_.failed.fetch_add(1, std::memory_order_relaxed);
+            failures_counter().inc();
         }
         outcome.ok = ok;
 

@@ -1,0 +1,420 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace hsw::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::size_t thread_shard() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t shard =
+        next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+    return shard;
+}
+
+}  // namespace detail
+
+bool metrics_enabled() {
+    return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+    detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// --- Counter ----------------------------------------------------------------
+
+std::uint64_t Counter::value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) total += cell.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+        throw std::logic_error{"obs::Histogram bounds must be ascending"};
+    }
+    for (auto& shard : shards_) {
+        shard.buckets =
+            std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+        for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+            shard.buckets[i].store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+void Histogram::record(double v) {
+    if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+    Shard& shard = shards_[detail::thread_shard()];
+    shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    // Sum kept in integral microunits so fetch_add stays lock-free; values
+    // here are latencies/sizes where 1e-6 resolution is ample.
+    const auto micro = static_cast<std::uint64_t>(std::llround(v * 1e6));
+    shard.sum_micro.fetch_add(micro, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+double Histogram::sum() const {
+    std::uint64_t micro = 0;
+    for (const auto& shard : shards_) {
+        micro += shard.sum_micro.load(std::memory_order_relaxed);
+    }
+    return static_cast<double>(micro) * 1e-6;
+}
+
+std::vector<double> exponential_bounds(double lo, double factor, std::size_t n) {
+    if (lo <= 0 || factor <= 1.0) {
+        throw std::logic_error{"exponential_bounds needs lo > 0 and factor > 1"};
+    }
+    std::vector<double> bounds;
+    bounds.reserve(n);
+    double edge = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+        bounds.push_back(edge);
+        edge *= factor;
+    }
+    return bounds;
+}
+
+// --- HistogramSample --------------------------------------------------------
+
+double HistogramSample::quantile(double q) const {
+    if (count == 0) return std::nan("");
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (static_cast<double>(seen) < rank) continue;
+        // Interpolate inside bucket i between its lower and upper edge.
+        const double hi = i < bounds.size() ? bounds[i] : bounds.empty() ? 0.0 : bounds.back();
+        if (i >= bounds.size()) return hi;  // +Inf bucket: clamp to last edge
+        const double lo = i == 0 ? 0.0 : bounds[i - 1];
+        if (counts[i] == 0) return hi;
+        const auto below = static_cast<double>(seen - counts[i]);
+        const double frac = (rank - below) / static_cast<double>(counts[i]);
+        return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// --- Registry ---------------------------------------------------------------
+
+namespace {
+
+/// Formats like %g but always distinguishable as a double edge; matches the
+/// exposition Prometheus clients expect ("0.001", "4096", "+Inf").
+std::string format_bound(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+std::string format_double(double v) {
+    if (std::isnan(v)) return "NaN";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Trim "%.17g" noise for values that round-trip shorter.
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[64];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v) return probe;
+    }
+    return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+/// Owns every instrument. std::map keys give sorted, deterministic
+/// exposition order; instruments are heap-allocated once and never move,
+/// so references handed out stay valid under later registrations.
+class Registry {
+public:
+    static Registry& instance() {
+        static Registry r;
+        return r;
+    }
+
+    Counter& counter(std::string_view name, std::string_view help) {
+        std::lock_guard lock{mu_};
+        auto [it, inserted] = counters_.try_emplace(std::string{name});
+        if (inserted) {
+            check_unique(name, Kind::Counter);
+            it->second.help = std::string{help};
+            it->second.instrument.reset(new Counter{});
+        }
+        return *it->second.instrument;
+    }
+
+    Gauge& gauge(std::string_view name, std::string_view help) {
+        std::lock_guard lock{mu_};
+        auto [it, inserted] = gauges_.try_emplace(std::string{name});
+        if (inserted) {
+            check_unique(name, Kind::Gauge);
+            it->second.help = std::string{help};
+            it->second.instrument.reset(new Gauge{});
+        }
+        return *it->second.instrument;
+    }
+
+    Histogram& histogram(std::string_view name, std::span<const double> bounds,
+                         std::string_view help) {
+        std::lock_guard lock{mu_};
+        auto [it, inserted] = histograms_.try_emplace(std::string{name});
+        if (inserted) {
+            check_unique(name, Kind::Histogram);
+            it->second.help = std::string{help};
+            it->second.instrument.reset(
+                new Histogram{std::vector<double>{bounds.begin(), bounds.end()}});
+        }
+        return *it->second.instrument;
+    }
+
+    MetricsSnapshot snapshot() {
+        std::lock_guard lock{mu_};
+        MetricsSnapshot snap;
+        snap.counters.reserve(counters_.size());
+        for (const auto& [name, entry] : counters_) {
+            snap.counters.push_back({name, entry.help, entry.instrument->value()});
+        }
+        snap.gauges.reserve(gauges_.size());
+        for (const auto& [name, entry] : gauges_) {
+            snap.gauges.push_back({name, entry.help, entry.instrument->value()});
+        }
+        snap.histograms.reserve(histograms_.size());
+        for (const auto& [name, entry] : histograms_) {
+            const Histogram& h = *entry.instrument;
+            HistogramSample sample;
+            sample.name = name;
+            sample.help = entry.help;
+            sample.bounds = h.bounds_;
+            sample.counts.assign(h.bounds_.size() + 1, 0);
+            for (const auto& shard : h.shards_) {
+                for (std::size_t i = 0; i <= h.bounds_.size(); ++i) {
+                    sample.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+                }
+            }
+            sample.count = h.count();
+            sample.sum = h.sum();
+            snap.histograms.push_back(std::move(sample));
+        }
+        return snap;
+    }
+
+    void zero_all() {
+        std::lock_guard lock{mu_};
+        for (auto& [name, entry] : counters_) {
+            for (auto& cell : entry.instrument->cells_) {
+                cell.value.store(0, std::memory_order_relaxed);
+            }
+        }
+        for (auto& [name, entry] : gauges_) {
+            entry.instrument->value_.store(0, std::memory_order_relaxed);
+        }
+        for (auto& [name, entry] : histograms_) {
+            for (auto& shard : entry.instrument->shards_) {
+                for (std::size_t i = 0; i <= entry.instrument->bounds_.size(); ++i) {
+                    shard.buckets[i].store(0, std::memory_order_relaxed);
+                }
+                shard.count.store(0, std::memory_order_relaxed);
+                shard.sum_micro.store(0, std::memory_order_relaxed);
+            }
+        }
+    }
+
+private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    template <typename T>
+    struct Entry {
+        std::string help;
+        std::unique_ptr<T> instrument;
+    };
+
+    /// Called with mu_ held, after try_emplace into the target map
+    /// succeeded -- so "exists in another map" means a kind clash.
+    void check_unique(std::string_view name, Kind kind) {
+        const std::string key{name};
+        const bool clash = (kind != Kind::Counter && counters_.count(key) != 0) ||
+                           (kind != Kind::Gauge && gauges_.count(key) != 0) ||
+                           (kind != Kind::Histogram && histograms_.count(key) != 0);
+        if (clash) {
+            // Roll back the speculative insert before throwing.
+            if (kind == Kind::Counter) counters_.erase(key);
+            if (kind == Kind::Gauge) gauges_.erase(key);
+            if (kind == Kind::Histogram) histograms_.erase(key);
+            throw std::logic_error{"obs metric '" + key +
+                                   "' already registered as a different kind"};
+        }
+    }
+
+    std::mutex mu_;
+    std::map<std::string, Entry<Counter>> counters_;
+    std::map<std::string, Entry<Gauge>> gauges_;
+    std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+Counter& counter(std::string_view name, std::string_view help) {
+    return Registry::instance().counter(name, help);
+}
+
+Gauge& gauge(std::string_view name, std::string_view help) {
+    return Registry::instance().gauge(name, help);
+}
+
+Histogram& histogram(std::string_view name, std::span<const double> bounds,
+                     std::string_view help) {
+    return Registry::instance().histogram(name, bounds, help);
+}
+
+MetricsSnapshot snapshot_metrics() { return Registry::instance().snapshot(); }
+
+void zero_all_metrics() { Registry::instance().zero_all(); }
+
+// --- MetricsSnapshot lookups ------------------------------------------------
+
+const CounterSample* MetricsSnapshot::find_counter(std::string_view name) const {
+    for (const auto& c : counters) {
+        if (c.name == name) return &c;
+    }
+    return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::find_gauge(std::string_view name) const {
+    for (const auto& g : gauges) {
+        if (g.name == name) return &g;
+    }
+    return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(std::string_view name) const {
+    for (const auto& h : histograms) {
+        if (h.name == name) return &h;
+    }
+    return nullptr;
+}
+
+// --- exposition -------------------------------------------------------------
+
+std::string MetricsSnapshot::render_prometheus() const {
+    std::string out;
+    out.reserve(4096);
+    for (const auto& c : counters) {
+        if (!c.help.empty()) out += "# HELP " + c.name + " " + c.help + "\n";
+        out += "# TYPE " + c.name + " counter\n";
+        out += c.name + "_total " + std::to_string(c.value) + "\n";
+    }
+    for (const auto& g : gauges) {
+        if (!g.help.empty()) out += "# HELP " + g.name + " " + g.help + "\n";
+        out += "# TYPE " + g.name + " gauge\n";
+        out += g.name + " " + std::to_string(g.value) + "\n";
+    }
+    for (const auto& h : histograms) {
+        if (!h.help.empty()) out += "# HELP " + h.name + " " + h.help + "\n";
+        out += "# TYPE " + h.name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            cumulative += h.counts[i];
+            const std::string le =
+                i < h.bounds.size() ? format_bound(h.bounds[i]) : "+Inf";
+            out += h.name + "_bucket{le=\"" + le + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        out += h.name + "_sum " + format_double(h.sum) + "\n";
+        out += h.name + "_count " + std::to_string(h.count) + "\n";
+    }
+    return out;
+}
+
+std::string MetricsSnapshot::render_json() const {
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& c : counters) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, c.name);
+        out += ':' + std::to_string(c.value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& g : gauges) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, g.name);
+        out += ':' + std::to_string(g.value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& h : histograms) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, h.name);
+        out += ":{\"count\":" + std::to_string(h.count);
+        out += ",\"sum\":" + format_double(h.sum);
+        out += ",\"bounds\":[";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i) out += ',';
+            out += format_double(h.bounds[i]);
+        }
+        out += "],\"counts\":[";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (i) out += ',';
+            out += std::to_string(h.counts[i]);
+        }
+        out += "]";
+        if (h.count > 0) {
+            out += ",\"p50\":" + format_double(h.p50());
+            out += ",\"p90\":" + format_double(h.p90());
+            out += ",\"p99\":" + format_double(h.p99());
+        }
+        out += '}';
+    }
+    out += "}}";
+    return out;
+}
+
+std::string render_prometheus() { return snapshot_metrics().render_prometheus(); }
+std::string render_json() { return snapshot_metrics().render_json(); }
+
+}  // namespace hsw::obs

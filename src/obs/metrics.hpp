@@ -1,0 +1,198 @@
+// Process-wide metrics registry: named counters, gauges and histograms
+// shared by every layer (sim, engine, service, tools).
+//
+// Design constraints, in priority order:
+//
+//   1. Hot-path cost. Counter::inc() on an enabled registry is one relaxed
+//      load (the enable flag) plus one relaxed fetch_add on a sharded,
+//      cache-line-padded cell -- threads round-robin onto 16 shards, so
+//      concurrent increments of the same counter almost never share a
+//      line. On a disabled registry every instrument costs exactly one
+//      relaxed load per site.
+//   2. Exactness. snapshot() merges the shards; the merged value of a
+//      quiescent counter is the exact number of inc() calls -- sharding
+//      never loses or double-counts (each call lands on exactly one cell).
+//   3. Determinism. Instruments only observe; nothing in the registry
+//      feeds back into simulation or survey output bytes, and exposition
+//      order is sorted by name, so two renders of the same state are
+//      byte-identical.
+//
+// Instruments register on first use and live for the process lifetime:
+//
+//   static obs::Counter& c = obs::counter("hsw_sim_events_total", "...");
+//   c.inc(n);
+//
+// Exposition: render_prometheus() emits the text format (counters end in
+// _total, histograms emit cumulative _bucket/_sum/_count series) and
+// render_json() a structured dump; both derive from the same snapshot.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsw::obs {
+
+/// Shard count for counters and histograms. A power of two so the
+/// round-robin thread assignment is a mask, and small enough that
+/// snapshot merges stay trivial.
+inline constexpr std::size_t kShards = 16;
+
+/// Global instrument switch. Disabled (the default) every inc/set/record
+/// returns after one relaxed load; tools that expose metrics
+/// (hsw_surveyd, hsw_survey, hsw_top) enable it at startup.
+[[nodiscard]] bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+/// Round-robin shard for the calling thread, assigned on first use.
+[[nodiscard]] std::size_t thread_shard();
+struct alignas(64) PaddedCell {
+    std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic event count. Never reset in production; zero_all_metrics()
+/// exists for tests.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) {
+        if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+        cells_[detail::thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+    /// Merged over shards; exact once writers are quiescent.
+    [[nodiscard]] std::uint64_t value() const;
+
+private:
+    friend class Registry;
+    Counter() = default;
+    std::array<detail::PaddedCell, kShards> cells_;
+};
+
+/// Last-writer-wins instantaneous value (queue depth, open connections).
+class Gauge {
+public:
+    void set(std::int64_t v) {
+        if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+        value_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t delta) {
+        if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    friend class Registry;
+    Gauge() = default;
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bound histogram (Prometheus bucket semantics: `bounds` are
+/// inclusive upper edges, an implicit +Inf bucket catches the rest).
+/// record() is a binary search plus three relaxed adds on the thread's
+/// shard.
+class Histogram {
+public:
+    void record(double v);
+
+    [[nodiscard]] std::uint64_t count() const;
+    [[nodiscard]] double sum() const;
+
+private:
+    friend class Registry;
+    struct Shard {
+        std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  // bounds + Inf
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum_micro{0};  // value * 1e6, rounded
+    };
+    explicit Histogram(std::vector<double> bounds);
+    std::vector<double> bounds_;  // ascending upper edges
+    std::array<Shard, kShards> shards_;
+};
+
+/// `n` upper bounds lo, lo*factor, lo*factor^2, ... for latency-style
+/// histograms spanning several decades.
+[[nodiscard]] std::vector<double> exponential_bounds(double lo, double factor,
+                                                     std::size_t n);
+
+// --- snapshots and exposition ----------------------------------------------
+
+struct CounterSample {
+    std::string name;
+    std::string help;
+    std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+    std::string name;
+    std::string help;
+    std::int64_t value = 0;
+};
+
+struct HistogramSample {
+    std::string name;
+    std::string help;
+    std::vector<double> bounds;         // upper edges, +Inf implicit
+    std::vector<std::uint64_t> counts;  // per-bucket (NOT cumulative), size bounds+1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    /// Quantile estimate by linear interpolation inside the covering
+    /// bucket (the standard Prometheus histogram_quantile estimate).
+    /// NaN when the histogram is empty.
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double p50() const { return quantile(0.50); }
+    [[nodiscard]] double p90() const { return quantile(0.90); }
+    [[nodiscard]] double p99() const { return quantile(0.99); }
+};
+
+struct MetricsSnapshot {
+    std::vector<CounterSample> counters;      // sorted by name
+    std::vector<GaugeSample> gauges;          // sorted by name
+    std::vector<HistogramSample> histograms;  // sorted by name
+
+    /// nullptr when `name` is absent.
+    [[nodiscard]] const CounterSample* find_counter(std::string_view name) const;
+    [[nodiscard]] const GaugeSample* find_gauge(std::string_view name) const;
+    [[nodiscard]] const HistogramSample* find_histogram(std::string_view name) const;
+
+    /// Prometheus text exposition format 0.0.4.
+    [[nodiscard]] std::string render_prometheus() const;
+    /// {"counters":{...},"gauges":{...},"histograms":{...}}
+    [[nodiscard]] std::string render_json() const;
+};
+
+// --- registration -----------------------------------------------------------
+
+/// Returns the instrument registered under `name`, creating it on first
+/// use. References stay valid for the process lifetime. Re-registering an
+/// existing name returns the existing instrument (help/bounds of the first
+/// registration win). Registering the same name as two different
+/// instrument kinds throws std::logic_error.
+[[nodiscard]] Counter& counter(std::string_view name, std::string_view help = {});
+[[nodiscard]] Gauge& gauge(std::string_view name, std::string_view help = {});
+[[nodiscard]] Histogram& histogram(std::string_view name,
+                                   std::span<const double> bounds,
+                                   std::string_view help = {});
+
+/// Consistent view of every registered instrument.
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Shorthand: snapshot_metrics().render_prometheus() / render_json().
+[[nodiscard]] std::string render_prometheus();
+[[nodiscard]] std::string render_json();
+
+/// Test hook: zero every registered instrument (registrations persist --
+/// call-site static references must stay valid).
+void zero_all_metrics();
+
+}  // namespace hsw::obs

@@ -1,0 +1,263 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hsw::obs::trace {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using detail::TraceEvent;
+
+/// One ring per recording thread. The mutex is per-buffer and
+/// uncontended on the hot path (only the owning thread records); the
+/// exporter takes it briefly to copy the ring, which keeps record/export
+/// free of data races under TSan.
+struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity, std::uint64_t tid)
+        : capacity_(capacity), tid_(tid) {
+        ring_.reserve(std::min<std::size_t>(capacity, 1024));
+    }
+
+    void record(const TraceEvent& ev) {
+        std::lock_guard lock{mu_};
+        if (ring_.size() < capacity_) {
+            ring_.push_back(ev);
+        } else {
+            ring_[next_] = ev;
+            next_ = (next_ + 1) % capacity_;
+            ++dropped_;
+        }
+        ++recorded_;
+    }
+
+    /// Events oldest-first.
+    std::vector<TraceEvent> drain_copy() const {
+        std::lock_guard lock{mu_};
+        std::vector<TraceEvent> out;
+        out.reserve(ring_.size());
+        // next_ is the oldest slot once the ring has wrapped.
+        for (std::size_t i = 0; i < ring_.size(); ++i) {
+            out.push_back(ring_[(next_ + i) % ring_.size()]);
+        }
+        return out;
+    }
+
+    std::uint64_t dropped() const {
+        std::lock_guard lock{mu_};
+        return dropped_;
+    }
+    std::size_t retained() const {
+        std::lock_guard lock{mu_};
+        return ring_.size();
+    }
+    std::uint64_t tid() const { return tid_; }
+
+private:
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;  // overwrite cursor == oldest element when full
+    std::size_t capacity_;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t tid_;
+};
+
+struct Global {
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::size_t capacity = 1 << 16;
+    std::uint64_t next_tid = 1;
+    // Generation; bumps on clear()/enable(). Atomic so the record hot
+    // path can validate its cached thread slot without the global mutex.
+    std::atomic<std::uint64_t> epoch{0};
+    std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+};
+
+Global& global() {
+    static Global g;
+    return g;
+}
+
+struct ThreadSlot {
+    std::shared_ptr<ThreadBuffer> buffer;
+    std::uint64_t epoch = 0;
+};
+
+ThreadBuffer& thread_buffer() {
+    thread_local ThreadSlot slot;
+    Global& g = global();
+    // Cheap path: slot still belongs to the current trace generation.
+    const std::uint64_t epoch = g.epoch.load(std::memory_order_acquire);
+    if (slot.buffer && slot.epoch == epoch) return *slot.buffer;
+    std::lock_guard lock{g.mu};
+    slot.buffer = std::make_shared<ThreadBuffer>(g.capacity, g.next_tid++);
+    slot.epoch = g.epoch.load(std::memory_order_relaxed);
+    g.buffers.push_back(slot.buffer);
+    return *slot.buffer;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default:
+                if (static_cast<unsigned char>(c) >= 0x20) out += c;
+        }
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - global().t0)
+            .count());
+}
+
+void record(const TraceEvent& ev) {
+    // Disabled between Span construction and destruction: drop quietly.
+    if (!g_trace_enabled.load(std::memory_order_relaxed)) return;
+    thread_buffer().record(ev);
+}
+
+}  // namespace detail
+
+void enable(std::size_t events_per_thread) {
+    Global& g = global();
+    {
+        std::lock_guard lock{g.mu};
+        g.buffers.clear();
+        g.capacity = std::max<std::size_t>(events_per_thread, 16);
+        g.epoch.fetch_add(1, std::memory_order_release);
+        g.t0 = std::chrono::steady_clock::now();
+    }
+    detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() {
+    detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool enabled() {
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void clear() {
+    Global& g = global();
+    std::lock_guard lock{g.mu};
+    g.buffers.clear();
+    g.epoch.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t recorded_events() {
+    Global& g = global();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock{g.mu};
+        buffers = g.buffers;
+    }
+    std::size_t total = 0;
+    for (const auto& b : buffers) total += b->retained();
+    return total;
+}
+
+std::uint64_t dropped_events() {
+    Global& g = global();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock{g.mu};
+        buffers = g.buffers;
+    }
+    std::uint64_t total = 0;
+    for (const auto& b : buffers) total += b->dropped();
+    return total;
+}
+
+std::string export_chrome_json() {
+    Global& g = global();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock{g.mu};
+        buffers = g.buffers;
+    }
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    char buf[256];
+    for (const auto& b : buffers) {
+        // Thread-name metadata so the viewer labels each track.
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%llu,\"args\":{\"name\":\"hsw-%llu\"}}",
+                      first ? "" : ",",
+                      static_cast<unsigned long long>(b->tid()),
+                      static_cast<unsigned long long>(b->tid()));
+        out += buf;
+        first = false;
+        for (const TraceEvent& ev : b->drain_copy()) {
+            std::snprintf(buf, sizeof buf,
+                          ",{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                          "\"pid\":1,\"tid\":%llu,\"ts\":%.3f,\"dur\":%.3f",
+                          ev.name ? ev.name : "span",
+                          ev.cat ? ev.cat : "hsw",
+                          static_cast<unsigned long long>(b->tid()),
+                          static_cast<double>(ev.ts_ns) * 1e-3,
+                          static_cast<double>(ev.dur_ns) * 1e-3);
+            out += buf;
+            const bool has_label = ev.label[0] != '\0';
+            const bool has_sim = ev.sim_us >= 0.0;
+            const bool has_events = ev.events != 0;
+            if (has_label || has_sim || has_events) {
+                out += ",\"args\":{";
+                bool first_arg = true;
+                if (has_label) {
+                    out += "\"label\":\"";
+                    append_json_escaped(out, ev.label);
+                    out += '"';
+                    first_arg = false;
+                }
+                if (has_sim) {
+                    std::snprintf(buf, sizeof buf, "%s\"sim_us\":%.3f",
+                                  first_arg ? "" : ",", ev.sim_us);
+                    out += buf;
+                    first_arg = false;
+                }
+                if (has_events) {
+                    std::snprintf(buf, sizeof buf, "%s\"events\":%llu",
+                                  first_arg ? "" : ",",
+                                  static_cast<unsigned long long>(ev.events));
+                    out += buf;
+                }
+                out += '}';
+            }
+            out += '}';
+        }
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+bool write_chrome_json(const std::string& path) {
+    const std::string json = export_chrome_json();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int close_rc = std::fclose(f);
+    return written == json.size() && close_rc == 0;
+}
+
+}  // namespace hsw::obs::trace

@@ -1,0 +1,121 @@
+// Span-based tracing with per-thread ring buffers and a Chrome
+// trace-event JSON exporter (opens in Perfetto / about://tracing).
+//
+// A Span is a scoped RAII region: construction stamps the start, the
+// destructor stamps the duration and pushes one fixed-size TraceEvent into
+// the calling thread's ring buffer. Rings are bounded (default 64k events
+// per thread); on overflow the oldest events are overwritten and the drop
+// is counted, so tracing a long daemon run is safe.
+//
+// Cost model, mirroring the metrics registry: when tracing is disabled
+// (the default) constructing a Span is one relaxed load and nothing else.
+// Span names and categories must be string literals (or otherwise outlive
+// the export) -- the ring stores the pointers, not copies.
+//
+//   {
+//       obs::Span span{"run_job", "engine"};
+//       span.set_label(spec_hash);     // optional, truncated to 39 chars
+//       ...                            // traced region
+//   }                                  // event recorded here
+//
+// Tracing deliberately records wall-time only as ts/dur; sim-time can be
+// attached with set_sim_us() and lands in the event's "args" so survey
+// spans line up against simulated time in the viewer.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hsw::obs::trace {
+
+/// Start capturing. Allocates nothing up front; each thread's ring is
+/// created on its first recorded span. `events_per_thread` bounds each
+/// ring (rounded up to at least 16). Re-enabling clears prior events.
+void enable(std::size_t events_per_thread = 1 << 16);
+
+/// Stop capturing. Recorded events stay available for export.
+void disable();
+
+[[nodiscard]] bool enabled();
+
+/// Drop all recorded events and per-thread rings (the calling thread's
+/// ring is re-created on next use). Export after clear() is empty.
+void clear();
+
+/// Events recorded and retained across all thread rings.
+[[nodiscard]] std::size_t recorded_events();
+/// Events overwritten by ring wrap-around since enable().
+[[nodiscard]] std::uint64_t dropped_events();
+
+/// Serialize everything recorded so far as Chrome trace-event JSON:
+/// {"traceEvents":[...]} with "X" (complete) events and "M" thread-name
+/// metadata. Safe to call while other threads are still recording --
+/// each ring is locked briefly while copied.
+[[nodiscard]] std::string export_chrome_json();
+
+/// export_chrome_json() to a file; false (with errno intact) on I/O error.
+bool write_chrome_json(const std::string& path);
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+struct TraceEvent {
+    const char* name = nullptr;  // literal; never freed
+    const char* cat = nullptr;   // literal; never freed
+    std::uint64_t ts_ns = 0;     // start, relative to enable()
+    std::uint64_t dur_ns = 0;
+    std::uint64_t events = 0;    // optional payload (0 = omit)
+    double sim_us = -1.0;        // optional sim-time (<0 = omit)
+    char label[40] = {};         // optional, NUL-terminated
+};
+void record(const TraceEvent& ev);
+[[nodiscard]] std::uint64_t now_ns();
+}  // namespace detail
+
+/// Scoped trace region. Non-copyable, non-movable: it is only ever a
+/// stack local naming the region it lives in.
+class Span {
+public:
+    Span(const char* name, const char* cat) {
+        if (!detail::g_trace_enabled.load(std::memory_order_relaxed)) return;
+        armed_ = true;
+        ev_.name = name;
+        ev_.cat = cat;
+        ev_.ts_ns = detail::now_ns();
+    }
+    ~Span() {
+        if (!armed_) return;
+        ev_.dur_ns = detail::now_ns() - ev_.ts_ns;
+        detail::record(ev_);
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// True when tracing was on at construction -- lets callers skip
+    /// argument formatting for disarmed spans.
+    [[nodiscard]] bool armed() const { return armed_; }
+
+    /// Free-form tag (spec hash, experiment name); truncated to fit.
+    void set_label(std::string_view label) {
+        if (!armed_) return;
+        const std::size_t n = std::min(label.size(), sizeof(ev_.label) - 1);
+        label.copy(ev_.label, n);
+        ev_.label[n] = '\0';
+    }
+    /// Simulated time attached to the span (microseconds).
+    void set_sim_us(double sim_us) {
+        if (armed_) ev_.sim_us = sim_us;
+    }
+    /// Work units covered by the span (events dispatched, bytes, ...).
+    void set_events(std::uint64_t n) {
+        if (armed_) ev_.events = n;
+    }
+
+private:
+    detail::TraceEvent ev_;
+    bool armed_ = false;
+};
+
+}  // namespace hsw::obs::trace

@@ -4,7 +4,32 @@
 #include <functional>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace hsw::service {
+
+namespace {
+obs::Counter& hits_counter() {
+    static obs::Counter& c =
+        obs::counter("hsw_hot_cache_hits", "Hot-cache lookups that found an entry");
+    return c;
+}
+obs::Counter& misses_counter() {
+    static obs::Counter& c =
+        obs::counter("hsw_hot_cache_misses", "Hot-cache lookups that missed");
+    return c;
+}
+obs::Counter& evictions_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_hot_cache_evictions", "Hot-cache entries dropped by the byte budget");
+    return c;
+}
+obs::Gauge& bytes_gauge() {
+    static obs::Gauge& g =
+        obs::gauge("hsw_hot_cache_bytes", "Bytes currently held by the hot cache");
+    return g;
+}
+}  // namespace
 
 HotCache::HotCache(HotCacheConfig cfg) : cfg_{cfg} {
     cfg_.shards = std::max(1u, cfg_.shards);
@@ -22,9 +47,11 @@ HotCache::Value HotCache::lookup(const std::string& key) {
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
         ++shard.misses;
+        misses_counter().inc();
         return nullptr;
     }
     ++shard.hits;
+    hits_counter().inc();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->value;
 }
@@ -36,6 +63,7 @@ HotCache::Value HotCache::insert(const std::string& key, std::string payload,
 
     Shard& shard = shard_for(key);
     std::lock_guard lock{shard.lock};
+    const std::size_t bytes_before = shard.bytes;
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
         // Refresh in place; identical specs produce identical bytes, but a
@@ -52,6 +80,8 @@ HotCache::Value HotCache::insert(const std::string& key, std::string payload,
         ++shard.insertions;
     }
     evict_over_budget(shard);
+    bytes_gauge().add(static_cast<std::int64_t>(shard.bytes) -
+                      static_cast<std::int64_t>(bytes_before));
     return value;
 }
 
@@ -64,6 +94,7 @@ void HotCache::evict_over_budget(Shard& shard) {
         shard.map.erase(it->key);
         it = shard.lru.erase(it);
         ++shard.evictions;
+        evictions_counter().inc();
     }
 }
 
@@ -91,6 +122,7 @@ HotCacheStats HotCache::stats() const {
 void HotCache::clear() {
     for (auto& shard : shards_) {
         std::lock_guard lock{shard.lock};
+        bytes_gauge().add(-static_cast<std::int64_t>(shard.bytes));
         shard.lru.clear();
         shard.map.clear();
         shard.bytes = 0;

@@ -58,12 +58,26 @@ bool parse_bool(std::string_view text, bool& out) {
 
 bool consume_magic(std::string_view& text, std::string* error) {
     std::string_view key, value;
-    if (!next_line(text, key, value) ||
-        std::string_view{kMagic} != (std::string{key} + ' ' + std::string{value})) {
+    if (!next_line(text, key, value)) {
         set_error(error, "bad magic line");
         return false;
     }
-    return true;
+    const std::string line = std::string{key} + ' ' + std::string{value};
+    // Exact "hsw-survey-rpc v1", or "hsw-survey-rpc v1.<digits>" from a
+    // peer that self-identifies a minor revision -- additive capabilities
+    // only, so any v1.x magic is acceptable.
+    if (line == kMagic) return true;
+    if (line.size() > kMagic.size() + 1 &&
+        line.compare(0, kMagic.size(), kMagic) == 0 &&
+        line[kMagic.size()] == '.') {
+        bool digits = true;
+        for (std::size_t i = kMagic.size() + 1; i < line.size(); ++i) {
+            if (line[i] < '0' || line[i] > '9') digits = false;
+        }
+        if (digits) return true;
+    }
+    set_error(error, "bad magic line");
+    return false;
 }
 
 /// Full I/O loop; false on error or EOF before `len` bytes.
@@ -102,8 +116,17 @@ std::string_view name(Verb v) {
         case Verb::Query: return "query";
         case Verb::Stats: return "stats";
         case Verb::Shutdown: return "shutdown";
+        case Verb::Metrics: return "metrics";
     }
     return "ping";
+}
+
+std::string_view name(MetricsFormat f) {
+    switch (f) {
+        case MetricsFormat::Prometheus: return "prometheus";
+        case MetricsFormat::Json: return "json";
+    }
+    return "prometheus";
 }
 
 std::string_view name(ErrorCode c) {
@@ -149,6 +172,11 @@ std::string Request::encode() const {
         out += quick ? '1' : '0';
         out += '\n';
     }
+    if (verb == Verb::Metrics) {
+        out += "format ";
+        out += name(format);
+        out += '\n';
+    }
     out += "deadline-ms " + std::to_string(deadline_ms) + '\n';
     return out;
 }
@@ -169,6 +197,8 @@ std::optional<Request> parse_request(std::string_view text, std::string* error) 
                 req.verb = Verb::Stats;
             } else if (value == "shutdown") {
                 req.verb = Verb::Shutdown;
+            } else if (value == "metrics") {
+                req.verb = Verb::Metrics;
             } else {
                 set_error(error, "unknown verb");
                 return std::nullopt;
@@ -201,6 +231,15 @@ std::optional<Request> parse_request(std::string_view text, std::string* error) 
         } else if (key == "quick") {
             if (!parse_bool(value, req.quick)) {
                 set_error(error, "bad quick flag");
+                return std::nullopt;
+            }
+        } else if (key == "format") {
+            if (value == "prometheus") {
+                req.format = MetricsFormat::Prometheus;
+            } else if (value == "json") {
+                req.format = MetricsFormat::Json;
+            } else {
+                set_error(error, "bad metrics format");
                 return std::nullopt;
             }
         } else if (key == "deadline-ms") {

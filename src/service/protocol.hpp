@@ -15,6 +15,17 @@
 //   quick 0\n
 //   deadline-ms 5000\n         (0 = no deadline)
 //
+// Since v1.1 a `metrics` verb scrapes the process-wide obs registry:
+//
+//   hsw-survey-rpc v1\n
+//   verb metrics\n
+//   format prometheus\n        (or "json")
+//   deadline-ms 0\n
+//
+// The response payload is the exposition text. Parsers accept a magic of
+// "hsw-survey-rpc v1" or "hsw-survey-rpc v1.<minor>" so future minor
+// revisions can self-identify without breaking v1.0 peers.
+//
 // Responses carry a status, a structured error code on rejection, the
 // payload's provenance (hot cache / disk cache / computed) on success, and
 // the payload bytes. A whole-experiment payload is a blob (see
@@ -34,12 +45,23 @@ namespace hsw::service::protocol {
 
 inline constexpr std::string_view kMagic = "hsw-survey-rpc v1";
 
+/// Protocol minor revision. The magic line stays "v1" on the wire (so v1.0
+/// peers interoperate untouched); parsers accept an optional ".<minor>"
+/// suffix, and the minor gates additive capabilities only:
+///   v1.1  adds the `metrics` verb and its `format` field.
+/// A v1.0 server answers a v1.1-only verb with MalformedRequest ("unknown
+/// verb"), which v1.1 clients treat as "server predates metrics".
+inline constexpr unsigned kProtocolMinor = 1;
+
 /// Hard ceiling on a single frame, request or response. Large enough for
 /// any assembled survey artifact set, small enough that a malicious or
 /// corrupt length prefix cannot balloon memory.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
-enum class Verb { Ping, Query, Stats, Shutdown };
+enum class Verb { Ping, Query, Stats, Shutdown, Metrics };
+
+/// Exposition format for the `metrics` verb (v1.1).
+enum class MetricsFormat { Prometheus, Json };
 
 /// Structured rejection reasons; the numeric value is wire ABI, append only.
 enum class ErrorCode {
@@ -61,6 +83,7 @@ enum class Source { HotCache, DiskCache, Computed };
 [[nodiscard]] std::string_view name(Verb v);
 [[nodiscard]] std::string_view name(ErrorCode c);
 [[nodiscard]] std::string_view name(Source s);
+[[nodiscard]] std::string_view name(MetricsFormat f);
 
 struct Request {
     Verb verb = Verb::Ping;
@@ -70,6 +93,7 @@ struct Request {
     analysis::AuditMode audit = analysis::AuditMode::Off;
     bool quick = false;         // SurveyTuning::quick() parameters
     std::uint32_t deadline_ms = 0;  // 0 = none
+    MetricsFormat format = MetricsFormat::Prometheus;  // metrics verb only
 
     [[nodiscard]] std::string encode() const;
 };

@@ -11,12 +11,41 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hsw::service {
 
 namespace {
 
 void close_quietly(int fd) {
     if (fd >= 0) ::close(fd);
+}
+
+obs::Counter& connections_counter() {
+    static obs::Counter& c =
+        obs::counter("hsw_server_connections", "TCP connections accepted");
+    return c;
+}
+obs::Counter& refused_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_server_connections_refused", "Connections refused at the admission cap");
+    return c;
+}
+obs::Counter& frames_counter() {
+    static obs::Counter& c =
+        obs::counter("hsw_server_frames", "Request frames read off the wire");
+    return c;
+}
+obs::Counter& malformed_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_server_frames_malformed", "Frames that failed request parsing");
+    return c;
+}
+obs::Gauge& open_connections_gauge() {
+    static obs::Gauge& g =
+        obs::gauge("hsw_server_open_connections", "Connections currently being served");
+    return g;
 }
 
 sockaddr_in make_address(const std::string& host, std::uint16_t port) {
@@ -139,9 +168,12 @@ void SurveyServer::accept_loop() {
                                std::to_string(cfg_.max_connections) + ")";
             protocol::write_frame(fd, overload.encode());
             close_quietly(fd);
+            refused_counter().inc();
             continue;
         }
         open_connections_.fetch_add(1, std::memory_order_acq_rel);
+        connections_counter().inc();
+        open_connections_gauge().add(1);
         std::lock_guard lock{connections_lock_};
         open_fds_.push_back(fd);
         connections_.emplace_back([this, fd] { serve_connection(fd); });
@@ -156,13 +188,17 @@ void SurveyServer::serve_connection(int fd) {
     while (!shutdown_verb) {
         auto frame = protocol::read_frame(fd);
         if (!frame) break;  // client closed or sent garbage framing
+        frames_counter().inc();
 
         protocol::Response response;
         std::string parse_error;
         if (const auto request = protocol::parse_request(*frame, &parse_error)) {
             if (request->verb == protocol::Verb::Shutdown) shutdown_verb = true;
+            obs::trace::Span span{"server.request", "service"};
+            span.set_label(protocol::name(request->verb));
             response = service_->handle(*request);
         } else {
+            malformed_counter().inc();
             response.code = protocol::ErrorCode::MalformedRequest;
             response.payload = parse_error;
         }
@@ -174,6 +210,7 @@ void SurveyServer::serve_connection(int fd) {
     }
     close_quietly(fd);
     open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    open_connections_gauge().add(-1);
 
     if (shutdown_verb) {
         // A dedicated stopper thread drives the teardown: stop() joins the

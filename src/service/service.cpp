@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -7,6 +8,8 @@
 #include "engine/blob.hpp"
 #include "engine/cancel.hpp"
 #include "engine/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hsw::service {
 
@@ -14,6 +17,21 @@ namespace {
 
 using protocol::ErrorCode;
 using protocol::Source;
+
+obs::Gauge& queue_depth_gauge() {
+    static obs::Gauge& g = obs::gauge(
+        "hsw_service_queue_depth", "Compute tasks waiting in the admission queue");
+    return g;
+}
+
+obs::Histogram& request_latency_histogram() {
+    // 10 us .. ~84 s in x2 steps: covers hot-cache hits through cold
+    // full-experiment computes.
+    static obs::Histogram& h = obs::histogram(
+        "hsw_service_request_latency_ms", obs::exponential_bounds(0.01, 2.0, 23),
+        "Query verb end-to-end latency in milliseconds");
+    return h;
+}
 
 /// Thrown into a flight when the leader could not even enqueue the
 /// compute; every waiter maps it to ErrorCode::Overloaded.
@@ -137,6 +155,7 @@ void SurveyService::worker_loop() {
         auto task = std::move(queue_.front());
         queue_.pop_front();
         ++active_;
+        queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
         lock.unlock();
         task();  // never throws: job exceptions are routed into the flight
         lock.lock();
@@ -150,6 +169,7 @@ bool SurveyService::try_submit(std::function<void()> task) {
     if (stopping_ || draining()) return false;
     if (queue_.size() >= cfg_.max_queue) return false;
     queue_.push_back(std::move(task));
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
     pool_task_cv_.notify_one();
     return true;
 }
@@ -190,6 +210,9 @@ SurveyService::StartedJob SurveyService::start_job(
 
     if (auto hit = hot_.lookup(key)) {
         hot_hits_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter& c =
+            obs::counter("hsw_service_hot_hits", "Jobs answered from the hot cache");
+        c.inc();
         started.done = true;
         started.outcome =
             JobOutcome{ErrorCode::None, Source::HotCache, std::move(hit), {}};
@@ -199,6 +222,9 @@ SurveyService::StartedJob SurveyService::start_job(
     started.ticket = coalescer_.join(key);
     if (!started.ticket.leader) {
         coalesced_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter& c = obs::counter(
+            "hsw_service_coalesced", "Requests that joined an in-flight computation");
+        c.inc();
         return started;
     }
 
@@ -217,6 +243,11 @@ SurveyService::StartedJob SurveyService::start_job(
                                       : Source::Computed;
             (source == Source::DiskCache ? disk_hits_ : computed_)
                 .fetch_add(1, std::memory_order_relaxed);
+            static obs::Counter& c_disk = obs::counter(
+                "hsw_service_disk_hits", "Jobs answered from the disk result cache");
+            static obs::Counter& c_computed = obs::counter(
+                "hsw_service_computed", "Jobs computed from scratch by the service");
+            (source == Source::DiskCache ? c_disk : c_computed).inc();
             // Pin across the fan-out: even a tiny hot cache must not drop
             // an entry its flight is still publishing.
             auto value = hot_.insert(key, std::move(result.payload), /*pinned=*/true);
@@ -406,12 +437,33 @@ protocol::Response SurveyService::handle(const protocol::Request& request) {
         case protocol::Verb::Stats:
             response.payload = stats().render();
             return response;
+        case protocol::Verb::Metrics:
+            response.payload = request.format == protocol::MetricsFormat::Json
+                                   ? obs::render_json()
+                                   : obs::render_prometheus();
+            return response;
         case protocol::Verb::Shutdown:
             shutdown_requested_.store(true, std::memory_order_release);
             response.payload = "draining";
             return response;
         case protocol::Verb::Query: {
+            static obs::Counter& c_requests = obs::counter(
+                "hsw_service_requests", "Query verb requests received");
+            static obs::Counter& c_completed = obs::counter(
+                "hsw_service_requests_completed", "Query verb requests answered OK");
+            static obs::Counter& c_rejected = obs::counter(
+                "hsw_service_requests_rejected",
+                "Query verb requests rejected (overload/deadline/unknown/draining/error)");
+            c_requests.inc();
+            obs::trace::Span span{"service.query", "service"};
+            span.set_label(request.experiment + "/" + request.point);
+            const auto t0 = std::chrono::steady_clock::now();
             QueryResult result = query(request);
+            request_latency_histogram().record(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            (result.ok() ? c_completed : c_rejected).inc();
             response.code = result.code;
             response.source = result.source;
             response.payload =

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hsw::sim {
 
 namespace {
@@ -11,6 +14,30 @@ thread_local std::uint64_t g_thread_events = 0;
 }  // namespace
 
 std::uint64_t Simulator::thread_events_processed() { return g_thread_events; }
+
+Simulator::~Simulator() { flush_telemetry(); }
+
+void Simulator::flush_telemetry() {
+    // Counter::inc is a no-op (one relaxed load) on a disabled registry,
+    // so the deltas are simply advanced either way.
+    static obs::Counter& c_processed = obs::counter(
+        "hsw_sim_events_processed", "Events dispatched by the simulation kernel");
+    static obs::Counter& c_scheduled = obs::counter(
+        "hsw_sim_events_scheduled", "Events scheduled (one-shots and periodic starts)");
+    static obs::Counter& c_cancelled = obs::counter(
+        "hsw_sim_events_cancelled", "Events removed from the heap before firing");
+    static obs::Gauge& g_heap_peak = obs::gauge(
+        "hsw_sim_heap_peak", "Deepest event-heap occupancy seen by any simulator");
+    c_processed.inc(processed_ - flushed_processed_);
+    c_scheduled.inc(scheduled_total_ - flushed_scheduled_);
+    c_cancelled.inc(cancelled_total_ - flushed_cancelled_);
+    flushed_processed_ = processed_;
+    flushed_scheduled_ = scheduled_total_;
+    flushed_cancelled_ = cancelled_total_;
+    if (static_cast<std::int64_t>(heap_peak_) > g_heap_peak.value()) {
+        g_heap_peak.set(static_cast<std::int64_t>(heap_peak_));
+    }
+}
 
 // --- slab -------------------------------------------------------------------
 
@@ -107,6 +134,8 @@ EventId Simulator::schedule_raw(Time t, Callback cb, Time period,
     ev.cb = std::move(cb);
     heap_push(HeapEntry{ev.when, ev.seq, slot});
     if (periodic_id != 0) periodic_slots_.emplace(periodic_id, slot);
+    ++scheduled_total_;
+    if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
     return EventId{ev.seq, slot};
 }
 
@@ -118,6 +147,7 @@ bool Simulator::cancel(EventId id) {
     if (!ev.live || ev.seq != id.seq || ev.periodic_id != 0) return false;
     heap_remove(id.slot);
     release_slot(id.slot);
+    ++cancelled_total_;
     return true;
 }
 
@@ -132,10 +162,12 @@ bool Simulator::cancel_periodic(std::uint64_t periodic_id) {
         // Cancelled from inside its own callback: step() owns the slot and
         // will release it instead of rescheduling.
         ev.live = false;
+        ++cancelled_total_;
         return true;
     }
     heap_remove(slot);
     release_slot(slot);
+    ++cancelled_total_;
     return true;
 }
 
@@ -197,13 +229,27 @@ bool Simulator::step() {
 }
 
 void Simulator::run_until(Time t) {
+    obs::trace::Span span{"sim.run_until", "sim"};
+    const std::uint64_t before = processed_;
     while (!heap_.empty() && heap_.front().when <= t) step();
     if (now_ < t) now_ = t;
+    if (span.armed()) {
+        span.set_events(processed_ - before);
+        span.set_sim_us(t.as_us());
+    }
+    flush_telemetry();
 }
 
 void Simulator::run_all() {
+    obs::trace::Span span{"sim.run_all", "sim"};
+    const std::uint64_t before = processed_;
     while (step()) {
     }
+    if (span.armed()) {
+        span.set_events(processed_ - before);
+        span.set_sim_us(now_.as_us());
+    }
+    flush_telemetry();
 }
 
 Simulator::MemoryStats Simulator::memory_stats() const {

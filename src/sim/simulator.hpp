@@ -132,6 +132,8 @@ public:
     };
     [[nodiscard]] MemoryStats memory_stats() const;
 
+    ~Simulator();
+
 private:
     static constexpr std::uint32_t kNpos = std::numeric_limits<std::uint32_t>::max();
 
@@ -160,6 +162,11 @@ private:
     std::uint32_t acquire_slot();
     void release_slot(std::uint32_t slot);
 
+    /// Push accumulated schedule/dispatch/cancel deltas into the obs
+    /// registry. Deltas are plain members so step() -- the CI-gated hot
+    /// path -- never touches an atomic; run_until/run_all/dtor flush.
+    void flush_telemetry();
+
     [[nodiscard]] static bool heap_less(const HeapEntry& a, const HeapEntry& b) {
         if (a.when != b.when) return a.when < b.when;
         return a.seq < b.seq;
@@ -173,6 +180,12 @@ private:
     std::uint64_t next_seq_ = 1;
     std::uint64_t next_periodic_ = 1;
     std::uint64_t processed_ = 0;
+    std::uint64_t scheduled_total_ = 0;   // schedule_raw calls (incl. periodics)
+    std::uint64_t cancelled_total_ = 0;   // successful cancel/cancel_periodic
+    std::uint64_t heap_peak_ = 0;         // max heap depth seen
+    std::uint64_t flushed_processed_ = 0;
+    std::uint64_t flushed_scheduled_ = 0;
+    std::uint64_t flushed_cancelled_ = 0;
     std::vector<Event> slab_;
     std::vector<HeapEntry> heap_;  // ordered by (when, seq)
     std::uint32_t free_head_ = kNpos;

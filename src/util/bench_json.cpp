@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/version.hpp"
+
 namespace hsw::util {
 
 namespace {
@@ -93,6 +95,11 @@ BenchJson::Object& BenchJson::Object::set(std::string_view key, unsigned value) 
 BenchJson::Object& BenchJson::Object::set(std::string_view key, bool value) {
     append_raw(key, value ? "true" : "false");
     return *this;
+}
+
+BenchJson::BenchJson(std::string_view bench_name) : bench_{bench_name} {
+    meta_.set("code_version", kEngineCodeVersion);
+    meta_.set("build_preset", build_preset());
 }
 
 BenchJson::Object& BenchJson::add_run() {

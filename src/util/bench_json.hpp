@@ -40,7 +40,11 @@ public:
         std::vector<std::pair<std::string, std::string>> fields_;  // key -> raw JSON
     };
 
-    explicit BenchJson(std::string_view bench_name) : bench_{bench_name} {}
+    /// Every report starts with two provenance keys in "meta":
+    /// "code_version" (the engine's result-cache salt) and "build_preset"
+    /// (release/asan/tsan), so a BENCH file can never be mistaken for a
+    /// different code revision or build flavor.
+    explicit BenchJson(std::string_view bench_name);
 
     /// Run-wide metadata ("quick", "requests", ...).
     Object& meta() { return meta_; }

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/stats.hpp"
+
 namespace hsw::util {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -57,6 +59,11 @@ double Histogram::fraction_in(double lo, double hi) const {
         if (x >= lo && x < hi) ++n;
     }
     return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+double Histogram::quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    return util::quantile(samples_, q);
 }
 
 std::string Histogram::render(std::size_t width) const {

@@ -33,6 +33,14 @@ public:
     /// Fraction of samples falling in [lo, hi).
     [[nodiscard]] double fraction_in(double lo, double hi) const;
 
+    /// Quantile q in [0,1] over the retained raw samples (linear
+    /// interpolation between order statistics, same convention as
+    /// util::quantile); 0 when the histogram is empty.
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double p50() const { return quantile(0.50); }
+    [[nodiscard]] double p90() const { return quantile(0.90); }
+    [[nodiscard]] double p99() const { return quantile(0.99); }
+
     /// Multi-line ASCII rendering: one row per bin, bar scaled to `width`.
     [[nodiscard]] std::string render(std::size_t width = 50) const;
 

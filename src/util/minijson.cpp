@@ -1,0 +1,290 @@
+#include "util/minijson.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace hsw::util::json {
+
+const Value* Value::find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    const Object& obj = as_object();
+    const auto it = obj.find(std::string{key});
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+    const Value* member = find(key);
+    return member && member->is_number() ? member->as_number() : fallback;
+}
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 64;
+
+// Out-parameter style throughout: each parse_* returns false on error and
+// fills `out` on success, keeping one Value alive per nesting level.
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<Value> run(std::string* error) {
+        Value root;
+        bool ok = parse_value(root, 0);
+        if (ok) {
+            skip_ws();
+            if (pos_ != text_.size()) {
+                ok = false;
+                fail("trailing garbage");
+            }
+        }
+        if (!ok) {
+            if (error) *error = error_ + " at byte " + std::to_string(pos_);
+            return std::nullopt;
+        }
+        return root;
+    }
+
+private:
+    void fail(const char* why) {
+        if (error_.empty()) error_ = why;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char want) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == want) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool consume_literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parse_value(Value& out, std::size_t depth) {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+            return false;
+        }
+        skip_ws();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        switch (text_[pos_]) {
+            case '{': return parse_object(out, depth);
+            case '[': return parse_array(out, depth);
+            case '"': {
+                std::string s;
+                if (!parse_string(s)) return false;
+                out = Value{std::move(s)};
+                return true;
+            }
+            case 't':
+                if (consume_literal("true")) {
+                    out = Value{true};
+                    return true;
+                }
+                break;
+            case 'f':
+                if (consume_literal("false")) {
+                    out = Value{false};
+                    return true;
+                }
+                break;
+            case 'n':
+                if (consume_literal("null")) {
+                    out = Value{nullptr};
+                    return true;
+                }
+                break;
+            default: return parse_number(out);
+        }
+        fail("unexpected token");
+        return false;
+    }
+
+    bool parse_object(Value& out, std::size_t depth) {
+        ++pos_;  // '{'
+        Object obj;
+        skip_ws();
+        if (consume('}')) {
+            out = Value{std::move(obj)};
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return false;
+            }
+            std::string key;
+            if (!parse_string(key)) return false;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return false;
+            }
+            Value member;
+            if (!parse_value(member, depth + 1)) return false;
+            obj.insert_or_assign(std::move(key), std::move(member));
+            if (consume(',')) continue;
+            if (consume('}')) {
+                out = Value{std::move(obj)};
+                return true;
+            }
+            fail("expected ',' or '}'");
+            return false;
+        }
+    }
+
+    bool parse_array(Value& out, std::size_t depth) {
+        ++pos_;  // '['
+        Array arr;
+        skip_ws();
+        if (consume(']')) {
+            out = Value{std::move(arr)};
+            return true;
+        }
+        while (true) {
+            Value element;
+            if (!parse_value(element, depth + 1)) return false;
+            arr.push_back(std::move(element));
+            if (consume(',')) continue;
+            if (consume(']')) {
+                out = Value{std::move(arr)};
+                return true;
+            }
+            fail("expected ',' or ']'");
+            return false;
+        }
+    }
+
+    bool parse_string(std::string& out) {
+        ++pos_;  // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size()) break;
+            const char esc = text_[pos_ + 1];
+            pos_ += 2;
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + static_cast<std::size_t>(i)];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            code |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            fail("bad \\u escape");
+                            return false;
+                        }
+                    }
+                    pos_ += 4;
+                    // BMP-only UTF-8 encoding; surrogate pairs are kept as
+                    // two 3-byte sequences, fine for validation purposes.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default:
+                    fail("bad escape character");
+                    return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool parse_number(Value& out) {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        const auto digits = [&] {
+            const std::size_t before = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+            return pos_ > before;
+        };
+        if (!digits()) {
+            fail("bad number");
+            return false;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits()) {
+                fail("bad number");
+                return false;
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+            if (!digits()) {
+                fail("bad number");
+                return false;
+            }
+        }
+        const std::string token{text_.substr(start, pos_ - start)};
+        out = Value{std::strtod(token.c_str(), nullptr)};
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+    return Parser{text}.run(error);
+}
+
+}  // namespace hsw::util::json

@@ -1,0 +1,65 @@
+// Minimal strict JSON parser (RFC 8259 subset: no comments, no trailing
+// commas). Used by hsw_top to decode the metrics verb's JSON payload and
+// by the observability tests to validate Chrome trace-event output.
+//
+// Objects are std::map-backed so iteration order is deterministic; the
+// parser keeps numbers as double, which is exact for the integer counter
+// values the telemetry layer emits (< 2^53).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hsw::util::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+public:
+    Value() : v_(nullptr) {}
+    explicit Value(std::nullptr_t) : v_(nullptr) {}
+    explicit Value(bool b) : v_(b) {}
+    explicit Value(double d) : v_(d) {}
+    explicit Value(std::string s) : v_(std::move(s)) {}
+    explicit Value(Array a) : v_(std::move(a)) {}
+    explicit Value(Object o) : v_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+    [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+    [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+    [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+    [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+    [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+    [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+    [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+    [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+    [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+    [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+
+    /// Object member lookup; nullptr when this is not an object or the key
+    /// is absent.
+    [[nodiscard]] const Value* find(std::string_view key) const;
+
+    /// this[key] interpreted as a number; `fallback` when missing or not
+    /// numeric.
+    [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). On failure returns nullopt and, when `error` is
+/// non-null, stores a human-readable reason with a byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace hsw::util::json

@@ -52,6 +52,29 @@ double quantile(std::span<const double> xs, double q) {
 
 namespace {
 
+double sorted_quantile(const std::vector<double>& v, double q) {
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= v.size()) return v.back();
+    return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+}  // namespace
+
+QuantileSummary quantile_summary(std::span<const double> xs) {
+    QuantileSummary s;
+    if (xs.empty()) return s;
+    std::vector<double> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end());
+    s.p50 = sorted_quantile(v, 0.50);
+    s.p90 = sorted_quantile(v, 0.90);
+    s.p99 = sorted_quantile(v, 0.99);
+    return s;
+}
+
+namespace {
+
 // Two-sided Student's t critical values for common confidence levels.
 // Rows are degrees of freedom; beyond the table we use the normal limit.
 double t_critical(std::size_t dof, double level) {

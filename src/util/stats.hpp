@@ -24,6 +24,15 @@ namespace hsw::util {
 /// Quantile q in [0,1] with linear interpolation between order statistics.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
+/// The three quantiles every latency reporter in bench/ and the telemetry
+/// layer quote; one sort instead of three.
+struct QuantileSummary {
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+[[nodiscard]] QuantileSummary quantile_summary(std::span<const double> xs);
+
 /// Two-sided confidence interval half-width for the mean at the given level
 /// (0.95 or 0.99), using Student's t for small n and the normal limit above
 /// n = 120.

@@ -1,0 +1,13 @@
+#include "util/version.hpp"
+
+namespace hsw::util {
+
+std::string_view build_preset() {
+#ifdef HSW_BUILD_PRESET
+    return HSW_BUILD_PRESET;
+#else
+    return "unknown";
+#endif
+}
+
+}  // namespace hsw::util

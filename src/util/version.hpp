@@ -1,0 +1,20 @@
+// Build/version identity shared across layers.
+//
+// kEngineCodeVersion is the salt the engine's content-addressed result
+// cache folds into every key: bump it whenever a code change alters
+// numerical output so stale cache entries can never satisfy new queries.
+// It lives here (not in engine/) so the bench reporter can stamp the same
+// string into BENCH_*.json metadata without a layering inversion.
+#pragma once
+
+#include <string_view>
+
+namespace hsw::util {
+
+inline constexpr std::string_view kEngineCodeVersion = "hsw-engine-v1";
+
+/// Build flavor baked in at configure time ("release", "asan", "tsan",
+/// or the lower-cased CMAKE_BUILD_TYPE for ad-hoc configurations).
+[[nodiscard]] std::string_view build_preset();
+
+}  // namespace hsw::util

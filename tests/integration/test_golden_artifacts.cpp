@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "engine/survey_experiments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #ifndef HSW_REPO_ROOT
 #error "HSW_REPO_ROOT must point at the source tree (set in tests/CMakeLists.txt)"
@@ -66,6 +68,19 @@ TEST(GoldenArtifacts, ParallelRunMatchesCommittedCsvsByteForByte) {
     expect_artifacts_match_goldens(regenerate(8));
 }
 
+// Telemetry must observe the run without moving a single output byte: the
+// acceptance bar for the obs layer is that goldens stay byte-identical with
+// metrics and span tracing both live during artifact generation.
+TEST(GoldenArtifacts, TracingEnabledRunMatchesCommittedCsvsByteForByte) {
+    obs::set_metrics_enabled(true);
+    obs::trace::enable();
+    expect_artifacts_match_goldens(regenerate(4));
+    obs::trace::disable();
+    obs::set_metrics_enabled(false);
+    EXPECT_GT(obs::trace::recorded_events(), 0u) << "tracing was on but recorded nothing";
+    obs::trace::clear();
+}
+
 TEST(GoldenArtifacts, JobsReportSimEventsForComputedWork) {
     const RunReport report = regenerate(4);
     ASSERT_TRUE(report.ok());
@@ -73,7 +88,9 @@ TEST(GoldenArtifacts, JobsReportSimEventsForComputedWork) {
     for (const JobStats& j : report.jobs) {
         EXPECT_FALSE(j.cache_hit);  // no cache dir configured
         total_events += j.sim_events;
-        if (j.sim_events > 0) EXPECT_GT(j.events_per_sec, 0.0) << j.point;
+        if (j.sim_events > 0) {
+            EXPECT_GT(j.events_per_sec, 0.0) << j.point;
+        }
     }
     EXPECT_GT(total_events, 0u);
 }

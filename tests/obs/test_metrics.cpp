@@ -1,0 +1,229 @@
+// Metrics registry: exact sharded merges under thread churn, rendering
+// determinism, and the disabled-registry contract.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/minijson.hpp"
+
+using namespace hsw;
+
+namespace {
+
+/// Every suite runs against the same process-wide registry, so each test
+/// enables, zeroes, and disables around its body.
+class ObsMetricsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::set_metrics_enabled(true);
+        obs::zero_all_metrics();
+    }
+    void TearDown() override {
+        obs::zero_all_metrics();
+        obs::set_metrics_enabled(false);
+    }
+};
+
+}  // namespace
+
+TEST_F(ObsMetricsTest, CounterMergesShardsExactly) {
+    obs::Counter& c = obs::counter("test_exact_counter", "test");
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kIncsPerThread = 50'000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (std::uint64_t i = 0; i < kIncsPerThread; ++i) c.inc();
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(c.value(), kThreads * kIncsPerThread);
+    const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+    const obs::CounterSample* sample = snap.find_counter("test_exact_counter");
+    ASSERT_NE(sample, nullptr);
+    EXPECT_EQ(sample->value, kThreads * kIncsPerThread);
+}
+
+TEST_F(ObsMetricsTest, ReRegistrationReturnsTheSameInstrument) {
+    obs::Counter& a = obs::counter("test_reregister", "first help wins");
+    obs::Counter& b = obs::counter("test_reregister", "ignored");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+
+    const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+    const obs::CounterSample* sample = snap.find_counter("test_reregister");
+    ASSERT_NE(sample, nullptr);
+    EXPECT_EQ(sample->help, "first help wins");
+}
+
+TEST_F(ObsMetricsTest, KindCollisionThrows) {
+    (void)obs::counter("test_kind_collision");
+    EXPECT_THROW((void)obs::gauge("test_kind_collision"), std::logic_error);
+    const std::vector<double> bounds{1.0};
+    EXPECT_THROW((void)obs::histogram("test_kind_collision", bounds),
+                 std::logic_error);
+}
+
+TEST_F(ObsMetricsTest, DisabledRegistryDropsEverySample) {
+    obs::Counter& c = obs::counter("test_disabled_counter");
+    obs::Gauge& g = obs::gauge("test_disabled_gauge");
+    const std::vector<double> bounds{1.0, 10.0};
+    obs::Histogram& h = obs::histogram("test_disabled_histogram", bounds);
+
+    obs::set_metrics_enabled(false);
+    c.inc(100);
+    g.set(42);
+    h.record(5.0);
+    obs::set_metrics_enabled(true);
+
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAndAdd) {
+    obs::Gauge& g = obs::gauge("test_gauge");
+    g.set(10);
+    g.add(5);
+    g.add(-8);
+    EXPECT_EQ(g.value(), 7);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsAndQuantiles) {
+    const std::vector<double> bounds{1.0, 2.0, 4.0, 8.0};
+    obs::Histogram& h = obs::histogram("test_histogram_q", bounds);
+    // 100 samples uniform over (0, 10]: 10 per le=1, 10 more per le=2, ...
+    for (int i = 1; i <= 100; ++i) h.record(i / 10.0);
+
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(h.sum(), 505.0, 0.01);
+
+    const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+    const obs::HistogramSample* s = snap.find_histogram("test_histogram_q");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->counts.size(), bounds.size() + 1);
+    EXPECT_EQ(s->counts[0], 10u);  // (0, 1]
+    EXPECT_EQ(s->counts[1], 10u);  // (1, 2]
+    EXPECT_EQ(s->counts[2], 20u);  // (2, 4]
+    EXPECT_EQ(s->counts[3], 40u);  // (4, 8]
+    EXPECT_EQ(s->counts[4], 20u);  // (8, +Inf)
+
+    // Interpolated estimates track the uniform distribution.
+    EXPECT_NEAR(s->quantile(0.10), 1.0, 0.15);
+    EXPECT_NEAR(s->p50(), 5.0, 0.5);
+    // Rank 90+ lands in the +Inf bucket, which clamps to the last edge.
+    EXPECT_DOUBLE_EQ(s->p99(), 8.0);
+}
+
+TEST_F(ObsMetricsTest, EmptyHistogramQuantileIsNaN) {
+    const std::vector<double> bounds{1.0};
+    (void)obs::histogram("test_histogram_empty", bounds);
+    const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+    const obs::HistogramSample* s = snap.find_histogram("test_histogram_empty");
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(std::isnan(s->p50()));
+}
+
+TEST_F(ObsMetricsTest, ExponentialBoundsGrowGeometrically) {
+    const std::vector<double> b = obs::exponential_bounds(0.5, 2.0, 4);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_DOUBLE_EQ(b[0], 0.5);
+    EXPECT_DOUBLE_EQ(b[1], 1.0);
+    EXPECT_DOUBLE_EQ(b[2], 2.0);
+    EXPECT_DOUBLE_EQ(b[3], 4.0);
+}
+
+TEST_F(ObsMetricsTest, PrometheusRenderingIsSortedAndWellFormed) {
+    obs::counter("test_render_b", "second").inc(2);
+    obs::counter("test_render_a", "first").inc(1);
+    obs::gauge("test_render_gauge").set(-7);
+    const std::vector<double> bounds{1.0, 10.0};
+    obs::Histogram& h = obs::histogram("test_render_hist", bounds);
+    h.record(0.5);
+    h.record(5.0);
+    h.record(50.0);
+
+    const std::string text = obs::render_prometheus();
+    // Counters gain the _total suffix; registry order is sorted by name.
+    const std::size_t pos_a = text.find("test_render_a_total 1");
+    const std::size_t pos_b = text.find("test_render_b_total 2");
+    ASSERT_NE(pos_a, std::string::npos) << text;
+    ASSERT_NE(pos_b, std::string::npos);
+    EXPECT_LT(pos_a, pos_b);
+    EXPECT_NE(text.find("# TYPE test_render_a counter"), std::string::npos);
+    EXPECT_NE(text.find("# HELP test_render_a first"), std::string::npos);
+    EXPECT_NE(text.find("test_render_gauge -7"), std::string::npos);
+    // Histogram buckets are cumulative and end at +Inf == _count.
+    EXPECT_NE(text.find("test_render_hist_bucket{le=\"1\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("test_render_hist_bucket{le=\"10\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("test_render_hist_bucket{le=\"+Inf\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("test_render_hist_count 3"), std::string::npos);
+
+    // Deterministic: two renders of the same state are byte-identical.
+    EXPECT_EQ(text, obs::render_prometheus());
+}
+
+TEST_F(ObsMetricsTest, JsonRenderingParsesAndCarriesValues) {
+    obs::counter("test_json_counter").inc(41);
+    obs::gauge("test_json_gauge").set(13);
+    const std::vector<double> bounds{1.0, 2.0};
+    obs::Histogram& h = obs::histogram("test_json_hist", bounds);
+    h.record(0.5);
+    h.record(1.5);
+
+    std::string error;
+    const auto doc = util::json::parse(obs::render_json(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->is_object());
+
+    const util::json::Value* counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->number_or("test_json_counter", -1), 41.0);
+
+    const util::json::Value* gauges = doc->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_DOUBLE_EQ(gauges->number_or("test_json_gauge", -1), 13.0);
+
+    const util::json::Value* hists = doc->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const util::json::Value* hist = hists->find("test_json_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->number_or("count", -1), 2.0);
+    const util::json::Value* counts = hist->find("counts");
+    ASSERT_NE(counts, nullptr);
+    ASSERT_TRUE(counts->is_array());
+    EXPECT_EQ(counts->as_array().size(), 3u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotUnderConcurrentWritersIsConsistent) {
+    // Not an exactness check (writers are live), just TSan fodder plus a
+    // monotonicity guarantee: later snapshots never show smaller values.
+    obs::Counter& c = obs::counter("test_concurrent_snapshot");
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    writers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) c.inc();
+        });
+    }
+    std::uint64_t last = 0;
+    for (int i = 0; i < 50; ++i) {
+        const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+        const obs::CounterSample* s = snap.find_counter("test_concurrent_snapshot");
+        ASSERT_NE(s, nullptr);
+        EXPECT_GE(s->value, last);
+        last = s->value;
+    }
+    stop.store(true);
+    for (auto& t : writers) t.join();
+    EXPECT_EQ(c.value(), obs::snapshot_metrics().find_counter("test_concurrent_snapshot")->value);
+}

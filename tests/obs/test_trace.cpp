@@ -1,0 +1,210 @@
+// Span tracing: ring-buffer behavior, the disabled contract, and Chrome
+// trace-event JSON export validated with the strict minijson parser.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/minijson.hpp"
+
+using namespace hsw;
+
+namespace {
+
+/// Tracing state is process-wide; bracket every test.
+class ObsTraceTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        obs::trace::disable();
+        obs::trace::clear();
+    }
+};
+
+/// Parses the export and returns the "X" (complete) events.
+std::vector<util::json::Value> exported_spans(std::string* json_out = nullptr) {
+    const std::string json = obs::trace::export_chrome_json();
+    if (json_out) *json_out = json;
+    std::string error;
+    const auto doc = util::json::parse(json, &error);
+    EXPECT_TRUE(doc.has_value()) << error << "\n" << json;
+    std::vector<util::json::Value> spans;
+    if (!doc || !doc->is_object()) return spans;
+    const util::json::Value* events = doc->find("traceEvents");
+    EXPECT_NE(events, nullptr);
+    if (!events || !events->is_array()) return spans;
+    for (const util::json::Value& ev : events->as_array()) {
+        const util::json::Value* ph = ev.find("ph");
+        if (ph && ph->is_string() && ph->as_string() == "X") spans.push_back(ev);
+    }
+    return spans;
+}
+
+}  // namespace
+
+TEST_F(ObsTraceTest, DisabledSpanRecordsNothing) {
+    ASSERT_FALSE(obs::trace::enabled());
+    {
+        obs::trace::Span span{"noop", "test"};
+        EXPECT_FALSE(span.armed());
+    }
+    EXPECT_EQ(obs::trace::recorded_events(), 0u);
+}
+
+TEST_F(ObsTraceTest, SpanRecordsNameCategoryAndTiming) {
+    obs::trace::enable();
+    {
+        obs::trace::Span span{"outer", "test"};
+        ASSERT_TRUE(span.armed());
+        span.set_label("fig3/point-1");
+        span.set_sim_us(1234.5);
+        span.set_events(42);
+    }
+    obs::trace::disable();
+
+    std::string json;
+    const auto spans = exported_spans(&json);
+    ASSERT_EQ(spans.size(), 1u);
+    const util::json::Value& ev = spans[0];
+    EXPECT_EQ(ev.find("name")->as_string(), "outer");
+    EXPECT_EQ(ev.find("cat")->as_string(), "test");
+    EXPECT_EQ(ev.number_or("pid", -1), 1.0);
+    EXPECT_GE(ev.number_or("ts", -1), 0.0);
+    EXPECT_GE(ev.number_or("dur", -1), 0.0);
+    const util::json::Value* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    const util::json::Value* label = args->find("label");
+    ASSERT_NE(label, nullptr);
+    EXPECT_EQ(label->as_string(), "fig3/point-1");
+    EXPECT_DOUBLE_EQ(args->number_or("sim_us", -1), 1234.5);
+    EXPECT_DOUBLE_EQ(args->number_or("events", -1), 42.0);
+
+    // Thread-name metadata rides along as an "M" event.
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, OverlongLabelIsTruncatedNotCorrupted) {
+    obs::trace::enable();
+    const std::string longlabel(200, 'x');
+    {
+        obs::trace::Span span{"labelled", "test"};
+        span.set_label(longlabel);
+    }
+    obs::trace::disable();
+    const auto spans = exported_spans();
+    ASSERT_EQ(spans.size(), 1u);
+    const util::json::Value* args = spans[0].find("args");
+    ASSERT_NE(args, nullptr);
+    const util::json::Value* label = args->find("label");
+    ASSERT_NE(label, nullptr);
+    EXPECT_EQ(label->as_string(), std::string(39, 'x'));
+}
+
+TEST_F(ObsTraceTest, RingOverflowKeepsNewestAndCountsDrops) {
+    obs::trace::enable(16);
+    for (int i = 0; i < 100; ++i) {
+        obs::trace::Span span{"churn", "test"};
+    }
+    obs::trace::disable();
+    EXPECT_EQ(obs::trace::recorded_events(), 16u);
+    EXPECT_EQ(obs::trace::dropped_events(), 84u);
+    EXPECT_EQ(exported_spans().size(), 16u);
+}
+
+TEST_F(ObsTraceTest, ReEnableClearsPriorEvents) {
+    obs::trace::enable();
+    { obs::trace::Span span{"first", "test"}; }
+    obs::trace::enable();
+    { obs::trace::Span span{"second", "test"}; }
+    obs::trace::disable();
+    const auto spans = exported_spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].find("name")->as_string(), "second");
+}
+
+TEST_F(ObsTraceTest, ClearDropsEverything) {
+    obs::trace::enable();
+    { obs::trace::Span span{"doomed", "test"}; }
+    obs::trace::clear();
+    EXPECT_EQ(obs::trace::recorded_events(), 0u);
+    EXPECT_EQ(exported_spans().size(), 0u);
+}
+
+TEST_F(ObsTraceTest, MultiThreadedSpansGetDistinctTids) {
+    obs::trace::enable();
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 8; ++i) {
+                obs::trace::Span span{"worker", "test"};
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    obs::trace::disable();
+
+    const auto spans = exported_spans();
+    ASSERT_EQ(spans.size(), static_cast<std::size_t>(kThreads * 8));
+    std::vector<double> tids;
+    for (const auto& ev : spans) {
+        const double tid = ev.number_or("tid", -1);
+        EXPECT_GE(tid, 0.0);
+        bool seen = false;
+        for (const double t : tids) seen = seen || t == tid;
+        if (!seen) tids.push_back(tid);
+    }
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(ObsTraceTest, ExportWhileRecordingIsSafeAndParses) {
+    obs::trace::enable();
+    std::atomic<bool> stop{false};
+    std::thread writer{[&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            obs::trace::Span span{"live", "test"};
+        }
+    }};
+    for (int i = 0; i < 20; ++i) {
+        std::string error;
+        const auto doc = util::json::parse(obs::trace::export_chrome_json(), &error);
+        EXPECT_TRUE(doc.has_value()) << error;
+    }
+    stop.store(true);
+    writer.join();
+}
+
+TEST_F(ObsTraceTest, WriteChromeJsonRoundTripsThroughDisk) {
+    obs::trace::enable();
+    { obs::trace::Span span{"disk", "test"}; }
+    obs::trace::disable();
+
+    const std::string path =
+        testing::TempDir() + "/hsw_trace_test_" + std::to_string(::getpid()) + ".json";
+    ASSERT_TRUE(obs::trace::write_chrome_json(path));
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string contents;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(contents, obs::trace::export_chrome_json());
+    std::string error;
+    EXPECT_TRUE(util::json::parse(contents, &error).has_value()) << error;
+}
+
+TEST_F(ObsTraceTest, WriteToUnwritablePathFails) {
+    obs::trace::enable();
+    obs::trace::disable();
+    EXPECT_FALSE(obs::trace::write_chrome_json("/nonexistent-dir/trace.json"));
+}

@@ -191,4 +191,68 @@ TEST(ProtocolTest, NamesAreStableWireStrings) {
     EXPECT_EQ(name(Source::DiskCache), "disk-cache");
     EXPECT_EQ(name(Source::Computed), "computed");
     EXPECT_EQ(name(Verb::Query), "query");
+    EXPECT_EQ(name(Verb::Metrics), "metrics");
+    EXPECT_EQ(name(MetricsFormat::Prometheus), "prometheus");
+    EXPECT_EQ(name(MetricsFormat::Json), "json");
+}
+
+TEST(ProtocolTest, MetricsVerbRoundTripsWithFormat) {
+    Request req;
+    req.verb = Verb::Metrics;
+    req.format = MetricsFormat::Json;
+    const std::string wire = req.encode();
+    EXPECT_NE(wire.find("verb metrics\n"), std::string::npos);
+    EXPECT_NE(wire.find("format json\n"), std::string::npos);
+
+    std::string error;
+    const auto parsed = parse_request(wire, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->verb, Verb::Metrics);
+    EXPECT_EQ(parsed->format, MetricsFormat::Json);
+}
+
+TEST(ProtocolTest, MetricsFormatDefaultsToPrometheus) {
+    const auto parsed = parse_request("hsw-survey-rpc v1\nverb metrics\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->verb, Verb::Metrics);
+    EXPECT_EQ(parsed->format, MetricsFormat::Prometheus);
+}
+
+TEST(ProtocolTest, MetricsFormatRejectsUnknownValue) {
+    std::string error;
+    EXPECT_FALSE(
+        parse_request("hsw-survey-rpc v1\nverb metrics\nformat xml\n", &error)
+            .has_value());
+    EXPECT_EQ(error, "bad metrics format");
+}
+
+TEST(ProtocolTest, MinorRevisionMagicIsAccepted) {
+    // A v1.<minor> peer self-identifies additive capabilities; both sides
+    // must still parse its frames.
+    const auto parsed = parse_request("hsw-survey-rpc v1.1\nverb ping\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->verb, Verb::Ping);
+
+    const auto response =
+        parse_response("hsw-survey-rpc v1.42\nstatus ok\nsource computed\n"
+                       "payload-bytes 2\nok");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->payload, "ok");
+}
+
+TEST(ProtocolTest, MajorRevisionOrJunkMagicIsRejected) {
+    std::string error;
+    EXPECT_FALSE(parse_request("hsw-survey-rpc v2\nverb ping\n", &error).has_value());
+    EXPECT_FALSE(parse_request("hsw-survey-rpc v1.x\nverb ping\n").has_value());
+    EXPECT_FALSE(parse_request("hsw-survey-rpc v1.\nverb ping\n").has_value());
+}
+
+TEST(ProtocolTest, OldServerAnswersMetricsVerbWithUnknownVerb) {
+    // Capability detection: a v1.0 server has no Metrics case in its verb
+    // table, so the client sees MalformedRequest("unknown verb") and falls
+    // back. Simulate the old parser by feeding a verb it never knew.
+    std::string error;
+    EXPECT_FALSE(
+        parse_request("hsw-survey-rpc v1\nverb telemetry\n", &error).has_value());
+    EXPECT_EQ(error, "unknown verb");
 }

@@ -17,6 +17,8 @@
 
 #include "engine/blob.hpp"
 #include "engine/engine.hpp"
+#include "obs/metrics.hpp"
+#include "util/minijson.hpp"
 
 using namespace hsw;
 using namespace hsw::service;
@@ -476,6 +478,36 @@ TEST(ServiceTest, HandleDispatchesControlVerbs) {
     shutdown.verb = protocol::Verb::Shutdown;
     EXPECT_EQ(svc.handle(shutdown).payload, "draining");
     EXPECT_TRUE(svc.shutdown_requested());
+}
+
+TEST(ServiceTest, MetricsVerbServesBothExpositionFormats) {
+    obs::set_metrics_enabled(true);
+    TestRegistry registry;
+    ServiceConfig cfg;
+    cfg.registry_factory = registry.factory();
+    SurveyService svc{cfg};
+    // Route through handle(): that is where the request counter and the
+    // latency histogram live.
+    ASSERT_EQ(svc.handle(query_request("toy")).code, protocol::ErrorCode::None);
+
+    protocol::Request metrics;
+    metrics.verb = protocol::Verb::Metrics;
+    const auto prom = svc.handle(metrics);
+    ASSERT_TRUE(prom.ok());
+    EXPECT_NE(prom.payload.find("# TYPE hsw_service_requests counter"),
+              std::string::npos);
+    EXPECT_NE(prom.payload.find("hsw_service_requests_total"), std::string::npos);
+
+    metrics.format = protocol::MetricsFormat::Json;
+    const auto json_response = svc.handle(metrics);
+    ASSERT_TRUE(json_response.ok());
+    std::string error;
+    const auto doc = util::json::parse(json_response.payload, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const util::json::Value* counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GE(counters->number_or("hsw_service_requests", -1), 1.0);
+    obs::set_metrics_enabled(false);
 }
 
 TEST(ServiceTest, StatsCountProvenancePerJob) {

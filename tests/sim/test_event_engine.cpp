@@ -21,14 +21,25 @@ namespace {
 std::atomic<std::uint64_t> g_heap_allocs{0};
 }  // namespace
 
-void* operator new(std::size_t size) {
+// noinline keeps the malloc/free bodies opaque at call sites; with them
+// inlined, GCC's -Wmismatched-new-delete pairs the exposed free() against
+// `new` expressions and misfires (seen under -fsanitize=thread).
+#if defined(__GNUC__)
+#define HSW_TEST_NOINLINE __attribute__((noinline))
+#else
+#define HSW_TEST_NOINLINE
+#endif
+
+HSW_TEST_NOINLINE void* operator new(std::size_t size) {
     g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
     if (void* p = std::malloc(size)) return p;
     throw std::bad_alloc{};
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+HSW_TEST_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+HSW_TEST_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+    std::free(p);
+}
 
 namespace hsw::sim {
 namespace {
@@ -93,7 +104,9 @@ TEST(EventEngine, PeriodicCancelFromOwnCallbackStopsTheChain) {
     int fires = 0;
     std::uint64_t pid = 0;
     pid = sim.schedule_periodic(Time::us(1), Time::us(1), [&](Time) {
-        if (++fires == 3) EXPECT_TRUE(sim.cancel_periodic(pid));
+        if (++fires == 3) {
+            EXPECT_TRUE(sim.cancel_periodic(pid));
+        }
     });
     sim.run_until(Time::us(100));
     EXPECT_EQ(fires, 3);

@@ -193,7 +193,9 @@ void fuzz_round(std::uint64_t seed, unsigned ops) {
             case 9: {  // single step
                 const bool stepped = model.step(model_fired);
                 ASSERT_EQ(sim.step(), stepped) << "op " << op;
-                if (stepped) ASSERT_EQ(sim.now().as_ns(), model.now_ns());
+                if (stepped) {
+                    ASSERT_EQ(sim.now().as_ns(), model.now_ns());
+                }
                 break;
             }
         }

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "util/histogram.hpp"
+#include "util/stats.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace hsw::util {
 namespace {
@@ -57,6 +59,24 @@ TEST(Histogram, RenderContainsBars) {
     const std::string s = h.render(10);
     EXPECT_NE(s.find('#'), std::string::npos);
     EXPECT_NE(s.find("2 |"), std::string::npos);
+}
+
+TEST(Histogram, QuantilesMatchUtilQuantileOnRawSamples) {
+    Histogram h{0.0, 100.0, 10};
+    std::vector<double> xs;
+    for (int i = 1; i <= 99; ++i) xs.push_back(static_cast<double>(i));
+    h.add_all(xs);
+    EXPECT_DOUBLE_EQ(h.quantile(0.50), quantile(xs, 0.50));
+    EXPECT_DOUBLE_EQ(h.p50(), quantile(xs, 0.50));
+    EXPECT_DOUBLE_EQ(h.p90(), quantile(xs, 0.90));
+    EXPECT_DOUBLE_EQ(h.p99(), quantile(xs, 0.99));
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+    Histogram h{0.0, 10.0, 2};
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
 TEST(Histogram, InvalidConstruction) {

@@ -1,0 +1,88 @@
+// Strict JSON parser: accepted grammar, rejected malformations, and the
+// convenience accessors the dashboards lean on.
+#include "util/minijson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace hsw::util;
+
+TEST(MiniJsonTest, ParsesScalarsArraysAndObjects) {
+    std::string error;
+    const auto doc = json::parse(
+        R"({"b": true, "n": null, "num": -12.5e2, "s": "hi", "arr": [1, 2, 3],
+            "nested": {"k": "v"}})",
+        &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_TRUE(doc->find("b")->as_bool());
+    EXPECT_TRUE(doc->find("n")->is_null());
+    EXPECT_DOUBLE_EQ(doc->find("num")->as_number(), -1250.0);
+    EXPECT_EQ(doc->find("s")->as_string(), "hi");
+    ASSERT_TRUE(doc->find("arr")->is_array());
+    EXPECT_EQ(doc->find("arr")->as_array().size(), 3u);
+    const json::Value* nested = doc->find("nested");
+    ASSERT_NE(nested, nullptr);
+    EXPECT_EQ(nested->find("k")->as_string(), "v");
+}
+
+TEST(MiniJsonTest, DecodesEscapes) {
+    const auto doc = json::parse(R"(["a\"b", "tab\there", "\u0041\u00e9"])");
+    ASSERT_TRUE(doc.has_value());
+    const json::Array& arr = doc->as_array();
+    EXPECT_EQ(arr[0].as_string(), "a\"b");
+    EXPECT_EQ(arr[1].as_string(), "tab\there");
+    EXPECT_EQ(arr[2].as_string(), "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(MiniJsonTest, NumberOrFallsBackCleanly) {
+    const auto doc = json::parse(R"({"x": 5, "s": "text"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->number_or("x", -1), 5.0);
+    EXPECT_DOUBLE_EQ(doc->number_or("missing", -1), -1.0);
+    EXPECT_DOUBLE_EQ(doc->number_or("s", -1), -1.0);  // present but not numeric
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(MiniJsonTest, RejectsMalformedDocuments) {
+    const char* bad[] = {
+        "",                         // empty
+        "{",                        // unterminated object
+        "[1, 2",                    // unterminated array
+        "{\"k\" 1}",                // missing colon
+        "{\"k\": 1,}",              // trailing comma
+        "[1] garbage",              // trailing garbage
+        "\"unterminated",           // unterminated string
+        "\"bad \\q escape\"",       // unknown escape
+        "nul",                      // truncated literal
+        "{'k': 1}",                 // single quotes
+        "\"\\u12\"",                // truncated \u
+    };
+    for (const char* text : bad) {
+        std::string error;
+        EXPECT_FALSE(json::parse(text, &error).has_value()) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(MiniJsonTest, RejectsUnescapedControlCharacters) {
+    EXPECT_FALSE(json::parse("\"line\nbreak\"").has_value());
+}
+
+TEST(MiniJsonTest, DeeplyNestedInputIsBoundedNotFatal) {
+    std::string deep;
+    for (int i = 0; i < 200; ++i) deep += '[';
+    for (int i = 0; i < 200; ++i) deep += ']';
+    std::string error;
+    EXPECT_FALSE(json::parse(deep, &error).has_value());
+    EXPECT_NE(error.find("nesting"), std::string::npos);
+}
+
+TEST(MiniJsonTest, ObjectIterationIsSorted) {
+    const auto doc = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_TRUE(doc.has_value());
+    std::string order;
+    for (const auto& [key, value] : doc->as_object()) order += key;
+    EXPECT_EQ(order, "amz");
+}

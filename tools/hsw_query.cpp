@@ -65,6 +65,8 @@ int usage(const char* argv0, int code) {
         "control verbs:\n"
         "  --ping               round-trip check\n"
         "  --stats              print the daemon's stats block\n"
+        "  --metrics [FORMAT]   scrape the metrics registry; FORMAT is\n"
+        "                       prometheus (default) or json\n"
         "  --shutdown           drain and stop the daemon\n",
         argv0);
     return code;
@@ -128,7 +130,9 @@ int main(int argc, char** argv) {
     std::string out_dir = ".";
     bool renders = false;
     bool bench = false;
-    bool ping = false, stats = false, shutdown = false;
+    bool ping = false, stats = false, shutdown = false, metrics = false;
+    service::protocol::MetricsFormat metrics_format =
+        service::protocol::MetricsFormat::Prometheus;
     unsigned threads = 4;
     unsigned long requests = 64;
     double duplicate_ratio = 0.5;
@@ -152,6 +156,19 @@ int main(int argc, char** argv) {
             ping = true;
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--metrics") {
+            metrics = true;
+            // Optional format operand; anything else is the next option.
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                const std::string fmt = argv[++i];
+                if (fmt == "prometheus") {
+                    metrics_format = service::protocol::MetricsFormat::Prometheus;
+                } else if (fmt == "json") {
+                    metrics_format = service::protocol::MetricsFormat::Json;
+                } else {
+                    return usage(argv[0], 2);
+                }
+            }
         } else if (arg == "--shutdown") {
             shutdown = true;
         } else if (arg == "--host") {
@@ -243,12 +260,14 @@ int main(int argc, char** argv) {
     }
 
     try {
-        if (ping || stats || shutdown) {
+        if (ping || stats || metrics || shutdown) {
             service::ServiceClient client{host, port};
             service::protocol::Request verb;
             verb.verb = ping      ? service::protocol::Verb::Ping
                         : stats   ? service::protocol::Verb::Stats
+                        : metrics ? service::protocol::Verb::Metrics
                                   : service::protocol::Verb::Shutdown;
+            verb.format = metrics_format;
             const auto response = client.call(verb);
             if (!response.ok()) {
                 std::fprintf(stderr, "hsw_query: %s: %s\n",
@@ -340,10 +359,9 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(all.disk),
                         static_cast<unsigned long long>(all.computed));
             if (!all.latencies_ms.empty()) {
+                const util::QuantileSummary q = util::quantile_summary(all.latencies_ms);
                 std::printf("  wall %.3f s  %.1f req/s  p50 %.2f ms  p99 %.2f ms\n",
-                            wall_s, sent / wall_s,
-                            util::quantile(all.latencies_ms, 0.50),
-                            util::quantile(all.latencies_ms, 0.99));
+                            wall_s, sent / wall_s, q.p50, q.p99);
             }
             if (!all.first_error.empty()) {
                 std::fprintf(stderr, "hsw_query: first error: %s\n",

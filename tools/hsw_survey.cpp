@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "engine/survey_experiments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace hsw;
 
@@ -38,6 +40,8 @@ int usage(const char* argv0, int code) {
         "  --renders         also write the rendered .txt tables\n"
         "  --quick           heavily reduced sampling (smoke tests)\n"
         "  --max-attempts N  attempts per job before permanent failure (default: 2)\n"
+        "  --trace FILE      capture span tracing for the run; write Chrome\n"
+        "                    trace-event JSON to FILE (open in Perfetto)\n"
         "  --quiet           suppress per-job progress lines\n"
         "  --list            list experiments and their job counts, then exit\n",
         argv0);
@@ -73,6 +77,7 @@ int main(int argc, char** argv) {
     options.jobs = std::max(1u, std::thread::hardware_concurrency());
     options.cache_dir = ".hsw-cache";
     std::string out_dir = ".";
+    std::string trace_file;
     std::vector<std::string> only;
     bool renders = false;
     bool quick = false;
@@ -107,6 +112,10 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (!v) return usage(argv[0], 2);
             options.cache_dir = v;
+        } else if (arg == "--trace") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            trace_file = v;
         } else if (arg == "--only") {
             const char* v = value();
             if (!v) return usage(argv[0], 2);
@@ -188,8 +197,26 @@ int main(int argc, char** argv) {
         };
     }
 
+    if (!trace_file.empty()) {
+        // Telemetry observes the run without touching its output bytes:
+        // artifacts are identical with or without --trace.
+        obs::set_metrics_enabled(true);
+        obs::trace::enable();
+    }
+
     const engine::RunReport report = engine::run_experiments(experiments, options);
     engine::write_artifacts(report, out_dir, renders);
+
+    if (!trace_file.empty()) {
+        obs::trace::disable();
+        if (!obs::trace::write_chrome_json(trace_file)) {
+            std::fprintf(stderr, "hsw_survey: cannot write trace %s\n",
+                         trace_file.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "hsw_survey: wrote %zu trace events to %s\n",
+                     obs::trace::recorded_events(), trace_file.c_str());
+    }
 
     std::fputs(report.summary().c_str(), stderr);
     if (!report.ok()) {

@@ -16,6 +16,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 
 using namespace hsw;
@@ -41,6 +43,8 @@ int usage(const char* argv0, int code) {
         "  --no-disk-cache      in-memory caching only\n"
         "  --max-connections N  concurrent client connections (default: 64)\n"
         "  --deadline-ms N      default per-request deadline, 0 = none (default: 0)\n"
+        "  --trace FILE         capture span tracing; write Chrome trace-event\n"
+        "                       JSON to FILE on shutdown (open in Perfetto)\n"
         "  --quiet              suppress startup / shutdown chatter\n",
         argv0);
     return code;
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
     service::ServerConfig cfg;
     cfg.service.disk_cache_dir = ".hsw-cache";
     std::string port_file;
+    std::string trace_file;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -107,11 +112,20 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (!v || !parse_unsigned(v, n, 1u << 30)) return usage(argv[0], 2);
             cfg.service.default_deadline = std::chrono::milliseconds{n};
+        } else if (arg == "--trace") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            trace_file = v;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
             return usage(argv[0], 2);
         }
     }
+
+    // The daemon always serves the metrics verb; spans are only captured
+    // when --trace asks for a file.
+    obs::set_metrics_enabled(true);
+    if (!trace_file.empty()) obs::trace::enable();
 
     // Handle SIGINT/SIGTERM synchronously via sigtimedwait: a plain handler
     // could not safely call stop() (mutexes, condvars).
@@ -176,9 +190,24 @@ int main(int argc, char** argv) {
     }
     server->wait();
 
+    // A short-lived daemon run should leave a usable record: the final
+    // ServiceStats block plus the full metrics snapshot, then the trace.
     if (!quiet) {
         std::fputs(server->service().stats().render().c_str(), stderr);
-        std::fprintf(stderr, "hsw_surveyd: stopped\n");
+        std::fputs(obs::render_prometheus().c_str(), stderr);
     }
+    if (!trace_file.empty()) {
+        obs::trace::disable();
+        if (!obs::trace::write_chrome_json(trace_file)) {
+            std::fprintf(stderr, "hsw_surveyd: cannot write trace %s\n",
+                         trace_file.c_str());
+            return 1;
+        }
+        if (!quiet) {
+            std::fprintf(stderr, "hsw_surveyd: wrote %zu trace events to %s\n",
+                         obs::trace::recorded_events(), trace_file.c_str());
+        }
+    }
+    if (!quiet) std::fprintf(stderr, "hsw_surveyd: stopped\n");
     return 0;
 }
