@@ -7,6 +7,10 @@
 // before the compute, before the store. Cancellation is cooperative and
 // monotonic: once requested it never clears, and a deadline in the past is
 // indistinguishable from an explicit cancel().
+//
+// Thread safety: lock-free by construction -- both fields are atomics and
+// there is no multi-field invariant, so there is nothing for a mutex (or a
+// GUARDED_BY annotation) to protect.
 #pragma once
 
 #include <atomic>

@@ -4,12 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "util/sync.hpp"
 
 namespace hsw::engine {
 
@@ -113,7 +113,7 @@ RunReport run_experiments(const std::vector<Experiment>& experiments,
         stats.spec_hash = flat[i].job->spec.hash_hex().substr(0, 12);
     }
 
-    std::mutex progress_lock;
+    util::Mutex progress_lock;
     std::atomic<std::size_t> resolved{0};
     auto emit = [&](ProgressEvent::Kind kind, const FlatJob& fj, unsigned attempts,
                     double wall_ms, double events_per_sec) {
@@ -126,7 +126,7 @@ RunReport run_experiments(const std::vector<Experiment>& experiments,
         ev.events_per_sec = events_per_sec;
         ev.done = resolved.load(std::memory_order_relaxed);
         ev.total = flat.size();
-        std::lock_guard lock{progress_lock};
+        util::LockGuard lock{progress_lock};
         options.on_progress(ev);
     };
 

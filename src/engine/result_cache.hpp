@@ -8,6 +8,10 @@
 // miss -- the engine then recomputes and rewrites it. Stores are atomic
 // (write to a temp file, then rename), which keeps concurrent survey runs
 // over one cache directory safe.
+//
+// Thread safety: no mutex on purpose. Cross-thread coordination is the
+// filesystem's rename atomicity; in-process state is three relaxed atomic
+// counters with no invariant between them.
 #pragma once
 
 #include <atomic>

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
 
 namespace hsw::engine {
 
@@ -37,9 +38,11 @@ struct Scheduler::Batch {
     std::vector<Task> tasks;
     std::vector<JobOutcome> outcomes;
     // One deque + lock per worker; owner pops back, thieves pop front.
+    // (A GUARDED_BY tying deques[i] to locks[i] is inexpressible; hsw_lint's
+    // lock-across-io rule and the TSan stress test cover this pairing.)
     std::vector<std::deque<std::size_t>> deques;
-    std::vector<std::mutex> locks;
-    std::mutex listener_lock;
+    std::vector<util::Mutex> locks;
+    util::Mutex listener_lock;
     std::atomic<std::size_t> remaining{0};
     std::chrono::steady_clock::time_point started;
 
@@ -59,7 +62,7 @@ Scheduler::Scheduler(SchedulerConfig cfg) : cfg_{cfg} {
 
 bool Scheduler::next_task(Batch& batch, std::size_t worker, std::size_t& out_index) {
     {
-        std::lock_guard lock{batch.locks[worker]};
+        util::LockGuard lock{batch.locks[worker]};
         auto& own = batch.deques[worker];
         if (!own.empty()) {
             out_index = own.back();
@@ -69,7 +72,7 @@ bool Scheduler::next_task(Batch& batch, std::size_t worker, std::size_t& out_ind
     }
     for (std::size_t i = 1; i < batch.deques.size(); ++i) {
         const std::size_t victim = (worker + i) % batch.deques.size();
-        std::lock_guard lock{batch.locks[victim]};
+        util::LockGuard lock{batch.locks[victim]};
         auto& other = batch.deques[victim];
         if (!other.empty()) {
             out_index = other.front();
@@ -123,7 +126,7 @@ void Scheduler::work(Batch& batch, std::size_t worker) {
             if (attempts_left && before_deadline) {
                 progress_.retries.fetch_add(1, std::memory_order_relaxed);
                 retries_counter().inc();
-                std::lock_guard lock{batch.locks[worker]};
+                util::LockGuard lock{batch.locks[worker]};
                 batch.deques[worker].push_back(index);
                 continue;  // not finished -- remaining stays up
             }
@@ -133,7 +136,7 @@ void Scheduler::work(Batch& batch, std::size_t worker) {
         outcome.ok = ok;
 
         if (listener_) {
-            std::lock_guard lock{batch.listener_lock};
+            util::LockGuard lock{batch.listener_lock};
             listener_(outcome);
         }
         progress_.done.fetch_add(1, std::memory_order_relaxed);

@@ -19,7 +19,6 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 

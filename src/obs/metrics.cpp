@@ -6,8 +6,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/sync.hpp"
 
 namespace hsw::obs {
 
@@ -177,7 +178,7 @@ public:
     }
 
     Counter& counter(std::string_view name, std::string_view help) {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         auto [it, inserted] = counters_.try_emplace(std::string{name});
         if (inserted) {
             check_unique(name, Kind::Counter);
@@ -188,7 +189,7 @@ public:
     }
 
     Gauge& gauge(std::string_view name, std::string_view help) {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         auto [it, inserted] = gauges_.try_emplace(std::string{name});
         if (inserted) {
             check_unique(name, Kind::Gauge);
@@ -200,7 +201,7 @@ public:
 
     Histogram& histogram(std::string_view name, std::span<const double> bounds,
                          std::string_view help) {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         auto [it, inserted] = histograms_.try_emplace(std::string{name});
         if (inserted) {
             check_unique(name, Kind::Histogram);
@@ -212,7 +213,7 @@ public:
     }
 
     MetricsSnapshot snapshot() {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         MetricsSnapshot snap;
         snap.counters.reserve(counters_.size());
         for (const auto& [name, entry] : counters_) {
@@ -243,7 +244,7 @@ public:
     }
 
     void zero_all() {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         for (auto& [name, entry] : counters_) {
             for (auto& cell : entry.instrument->cells_) {
                 cell.value.store(0, std::memory_order_relaxed);
@@ -272,9 +273,9 @@ private:
         std::unique_ptr<T> instrument;
     };
 
-    /// Called with mu_ held, after try_emplace into the target map
-    /// succeeded -- so "exists in another map" means a kind clash.
-    void check_unique(std::string_view name, Kind kind) {
+    /// Called after try_emplace into the target map succeeded -- so
+    /// "exists in another map" means a kind clash.
+    void check_unique(std::string_view name, Kind kind) REQUIRES(mu_) {
         const std::string key{name};
         const bool clash = (kind != Kind::Counter && counters_.count(key) != 0) ||
                            (kind != Kind::Gauge && gauges_.count(key) != 0) ||
@@ -289,10 +290,10 @@ private:
         }
     }
 
-    std::mutex mu_;
-    std::map<std::string, Entry<Counter>> counters_;
-    std::map<std::string, Entry<Gauge>> gauges_;
-    std::map<std::string, Entry<Histogram>> histograms_;
+    util::Mutex mu_;
+    std::map<std::string, Entry<Counter>> counters_ GUARDED_BY(mu_);
+    std::map<std::string, Entry<Gauge>> gauges_ GUARDED_BY(mu_);
+    std::map<std::string, Entry<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 Counter& counter(std::string_view name, std::string_view help) {

@@ -4,8 +4,9 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace hsw::obs::trace {
 
@@ -28,7 +29,7 @@ struct ThreadBuffer {
     }
 
     void record(const TraceEvent& ev) {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         if (ring_.size() < capacity_) {
             ring_.push_back(ev);
         } else {
@@ -41,7 +42,7 @@ struct ThreadBuffer {
 
     /// Events oldest-first.
     std::vector<TraceEvent> drain_copy() const {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         std::vector<TraceEvent> out;
         out.reserve(ring_.size());
         // next_ is the oldest slot once the ring has wrapped.
@@ -52,30 +53,30 @@ struct ThreadBuffer {
     }
 
     std::uint64_t dropped() const {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         return dropped_;
     }
     std::size_t retained() const {
-        std::lock_guard lock{mu_};
+        util::LockGuard lock{mu_};
         return ring_.size();
     }
     std::uint64_t tid() const { return tid_; }
 
 private:
-    mutable std::mutex mu_;
-    std::vector<TraceEvent> ring_;
-    std::size_t next_ = 0;  // overwrite cursor == oldest element when full
-    std::size_t capacity_;
-    std::uint64_t recorded_ = 0;
-    std::uint64_t dropped_ = 0;
-    std::uint64_t tid_;
+    mutable util::Mutex mu_;
+    std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+    std::size_t next_ GUARDED_BY(mu_) = 0;  // overwrite cursor == oldest when full
+    std::size_t capacity_;  // set once at construction
+    std::uint64_t recorded_ GUARDED_BY(mu_) = 0;
+    std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
+    std::uint64_t tid_;     // set once at construction
 };
 
 struct Global {
-    std::mutex mu;
-    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-    std::size_t capacity = 1 << 16;
-    std::uint64_t next_tid = 1;
+    util::Mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers GUARDED_BY(mu);
+    std::size_t capacity GUARDED_BY(mu) = 1 << 16;
+    std::uint64_t next_tid GUARDED_BY(mu) = 1;
     // Generation; bumps on clear()/enable(). Atomic so the record hot
     // path can validate its cached thread slot without the global mutex.
     std::atomic<std::uint64_t> epoch{0};
@@ -98,7 +99,7 @@ ThreadBuffer& thread_buffer() {
     // Cheap path: slot still belongs to the current trace generation.
     const std::uint64_t epoch = g.epoch.load(std::memory_order_acquire);
     if (slot.buffer && slot.epoch == epoch) return *slot.buffer;
-    std::lock_guard lock{g.mu};
+    util::LockGuard lock{g.mu};
     slot.buffer = std::make_shared<ThreadBuffer>(g.capacity, g.next_tid++);
     slot.epoch = g.epoch.load(std::memory_order_relaxed);
     g.buffers.push_back(slot.buffer);
@@ -139,7 +140,7 @@ void record(const TraceEvent& ev) {
 void enable(std::size_t events_per_thread) {
     Global& g = global();
     {
-        std::lock_guard lock{g.mu};
+        util::LockGuard lock{g.mu};
         g.buffers.clear();
         g.capacity = std::max<std::size_t>(events_per_thread, 16);
         g.epoch.fetch_add(1, std::memory_order_release);
@@ -158,7 +159,7 @@ bool enabled() {
 
 void clear() {
     Global& g = global();
-    std::lock_guard lock{g.mu};
+    util::LockGuard lock{g.mu};
     g.buffers.clear();
     g.epoch.fetch_add(1, std::memory_order_release);
 }
@@ -167,7 +168,7 @@ std::size_t recorded_events() {
     Global& g = global();
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
-        std::lock_guard lock{g.mu};
+        util::LockGuard lock{g.mu};
         buffers = g.buffers;
     }
     std::size_t total = 0;
@@ -179,7 +180,7 @@ std::uint64_t dropped_events() {
     Global& g = global();
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
-        std::lock_guard lock{g.mu};
+        util::LockGuard lock{g.mu};
         buffers = g.buffers;
     }
     std::uint64_t total = 0;
@@ -191,7 +192,7 @@ std::string export_chrome_json() {
     Global& g = global();
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
-        std::lock_guard lock{g.mu};
+        util::LockGuard lock{g.mu};
         buffers = g.buffers;
     }
 

@@ -5,7 +5,7 @@
 namespace hsw::service {
 
 RequestCoalescer::Ticket RequestCoalescer::join(const std::string& key) {
-    std::lock_guard lock{lock_};
+    util::LockGuard lock{lock_};
     if (const auto it = flights_.find(key); it != flights_.end()) {
         ++followers_;
         return Ticket{it->second->future, false};
@@ -23,7 +23,7 @@ void RequestCoalescer::complete(const std::string& key, Value value) {
         // Retire the key before waking waiters: a request arriving after
         // completion must start fresh (and find the hot cache populated),
         // never attach to a finished flight.
-        std::lock_guard lock{lock_};
+        util::LockGuard lock{lock_};
         const auto it = flights_.find(key);
         if (it == flights_.end()) return;
         flight = std::move(it->second);
@@ -35,7 +35,7 @@ void RequestCoalescer::complete(const std::string& key, Value value) {
 void RequestCoalescer::fail(const std::string& key, std::exception_ptr error) {
     std::shared_ptr<Flight> flight;
     {
-        std::lock_guard lock{lock_};
+        util::LockGuard lock{lock_};
         const auto it = flights_.find(key);
         if (it == flights_.end()) return;
         flight = std::move(it->second);
@@ -45,7 +45,7 @@ void RequestCoalescer::fail(const std::string& key, std::exception_ptr error) {
 }
 
 RequestCoalescer::Stats RequestCoalescer::stats() const {
-    std::lock_guard lock{lock_};
+    util::LockGuard lock{lock_};
     return Stats{leaders_, followers_, flights_.size()};
 }
 

@@ -17,11 +17,11 @@
 #include <exception>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "service/protocol.hpp"
+#include "util/sync.hpp"
 
 namespace hsw::service {
 
@@ -50,17 +50,17 @@ public:
     };
 
     /// Joins (or starts) the flight for `key`.
-    [[nodiscard]] Ticket join(const std::string& key);
+    [[nodiscard]] Ticket join(const std::string& key) EXCLUDES(lock_);
 
     /// Leader-only: publishes the payload to every waiter and retires the
     /// flight.
-    void complete(const std::string& key, Value value);
+    void complete(const std::string& key, Value value) EXCLUDES(lock_);
 
     /// Leader-only: propagates `error` to every waiter and retires the
     /// flight.
-    void fail(const std::string& key, std::exception_ptr error);
+    void fail(const std::string& key, std::exception_ptr error) EXCLUDES(lock_);
 
-    [[nodiscard]] Stats stats() const;
+    [[nodiscard]] Stats stats() const EXCLUDES(lock_);
 
 private:
     struct Flight {
@@ -68,10 +68,11 @@ private:
         std::shared_future<Value> future;
     };
 
-    mutable std::mutex lock_;
-    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
-    std::uint64_t leaders_ = 0;
-    std::uint64_t followers_ = 0;
+    mutable util::Mutex lock_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
+        GUARDED_BY(lock_);
+    std::uint64_t leaders_ GUARDED_BY(lock_) = 0;
+    std::uint64_t followers_ GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace hsw::service

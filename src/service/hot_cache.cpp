@@ -41,9 +41,11 @@ HotCache::Shard& HotCache::shard_for(const std::string& key) {
     return shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
+// hsw:hot-path -- every service query starts with this probe; it must
+// stay a find + splice under the shard lock, never allocate or block.
 HotCache::Value HotCache::lookup(const std::string& key) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock{shard.lock};
+    util::LockGuard lock{shard.lock};
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
         ++shard.misses;
@@ -55,6 +57,7 @@ HotCache::Value HotCache::lookup(const std::string& key) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->value;
 }
+// hsw:end-hot-path
 
 HotCache::Value HotCache::insert(const std::string& key, std::string payload,
                                  bool pinned) {
@@ -62,7 +65,11 @@ HotCache::Value HotCache::insert(const std::string& key, std::string payload,
     if (cfg_.max_bytes == 0) return value;
 
     Shard& shard = shard_for(key);
-    std::lock_guard lock{shard.lock};
+    // Declared before the guard so evicted payloads are destroyed after
+    // unlock; freeing megabytes of string inside the critical section would
+    // block every concurrent lookup on this shard.
+    std::vector<Value> evicted;
+    util::LockGuard lock{shard.lock};
     const std::size_t bytes_before = shard.bytes;
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
@@ -79,19 +86,20 @@ HotCache::Value HotCache::insert(const std::string& key, std::string payload,
         shard.bytes += value->size();
         ++shard.insertions;
     }
-    evict_over_budget(shard);
+    evict_over_budget(shard, evicted);
     bytes_gauge().add(static_cast<std::int64_t>(shard.bytes) -
                       static_cast<std::int64_t>(bytes_before));
     return value;
 }
 
-void HotCache::evict_over_budget(Shard& shard) {
+void HotCache::evict_over_budget(Shard& shard, std::vector<Value>& evicted) {
     auto it = shard.lru.end();
     while (shard.bytes > per_shard_budget_ && it != shard.lru.begin()) {
         --it;
         if (it->pins > 0) continue;  // in-flight fan-out; never dropped
         shard.bytes -= it->value->size();
         shard.map.erase(it->key);
+        evicted.push_back(std::move(it->value));
         it = shard.lru.erase(it);
         ++shard.evictions;
         evictions_counter().inc();
@@ -100,7 +108,7 @@ void HotCache::evict_over_budget(Shard& shard) {
 
 void HotCache::unpin(const std::string& key) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock{shard.lock};
+    util::LockGuard lock{shard.lock};
     const auto it = shard.map.find(key);
     if (it != shard.map.end() && it->second->pins > 0) --it->second->pins;
 }
@@ -108,7 +116,7 @@ void HotCache::unpin(const std::string& key) {
 HotCacheStats HotCache::stats() const {
     HotCacheStats out;
     for (const auto& shard : shards_) {
-        std::lock_guard lock{shard.lock};
+        util::LockGuard lock{shard.lock};
         out.hits += shard.hits;
         out.misses += shard.misses;
         out.insertions += shard.insertions;
@@ -121,9 +129,10 @@ HotCacheStats HotCache::stats() const {
 
 void HotCache::clear() {
     for (auto& shard : shards_) {
-        std::lock_guard lock{shard.lock};
+        LruList dropped;
+        util::LockGuard lock{shard.lock};
         bytes_gauge().add(-static_cast<std::int64_t>(shard.bytes));
-        shard.lru.clear();
+        dropped.swap(shard.lru);  // payloads freed after unlock
         shard.map.clear();
         shard.bytes = 0;
     }

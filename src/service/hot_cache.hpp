@@ -18,10 +18,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace hsw::service {
 
@@ -81,20 +82,24 @@ private:
     using LruList = std::list<Entry>;
 
     struct Shard {
-        mutable std::mutex lock;
-        LruList lru;  // front = most recently used
-        std::unordered_map<std::string, LruList::iterator> map;
-        std::size_t bytes = 0;
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t insertions = 0;
-        std::uint64_t evictions = 0;
+        mutable util::Mutex lock;
+        LruList lru GUARDED_BY(lock);  // front = most recently used
+        std::unordered_map<std::string, LruList::iterator> map GUARDED_BY(lock);
+        std::size_t bytes GUARDED_BY(lock) = 0;
+        std::uint64_t hits GUARDED_BY(lock) = 0;
+        std::uint64_t misses GUARDED_BY(lock) = 0;
+        std::uint64_t insertions GUARDED_BY(lock) = 0;
+        std::uint64_t evictions GUARDED_BY(lock) = 0;
     };
 
     Shard& shard_for(const std::string& key);
     /// Evicts unpinned LRU-tail entries until `shard` fits its budget (or
-    /// only pinned entries remain). Caller holds the shard lock.
-    void evict_over_budget(Shard& shard);
+    /// only pinned entries remain). The dropped payload references are
+    /// moved into `evicted` so the caller frees the bytes *after*
+    /// releasing the shard lock -- destroying multi-MB payloads inside the
+    /// critical section would stall every concurrent hot lookup.
+    void evict_over_budget(Shard& shard, std::vector<Value>& evicted)
+        REQUIRES(shard.lock);
 
     HotCacheConfig cfg_;
     std::size_t per_shard_budget_ = 0;

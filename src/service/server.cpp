@@ -7,8 +7,8 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -70,7 +70,9 @@ SurveyServer::SurveyServer(ServerConfig cfg) : cfg_{std::move(cfg)} {
 
     sockaddr_in addr = make_address(cfg_.bind_address, cfg_.port);
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-        const std::string reason = std::strerror(errno);
+        // system_category().message(), not strerror(): the latter returns a
+        // static buffer and is not thread-safe.
+        const std::string reason = std::system_category().message(errno);
         close_quietly(fd);
         throw std::runtime_error{"bind(" + cfg_.bind_address + ":" +
                                  std::to_string(cfg_.port) + ") failed: " + reason};
@@ -94,7 +96,7 @@ SurveyServer::~SurveyServer() {
     stop();
     std::thread stopper;
     {
-        std::lock_guard lock{stopper_lock_};
+        util::LockGuard lock{stopper_lock_};
         stopper.swap(stopper_);
     }
     if (stopper.joinable()) stopper.join();
@@ -105,8 +107,8 @@ void SurveyServer::start() {
 }
 
 void SurveyServer::wait() {
-    std::unique_lock lock{stopped_lock_};
-    stopped_cv_.wait(lock, [this] { return stopped_.load(std::memory_order_acquire); });
+    util::LockGuard lock{stopped_lock_};
+    while (!stopped_.load(std::memory_order_acquire)) stopped_cv_.wait(lock);
 }
 
 bool SurveyServer::stopped() const { return stopped_.load(std::memory_order_acquire); }
@@ -127,9 +129,10 @@ void SurveyServer::stop() {
         }
         std::vector<std::thread> connections;
         {
-            std::lock_guard lock{connections_lock_};
+            util::LockGuard lock{connections_lock_};
             // Unblock connection threads parked in read_frame(): shut the
             // sockets down (the owning thread still does the close()).
+            // shutdown() never blocks, so holding the lock here is fine.
             for (const int open_fd : open_fds_) ::shutdown(open_fd, SHUT_RDWR);
             connections.swap(connections_);
         }
@@ -138,7 +141,7 @@ void SurveyServer::stop() {
         }
         service_->drain();
         {
-            std::lock_guard lock{stopped_lock_};
+            util::LockGuard lock{stopped_lock_};
             stopped_.store(true, std::memory_order_release);
         }
         stopped_cv_.notify_all();
@@ -174,7 +177,7 @@ void SurveyServer::accept_loop() {
         open_connections_.fetch_add(1, std::memory_order_acq_rel);
         connections_counter().inc();
         open_connections_gauge().add(1);
-        std::lock_guard lock{connections_lock_};
+        util::LockGuard lock{connections_lock_};
         open_fds_.push_back(fd);
         connections_.emplace_back([this, fd] { serve_connection(fd); });
     }
@@ -205,7 +208,7 @@ void SurveyServer::serve_connection(int fd) {
         if (!protocol::write_frame(fd, response.encode())) break;
     }
     {
-        std::lock_guard lock{connections_lock_};
+        util::LockGuard lock{connections_lock_};
         std::erase(open_fds_, fd);
     }
     close_quietly(fd);
@@ -216,7 +219,7 @@ void SurveyServer::serve_connection(int fd) {
         // A dedicated stopper thread drives the teardown: stop() joins the
         // connection threads, so this thread must not run it itself. The
         // destructor joins the stopper.
-        std::lock_guard lock{stopper_lock_};
+        util::LockGuard lock{stopper_lock_};
         if (!stopper_.joinable()) {
             stopper_ = std::thread{[this] { stop(); }};
         }
@@ -228,7 +231,7 @@ ServiceClient::ServiceClient(const std::string& host, std::uint16_t port) {
     if (fd_ < 0) throw std::runtime_error{"socket() failed"};
     sockaddr_in addr = make_address(host, port);
     if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-        const std::string reason = std::strerror(errno);
+        const std::string reason = std::system_category().message(errno);
         close_quietly(fd_);
         fd_ = -1;
         throw std::runtime_error{"connect(" + host + ":" + std::to_string(port) +

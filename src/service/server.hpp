@@ -15,15 +15,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/service.hpp"
+#include "util/sync.hpp"
 
 namespace hsw::service {
 
@@ -55,7 +55,7 @@ public:
     void start();
 
     /// Blocks until the server has stopped (shutdown verb or stop()).
-    void wait();
+    void wait() EXCLUDES(stopped_lock_);
 
     /// Idempotent: stop accepting, finish in-flight connections, drain the
     /// service, join all threads.
@@ -77,20 +77,20 @@ private:
     std::thread acceptor_;
     // Spawned by the `shutdown` verb so the connection thread itself is
     // never asked to join itself; reaped by the destructor.
-    std::mutex stopper_lock_;
-    std::thread stopper_;
-    std::mutex connections_lock_;
-    std::vector<std::thread> connections_;
+    util::Mutex stopper_lock_;
+    std::thread stopper_ GUARDED_BY(stopper_lock_);
+    util::Mutex connections_lock_;
+    std::vector<std::thread> connections_ GUARDED_BY(connections_lock_);
     // Sockets currently served; stop() shuts them down to unblock reads.
     // Entries are removed (under the lock) before close(), so a shutdown
     // can never hit a recycled descriptor.
-    std::vector<int> open_fds_;
+    std::vector<int> open_fds_ GUARDED_BY(connections_lock_);
     std::atomic<unsigned> open_connections_{0};
     std::atomic<bool> stopping_{false};
     std::atomic<bool> stopped_{false};
     std::once_flag stop_once_;
-    std::mutex stopped_lock_;
-    std::condition_variable stopped_cv_;
+    util::Mutex stopped_lock_;
+    util::CondVar stopped_cv_;
 };
 
 /// Blocking protocol client used by hsw_query and the tests. One

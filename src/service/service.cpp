@@ -127,8 +127,8 @@ SurveyService::~SurveyService() { drain(); }
 void SurveyService::drain() {
     std::call_once(drain_once_, [this] {
         draining_.store(true, std::memory_order_release);
-        std::unique_lock lock{pool_lock_};
-        pool_idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+        util::LockGuard lock{pool_lock_};
+        while (!queue_.empty() || active_ != 0) pool_idle_cv_.wait(lock);
         stopping_ = true;
         pool_task_cv_.notify_all();
         lock.unlock();
@@ -146,8 +146,8 @@ bool SurveyService::shutdown_requested() const {
 
 void SurveyService::worker_loop() {
     for (;;) {
-        std::unique_lock lock{pool_lock_};
-        pool_task_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        util::LockGuard lock{pool_lock_};
+        while (!stopping_ && queue_.empty()) pool_task_cv_.wait(lock);
         if (queue_.empty()) {
             if (stopping_) return;
             continue;
@@ -165,11 +165,15 @@ void SurveyService::worker_loop() {
 }
 
 bool SurveyService::try_submit(std::function<void()> task) {
-    std::lock_guard lock{pool_lock_};
-    if (stopping_ || draining()) return false;
-    if (queue_.size() >= cfg_.max_queue) return false;
-    queue_.push_back(std::move(task));
-    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    {
+        util::LockGuard lock{pool_lock_};
+        if (stopping_ || draining()) return false;
+        if (queue_.size() >= cfg_.max_queue) return false;
+        queue_.push_back(std::move(task));
+        queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    }
+    // Notify after releasing the lock: waking a worker straight into a
+    // contended pool_lock_ stalls it (and the submitter) for nothing.
     pool_task_cv_.notify_one();
     return true;
 }
@@ -184,14 +188,14 @@ void SurveyService::note_rejection(ErrorCode code, const std::string& subject,
     d.message = std::string{protocol::name(code)} + ": " + message;
     d.value = value;
     d.bound = bound;
-    std::lock_guard lock{diag_lock_};
+    util::LockGuard lock{diag_lock_};
     diagnostics_.report(std::move(d));
 }
 
 std::shared_ptr<const SurveyService::Registry> SurveyService::registry_for(
     const protocol::Request& request) {
     const std::string key = registry_key(request);
-    std::lock_guard lock{registry_lock_};
+    util::LockGuard lock{registry_lock_};
     if (const auto it = registries_.find(key); it != registries_.end()) {
         return it->second;
     }
@@ -495,7 +499,7 @@ ServiceStats SurveyService::stats() const {
 }
 
 std::vector<analysis::Diagnostic> SurveyService::admission_diagnostics() const {
-    std::lock_guard lock{diag_lock_};
+    util::LockGuard lock{diag_lock_};
     return diagnostics_.diagnostics();
 }
 

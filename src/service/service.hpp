@@ -23,14 +23,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <optional>
 #include <string>
 #include <thread>
@@ -42,6 +41,7 @@
 #include "service/coalescer.hpp"
 #include "service/hot_cache.hpp"
 #include "service/protocol.hpp"
+#include "util/sync.hpp"
 
 namespace hsw::service {
 
@@ -119,7 +119,7 @@ public:
     /// Stops admitting new work, waits for queued + running jobs to
     /// finish, and joins the workers. Idempotent, callable concurrently
     /// with query() (late callers get ShuttingDown).
-    void drain();
+    void drain() EXCLUDES(pool_lock_);
 
     [[nodiscard]] bool draining() const;
     /// Set once a Shutdown verb has been handled; the server polls this.
@@ -127,7 +127,8 @@ public:
 
     [[nodiscard]] ServiceStats stats() const;
     /// Admission rejections as structured diagnostics (snapshot copy).
-    [[nodiscard]] std::vector<analysis::Diagnostic> admission_diagnostics() const;
+    [[nodiscard]] std::vector<analysis::Diagnostic> admission_diagnostics() const
+        EXCLUDES(diag_lock_);
 
 private:
     struct Registry {
@@ -147,7 +148,7 @@ private:
     };
 
     [[nodiscard]] std::shared_ptr<const Registry> registry_for(
-        const protocol::Request& request);
+        const protocol::Request& request) EXCLUDES(registry_lock_);
     /// Hot-cache probe, coalescer join, and (for leaders) pool submission.
     [[nodiscard]] StartedJob start_job(const engine::Job& job,
                                        std::chrono::steady_clock::time_point deadline,
@@ -158,27 +159,29 @@ private:
                                        const RequestCoalescer::Ticket& ticket,
                                        std::chrono::steady_clock::time_point deadline,
                                        bool has_deadline);
-    bool try_submit(std::function<void()> task);
-    void worker_loop();
+    bool try_submit(std::function<void()> task) EXCLUDES(pool_lock_);
+    void worker_loop() EXCLUDES(pool_lock_);
     void note_rejection(protocol::ErrorCode code, const std::string& subject,
-                        const std::string& message, double value, double bound);
+                        const std::string& message, double value, double bound)
+        EXCLUDES(diag_lock_);
 
     ServiceConfig cfg_;
     HotCache hot_;
     std::optional<engine::ResultCache> disk_;
     RequestCoalescer coalescer_;
 
-    mutable std::mutex registry_lock_;
-    std::map<std::string, std::shared_ptr<const Registry>> registries_;
+    mutable util::Mutex registry_lock_;
+    std::map<std::string, std::shared_ptr<const Registry>> registries_
+        GUARDED_BY(registry_lock_);
 
     // Bounded work queue + workers.
-    std::mutex pool_lock_;
-    std::condition_variable pool_task_cv_;
-    std::condition_variable pool_idle_cv_;
-    std::deque<std::function<void()>> queue_;
-    unsigned active_ = 0;
-    bool stopping_ = false;
-    std::vector<std::thread> workers_;
+    util::Mutex pool_lock_;
+    util::CondVar pool_task_cv_;
+    util::CondVar pool_idle_cv_;
+    std::deque<std::function<void()>> queue_ GUARDED_BY(pool_lock_);
+    unsigned active_ GUARDED_BY(pool_lock_) = 0;
+    bool stopping_ GUARDED_BY(pool_lock_) = false;
+    std::vector<std::thread> workers_;  // written only by the constructor
 
     std::atomic<bool> draining_{false};
     std::atomic<bool> shutdown_requested_{false};
@@ -189,8 +192,9 @@ private:
         rejected_deadline_{0}, rejected_unknown_{0}, rejected_draining_{0},
         failed_{0}, hot_hits_{0}, disk_hits_{0}, computed_{0}, coalesced_{0};
 
-    mutable std::mutex diag_lock_;
-    analysis::DiagnosticSink diagnostics_{256};
+    mutable util::Mutex diag_lock_;
+    // Default-constructed capacity is the 256 this sink always used.
+    analysis::DiagnosticSink diagnostics_ GUARDED_BY(diag_lock_);
 };
 
 }  // namespace hsw::service

@@ -173,6 +173,9 @@ bool Simulator::cancel_periodic(std::uint64_t periodic_id) {
 
 // --- dispatch ---------------------------------------------------------------
 
+// hsw:hot-path -- step() is the engine's innermost loop: slot reuse and
+// in-place heap rewrites only, no allocation, no blocking (hsw_lint
+// enforces this region).
 bool Simulator::step() {
     if (heap_.empty()) return false;
     const std::uint32_t slot = heap_.front().slot;
@@ -227,6 +230,7 @@ bool Simulator::step() {
     sift_down(pos);
     return true;
 }
+// hsw:end-hot-path
 
 void Simulator::run_until(Time t) {
     obs::trace::Span span{"sim.run_until", "sim"};

@@ -1,0 +1,123 @@
+// Capability-annotated synchronization primitives.
+//
+// util::Mutex / util::CondVar / util::LockGuard are thin wrappers over
+// std::mutex / std::condition_variable that carry the thread-safety
+// attributes from util/thread_safety.hpp, so clang's -Wthread-safety can
+// check every GUARDED_BY field and REQUIRES method in the repo. They add
+// no state and no extra atomic operations: a LockGuard compiles to the
+// same code as std::unique_lock, and CondVar waits on the *native*
+// std::mutex (adopt/release), not on a condition_variable_any.
+//
+// Two deliberate API differences from the standard library:
+//
+//   * LockGuard is relockable (unlock()/lock()), replacing both
+//     std::lock_guard and std::unique_lock, so there is exactly one guard
+//     type for the analysis to track.
+//   * CondVar has no predicate overloads. Write the loop at the call
+//     site -- `while (!ready_) cv_.wait(lock);` -- because the analysis
+//     sees guarded-field accesses in the enclosing function's scope but
+//     not inside a predicate lambda (which would need its own REQUIRES).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_safety.hpp"
+
+namespace hsw::util {
+
+class CondVar;
+
+/// Standard mutex carrying the `capability` attribute. Prefer LockGuard
+/// over calling lock()/unlock() directly.
+class CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+    friend class CondVar;
+    friend class LockGuard;
+    std::mutex mu_;
+};
+
+/// RAII scoped capability over Mutex; relockable like std::unique_lock.
+/// The destructor releases only if the guard still owns the mutex, which
+/// the analysis models for scoped capabilities (an unlock() before scope
+/// exit is fine).
+class SCOPED_CAPABILITY LockGuard {
+public:
+    explicit LockGuard(Mutex& mu) ACQUIRE(mu) : mu_{mu}, owned_{true} {
+        mu_.mu_.lock();
+    }
+    ~LockGuard() RELEASE() {
+        if (owned_) mu_.mu_.unlock();
+    }
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+    /// Drop the mutex before scope exit (e.g. around a blocking join).
+    void unlock() RELEASE() {
+        mu_.mu_.unlock();
+        owned_ = false;
+    }
+    /// Reacquire after unlock().
+    void lock() ACQUIRE() {
+        mu_.mu_.lock();
+        owned_ = true;
+    }
+
+private:
+    friend class CondVar;
+    Mutex& mu_;
+    bool owned_;
+};
+
+/// Condition variable waiting on a LockGuard. Waits release and reacquire
+/// the guard's mutex through the native std::condition_variable fast path.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    /// Caller must hold `guard` (it still does when wait returns). The
+    /// capability state is unchanged across the call, matching how the
+    /// analysis treats the temporary release inside.
+    void wait(LockGuard& guard) {
+        std::unique_lock<std::mutex> native{guard.mu_.mu_, std::adopt_lock};
+        cv_.wait(native);
+        native.release();
+    }
+
+    template <typename Clock, typename Duration>
+    std::cv_status wait_until(LockGuard& guard,
+                              const std::chrono::time_point<Clock, Duration>& tp) {
+        std::unique_lock<std::mutex> native{guard.mu_.mu_, std::adopt_lock};
+        const std::cv_status status = cv_.wait_until(native, tp);
+        native.release();
+        return status;
+    }
+
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(LockGuard& guard,
+                            const std::chrono::duration<Rep, Period>& d) {
+        std::unique_lock<std::mutex> native{guard.mu_.mu_, std::adopt_lock};
+        const std::cv_status status = cv_.wait_for(native, d);
+        native.release();
+        return status;
+    }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace hsw::util

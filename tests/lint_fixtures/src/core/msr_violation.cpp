@@ -1,0 +1,13 @@
+// Violates msr-catalog: a raw MSR address that addresses.hpp names.
+namespace hsw::core {
+
+// "0x611 in a string" and the comment mention 0x1B0 must not fire.
+unsigned fixture_read_energy() {
+    const char* doc = "reads MSR 0x611";
+    (void)doc;
+    return 0x611;  // flagged: MSR_PKG_ENERGY_STATUS spelled raw
+}
+
+unsigned fixture_mask() { return 0x7FFF; }  // clean: not a catalog value
+
+}  // namespace hsw::core

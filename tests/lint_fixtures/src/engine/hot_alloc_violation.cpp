@@ -1,0 +1,16 @@
+// Violates hot-path-alloc: heap growth inside a marked hot region.
+#include <vector>
+
+namespace hsw::engine {
+
+// hsw:hot-path
+int fixture_hot(std::vector<int>& out) {
+    out.push_back(1);
+    return static_cast<int>(out.size());
+}
+// hsw:end-hot-path
+
+// Outside the region the same call is fine.
+void fixture_cold(std::vector<int>& out) { out.push_back(2); }
+
+}  // namespace hsw::engine

@@ -1,0 +1,11 @@
+// Violates engine-rng-derive: raw-seed Rng construction in the engine.
+#include "util/rng.hpp"
+
+namespace hsw::engine {
+
+unsigned fixture_draw() {
+    util::Rng rng{42};
+    return static_cast<unsigned>(rng.next_u64());
+}
+
+}  // namespace hsw::engine

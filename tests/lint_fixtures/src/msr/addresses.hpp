@@ -1,0 +1,11 @@
+// Fixture catalog: the two addresses the msr-catalog fixtures reference.
+#pragma once
+
+namespace hsw::msr {
+
+using MsrAddress = unsigned;
+
+inline constexpr MsrAddress MSR_PKG_ENERGY_STATUS = 0x611;
+inline constexpr MsrAddress IA32_ENERGY_PERF_BIAS = 0x1B0;
+
+}  // namespace hsw::msr

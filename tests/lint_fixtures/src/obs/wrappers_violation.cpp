@@ -1,0 +1,11 @@
+// Violates concurrency-wrappers: raw std primitives where the annotated
+// util wrappers are mandatory.
+#include <mutex>
+
+namespace hsw::obs {
+
+std::mutex fixture_lock;
+
+void fixture_locked() { std::lock_guard<std::mutex> lock{fixture_lock}; }
+
+}  // namespace hsw::obs

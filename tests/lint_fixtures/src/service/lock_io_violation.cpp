@@ -1,0 +1,25 @@
+// Violates lock-across-io: file I/O while a lock guard is held.
+#include <cstdio>
+
+#include "util/sync.hpp"
+
+namespace hsw::service {
+
+util::Mutex fixture_lock;
+
+void fixture_flush(const char* path) {
+    util::LockGuard lock{fixture_lock};
+    std::FILE* f = std::fopen(path, "wb");  // flagged: guard still held
+    lock.unlock();
+    if (f != nullptr) std::fclose(f);  // clean: guard released above
+}
+
+void fixture_flush_ok(const char* path) {
+    {
+        util::LockGuard lock{fixture_lock};
+    }
+    std::FILE* f = std::fopen(path, "wb");  // clean: guard scope closed
+    if (f != nullptr) std::fclose(f);
+}
+
+}  // namespace hsw::service

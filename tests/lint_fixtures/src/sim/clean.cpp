@@ -1,0 +1,18 @@
+// A fully clean sim file: deterministic time, facade includes only,
+// catalog-safe hex, no raw sync primitives.
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hsw::sim {
+
+std::uint64_t fixture_elapsed(std::chrono::steady_clock::time_point start) {
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>((now - start).count());
+}
+
+unsigned fixture_flags() { return 0xFF; }
+
+}  // namespace hsw::sim

@@ -1,0 +1,10 @@
+// Violates include-layering twice: sim reaching up into service/ and
+// into an obs internal that is not one of the two public facades.
+#include "obs/registry_detail.hpp"
+#include "service/service.hpp"
+
+namespace hsw::sim {
+
+void fixture_noop() {}
+
+}  // namespace hsw::sim

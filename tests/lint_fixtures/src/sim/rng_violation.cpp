@@ -1,0 +1,9 @@
+// Violates determinism-rng: global RNG in the deterministic core.
+#include <cstdlib>
+
+namespace hsw::sim {
+
+// A mention of rand in a comment must NOT fire; only the call below does.
+int fixture_roll() { return std::rand() % 6; }
+
+}  // namespace hsw::sim

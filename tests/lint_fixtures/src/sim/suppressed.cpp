@@ -1,0 +1,20 @@
+// Exercises suppressions: every violation here is explicitly allowed, so
+// this file must lint clean.
+#include <cstdlib>
+#include <chrono>
+
+namespace hsw::sim {
+
+// hsw-lint: allow(determinism-rng)
+int fixture_seeded() { return std::rand(); }
+
+long long fixture_stamp() {
+    return std::chrono::system_clock::now()  // hsw-lint: allow(determinism-wallclock)
+        .time_since_epoch()
+        .count();
+}
+
+// hsw-lint: allow(all)
+int fixture_both() { return std::rand(); }
+
+}  // namespace hsw::sim

@@ -1,0 +1,10 @@
+// Violates determinism-wallclock: real time in the deterministic core.
+#include <chrono>
+
+namespace hsw::sim {
+
+long long fixture_now() {
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace hsw::sim

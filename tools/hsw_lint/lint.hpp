@@ -1,0 +1,61 @@
+// hsw_lint: domain rules the compiler cannot check.
+//
+// A deliberately small, dependency-free linter over the repo's own source
+// conventions: determinism in the simulation core, allocation-free hot
+// paths, no I/O while holding a lock, include layering, and the MSR
+// catalog as the single source of register addresses. It is line-based --
+// comments and string/char literals are blanked before token scans, so a
+// rule name in a comment never fires -- and it is self-hosted: the real
+// tree must lint clean, and `ctest` runs it on every build.
+//
+// Findings print as `path:line: [rule-id] message`. A finding is
+// suppressed by `// hsw-` `lint: allow(<rule-id>)` (or `allow(all)`) on
+// the same line or the line directly above.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hsw::lint {
+
+struct Finding {
+    std::string path;
+    int line = 0;  // 1-based
+    std::string rule;
+    std::string message;
+};
+
+/// `path:line: [rule] message` -- the one format both the CLI and the
+/// tests consume.
+[[nodiscard]] std::string format(const Finding& finding);
+
+/// The MSR address catalog parsed out of msr/addresses.hpp: the set of
+/// hex values that must never appear as raw literals anywhere else.
+struct Catalog {
+    std::set<std::uint64_t> msr_values;
+};
+
+[[nodiscard]] Catalog load_catalog(const std::string& content);
+
+/// Lints one translation unit. `display_path` drives both module
+/// classification (the path component after "src/") and finding output;
+/// pass paths relative to the repo root so reports are stable.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& display_path,
+                                             const std::string& content,
+                                             const Catalog& catalog);
+
+struct TreeResult {
+    std::vector<Finding> findings;
+    std::size_t files_scanned = 0;
+};
+
+/// Walks `roots` for C++ sources (.hpp/.h/.cpp/.cc), locates the MSR
+/// catalog (any file ending in msr/addresses.hpp) among them, and lints
+/// every file. Paths in findings are relative to the deepest of cwd and
+/// root that contains them; scanning order is sorted for determinism.
+[[nodiscard]] TreeResult lint_tree(const std::vector<std::filesystem::path>& roots);
+
+}  // namespace hsw::lint

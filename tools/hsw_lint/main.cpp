@@ -1,0 +1,36 @@
+// hsw_lint CLI: lints the given roots and exits nonzero on findings.
+//
+//   hsw_lint <dir-or-file>...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage / missing path. CI runs it
+// over src/ tools/ bench/; ctest runs the same invocation locally.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "hsw_lint/lint.hpp"
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <dir-or-file>...\n", argv[0]);
+        return 2;
+    }
+    std::vector<std::filesystem::path> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::filesystem::path p{argv[i]};
+        if (!std::filesystem::exists(p)) {
+            std::fprintf(stderr, "hsw_lint: no such path: %s\n", argv[i]);
+            return 2;
+        }
+        roots.push_back(p);
+    }
+
+    const auto result = hsw::lint::lint_tree(roots);
+    for (const auto& finding : result.findings) {
+        std::printf("%s\n", hsw::lint::format(finding).c_str());
+    }
+    std::printf("hsw_lint: %zu files scanned, %zu finding%s\n", result.files_scanned,
+                result.findings.size(), result.findings.size() == 1 ? "" : "s");
+    return result.findings.empty() ? 0 : 1;
+}
