@@ -8,6 +8,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/minijson.hpp"
 #include "util/sync.hpp"
 
 namespace hsw::obs {
@@ -100,7 +101,9 @@ std::vector<double> exponential_bounds(double lo, double factor, std::size_t n) 
 // --- HistogramSample --------------------------------------------------------
 
 double HistogramSample::quantile(double q) const {
-    if (count == 0) return std::nan("");
+    // Empty, or degraded by a cross-fleet merge of incompatible binnings
+    // (count survives, buckets don't): no per-bucket data to interpolate.
+    if (count == 0 || counts.empty()) return std::nan("");
     q = std::clamp(q, 0.0, 1.0);
     const double rank = q * static_cast<double>(count);
     std::uint64_t seen = 0;
@@ -338,32 +341,72 @@ const HistogramSample* MetricsSnapshot::find_histogram(std::string_view name) co
 
 // --- exposition -------------------------------------------------------------
 
+namespace {
+
+/// "name" or "name{labels}" / "name_bucket{labels,le=...}" sample keys.
+std::string labeled(const std::string& name, std::string_view suffix,
+                    std::string_view labels) {
+    std::string out = name;
+    out += suffix;
+    if (!labels.empty()) {
+        out += '{';
+        out += labels;
+        out += '}';
+    }
+    return out;
+}
+
+void append_counter_sample(std::string& out, const CounterSample& c,
+                           std::string_view labels) {
+    out += labeled(c.name, "_total", labels) + " " + std::to_string(c.value) + "\n";
+}
+
+void append_gauge_sample(std::string& out, const GaugeSample& g,
+                         std::string_view labels) {
+    out += labeled(g.name, "", labels) + " " + std::to_string(g.value) + "\n";
+}
+
+void append_histogram_samples(std::string& out, const HistogramSample& h,
+                              std::string_view labels) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        const std::string le =
+            i < h.bounds.size() ? format_bound(h.bounds[i]) : "+Inf";
+        out += h.name + "_bucket{";
+        if (!labels.empty()) {
+            out += labels;
+            out += ',';
+        }
+        out += "le=\"" + le + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += labeled(h.name, "_sum", labels) + " " + format_double(h.sum) + "\n";
+    out += labeled(h.name, "_count", labels) + " " + std::to_string(h.count) + "\n";
+}
+
+}  // namespace
+
 std::string MetricsSnapshot::render_prometheus() const {
+    return render_prometheus(std::string_view{});
+}
+
+std::string MetricsSnapshot::render_prometheus(std::string_view labels) const {
     std::string out;
     out.reserve(4096);
     for (const auto& c : counters) {
         if (!c.help.empty()) out += "# HELP " + c.name + " " + c.help + "\n";
         out += "# TYPE " + c.name + " counter\n";
-        out += c.name + "_total " + std::to_string(c.value) + "\n";
+        append_counter_sample(out, c, labels);
     }
     for (const auto& g : gauges) {
         if (!g.help.empty()) out += "# HELP " + g.name + " " + g.help + "\n";
         out += "# TYPE " + g.name + " gauge\n";
-        out += g.name + " " + std::to_string(g.value) + "\n";
+        append_gauge_sample(out, g, labels);
     }
     for (const auto& h : histograms) {
         if (!h.help.empty()) out += "# HELP " + h.name + " " + h.help + "\n";
         out += "# TYPE " + h.name + " histogram\n";
-        std::uint64_t cumulative = 0;
-        for (std::size_t i = 0; i < h.counts.size(); ++i) {
-            cumulative += h.counts[i];
-            const std::string le =
-                i < h.bounds.size() ? format_bound(h.bounds[i]) : "+Inf";
-            out += h.name + "_bucket{le=\"" + le + "\"} " +
-                   std::to_string(cumulative) + "\n";
-        }
-        out += h.name + "_sum " + format_double(h.sum) + "\n";
-        out += h.name + "_count " + std::to_string(h.count) + "\n";
+        append_histogram_samples(out, h, labels);
     }
     return out;
 }
@@ -417,5 +460,190 @@ std::string MetricsSnapshot::render_json() const {
 
 std::string render_prometheus() { return snapshot_metrics().render_prometheus(); }
 std::string render_json() { return snapshot_metrics().render_json(); }
+
+// --- fleet merging ----------------------------------------------------------
+
+namespace {
+
+void set_parse_error(std::string* error, std::string_view reason) {
+    if (error) *error = std::string{reason};
+}
+
+}  // namespace
+
+std::optional<MetricsSnapshot> parse_snapshot_json(std::string_view text,
+                                                   std::string* error) {
+    const auto doc = util::json::parse(text, error);
+    if (!doc) return std::nullopt;
+    if (!doc->is_object()) {
+        set_parse_error(error, "snapshot is not an object");
+        return std::nullopt;
+    }
+    MetricsSnapshot snap;
+    if (const auto* cs = doc->find("counters")) {
+        if (!cs->is_object()) {
+            set_parse_error(error, "counters is not an object");
+            return std::nullopt;
+        }
+        for (const auto& [name, v] : cs->as_object()) {
+            if (!v.is_number()) {
+                set_parse_error(error, "counter " + name + " is not a number");
+                return std::nullopt;
+            }
+            snap.counters.push_back(
+                {name, {}, static_cast<std::uint64_t>(v.as_number())});
+        }
+    }
+    if (const auto* gs = doc->find("gauges")) {
+        if (!gs->is_object()) {
+            set_parse_error(error, "gauges is not an object");
+            return std::nullopt;
+        }
+        for (const auto& [name, v] : gs->as_object()) {
+            if (!v.is_number()) {
+                set_parse_error(error, "gauge " + name + " is not a number");
+                return std::nullopt;
+            }
+            snap.gauges.push_back(
+                {name, {}, static_cast<std::int64_t>(v.as_number())});
+        }
+    }
+    if (const auto* hs = doc->find("histograms")) {
+        if (!hs->is_object()) {
+            set_parse_error(error, "histograms is not an object");
+            return std::nullopt;
+        }
+        for (const auto& [name, v] : hs->as_object()) {
+            const auto* bounds = v.find("bounds");
+            const auto* counts = v.find("counts");
+            if (!v.is_object() || !bounds || !bounds->is_array() || !counts ||
+                !counts->is_array() ||
+                counts->as_array().size() != bounds->as_array().size() + 1) {
+                set_parse_error(error, "histogram " + name + " is malformed");
+                return std::nullopt;
+            }
+            HistogramSample h;
+            h.name = name;
+            h.count = static_cast<std::uint64_t>(v.number_or("count", 0));
+            h.sum = v.number_or("sum", 0.0);
+            for (const auto& b : bounds->as_array()) {
+                if (!b.is_number()) {
+                    set_parse_error(error, "histogram " + name + " has a bad bound");
+                    return std::nullopt;
+                }
+                h.bounds.push_back(b.as_number());
+            }
+            for (const auto& c : counts->as_array()) {
+                if (!c.is_number()) {
+                    set_parse_error(error, "histogram " + name + " has a bad count");
+                    return std::nullopt;
+                }
+                h.counts.push_back(static_cast<std::uint64_t>(c.as_number()));
+            }
+            snap.histograms.push_back(std::move(h));
+        }
+    }
+    // util::json objects are std::map-backed, so the vectors arrive sorted
+    // by name -- the same invariant snapshot_metrics() maintains.
+    return snap;
+}
+
+MetricsSnapshot merge_snapshots(std::span<const MetricsSnapshot> parts) {
+    std::map<std::string, CounterSample> counters;
+    std::map<std::string, GaugeSample> gauges;
+    std::map<std::string, HistogramSample> histograms;
+    for (const auto& part : parts) {
+        for (const auto& c : part.counters) {
+            auto [it, fresh] = counters.try_emplace(c.name, c);
+            if (!fresh) it->second.value += c.value;
+        }
+        for (const auto& g : part.gauges) {
+            auto [it, fresh] = gauges.try_emplace(g.name, g);
+            if (!fresh) it->second.value += g.value;
+        }
+        for (const auto& h : part.histograms) {
+            auto [it, fresh] = histograms.try_emplace(h.name, h);
+            if (fresh) continue;
+            HistogramSample& merged = it->second;
+            merged.count += h.count;
+            merged.sum += h.sum;
+            if (merged.bounds == h.bounds &&
+                merged.counts.size() == h.counts.size()) {
+                for (std::size_t i = 0; i < h.counts.size(); ++i) {
+                    merged.counts[i] += h.counts[i];
+                }
+            } else {
+                // Incompatible binning: keep exact count/sum, drop buckets
+                // (empty bounds never match a later part, so the family
+                // stays degraded instead of silently re-binning).
+                merged.bounds.clear();
+                merged.counts.clear();
+            }
+        }
+    }
+    MetricsSnapshot out;
+    for (auto& [name, c] : counters) out.counters.push_back(std::move(c));
+    for (auto& [name, g] : gauges) out.gauges.push_back(std::move(g));
+    for (auto& [name, h] : histograms) out.histograms.push_back(std::move(h));
+    return out;
+}
+
+std::string render_fleet_prometheus(
+    const MetricsSnapshot& merged,
+    std::span<const std::pair<std::string, MetricsSnapshot>> shards) {
+    std::string out;
+    out.reserve(8192);
+    const auto shard_label = [](const std::string& name) {
+        return "shard=\"" + name + "\"";
+    };
+    for (const auto& c : merged.counters) {
+        if (!c.help.empty()) out += "# HELP " + c.name + " " + c.help + "\n";
+        out += "# TYPE " + c.name + " counter\n";
+        append_counter_sample(out, c, {});
+        for (const auto& [shard, snap] : shards) {
+            if (const auto* sc = snap.find_counter(c.name)) {
+                append_counter_sample(out, *sc, shard_label(shard));
+            }
+        }
+    }
+    for (const auto& g : merged.gauges) {
+        if (!g.help.empty()) out += "# HELP " + g.name + " " + g.help + "\n";
+        out += "# TYPE " + g.name + " gauge\n";
+        append_gauge_sample(out, g, {});
+        for (const auto& [shard, snap] : shards) {
+            if (const auto* sg = snap.find_gauge(g.name)) {
+                append_gauge_sample(out, *sg, shard_label(shard));
+            }
+        }
+    }
+    for (const auto& h : merged.histograms) {
+        if (!h.help.empty()) out += "# HELP " + h.name + " " + h.help + "\n";
+        out += "# TYPE " + h.name + " histogram\n";
+        append_histogram_samples(out, h, {});
+        for (const auto& [shard, snap] : shards) {
+            if (const auto* sh = snap.find_histogram(h.name)) {
+                append_histogram_samples(out, *sh, shard_label(shard));
+            }
+        }
+    }
+    return out;
+}
+
+std::string render_fleet_json(
+    const MetricsSnapshot& merged,
+    std::span<const std::pair<std::string, MetricsSnapshot>> shards) {
+    std::string out = merged.render_json();
+    out.pop_back();  // reopen the top-level object
+    out += ",\"shards\":{";
+    bool first = true;
+    for (const auto& [shard, snap] : shards) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, shard);
+        out += ':' + snap.render_json();
+    }
+    out += "}}";
+    return out;
+}
 
 }  // namespace hsw::obs

@@ -31,9 +31,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hsw::obs {
@@ -167,9 +169,49 @@ struct MetricsSnapshot {
 
     /// Prometheus text exposition format 0.0.4.
     [[nodiscard]] std::string render_prometheus() const;
+    /// Labeled variant: every sample line carries `labels` verbatim inside
+    /// braces (e.g. `shard="s0"` renders `name{shard="s0"} v`); histogram
+    /// buckets prepend it to the `le` label. The caller supplies
+    /// well-formed label text. Empty behaves like the unlabeled render.
+    [[nodiscard]] std::string render_prometheus(std::string_view labels) const;
     /// {"counters":{...},"gauges":{...},"histograms":{...}}
     [[nodiscard]] std::string render_json() const;
 };
+
+/// Reconstructs a snapshot from render_json() output -- the JSON carries
+/// per-bucket bounds/counts, so the round trip is lossless (help strings
+/// excepted; JSON exposition never had them). This is how a fleet router
+/// ingests shard scrapes for merging. nullopt on malformed input, with a
+/// one-line reason in `error` when non-null. Values are exact up to 2^53
+/// (the JSON number domain), far above any real counter here.
+[[nodiscard]] std::optional<MetricsSnapshot> parse_snapshot_json(
+    std::string_view text, std::string* error = nullptr);
+
+/// Union-merge of per-process snapshots into one fleet view: counters and
+/// gauges sum by name, histograms add count/sum and merge buckets
+/// element-wise when the bounds agree. Histograms whose bounds differ
+/// across parts keep exact count/sum but drop per-bucket detail
+/// (quantile() returns NaN) rather than guessing a rebinning. Output is
+/// name-sorted like snapshot_metrics().
+[[nodiscard]] MetricsSnapshot merge_snapshots(
+    std::span<const MetricsSnapshot> parts);
+
+/// One Prometheus document for a whole fleet: for each family, HELP/TYPE
+/// once, the merged (unlabeled) samples, then one labeled sample set per
+/// shard (`shard="<name>"`). `merged` is typically
+/// merge_snapshots(shards' snapshots); shard names must be label-safe
+/// (no quotes or backslashes).
+[[nodiscard]] std::string render_fleet_prometheus(
+    const MetricsSnapshot& merged,
+    std::span<const std::pair<std::string, MetricsSnapshot>> shards);
+
+/// Merged JSON doc with a "shards" key mapping shard name -> that shard's
+/// render_json() document. The top level keeps the plain snapshot shape,
+/// so single-process consumers (hsw_top without --fleet) parse it
+/// unchanged.
+[[nodiscard]] std::string render_fleet_json(
+    const MetricsSnapshot& merged,
+    std::span<const std::pair<std::string, MetricsSnapshot>> shards);
 
 // --- registration -----------------------------------------------------------
 

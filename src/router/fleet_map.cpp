@@ -1,0 +1,70 @@
+#include "router/fleet_map.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace hsw::router {
+
+FleetMap::FleetMap(std::vector<ShardEndpoint> shards, FleetMapConfig cfg)
+    : shards_{std::move(shards)} {
+    if (shards_.empty()) throw std::invalid_argument{"FleetMap: no shards"};
+    if (cfg.vnodes == 0) throw std::invalid_argument{"FleetMap: vnodes == 0"};
+    std::set<std::string> names, addresses;
+    for (const auto& s : shards_) {
+        if (s.name.empty()) throw std::invalid_argument{"FleetMap: unnamed shard"};
+        if (!names.insert(s.name).second) {
+            throw std::invalid_argument{"FleetMap: duplicate shard name " + s.name};
+        }
+        if (!addresses.insert(s.address()).second) {
+            throw std::invalid_argument{"FleetMap: duplicate address " + s.address()};
+        }
+    }
+    replicas_ = std::max(1u, std::min<unsigned>(cfg.replicas,
+                                                static_cast<unsigned>(shards_.size())));
+
+    // Ring points hash the *address*, not the name: renaming a shard must
+    // not move keys, but re-homing it to a new port is a topology change.
+    ring_.reserve(shards_.size() * cfg.vnodes);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const std::string base = shards_[i].address() + "#";
+        for (unsigned v = 0; v < cfg.vnodes; ++v) {
+            ring_.push_back({util::placement_hash(base + std::to_string(v)), i});
+        }
+    }
+    std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+        // Tie-break on shard index so two shards landing on the same hash
+        // (vanishingly rare, but possible) order deterministically.
+        return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+    });
+}
+
+std::size_t FleetMap::lower_point(std::uint64_t h) const {
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point& p, std::uint64_t key) { return p.hash < key; });
+    return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::vector<std::size_t> FleetMap::replica_set(std::string_view route_key) const {
+    std::vector<std::size_t> out;
+    out.reserve(replicas_);
+    std::size_t at = lower_point(util::placement_hash(route_key));
+    for (std::size_t walked = 0; walked < ring_.size() && out.size() < replicas_;
+         ++walked) {
+        const std::size_t shard = ring_[at].shard;
+        if (std::find(out.begin(), out.end(), shard) == out.end()) {
+            out.push_back(shard);
+        }
+        at = (at + 1) % ring_.size();
+    }
+    return out;
+}
+
+std::size_t FleetMap::primary(std::string_view route_key) const {
+    return ring_[lower_point(util::placement_hash(route_key))].shard;
+}
+
+}  // namespace hsw::router

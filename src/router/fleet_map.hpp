@@ -1,0 +1,80 @@
+// FleetMap: consistent-hash placement of route keys onto shards.
+//
+// Each shard contributes `vnodes` points to a 64-bit hash ring
+// (placement_hash of "host:port#<i>"); a route key looks up clockwise
+// from its own hash. Virtual nodes smooth the per-shard share of key
+// space (150 points puts a fleet's imbalance in the ±10% range), and the
+// clockwise walk yields the *replica set*: the first R distinct shards
+// encountered, primary first. Consistent hashing's point is minimal
+// disruption -- removing a shard moves only the keys it owned, which for
+// a cache-fronted fleet means a topology change invalidates 1/N of the
+// fleet's hot-cache locality instead of all of it.
+//
+// FleetMap is immutable after construction: the router builds one at
+// startup and consults it lock-free from every connection thread.
+// Liveness (ejection/readmission) is layered on top by the Router, which
+// skips unhealthy replicas at dispatch time rather than rebuilding the
+// ring -- so a flapping shard never churns key placement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsw::router {
+
+/// One shard endpoint. `name` labels metrics and logs; host:port is the
+/// dial address.
+struct ShardEndpoint {
+    std::string name;
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    [[nodiscard]] std::string address() const {
+        return host + ":" + std::to_string(port);
+    }
+};
+
+struct FleetMapConfig {
+    /// Ring points per shard.
+    unsigned vnodes = 150;
+    /// Replica set size: a key's query may be served by its primary or by
+    /// the next replicas-1 distinct shards clockwise. Clamped to the
+    /// shard count.
+    unsigned replicas = 2;
+};
+
+class FleetMap {
+public:
+    /// Throws std::invalid_argument when `shards` is empty, a name or
+    /// address repeats, or cfg.vnodes is zero.
+    FleetMap(std::vector<ShardEndpoint> shards, FleetMapConfig cfg = {});
+
+    [[nodiscard]] const std::vector<ShardEndpoint>& shards() const {
+        return shards_;
+    }
+    [[nodiscard]] unsigned replicas() const { return replicas_; }
+
+    /// Shard indices (into shards()) that may serve `route_key`: primary
+    /// first, then the clockwise failover order. Size == replicas().
+    [[nodiscard]] std::vector<std::size_t> replica_set(
+        std::string_view route_key) const;
+
+    /// Primary shard index for `route_key` (replica_set front, cheaper).
+    [[nodiscard]] std::size_t primary(std::string_view route_key) const;
+
+private:
+    struct Point {
+        std::uint64_t hash;
+        std::size_t shard;
+    };
+
+    /// First ring point clockwise of `h` (wrapping).
+    [[nodiscard]] std::size_t lower_point(std::uint64_t h) const;
+
+    std::vector<ShardEndpoint> shards_;
+    std::vector<Point> ring_;  // sorted by hash
+    unsigned replicas_ = 1;
+};
+
+}  // namespace hsw::router

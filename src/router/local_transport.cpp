@@ -1,0 +1,50 @@
+#include "router/local_transport.hpp"
+
+#include <utility>
+
+namespace hsw::router {
+
+void LocalTransport::add_endpoint(const std::string& address, Handler handler) {
+    auto endpoint = std::make_shared<Endpoint>();
+    endpoint->handler = std::move(handler);
+    util::LockGuard lock{lock_};
+    endpoints_[address] = std::move(endpoint);
+}
+
+std::shared_ptr<LocalTransport::Endpoint> LocalTransport::find(
+    const std::string& address) const {
+    util::LockGuard lock{lock_};
+    const auto it = endpoints_.find(address);
+    return it == endpoints_.end() ? nullptr : it->second;
+}
+
+void LocalTransport::set_down(const std::string& address, bool down) {
+    if (const auto endpoint = find(address)) {
+        endpoint->down.store(down, std::memory_order_release);
+    }
+}
+
+std::uint64_t LocalTransport::dials(const std::string& address) const {
+    const auto endpoint = find(address);
+    return endpoint ? endpoint->dials.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t LocalTransport::calls(const std::string& address) const {
+    const auto endpoint = find(address);
+    return endpoint ? endpoint->calls.load(std::memory_order_relaxed) : 0;
+}
+
+std::unique_ptr<Connection> LocalTransport::connect(
+    const ShardEndpoint& endpoint, const TransportOptions& /*options*/) {
+    const auto state = find(endpoint.address());
+    if (!state) {
+        throw TransportError{"no such endpoint: " + endpoint.address()};
+    }
+    if (state->down.load(std::memory_order_acquire)) {
+        throw TransportError{"connect(" + endpoint.address() + ") refused"};
+    }
+    state->dials.fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<LocalConnection>(state);
+}
+
+}  // namespace hsw::router

@@ -1,0 +1,385 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/hash.hpp"
+
+namespace hsw::router {
+
+namespace {
+
+using service::protocol::ErrorCode;
+using service::protocol::MetricsFormat;
+using service::protocol::Request;
+using service::protocol::Response;
+using service::protocol::Verb;
+
+obs::Counter& queries_counter() {
+    static obs::Counter& c =
+        obs::counter("hsw_router_queries", "Query verbs routed to the fleet");
+    return c;
+}
+obs::Counter& attempts_counter() {
+    static obs::Counter& c = obs::counter("hsw_router_upstream_attempts",
+                                          "Upstream query attempts (incl. retries)");
+    return c;
+}
+obs::Counter& failovers_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_router_failovers", "Query attempts served by a non-primary replica");
+    return c;
+}
+obs::Counter& retry_passes_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_router_retry_passes", "Backoff sleeps between replica-set walks");
+    return c;
+}
+obs::Counter& unavailable_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_router_unavailable", "Queries that exhausted every replica");
+    return c;
+}
+obs::Counter& ejections_counter() {
+    static obs::Counter& c =
+        obs::counter("hsw_router_ejections", "Shards ejected by health tracking");
+    return c;
+}
+obs::Counter& readmissions_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_router_readmissions", "Ejected shards readmitted after a good probe");
+    return c;
+}
+obs::Histogram& route_latency_histogram() {
+    // 10 us .. ~84 s in x2 steps, matching the shard-side request
+    // histogram so fleet merges stay bucket-compatible.
+    static obs::Histogram& h = obs::histogram(
+        "hsw_router_query_latency_ms", obs::exponential_bounds(0.01, 2.0, 23),
+        "Routed query end-to-end latency in milliseconds");
+    return h;
+}
+
+/// "unknown verb" from parse_request is the protocol's capability-probe
+/// answer: the peer predates the verb we sent.
+bool is_unknown_verb(const Response& response) {
+    return response.code == ErrorCode::MalformedRequest &&
+           response.payload.find("unknown verb") != std::string::npos;
+}
+
+}  // namespace
+
+std::string RouterStats::render() const {
+    std::string out;
+    out += "router.queries " + std::to_string(queries) + "\n";
+    out += "router.forwarded " + std::to_string(forwarded) + "\n";
+    out += "router.failovers " + std::to_string(failovers) + "\n";
+    out += "router.retry_passes " + std::to_string(retry_passes) + "\n";
+    out += "router.unavailable " + std::to_string(unavailable) + "\n";
+    for (const auto& s : shards) {
+        out += "shard." + s.name + ".state ";
+        out += s.ejected ? "ejected" : "live";
+        if (s.legacy) out += " (legacy v1.1)";
+        out += "\n";
+        out += "shard." + s.name + ".consecutive_failures " +
+               std::to_string(s.consecutive_failures) + "\n";
+        out += "shard." + s.name + ".ejections " + std::to_string(s.ejections) +
+               "\n";
+        out += "shard." + s.name + ".readmissions " +
+               std::to_string(s.readmissions) + "\n";
+    }
+    return out;
+}
+
+Router::Router(FleetMap map, Transport& transport, RouterConfig cfg)
+    : map_{std::move(map)},
+      transport_{transport},
+      cfg_{cfg},
+      jitter_state_{cfg.jitter_seed} {
+    shards_.reserve(map_.shards().size());
+    for (const auto& endpoint : map_.shards()) {
+        auto shard = std::make_unique<Shard>();
+        shard->pool = std::make_unique<ConnectionPool>(
+            transport_, endpoint, cfg_.transport, cfg_.max_idle_per_shard);
+        shards_.push_back(std::move(shard));
+    }
+    if (cfg_.probe_interval.count() > 0) {
+        prober_ = std::thread{[this] { prober_loop(); }};
+    }
+}
+
+Router::~Router() { stop(); }
+
+void Router::stop() {
+    {
+        util::LockGuard lock{prober_lock_};
+        if (prober_stop_) return;
+        prober_stop_ = true;
+    }
+    prober_cv_.notify_all();
+    if (prober_.joinable()) prober_.join();
+}
+
+Response Router::handle(const Request& request) {
+    Response response;
+    switch (request.verb) {
+        case Verb::Ping:
+            response.payload = "pong";
+            return response;
+        case Verb::Health:
+            response.payload = shutdown_requested() ? "draining" : "ok";
+            return response;
+        case Verb::Stats:
+            response.payload = stats().render();
+            return response;
+        case Verb::Shutdown:
+            shutdown_requested_.store(true, std::memory_order_release);
+            response.payload = "draining";
+            return response;
+        case Verb::Metrics:
+            return aggregate_metrics(request.format);
+        case Verb::Query:
+            return route_query(request);
+    }
+    response.code = ErrorCode::MalformedRequest;
+    response.payload = "unhandled verb";
+    return response;
+}
+
+bool Router::retriable(ErrorCode code) {
+    // Overloaded: this replica's queue is full, another may have room.
+    // ShuttingDown: the shard is draining; its replicas are not.
+    // Everything else is a property of the request or of the fleet's data,
+    // not of the replica that answered -- retrying elsewhere cannot help,
+    // and DeadlineExceeded means the client's budget is already spent.
+    return code == ErrorCode::Overloaded || code == ErrorCode::ShuttingDown;
+}
+
+std::chrono::milliseconds Router::backoff_delay(unsigned pass) {
+    const auto base = cfg_.backoff_base.count();
+    if (base <= 0) return std::chrono::milliseconds{0};
+    // Deterministic jitter: a splitmix64 walk seeded by cfg_.jitter_seed.
+    // No global RNG, reproducible under test.
+    const std::uint64_t draw =
+        util::mix64(jitter_state_.fetch_add(0x9E3779B97F4A7C15ULL,
+                                            std::memory_order_relaxed));
+    const long long exp = base << (pass - 1 < 16 ? pass - 1 : 16);
+    const long long jitter = static_cast<long long>(
+        draw % static_cast<std::uint64_t>(base));
+    const long long capped =
+        std::min<long long>(exp + jitter, cfg_.backoff_max.count());
+    return std::chrono::milliseconds{capped};
+}
+
+void Router::note_success(Shard& shard) {
+    shard.consecutive_failures.store(0, std::memory_order_relaxed);
+    if (shard.ejected.exchange(false, std::memory_order_acq_rel)) {
+        shard.readmissions.fetch_add(1, std::memory_order_relaxed);
+        readmissions_counter().inc();
+    }
+}
+
+void Router::note_failure(Shard& shard) {
+    const std::uint64_t failures =
+        shard.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (failures >= cfg_.eject_after &&
+        !shard.ejected.exchange(true, std::memory_order_acq_rel)) {
+        shard.ejections.fetch_add(1, std::memory_order_relaxed);
+        ejections_counter().inc();
+        // Idle connections to a misbehaving shard are suspect: drop them
+        // so readmission starts from fresh dials.
+        shard.pool->clear_idle();
+    }
+}
+
+Response Router::route_query(const Request& request) {
+    queries_counter().inc();
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    obs::trace::Span span{"router.query", "router"};
+    span.set_label(request.experiment + "/" + request.point);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const std::string key = service::protocol::route_key(request);
+    const std::vector<std::size_t> replicas = map_.replica_set(key);
+
+    Response last_error;
+    last_error.code = ErrorCode::Unavailable;
+    last_error.payload = "no replica reachable";
+
+    for (unsigned pass = 0; pass < cfg_.max_passes; ++pass) {
+        if (pass > 0) {
+            retry_passes_.fetch_add(1, std::memory_order_relaxed);
+            retry_passes_counter().inc();
+            std::this_thread::sleep_for(backoff_delay(pass));
+        }
+        bool all_ejected = true;
+        for (const std::size_t idx : replicas) {
+            if (!shards_[idx]->ejected.load(std::memory_order_acquire)) {
+                all_ejected = false;
+                break;
+            }
+        }
+        for (std::size_t i = 0; i < replicas.size(); ++i) {
+            Shard& shard = *shards_[replicas[i]];
+            // Skip ejected replicas -- unless every candidate is ejected,
+            // in which case trying beats failing without evidence.
+            if (!all_ejected && shard.ejected.load(std::memory_order_acquire)) {
+                continue;
+            }
+            forwarded_.fetch_add(1, std::memory_order_relaxed);
+            attempts_counter().inc();
+            if (i > 0) {
+                failovers_.fetch_add(1, std::memory_order_relaxed);
+                failovers_counter().inc();
+            }
+            try {
+                auto lease = shard.pool->acquire();
+                Response response = lease.call(request);
+                note_success(shard);
+                if (!retriable(response.code)) {
+                    route_latency_histogram().record(
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+                    return response;
+                }
+                last_error = std::move(response);
+            } catch (const TransportError& e) {
+                note_failure(shard);
+                last_error.code = ErrorCode::Unavailable;
+                last_error.payload = std::string{"transport: "} + e.what();
+            }
+        }
+    }
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    unavailable_counter().inc();
+    // Exhausted: either Unavailable (nothing answered) or the last
+    // Overloaded/ShuttingDown the fleet gave us -- both are honest.
+    return last_error;
+}
+
+bool Router::probe_shard(std::size_t index) {
+    Shard& shard = *shards_[index];
+    Request probe;
+    probe.verb =
+        shard.legacy.load(std::memory_order_acquire) ? Verb::Metrics : Verb::Health;
+    probe.format = MetricsFormat::Json;
+    try {
+        auto lease = shard.pool->acquire();
+        Response response = lease.call(probe);
+        bool healthy = false;
+        if (probe.verb == Verb::Health && is_unknown_verb(response)) {
+            // Legacy v1.1 shard: remember, and probe via `metrics` from
+            // now on (a served metrics verb proves liveness just as well).
+            shard.legacy.store(true, std::memory_order_release);
+            Request fallback;
+            fallback.verb = Verb::Metrics;
+            fallback.format = MetricsFormat::Json;
+            healthy = lease.call(fallback).ok();
+        } else if (probe.verb == Verb::Health) {
+            healthy = response.ok() && response.payload == "ok";
+        } else {
+            healthy = response.ok();
+        }
+        if (healthy) {
+            note_success(shard);
+            return true;
+        }
+        note_failure(shard);
+        return false;
+    } catch (const TransportError&) {
+        note_failure(shard);
+        return false;
+    }
+}
+
+void Router::probe_now() {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        // Healthy shards prove themselves on live traffic; probing is for
+        // the ejected (so they can come back) and a first-contact sweep
+        // would add startup noise, so skip live shards entirely.
+        if (shards_[i]->ejected.load(std::memory_order_acquire)) {
+            probe_shard(i);
+        }
+    }
+}
+
+void Router::prober_loop() {
+    util::LockGuard lock{prober_lock_};
+    while (!prober_stop_) {
+        prober_cv_.wait_for(lock, cfg_.probe_interval);
+        if (prober_stop_) break;
+        lock.unlock();
+        probe_now();
+        lock.lock();
+    }
+}
+
+Response Router::aggregate_metrics(MetricsFormat format) {
+    std::vector<std::pair<std::string, obs::MetricsSnapshot>> shards;
+    Request scrape;
+    scrape.verb = Verb::Metrics;
+    scrape.format = MetricsFormat::Json;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = *shards_[i];
+        if (shard.ejected.load(std::memory_order_acquire)) continue;
+        try {
+            auto lease = shard.pool->acquire();
+            const Response response = lease.call(scrape);
+            if (!response.ok()) continue;
+            if (auto snap = obs::parse_snapshot_json(response.payload)) {
+                shards.emplace_back(map_.shards()[i].name, std::move(*snap));
+            }
+            note_success(shard);
+        } catch (const TransportError&) {
+            note_failure(shard);
+        }
+    }
+    // The router's own process counters ride along as one more part, so
+    // the merged fleet document includes front-door traffic.
+    shards.emplace_back("router", obs::snapshot_metrics());
+
+    std::vector<obs::MetricsSnapshot> parts;
+    parts.reserve(shards.size());
+    for (const auto& [name, snap] : shards) parts.push_back(snap);
+    const obs::MetricsSnapshot merged = obs::merge_snapshots(parts);
+
+    Response response;
+    response.payload = format == MetricsFormat::Json
+                           ? obs::render_fleet_json(merged, shards)
+                           : obs::render_fleet_prometheus(merged, shards);
+    return response;
+}
+
+RouterStats Router::stats() const {
+    RouterStats s;
+    s.queries = queries_.load(std::memory_order_relaxed);
+    s.forwarded = forwarded_.load(std::memory_order_relaxed);
+    s.failovers = failovers_.load(std::memory_order_relaxed);
+    s.retry_passes = retry_passes_.load(std::memory_order_relaxed);
+    s.unavailable = unavailable_.load(std::memory_order_relaxed);
+    s.shards = shard_health();
+    return s;
+}
+
+std::vector<ShardHealth> Router::shard_health() const {
+    std::vector<ShardHealth> out;
+    out.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const Shard& shard = *shards_[i];
+        ShardHealth h;
+        h.name = map_.shards()[i].name;
+        h.ejected = shard.ejected.load(std::memory_order_acquire);
+        h.legacy = shard.legacy.load(std::memory_order_acquire);
+        h.consecutive_failures =
+            shard.consecutive_failures.load(std::memory_order_relaxed);
+        h.ejections = shard.ejections.load(std::memory_order_relaxed);
+        h.readmissions = shard.readmissions.load(std::memory_order_relaxed);
+        out.push_back(std::move(h));
+    }
+    return out;
+}
+
+}  // namespace hsw::router

@@ -1,0 +1,24 @@
+#include "router/server.hpp"
+
+#include <utility>
+
+namespace hsw::router {
+
+RouterServer::RouterServer(Router& router, RouterServerConfig cfg)
+    : router_{router} {
+    service::FrameServerConfig front;
+    front.bind_address = std::move(cfg.bind_address);
+    front.port = cfg.port;
+    front.max_connections = cfg.max_connections;
+    // Distinct prefix: in a fleet scrape, front-door connection counters
+    // must not sum into the shards' hsw_server_* family.
+    front.metric_prefix = "hsw_router_server";
+    frontend_ = std::make_unique<service::FrameServer>(
+        std::move(front),
+        [router = &router_](const service::protocol::Request& request) {
+            return router->handle(request);
+        },
+        [router = &router_] { router->stop(); });
+}
+
+}  // namespace hsw::router

@@ -1,0 +1,47 @@
+// RouterServer: the TCP face of a Router.
+//
+// Composes the same FrameServer front-end the shards use, so a fleet
+// client is just a ServiceClient pointed at the router -- same protocol,
+// same framing, same verbs. The `shutdown` verb stops the *router
+// process* only; shards are independent daemons with their own lifecycle
+// (hsw_fleet tears them down explicitly).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "router/router.hpp"
+#include "service/frame_server.hpp"
+
+namespace hsw::router {
+
+struct RouterServerConfig {
+    std::string bind_address = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port (read it back via port()).
+    std::uint16_t port = 0;
+    unsigned max_connections = 128;
+};
+
+class RouterServer {
+public:
+    /// `router` must outlive the server. Throws std::runtime_error on
+    /// socket failure.
+    RouterServer(Router& router, RouterServerConfig cfg = {});
+
+    RouterServer(const RouterServer&) = delete;
+    RouterServer& operator=(const RouterServer&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const { return frontend_->port(); }
+    void start() { frontend_->start(); }
+    void wait() { frontend_->wait(); }
+    void stop() { frontend_->stop(); }
+    [[nodiscard]] bool stopped() const { return frontend_->stopped(); }
+    [[nodiscard]] Router& router() { return router_; }
+
+private:
+    Router& router_;
+    std::unique_ptr<service::FrameServer> frontend_;
+};
+
+}  // namespace hsw::router

@@ -1,0 +1,227 @@
+#include "service/frame_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <memory>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hsw::service {
+
+namespace {
+
+void close_quietly(int fd) {
+    if (fd >= 0) ::close(fd);
+}
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw std::runtime_error{"bad IPv4 address: " + host};
+    }
+    return addr;
+}
+
+}  // namespace
+
+struct FrameServer::Metrics {
+    obs::Counter& connections;
+    obs::Counter& refused;
+    obs::Counter& frames;
+    obs::Counter& malformed;
+    obs::Gauge& open;
+
+    explicit Metrics(const std::string& prefix)
+        : connections{obs::counter(prefix + "_connections",
+                                   "TCP connections accepted")},
+          refused{obs::counter(prefix + "_connections_refused",
+                               "Connections refused at the admission cap")},
+          frames{obs::counter(prefix + "_frames",
+                              "Request frames read off the wire")},
+          malformed{obs::counter(prefix + "_frames_malformed",
+                                 "Frames that failed request parsing")},
+          open{obs::gauge(prefix + "_open_connections",
+                          "Connections currently being served")} {}
+};
+
+FrameServer::FrameServer(FrameServerConfig cfg, Handler handler,
+                         std::function<void()> on_drain)
+    : cfg_{std::move(cfg)},
+      handler_{std::move(handler)},
+      on_drain_{std::move(on_drain)},
+      metrics_{std::make_unique<Metrics>(cfg_.metric_prefix)} {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error{"socket() failed"};
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr = make_address(cfg_.bind_address, cfg_.port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        // system_category().message(), not strerror(): the latter returns a
+        // static buffer and is not thread-safe.
+        const std::string reason = std::system_category().message(errno);
+        close_quietly(fd);
+        throw std::runtime_error{"bind(" + cfg_.bind_address + ":" +
+                                 std::to_string(cfg_.port) + ") failed: " + reason};
+    }
+    if (::listen(fd, 64) != 0) {
+        close_quietly(fd);
+        throw std::runtime_error{"listen() failed"};
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        close_quietly(fd);
+        throw std::runtime_error{"getsockname() failed"};
+    }
+    port_ = ntohs(bound.sin_port);
+    listen_fd_.store(fd, std::memory_order_release);
+}
+
+FrameServer::~FrameServer() {
+    stop();
+    std::thread stopper;
+    {
+        util::LockGuard lock{stopper_lock_};
+        stopper.swap(stopper_);
+    }
+    if (stopper.joinable()) stopper.join();
+}
+
+void FrameServer::start() {
+    acceptor_ = std::thread{[this] { accept_loop(); }};
+}
+
+void FrameServer::wait() {
+    util::LockGuard lock{stopped_lock_};
+    while (!stopped_.load(std::memory_order_acquire)) stopped_cv_.wait(lock);
+}
+
+bool FrameServer::stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+void FrameServer::stop() {
+    std::call_once(stop_once_, [this] {
+        stopping_.store(true, std::memory_order_release);
+        // Closing the listener unblocks accept(); shutdown() first so a
+        // concurrent accept returns instead of racing the close.
+        const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+        if (fd >= 0) {
+            ::shutdown(fd, SHUT_RDWR);
+            ::close(fd);
+        }
+        if (acceptor_.joinable() &&
+            acceptor_.get_id() != std::this_thread::get_id()) {
+            acceptor_.join();
+        }
+        std::vector<std::thread> connections;
+        {
+            util::LockGuard lock{connections_lock_};
+            // Unblock connection threads parked in read_frame(): shut the
+            // sockets down (the owning thread still does the close()).
+            // shutdown() never blocks, so holding the lock here is fine.
+            for (const int open_fd : open_fds_) ::shutdown(open_fd, SHUT_RDWR);
+            connections.swap(connections_);
+        }
+        for (auto& t : connections) {
+            if (t.get_id() != std::this_thread::get_id()) t.join();
+        }
+        if (on_drain_) on_drain_();
+        {
+            util::LockGuard lock{stopped_lock_};
+            stopped_.store(true, std::memory_order_release);
+        }
+        stopped_cv_.notify_all();
+    });
+}
+
+void FrameServer::accept_loop() {
+    for (;;) {
+        const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+        if (listen_fd < 0) break;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            break;  // listener closed (stop()) or fatal error
+        }
+        if (stopping_.load(std::memory_order_acquire)) {
+            close_quietly(fd);
+            break;
+        }
+        if (open_connections_.load(std::memory_order_acquire) >=
+            cfg_.max_connections) {
+            // Structured refusal at the connection level, mirroring the
+            // service's admission control.
+            protocol::Response overload;
+            overload.code = protocol::ErrorCode::Overloaded;
+            overload.payload = "too many connections (max " +
+                               std::to_string(cfg_.max_connections) + ")";
+            protocol::write_frame(fd, overload.encode());
+            close_quietly(fd);
+            metrics_->refused.inc();
+            continue;
+        }
+        open_connections_.fetch_add(1, std::memory_order_acq_rel);
+        metrics_->connections.inc();
+        metrics_->open.add(1);
+        util::LockGuard lock{connections_lock_};
+        open_fds_.push_back(fd);
+        connections_.emplace_back([this, fd] { serve_connection(fd); });
+    }
+}
+
+void FrameServer::serve_connection(int fd) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    bool shutdown_verb = false;
+    while (!shutdown_verb) {
+        auto frame = protocol::read_frame(fd);
+        if (!frame) break;  // client closed or sent garbage framing
+        metrics_->frames.inc();
+
+        protocol::Response response;
+        std::string parse_error;
+        if (const auto request = protocol::parse_request(*frame, &parse_error)) {
+            if (request->verb == protocol::Verb::Shutdown) shutdown_verb = true;
+            obs::trace::Span span{"server.request", "service"};
+            span.set_label(protocol::name(request->verb));
+            response = handler_(*request);
+        } else {
+            metrics_->malformed.inc();
+            response.code = protocol::ErrorCode::MalformedRequest;
+            response.payload = parse_error;
+        }
+        if (!protocol::write_frame(fd, response.encode())) break;
+    }
+    {
+        util::LockGuard lock{connections_lock_};
+        std::erase(open_fds_, fd);
+    }
+    close_quietly(fd);
+    open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_->open.add(-1);
+
+    if (shutdown_verb) {
+        // A dedicated stopper thread drives the teardown: stop() joins the
+        // connection threads, so this thread must not run it itself. The
+        // destructor joins the stopper.
+        util::LockGuard lock{stopper_lock_};
+        if (!stopper_.joinable()) {
+            stopper_ = std::thread{[this] { stop(); }};
+        }
+    }
+}
+
+}  // namespace hsw::service

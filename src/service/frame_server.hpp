@@ -1,0 +1,114 @@
+// Generic loopback TCP front-end for hsw-survey-rpc handlers.
+//
+// FrameServer owns the accept loop, the thread-per-connection serving
+// model, and the shutdown choreography; what it serves is a callback.
+// SurveyServer (a shard) and RouterServer (the fleet front door) are both
+// thin compositions over it: parse a frame, hand the Request to the
+// handler, write the Response back. Connections may pipeline any number
+// of requests; a handler that blocks only stalls its own connection
+// thread, never accept().
+//
+// Shutdown paths converge on stop(): the `shutdown` verb, a signal
+// handler, or the owner calling it directly. stop() closes the listening
+// socket (unblocking accept), shuts down open connection sockets
+// (unblocking read_frame), joins every thread, then runs the drain hook.
+// The `shutdown` verb is special-cased here because the connection thread
+// that received it cannot join itself: a dedicated stopper thread drives
+// the teardown and the destructor reaps it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>  // std::once_flag
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/sync.hpp"
+
+namespace hsw::service {
+
+struct FrameServerConfig {
+    /// Loopback only by default; this is a measurement service, not an
+    /// internet-facing one.
+    std::string bind_address = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port (read it back via port()).
+    std::uint16_t port = 0;
+    /// Concurrent connections; excess connects receive one Overloaded
+    /// response and are closed.
+    unsigned max_connections = 64;
+    /// Prefix for the front-end's obs metrics: "<prefix>_connections",
+    /// "<prefix>_connections_refused", "<prefix>_frames",
+    /// "<prefix>_frames_malformed", "<prefix>_open_connections". Distinct
+    /// prefixes keep a router and a shard distinguishable in one scrape.
+    std::string metric_prefix = "hsw_server";
+};
+
+class FrameServer {
+public:
+    /// Answers one parsed request; runs on the connection thread. The
+    /// handler owns admission control for its own work -- FrameServer only
+    /// caps concurrent connections.
+    using Handler = std::function<protocol::Response(const protocol::Request&)>;
+
+    /// Binds and listens; throws std::runtime_error on socket failure.
+    /// `on_drain` (may be null) runs inside stop() after every connection
+    /// thread has been joined -- e.g. SurveyService::drain().
+    FrameServer(FrameServerConfig cfg, Handler handler,
+                std::function<void()> on_drain = {});
+    ~FrameServer();
+
+    FrameServer(const FrameServer&) = delete;
+    FrameServer& operator=(const FrameServer&) = delete;
+
+    /// The bound port (useful with cfg.port == 0).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Runs the accept loop on a background thread and returns.
+    void start();
+
+    /// Blocks until the server has stopped (shutdown verb or stop()).
+    void wait() EXCLUDES(stopped_lock_);
+
+    /// Idempotent: stop accepting, finish in-flight connections, run the
+    /// drain hook, join all threads.
+    void stop();
+
+    [[nodiscard]] bool stopped() const;
+
+private:
+    void accept_loop();
+    void serve_connection(int fd);
+
+    FrameServerConfig cfg_;
+    Handler handler_;
+    std::function<void()> on_drain_;
+    std::atomic<int> listen_fd_{-1};
+    std::uint16_t port_ = 0;
+
+    // Front-end metrics, resolved once from cfg_.metric_prefix.
+    struct Metrics;
+    std::unique_ptr<Metrics> metrics_;
+
+    std::thread acceptor_;
+    // Spawned by the `shutdown` verb so the connection thread itself is
+    // never asked to join itself; reaped by the destructor.
+    util::Mutex stopper_lock_;
+    std::thread stopper_ GUARDED_BY(stopper_lock_);
+    util::Mutex connections_lock_;
+    std::vector<std::thread> connections_ GUARDED_BY(connections_lock_);
+    // Sockets currently served; stop() shuts them down to unblock reads.
+    // Entries are removed (under the lock) before close(), so a shutdown
+    // can never hit a recycled descriptor.
+    std::vector<int> open_fds_ GUARDED_BY(connections_lock_);
+    std::atomic<unsigned> open_connections_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+    std::once_flag stop_once_;
+    util::Mutex stopped_lock_;
+    util::CondVar stopped_cv_;
+};
+
+}  // namespace hsw::service

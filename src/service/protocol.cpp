@@ -1,11 +1,13 @@
 #include "service/protocol.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
+#include "engine/sha256.hpp"
 #include "engine/spec.hpp"  // engine::name(AuditMode)
 
 namespace hsw::service::protocol {
@@ -97,7 +99,13 @@ bool read_exact(int fd, char* buf, std::size_t len) {
 
 bool write_all(int fd, const char* buf, std::size_t len) {
     while (len > 0) {
-        const ssize_t n = ::write(fd, buf, len);
+        // MSG_NOSIGNAL: writing into a socket whose peer died must surface
+        // as EPIPE (-> false -> the caller's failover path), not SIGPIPE
+        // killing the process. The router hits this on every shard death.
+        // Frames also flow over pipes (tests, future local IPC), where
+        // send() is ENOTSOCK -- fall back to plain write() there.
+        ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK) n = ::write(fd, buf, len);
         if (n < 0) {
             if (errno == EINTR) continue;
             return false;
@@ -117,6 +125,7 @@ std::string_view name(Verb v) {
         case Verb::Stats: return "stats";
         case Verb::Shutdown: return "shutdown";
         case Verb::Metrics: return "metrics";
+        case Verb::Health: return "health";
     }
     return "ping";
 }
@@ -139,6 +148,7 @@ std::string_view name(ErrorCode c) {
         case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
         case ErrorCode::ShuttingDown: return "shutting-down";
         case ErrorCode::Internal: return "internal";
+        case ErrorCode::Unavailable: return "unavailable";
     }
     return "internal";
 }
@@ -199,6 +209,8 @@ std::optional<Request> parse_request(std::string_view text, std::string* error) 
                 req.verb = Verb::Shutdown;
             } else if (value == "metrics") {
                 req.verb = Verb::Metrics;
+            } else if (value == "health") {
+                req.verb = Verb::Health;
             } else {
                 set_error(error, "unknown verb");
                 return std::nullopt;
@@ -265,6 +277,29 @@ std::optional<Request> parse_request(std::string_view text, std::string* error) 
     return req;
 }
 
+std::string route_key(const Request& req) {
+    if (req.verb != Verb::Query) {
+        return engine::sha256_hex(std::string{"verb:"} + std::string{name(req.verb)});
+    }
+    // Canonical identity text: the query fields that determine the payload
+    // bytes, in a fixed order. deadline-ms is a client-side QoS knob and
+    // format only applies to metrics, so neither participates.
+    std::string canon;
+    canon += "experiment " + req.experiment + '\n';
+    canon += "point " + req.point + '\n';
+    char seed_buf[32];
+    std::snprintf(seed_buf, sizeof seed_buf, "seed 0x%016llx\n",
+                  static_cast<unsigned long long>(req.seed));
+    canon += seed_buf;
+    canon += "audit ";
+    canon += engine::name(req.audit);
+    canon += '\n';
+    canon += "quick ";
+    canon += req.quick ? '1' : '0';
+    canon += '\n';
+    return engine::sha256_hex(canon);
+}
+
 std::string Response::encode() const {
     std::string out{kMagic};
     out += '\n';
@@ -307,7 +342,7 @@ std::optional<Response> parse_response(std::string_view text, std::string* error
                  {ErrorCode::MalformedRequest, ErrorCode::UnknownExperiment,
                   ErrorCode::UnknownPoint, ErrorCode::Overloaded,
                   ErrorCode::DeadlineExceeded, ErrorCode::ShuttingDown,
-                  ErrorCode::Internal}) {
+                  ErrorCode::Internal, ErrorCode::Unavailable}) {
                 if (value == name(c)) {
                     resp.code = c;
                     known = true;

@@ -26,6 +26,12 @@
 // "hsw-survey-rpc v1" or "hsw-survey-rpc v1.<minor>" so future minor
 // revisions can self-identify without breaking v1.0 peers.
 //
+// Since v1.2 a `health` verb gives fleet routers a cheap liveness /
+// readiness probe (response payload "ok" while serving, "draining" once
+// shutdown began). Pre-v1.2 servers answer it with MalformedRequest
+// ("unknown verb"); a router treats that as "legacy shard, probe via
+// metrics instead".
+//
 // Responses carry a status, a structured error code on rejection, the
 // payload's provenance (hot cache / disk cache / computed) on success, and
 // the payload bytes. A whole-experiment payload is a blob (see
@@ -49,16 +55,18 @@ inline constexpr std::string_view kMagic = "hsw-survey-rpc v1";
 /// peers interoperate untouched); parsers accept an optional ".<minor>"
 /// suffix, and the minor gates additive capabilities only:
 ///   v1.1  adds the `metrics` verb and its `format` field.
+///   v1.2  adds the `health` verb and the Unavailable error code.
 /// A v1.0 server answers a v1.1-only verb with MalformedRequest ("unknown
-/// verb"), which v1.1 clients treat as "server predates metrics".
-inline constexpr unsigned kProtocolMinor = 1;
+/// verb"), which v1.1 clients treat as "server predates metrics"; the same
+/// capability probe covers `health` against v1.1 shards.
+inline constexpr unsigned kProtocolMinor = 2;
 
 /// Hard ceiling on a single frame, request or response. Large enough for
 /// any assembled survey artifact set, small enough that a malicious or
 /// corrupt length prefix cannot balloon memory.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
-enum class Verb { Ping, Query, Stats, Shutdown, Metrics };
+enum class Verb { Ping, Query, Stats, Shutdown, Metrics, Health };
 
 /// Exposition format for the `metrics` verb (v1.1).
 enum class MetricsFormat { Prometheus, Json };
@@ -73,6 +81,7 @@ enum class ErrorCode {
     DeadlineExceeded = 5,  // request deadline elapsed before completion
     ShuttingDown = 6,      // service is draining
     Internal = 7,          // job threw; message carries the what()
+    Unavailable = 8,       // v1.2: router exhausted every replica of a shard
 };
 
 /// Provenance of a successful response's payload. A whole-experiment query
@@ -102,6 +111,16 @@ struct Request {
 /// reason suitable for a MalformedRequest response.
 [[nodiscard]] std::optional<Request> parse_request(std::string_view text,
                                                    std::string* error = nullptr);
+
+/// Stable routing identity of a query: the SHA-256 hex digest of the
+/// request's canonical identity fields (experiment, point, seed, audit,
+/// quick). Deliberately excludes deadline-ms and format -- two queries
+/// that would produce byte-identical payloads route identically, so a
+/// fleet's hot caches see every repeat of a spec on the same shard. A
+/// whole-experiment query ("point *") routes as one unit for the same
+/// reason. Non-query verbs hash their verb name (callers normally route
+/// those by policy, not by key).
+[[nodiscard]] std::string route_key(const Request& req);
 
 struct Response {
     ErrorCode code = ErrorCode::None;  // None == success

@@ -11,41 +11,12 @@
 #include <system_error>
 #include <utility>
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-
 namespace hsw::service {
 
 namespace {
 
 void close_quietly(int fd) {
     if (fd >= 0) ::close(fd);
-}
-
-obs::Counter& connections_counter() {
-    static obs::Counter& c =
-        obs::counter("hsw_server_connections", "TCP connections accepted");
-    return c;
-}
-obs::Counter& refused_counter() {
-    static obs::Counter& c = obs::counter(
-        "hsw_server_connections_refused", "Connections refused at the admission cap");
-    return c;
-}
-obs::Counter& frames_counter() {
-    static obs::Counter& c =
-        obs::counter("hsw_server_frames", "Request frames read off the wire");
-    return c;
-}
-obs::Counter& malformed_counter() {
-    static obs::Counter& c = obs::counter(
-        "hsw_server_frames_malformed", "Frames that failed request parsing");
-    return c;
-}
-obs::Gauge& open_connections_gauge() {
-    static obs::Gauge& g =
-        obs::gauge("hsw_server_open_connections", "Connections currently being served");
-    return g;
 }
 
 sockaddr_in make_address(const std::string& host, std::uint16_t port) {
@@ -60,170 +31,18 @@ sockaddr_in make_address(const std::string& host, std::uint16_t port) {
 
 }  // namespace
 
-SurveyServer::SurveyServer(ServerConfig cfg) : cfg_{std::move(cfg)} {
-    service_ = std::make_unique<SurveyService>(cfg_.service);
-
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw std::runtime_error{"socket() failed"};
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-    sockaddr_in addr = make_address(cfg_.bind_address, cfg_.port);
-    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-        // system_category().message(), not strerror(): the latter returns a
-        // static buffer and is not thread-safe.
-        const std::string reason = std::system_category().message(errno);
-        close_quietly(fd);
-        throw std::runtime_error{"bind(" + cfg_.bind_address + ":" +
-                                 std::to_string(cfg_.port) + ") failed: " + reason};
-    }
-    if (::listen(fd, 64) != 0) {
-        close_quietly(fd);
-        throw std::runtime_error{"listen() failed"};
-    }
-
-    sockaddr_in bound{};
-    socklen_t len = sizeof bound;
-    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-        close_quietly(fd);
-        throw std::runtime_error{"getsockname() failed"};
-    }
-    port_ = ntohs(bound.sin_port);
-    listen_fd_.store(fd, std::memory_order_release);
-}
-
-SurveyServer::~SurveyServer() {
-    stop();
-    std::thread stopper;
-    {
-        util::LockGuard lock{stopper_lock_};
-        stopper.swap(stopper_);
-    }
-    if (stopper.joinable()) stopper.join();
-}
-
-void SurveyServer::start() {
-    acceptor_ = std::thread{[this] { accept_loop(); }};
-}
-
-void SurveyServer::wait() {
-    util::LockGuard lock{stopped_lock_};
-    while (!stopped_.load(std::memory_order_acquire)) stopped_cv_.wait(lock);
-}
-
-bool SurveyServer::stopped() const { return stopped_.load(std::memory_order_acquire); }
-
-void SurveyServer::stop() {
-    std::call_once(stop_once_, [this] {
-        stopping_.store(true, std::memory_order_release);
-        // Closing the listener unblocks accept(); shutdown() first so a
-        // concurrent accept returns instead of racing the close.
-        const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
-        if (fd >= 0) {
-            ::shutdown(fd, SHUT_RDWR);
-            ::close(fd);
-        }
-        if (acceptor_.joinable() &&
-            acceptor_.get_id() != std::this_thread::get_id()) {
-            acceptor_.join();
-        }
-        std::vector<std::thread> connections;
-        {
-            util::LockGuard lock{connections_lock_};
-            // Unblock connection threads parked in read_frame(): shut the
-            // sockets down (the owning thread still does the close()).
-            // shutdown() never blocks, so holding the lock here is fine.
-            for (const int open_fd : open_fds_) ::shutdown(open_fd, SHUT_RDWR);
-            connections.swap(connections_);
-        }
-        for (auto& t : connections) {
-            if (t.get_id() != std::this_thread::get_id()) t.join();
-        }
-        service_->drain();
-        {
-            util::LockGuard lock{stopped_lock_};
-            stopped_.store(true, std::memory_order_release);
-        }
-        stopped_cv_.notify_all();
-    });
-}
-
-void SurveyServer::accept_loop() {
-    for (;;) {
-        const int listen_fd = listen_fd_.load(std::memory_order_acquire);
-        if (listen_fd < 0) break;
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR) continue;
-            break;  // listener closed (stop()) or fatal error
-        }
-        if (stopping_.load(std::memory_order_acquire)) {
-            close_quietly(fd);
-            break;
-        }
-        if (open_connections_.load(std::memory_order_acquire) >=
-            cfg_.max_connections) {
-            // Structured refusal at the connection level, mirroring the
-            // service's admission control.
-            protocol::Response overload;
-            overload.code = protocol::ErrorCode::Overloaded;
-            overload.payload = "too many connections (max " +
-                               std::to_string(cfg_.max_connections) + ")";
-            protocol::write_frame(fd, overload.encode());
-            close_quietly(fd);
-            refused_counter().inc();
-            continue;
-        }
-        open_connections_.fetch_add(1, std::memory_order_acq_rel);
-        connections_counter().inc();
-        open_connections_gauge().add(1);
-        util::LockGuard lock{connections_lock_};
-        open_fds_.push_back(fd);
-        connections_.emplace_back([this, fd] { serve_connection(fd); });
-    }
-}
-
-void SurveyServer::serve_connection(int fd) {
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-    bool shutdown_verb = false;
-    while (!shutdown_verb) {
-        auto frame = protocol::read_frame(fd);
-        if (!frame) break;  // client closed or sent garbage framing
-        frames_counter().inc();
-
-        protocol::Response response;
-        std::string parse_error;
-        if (const auto request = protocol::parse_request(*frame, &parse_error)) {
-            if (request->verb == protocol::Verb::Shutdown) shutdown_verb = true;
-            obs::trace::Span span{"server.request", "service"};
-            span.set_label(protocol::name(request->verb));
-            response = service_->handle(*request);
-        } else {
-            malformed_counter().inc();
-            response.code = protocol::ErrorCode::MalformedRequest;
-            response.payload = parse_error;
-        }
-        if (!protocol::write_frame(fd, response.encode())) break;
-    }
-    {
-        util::LockGuard lock{connections_lock_};
-        std::erase(open_fds_, fd);
-    }
-    close_quietly(fd);
-    open_connections_.fetch_sub(1, std::memory_order_acq_rel);
-    open_connections_gauge().add(-1);
-
-    if (shutdown_verb) {
-        // A dedicated stopper thread drives the teardown: stop() joins the
-        // connection threads, so this thread must not run it itself. The
-        // destructor joins the stopper.
-        util::LockGuard lock{stopper_lock_};
-        if (!stopper_.joinable()) {
-            stopper_ = std::thread{[this] { stop(); }};
-        }
-    }
+SurveyServer::SurveyServer(ServerConfig cfg)
+    : service_{std::make_unique<SurveyService>(cfg.service)} {
+    FrameServerConfig front;
+    front.bind_address = std::move(cfg.bind_address);
+    front.port = cfg.port;
+    front.max_connections = cfg.max_connections;
+    frontend_ = std::make_unique<FrameServer>(
+        std::move(front),
+        [svc = service_.get()](const protocol::Request& request) {
+            return svc->handle(request);
+        },
+        [svc = service_.get()] { svc->drain(); });
 }
 
 ServiceClient::ServiceClient(const std::string& host, std::uint16_t port) {

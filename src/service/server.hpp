@@ -1,12 +1,12 @@
 // Loopback TCP front-end for SurveyService.
 //
-// One acceptor thread plus one thread per connection; connections speak
-// the length-prefixed protocol (see protocol.hpp) and may pipeline any
-// number of requests. The connection threads only parse, dispatch to the
-// service (which enforces admission control on its own bounded pool), and
-// write responses -- so a slow compute never blocks accept(), and an
-// overloaded service answers with structured rejections instead of
-// stalling the socket.
+// SurveyServer composes the generic FrameServer accept loop (see
+// frame_server.hpp) with a SurveyService: connections speak the
+// length-prefixed protocol and may pipeline any number of requests. The
+// connection threads only parse, dispatch to the service (which enforces
+// admission control on its own bounded pool), and write responses -- so a
+// slow compute never blocks accept(), and an overloaded service answers
+// with structured rejections instead of stalling the socket.
 //
 // Shutdown paths converge on stop(): the `shutdown` verb, a signal
 // handler, or the owner calling it directly. stop() closes the listening
@@ -14,16 +14,12 @@
 // service, and joins every thread.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>  // std::once_flag
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "service/frame_server.hpp"
 #include "service/service.hpp"
-#include "util/sync.hpp"
 
 namespace hsw::service {
 
@@ -43,54 +39,30 @@ class SurveyServer {
 public:
     /// Binds and listens; throws std::runtime_error on socket failure.
     explicit SurveyServer(ServerConfig cfg = {});
-    ~SurveyServer();
 
     SurveyServer(const SurveyServer&) = delete;
     SurveyServer& operator=(const SurveyServer&) = delete;
 
     /// The bound port (useful with cfg.port == 0).
-    [[nodiscard]] std::uint16_t port() const { return port_; }
+    [[nodiscard]] std::uint16_t port() const { return frontend_->port(); }
 
     /// Runs the accept loop on a background thread and returns.
-    void start();
+    void start() { frontend_->start(); }
 
     /// Blocks until the server has stopped (shutdown verb or stop()).
-    void wait() EXCLUDES(stopped_lock_);
+    void wait() { frontend_->wait(); }
 
     /// Idempotent: stop accepting, finish in-flight connections, drain the
     /// service, join all threads.
-    void stop();
+    void stop() { frontend_->stop(); }
 
-    [[nodiscard]] bool stopped() const;
+    [[nodiscard]] bool stopped() const { return frontend_->stopped(); }
 
     [[nodiscard]] SurveyService& service() { return *service_; }
 
 private:
-    void accept_loop();
-    void serve_connection(int fd);
-
-    ServerConfig cfg_;
     std::unique_ptr<SurveyService> service_;
-    std::atomic<int> listen_fd_{-1};
-    std::uint16_t port_ = 0;
-
-    std::thread acceptor_;
-    // Spawned by the `shutdown` verb so the connection thread itself is
-    // never asked to join itself; reaped by the destructor.
-    util::Mutex stopper_lock_;
-    std::thread stopper_ GUARDED_BY(stopper_lock_);
-    util::Mutex connections_lock_;
-    std::vector<std::thread> connections_ GUARDED_BY(connections_lock_);
-    // Sockets currently served; stop() shuts them down to unblock reads.
-    // Entries are removed (under the lock) before close(), so a shutdown
-    // can never hit a recycled descriptor.
-    std::vector<int> open_fds_ GUARDED_BY(connections_lock_);
-    std::atomic<unsigned> open_connections_{0};
-    std::atomic<bool> stopping_{false};
-    std::atomic<bool> stopped_{false};
-    std::once_flag stop_once_;
-    util::Mutex stopped_lock_;
-    util::CondVar stopped_cv_;
+    std::unique_ptr<FrameServer> frontend_;  // after service_: stops first
 };
 
 /// Blocking protocol client used by hsw_query and the tests. One

@@ -450,6 +450,13 @@ protocol::Response SurveyService::handle(const protocol::Request& request) {
             shutdown_requested_.store(true, std::memory_order_release);
             response.payload = "draining";
             return response;
+        case protocol::Verb::Health:
+            // v1.2 liveness/readiness probe: cheap enough for a router to
+            // call every probe interval. "draining" tells the prober to
+            // eject the shard before the listener actually closes.
+            response.payload =
+                draining() || shutdown_requested() ? "draining" : "ok";
+            return response;
         case protocol::Verb::Query: {
             static obs::Counter& c_requests = obs::counter(
                 "hsw_service_requests", "Query verb requests received");

@@ -1,0 +1,41 @@
+// Small non-cryptographic hashing helpers for placement and sharding.
+//
+// The survey fleet's consistent-hash ring needs a fast, stable 64-bit
+// hash whose value never changes across platforms or standard-library
+// versions (std::hash gives no such guarantee, and ring placement is
+// effectively an on-disk format once a fleet is deployed: moving a
+// virtual node moves cached keys between shards). FNV-1a is stable and
+// trivially portable; the splitmix64 finalizer fixes its weak avalanche
+// on short inputs so ring points spread uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hsw::util {
+
+/// FNV-1a over bytes; stable across platforms and releases.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/// Placement hash used for ring points and key lookup: FNV-1a mixed
+/// through splitmix64 so short keys (host:port#vnode) avalanche fully.
+[[nodiscard]] constexpr std::uint64_t placement_hash(std::string_view bytes) noexcept {
+    return mix64(fnv1a64(bytes));
+}
+
+}  // namespace hsw::util

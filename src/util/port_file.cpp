@@ -1,0 +1,45 @@
+#include "util/port_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+namespace hsw::util {
+
+bool write_port_file(const std::string& path, std::uint16_t port) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (!f) return false;
+    const bool wrote = std::fprintf(f, "%u\n", static_cast<unsigned>(port)) > 0;
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::uint16_t> read_port_file(const std::string& path,
+                                            std::chrono::milliseconds timeout) {
+    const auto poll = std::chrono::milliseconds{20};
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+        {
+            std::ifstream in{path};
+            unsigned long port = 0;
+            if (in && (in >> port) && port > 0 && port <= 65535) {
+                return static_cast<std::uint16_t>(port);
+            }
+        }
+        if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        std::this_thread::sleep_for(poll);
+    }
+}
+
+void remove_port_file(const std::string& path) { std::remove(path.c_str()); }
+
+}  // namespace hsw::util

@@ -1,0 +1,32 @@
+// Port-file publish/subscribe between a daemon and its launchers.
+//
+// A daemon bound to port 0 learns its real port only after listen(); the
+// launcher (hsw_fleet, CI scripts, hsw_query --port-file) discovers it by
+// polling a small file. Publication is atomic -- write to `path.tmp`,
+// then rename over `path`, the same idiom ResultCache uses for payload
+// stores -- so a reader never observes a half-written number. The daemon
+// removes the file on graceful shutdown so a relauncher never connects to
+// a stale port owned by a dead (or worse, unrelated) process.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hsw::util {
+
+/// Atomically publish `port` to `path` (tmp + rename). Returns false if
+/// the temp file cannot be written or the rename fails.
+bool write_port_file(const std::string& path, std::uint16_t port);
+
+/// Poll `path` until it contains a valid port (1..65535) or `timeout`
+/// elapses. Polls every 20 ms; returns nullopt on timeout.
+std::optional<std::uint16_t> read_port_file(
+    const std::string& path,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds{5000});
+
+/// Remove a published port file; missing files are not an error.
+void remove_port_file(const std::string& path);
+
+}  // namespace hsw::util

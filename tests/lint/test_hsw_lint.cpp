@@ -39,8 +39,8 @@ std::vector<Finding> findings_for(const std::string& file_suffix) {
 
 TEST(HswLint, FixtureTreeScansAllFiles) {
     const auto result = lint_tree({kFixtures});
-    // 10 .cpp fixtures + the fixture catalog header.
-    EXPECT_EQ(result.files_scanned, 11u);
+    // 12 .cpp fixtures + the fixture catalog header.
+    EXPECT_EQ(result.files_scanned, 13u);
 }
 
 TEST(HswLint, WallClockInSimFires) {
@@ -86,6 +86,20 @@ TEST(HswLint, LayeringViolationsFirePerInclude) {
     ASSERT_EQ(found.size(), 2u);
     EXPECT_EQ(found[0].rule, "include-layering");
     EXPECT_EQ(found[1].rule, "include-layering");
+}
+
+TEST(HswLint, RouterReachingBelowServiceFires) {
+    const auto found = findings_for("router/layering_violation.cpp");
+    ASSERT_EQ(found.size(), 2u);
+    EXPECT_EQ(found[0].rule, "include-layering");
+    EXPECT_EQ(found[1].rule, "include-layering");
+}
+
+TEST(HswLint, LowerLayerIncludingRouterFires) {
+    const auto found = findings_for("core/includes_router_violation.cpp");
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].rule, "include-layering");
+    EXPECT_EQ(found[0].line, 3);
 }
 
 TEST(HswLint, RawMsrAddressFires) {

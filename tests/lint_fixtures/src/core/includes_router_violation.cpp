@@ -1,0 +1,9 @@
+// Violates include-layering: router/ is the top of the service stack;
+// nothing below it may depend on fleet routing.
+#include "router/fleet_map.hpp"
+
+namespace hsw::core {
+
+void fixture_noop() {}
+
+}  // namespace hsw::core

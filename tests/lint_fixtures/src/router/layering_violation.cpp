@@ -1,0 +1,10 @@
+// Violates include-layering twice: the router must route compute through
+// service/, never reach into the engine or the simulator directly.
+#include "engine/executor.hpp"
+#include "sim/clock.hpp"
+
+namespace hsw::router {
+
+void fixture_noop() {}
+
+}  // namespace hsw::router

@@ -1,0 +1,175 @@
+// Fleet-side metrics plumbing: the JSON snapshot round trip, union
+// merging across processes, and the labeled / fleet exposition formats
+// the router serves to hsw_top --fleet.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+using hsw::obs::CounterSample;
+using hsw::obs::GaugeSample;
+using hsw::obs::HistogramSample;
+using hsw::obs::merge_snapshots;
+using hsw::obs::MetricsSnapshot;
+using hsw::obs::parse_snapshot_json;
+using hsw::obs::render_fleet_json;
+using hsw::obs::render_fleet_prometheus;
+
+namespace {
+
+MetricsSnapshot sample_snapshot(std::uint64_t scale) {
+    MetricsSnapshot snap;
+    snap.counters.push_back({"requests", "", 7 * scale});
+    snap.counters.push_back({"rejects", "", scale});
+    snap.gauges.push_back({"queue_depth", "", static_cast<std::int64_t>(3 * scale)});
+    HistogramSample h;
+    h.name = "latency_ms";
+    h.bounds = {1.0, 2.0, 4.0};
+    h.counts = {5 * scale, 0, 2 * scale, scale};
+    h.count = 8 * scale;
+    h.sum = 13.5 * static_cast<double>(scale);
+    snap.histograms.push_back(std::move(h));
+    return snap;
+}
+
+}  // namespace
+
+TEST(MetricsMergeTest, JsonSnapshotRoundTripIsLossless) {
+    const MetricsSnapshot snap = sample_snapshot(1);
+    std::string error;
+    const auto parsed = parse_snapshot_json(snap.render_json(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+
+    ASSERT_EQ(parsed->counters.size(), 2u);
+    EXPECT_EQ(parsed->find_counter("requests")->value, 7u);
+    EXPECT_EQ(parsed->find_counter("rejects")->value, 1u);
+    EXPECT_EQ(parsed->find_gauge("queue_depth")->value, 3);
+
+    const auto* h = parsed->find_histogram("latency_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->bounds, (std::vector<double>{1.0, 2.0, 4.0}));
+    EXPECT_EQ(h->counts, (std::vector<std::uint64_t>{5, 0, 2, 1}));
+    EXPECT_EQ(h->count, 8u);
+    EXPECT_DOUBLE_EQ(h->sum, 13.5);
+    // Buckets survived, so quantiles still work after the round trip.
+    EXPECT_FALSE(std::isnan(h->p50()));
+}
+
+TEST(MetricsMergeTest, ParseRejectsMalformedSnapshots) {
+    std::string error;
+    EXPECT_FALSE(parse_snapshot_json("not json at all", &error).has_value());
+    EXPECT_FALSE(error.empty());
+
+    EXPECT_FALSE(parse_snapshot_json("[1,2,3]", &error).has_value());
+    EXPECT_FALSE(parse_snapshot_json(R"({"counters":{"a":"NaN"}})", &error)
+                     .has_value());
+    // counts must be bounds+1 long (the +Inf bucket).
+    EXPECT_FALSE(
+        parse_snapshot_json(
+            R"({"histograms":{"h":{"bounds":[1.0],"counts":[1],"count":1,"sum":1.0}}})",
+            &error)
+            .has_value());
+    EXPECT_NE(error.find("histogram"), std::string::npos);
+}
+
+TEST(MetricsMergeTest, MergeSumsCountersGaugesAndCompatibleHistograms) {
+    const std::vector<MetricsSnapshot> parts = {sample_snapshot(1),
+                                                sample_snapshot(2)};
+    const MetricsSnapshot merged = merge_snapshots(parts);
+
+    EXPECT_EQ(merged.find_counter("requests")->value, 21u);
+    EXPECT_EQ(merged.find_counter("rejects")->value, 3u);
+    EXPECT_EQ(merged.find_gauge("queue_depth")->value, 9);
+
+    const auto* h = merged.find_histogram("latency_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 24u);
+    EXPECT_DOUBLE_EQ(h->sum, 40.5);
+    EXPECT_EQ(h->counts, (std::vector<std::uint64_t>{15, 0, 6, 3}));
+}
+
+TEST(MetricsMergeTest, MergeIsUnionOverDisjointNames) {
+    MetricsSnapshot a, b;
+    a.counters.push_back({"only_a", "", 1});
+    b.counters.push_back({"only_b", "", 2});
+    const std::vector<MetricsSnapshot> parts = {a, b};
+    const MetricsSnapshot merged = merge_snapshots(parts);
+    ASSERT_EQ(merged.counters.size(), 2u);
+    EXPECT_EQ(merged.find_counter("only_a")->value, 1u);
+    EXPECT_EQ(merged.find_counter("only_b")->value, 2u);
+}
+
+TEST(MetricsMergeTest, IncompatibleHistogramBoundsDegradeToCountAndSum) {
+    MetricsSnapshot a = sample_snapshot(1);
+    MetricsSnapshot b = sample_snapshot(1);
+    b.histograms[0].bounds = {10.0, 20.0, 40.0};  // different binning
+
+    const std::vector<MetricsSnapshot> parts = {a, b};
+    const MetricsSnapshot merged = merge_snapshots(parts);
+    const auto* h = merged.find_histogram("latency_ms");
+    ASSERT_NE(h, nullptr);
+    // Exact aggregates survive; per-bucket detail is dropped, never
+    // re-binned by guesswork.
+    EXPECT_EQ(h->count, 16u);
+    EXPECT_DOUBLE_EQ(h->sum, 27.0);
+    EXPECT_TRUE(h->bounds.empty());
+    EXPECT_TRUE(h->counts.empty());
+    EXPECT_TRUE(std::isnan(h->quantile(0.5)));
+}
+
+TEST(MetricsMergeTest, LabeledPrometheusRenderTagsEverySample) {
+    const MetricsSnapshot snap = sample_snapshot(1);
+    const std::string text = snap.render_prometheus("shard=\"s0\"");
+    EXPECT_NE(text.find("requests_total{shard=\"s0\"} 7"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("queue_depth{shard=\"s0\"} 3"), std::string::npos);
+    // Histogram buckets compose the shard label with le.
+    EXPECT_NE(text.find("latency_ms_bucket{shard=\"s0\",le=\"1\"} 5"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("latency_ms_count{shard=\"s0\"} 8"), std::string::npos);
+}
+
+TEST(MetricsMergeTest, FleetPrometheusEmitsMergedThenPerShardSeries) {
+    const std::vector<std::pair<std::string, MetricsSnapshot>> shards = {
+        {"s0", sample_snapshot(1)}, {"s1", sample_snapshot(2)}};
+    std::vector<MetricsSnapshot> parts;
+    for (const auto& [name, snap] : shards) parts.push_back(snap);
+    const MetricsSnapshot merged = merge_snapshots(parts);
+
+    const std::string text = render_fleet_prometheus(merged, shards);
+    // One TYPE header per family even with three sample sets.
+    std::size_t type_lines = 0, at = 0;
+    while ((at = text.find("# TYPE requests counter", at)) !=
+           std::string::npos) {
+        ++type_lines;
+        ++at;
+    }
+    EXPECT_EQ(type_lines, 1u);
+    EXPECT_NE(text.find("requests_total 21"), std::string::npos) << text;
+    EXPECT_NE(text.find("requests_total{shard=\"s0\"} 7"), std::string::npos);
+    EXPECT_NE(text.find("requests_total{shard=\"s1\"} 14"), std::string::npos);
+}
+
+TEST(MetricsMergeTest, FleetJsonStaysParseableAsAPlainSnapshot) {
+    const std::vector<std::pair<std::string, MetricsSnapshot>> shards = {
+        {"s0", sample_snapshot(1)}, {"s1", sample_snapshot(2)}};
+    std::vector<MetricsSnapshot> parts;
+    for (const auto& [name, snap] : shards) parts.push_back(snap);
+    const MetricsSnapshot merged = merge_snapshots(parts);
+
+    const std::string doc = render_fleet_json(merged, shards);
+    // Single-process consumers (hsw_top without --fleet) read the merged
+    // top level and never notice the extra "shards" key.
+    std::string error;
+    const auto reparsed = parse_snapshot_json(doc, &error);
+    ASSERT_TRUE(reparsed.has_value()) << error;
+    EXPECT_EQ(reparsed->find_counter("requests")->value, 21u);
+    // Fleet consumers find the per-shard breakdown.
+    EXPECT_NE(doc.find("\"shards\":{\"s0\":{"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"s1\":{"), std::string::npos);
+}

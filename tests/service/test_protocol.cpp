@@ -256,3 +256,77 @@ TEST(ProtocolTest, OldServerAnswersMetricsVerbWithUnknownVerb) {
         parse_request("hsw-survey-rpc v1\nverb telemetry\n", &error).has_value());
     EXPECT_EQ(error, "unknown verb");
 }
+
+TEST(ProtocolTest, MultiDigitMinorRevisionIsAccepted) {
+    // "v1.10" must parse as minor ten, not be confused with "v1.1" plus a
+    // stray zero: the minor is the whole digit run after the dot.
+    const auto parsed = parse_request("hsw-survey-rpc v1.10\nverb ping\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->verb, Verb::Ping);
+}
+
+TEST(ProtocolTest, TrailingJunkAfterMinorIsRejected) {
+    // Additive minors are digits only; any suffix is a different (future,
+    // incompatible) dialect and must not half-parse.
+    EXPECT_FALSE(parse_request("hsw-survey-rpc v1.2beta\nverb ping\n").has_value());
+    EXPECT_FALSE(parse_request("hsw-survey-rpc v1.2.3\nverb ping\n").has_value());
+    EXPECT_FALSE(parse_request("hsw-survey-rpc v1.2 \nverb ping\n").has_value());
+}
+
+TEST(ProtocolTest, HealthVerbRoundTrips) {
+    Request req;
+    req.verb = Verb::Health;
+    const std::string wire = req.encode();
+    EXPECT_NE(wire.find("verb health\n"), std::string::npos);
+    const auto parsed = parse_request(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->verb, Verb::Health);
+}
+
+TEST(ProtocolTest, HealthVerbAgainstV11ServerIsUnknownVerb) {
+    // The router's capability probe depends on this exact failure mode: a
+    // v1.1 shard rejects `health` as an unknown verb (MalformedRequest on
+    // the wire), and the router falls back to probing via `metrics`.
+    std::string error;
+    EXPECT_FALSE(
+        parse_request("hsw-survey-rpc v1\nverb nothealth\n", &error).has_value());
+    EXPECT_EQ(error, "unknown verb");
+}
+
+TEST(ProtocolTest, UnavailableCodeRoundTrips) {
+    Response resp;
+    resp.code = ErrorCode::Unavailable;
+    resp.payload = "every replica of shard fig3 is down";
+    const auto parsed = parse_response(resp.encode());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(parsed->ok());
+    EXPECT_EQ(parsed->code, ErrorCode::Unavailable);
+    EXPECT_EQ(name(ErrorCode::Unavailable), "unavailable");
+}
+
+TEST(ProtocolTest, RouteKeyIsContentIdentityOnly) {
+    Request req;
+    req.verb = Verb::Query;
+    req.experiment = "fig7";
+    req.point = "stride=64";
+    req.seed = 42;
+    const std::string key = route_key(req);
+    EXPECT_EQ(key.size(), 64u);  // sha256 hex
+
+    // Delivery preferences must not move a key between shards: the same
+    // spec with a different deadline or metrics format routes identically.
+    Request other = req;
+    other.deadline_ms = 9999;
+    EXPECT_EQ(route_key(other), key);
+
+    // Identity fields do move it.
+    other = req;
+    other.seed = 43;
+    EXPECT_NE(route_key(other), key);
+    other = req;
+    other.point = "stride=128";
+    EXPECT_NE(route_key(other), key);
+    other = req;
+    other.quick = true;
+    EXPECT_NE(route_key(other), key);
+}

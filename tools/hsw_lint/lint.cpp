@@ -222,13 +222,24 @@ std::string layering_violation(const std::string& from_module,
                    "include \"" + header + "\"";
         }
     }
-    if (target == "service" && from_module != "service" && !from_module.empty()) {
-        return "only service/ may include service internals, not " + from_module;
+    if (from_module == "router" && target != "router" && target != "service" &&
+        target != "obs" && target != "util") {
+        return "router sits atop service and may only include router/, "
+               "service/, obs/ and util/, not \"" + header + "\"";
+    }
+    if (target == "service" && from_module != "service" &&
+        from_module != "router" && !from_module.empty()) {
+        return "only service/ and router/ may include service internals, not " +
+               from_module;
     }
     if (target == "engine" && from_module != "engine" && from_module != "service" &&
         !from_module.empty()) {
         return "only engine/ and service/ may include engine internals, not " +
                from_module;
+    }
+    if (target == "router" && from_module != "router" && !from_module.empty()) {
+        return "router is the top of the service stack; " + from_module +
+               " must not include \"" + header + "\"";
     }
     return {};
 }
@@ -310,8 +321,8 @@ struct FileScanner {
     void scan_tokens(int lineno, const std::vector<std::string>& allows,
                      const std::string& stripped) {
         const bool det_module = module == "sim" || module == "engine";
-        const bool wrapper_module =
-            module == "engine" || module == "service" || module == "obs";
+        const bool wrapper_module = module == "engine" || module == "service" ||
+                                    module == "obs" || module == "router";
 
         if (wrapper_module) {
             for (const auto type : kStdSyncTypes) {

@@ -12,17 +12,21 @@
 // duplicate ratio controls how many requests share a spec (and therefore
 // exercise the daemon's coalescing and hot cache) versus carrying a unique
 // seed (forcing a fresh computation).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/blob.hpp"
 #include "service/server.hpp"
+#include "util/hash.hpp"
+#include "util/port_file.hpp"
 #include "util/stats.hpp"
 
 using namespace hsw;
@@ -41,6 +45,9 @@ int usage(const char* argv0, int code) {
         "  --host ADDR          daemon address (default: 127.0.0.1)\n"
         "  --port P             daemon port\n"
         "  --port-file PATH     read the port from PATH (polls up to 5 s)\n"
+        "  --retries N          retry a refused connect or failed request up\n"
+        "                       to N times with exponential backoff + jitter\n"
+        "                       (default: 0 = fail immediately)\n"
         "\n"
         "single query:\n"
         "  --experiment NAME    experiment to fetch (e.g. fig3)\n"
@@ -80,19 +87,45 @@ bool parse_unsigned(const char* text, unsigned long& out, unsigned long max) {
     return true;
 }
 
-/// Polls PATH until it holds a port number; hsw_surveyd publishes the file
-/// atomically once its socket is bound.
-std::optional<std::uint16_t> read_port_file(const std::string& path) {
-    for (int attempt = 0; attempt < 250; ++attempt) {
-        std::ifstream in{path};
-        unsigned long port = 0;
-        if (in && (in >> port) && port > 0 && port <= 65535) {
-            return static_cast<std::uint16_t>(port);
+/// Retrying protocol client: reconnects and re-sends on transport errors,
+/// with exponential backoff + deterministic jitter between attempts.
+/// Queries are idempotent (content-addressed results), so re-sending a
+/// request whose response was lost is always safe.
+class RetryingClient {
+public:
+    RetryingClient(std::string host, std::uint16_t port, unsigned retries)
+        : host_{std::move(host)}, port_{port}, retries_{retries} {}
+
+    [[nodiscard]] service::protocol::Response call(
+        const service::protocol::Request& request) {
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                if (!client_) client_.emplace(host_, port_);
+                return client_->call(request);
+            } catch (const std::exception&) {
+                client_.reset();  // stale stream: reconnect on next attempt
+                if (attempt >= retries_) throw;
+                std::this_thread::sleep_for(backoff(attempt));
+            }
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds{20});
     }
-    return std::nullopt;
-}
+
+private:
+    [[nodiscard]] std::chrono::milliseconds backoff(unsigned attempt) {
+        // 50ms, 100ms, 200ms, ... capped at 2s, plus jitter in [0, 50ms)
+        // from a splitmix64 walk so colliding clients desynchronize.
+        const std::uint64_t draw = util::mix64(jitter_state_++);
+        const long long exp = 50LL << (attempt < 6 ? attempt : 6);
+        return std::chrono::milliseconds{
+            std::min<long long>(exp, 2000) + static_cast<long long>(draw % 50)};
+    }
+
+    std::string host_;
+    std::uint16_t port_;
+    unsigned retries_;
+    std::uint64_t jitter_state_ = 0x5EED;
+    std::optional<service::ServiceClient> client_;
+};
 
 std::vector<std::string> split_commas(const std::string& list) {
     std::vector<std::string> out;
@@ -134,6 +167,7 @@ int main(int argc, char** argv) {
     service::protocol::MetricsFormat metrics_format =
         service::protocol::MetricsFormat::Prometheus;
     unsigned threads = 4;
+    unsigned retries = 0;
     unsigned long requests = 64;
     double duplicate_ratio = 0.5;
     std::vector<std::string> mix;
@@ -217,6 +251,10 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (!v || !parse_unsigned(v, n, 1u << 30)) return usage(argv[0], 2);
             request.deadline_ms = static_cast<std::uint32_t>(n);
+        } else if (arg == "--retries") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, 100)) return usage(argv[0], 2);
+            retries = static_cast<unsigned>(n);
         } else if (arg == "--threads") {
             const char* v = value();
             if (!v || !parse_unsigned(v, n, 256) || n == 0) return usage(argv[0], 2);
@@ -246,7 +284,7 @@ int main(int argc, char** argv) {
     }
 
     if (!port_file.empty()) {
-        const auto p = read_port_file(port_file);
+        const auto p = util::read_port_file(port_file);
         if (!p) {
             std::fprintf(stderr, "hsw_query: no port in %s after 5 s\n",
                          port_file.c_str());
@@ -261,7 +299,7 @@ int main(int argc, char** argv) {
 
     try {
         if (ping || stats || metrics || shutdown) {
-            service::ServiceClient client{host, port};
+            RetryingClient client{host, port, retries};
             service::protocol::Request verb;
             verb.verb = ping      ? service::protocol::Verb::Ping
                         : stats   ? service::protocol::Verb::Stats
@@ -289,7 +327,7 @@ int main(int argc, char** argv) {
                 workers.emplace_back([&, t] {
                     BenchSlice& slice = slices[t];
                     try {
-                        service::ServiceClient client{host, port};
+                        RetryingClient client{host, port, retries};
                         for (std::uint64_t i = t; i < total; i += threads) {
                             service::protocol::Request r = request;
                             r.experiment = mix[i % mix.size()];
@@ -375,7 +413,7 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "hsw_query: --experiment required\n");
             return 2;
         }
-        service::ServiceClient client{host, port};
+        RetryingClient client{host, port, retries};
         const auto response = client.call(request);
         if (!response.ok()) {
             std::fprintf(stderr, "hsw_query: %s: %s\n",

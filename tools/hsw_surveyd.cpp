@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/server.hpp"
+#include "util/port_file.hpp"
 
 using namespace hsw;
 
@@ -146,18 +147,11 @@ int main(int argc, char** argv) {
 
     if (!port_file.empty()) {
         // Atomic publish (tmp + rename) so a polling client never reads a
-        // half-written port number.
-        const std::string tmp = port_file + ".tmp";
-        std::FILE* f = std::fopen(tmp.c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "hsw_surveyd: cannot write %s\n", tmp.c_str());
-            server->stop();
-            return 1;
-        }
-        std::fprintf(f, "%u\n", static_cast<unsigned>(server->port()));
-        std::fclose(f);
-        if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
-            std::fprintf(stderr, "hsw_surveyd: cannot rename %s\n", tmp.c_str());
+        // half-written port number; removed again on graceful shutdown so
+        // a fleet launcher can never dial a dead daemon's stale port.
+        if (!util::write_port_file(port_file, server->port())) {
+            std::fprintf(stderr, "hsw_surveyd: cannot write %s\n",
+                         port_file.c_str());
             server->stop();
             return 1;
         }
@@ -189,6 +183,7 @@ int main(int argc, char** argv) {
         }
     }
     server->wait();
+    if (!port_file.empty()) util::remove_port_file(port_file);
 
     // A short-lived daemon run should leave a usable record: the final
     // ServiceStats block plus the full metrics snapshot, then the trace.

@@ -8,6 +8,11 @@
 // cache hit ratios at every tier, and latency quantiles from the
 // request-latency histogram. `--once` prints a single snapshot and exits,
 // which is what the CI smoke job uses.
+//
+// Pointed at an hsw_router (or hsw_fleet) instead, `--fleet` adds the
+// per-shard breakdown the router embeds under the "shards" key of its
+// aggregated metrics document; without the flag the merged top level
+// renders exactly like a single daemon's.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,7 +44,9 @@ int usage(const char* argv0, int code) {
         "  --port-file F    read the port from F (written by hsw_surveyd)\n"
         "  --interval-ms N  poll interval (default: 1000)\n"
         "  --count N        exit after N refreshes (default: run forever)\n"
-        "  --once           print one snapshot without screen control, exit\n",
+        "  --once           print one snapshot without screen control, exit\n"
+        "  --fleet          render the per-shard breakdown a router embeds\n"
+        "                   under \"shards\" (needs an hsw_router target)\n",
         argv0);
     return code;
 }
@@ -77,32 +84,12 @@ struct Sample {
     std::chrono::steady_clock::time_point when;
 };
 
-std::optional<Sample> fetch(service::ServiceClient& client, std::string& error) {
-    service::protocol::Request request;
-    request.verb = service::protocol::Verb::Metrics;
-    request.format = service::protocol::MetricsFormat::Json;
-    service::protocol::Response response;
-    try {
-        response = client.call(request);
-    } catch (const std::exception& e) {
-        error = e.what();
-        return std::nullopt;
-    }
-    if (!response.ok()) {
-        error = "daemon error: " + std::string{service::protocol::name(response.code)};
-        return std::nullopt;
-    }
-    const std::optional<util::json::Value> doc = util::json::parse(response.payload, &error);
-    if (!doc || !doc->is_object()) {
-        if (error.empty()) error = "metrics payload is not a JSON object";
-        return std::nullopt;
-    }
-
+Sample decode_sample(const util::json::Value& doc) {
     Sample s;
     s.when = std::chrono::steady_clock::now();
-    const util::json::Value* counters = doc->find("counters");
-    const util::json::Value* gauges = doc->find("gauges");
-    const util::json::Value* histograms = doc->find("histograms");
+    const util::json::Value* counters = doc.find("counters");
+    const util::json::Value* gauges = doc.find("gauges");
+    const util::json::Value* histograms = doc.find("histograms");
     const auto counter = [&](const char* metric) {
         return counters ? counters->number_or(metric, 0.0) : 0.0;
     };
@@ -137,20 +124,69 @@ std::optional<Sample> fetch(service::ServiceClient& client, std::string& error) 
     return s;
 }
 
+/// The merged fleet-level view plus (when the target is a router and
+/// --fleet asked for it) one Sample per shard, in document order.
+struct FleetSample {
+    Sample merged;
+    std::vector<std::pair<std::string, Sample>> shards;
+};
+
+std::optional<FleetSample> fetch(service::ServiceClient& client, bool fleet,
+                                 std::string& error) {
+    service::protocol::Request request;
+    request.verb = service::protocol::Verb::Metrics;
+    request.format = service::protocol::MetricsFormat::Json;
+    service::protocol::Response response;
+    try {
+        response = client.call(request);
+    } catch (const std::exception& e) {
+        error = e.what();
+        return std::nullopt;
+    }
+    if (!response.ok()) {
+        error = "daemon error: " + std::string{service::protocol::name(response.code)};
+        return std::nullopt;
+    }
+    const std::optional<util::json::Value> doc = util::json::parse(response.payload, &error);
+    if (!doc || !doc->is_object()) {
+        if (error.empty()) error = "metrics payload is not a JSON object";
+        return std::nullopt;
+    }
+
+    FleetSample out;
+    out.merged = decode_sample(*doc);
+    if (fleet) {
+        const util::json::Value* shards = doc->find("shards");
+        if (!shards || !shards->is_object()) {
+            error = "no \"shards\" key in metrics payload -- is the target an "
+                    "hsw_router?";
+            return std::nullopt;
+        }
+        for (const auto& [name, snapshot] : shards->as_object()) {
+            out.shards.emplace_back(name, decode_sample(snapshot));
+        }
+    }
+    return out;
+}
+
 double ratio_pct(double hits, double misses) {
     const double total = hits + misses;
     return total > 0.0 ? 100.0 * hits / total : 0.0;
 }
 
-void render(const Sample& now, const Sample* prev, const std::string& target,
-            bool screen_control) {
+double request_rate(const Sample& now, const Sample* prev) {
+    if (!prev) return 0.0;
+    const double dt = std::chrono::duration<double>(now.when - prev->when).count();
+    return dt > 0.0 ? (now.requests - prev->requests) / dt : 0.0;
+}
+
+void render(const FleetSample& fs, const FleetSample* prev_fs,
+            const std::string& target, bool screen_control) {
     if (screen_control) std::fputs("\x1b[H\x1b[2J", stdout);
 
-    double rate = 0.0;
-    if (prev) {
-        const double dt = std::chrono::duration<double>(now.when - prev->when).count();
-        if (dt > 0.0) rate = (now.requests - prev->requests) / dt;
-    }
+    const Sample& now = fs.merged;
+    const Sample* prev = prev_fs ? &prev_fs->merged : nullptr;
+    const double rate = request_rate(now, prev);
 
     std::printf("hsw_top -- %s\n\n", target.c_str());
     std::printf("requests    %10.0f total   %8.1f req/s   completed %.0f   rejected %.0f\n",
@@ -170,6 +206,26 @@ void render(const Sample& now, const Sample* prev, const std::string& target,
                 now.result_cache_hits + now.result_cache_misses);
     std::printf("server      connections %.0f (open %.0f)   frames %.0f   malformed %.0f\n",
                 now.connections, now.open_connections, now.frames, now.malformed);
+
+    if (!fs.shards.empty()) {
+        std::printf("\n%-12s %10s %9s %7s %9s %9s\n", "shard", "requests",
+                    "req/s", "hot%", "computed", "p99 ms");
+        for (const auto& [name, shard] : fs.shards) {
+            const Sample* shard_prev = nullptr;
+            if (prev_fs) {
+                for (const auto& [prev_name, prev_sample] : prev_fs->shards) {
+                    if (prev_name == name) {
+                        shard_prev = &prev_sample;
+                        break;
+                    }
+                }
+            }
+            std::printf("%-12s %10.0f %9.1f %6.1f%% %9.0f %9.3f\n", name.c_str(),
+                        shard.requests, request_rate(shard, shard_prev),
+                        ratio_pct(shard.hot_cache_hits, shard.hot_cache_misses),
+                        shard.computed, shard.lat_p99);
+        }
+    }
     std::fflush(stdout);
 }
 
@@ -182,6 +238,7 @@ int main(int argc, char** argv) {
     unsigned long interval_ms = 1000;
     unsigned long count = 0;  // 0 = forever
     bool once = false;
+    bool fleet = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -190,6 +247,8 @@ int main(int argc, char** argv) {
         if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
         if (arg == "--once") {
             once = true;
+        } else if (arg == "--fleet") {
+            fleet = true;
         } else if (arg == "--host") {
             const char* v = value();
             if (!v) return usage(argv[0], 2);
@@ -233,14 +292,14 @@ int main(int argc, char** argv) {
 
     const std::string target = host + ":" + std::to_string(port);
     std::optional<service::ServiceClient> client;
-    std::optional<Sample> prev;
+    std::optional<FleetSample> prev;
     unsigned long refreshes = 0;
     while (true) {
         std::string error;
-        std::optional<Sample> sample;
+        std::optional<FleetSample> sample;
         try {
             if (!client) client.emplace(host, port);
-            sample = fetch(*client, error);
+            sample = fetch(*client, fleet, error);
         } catch (const std::exception& e) {
             error = e.what();
         }
