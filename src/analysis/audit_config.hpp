@@ -35,6 +35,18 @@ struct AuditConfig {
     double power_margin_fraction = 0.15;
     util::Power power_margin = util::Power::watts(10.0);
 
+    /// Power above the capping bound only becomes a violation once it has
+    /// persisted this long. RAPL capping is an averaged control (PL1/PL2
+    /// style) and the PCU reacts at the next ~500 us p-state opportunity,
+    /// so a C-state exit storm between grants legitimately overshoots for
+    /// up to one opportunity period plus the apply latency.
+    util::Time power_excursion_allowance = util::Time::us(700);
+
+    /// Instantaneous never-exceed envelope, PL4 style: TDP * (1 + fraction)
+    /// + the absolute margin above. Even inside the excursion allowance the
+    /// model must stay under this.
+    double power_peak_fraction = 0.50;
+
     /// Package power floor while any core is in C0 (leakage + static rails
     /// can never vanish under load).
     util::Power active_power_floor = util::Power::watts(0.5);

@@ -5,7 +5,9 @@
 //  - the event/trace stream is time-monotone,
 //  - RAPL energy counters only grow (modulo the 32-bit wrap), at a
 //    plausible rate,
-//  - package power stays inside [idle floor, TDP + capping margin],
+//  - package power stays inside [idle floor, TDP + capping margin] --
+//    excursions shorter than one PCU reaction time are tolerated up to a
+//    PL4-style instantaneous peak envelope,
 //  - granted core clocks stay inside the SKU's p-state range and, when the
 //    AVX license is held, inside the AVX turbo bins (Section II-F),
 //  - the uncore clock respects the UFS bounds (Section II-D / Table III),
@@ -82,7 +84,10 @@ public:
                         util::Frequency frequency, bool clock_halted,
                         unsigned msr_max_ratio);
 
-    /// Package power within [idle floor, TDP + capping margin].
+    /// Package power within [idle floor, TDP + capping margin]. Excursions
+    /// above the capping bound are tolerated for `power_excursion_allowance`
+    /// (the PCU's reaction time) as long as they stay under the peak
+    /// envelope; sustained overshoot is a violation on every later sample.
     void observe_package_power(const arch::Sku& sku, util::Time when, unsigned socket,
                                util::Power power, bool any_core_active);
 
@@ -123,7 +128,13 @@ private:
         util::Time base_time;
     };
 
+    struct ExcursionState {
+        bool above = false;
+        util::Time since;
+    };
+
     [[nodiscard]] util::Power package_power_bound(const arch::Sku& sku) const;
+    [[nodiscard]] util::Power package_power_peak_bound(const arch::Sku& sku) const;
     void violation(Invariant inv, util::Time when, std::string subject,
                    std::string message, double value, double bound);
 
@@ -142,6 +153,7 @@ private:
     std::map<std::string, util::Time, std::less<>> last_opportunity_;
     std::map<std::string, CounterState, std::less<>> counters_;
     std::map<std::string, ResidencyState, std::less<>> residencies_;
+    std::map<unsigned, ExcursionState> power_excursions_;
 };
 
 }  // namespace hsw::analysis

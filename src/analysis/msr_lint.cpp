@@ -14,7 +14,7 @@ using msr::MsrAddress;
 // counters reject writes; control registers accept them with the field
 // widths used by the model (ratio fields are 100 MHz multiples in bits 15:8,
 // EPB is a 4-bit hint, UNCORE_RATIO_LIMIT packs two 7-bit ratios).
-constexpr std::array<MsrSpec, 22> kCatalog = {{
+constexpr std::array<MsrSpec, 27> kCatalog = {{
     {msr::IA32_MPERF, "IA32_MPERF", false, 64},
     {msr::IA32_APERF, "IA32_APERF", false, 64},
     {msr::IA32_PERF_STATUS, "IA32_PERF_STATUS", false, 64},
@@ -39,6 +39,13 @@ constexpr std::array<MsrSpec, 22> kCatalog = {{
     {msr::MSR_PP0_ENERGY_STATUS, "MSR_PP0_ENERGY_STATUS", false, 64},
     {msr::U_MSR_PMON_UCLK_FIXED_CTL, "U_MSR_PMON_UCLK_FIXED_CTL", true, 32},
     {msr::U_MSR_PMON_UCLK_FIXED_CTR, "U_MSR_PMON_UCLK_FIXED_CTR", false, 64},
+    // HWP registers (Skylake-SP+): architecturally valid addresses; on
+    // pre-HWP parts the MsrFile #GPs, which is its decision, not a lint.
+    {msr::MSR_PM_ENABLE, "MSR_PM_ENABLE", true, 1},
+    {msr::IA32_HWP_CAPABILITIES, "IA32_HWP_CAPABILITIES", false, 32},
+    {msr::IA32_HWP_REQUEST_PKG, "IA32_HWP_REQUEST_PKG", true, 32},
+    {msr::IA32_HWP_REQUEST, "IA32_HWP_REQUEST", true, 32},
+    {msr::IA32_HWP_STATUS, "IA32_HWP_STATUS", false, 32},
 }};
 
 std::string subject_for(MsrAddress addr) {

@@ -232,6 +232,20 @@ inline constexpr double kSnbC6BaseUs = 28.0;
 inline constexpr double kSnbC6FreqTermUsGhz = 16.0;
 inline constexpr double kSnbPkgC6ExtraUs = 12.0;
 
+// Skylake-SP comparison series (Schoene et al., "Energy Efficiency Features
+// of the Intel Skylake-SP Processor"): the core C3 state is gone -- its OS
+// ladder slot degenerates to a C1E-like shallow state -- and C6 wake-ups
+// land in the 20-40 us band, slightly above Haswell-EP.
+inline constexpr double kSkxC1BaseUs = 1.0;
+inline constexpr double kSkxC1FreqTermUsGhz = 0.7;
+inline constexpr double kSkxC1RemoteExtraUs = 0.6;
+inline constexpr double kSkxC1eUs = 8.0;            // the C3 slot maps here
+inline constexpr double kSkxC1eRemoteExtraUs = 1.0;
+inline constexpr double kSkxC6BaseUs = 26.0;
+inline constexpr double kSkxC6FreqTermUsGhz = 7.0;
+inline constexpr double kSkxC6RemoteExtraUs = 2.0;
+inline constexpr double kSkxPkgC6ExtraUs = 14.0;
+
 /// ACPI _CST-reported worst-case latencies (used by the OS idle governor).
 inline constexpr Time kAcpiC1Latency = Time::us(3);
 inline constexpr Time kAcpiC3Latency = Time::us(33);

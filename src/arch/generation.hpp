@@ -16,6 +16,9 @@ enum class Generation {
     IvyBridgeEP,    // like Sandy Bridge for our purposes
     HaswellEP,      // UFS, measured RAPL, FIVR, PCPS
     HaswellHE,      // desktop Haswell: FIVR + measured RAPL, immediate p-states
+    // New generations append here: the integer value participates in
+    // serialized experiment blobs (fig56/fig7 data sections).
+    SkylakeSP,      // HWP/EPP, AVX-512 licenses, per-die UFS (Schoene et al.)
 };
 
 enum class UncoreClocking {
@@ -37,30 +40,43 @@ struct GenerationTraits {
     RaplBackend rapl_backend;
     bool has_dram_rapl_domain;  // HSW-EP: yes; SNB-EP server: yes; desktop: no
     bool has_pp0_domain;        // PP0 unsupported on Haswell-EP (Section IV)
-    bool per_core_pstates;      // PCPS requires FIVR (Haswell-EP only)
+    bool per_core_pstates;      // PCPS requires FIVR (Haswell-EP / Skylake-SP)
     bool deferred_pstate_grid;  // 500 us opportunity mechanism (Section VI-A)
+    bool fixed_dram_energy_unit;  // 15.3 uJ DRAM unit (Haswell on; SKX keeps it)
+    bool dram_mode0_garbage;      // mode-0 DRAM counter garbage (Haswell quirk)
+    bool has_hwp;                 // hardware-managed p-states (IA32_HWP_*)
+    bool has_avx512;              // 512-bit license levels above the AVX one
 };
 
 [[nodiscard]] constexpr GenerationTraits traits(Generation g) {
     switch (g) {
         case Generation::WestmereEP:
             return {g, "Westmere-EP", UncoreClocking::Fixed, RaplBackend::None,
-                    false, false, false, false};
+                    false, false, false, false, false, false, false, false};
         case Generation::SandyBridgeEP:
             return {g, "Sandy Bridge-EP", UncoreClocking::CoupledToCore,
-                    RaplBackend::Modeled, true, true, false, false};
+                    RaplBackend::Modeled, true, true, false, false,
+                    false, false, false, false};
         case Generation::IvyBridgeEP:
             return {g, "Ivy Bridge-EP", UncoreClocking::CoupledToCore,
-                    RaplBackend::Modeled, true, true, false, false};
+                    RaplBackend::Modeled, true, true, false, false,
+                    false, false, false, false};
         case Generation::HaswellEP:
             return {g, "Haswell-EP", UncoreClocking::IndependentUfs,
-                    RaplBackend::Measured, true, false, true, true};
+                    RaplBackend::Measured, true, false, true, true,
+                    true, true, false, false};
         case Generation::HaswellHE:
             return {g, "Haswell-HE", UncoreClocking::IndependentUfs,
-                    RaplBackend::Measured, true, false, false, false};
+                    RaplBackend::Measured, true, false, false, false,
+                    true, true, false, false};
+        case Generation::SkylakeSP:
+            return {g, "Skylake-SP", UncoreClocking::IndependentUfs,
+                    RaplBackend::Measured, true, false, true, true,
+                    true, false, true, true};
     }
     return {Generation::HaswellEP, "Haswell-EP", UncoreClocking::IndependentUfs,
-            RaplBackend::Measured, true, false, true, true};
+            RaplBackend::Measured, true, false, true, true,
+            true, true, false, false};
 }
 
 }  // namespace hsw::arch

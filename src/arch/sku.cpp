@@ -18,6 +18,13 @@ Frequency Sku::max_avx_turbo(unsigned active_cores) const {
     return avx_turbo_bins[idx];
 }
 
+Frequency Sku::max_avx512_turbo(unsigned active_cores) const {
+    if (avx512_turbo_bins.empty()) return max_avx_turbo(active_cores);
+    const std::size_t idx = std::min<std::size_t>(active_cores == 0 ? 0 : active_cores - 1,
+                                                  avx512_turbo_bins.size() - 1);
+    return avx512_turbo_bins[idx];
+}
+
 std::vector<Frequency> Sku::selectable_pstates() const {
     std::vector<Frequency> out;
     for (unsigned r = min_frequency.ratio(); r <= nominal_frequency.ratio(); ++r) {
@@ -140,6 +147,54 @@ const Sku& xeon_e5_2670() {
         .uncore_min = G(1.2),
         .uncore_max = G(2.6),  // uncore is clocked with the cores
         .l3_bytes = 20ull * 1024ull * 1024ull,
+    };
+    return sku;
+}
+
+const Sku& xeon_e5_2690_v2() {
+    static const Sku sku{
+        .model = "Intel Xeon E5-2690 v2",
+        .generation = Generation::IvyBridgeEP,
+        .cores = 10,
+        .hyperthreading = true,
+        .min_frequency = G(1.2),
+        .nominal_frequency = G(3.0),
+        .tdp = Power::watts(130),
+        .turbo_bins = ghz_bins({3.6, 3.6, 3.5, 3.4, 3.4, 3.3, 3.3, 3.3, 3.3, 3.3}),
+        // Like Sandy Bridge, no separate AVX frequency level yet.
+        .avx_base_frequency = G(3.0),
+        .avx_turbo_bins = {},
+        .uncore_min = G(1.2),
+        .uncore_max = G(3.0),  // uncore is clocked with the cores
+        .l3_bytes = 25ull * 1024ull * 1024ull,
+    };
+    return sku;
+}
+
+const Sku& xeon_gold_6150() {
+    static const Sku sku{
+        .model = "Intel Xeon Gold 6150",
+        .generation = Generation::SkylakeSP,
+        .cores = 18,
+        .hyperthreading = true,
+        .min_frequency = G(1.2),
+        .nominal_frequency = G(2.7),
+        .tdp = Power::watts(165),
+        .turbo_bins = ghz_bins({3.7, 3.7, 3.5, 3.5, 3.5, 3.5, 3.5, 3.5, 3.4, 3.4, 3.4, 3.4,
+                                3.4, 3.4, 3.4, 3.4, 3.4, 3.4}),
+        // AVX2 license (L1) base and turbo table.
+        .avx_base_frequency = G(2.2),
+        .avx_turbo_bins = ghz_bins({3.6, 3.6, 3.4, 3.4, 3.3, 3.3, 3.1, 3.1, 3.1, 3.1, 3.1,
+                                    3.1, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0}),
+        // AVX-512 license (L2) table: the steep all-core drop the Skylake-SP
+        // paper highlights (2.7 GHz nominal -> 1.9 GHz all-core AVX-512).
+        .avx512_base_frequency = G(1.9),
+        .avx512_turbo_bins = ghz_bins({3.5, 3.5, 3.2, 3.2, 3.0, 3.0, 2.8, 2.8, 2.7, 2.7,
+                                       2.7, 2.7, 2.6, 2.6, 2.6, 2.6, 2.6, 2.6}),
+        // Skylake-SP uncore tops out lower than Haswell-EP and scales per die.
+        .uncore_min = G(1.2),
+        .uncore_max = G(2.4),
+        .l3_bytes = 18ull * 1408ull * 1024ull,  // 24.75 MiB = 18 x 1.375 MiB
     };
     return sku;
 }

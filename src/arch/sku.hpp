@@ -33,6 +33,12 @@ struct Sku {
     /// Max AVX turbo indexed by (active cores - 1).
     std::vector<Frequency> avx_turbo_bins;
 
+    /// Guaranteed frequency under all-core AVX-512 load (license level 2,
+    /// Skylake-SP only; zero elsewhere).
+    Frequency avx512_base_frequency;
+    /// Max AVX-512 turbo indexed by (active cores - 1).
+    std::vector<Frequency> avx512_turbo_bins;
+
     /// Uncore clock range (Haswell UFS; Table III observes 1.2 - 3.0 GHz).
     Frequency uncore_min;
     Frequency uncore_max;
@@ -42,6 +48,8 @@ struct Sku {
 
     [[nodiscard]] Frequency max_turbo(unsigned active_cores) const;
     [[nodiscard]] Frequency max_avx_turbo(unsigned active_cores) const;
+    /// License-2 ceiling; SKUs without AVX-512 tables fall back to the AVX one.
+    [[nodiscard]] Frequency max_avx512_turbo(unsigned active_cores) const;
     /// All selectable p-state frequencies, ascending (min..nominal in 100 MHz
     /// steps, plus the turbo request level).
     [[nodiscard]] std::vector<Frequency> selectable_pstates() const;
@@ -66,5 +74,13 @@ struct Sku {
 
 /// Westmere-EP comparison part (Fig. 7 series).
 [[nodiscard]] const Sku& xeon_x5670();
+
+/// Ivy Bridge-EP representative (registry completeness; uncore coupled).
+[[nodiscard]] const Sku& xeon_e5_2690_v2();
+
+/// Skylake-SP survey part: 18 cores, HWP, AVX-512 license levels, per-die
+/// uncore scaling (Schoene et al., "Energy Efficiency Features of the Intel
+/// Skylake-SP Processor").
+[[nodiscard]] const Sku& xeon_gold_6150();
 
 }  // namespace hsw::arch

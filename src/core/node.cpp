@@ -5,6 +5,8 @@
 
 #include "arch/calibration.hpp"
 #include "msr/addresses.hpp"
+#include "pcu/hwp.hpp"
+#include "platform/registry.hpp"
 
 namespace hsw::core {
 
@@ -221,6 +223,52 @@ void Node::install_msrs() {
             sockets_[socket_of(cpu)]->set_uncore_ratio_limit(value);
         });
 
+    // HWP surface (Skylake-SP+). The registers only exist on HWP-capable
+    // parts; reading them on older generations faults like real hardware
+    // (MsrFile reports an unknown register).
+    if (platform::backend_for(sku_->generation).hwp_capable()) {
+        // MSR_PM_ENABLE: package scoped; bit 0 switches the socket from
+        // PERF_CTL-driven to autonomous HWP operation.
+        msrs_.register_msr(
+            msr::MSR_PM_ENABLE,
+            [this](unsigned cpu) {
+                return static_cast<std::uint64_t>(
+                    sockets_[socket_of(cpu)]->hwp_enabled() ? 1 : 0);
+            },
+            [this](unsigned cpu, std::uint64_t value) {
+                sync();
+                sockets_[socket_of(cpu)]->set_hwp_enabled((value & 1) != 0);
+                trace_.record(sim_.now(), "hwp",
+                              "socket" + std::to_string(socket_of(cpu)),
+                              (value & 1) != 0 ? "enable" : "disable");
+            });
+        msrs_.register_msr(msr::IA32_HWP_CAPABILITIES, [this](unsigned) {
+            return pcu::encode_hwp_capabilities(pcu::capabilities_for(*sku_));
+        });
+        msrs_.register_msr(
+            msr::IA32_HWP_REQUEST_PKG,
+            [this](unsigned cpu) { return sockets_[socket_of(cpu)]->hwp_request_pkg(); },
+            [this](unsigned cpu, std::uint64_t value) {
+                sync();
+                sockets_[socket_of(cpu)]->set_hwp_request_pkg(value);
+            });
+        msrs_.register_msr(
+            msr::IA32_HWP_REQUEST,
+            [this, core_ref](unsigned cpu) { return core_ref(cpu).hwp_request_raw; },
+            [this, core_ref](unsigned cpu, std::uint64_t value) {
+                sync();
+                core_ref(cpu).hwp_request_raw = value;
+                trace_.record(sim_.now(), "hwp", "cpu" + std::to_string(cpu),
+                              "request",
+                              static_cast<double>(
+                                  pcu::decode_hwp_request(value).epp));
+            });
+        // No guaranteed/excursion change events are modelled: status is 0.
+        msrs_.register_msr(msr::IA32_HWP_STATUS, [](unsigned) {
+            return std::uint64_t{0};
+        });
+    }
+
     // RAPL registers, package scoped.
     for (unsigned s = 0; s < cfg_.sockets; ++s) {
         sockets_[s]->rapl().attach(msrs_, cpu_id(s, 0), cpu_id(s, sku_->cores - 1));
@@ -268,6 +316,26 @@ void Node::set_epb(msr::EpbPolicy p) {
     for (unsigned cpu = 0; cpu < cpu_count(); ++cpu) {
         msrs_.write(cpu, msr::IA32_ENERGY_PERF_BIAS, msr::encode_epb(p));
     }
+}
+
+bool Node::hwp_capable() const {
+    return platform::backend_for(sku_->generation).hwp_capable();
+}
+
+void Node::enable_hwp(bool on) {
+    if (!hwp_capable()) return;
+    for (unsigned s = 0; s < socket_count(); ++s) {
+        msrs_.write(cpu_id(s, 0), msr::MSR_PM_ENABLE, on ? 1 : 0);
+    }
+}
+
+void Node::set_hwp_request(unsigned cpu, const pcu::HwpRequest& req) {
+    if (!hwp_capable()) return;
+    msrs_.write(cpu, msr::IA32_HWP_REQUEST, pcu::encode_hwp_request(req));
+}
+
+void Node::set_hwp_request_all(const pcu::HwpRequest& req) {
+    for (unsigned cpu = 0; cpu < cpu_count(); ++cpu) set_hwp_request(cpu, req);
 }
 
 void Node::set_turbo_enabled(bool on) {

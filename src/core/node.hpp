@@ -19,6 +19,7 @@
 
 #include "core/socket.hpp"
 #include "cstates/wake_latency.hpp"
+#include "pcu/hwp.hpp"
 #include "meter/lmg450.hpp"
 #include "msr/msr_file.hpp"
 #include "power/psu.hpp"
@@ -82,6 +83,18 @@ public:
     void request_turbo_all();
     void set_epb(msr::EpbPolicy p);
     void set_turbo_enabled(bool on);
+
+    // --- HWP control (no-ops unless the generation's backend is
+    // HWP-capable; see platform::PlatformBackend::hwp_capable()) ---
+    /// Whether the simulated part exposes the HWP MSR surface at all.
+    [[nodiscard]] bool hwp_capable() const;
+    /// Write MSR_PM_ENABLE bit 0 on every package (one-way on real
+    /// hardware; the model allows disabling for A/B experiments).
+    void enable_hwp(bool on = true);
+    /// Program IA32_HWP_REQUEST for one cpu.
+    void set_hwp_request(unsigned cpu, const pcu::HwpRequest& req);
+    /// Program the same IA32_HWP_REQUEST on every cpu.
+    void set_hwp_request_all(const pcu::HwpRequest& req);
 
     // --- C-state control ---
     void park(unsigned cpu, cstates::CState state);

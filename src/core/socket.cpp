@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "arch/calibration.hpp"
+#include "platform/registry.hpp"
 #include "power/power_model.hpp"
 #include "util/rng.hpp"
 
@@ -16,7 +17,7 @@ Socket::Socket(const arch::Sku& sku, unsigned socket_id, bool turbo_enabled,
     : sku_{&sku},
       id_{socket_id},
       topo_{arch::make_die_topology(sku.cores)},
-      pcu_{sku, socket_id},
+      pcu_{sku, socket_id, &platform::backend_for(sku.generation).pcu_policy()},
       rapl_{sku.generation, socket_id, dram_mode, seed},
       bw_model_{sku.generation, sku.cores},
       thermal_{},
@@ -48,9 +49,11 @@ pcu::PcuInputs Socket::build_pcu_inputs(Time now, bool system_active,
         auto& ci = in.cores[i];
         ci.state = c.state;
         ci.requested_ratio = c.requested_ratio;
+        ci.hwp_request_raw = c.hwp_request_raw;
         if (c.state == cstates::CState::C0 && c.workload != nullptr) {
             const bool ht = c.threads >= 2;
             ci.avx_fraction = c.workload->avx_fraction;
+            ci.avx512_fraction = c.workload->avx512_fraction;
             ci.stall_fraction = c.workload->stall_fraction;
             ci.cdyn_utilization = c.workload->cdyn_at(now, ht);
             traffic += c.workload->uncore_traffic;
@@ -67,6 +70,8 @@ pcu::PcuInputs Socket::build_pcu_inputs(Time now, bool system_active,
         in.power_limit_watts = limit->as_watts();
     }
     in.uncore_ratio_limit_raw = uncore_ratio_limit_raw_;
+    in.hwp_enabled = hwp_enabled_;
+    in.hwp_request_pkg_raw = hwp_request_pkg_raw_;
     return in;
 }
 
@@ -141,11 +146,13 @@ void Socket::apply_grants(const pcu::PcuOutputs& out) {
         cores_[i].frequency = out.cores[i].frequency;
         cores_[i].voltage = out.cores[i].voltage * cores_[i].vf_factor;
         cores_[i].avx_licensed = out.cores[i].avx_licensed;
+        cores_[i].license_level = out.cores[i].license_level;
         cores_[i].throughput_factor = out.cores[i].throughput_factor;
     }
     uncore_freq_ = out.uncore_frequency;
     uncore_voltage_ = out.uncore_voltage;
     uncore_halted_ = out.uncore_clock_halted;
+    die_uncore_ = out.die_uncore_frequency;
 }
 
 Frequency Socket::fastest_active_core() const {

@@ -43,7 +43,12 @@ struct SimCore {
     Frequency frequency;
     Voltage voltage;
     bool avx_licensed = false;
+    unsigned license_level = 0;  // 0 none, 1 AVX, 2 AVX-512
     double throughput_factor = 1.0;
+
+    /// Raw IA32_HWP_REQUEST for this core (0 = package fallback). Only
+    /// consulted while HWP is enabled on an HWP-capable backend.
+    std::uint64_t hwp_request_raw = 0;
 
     // Free-running counters (doubles; converted to u64 at the MSR edge).
     double aperf = 0.0;
@@ -105,6 +110,17 @@ public:
     void set_uncore_ratio_limit(std::uint64_t raw) { uncore_ratio_limit_raw_ = raw; }
     [[nodiscard]] std::uint64_t uncore_ratio_limit() const { return uncore_ratio_limit_raw_; }
 
+    // --- HWP (Skylake-SP+; ignored by non-HWP backends) ---
+    void set_hwp_enabled(bool on) { hwp_enabled_ = on; }
+    [[nodiscard]] bool hwp_enabled() const { return hwp_enabled_; }
+    void set_hwp_request_pkg(std::uint64_t raw) { hwp_request_pkg_raw_ = raw; }
+    [[nodiscard]] std::uint64_t hwp_request_pkg() const { return hwp_request_pkg_raw_; }
+
+    /// Per-die uncore grants (empty unless the backend models them).
+    [[nodiscard]] const std::vector<Frequency>& die_uncore_frequencies() const {
+        return die_uncore_;
+    }
+
     /// Highest granted clock among C0 cores (zero if none).
     [[nodiscard]] Frequency fastest_active_core() const;
     [[nodiscard]] bool any_core_active() const;
@@ -142,10 +158,13 @@ private:
     msr::EpbPolicy epb_ = msr::EpbPolicy::Balanced;
     bool turbo_enabled_ = true;
     std::uint64_t uncore_ratio_limit_raw_ = 0;
+    bool hwp_enabled_ = false;
+    std::uint64_t hwp_request_pkg_raw_ = 0;
 
     Frequency uncore_freq_;
     Voltage uncore_voltage_;
     bool uncore_halted_ = false;
+    std::vector<Frequency> die_uncore_;
     double uncore_cycles_ = 0.0;
     double pkg_c3_residency_ = 0.0;
     double pkg_c6_residency_ = 0.0;

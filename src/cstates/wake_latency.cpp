@@ -8,8 +8,22 @@ namespace hsw::cstates {
 
 namespace cal = hsw::arch::cal;
 
+WakeProfile profile_for(arch::Generation generation) {
+    switch (generation) {
+        case arch::Generation::HaswellEP:
+        case arch::Generation::HaswellHE:
+            return WakeProfile::Haswell;
+        case arch::Generation::SkylakeSP:
+            return WakeProfile::Skylake;
+        default:
+            return WakeProfile::SandyBridge;
+    }
+}
+
 WakeLatencyModel::WakeLatencyModel(arch::Generation generation)
-    : generation_{generation} {}
+    : profile_{profile_for(generation)} {}
+
+WakeLatencyModel::WakeLatencyModel(WakeProfile profile) : profile_{profile} {}
 
 double WakeLatencyModel::haswell_us(CState state, double f_ghz,
                                     WakeScenario scenario) const {
@@ -83,17 +97,46 @@ double WakeLatencyModel::sandy_bridge_us(CState state, double f_ghz,
     return 0.0;
 }
 
+double WakeLatencyModel::skylake_us(CState state, double f_ghz,
+                                    WakeScenario scenario) const {
+    const bool remote = scenario != WakeScenario::Local;
+    const bool package_sleep = scenario == WakeScenario::RemoteIdle;
+    switch (state) {
+        case CState::C0:
+            return 0.0;
+        case CState::C1:
+            return cal::kSkxC1BaseUs + cal::kSkxC1FreqTermUsGhz / f_ghz -
+                   cal::kSkxC1FreqTermUsGhz / 2.7 +
+                   (remote ? cal::kSkxC1RemoteExtraUs : 0.0);
+        case CState::C3:
+            // Skylake-SP dropped the core C3 state; the ladder slot behaves
+            // like a shallow C1E (clock stopped, caches retained), nearly
+            // frequency independent.
+            return cal::kSkxC1eUs + (remote ? cal::kSkxC1eRemoteExtraUs : 0.0);
+        case CState::C6: {
+            double us = cal::kSkxC6BaseUs + cal::kSkxC6FreqTermUsGhz / f_ghz -
+                        cal::kSkxC6FreqTermUsGhz / 2.7;
+            if (remote) us += cal::kSkxC6RemoteExtraUs;
+            if (package_sleep) us += cal::kSkxPkgC6ExtraUs;
+            return us;
+        }
+    }
+    return 0.0;
+}
+
 Time WakeLatencyModel::mean_latency(CState state, Frequency f,
                                     WakeScenario scenario) const {
     const double f_ghz = std::max(f.as_ghz(), 0.1);
     double us = 0.0;
-    switch (generation_) {
-        case arch::Generation::HaswellEP:
-        case arch::Generation::HaswellHE:
+    switch (profile_) {
+        case WakeProfile::Haswell:
             us = haswell_us(state, f_ghz, scenario);
             break;
-        default:
+        case WakeProfile::SandyBridge:
             us = sandy_bridge_us(state, f_ghz, scenario);
+            break;
+        case WakeProfile::Skylake:
+            us = skylake_us(state, f_ghz, scenario);
             break;
     }
     return Time::from_us(us);

@@ -34,9 +34,22 @@ enum class WakeScenario {
     return "?";
 }
 
+/// The latency families the model distinguishes. Generations collapse onto
+/// one of these (platform backends pick; profile_for() is the default map).
+enum class WakeProfile {
+    Haswell,      // Figures 5/6 main series
+    SandyBridge,  // grey comparison series (also Westmere/Ivy Bridge here)
+    Skylake,      // no core C3; C6 wake-ups in the 20-40 us band
+};
+
+/// Default generation -> profile mapping (Haswell parts -> Haswell,
+/// Skylake-SP -> Skylake, everything older -> SandyBridge).
+[[nodiscard]] WakeProfile profile_for(arch::Generation generation);
+
 class WakeLatencyModel {
 public:
     explicit WakeLatencyModel(arch::Generation generation);
+    explicit WakeLatencyModel(WakeProfile profile);
 
     /// Deterministic mean latency for waking a core in `state` at core
     /// frequency `f` under the given scenario.
@@ -50,8 +63,9 @@ private:
     [[nodiscard]] double haswell_us(CState state, double f_ghz, WakeScenario scenario) const;
     [[nodiscard]] double sandy_bridge_us(CState state, double f_ghz,
                                          WakeScenario scenario) const;
+    [[nodiscard]] double skylake_us(CState state, double f_ghz, WakeScenario scenario) const;
 
-    arch::Generation generation_;
+    WakeProfile profile_;
 };
 
 }  // namespace hsw::cstates

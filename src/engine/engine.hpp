@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
+#include "arch/generation.hpp"
 #include "engine/cancel.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/scheduler.hpp"
@@ -46,8 +47,11 @@ struct Artifact {
 };
 
 struct Experiment {
-    std::string name;         // "fig2a" .. "table5"
+    std::string name;         // "fig2a" .. "skx_avx512"
     std::string description;  // one line for --list
+    /// Processor generations the experiment builds nodes for (the
+    /// --generation filter key). Most of the survey is Haswell-EP only.
+    std::vector<arch::Generation> generations{arch::Generation::HaswellEP};
     std::vector<Job> jobs;
     /// Folds job payloads (ordered like `jobs`) into artifacts.
     std::function<std::vector<Artifact>(const std::vector<std::string>&)> assemble;

@@ -11,6 +11,7 @@
 #include "survey/fig4_opportunity.hpp"
 #include "survey/fig56_cstates.hpp"
 #include "survey/fig78_bandwidth.hpp"
+#include "survey/skx_hwp.hpp"
 #include "survey/table3_uncore.hpp"
 #include "survey/table4_firestarter.hpp"
 #include "survey/table5_maxpower.hpp"
@@ -95,7 +96,7 @@ Experiment fig2_experiment(const SurveyTuning& t, const char* name,
     spec.set_param("generation", std::string{arch::traits(generation).name});
     spec.set_param("window_s", seconds_str(t.fig2_window));
     const util::Time window = t.fig2_window;
-    return single_job(
+    Experiment e = single_job(
         name,
         std::string{"Fig. 2 RAPL vs AC reference power, "} +
             std::string{arch::traits(generation).name},
@@ -112,6 +113,8 @@ Experiment fig2_experiment(const SurveyTuning& t, const char* name,
             return BlobSections{{"csv", csv}, {"render", r.render()}};
         },
         csv_filename, "workload,cores_per_socket,threads_per_core,ac_watts,rapl_watts");
+    e.generations = {generation};
+    return e;
 }
 
 // --- Figs. 5/6 (per-generation jobs, result reconstructed for render) ---
@@ -157,16 +160,17 @@ std::vector<survey::CstateLatencySeries> parse_fig56_data(const std::string& dat
 }
 
 Experiment fig56_experiment(const SurveyTuning& t, const char* name,
-                            cstates::CState state, const char* csv_filename) {
+                            cstates::CState state, const char* csv_filename,
+                            std::vector<arch::Generation> gens,
+                            std::string description) {
     Experiment e;
     e.name = name;
-    e.description = std::string{"Fig. "} + (state == cstates::CState::C3 ? "5" : "6") +
-                    ' ' + std::string{cstates::name(state)} +
-                    " wake-up latencies vs core frequency";
-    // fig56() iterates Haswell-EP first, then the Sandy Bridge-EP
-    // comparison series; job order must match for byte-identical assembly.
-    const arch::Generation gens[] = {arch::Generation::HaswellEP,
-                                     arch::Generation::SandyBridgeEP};
+    e.description = std::move(description);
+    // One job per generation, assembled in registration order -- fig56()
+    // iterates Haswell-EP first, then the Sandy Bridge-EP comparison
+    // series, so fig5/fig6 pass exactly that order for byte-identical
+    // assembly; xgen_c6 appends Skylake-SP.
+    e.generations = gens;
     const unsigned samples = t.fig56_samples;
     for (arch::Generation g : gens) {
         ExperimentSpec spec = base_spec(
@@ -221,6 +225,7 @@ Experiment fig7_experiment(const SurveyTuning& t) {
     const arch::Generation gens[] = {arch::Generation::WestmereEP,
                                      arch::Generation::SandyBridgeEP,
                                      arch::Generation::HaswellEP};
+    e.generations.assign(std::begin(gens), std::end(gens));
     for (arch::Generation g : gens) {
         ExperimentSpec spec =
             base_spec(t, "fig7", "generation=" + std::string{arch::traits(g).name});
@@ -361,6 +366,8 @@ SurveyTuning SurveyTuning::quick() {
     t.table4_samples = 3;
     t.table5_run_time = util::Time::sec(2);
     t.table5_window = util::Time::sec(1);
+    t.skx_settle = util::Time::ms(10);
+    t.skx_window = util::Time::ms(50);
     return t;
 }
 
@@ -371,6 +378,8 @@ std::vector<Experiment> survey_experiments(const SurveyTuning& t) {
                                   "fig2a_sandy_bridge.csv"));
     out.push_back(
         fig2_experiment(t, "fig2b", arch::Generation::HaswellEP, "fig2b_haswell.csv"));
+    out.push_back(fig2_experiment(t, "fig2c", arch::Generation::SkylakeSP,
+                                  "fig2c_skylake_sp.csv"));
 
     {
         ExperimentSpec spec = base_spec(t, "fig3", "all");
@@ -408,10 +417,14 @@ std::vector<Experiment> survey_experiments(const SurveyTuning& t) {
         },
         "fig4_opportunity.csv", "metric,value"));
 
-    out.push_back(
-        fig56_experiment(t, "fig5", cstates::CState::C3, "fig5_c3_latencies.csv"));
-    out.push_back(
-        fig56_experiment(t, "fig6", cstates::CState::C6, "fig6_c6_latencies.csv"));
+    out.push_back(fig56_experiment(
+        t, "fig5", cstates::CState::C3, "fig5_c3_latencies.csv",
+        {arch::Generation::HaswellEP, arch::Generation::SandyBridgeEP},
+        "Fig. 5 C3 wake-up latencies vs core frequency"));
+    out.push_back(fig56_experiment(
+        t, "fig6", cstates::CState::C6, "fig6_c6_latencies.csv",
+        {arch::Generation::HaswellEP, arch::Generation::SandyBridgeEP},
+        "Fig. 6 C6 wake-up latencies vs core frequency"));
     out.push_back(fig7_experiment(t));
 
     out.push_back(single_job(
@@ -485,6 +498,79 @@ std::vector<Experiment> survey_experiments(const SurveyTuning& t) {
     }
 
     out.push_back(table5_experiment(t));
+
+    // --- cross-generation extensions (Skylake-SP platform backend) ---
+
+    out.push_back(fig56_experiment(
+        t, "xgen_c6", cstates::CState::C6, "xgen_c6_latencies.csv",
+        {arch::Generation::HaswellEP, arch::Generation::SandyBridgeEP,
+         arch::Generation::SkylakeSP},
+        "Cross-generation C6 wake-up latencies (Haswell-EP, Sandy Bridge-EP, "
+        "Skylake-SP)"));
+
+    {
+        ExperimentSpec spec = base_spec(t, "skx_hwp", "all");
+        spec.set_param("generation",
+                       std::string{arch::traits(arch::Generation::SkylakeSP).name});
+        spec.set_param("settle_s", seconds_str(t.skx_settle));
+        spec.set_param("window_s", seconds_str(t.skx_window));
+        const util::Time settle = t.skx_settle;
+        const util::Time window = t.skx_window;
+        Experiment e = single_job(
+            "skx_hwp", "Skylake-SP HWP/EPP ladder under FIRESTARTER", std::move(spec),
+            [settle, window](const ExperimentSpec& s) {
+                survey::SkxSweepConfig cfg;
+                cfg.settle = settle;
+                cfg.window = window;
+                cfg.seed = s.job_seed();
+                cfg.audit = s.audit_config();
+                const auto r = survey::skx_hwp_epp(cfg);
+                std::string csv;
+                for (const auto& p : r.points) {
+                    csv += csv_row({std::to_string(p.epp), Table::fmt(p.core_ghz, 3),
+                                    Table::fmt(p.uncore_ghz, 3),
+                                    Table::fmt(p.rapl_pkg_watts, 2)});
+                }
+                return BlobSections{{"csv", csv}, {"render", r.render()}};
+            },
+            "skx_hwp_epp.csv", "epp,core_ghz,uncore_ghz,rapl_pkg_watts");
+        e.generations = {arch::Generation::SkylakeSP};
+        out.push_back(std::move(e));
+    }
+
+    {
+        ExperimentSpec spec = base_spec(t, "skx_avx512", "all");
+        spec.set_param("generation",
+                       std::string{arch::traits(arch::Generation::SkylakeSP).name});
+        spec.set_param("settle_s", seconds_str(t.skx_settle));
+        spec.set_param("window_s", seconds_str(t.skx_window));
+        const util::Time settle = t.skx_settle;
+        const util::Time window = t.skx_window;
+        Experiment e = single_job(
+            "skx_avx512", "Skylake-SP AVX-512 license levels vs 512-bit density",
+            std::move(spec),
+            [settle, window](const ExperimentSpec& s) {
+                survey::SkxSweepConfig cfg;
+                cfg.settle = settle;
+                cfg.window = window;
+                cfg.seed = s.job_seed();
+                cfg.audit = s.audit_config();
+                const auto r = survey::skx_avx512_license(cfg);
+                std::string csv;
+                for (const auto& p : r.points) {
+                    csv += csv_row({Table::fmt(p.avx512_fraction, 2),
+                                    std::to_string(p.license_level),
+                                    Table::fmt(p.core_ghz, 3),
+                                    Table::fmt(p.rapl_pkg_watts, 2)});
+                }
+                return BlobSections{{"csv", csv}, {"render", r.render()}};
+            },
+            "skx_avx512_license.csv",
+            "avx512_fraction,license_level,core_ghz,rapl_pkg_watts");
+        e.generations = {arch::Generation::SkylakeSP};
+        out.push_back(std::move(e));
+    }
+
     return out;
 }
 

@@ -33,14 +33,18 @@ struct SurveyTuning {
     unsigned table4_samples = 50;       // one-second LIKWID samples
     util::Time table5_run_time = util::Time::sec(70);
     util::Time table5_window = util::Time::sec(60);  // the paper's 1-minute window
+    util::Time skx_settle = util::Time::ms(50);      // Skylake-SP sweeps: per-point
+    util::Time skx_window = util::Time::ms(500);     //   settle / measure window
 
     /// Heavily reduced sampling for smoke tests and determinism checks --
     /// same structure and job fan-out, a fraction of the wall time.
     [[nodiscard]] static SurveyTuning quick();
 };
 
-/// All eleven survey experiments (fig2a fig2b fig3 fig4 fig5 fig6 fig7
-/// fig8 table3 table4 table5), in publication order.
+/// All fifteen survey experiments (fig2a fig2b fig2c fig3 fig4 fig5 fig6
+/// fig7 fig8 table3 table4 table5 xgen_c6 skx_hwp skx_avx512): the paper's
+/// figures and tables in publication order, then the cross-generation
+/// extensions on the Skylake-SP platform backend.
 [[nodiscard]] std::vector<Experiment> survey_experiments(const SurveyTuning& tuning = {});
 
 /// nullptr when no experiment has that name.

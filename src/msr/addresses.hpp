@@ -44,6 +44,16 @@ inline constexpr MsrAddress MSR_DRAM_POWER_LIMIT = 0x618;
 inline constexpr MsrAddress MSR_DRAM_ENERGY_STATUS = 0x619;
 inline constexpr MsrAddress MSR_PP0_ENERGY_STATUS = 0x639;
 
+// Hardware-managed p-states (Skylake-SP and later; SDM Vol. 3 §14.4).
+// HWP hands the p-state decision to the PCU: software expresses a
+// min/max/desired window plus an energy-performance preference (EPP) and
+// the hardware picks the operating point inside it.
+inline constexpr MsrAddress MSR_PM_ENABLE = 0x770;            // bit 0: HWP enable
+inline constexpr MsrAddress IA32_HWP_CAPABILITIES = 0x771;    // highest/guaranteed/efficient/lowest
+inline constexpr MsrAddress IA32_HWP_REQUEST_PKG = 0x772;     // package-wide fallback request
+inline constexpr MsrAddress IA32_HWP_REQUEST = 0x774;         // per-thread min/max/desired/EPP
+inline constexpr MsrAddress IA32_HWP_STATUS = 0x777;          // excursion status bits
+
 // Uncore frequency control/observation.
 // "it can be specified via the MSR UNCORE_RATIO_LIMIT. However, neither the
 // actual number of this MSR nor the encoded information is available"

@@ -4,21 +4,37 @@
 #include <stdexcept>
 
 #include "msr/addresses.hpp"
+#include "pcu/hwp.hpp"
 
 namespace hsw::os {
 
 CpufreqPolicy::CpufreqPolicy(core::Node& node, unsigned cpu)
     : node_{&node}, cpu_{cpu} {}
 
+bool CpufreqPolicy::hwp_active() const {
+    return node_->hwp_capable() &&
+           (node_->msrs().read(cpu_, msr::MSR_PM_ENABLE) & 1) != 0;
+}
+
+void CpufreqPolicy::request_ratio(unsigned ratio) {
+    if (hwp_active()) {
+        auto req = pcu::decode_hwp_request(
+            node_->msrs().read(cpu_, msr::IA32_HWP_REQUEST));
+        req.desired_ratio = ratio;
+        node_->msrs().write(cpu_, msr::IA32_HWP_REQUEST, pcu::encode_hwp_request(req));
+        return;
+    }
+    node_->set_pstate(cpu_, Frequency::from_ratio(ratio));
+}
+
 void CpufreqPolicy::set_governor(Governor g) {
     governor_ = g;
     switch (g) {
         case Governor::Performance:
-            node_->set_pstate(cpu_, Frequency::from_ratio(
-                                        node_->sku().nominal_frequency.ratio() + 1));
+            request_ratio(node_->sku().nominal_frequency.ratio() + 1);
             break;
         case Governor::Powersave:
-            node_->set_pstate(cpu_, node_->sku().min_frequency);
+            request_ratio(node_->sku().min_frequency.ratio());
             break;
         case Governor::Userspace:
             break;  // keeps the current request until set_speed
@@ -29,11 +45,17 @@ void CpufreqPolicy::set_speed(Frequency f) {
     if (governor_ != Governor::Userspace) {
         throw std::logic_error{"cpufreq: scaling_setspeed requires the userspace governor"};
     }
-    node_->set_pstate(cpu_, f);
+    request_ratio(f.ratio());
 }
 
 Frequency CpufreqPolicy::scaling_cur_freq() const {
-    // Deliberately the *request*: read back IA32_PERF_CTL, not PERF_STATUS.
+    // Deliberately the *request*: read back what the OS last asked for
+    // (IA32_PERF_CTL, or the HWP desired field), not PERF_STATUS.
+    if (hwp_active()) {
+        const auto req = pcu::decode_hwp_request(
+            node_->msrs().read(cpu_, msr::IA32_HWP_REQUEST));
+        return Frequency::from_ratio(req.desired_ratio);
+    }
     const auto raw = node_->msrs().read(cpu_, msr::IA32_PERF_CTL);
     return Frequency::from_ratio(static_cast<unsigned>((raw >> 8) & 0xFF));
 }

@@ -33,6 +33,11 @@ public:
     /// an indicator of the hardware state on Haswell-EP.
     [[nodiscard]] Frequency scaling_cur_freq() const;
 
+    /// Whether requests currently route through IA32_HWP_REQUEST instead of
+    /// IA32_PERF_CTL (HWP-capable part with MSR_PM_ENABLE set, like
+    /// intel_pstate in HWP passive mode).
+    [[nodiscard]] bool hwp_active() const;
+
     /// scaling_min/max_freq limits of the SKU.
     [[nodiscard]] Frequency scaling_min_freq() const;
     [[nodiscard]] Frequency scaling_max_freq() const;
@@ -41,6 +46,11 @@ public:
     [[nodiscard]] std::vector<Frequency> available_frequencies() const;
 
 private:
+    /// Route one ratio request through the generation's native mechanism:
+    /// the desired field of IA32_HWP_REQUEST (other fields preserved) when
+    /// HWP is active, IA32_PERF_CTL otherwise.
+    void request_ratio(unsigned ratio);
+
     core::Node* node_;
     unsigned cpu_;
     Governor governor_ = Governor::Userspace;

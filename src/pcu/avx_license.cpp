@@ -23,4 +23,25 @@ void AvxLicense::update(double avx_fraction, Time now) {
     }
 }
 
+void AvxLicenseLevels::update(double avx_fraction, double avx512_fraction, Time now) {
+    unsigned demanded = 0;
+    if (avx512_fraction >= kAvx512Threshold) {
+        demanded = kMaxLevel;
+    } else if (avx_fraction >= AvxLicense::kLicenseThreshold) {
+        demanded = 1;
+    }
+    if (demanded >= level_) last_at_or_above_ = now;
+    if (demanded > level_) {
+        level_ = demanded;
+        ramp_end_ = now + AvxLicense::kRampDuration;
+        return;
+    }
+    // Same relax rule as the single license: 1 ms after the demand last
+    // covered the held level, drop -- but only one level per expiry.
+    if (demanded < level_ && now - last_at_or_above_ >= cal::kAvxRelaxDelay) {
+        --level_;
+        last_at_or_above_ = now;
+    }
+}
+
 }  // namespace hsw::pcu

@@ -52,4 +52,38 @@ private:
     Time last_avx_seen_ = Time::zero();
 };
 
+/// Multi-level license state machine (Skylake-SP, Schoene et al.):
+/// level 0 = scalar/SSE, level 1 = the 256-bit AVX license above,
+/// level 2 = AVX-512. Upward transitions jump straight to the demanded
+/// level (one voltage ramp); downward transitions relax one level at a
+/// time, each after the 1 ms delay. With zero AVX-512 density the machine
+/// is byte-for-byte equivalent to AvxLicense (asserted by tests), which is
+/// what keeps the Haswell goldens untouched.
+class AvxLicenseLevels {
+public:
+    /// 512-bit density above which a core requests license level 2.
+    static constexpr double kAvx512Threshold = 0.20;
+    static constexpr unsigned kMaxLevel = 2;
+
+    void update(double avx_fraction, double avx512_fraction, Time now);
+
+    [[nodiscard]] unsigned level() const { return level_; }
+    [[nodiscard]] bool licensed() const { return level_ >= 1; }
+
+    [[nodiscard]] bool ramping(Time now) const {
+        return level_ > 0 && now < ramp_end_;
+    }
+
+    [[nodiscard]] double throughput_factor(Time now) const {
+        return ramping(now) ? AvxLicense::kRampThroughputFactor : 1.0;
+    }
+
+private:
+    unsigned level_ = 0;
+    Time ramp_end_ = Time::zero();
+    // Last instant the demanded level was at or above the held one; the
+    // relax timer measures from here (AvxLicense's last_avx_seen_).
+    Time last_at_or_above_ = Time::zero();
+};
+
 }  // namespace hsw::pcu

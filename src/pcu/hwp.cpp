@@ -1,0 +1,44 @@
+#include "pcu/hwp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsw::pcu {
+
+HwpCapabilities capabilities_for(const arch::Sku& sku) {
+    HwpCapabilities caps;
+    caps.highest = sku.max_turbo(1).ratio();
+    caps.guaranteed = sku.nominal_frequency.ratio();
+    caps.lowest = sku.min_frequency.ratio();
+    // The most-efficient point sits a few bins above the minimum (leakage
+    // dominates below it), never above the guaranteed ratio.
+    caps.most_efficient = std::min(caps.lowest + 3, caps.guaranteed);
+    return caps;
+}
+
+unsigned resolve_hwp_ratio(const HwpCapabilities& caps, const HwpRequest& req) {
+    const unsigned lo = caps.lowest;
+    const unsigned hi = caps.highest;
+    const unsigned eff_min = std::clamp(req.min_ratio == 0 ? lo : req.min_ratio, lo, hi);
+    const unsigned eff_max =
+        std::clamp(req.max_ratio == 0 ? hi : req.max_ratio, eff_min, hi);
+    if (req.desired_ratio != 0) {
+        return std::clamp(req.desired_ratio, eff_min, eff_max);
+    }
+    // Autonomous selection: the EPP ladder walks linearly from the window
+    // maximum (any EPP below 64, the "performance" band) down to the window
+    // minimum at EPP 255.
+    if (req.epp < 64) return eff_max;
+    const double t = static_cast<double>(req.epp - 64) / (255.0 - 64.0);
+    const unsigned back =
+        static_cast<unsigned>(std::lround(t * static_cast<double>(eff_max - eff_min)));
+    return eff_max - back;
+}
+
+msr::EpbPolicy epp_to_epb(unsigned epp) {
+    if (epp < 64) return msr::EpbPolicy::Performance;
+    if (epp < 192) return msr::EpbPolicy::Balanced;
+    return msr::EpbPolicy::EnergySaving;
+}
+
+}  // namespace hsw::pcu

@@ -1,0 +1,80 @@
+// Hardware-managed p-states (Skylake-SP; SDM Vol. 3 section 14.4).
+//
+// Under HWP the OS no longer requests a single ratio through IA32_PERF_CTL;
+// it programs a window (min/max), an optional explicit desired ratio, and an
+// energy-performance preference (EPP, 0 = performance .. 255 = energy) into
+// IA32_HWP_REQUEST, and the PCU picks the operating point autonomously.
+// This header models the register encodings and the deterministic resolve
+// the simulated Skylake-SP PCU applies each opportunity tick.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/sku.hpp"
+#include "msr/msr_file.hpp"
+
+namespace hsw::pcu {
+
+/// Decoded IA32_HWP_REQUEST fields. Ratios are in 100 MHz units.
+struct HwpRequest {
+    unsigned min_ratio = 0;      // bits 7:0  (0 = use the lowest capability)
+    unsigned max_ratio = 0;      // bits 15:8 (0 = use the highest capability)
+    unsigned desired_ratio = 0;  // bits 23:16 (0 = autonomous, EPP decides)
+    unsigned epp = 128;          // bits 31:24
+};
+
+[[nodiscard]] constexpr HwpRequest decode_hwp_request(std::uint64_t raw) {
+    return HwpRequest{
+        static_cast<unsigned>(raw & 0xFF),
+        static_cast<unsigned>((raw >> 8) & 0xFF),
+        static_cast<unsigned>((raw >> 16) & 0xFF),
+        static_cast<unsigned>((raw >> 24) & 0xFF),
+    };
+}
+
+[[nodiscard]] constexpr std::uint64_t encode_hwp_request(const HwpRequest& r) {
+    return (static_cast<std::uint64_t>(r.epp & 0xFF) << 24) |
+           (static_cast<std::uint64_t>(r.desired_ratio & 0xFF) << 16) |
+           (static_cast<std::uint64_t>(r.max_ratio & 0xFF) << 8) |
+           (static_cast<std::uint64_t>(r.min_ratio & 0xFF));
+}
+
+/// IA32_HWP_CAPABILITIES: the performance range the hardware advertises.
+struct HwpCapabilities {
+    unsigned highest = 0;         // bits 7:0
+    unsigned guaranteed = 0;      // bits 15:8
+    unsigned most_efficient = 0;  // bits 23:16
+    unsigned lowest = 0;          // bits 31:24
+};
+
+[[nodiscard]] constexpr std::uint64_t encode_hwp_capabilities(const HwpCapabilities& c) {
+    return (static_cast<std::uint64_t>(c.lowest & 0xFF) << 24) |
+           (static_cast<std::uint64_t>(c.most_efficient & 0xFF) << 16) |
+           (static_cast<std::uint64_t>(c.guaranteed & 0xFF) << 8) |
+           (static_cast<std::uint64_t>(c.highest & 0xFF));
+}
+
+[[nodiscard]] constexpr HwpCapabilities decode_hwp_capabilities(std::uint64_t raw) {
+    return HwpCapabilities{
+        static_cast<unsigned>(raw & 0xFF),
+        static_cast<unsigned>((raw >> 8) & 0xFF),
+        static_cast<unsigned>((raw >> 16) & 0xFF),
+        static_cast<unsigned>((raw >> 24) & 0xFF),
+    };
+}
+
+/// Capability range for a SKU: highest = 1-core turbo, guaranteed = nominal,
+/// lowest = the minimum p-state, most-efficient a little above it.
+[[nodiscard]] HwpCapabilities capabilities_for(const arch::Sku& sku);
+
+/// The ratio the PCU grants for one request: an explicit desired ratio is
+/// clamped into the effective [min, max] window; otherwise the EPP ladder
+/// picks a point in the window, monotone non-increasing in EPP
+/// (EPP < 64 always yields the window maximum).
+[[nodiscard]] unsigned resolve_hwp_ratio(const HwpCapabilities& caps, const HwpRequest& req);
+
+/// Collapse an EPP value onto the coarse bias tiers the shared PCU pipeline
+/// understands (performance / balanced / energy saving).
+[[nodiscard]] msr::EpbPolicy epp_to_epb(unsigned epp);
+
+}  // namespace hsw::pcu

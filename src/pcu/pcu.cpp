@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "arch/calibration.hpp"
+#include "pcu/hwp.hpp"
 #include "power/power_model.hpp"
 
 namespace hsw::pcu {
@@ -18,17 +19,19 @@ constexpr double kUncoreStepMhz = 50.0;  // ladder granularity (1.75/1.65 GHz)
 
 }  // namespace
 
-PcuController::PcuController(const arch::Sku& sku, unsigned socket_id)
+PcuController::PcuController(const arch::Sku& sku, unsigned socket_id,
+                             const PcuPolicy* policy)
     : sku_{&sku},
       socket_id_{socket_id},
+      policy_{policy != nullptr ? policy : &haswell_policy()},
       core_curve_{power::VfCurve::core_curve(socket_id)},
       uncore_curve_{power::VfCurve::uncore_curve(socket_id)},
       licenses_(sku.cores) {}
 
-Voltage PcuController::core_voltage(unsigned core, Frequency f, bool licensed) const {
+Voltage PcuController::core_voltage(unsigned core, Frequency f, unsigned level) const {
     Voltage v = core_curve_.voltage_for(f);
-    if (licensed) {
-        v = v + Voltage::volts(AvxLicense::kLicenseVoltageAdderVolts);
+    if (level > 0) {
+        v = v + Voltage::volts(policy_->license_voltage_adder_volts(level));
     }
     (void)core;  // per-core variation is applied by the socket's noise layer
     return v;
@@ -48,26 +51,84 @@ Power PcuController::estimate_package_power(const PcuInputs& in,
     for (std::size_t i = 0; i < in.cores.size(); ++i) {
         const auto& c = in.cores[i];
         const Frequency f = Frequency::from_ratio(core_ratios[i]);
-        const bool licensed = licenses_[i].licensed();
+        const unsigned level = licenses_[i].level();
         const power::CoreActivity activity{
             .cdyn_utilization = c.cdyn_utilization,
             .clock_running = c.state == cstates::CState::C0,
             .power_gated = cstates::power_gated(c.state),
         };
-        total += power::core_power(activity, core_voltage(static_cast<unsigned>(i), f, licensed), f);
+        total += power::core_power(activity, core_voltage(static_cast<unsigned>(i), f, level), f);
     }
     total += power::uncore_power(in.uncore_traffic, uncore_curve_.voltage_for(uncore), uncore);
     return total;
 }
 
 PcuOutputs PcuController::evaluate(const PcuInputs& in, Time now) {
+    PcuOutputs out;
+    if (in.hwp_enabled && policy_->hwp_capable()) {
+        PcuInputs adjusted = in;
+        apply_hwp(adjusted);
+        out = evaluate_impl(adjusted, now);
+    } else {
+        out = evaluate_impl(in, now);
+    }
+    if (policy_->per_die_uncore()) fill_die_uncore(in, out);
+    return out;
+}
+
+void PcuController::apply_hwp(PcuInputs& in) const {
+    const HwpCapabilities caps = capabilities_for(*sku_);
+    unsigned min_epp = 255;
+    bool any_active = false;
+    for (auto& c : in.cores) {
+        const std::uint64_t raw =
+            c.hwp_request_raw != 0 ? c.hwp_request_raw : in.hwp_request_pkg_raw;
+        // Raw zero means "nobody programmed a request": run autonomously
+        // with the default (balanced) EPP rather than decoding epp = 0.
+        const HwpRequest req = raw != 0 ? decode_hwp_request(raw) : HwpRequest{};
+        c.requested_ratio = resolve_hwp_ratio(caps, req);
+        if (c.state == cstates::CState::C0) {
+            min_epp = std::min(min_epp, req.epp);
+            any_active = true;
+        }
+    }
+    // The most performance-hungry active core sets the package bias tier.
+    if (any_active) in.epb = epp_to_epb(min_epp);
+}
+
+void PcuController::fill_die_uncore(const PcuInputs& in, PcuOutputs& out) const {
+    // Two sub-NUMA clusters: low core IDs on die 0, high on die 1. A die
+    // with no running core parks its uncore at the minimum; an active die
+    // follows its own fastest core but never exceeds the package grant.
+    const std::size_t half = (in.cores.size() + 1) / 2;
+    out.die_uncore_frequency.assign(2, sku_->uncore_min);
+    if (out.uncore_clock_halted) return;
+    for (std::size_t die = 0; die < 2; ++die) {
+        const std::size_t begin = die == 0 ? 0 : half;
+        const std::size_t end = die == 0 ? half : in.cores.size();
+        Frequency fastest = Frequency::zero();
+        for (std::size_t i = begin; i < end && i < out.cores.size(); ++i) {
+            if (in.cores[i].state != cstates::CState::C0) continue;
+            fastest = std::max(fastest, out.cores[i].frequency);
+        }
+        if (fastest > Frequency::zero()) {
+            out.die_uncore_frequency[die] =
+                std::min(out.uncore_frequency, std::max(sku_->uncore_min, fastest));
+        }
+    }
+}
+
+PcuOutputs PcuController::evaluate_impl(const PcuInputs& in, Time now) {
     assert(in.cores.size() == sku_->cores);
     ++tick_count_;
 
     // --- AVX license state machines ---
+    const bool avx512_capable = policy_->max_license_level() >= 2;
     for (std::size_t i = 0; i < in.cores.size(); ++i) {
         const bool running = in.cores[i].state == cstates::CState::C0;
-        licenses_[i].update(running ? in.cores[i].avx_fraction : 0.0, now);
+        licenses_[i].update(running ? in.cores[i].avx_fraction : 0.0,
+                            running && avx512_capable ? in.cores[i].avx512_fraction : 0.0,
+                            now);
     }
 
     unsigned n_active = 0;
@@ -103,7 +164,7 @@ PcuOutputs PcuController::evaluate(const PcuInputs& in, Time now) {
             .msr_max_ratio = msr_limit.max_ratio,
             .msr_min_ratio = msr_limit.min_ratio,
         };
-        UfsDecision d = uncore_policy(ufs);
+        UfsDecision d = policy_->uncore(ufs);
         Frequency uncore = d.target;
         if (!d.clock_halted && ufs.turbo_requested) {
             // Table III: the passive uncore fluctuates between 2.9 and
@@ -118,8 +179,8 @@ PcuOutputs PcuController::evaluate(const PcuInputs& in, Time now) {
         std::vector<unsigned> parked(in.cores.size(), sku_->min_frequency.ratio());
         for (std::size_t i = 0; i < in.cores.size(); ++i) {
             const Frequency f = sku_->min_frequency;
-            out.cores[i] = CoreGrant{f, core_voltage(static_cast<unsigned>(i), f, false),
-                                     licenses_[i].licensed(), 1.0};
+            out.cores[i] = CoreGrant{f, core_voltage(static_cast<unsigned>(i), f, 0),
+                                     licenses_[i].licensed(), licenses_[i].level(), 1.0};
         }
         out.uncore_frequency = uncore;
         out.uncore_voltage = uncore_curve_.voltage_for(uncore);
@@ -152,11 +213,19 @@ PcuOutputs PcuController::evaluate(const PcuInputs& in, Time now) {
         }
         Frequency cap = resolve_cap(ctx, Frequency::from_ratio(c.requested_ratio),
                                     licenses_[i].licensed());
+        // The AVX-512 license caps harder than the 256-bit one (Skylake-SP:
+        // 2.7 GHz nominal drops to 1.9 GHz all-core at license 2).
+        if (licenses_[i].level() >= 2) {
+            cap = std::min(cap, sku_->max_avx512_turbo(n_active));
+        }
         cap = eet_demote(ctx, cap, eet_stall_snapshot_);
         caps[i] = cap.ratio();
-        // Guaranteed floor: everything above AVX base is opportunistic
-        // (Section II-F); requests at or below it are honored.
-        floors[i] = std::min(caps[i], avx_base_ratio);
+        // Guaranteed floor: everything above the license base frequency is
+        // opportunistic (Section II-F); requests at or below it are honored.
+        const unsigned base_ratio = licenses_[i].level() >= 2
+                                        ? sku_->avx512_base_frequency.ratio()
+                                        : avx_base_ratio;
+        floors[i] = std::min(caps[i], base_ratio);
     }
 
     Power budget = effective_budget(in.current_intensity);
@@ -185,7 +254,7 @@ PcuOutputs PcuController::evaluate(const PcuInputs& in, Time now) {
             .msr_max_ratio = msr_limit.max_ratio,
             .msr_min_ratio = msr_limit.min_ratio,
         };
-        return uncore_policy(ufs);
+        return policy_->uncore(ufs);
     };
 
     // --- Core throttle loop: shed 100 MHz from the fastest cores while the
@@ -278,11 +347,12 @@ PcuOutputs PcuController::evaluate(const PcuInputs& in, Time now) {
     // --- Assemble grants ---
     for (std::size_t i = 0; i < in.cores.size(); ++i) {
         const Frequency f = Frequency::from_ratio(ratios[i]);
-        const bool licensed = licenses_[i].licensed();
+        const unsigned level = licenses_[i].level();
         out.cores[i] = CoreGrant{
             f,
-            core_voltage(static_cast<unsigned>(i), f, licensed),
-            licensed,
+            core_voltage(static_cast<unsigned>(i), f, level),
+            licenses_[i].licensed(),
+            level,
             licenses_[i].throughput_factor(now),
         };
     }

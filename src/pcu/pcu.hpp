@@ -21,6 +21,7 @@
 #include "cstates/cstate.hpp"
 #include "msr/msr_file.hpp"
 #include "pcu/avx_license.hpp"
+#include "pcu/policy.hpp"
 #include "pcu/turbo.hpp"
 #include "pcu/uncore_scaling.hpp"
 #include "power/vf_curve.hpp"
@@ -37,8 +38,12 @@ struct CoreInputs {
     cstates::CState state = cstates::CState::C6;
     unsigned requested_ratio = 12;   // IA32_PERF_CTL target (nominal+1 = turbo)
     double avx_fraction = 0.0;       // of the running workload
+    double avx512_fraction = 0.0;    // 512-bit density (license level 2 input)
     double stall_fraction = 0.0;
     double cdyn_utilization = 0.0;   // current dynamic activity
+    /// Raw IA32_HWP_REQUEST for this core (0 = fall back to the package
+    /// request, then to an autonomous default). Ignored unless HWP is on.
+    std::uint64_t hwp_request_raw = 0;
 };
 
 struct PcuInputs {
@@ -53,12 +58,18 @@ struct PcuInputs {
     double power_limit_watts = 0.0;
     /// Raw MSR_UNCORE_RATIO_LIMIT value (0 = unconstrained).
     std::uint64_t uncore_ratio_limit_raw = 0;
+    /// MSR_PM_ENABLE bit 0: requests are taken from hwp_request_raw instead
+    /// of requested_ratio. Only honored by HWP-capable policies.
+    bool hwp_enabled = false;
+    /// Raw IA32_HWP_REQUEST_PKG fallback for cores with no own request.
+    std::uint64_t hwp_request_pkg_raw = 0;
 };
 
 struct CoreGrant {
     Frequency frequency;
     Voltage voltage;
     bool avx_licensed = false;
+    unsigned license_level = 0;      // 0 none, 1 AVX, 2 AVX-512
     double throughput_factor = 1.0;  // < 1 during the AVX voltage ramp
 };
 
@@ -69,11 +80,16 @@ struct PcuOutputs {
     bool uncore_clock_halted = false;
     bool tdp_limited = false;
     Power estimated_package_power;
+    /// Per-die uncore grants (Skylake-SP sub-NUMA clusters); empty for
+    /// policies with a package-wide uncore clock.
+    std::vector<Frequency> die_uncore_frequency;
 };
 
 class PcuController {
 public:
-    PcuController(const arch::Sku& sku, unsigned socket_id);
+    /// A null policy means the default Haswell policy (haswell_policy()).
+    PcuController(const arch::Sku& sku, unsigned socket_id,
+                  const PcuPolicy* policy = nullptr);
 
     /// Run one opportunity-grid evaluation. Deterministic given inputs.
     [[nodiscard]] PcuOutputs evaluate(const PcuInputs& in, Time now);
@@ -93,13 +109,23 @@ public:
     [[nodiscard]] Power effective_budget(double current_intensity) const;
 
 private:
-    [[nodiscard]] Voltage core_voltage(unsigned core, Frequency f, bool licensed) const;
+    /// The pipeline shared by all generations; `in` already has HWP
+    /// requests resolved into requested_ratio when HWP is live.
+    [[nodiscard]] PcuOutputs evaluate_impl(const PcuInputs& in, Time now);
+    /// Resolve IA32_HWP_REQUEST windows into per-core requested ratios and
+    /// an effective bias tier (the minimum EPP over active cores wins).
+    void apply_hwp(PcuInputs& in) const;
+    /// Split the package uncore grant into per-die grants (idle die parks
+    /// at the minimum; an active die never exceeds the package grant).
+    void fill_die_uncore(const PcuInputs& in, PcuOutputs& out) const;
+    [[nodiscard]] Voltage core_voltage(unsigned core, Frequency f, unsigned level) const;
 
     const arch::Sku* sku_;
     unsigned socket_id_;
+    const PcuPolicy* policy_;
     power::VfCurve core_curve_;
     power::VfCurve uncore_curve_;
-    std::vector<AvxLicense> licenses_;
+    std::vector<AvxLicenseLevels> licenses_;
     double core_dither_accum_ = 0.0;
     double uncore_dither_accum_ = 0.0;
     std::uint64_t tick_count_ = 0;

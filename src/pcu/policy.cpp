@@ -1,0 +1,16 @@
+#include "pcu/policy.hpp"
+
+#include "pcu/avx_license.hpp"
+
+namespace hsw::pcu {
+
+double PcuPolicy::license_voltage_adder_volts(unsigned level) const {
+    return level >= 1 ? AvxLicense::kLicenseVoltageAdderVolts : 0.0;
+}
+
+const PcuPolicy& haswell_policy() {
+    static const PcuPolicy policy;
+    return policy;
+}
+
+}  // namespace hsw::pcu

@@ -1,0 +1,44 @@
+// Generation hooks into the PCU firmware model.
+//
+// The PCU evaluation pipeline (caps, EET, budget loop, dither) is shared
+// across processor generations; what differs is the uncore grant policy,
+// whether HWP request windows are honored, how many AVX license levels
+// exist and what voltage each one costs. A PlatformBackend (src/platform/)
+// supplies a PcuPolicy; pcu itself only knows the abstract interface, so
+// the layering stays pcu -> {arch, msr, power, util}.
+#pragma once
+
+#include "pcu/uncore_scaling.hpp"
+
+namespace hsw::pcu {
+
+class PcuPolicy {
+public:
+    virtual ~PcuPolicy() = default;
+
+    /// Uncore decision for one opportunity-grid evaluation. The default is
+    /// the Haswell UFS policy (Sections II-D, V-A).
+    [[nodiscard]] virtual UfsDecision uncore(const UfsInputs& in) const {
+        return uncore_policy(in);
+    }
+
+    /// True when the PCU honors IA32_HWP_REQUEST windows (Skylake-SP+).
+    [[nodiscard]] virtual bool hwp_capable() const { return false; }
+
+    /// Highest AVX license level: 1 = the 256-bit license only (Haswell),
+    /// 2 adds the AVX-512 license (Skylake-SP).
+    [[nodiscard]] virtual unsigned max_license_level() const { return 1; }
+
+    /// Voltage adder applied while a core holds `level`.
+    [[nodiscard]] virtual double license_voltage_adder_volts(unsigned level) const;
+
+    /// True when the uncore clock is granted per die cluster (Skylake-SP
+    /// sub-NUMA clustering) rather than package-wide.
+    [[nodiscard]] virtual bool per_die_uncore() const { return false; }
+};
+
+/// The default policy: Haswell semantics, byte-identical to the pre-policy
+/// pipeline. Used whenever a PcuController is built without a backend.
+[[nodiscard]] const PcuPolicy& haswell_policy();
+
+}  // namespace hsw::pcu

@@ -1,0 +1,67 @@
+// Generation-agnostic platform backends.
+//
+// A PlatformBackend bundles everything that distinguishes one processor
+// generation from another in this model: the representative survey SKU, the
+// PCU policy hooks (uncore governor, HWP capability, AVX license levels),
+// the C-state latency family, and the MSR surface the generation
+// implements. The rest of the tree (core, survey, engine, tools) resolves a
+// backend through the registry (registry.hpp) keyed by arch::Generation and
+// never branches on the generation enum itself.
+//
+// Layering: platform sits above {arch, msr, pcu, cstates, rapl, power,
+// util} and below {core, os, survey, engine} -- enforced by hsw_lint.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "arch/generation.hpp"
+#include "arch/sku.hpp"
+#include "cstates/wake_latency.hpp"
+#include "msr/addresses.hpp"
+#include "pcu/policy.hpp"
+
+namespace hsw::platform {
+
+class PlatformBackend {
+public:
+    virtual ~PlatformBackend() = default;
+
+    [[nodiscard]] virtual arch::Generation generation() const = 0;
+
+    [[nodiscard]] arch::GenerationTraits traits() const {
+        return arch::traits(generation());
+    }
+
+    /// Human-readable generation name ("Haswell-EP", "Skylake-SP", ...).
+    [[nodiscard]] std::string_view name() const { return traits().name; }
+
+    /// The representative SKU the cross-generation survey experiments run
+    /// on (the paper's test system for Haswell-EP).
+    [[nodiscard]] virtual const arch::Sku& survey_sku() const = 0;
+
+    /// Generation hooks into the shared PCU pipeline. The default is the
+    /// Haswell policy, which pre-HWP generations share (their differences
+    /// -- fixed/coupled uncore -- are expressed through GenerationTraits
+    /// inside the uncore policy itself).
+    [[nodiscard]] virtual const pcu::PcuPolicy& pcu_policy() const {
+        return pcu::haswell_policy();
+    }
+
+    /// C-state wake-latency family for this generation.
+    [[nodiscard]] virtual cstates::WakeProfile wake_profile() const {
+        return cstates::profile_for(generation());
+    }
+
+    /// True when the generation honors IA32_HWP_REQUEST windows.
+    [[nodiscard]] bool hwp_capable() const { return pcu_policy().hwp_capable(); }
+
+    /// MSRs this generation implements beyond the common base set
+    /// (msr/addresses.hpp documents the catalog; HWP registers appear only
+    /// on HWP-capable parts).
+    [[nodiscard]] virtual std::vector<msr::MsrAddress> extra_msrs() const {
+        return {};
+    }
+};
+
+}  // namespace hsw::platform

@@ -1,0 +1,16 @@
+// Concrete backend accessors (one per generation). Most callers should go
+// through registry.hpp; these exist for tests and the registry itself.
+#pragma once
+
+#include "platform/backend.hpp"
+
+namespace hsw::platform {
+
+[[nodiscard]] const PlatformBackend& westmere_ep_backend();
+[[nodiscard]] const PlatformBackend& sandy_bridge_ep_backend();
+[[nodiscard]] const PlatformBackend& ivy_bridge_ep_backend();
+[[nodiscard]] const PlatformBackend& haswell_ep_backend();
+[[nodiscard]] const PlatformBackend& haswell_he_backend();
+[[nodiscard]] const PlatformBackend& skylake_sp_backend();
+
+}  // namespace hsw::platform

@@ -1,0 +1,42 @@
+// Haswell backends: the paper's main subject. The PCU policy is the
+// default one -- the entire pre-refactor pipeline, byte for byte -- so the
+// existing golden artifacts cannot move.
+#include "platform/backends.hpp"
+
+namespace hsw::platform {
+
+namespace {
+
+class HaswellEpBackend final : public PlatformBackend {
+public:
+    [[nodiscard]] arch::Generation generation() const override {
+        return arch::Generation::HaswellEP;
+    }
+    [[nodiscard]] const arch::Sku& survey_sku() const override {
+        return arch::xeon_e5_2680_v3();
+    }
+};
+
+class HaswellHeBackend final : public PlatformBackend {
+public:
+    [[nodiscard]] arch::Generation generation() const override {
+        return arch::Generation::HaswellHE;
+    }
+    [[nodiscard]] const arch::Sku& survey_sku() const override {
+        return arch::core_i7_4770();
+    }
+};
+
+}  // namespace
+
+const PlatformBackend& haswell_ep_backend() {
+    static const HaswellEpBackend backend;
+    return backend;
+}
+
+const PlatformBackend& haswell_he_backend() {
+    static const HaswellHeBackend backend;
+    return backend;
+}
+
+}  // namespace hsw::platform

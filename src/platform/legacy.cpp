@@ -1,0 +1,59 @@
+// Pre-Haswell backends (Westmere-EP, Sandy Bridge-EP, Ivy Bridge-EP).
+// They share the default PCU policy: the fixed / core-coupled uncore
+// behavior is already expressed through GenerationTraits inside the uncore
+// policy, and their modeled RAPL split lives in rapl::RaplEstimator keyed
+// by traits().rapl_backend.
+#include "platform/backends.hpp"
+
+namespace hsw::platform {
+
+namespace {
+
+class WestmereEpBackend final : public PlatformBackend {
+public:
+    [[nodiscard]] arch::Generation generation() const override {
+        return arch::Generation::WestmereEP;
+    }
+    [[nodiscard]] const arch::Sku& survey_sku() const override {
+        return arch::xeon_x5670();
+    }
+};
+
+class SandyBridgeEpBackend final : public PlatformBackend {
+public:
+    [[nodiscard]] arch::Generation generation() const override {
+        return arch::Generation::SandyBridgeEP;
+    }
+    [[nodiscard]] const arch::Sku& survey_sku() const override {
+        return arch::xeon_e5_2670();
+    }
+};
+
+class IvyBridgeEpBackend final : public PlatformBackend {
+public:
+    [[nodiscard]] arch::Generation generation() const override {
+        return arch::Generation::IvyBridgeEP;
+    }
+    [[nodiscard]] const arch::Sku& survey_sku() const override {
+        return arch::xeon_e5_2690_v2();
+    }
+};
+
+}  // namespace
+
+const PlatformBackend& westmere_ep_backend() {
+    static const WestmereEpBackend backend;
+    return backend;
+}
+
+const PlatformBackend& sandy_bridge_ep_backend() {
+    static const SandyBridgeEpBackend backend;
+    return backend;
+}
+
+const PlatformBackend& ivy_bridge_ep_backend() {
+    static const IvyBridgeEpBackend backend;
+    return backend;
+}
+
+}  // namespace hsw::platform

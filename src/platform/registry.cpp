@@ -1,0 +1,49 @@
+#include "platform/registry.hpp"
+
+#include <cctype>
+
+#include "platform/backends.hpp"
+
+namespace hsw::platform {
+
+namespace {
+
+char lower(char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::string name_slug(std::string_view name) {
+    std::string slug;
+    slug.reserve(name.size());
+    for (char c : name) slug.push_back(c == ' ' ? '-' : lower(c));
+    return slug;
+}
+
+const std::vector<const PlatformBackend*>& all_backends() {
+    static const std::vector<const PlatformBackend*> backends{
+        &westmere_ep_backend(),   &sandy_bridge_ep_backend(),
+        &ivy_bridge_ep_backend(), &haswell_ep_backend(),
+        &haswell_he_backend(),    &skylake_sp_backend(),
+    };
+    return backends;
+}
+
+const PlatformBackend& backend_for(arch::Generation generation) {
+    for (const PlatformBackend* b : all_backends()) {
+        if (b->generation() == generation) return *b;
+    }
+    // Mirror arch::traits(): unknown enumerators behave like Haswell-EP.
+    return haswell_ep_backend();
+}
+
+const PlatformBackend* backend_by_name(std::string_view name) {
+    const std::string wanted = name_slug(name);
+    for (const PlatformBackend* b : all_backends()) {
+        if (name_slug(b->name()) == wanted) return b;
+    }
+    return nullptr;
+}
+
+}  // namespace hsw::platform

@@ -1,0 +1,30 @@
+// Backend registry keyed by arch::Generation.
+//
+// Lookup by name accepts either the traits name ("Skylake-SP") or its
+// lowercase slug with spaces collapsed to dashes ("sandy-bridge-ep"),
+// case-insensitively -- the form hsw_survey --generation takes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/backend.hpp"
+
+namespace hsw::platform {
+
+/// The backend for a generation. Every enumerator has one; unknown values
+/// fall back to the Haswell-EP backend (mirroring arch::traits()).
+[[nodiscard]] const PlatformBackend& backend_for(arch::Generation generation);
+
+/// Name lookup for CLI surfaces; nullptr when nothing matches.
+[[nodiscard]] const PlatformBackend* backend_by_name(std::string_view name);
+
+/// All registered backends in enum order.
+[[nodiscard]] const std::vector<const PlatformBackend*>& all_backends();
+
+/// The canonical lowercase slug for a backend name ("Sandy Bridge-EP" ->
+/// "sandy-bridge-ep"); what --list-generations prints.
+[[nodiscard]] std::string name_slug(std::string_view name);
+
+}  // namespace hsw::platform

@@ -1,0 +1,124 @@
+// Skylake-SP backend (Schoene et al., "Energy Efficiency Features of the
+// Intel Skylake-SP Processor").
+//
+// What changes relative to Haswell-EP:
+//  - HWP: the OS programs IA32_HWP_REQUEST windows + EPP; the PCU resolves
+//    the operating point itself (pcu/hwp.hpp).
+//  - AVX-512 adds a second license level with a much harder frequency cap
+//    and a larger voltage adder.
+//  - The uncore governor is demand-driven with a lower ceiling (2.4 GHz on
+//    the Gold 6150) and parks passive/idle uncores at the floor; grants are
+//    split per die cluster (sub-NUMA clustering).
+#include <algorithm>
+
+#include "arch/calibration.hpp"
+#include "msr/msr_file.hpp"
+#include "platform/backends.hpp"
+
+namespace hsw::platform {
+
+namespace cal = hsw::arch::cal;
+
+namespace {
+
+using pcu::UfsDecision;
+using pcu::UfsInputs;
+using util::Frequency;
+
+/// Extra voltage for the AVX-512 license (twice the 256-bit adder: the
+/// paper's wide-vector V-f points sit on a visibly raised curve).
+constexpr double kAvx512VoltageAdderVolts = 0.040;
+
+UfsDecision clamp_msr(UfsDecision d, const UfsInputs& in) {
+    if (in.msr_max_ratio != 0) {
+        const Frequency cap = Frequency::from_ratio(in.msr_max_ratio);
+        d.target = std::min(d.target, cap);
+        d.floor = std::min(d.floor, cap);
+    }
+    if (in.msr_min_ratio != 0) {
+        const Frequency fl = Frequency::from_ratio(in.msr_min_ratio);
+        d.target = std::max(d.target, fl);
+        d.floor = std::max(d.floor, fl);
+    }
+    return d;
+}
+
+class SkxPcuPolicy final : public pcu::PcuPolicy {
+public:
+    [[nodiscard]] bool hwp_capable() const override { return true; }
+    [[nodiscard]] unsigned max_license_level() const override { return 2; }
+    [[nodiscard]] bool per_die_uncore() const override { return true; }
+
+    [[nodiscard]] double license_voltage_adder_volts(unsigned level) const override {
+        if (level >= 2) return kAvx512VoltageAdderVolts;
+        return PcuPolicy::license_voltage_adder_volts(level);
+    }
+
+    [[nodiscard]] UfsDecision uncore(const UfsInputs& in) const override {
+        const arch::Sku& sku = *in.sku;
+        UfsDecision d;
+        if (!in.system_active) {
+            d.clock_halted = true;
+            d.target = d.floor = sku.uncore_min;
+            return clamp_msr(d, in);
+        }
+        if (!in.socket_active) {
+            // Unlike Haswell's remote-tracking rule, a passive Skylake-SP
+            // socket parks its uncore at the floor -- the low idle uncore
+            // clock the Skylake-SP paper reports.
+            d.target = d.floor = sku.uncore_min;
+            return clamp_msr(d, in);
+        }
+        if (in.epb == msr::EpbPolicy::Performance) {
+            d.target = sku.uncore_max;
+            d.floor = std::clamp(in.fastest_local_core, sku.uncore_min, sku.uncore_max);
+            return clamp_msr(d, in);
+        }
+        if (in.stall_fraction >= cal::kUfsStallHighWatermark) {
+            // Memory bound: head for the (lower-than-Haswell) maximum.
+            d.target = sku.uncore_max;
+            d.floor = std::min(in.fastest_local_core, sku.uncore_max);
+            return clamp_msr(d, in);
+        }
+        // Demand-driven default: one 100 MHz step below the fastest core,
+        // clamped into the uncore range -- no Table III ladder on SKX.
+        const double mhz = std::clamp(in.fastest_local_core.as_mhz() - 100.0,
+                                      sku.uncore_min.as_mhz(), sku.uncore_max.as_mhz());
+        const Frequency track = Frequency::mhz(mhz);
+        if (in.stall_fraction >= cal::kUfsTrackingStallThreshold || in.turbo_requested) {
+            d.target = sku.uncore_max;
+            d.floor = track;
+            return clamp_msr(d, in);
+        }
+        d.target = d.floor = track;
+        return clamp_msr(d, in);
+    }
+};
+
+class SkylakeSpBackend final : public PlatformBackend {
+public:
+    [[nodiscard]] arch::Generation generation() const override {
+        return arch::Generation::SkylakeSP;
+    }
+    [[nodiscard]] const arch::Sku& survey_sku() const override {
+        return arch::xeon_gold_6150();
+    }
+    [[nodiscard]] const pcu::PcuPolicy& pcu_policy() const override {
+        static const SkxPcuPolicy policy;
+        return policy;
+    }
+    [[nodiscard]] std::vector<msr::MsrAddress> extra_msrs() const override {
+        return {msr::MSR_PM_ENABLE, msr::IA32_HWP_CAPABILITIES,
+                msr::IA32_HWP_REQUEST_PKG, msr::IA32_HWP_REQUEST,
+                msr::IA32_HWP_STATUS};
+    }
+};
+
+}  // namespace
+
+const PlatformBackend& skylake_sp_backend() {
+    static const SkylakeSpBackend backend;
+    return backend;
+}
+
+}  // namespace hsw::platform

@@ -37,9 +37,7 @@ void RaplPackage::publish() {
     pkg_raw_ = static_cast<std::uint32_t>(
         static_cast<std::uint64_t>(reported_pkg_.as_joules() / energy_unit(Domain::Package)));
 
-    if (dram_mode_ == DramMode::Mode0 &&
-        (generation_ == arch::Generation::HaswellEP ||
-         generation_ == arch::Generation::HaswellHE)) {
+    if (dram_mode_ == DramMode::Mode0 && arch::traits(generation_).dram_mode0_garbage) {
         // "Using DRAM mode 0 will result in unspecified behavior": the
         // counter advances erratically and is useless for measurement.
         dram_raw_ += static_cast<std::uint32_t>(mode0_rng_.uniform_u64(1u << 18));
@@ -57,10 +55,10 @@ std::uint64_t RaplPackage::power_unit_msr() const {
 
 double RaplPackage::energy_unit(Domain d) const {
     if (d == Domain::Dram && dram_mode_ == DramMode::Mode1 &&
-        (generation_ == arch::Generation::HaswellEP ||
-         generation_ == arch::Generation::HaswellHE)) {
+        arch::traits(generation_).fixed_dram_energy_unit) {
         // The documented-elsewhere 15.3 uJ unit (Section IV): NOT what the
-        // generic unit register advertises.
+        // generic unit register advertises. Haswell introduced it;
+        // Skylake-SP keeps the fixed DRAM unit.
         return cal::kDramEnergyUnitJoules;
     }
     return cal::kPackageEnergyUnitJoules;

@@ -2,6 +2,7 @@
 
 #include "analysis/invariant_checker.hpp"
 #include "arch/sku.hpp"
+#include "platform/registry.hpp"
 #include "util/table.hpp"
 
 namespace hsw::survey {
@@ -35,8 +36,7 @@ RaplAccuracyResult fig2_run(arch::Generation generation, util::Time window,
                             std::uint64_t seed, const analysis::AuditConfig& audit) {
     core::NodeConfig cfg;
     cfg.seed = seed;
-    cfg.sku = generation == arch::Generation::SandyBridgeEP ? &arch::xeon_e5_2670()
-                                                            : &arch::xeon_e5_2680_v3();
+    cfg.sku = &platform::backend_for(generation).survey_sku();
     core::Node node{cfg};
     analysis::InvariantChecker checker{audit};
     checker.attach(node);

@@ -5,6 +5,7 @@
 #include "analysis/invariant_checker.hpp"
 #include "arch/sku.hpp"
 #include "core/node.hpp"
+#include "platform/registry.hpp"
 #include "tools/cstate_probe.hpp"
 #include "util/table.hpp"
 
@@ -44,9 +45,7 @@ std::vector<CstateLatencySeries> fig56_generation(cstates::CState state,
 
     core::NodeConfig node_cfg;
     node_cfg.seed = cfg.seed;
-    node_cfg.sku = generation == arch::Generation::SandyBridgeEP
-                       ? &arch::xeon_e5_2670()
-                       : &arch::xeon_e5_2680_v3();
+    node_cfg.sku = &platform::backend_for(generation).survey_sku();
     core::Node node{node_cfg};
     analysis::InvariantChecker checker{cfg.audit};
     checker.attach(node);

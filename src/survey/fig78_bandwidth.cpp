@@ -5,21 +5,10 @@
 #include "analysis/invariant_checker.hpp"
 #include "arch/sku.hpp"
 #include "core/node.hpp"
+#include "platform/registry.hpp"
 #include "util/table.hpp"
 
 namespace hsw::survey {
-
-namespace {
-
-const arch::Sku* sku_for(arch::Generation g) {
-    switch (g) {
-        case arch::Generation::WestmereEP: return &arch::xeon_x5670();
-        case arch::Generation::SandyBridgeEP: return &arch::xeon_e5_2670();
-        default: return &arch::xeon_e5_2680_v3();
-    }
-}
-
-}  // namespace
 
 std::string Fig7Result::render() const {
     util::Table t{
@@ -48,7 +37,7 @@ RelativeBandwidthSeries fig7_generation(arch::Generation generation, std::uint64
                                         const analysis::AuditConfig& audit) {
     core::NodeConfig cfg;
     cfg.seed = seed;
-    cfg.sku = sku_for(generation);
+    cfg.sku = &platform::backend_for(generation).survey_sku();
     core::Node node{cfg};
     analysis::InvariantChecker checker{audit};
     checker.attach(node);

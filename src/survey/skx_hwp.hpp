@@ -1,0 +1,62 @@
+// Skylake-SP cross-generation extensions: the HWP/EPP ladder sweep and the
+// AVX-512 license-level sweep (Schöne et al.'s follow-up survey methodology
+// applied to the simulated Skylake-SP backend). Both run on a node built
+// from the Skylake-SP platform backend's survey SKU (Xeon Gold 6150).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/audit_config.hpp"
+#include "util/units.hpp"
+
+namespace hsw::survey {
+
+struct SkxSweepConfig {
+    /// Settle time after each setting change before the measurement window
+    /// opens (covers several PCU opportunity periods plus ramp).
+    util::Time settle = util::Time::ms(50);
+    /// Measurement window per sweep point.
+    util::Time window = util::Time::ms(500);
+    std::uint64_t seed = 0xC0FFEE;
+    analysis::AuditConfig audit;
+};
+
+/// One EPP setting under full FIRESTARTER load with HWP enabled and an
+/// autonomous request (min/max/desired = 0): where the EPP ladder lands.
+struct HwpEppPoint {
+    unsigned epp = 0;
+    double core_ghz = 0.0;    // APERF/MPERF-derived mean, cpu 0
+    double uncore_ghz = 0.0;  // socket 0
+    double rapl_pkg_watts = 0.0;
+};
+
+struct HwpEppResult {
+    std::vector<HwpEppPoint> points;
+    [[nodiscard]] std::string render() const;
+};
+
+/// Sweep the EPP ladder 0..255 with HWP enabled (MSR_PM_ENABLE,
+/// IA32_HWP_REQUEST written through the MSR file, like an OS would).
+[[nodiscard]] HwpEppResult skx_hwp_epp(const SkxSweepConfig& cfg = {});
+
+/// One AVX-512 density point at the turbo request: the license level the
+/// PCU settles on and the frequency/power cost of holding it.
+struct Avx512LicensePoint {
+    double avx512_fraction = 0.0;
+    unsigned license_level = 0;  // 0 none, 1 AVX, 2 AVX-512
+    double core_ghz = 0.0;
+    double rapl_pkg_watts = 0.0;
+};
+
+struct Avx512LicenseResult {
+    std::vector<Avx512LicensePoint> points;
+    [[nodiscard]] std::string render() const;
+};
+
+/// Sweep FIRESTARTER variants with increasing 512-bit instruction density
+/// across the two-level license model.
+[[nodiscard]] Avx512LicenseResult skx_avx512_license(const SkxSweepConfig& cfg = {});
+
+}  // namespace hsw::survey

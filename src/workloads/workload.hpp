@@ -46,6 +46,9 @@ struct Workload {
     double ipc_uncore_sens = 0.0;
     /// Fraction of 256-bit AVX/FMA instructions (AVX license trigger).
     double avx_fraction = 0.0;
+    /// Fraction of 512-bit instructions (AVX-512 license trigger on
+    /// Skylake-SP; ignored by generations without the second level).
+    double avx512_fraction = 0.0;
     /// Off-core stall cycle fraction (UFS/EET input).
     double stall_fraction = 0.0;
     /// Peak-current intensity in [0, 1]; high-current code (LINPACK) makes

@@ -9,6 +9,7 @@
 #include "survey/fig4_opportunity.hpp"
 #include "survey/fig56_cstates.hpp"
 #include "survey/fig78_bandwidth.hpp"
+#include "survey/skx_hwp.hpp"
 
 namespace hsw::survey {
 namespace {
@@ -58,6 +59,27 @@ TEST(AuditCleanRuns, Fig7RelativeBandwidth) {
 
 TEST(AuditCleanRuns, Fig8BandwidthGrid) {
     EXPECT_NO_THROW((void)fig8(0xC0FFEE, strict()));
+}
+
+TEST(AuditCleanRuns, Fig2RaplSweepSkylakeSp) {
+    EXPECT_NO_THROW(
+        (void)fig2_run(arch::Generation::SkylakeSP, Time::sec(1), 0xC0FFEE, strict()));
+}
+
+TEST(AuditCleanRuns, SkxHwpEppLadder) {
+    SkxSweepConfig cfg;
+    cfg.settle = Time::ms(10);
+    cfg.window = Time::ms(50);
+    cfg.audit = strict();
+    EXPECT_NO_THROW((void)skx_hwp_epp(cfg));
+}
+
+TEST(AuditCleanRuns, SkxAvx512LicenseSweep) {
+    SkxSweepConfig cfg;
+    cfg.settle = Time::ms(10);
+    cfg.window = Time::ms(50);
+    cfg.audit = strict();
+    EXPECT_NO_THROW((void)skx_avx512_license(cfg));
 }
 
 }  // namespace

@@ -54,13 +54,32 @@ TEST(InvariantChecker, AcceptsLegitimateCounterWrap) {
 TEST(InvariantChecker, FlagsPackagePowerOutsideEnvelope) {
     auto chk = make_checker();
     const arch::Sku& sku = arch::xeon_e5_2680_v3();  // TDP 120 W
-    // Above TDP * 1.15 + 10 W.
-    chk.observe_package_power(sku, Time::ms(1), 0, Power::watts(180.0), true);
+    // Above the TDP * 1.5 + 10 W instantaneous peak envelope: flagged on the
+    // very first sample, no excursion allowance applies.
+    chk.observe_package_power(sku, Time::ms(1), 0, Power::watts(200.0), true);
     // Below the active idle floor while a core is in C0.
     chk.observe_package_power(sku, Time::ms(2), 0, Power::watts(0.1), true);
     // Negative even while fully idle.
     chk.observe_package_power(sku, Time::ms(3), 1, Power::watts(-1.0), false);
     EXPECT_EQ(chk.sink().count(Invariant::PackagePower), 3u);
+}
+
+TEST(InvariantChecker, ToleratesBriefCappingExcursionFlagsSustained) {
+    auto chk = make_checker();
+    const arch::Sku& sku = arch::xeon_e5_2680_v3();  // bound = 120 * 1.15 + 10
+    // A spike above the capping bound (but under the peak envelope) that the
+    // PCU reins in within its ~500 us reaction time: not a violation.
+    chk.observe_package_power(sku, Time::us(100), 0, Power::watts(160.0), true);
+    chk.observe_package_power(sku, Time::us(400), 0, Power::watts(160.0), true);
+    chk.observe_package_power(sku, Time::us(700), 0, Power::watts(120.0), true);
+    EXPECT_EQ(chk.sink().count(Invariant::PackagePower), 0u);
+    // The same level sustained past the excursion allowance: every sample
+    // after the allowance elapses is a capping violation.
+    for (int i = 0; i < 10; ++i) {
+        chk.observe_package_power(sku, Time::ms(10) + Time::us(100) * i, 0,
+                                  Power::watts(160.0), true);
+    }
+    EXPECT_EQ(chk.sink().count(Invariant::PackagePower), 2u);  // at 800/900 us in
 }
 
 TEST(InvariantChecker, FlagsCoreClockOutsidePstateRange) {

@@ -38,8 +38,8 @@ TEST(EngineDeterminism, Jobs8MatchesJobs1ByteForByteOnEveryArtifact) {
     const auto a = artifact_map(serial);
     const auto b = artifact_map(parallel);
     ASSERT_EQ(a.size(), b.size());
-    // Every figure/table driver is represented: 11 experiments x (csv + render).
-    EXPECT_EQ(a.size(), 22u);
+    // Every figure/table driver is represented: 15 experiments x (csv + render).
+    EXPECT_EQ(a.size(), 30u);
     for (const auto& [name, contents] : a) {
         ASSERT_TRUE(b.count(name)) << name;
         EXPECT_EQ(contents, b.at(name)) << "artifact " << name << " differs";

@@ -1,6 +1,7 @@
 // Byte-identity against the committed goldens, through the engine, at two
-// thread counts. The cheap full-tuning experiments (fig3-fig7) regenerate
-// in well under a second; their CSV artifacts must equal the checked-in
+// thread counts. The cheap full-tuning experiments (fig3-fig7 plus the
+// cross-generation xgen_c6/skx_* sweeps) regenerate in seconds; their CSV
+// artifacts must equal the checked-in
 // files byte for byte at jobs=1 and jobs=8 -- the event-engine rewrite's
 // whole contract is that no output byte moves.
 #include <gtest/gtest.h>
@@ -22,7 +23,9 @@
 namespace hsw::engine {
 namespace {
 
-const std::vector<std::string> kCheapExperiments{"fig3", "fig4", "fig5", "fig6", "fig7"};
+const std::vector<std::string> kCheapExperiments{"fig3",    "fig4",    "fig5",
+                                                 "fig6",    "fig7",    "xgen_c6",
+                                                 "skx_hwp", "skx_avx512"};
 
 std::string slurp(const std::filesystem::path& path) {
     std::ifstream in{path, std::ios::binary};

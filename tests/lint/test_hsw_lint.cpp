@@ -39,8 +39,8 @@ std::vector<Finding> findings_for(const std::string& file_suffix) {
 
 TEST(HswLint, FixtureTreeScansAllFiles) {
     const auto result = lint_tree({kFixtures});
-    // 12 .cpp fixtures + the fixture catalog header.
-    EXPECT_EQ(result.files_scanned, 13u);
+    // 15 .cpp fixtures + the fixture catalog header.
+    EXPECT_EQ(result.files_scanned, 16u);
 }
 
 TEST(HswLint, WallClockInSimFires) {
@@ -100,6 +100,30 @@ TEST(HswLint, LowerLayerIncludingRouterFires) {
     ASSERT_EQ(found.size(), 1u);
     EXPECT_EQ(found[0].rule, "include-layering");
     EXPECT_EQ(found[0].line, 3);
+}
+
+TEST(HswLint, PlatformReachingUpFires) {
+    const auto found = findings_for("platform/layering_violation.cpp");
+    ASSERT_EQ(found.size(), 2u);
+    EXPECT_EQ(found[0].rule, "include-layering");
+    EXPECT_EQ(found[1].rule, "include-layering");
+}
+
+TEST(HswLint, DeviceModelIncludingPlatformFires) {
+    const auto found = findings_for("rapl/includes_platform_violation.cpp");
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].rule, "include-layering");
+    EXPECT_EQ(found[0].line, 3);
+}
+
+TEST(HswLint, RawHwpMsrAddressesFire) {
+    const auto found = findings_for("pcu/hwp_msr_violation.cpp");
+    ASSERT_EQ(found.size(), 2u);
+    EXPECT_EQ(found[0].rule, "msr-catalog");
+    EXPECT_EQ(found[0].line, 5);
+    EXPECT_EQ(found[1].rule, "msr-catalog");
+    EXPECT_EQ(found[1].line, 9);
+    // The non-catalog 0xFF mask stayed clean.
 }
 
 TEST(HswLint, RawMsrAddressFires) {

@@ -1,4 +1,4 @@
-// Fixture catalog: the two addresses the msr-catalog fixtures reference.
+// Fixture catalog: the addresses the msr-catalog fixtures reference.
 #pragma once
 
 namespace hsw::msr {
@@ -7,5 +7,7 @@ using MsrAddress = unsigned;
 
 inline constexpr MsrAddress MSR_PKG_ENERGY_STATUS = 0x611;
 inline constexpr MsrAddress IA32_ENERGY_PERF_BIAS = 0x1B0;
+inline constexpr MsrAddress MSR_PM_ENABLE = 0x770;
+inline constexpr MsrAddress IA32_HWP_REQUEST = 0x774;
 
 }  // namespace hsw::msr

@@ -1,0 +1,14 @@
+// Violates msr-catalog: raw HWP MSR addresses that addresses.hpp names.
+namespace hsw::pcu {
+
+unsigned fixture_read_hwp_request() {
+    return 0x774;  // flagged: IA32_HWP_REQUEST spelled raw
+}
+
+unsigned fixture_enable_hwp() {
+    return 0x770;  // flagged: MSR_PM_ENABLE spelled raw
+}
+
+unsigned fixture_epp_mask() { return 0xFF; }  // clean: not a catalog value
+
+}  // namespace hsw::pcu

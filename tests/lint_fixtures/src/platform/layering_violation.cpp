@@ -1,0 +1,10 @@
+// Violates include-layering twice: platform backends reaching up into the
+// simulated machine and into the engine above it.
+#include "core/node.hpp"
+#include "engine/experiment.hpp"
+
+namespace hsw::platform {
+
+void fixture_noop() {}
+
+}  // namespace hsw::platform

@@ -1,0 +1,9 @@
+// Violates include-layering: a device model reaching up into the platform
+// backends. Generation differences reach rapl through arch::GenerationTraits.
+#include "platform/registry.hpp"
+
+namespace hsw::rapl {
+
+void fixture_noop() {}
+
+}  // namespace hsw::rapl

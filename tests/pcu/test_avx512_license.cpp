@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "arch/calibration.hpp"
+#include "pcu/avx_license.hpp"
+
+namespace hsw::pcu {
+namespace {
+
+namespace cal = hsw::arch::cal;
+
+TEST(AvxLicenseLevels, StartsAtLevelZero) {
+    AvxLicenseLevels lic;
+    EXPECT_EQ(lic.level(), 0u);
+    EXPECT_FALSE(lic.licensed());
+    EXPECT_FALSE(lic.ramping(Time::zero()));
+    EXPECT_DOUBLE_EQ(lic.throughput_factor(Time::zero()), 1.0);
+}
+
+TEST(AvxLicenseLevels, DenseAvxGrantsLevelOne) {
+    AvxLicenseLevels lic;
+    lic.update(AvxLicense::kLicenseThreshold + 0.01, 0.0, Time::ms(1));
+    EXPECT_EQ(lic.level(), 1u);
+    EXPECT_TRUE(lic.licensed());
+}
+
+TEST(AvxLicenseLevels, DenseAvx512JumpsStraightToLevelTwo) {
+    AvxLicenseLevels lic;
+    lic.update(0.0, AvxLicenseLevels::kAvx512Threshold + 0.01, Time::ms(1));
+    EXPECT_EQ(lic.level(), 2u);
+    EXPECT_TRUE(lic.ramping(Time::ms(1)));
+    EXPECT_DOUBLE_EQ(lic.throughput_factor(Time::ms(1)),
+                     AvxLicense::kRampThroughputFactor);
+    // One voltage ramp for the whole jump, not one per level.
+    const Time after_ramp = Time::ms(1) + AvxLicense::kRampDuration;
+    EXPECT_FALSE(lic.ramping(after_ramp));
+    EXPECT_DOUBLE_EQ(lic.throughput_factor(after_ramp), 1.0);
+}
+
+TEST(AvxLicenseLevels, SparseAvx512StaysUnlicensed) {
+    AvxLicenseLevels lic;
+    lic.update(0.0, AvxLicenseLevels::kAvx512Threshold - 0.01, Time::ms(1));
+    EXPECT_EQ(lic.level(), 0u);
+}
+
+TEST(AvxLicenseLevels, RelaxesOneLevelPerDelay) {
+    AvxLicenseLevels lic;
+    const Time grant = Time::ms(1);
+    lic.update(0.5, 0.5, grant);
+    ASSERT_EQ(lic.level(), 2u);
+
+    // Scalar-only from here on: the relax timer runs from `grant`.
+    const Time before_first = grant + cal::kAvxRelaxDelay - Time::us(1);
+    lic.update(0.0, 0.0, before_first);
+    EXPECT_EQ(lic.level(), 2u);
+
+    const Time first_drop = grant + cal::kAvxRelaxDelay + Time::us(1);
+    lic.update(0.0, 0.0, first_drop);
+    EXPECT_EQ(lic.level(), 1u) << "drops one level at a time, not straight to 0";
+    EXPECT_TRUE(lic.licensed());
+
+    const Time second_drop = first_drop + cal::kAvxRelaxDelay + Time::us(1);
+    lic.update(0.0, 0.0, second_drop);
+    EXPECT_EQ(lic.level(), 0u);
+    EXPECT_FALSE(lic.licensed());
+}
+
+TEST(AvxLicenseLevels, ReGrantWhileRelaxingJumpsBackUp) {
+    AvxLicenseLevels lic;
+    lic.update(0.5, 0.5, Time::ms(1));
+    ASSERT_EQ(lic.level(), 2u);
+    const Time after_drop = Time::ms(1) + cal::kAvxRelaxDelay + Time::us(1);
+    lic.update(0.0, 0.0, after_drop);
+    ASSERT_EQ(lic.level(), 1u);
+    lic.update(0.0, 0.5, after_drop + Time::us(5));
+    EXPECT_EQ(lic.level(), 2u);
+}
+
+TEST(AvxLicenseLevels, MatchesSingleLevelMachineWithoutAvx512) {
+    // The multi-level machine must be behavior-identical to AvxLicense when
+    // no AVX-512 instructions appear -- this is what keeps every Haswell
+    // golden artifact byte-identical.
+    AvxLicense base;
+    AvxLicenseLevels levels;
+    const double fractions[] = {0.0, 0.1, 0.35, 0.5, 0.0, 0.0, 0.31,
+                                0.29, 0.0,  0.4, 0.0, 0.0, 0.0,  0.6};
+    Time now = Time::zero();
+    for (double f : fractions) {
+        base.update(f, now);
+        levels.update(f, 0.0, now);
+        EXPECT_EQ(levels.licensed(), base.licensed()) << "at " << now.as_seconds() << " s";
+        EXPECT_EQ(levels.ramping(now), base.ramping(now));
+        EXPECT_DOUBLE_EQ(levels.throughput_factor(now), base.throughput_factor(now));
+        now = now + Time::us(400);  // straddles the 1 ms relax delay
+    }
+}
+
+}  // namespace
+}  // namespace hsw::pcu

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "arch/sku.hpp"
+#include "pcu/hwp.hpp"
+
+namespace hsw::pcu {
+namespace {
+
+HwpCapabilities skx_caps() { return capabilities_for(arch::xeon_gold_6150()); }
+
+TEST(Hwp, RequestEncodingRoundTrips) {
+    const HwpRequest req{12, 37, 27, 200};
+    const HwpRequest back = decode_hwp_request(encode_hwp_request(req));
+    EXPECT_EQ(back.min_ratio, req.min_ratio);
+    EXPECT_EQ(back.max_ratio, req.max_ratio);
+    EXPECT_EQ(back.desired_ratio, req.desired_ratio);
+    EXPECT_EQ(back.epp, req.epp);
+}
+
+TEST(Hwp, CapabilitiesEncodingRoundTrips) {
+    const HwpCapabilities caps = skx_caps();
+    const HwpCapabilities back = decode_hwp_capabilities(encode_hwp_capabilities(caps));
+    EXPECT_EQ(back.highest, caps.highest);
+    EXPECT_EQ(back.guaranteed, caps.guaranteed);
+    EXPECT_EQ(back.most_efficient, caps.most_efficient);
+    EXPECT_EQ(back.lowest, caps.lowest);
+}
+
+TEST(Hwp, CapabilitiesMatchSkuRange) {
+    const auto& sku = arch::xeon_gold_6150();
+    const HwpCapabilities caps = skx_caps();
+    EXPECT_EQ(caps.highest, sku.max_turbo(1).ratio());
+    EXPECT_EQ(caps.guaranteed, sku.nominal_frequency.ratio());
+    EXPECT_EQ(caps.lowest, sku.min_frequency.ratio());
+    EXPECT_GE(caps.most_efficient, caps.lowest);
+    EXPECT_LE(caps.most_efficient, caps.guaranteed);
+}
+
+TEST(Hwp, EppLadderIsMonotoneNonIncreasing) {
+    const HwpCapabilities caps = skx_caps();
+    unsigned prev = caps.highest + 1;
+    for (unsigned epp = 0; epp <= 255; ++epp) {
+        HwpRequest req;  // autonomous: min/max/desired = 0
+        req.epp = epp;
+        const unsigned r = resolve_hwp_ratio(caps, req);
+        EXPECT_LE(r, prev) << "EPP " << epp;
+        EXPECT_GE(r, caps.lowest);
+        EXPECT_LE(r, caps.highest);
+        prev = r;
+    }
+}
+
+TEST(Hwp, EppLadderEndpoints) {
+    const HwpCapabilities caps = skx_caps();
+    HwpRequest req;
+    req.epp = 0;  // performance band
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), caps.highest);
+    req.epp = 63;  // whole band below 64 pins the window maximum
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), caps.highest);
+    req.epp = 255;  // full energy preference lands on the window minimum
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), caps.lowest);
+}
+
+TEST(Hwp, DesiredRatioClampsIntoWindow) {
+    const HwpCapabilities caps = skx_caps();
+    HwpRequest req;
+    req.min_ratio = 20;
+    req.max_ratio = 30;
+    req.desired_ratio = 35;
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), 30u);
+    req.desired_ratio = 15;
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), 20u);
+    req.desired_ratio = 25;
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), 25u);
+}
+
+TEST(Hwp, ZeroMinMaxFallBackToCapabilities) {
+    const HwpCapabilities caps = skx_caps();
+    HwpRequest req;
+    req.desired_ratio = 255;  // far above the range
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), caps.highest);
+    req.desired_ratio = 1;  // far below
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), caps.lowest);
+}
+
+TEST(Hwp, MinAboveMaxCollapsesToMin) {
+    const HwpCapabilities caps = skx_caps();
+    HwpRequest req;
+    req.min_ratio = 30;
+    req.max_ratio = 20;  // inverted window: eff_max is floored at eff_min
+    req.desired_ratio = 25;
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), 30u);
+}
+
+TEST(Hwp, OutOfRangeBoundsClampToCapabilities) {
+    const HwpCapabilities caps = skx_caps();
+    HwpRequest req;
+    req.min_ratio = 1;    // below lowest
+    req.max_ratio = 200;  // above highest
+    req.epp = 0;
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), caps.highest);
+    req.epp = 255;
+    EXPECT_EQ(resolve_hwp_ratio(caps, req), caps.lowest);
+}
+
+TEST(Hwp, EppCollapsesToEpbTiers) {
+    EXPECT_EQ(epp_to_epb(0), msr::EpbPolicy::Performance);
+    EXPECT_EQ(epp_to_epb(63), msr::EpbPolicy::Performance);
+    EXPECT_EQ(epp_to_epb(64), msr::EpbPolicy::Balanced);
+    EXPECT_EQ(epp_to_epb(128), msr::EpbPolicy::Balanced);
+    EXPECT_EQ(epp_to_epb(191), msr::EpbPolicy::Balanced);
+    EXPECT_EQ(epp_to_epb(192), msr::EpbPolicy::EnergySaving);
+    EXPECT_EQ(epp_to_epb(255), msr::EpbPolicy::EnergySaving);
+}
+
+}  // namespace
+}  // namespace hsw::pcu

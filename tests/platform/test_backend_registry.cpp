@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "arch/sku.hpp"
+#include "platform/registry.hpp"
+
+namespace hsw::platform {
+namespace {
+
+const arch::Generation kAllGenerations[] = {
+    arch::Generation::WestmereEP,  arch::Generation::SandyBridgeEP,
+    arch::Generation::IvyBridgeEP, arch::Generation::HaswellEP,
+    arch::Generation::HaswellHE,   arch::Generation::SkylakeSP,
+};
+
+TEST(BackendRegistry, EveryGenerationHasAMatchingBackend) {
+    for (arch::Generation g : kAllGenerations) {
+        const PlatformBackend& b = backend_for(g);
+        EXPECT_EQ(b.generation(), g) << b.name();
+        EXPECT_EQ(b.name(), arch::traits(g).name);
+    }
+}
+
+TEST(BackendRegistry, AllBackendsListsEnumOrder) {
+    const auto& all = all_backends();
+    ASSERT_EQ(all.size(), std::size(kAllGenerations));
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i]->generation(), kAllGenerations[i]);
+    }
+}
+
+TEST(BackendRegistry, NameLookupAcceptsSlugAndTraitsName) {
+    const PlatformBackend* skx = backend_by_name("skylake-sp");
+    ASSERT_NE(skx, nullptr);
+    EXPECT_EQ(skx->generation(), arch::Generation::SkylakeSP);
+    EXPECT_EQ(backend_by_name("Skylake-SP"), skx);
+    EXPECT_EQ(backend_by_name("SKYLAKE-SP"), skx);
+
+    const PlatformBackend* snb = backend_by_name("sandy-bridge-ep");
+    ASSERT_NE(snb, nullptr);
+    EXPECT_EQ(snb->generation(), arch::Generation::SandyBridgeEP);
+    EXPECT_EQ(backend_by_name("Sandy Bridge-EP"), snb);
+
+    EXPECT_EQ(backend_by_name("cascade-lake"), nullptr);
+    EXPECT_EQ(backend_by_name(""), nullptr);
+}
+
+TEST(BackendRegistry, NameSlugLowercasesAndCollapsesSpaces) {
+    EXPECT_EQ(name_slug("Sandy Bridge-EP"), "sandy-bridge-ep");
+    EXPECT_EQ(name_slug("Skylake-SP"), "skylake-sp");
+    EXPECT_EQ(name_slug("Haswell-EP"), "haswell-ep");
+}
+
+TEST(BackendRegistry, SurveySkusMatchTheirTestSystems) {
+    EXPECT_EQ(&backend_for(arch::Generation::WestmereEP).survey_sku(),
+              &arch::xeon_x5670());
+    EXPECT_EQ(&backend_for(arch::Generation::SandyBridgeEP).survey_sku(),
+              &arch::xeon_e5_2670());
+    EXPECT_EQ(&backend_for(arch::Generation::HaswellEP).survey_sku(),
+              &arch::xeon_e5_2680_v3());
+    EXPECT_EQ(&backend_for(arch::Generation::SkylakeSP).survey_sku(),
+              &arch::xeon_gold_6150());
+}
+
+TEST(BackendRegistry, SkylakeIsHwpCapableWithTheHwpMsrSurface) {
+    const PlatformBackend& skx = backend_for(arch::Generation::SkylakeSP);
+    EXPECT_TRUE(skx.hwp_capable());
+    EXPECT_EQ(skx.pcu_policy().max_license_level(), 2u);
+    EXPECT_TRUE(skx.pcu_policy().per_die_uncore());
+    EXPECT_EQ(skx.extra_msrs().size(), 5u);
+}
+
+TEST(BackendRegistry, PreHwpGenerationsStayOnTheHaswellPolicy) {
+    for (arch::Generation g : {arch::Generation::WestmereEP,
+                               arch::Generation::SandyBridgeEP,
+                               arch::Generation::HaswellEP}) {
+        const PlatformBackend& b = backend_for(g);
+        EXPECT_FALSE(b.hwp_capable()) << b.name();
+        EXPECT_EQ(b.pcu_policy().max_license_level(), 1u) << b.name();
+        EXPECT_FALSE(b.pcu_policy().per_die_uncore()) << b.name();
+        EXPECT_TRUE(b.extra_msrs().empty()) << b.name();
+    }
+}
+
+}  // namespace
+}  // namespace hsw::platform

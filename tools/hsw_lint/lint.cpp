@@ -222,6 +222,20 @@ std::string layering_violation(const std::string& from_module,
                    "include \"" + header + "\"";
         }
     }
+    if (from_module == "platform" && target != "platform" && target != "arch" &&
+        target != "msr" && target != "pcu" && target != "cstates" &&
+        target != "rapl" && target != "power" && target != "util") {
+        return "platform backends compose the device models and may only "
+               "include arch/, msr/, pcu/, cstates/, rapl/, power/ and util/, "
+               "not \"" + header + "\"";
+    }
+    if (target == "platform" && from_module != "platform" && from_module != "core" &&
+        from_module != "os" && from_module != "survey" && from_module != "engine" &&
+        !from_module.empty()) {
+        return "only core/, os/, survey/ and engine/ may select platform "
+               "backends; " + from_module + " must stay generation-agnostic "
+               "through the pcu::PcuPolicy hook";
+    }
     if (from_module == "router" && target != "router" && target != "service" &&
         target != "obs" && target != "util") {
         return "router sits atop service and may only include router/, "

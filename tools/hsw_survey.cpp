@@ -13,9 +13,12 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "engine/survey_experiments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "platform/registry.hpp"
 
 using namespace hsw;
 
@@ -35,6 +38,8 @@ int usage(const char* argv0, int code) {
         "  --cache DIR       result-cache directory (default: .hsw-cache)\n"
         "  --no-cache        always recompute, never read or write the cache\n"
         "  --only NAMES      comma-separated experiment subset (e.g. fig3,table5)\n"
+        "  --generation G    keep only experiments that build nodes of the\n"
+        "                    named generation (e.g. skylake-sp, haswell-ep)\n"
         "  --seed S          base seed, decimal or 0x-hex (default: 0xC0FFEE)\n"
         "  --audit MODE      off | warn | strict invariant audit (default: off)\n"
         "  --renders         also write the rendered .txt tables\n"
@@ -43,7 +48,8 @@ int usage(const char* argv0, int code) {
         "  --trace FILE      capture span tracing for the run; write Chrome\n"
         "                    trace-event JSON to FILE (open in Perfetto)\n"
         "  --quiet           suppress per-job progress lines\n"
-        "  --list            list experiments and their job counts, then exit\n",
+        "  --list            list experiments and their job counts, then exit\n"
+        "  --list-generations  list the platform backends --generation accepts\n",
         argv0);
     return code;
 }
@@ -79,10 +85,12 @@ int main(int argc, char** argv) {
     std::string out_dir = ".";
     std::string trace_file;
     std::vector<std::string> only;
+    std::string generation;
     bool renders = false;
     bool quick = false;
     bool quiet = false;
     bool list = false;
+    bool list_generations = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -90,6 +98,12 @@ int main(int argc, char** argv) {
         if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
         if (arg == "--list") {
             list = true;
+        } else if (arg == "--list-generations") {
+            list_generations = true;
+        } else if (arg == "--generation") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            generation = v;
         } else if (arg == "--no-cache") {
             options.cache_dir.reset();
         } else if (arg == "--renders") {
@@ -154,6 +168,23 @@ int main(int argc, char** argv) {
 
     std::vector<engine::Experiment> experiments = engine::survey_experiments(tuning);
 
+    if (list_generations) {
+        for (const auto* b : platform::all_backends()) {
+            std::string names;
+            for (const auto& e : experiments) {
+                if (std::find(e.generations.begin(), e.generations.end(),
+                              b->generation()) == e.generations.end()) {
+                    continue;
+                }
+                if (!names.empty()) names += ' ';
+                names += e.name;
+            }
+            std::printf("%-16s %-16s %s\n", platform::name_slug(b->name()).c_str(),
+                        b->hwp_capable() ? "(hwp, per-core)" : "", names.c_str());
+        }
+        return 0;
+    }
+
     if (list) {
         for (const auto& e : experiments) {
             std::printf("%-8s %2zu job%s  %s\n", e.name.c_str(), e.jobs.size(),
@@ -177,6 +208,32 @@ int main(int argc, char** argv) {
                 return 2;
             }
             subset.push_back(*e);
+        }
+        experiments = std::move(subset);
+    }
+
+    if (!generation.empty()) {
+        const platform::PlatformBackend* backend = platform::backend_by_name(generation);
+        if (backend == nullptr) {
+            std::fprintf(stderr,
+                         "%s: no generation named '%s'; registered generations:\n",
+                         argv[0], generation.c_str());
+            for (const auto* b : platform::all_backends()) {
+                std::fprintf(stderr, "  %s\n", platform::name_slug(b->name()).c_str());
+            }
+            return 2;
+        }
+        std::vector<engine::Experiment> subset;
+        for (auto& e : experiments) {
+            if (std::find(e.generations.begin(), e.generations.end(),
+                          backend->generation()) != e.generations.end()) {
+                subset.push_back(std::move(e));
+            }
+        }
+        if (subset.empty()) {
+            std::fprintf(stderr, "%s: no selected experiment targets generation '%s'\n",
+                         argv[0], generation.c_str());
+            return 2;
         }
         experiments = std::move(subset);
     }
