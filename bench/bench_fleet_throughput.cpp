@@ -224,8 +224,8 @@ int main(int argc, char** argv) {
                              response.payload.c_str());
                 return 1;
             }
-            reference[s] = response.payload;
-            working_set_bytes += response.payload.size();
+            reference[s] = std::string{response.payload_view()};
+            working_set_bytes += reference[s].size();
         }
     }
     // Per-shard budget: one shard keeps ~1/5 of the set resident; a shard
@@ -253,7 +253,7 @@ int main(int argc, char** argv) {
         for (unsigned pass = 0; pass < 2; ++pass) {
             for (unsigned s = 0; s < spec_count; ++s) {
                 const auto response = fleet.rtr->handle(make_request(s));
-                if (!response.ok() || response.payload != reference[s]) {
+                if (!response.ok() || response.payload_view() != reference[s]) {
                     std::fprintf(stderr,
                                  "shards=%u spec=%u: routed response diverged "
                                  "from direct service\n",

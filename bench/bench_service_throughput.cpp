@@ -3,15 +3,22 @@
 // states, and emits the numbers through the shared BenchJson reporter
 // (stdout + bench_service_throughput.json, or --json <path>):
 //
-//   cold       nothing cached: every request computes
-//   warm-disk  on-disk ResultCache populated, hot cache disabled
-//   hot        in-memory hot cache populated
+//   cold           nothing cached: every request computes
+//   warm-disk      on-disk ResultCache populated, hot cache disabled
+//   hot            in-memory hot cache populated
+//
+// plus two socket scenarios that push the same hot traffic through a real
+// SurveyServer (epoll reactor) over loopback TCP:
+//
+//   hot-socket     one request per round-trip (a pre-v1.3 client)
+//   hot-pipelined  32 requests per v1.3 batch frame per round-trip
 //
 // The interesting ratios: hot/cold p50 is the hot-cache win (a shard-mutex
 // lookup versus a full computation), warm-disk/hot is the cost of the disk
 // probe + SHA-256 verify the hot cache saves, and requests/s at 16 clients
 // versus 1 shows how far coalescing + sharding keep concurrent identical
-// queries from serializing.
+// queries from serializing. hot-pipelined/hot-socket is the batching win:
+// syscalls and wakeups amortized over the window.
 //
 //   bench_service_throughput [--requests N] [--experiment NAME] [--json PATH]
 #include <chrono>
@@ -22,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/server.hpp"
 #include "service/service.hpp"
 #include "util/bench_json.hpp"
 #include "util/stats.hpp"
@@ -70,6 +78,71 @@ Measurement measure(service::SurveyService& svc, const std::string& experiment,
                 }
                 latencies[c].push_back(
                     std::chrono::duration<double, std::milli>{q1 - q0}.count());
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    Measurement m;
+    m.wall_s =
+        std::chrono::duration<double>{std::chrono::steady_clock::now() - t0}.count();
+    std::vector<double> all;
+    for (const auto& slice : latencies) {
+        all.insert(all.end(), slice.begin(), slice.end());
+    }
+    if (!all.empty()) {
+        const util::QuantileSummary q = util::quantile_summary(all);
+        m.p50_ms = q.p50;
+        m.p99_ms = q.p99;
+        m.requests_per_s = static_cast<double>(all.size()) / m.wall_s;
+    }
+    return m;
+}
+
+/// Same hot traffic, but through a real loopback socket: each client
+/// thread owns one connection and sends `pipeline` identical requests per
+/// round-trip (1 = the classic request/response lockstep). Latency is the
+/// window round-trip -- what a pipelining caller actually observes.
+Measurement measure_socket(std::uint16_t port, const std::string& experiment,
+                           unsigned clients, unsigned requests,
+                           unsigned pipeline) {
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&latencies, &experiment, port, c, clients, requests,
+                              pipeline] {
+            service::ServiceClient client{"127.0.0.1", port};
+            const auto req = make_request(experiment);
+            unsigned mine = 0;
+            for (unsigned i = c; i < requests; i += clients) ++mine;
+            while (mine > 0) {
+                const unsigned window =
+                    pipeline < mine ? pipeline : mine;
+                mine -= window;
+                const auto q0 = std::chrono::steady_clock::now();
+                if (window == 1 && pipeline == 1) {
+                    const auto response = client.call(req);
+                    if (!response.ok()) {
+                        std::fprintf(stderr, "socket query failed: %s\n",
+                                     response.payload.c_str());
+                        std::exit(1);
+                    }
+                } else {
+                    const std::vector<service::protocol::Request> batch(window, req);
+                    const auto responses = client.call_pipelined(batch);
+                    for (const auto& response : responses) {
+                        if (!response.ok()) {
+                            std::fprintf(stderr, "pipelined query failed: %s\n",
+                                         response.payload.c_str());
+                            std::exit(1);
+                        }
+                    }
+                }
+                const auto q1 = std::chrono::steady_clock::now();
+                const double ms =
+                    std::chrono::duration<double, std::milli>{q1 - q0}.count();
+                for (unsigned j = 0; j < window; ++j) latencies[c].push_back(ms);
             }
         });
     }
@@ -157,6 +230,47 @@ int main(int argc, char** argv) {
         }
     }
     std::filesystem::remove_all(disk_dir);
+
+    // Socket scenarios: the same hot traffic through the epoll reactor.
+    struct SocketScenario {
+        const char* label;
+        unsigned pipeline;
+    };
+    const SocketScenario socket_scenarios[] = {
+        {"hot-socket", 1},
+        {"hot-pipelined", 32},
+    };
+    for (const SocketScenario& scenario : socket_scenarios) {
+        for (const unsigned clients : client_counts) {
+            service::ServerConfig cfg;
+            cfg.service.workers = 4;
+            service::SurveyServer server{cfg};
+            server.start();
+            {
+                service::ServiceClient warm{"127.0.0.1", server.port()};
+                const auto warmup = warm.call(make_request(experiment));
+                if (!warmup.ok()) {
+                    std::fprintf(stderr, "socket warmup failed: %s\n",
+                                 warmup.payload.c_str());
+                    return 1;
+                }
+            }
+            const Measurement m = measure_socket(server.port(), experiment,
+                                                 clients, requests,
+                                                 scenario.pipeline);
+            server.stop();
+            out.add_run()
+                .set("scenario", scenario.label)
+                .set("clients", clients)
+                .set("req_per_s", m.requests_per_s)
+                .set("p50_ms", m.p50_ms)
+                .set("p99_ms", m.p99_ms);
+            std::fprintf(stderr,
+                         "%-13s clients=%-2u %8.1f req/s  p50 %7.3f ms  p99 %7.3f ms\n",
+                         scenario.label, clients, m.requests_per_s, m.p50_ms,
+                         m.p99_ms);
+        }
+    }
 
     const std::string json = out.to_string();
     std::fputs(json.c_str(), stdout);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -260,6 +261,67 @@ Response Router::route_query(const Request& request) {
     return last_error;
 }
 
+std::vector<Response> Router::handle_batch(const std::vector<Request>& requests) {
+    std::vector<Response> responses(requests.size());
+    // Group query sub-requests by the shard that would serve them today:
+    // the first live replica of each route key (or the primary when the
+    // whole replica set is ejected -- same "try anyway" rule as
+    // route_query). Everything else answers locally.
+    std::map<std::size_t, std::vector<std::size_t>> by_shard;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const Request& request = requests[i];
+        if (request.verb != Verb::Query) {
+            responses[i] = handle(request);
+            responses[i].tag = request.tag;
+            continue;
+        }
+        const std::vector<std::size_t> replicas =
+            map_.replica_set(service::protocol::route_key(request));
+        std::size_t target = replicas.front();
+        for (const std::size_t idx : replicas) {
+            if (!shards_[idx]->ejected.load(std::memory_order_acquire)) {
+                target = idx;
+                break;
+            }
+        }
+        by_shard[target].push_back(i);
+    }
+
+    for (const auto& [shard_index, indices] : by_shard) {
+        Shard& shard = *shards_[shard_index];
+        std::vector<Request> group;
+        group.reserve(indices.size());
+        for (const std::size_t idx : indices) group.push_back(requests[idx]);
+        queries_counter().inc(group.size());
+        queries_.fetch_add(group.size(), std::memory_order_relaxed);
+        forwarded_.fetch_add(group.size(), std::memory_order_relaxed);
+        attempts_counter().inc(group.size());
+
+        bool delivered = false;
+        try {
+            auto lease = shard.pool->acquire();
+            std::vector<Response> group_responses = lease.call_batch(group);
+            note_success(shard);
+            for (std::size_t j = 0; j < indices.size(); ++j) {
+                responses[indices[j]] = std::move(group_responses[j]);
+            }
+            delivered = true;
+        } catch (const TransportError&) {
+            note_failure(shard);
+        }
+        for (const std::size_t idx : indices) {
+            // Slow path: the whole group's upstream died, or this one
+            // answer is retriable elsewhere. route_query owns failover,
+            // backoff, and the Unavailable verdict.
+            if (!delivered || retriable(responses[idx].code)) {
+                responses[idx] = route_query(requests[idx]);
+                responses[idx].tag = requests[idx].tag;
+            }
+        }
+    }
+    return responses;
+}
+
 bool Router::probe_shard(std::size_t index) {
     Shard& shard = *shards_[index];
     Request probe;
@@ -329,7 +391,7 @@ Response Router::aggregate_metrics(MetricsFormat format) {
             auto lease = shard.pool->acquire();
             const Response response = lease.call(scrape);
             if (!response.ok()) continue;
-            if (auto snap = obs::parse_snapshot_json(response.payload)) {
+            if (auto snap = obs::parse_snapshot_json(response.payload_view())) {
                 shards.emplace_back(map_.shards()[i].name, std::move(*snap));
             }
             note_success(shard);

@@ -100,6 +100,18 @@ public:
     [[nodiscard]] service::protocol::Response handle(
         const service::protocol::Request& request);
 
+    /// Batch dispatch for the v1.3 front door: query sub-requests are
+    /// grouped by target shard (first live replica of each route key) and
+    /// forwarded as one pipelined upstream batch per shard; non-query
+    /// verbs answer locally via handle(). A group whose upstream dies --
+    /// or any sub-request that comes back retriable (Overloaded,
+    /// ShuttingDown) -- re-routes through route_query() for the full
+    /// per-replica failover treatment, so batch semantics are exactly
+    /// "N independent queries, faster". Returns one response per
+    /// request, in request order.
+    [[nodiscard]] std::vector<service::protocol::Response> handle_batch(
+        const std::vector<service::protocol::Request>& requests);
+
     /// Stops the prober thread; idempotent. handle() keeps working (a
     /// stopped router just loses background readmission).
     void stop();

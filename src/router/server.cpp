@@ -19,6 +19,22 @@ RouterServer::RouterServer(Router& router, RouterServerConfig cfg)
             return router->handle(request);
         },
         [router = &router_] { router->stop(); });
+    // Ping and health never touch an upstream; answer them on the reactor.
+    frontend_->set_fast_handler(
+        [router = &router_](const service::protocol::Request& request)
+            -> std::optional<service::protocol::Response> {
+            using service::protocol::Verb;
+            if (request.verb != Verb::Ping && request.verb != Verb::Health) {
+                return std::nullopt;
+            }
+            return router->handle(request);
+        });
+    // A client batch becomes one pipelined upstream batch per shard
+    // instead of N independent round-trips across the handler pool.
+    frontend_->set_batch_handler(
+        [router = &router_](const std::vector<service::protocol::Request>& batch) {
+            return router->handle_batch(batch);
+        });
 }
 
 }  // namespace hsw::router

@@ -119,8 +119,23 @@ public:
         return *response;
     }
 
+    std::vector<Response> call_batch(
+        const std::vector<Request>& requests) override {
+        try {
+            return service::protocol::call_batch_over_fd(fd_, requests,
+                                                         batch_supported_);
+        } catch (const TransportError&) {
+            throw;
+        } catch (const std::runtime_error& e) {
+            throw TransportError{std::string{"upstream batch: "} + e.what()};
+        }
+    }
+
 private:
     int fd_;
+    /// v1.3 capability memo, per connection (a pool may span a fleet
+    /// upgrade; each fresh dial re-probes).
+    std::optional<bool> batch_supported_;
 };
 
 }  // namespace

@@ -54,6 +54,18 @@ public:
     /// framing failure; the connection must then be discarded.
     [[nodiscard]] virtual service::protocol::Response call(
         const service::protocol::Request& request) = 0;
+    /// Round-trips many requests, responses in request order. The base
+    /// implementation loops over call(); TcpConnection overrides it with
+    /// v1.3 wire pipelining (one batch frame, tagged responses), falling
+    /// back to the sequential loop against pre-v1.3 shards. Throws
+    /// TransportError as call() does; the connection is then poisoned.
+    [[nodiscard]] virtual std::vector<service::protocol::Response> call_batch(
+        const std::vector<service::protocol::Request>& requests) {
+        std::vector<service::protocol::Response> responses;
+        responses.reserve(requests.size());
+        for (const auto& request : requests) responses.push_back(call(request));
+        return responses;
+    }
 };
 
 class Transport {
@@ -101,6 +113,16 @@ public:
             const service::protocol::Request& request) {
             try {
                 return conn_->call(request);
+            } catch (...) {
+                broken_ = true;
+                throw;
+            }
+        }
+
+        [[nodiscard]] std::vector<service::protocol::Response> call_batch(
+            const std::vector<service::protocol::Request>& requests) {
+            try {
+                return conn_->call_batch(requests);
             } catch (...) {
                 broken_ = true;
                 throw;

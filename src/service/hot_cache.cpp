@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -42,65 +43,80 @@ HotCache::Shard& HotCache::shard_for(const std::string& key) {
 }
 
 // hsw:hot-path -- every service query starts with this probe; it must
-// stay a find + splice under the shard lock, never allocate or block.
+// stay a shared-lock find plus one relaxed stamp store, never take the
+// exclusive lock, allocate, or block.
 HotCache::Value HotCache::lookup(const std::string& key) {
     Shard& shard = shard_for(key);
-    util::LockGuard lock{shard.lock};
+    util::SharedLockGuard lock{shard.lock};
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
-        ++shard.misses;
+        shard.misses.fetch_add(1, std::memory_order_relaxed);
         misses_counter().inc();
         return nullptr;
     }
-    ++shard.hits;
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
     hits_counter().inc();
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->value;
+    it->second.stamp.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    return it->second.value;
 }
 // hsw:end-hot-path
 
 HotCache::Value HotCache::insert(const std::string& key, std::string payload,
                                  bool pinned) {
-    Value value = std::make_shared<const std::string>(std::move(payload));
-    if (cfg_.max_bytes == 0) return value;
+    return insert_shared(key, std::make_shared<const std::string>(std::move(payload)),
+                         pinned);
+}
+
+HotCache::Value HotCache::insert_shared(const std::string& key, Value payload,
+                                        bool pinned) {
+    if (cfg_.max_bytes == 0 || payload == nullptr) return payload;
 
     Shard& shard = shard_for(key);
     // Declared before the guard so evicted payloads are destroyed after
     // unlock; freeing megabytes of string inside the critical section would
-    // block every concurrent lookup on this shard.
+    // block every concurrent insert on this shard.
     std::vector<Value> evicted;
-    util::LockGuard lock{shard.lock};
+    util::ExclusiveLockGuard lock{shard.lock};
     const std::size_t bytes_before = shard.bytes;
-    const auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
+    const auto [it, fresh] = shard.map.try_emplace(key);
+    Entry& entry = it->second;
+    if (!fresh) {
         // Refresh in place; identical specs produce identical bytes, but a
         // refresh still replaces the value so the byte accounting is exact.
-        shard.bytes -= it->second->value->size();
-        it->second->value = value;
-        if (pinned) ++it->second->pins;
-        shard.bytes += value->size();
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        shard.bytes -= entry.value->size();
+        evicted.push_back(std::move(entry.value));  // freed after unlock
     } else {
-        shard.lru.push_front(Entry{key, value, pinned ? 1u : 0u});
-        shard.map.emplace(key, shard.lru.begin());
-        shard.bytes += value->size();
         ++shard.insertions;
     }
+    entry.value = payload;
+    if (pinned) ++entry.pins;
+    shard.bytes += payload->size();
+    entry.stamp.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     evict_over_budget(shard, evicted);
     bytes_gauge().add(static_cast<std::int64_t>(shard.bytes) -
                       static_cast<std::int64_t>(bytes_before));
-    return value;
+    return payload;
 }
 
 void HotCache::evict_over_budget(Shard& shard, std::vector<Value>& evicted) {
-    auto it = shard.lru.end();
-    while (shard.bytes > per_shard_budget_ && it != shard.lru.begin()) {
-        --it;
-        if (it->pins > 0) continue;  // in-flight fan-out; never dropped
-        shard.bytes -= it->value->size();
-        shard.map.erase(it->key);
-        evicted.push_back(std::move(it->value));
-        it = shard.lru.erase(it);
+    while (shard.bytes > per_shard_budget_) {
+        auto victim = shard.map.end();
+        std::uint64_t victim_stamp = std::numeric_limits<std::uint64_t>::max();
+        for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+            if (it->second.pins > 0) continue;  // in-flight fan-out; never dropped
+            const std::uint64_t stamp =
+                it->second.stamp.load(std::memory_order_relaxed);
+            if (stamp < victim_stamp) {
+                victim_stamp = stamp;
+                victim = it;
+            }
+        }
+        if (victim == shard.map.end()) return;  // only pinned entries remain
+        shard.bytes -= victim->second.value->size();
+        evicted.push_back(std::move(victim->second.value));
+        shard.map.erase(victim);
         ++shard.evictions;
         evictions_counter().inc();
     }
@@ -108,17 +124,17 @@ void HotCache::evict_over_budget(Shard& shard, std::vector<Value>& evicted) {
 
 void HotCache::unpin(const std::string& key) {
     Shard& shard = shard_for(key);
-    util::LockGuard lock{shard.lock};
+    util::ExclusiveLockGuard lock{shard.lock};
     const auto it = shard.map.find(key);
-    if (it != shard.map.end() && it->second->pins > 0) --it->second->pins;
+    if (it != shard.map.end() && it->second.pins > 0) --it->second.pins;
 }
 
 HotCacheStats HotCache::stats() const {
     HotCacheStats out;
     for (const auto& shard : shards_) {
-        util::LockGuard lock{shard.lock};
-        out.hits += shard.hits;
-        out.misses += shard.misses;
+        util::ExclusiveLockGuard lock{shard.lock};
+        out.hits += shard.hits.load(std::memory_order_relaxed);
+        out.misses += shard.misses.load(std::memory_order_relaxed);
         out.insertions += shard.insertions;
         out.evictions += shard.evictions;
         out.entries += shard.map.size();
@@ -129,11 +145,12 @@ HotCacheStats HotCache::stats() const {
 
 void HotCache::clear() {
     for (auto& shard : shards_) {
-        LruList dropped;
-        util::LockGuard lock{shard.lock};
+        std::vector<Value> dropped;
+        util::ExclusiveLockGuard lock{shard.lock};
         bytes_gauge().add(-static_cast<std::int64_t>(shard.bytes));
-        dropped.swap(shard.lru);  // payloads freed after unlock
-        shard.map.clear();
+        dropped.reserve(shard.map.size());
+        for (auto& [key, entry] : shard.map) dropped.push_back(std::move(entry.value));
+        shard.map.clear();  // payloads freed after unlock
         shard.bytes = 0;
     }
 }

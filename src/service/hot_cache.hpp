@@ -1,11 +1,23 @@
 // Sharded in-memory LRU cache for job payload blobs.
 //
-// Sits in front of the on-disk ResultCache: a hot-cache hit costs one shard
-// mutex and a map lookup instead of a file read plus a SHA-256 verify. Keys
-// are spec content hashes (hex), so shard selection and equality never
-// touch payload bytes. The byte budget is split evenly across shards, each
-// with its own mutex and LRU list -- concurrent lookups of different specs
-// rarely contend.
+// Sits in front of the on-disk ResultCache: a hot-cache hit costs one
+// shared-lock acquire and a map lookup instead of a file read plus a
+// SHA-256 verify. Keys are spec content hashes (hex), so shard selection
+// and equality never touch payload bytes. The byte budget is split evenly
+// across shards, each with its own reader-writer lock -- and because hits
+// take only the *shared* side, concurrent lookups of the SAME spec no
+// longer contend either. That property is what fixed the hot-path
+// concurrency collapse: duplicate-heavy traffic all lands on one key, and
+// the old design's exclusive lock + LRU list splice per hit serialized
+// every client behind a single futex.
+//
+// Recency is tracked with per-entry atomic stamps drawn from a global
+// relaxed counter instead of a linked LRU list: a hit just stores a fresh
+// stamp (one relaxed atomic write, no structural mutation, no exclusive
+// lock). Eviction -- the cold path -- takes the exclusive side and scans
+// its shard for the smallest-stamp unpinned entry. Shards are small, and
+// eviction only runs when an insert pushes a shard over budget, so the
+// O(entries) scan is paid where latency does not matter.
 //
 // Values are shared_ptr<const string>: eviction drops the cache's
 // reference, never the bytes a reader still holds. On top of that, entries
@@ -14,9 +26,9 @@
 // shard is over budget, so an in-flight entry can never be dropped.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -51,8 +63,9 @@ public:
 
     explicit HotCache(HotCacheConfig cfg = {});
 
-    /// The cached payload, or nullptr on miss. A hit moves the entry to
-    /// the front of its shard's LRU list.
+    /// The cached payload, or nullptr on miss. A hit refreshes the entry's
+    /// recency stamp; it takes the shard lock *shared*, so any number of
+    /// clients can hit the same entry concurrently without serializing.
     [[nodiscard]] Value lookup(const std::string& key);
 
     /// Inserts (or refreshes) the entry and returns the stored value.
@@ -60,6 +73,9 @@ public:
     /// *other* entries still runs to make room. With max_bytes == 0 the
     /// payload is returned but not retained.
     Value insert(const std::string& key, std::string payload, bool pinned = false);
+
+    /// Inserts an already-refcounted payload without copying the bytes.
+    Value insert_shared(const std::string& key, Value payload, bool pinned = false);
 
     /// Drops the eviction exemption; a no-op for absent keys. Entries whose
     /// shard is over budget become evictable on the next insert, not
@@ -75,35 +91,45 @@ public:
 
 private:
     struct Entry {
-        std::string key;
         Value value;
         unsigned pins = 0;
+        /// Recency stamp from clock_; larger = more recently used. Written
+        /// with a relaxed store on every shared-lock hit, so it is atomic
+        /// even though the rest of the entry is guarded by the shard lock.
+        std::atomic<std::uint64_t> stamp{0};
     };
-    using LruList = std::list<Entry>;
 
     struct Shard {
-        mutable util::Mutex lock;
-        LruList lru GUARDED_BY(lock);  // front = most recently used
-        std::unordered_map<std::string, LruList::iterator> map GUARDED_BY(lock);
+        mutable util::SharedMutex lock;
+        // unordered_map references are stable across other keys'
+        // insert/erase, so a hit can store into entry.stamp under the
+        // shared lock while another thread inserts a different key.
+        std::unordered_map<std::string, Entry> map GUARDED_BY(lock);
         std::size_t bytes GUARDED_BY(lock) = 0;
-        std::uint64_t hits GUARDED_BY(lock) = 0;
-        std::uint64_t misses GUARDED_BY(lock) = 0;
         std::uint64_t insertions GUARDED_BY(lock) = 0;
         std::uint64_t evictions GUARDED_BY(lock) = 0;
+        /// Hit/miss tallies are relaxed atomics, not guarded fields: the
+        /// lookup path increments them under the *shared* lock.
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
     };
 
     Shard& shard_for(const std::string& key);
-    /// Evicts unpinned LRU-tail entries until `shard` fits its budget (or
-    /// only pinned entries remain). The dropped payload references are
-    /// moved into `evicted` so the caller frees the bytes *after*
-    /// releasing the shard lock -- destroying multi-MB payloads inside the
-    /// critical section would stall every concurrent hot lookup.
+    /// Evicts smallest-stamp unpinned entries until `shard` fits its
+    /// budget (or only pinned entries remain). The dropped payload
+    /// references are moved into `evicted` so the caller frees the bytes
+    /// *after* releasing the shard lock -- destroying multi-MB payloads
+    /// inside the critical section would stall every concurrent insert.
     void evict_over_budget(Shard& shard, std::vector<Value>& evicted)
         REQUIRES(shard.lock);
 
     HotCacheConfig cfg_;
     std::size_t per_shard_budget_ = 0;
     std::vector<Shard> shards_;
+    /// Global recency clock; relaxed fetch_add per touch. Ties cannot
+    /// happen (each touch gets a unique value), and cross-shard skew is
+    /// irrelevant because eviction only compares stamps within a shard.
+    std::atomic<std::uint64_t> clock_{0};
 };
 
 }  // namespace hsw::service

@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "engine/sha256.hpp"
 #include "engine/spec.hpp"  // engine::name(AuditMode)
@@ -187,6 +189,7 @@ std::string Request::encode() const {
         out += name(format);
         out += '\n';
     }
+    if (tag != 0) out += "tag " + std::to_string(tag) + '\n';
     out += "deadline-ms " + std::to_string(deadline_ms) + '\n';
     return out;
 }
@@ -261,6 +264,11 @@ std::optional<Request> parse_request(std::string_view text, std::string* error) 
                 return std::nullopt;
             }
             req.deadline_ms = static_cast<std::uint32_t>(ms);
+        } else if (key == "tag") {
+            if (!parse_u64(value, req.tag) || req.tag == 0) {
+                set_error(error, "bad tag");
+                return std::nullopt;
+            }
         } else if (!key.empty()) {
             set_error(error, "unknown request field: " + std::string{key});
             return std::nullopt;
@@ -300,7 +308,7 @@ std::string route_key(const Request& req) {
     return engine::sha256_hex(canon);
 }
 
-std::string Response::encode() const {
+std::string Response::encode_header() const {
     std::string out{kMagic};
     out += '\n';
     out += ok() ? "status ok\n" : "status error\n";
@@ -313,8 +321,14 @@ std::string Response::encode() const {
         out += name(source);
         out += '\n';
     }
-    out += "payload-bytes " + std::to_string(payload.size()) + '\n';
-    out += payload;
+    if (tag != 0) out += "tag " + std::to_string(tag) + '\n';
+    out += "payload-bytes " + std::to_string(payload_view().size()) + '\n';
+    return out;
+}
+
+std::string Response::encode() const {
+    std::string out = encode_header();
+    out += payload_view();
     return out;
 }
 
@@ -365,6 +379,11 @@ std::optional<Response> parse_response(std::string_view text, std::string* error
                 set_error(error, "unknown source");
                 return std::nullopt;
             }
+        } else if (key == "tag") {
+            if (!parse_u64(value, resp.tag) || resp.tag == 0) {
+                set_error(error, "bad tag");
+                return std::nullopt;
+            }
         } else if (key == "payload-bytes") {
             std::uint64_t n = 0;
             if (!parse_u64(value, n) || n != text.size()) {
@@ -390,6 +409,82 @@ std::optional<Response> parse_response(std::string_view text, std::string* error
     return resp;
 }
 
+bool looks_like_batch(std::string_view text) {
+    std::string_view probe = text;
+    if (!consume_magic(probe, nullptr)) return false;
+    std::string_view key, value;
+    if (!next_line(probe, key, value)) return false;
+    return key == "verb" && value == "batch";
+}
+
+std::string encode_batch(const std::vector<Request>& requests) {
+    std::string out{kMagic};
+    out += '\n';
+    out += "verb batch\n";
+    out += "count " + std::to_string(requests.size()) + '\n';
+    for (const Request& req : requests) {
+        const std::string body = req.encode();
+        const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+        const char prefix[4] = {
+            static_cast<char>(len >> 24), static_cast<char>(len >> 16),
+            static_cast<char>(len >> 8), static_cast<char>(len)};
+        out.append(prefix, sizeof prefix);
+        out += body;
+    }
+    return out;
+}
+
+std::optional<std::vector<Request>> parse_batch(std::string_view text,
+                                                std::string* error) {
+    if (!consume_magic(text, error)) return std::nullopt;
+    std::string_view key, value;
+    if (!next_line(text, key, value) || key != "verb" || value != "batch") {
+        set_error(error, "not a batch frame");
+        return std::nullopt;
+    }
+    if (!next_line(text, key, value) || key != "count") {
+        set_error(error, "batch missing count");
+        return std::nullopt;
+    }
+    std::uint64_t count = 0;
+    if (!parse_u64(value, count) || count == 0 || count > kMaxBatchRequests) {
+        set_error(error, "bad batch count");
+        return std::nullopt;
+    }
+    std::vector<Request> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (text.size() < 4) {
+            set_error(error, "truncated batch length prefix");
+            return std::nullopt;
+        }
+        const auto* p = reinterpret_cast<const unsigned char*>(text.data());
+        const std::uint32_t len = (static_cast<std::uint32_t>(p[0]) << 24) |
+                                  (static_cast<std::uint32_t>(p[1]) << 16) |
+                                  (static_cast<std::uint32_t>(p[2]) << 8) |
+                                  static_cast<std::uint32_t>(p[3]);
+        text.remove_prefix(4);
+        if (text.size() < len) {
+            set_error(error, "truncated batch sub-request");
+            return std::nullopt;
+        }
+        std::string sub_error;
+        auto req = parse_request(text.substr(0, len), &sub_error);
+        if (!req) {
+            set_error(error,
+                      "batch sub-request " + std::to_string(i) + ": " + sub_error);
+            return std::nullopt;
+        }
+        out.push_back(std::move(*req));
+        text.remove_prefix(len);
+    }
+    if (!text.empty()) {
+        set_error(error, "trailing bytes after batch");
+        return std::nullopt;
+    }
+    return out;
+}
+
 bool write_frame(int fd, std::string_view payload) {
     if (payload.size() > kMaxFrameBytes) return false;
     const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
@@ -412,6 +507,81 @@ std::optional<std::string> read_frame(int fd) {
     std::string payload(len, '\0');
     if (!read_exact(fd, payload.data(), payload.size())) return std::nullopt;
     return payload;
+}
+
+std::vector<Response> call_batch_over_fd(int fd,
+                                         const std::vector<Request>& requests,
+                                         std::optional<bool>& batch_supported) {
+    std::vector<Response> responses;
+    if (requests.empty()) return responses;
+    if (batch_supported == false) {
+        // Known pre-v1.3 peer: sequential call/response, no batch frames.
+        responses.reserve(requests.size());
+        for (const auto& request : requests) {
+            if (!write_frame(fd, request.encode())) {
+                throw std::runtime_error{"request write failed"};
+            }
+            const auto frame = read_frame(fd);
+            if (!frame) throw std::runtime_error{"connection closed mid-response"};
+            std::string error;
+            auto response = parse_response(*frame, &error);
+            if (!response) {
+                throw std::runtime_error{"bad response frame: " + error};
+            }
+            responses.push_back(std::move(*response));
+        }
+        return responses;
+    }
+
+    // Tag every sub-request so out-of-order responses can be matched back
+    // to their slot; caller-assigned nonzero tags are preserved.
+    std::vector<Request> tagged{requests};
+    std::unordered_map<std::uint64_t, std::size_t> slot_by_tag;
+    std::uint64_t next_tag = 1;
+    for (std::size_t i = 0; i < tagged.size(); ++i) {
+        if (tagged[i].tag == 0) {
+            while (slot_by_tag.count(next_tag) != 0) ++next_tag;
+            tagged[i].tag = next_tag;
+        }
+        if (!slot_by_tag.emplace(tagged[i].tag, i).second) {
+            throw std::runtime_error{"duplicate request tag in batch"};
+        }
+    }
+    if (!write_frame(fd, encode_batch(tagged))) {
+        throw std::runtime_error{"batch write failed"};
+    }
+
+    responses.resize(tagged.size());
+    for (std::size_t received = 0; received < tagged.size(); ++received) {
+        const auto frame = read_frame(fd);
+        if (!frame) throw std::runtime_error{"connection closed mid-batch"};
+        std::string error;
+        auto response = parse_response(*frame, &error);
+        if (!response) throw std::runtime_error{"bad response frame: " + error};
+        if (received == 0 && !batch_supported.has_value() && response->tag == 0 &&
+            response->code == ErrorCode::MalformedRequest) {
+            // Capability probe failed: a pre-v1.3 peer rejected the whole
+            // batch frame with one untagged MalformedRequest. Fall back to
+            // sequential calls, now and for the life of this connection.
+            batch_supported = false;
+            return call_batch_over_fd(fd, requests, batch_supported);
+        }
+        const auto slot = slot_by_tag.find(response->tag);
+        if (slot == slot_by_tag.end()) {
+            throw std::runtime_error{"response carries unknown tag " +
+                                     std::to_string(response->tag)};
+        }
+        responses[slot->second] = std::move(*response);
+        slot_by_tag.erase(slot);
+    }
+    batch_supported = true;
+    // Sub-requests the caller left untagged get their responses untagged
+    // again -- the wire tag was this helper's bookkeeping, not the
+    // caller's.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i].tag == 0) responses[i].tag = 0;
+    }
+    return responses;
 }
 
 }  // namespace hsw::service::protocol

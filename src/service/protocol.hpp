@@ -32,6 +32,23 @@
 // ("unknown verb"); a router treats that as "legacy shard, probe via
 // metrics instead".
 //
+// Since v1.3 requests and responses may carry a `tag` header (non-zero
+// u64, chosen by the client) and a `batch` frame can carry many requests
+// at once for pipelining:
+//
+//   hsw-survey-rpc v1\n
+//   verb batch\n
+//   count 3\n
+//   <u32-BE len><encoded sub-request> x 3
+//
+// The server answers a batch with `count` individual response frames,
+// each echoing its sub-request's tag. Tagged responses may arrive in any
+// order (the server coalesces and flushes completions as they land);
+// untagged traffic keeps strict request order, so v1.0-v1.2 clients are
+// untouched. A pre-v1.3 server answers a batch frame with
+// MalformedRequest ("unknown verb") -- clients treat that one response as
+// a capability probe and fall back to single-request framing.
+//
 // Responses carry a status, a structured error code on rejection, the
 // payload's provenance (hot cache / disk cache / computed) on success, and
 // the payload bytes. A whole-experiment payload is a blob (see
@@ -41,9 +58,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/audit_config.hpp"
 
@@ -56,15 +75,23 @@ inline constexpr std::string_view kMagic = "hsw-survey-rpc v1";
 /// suffix, and the minor gates additive capabilities only:
 ///   v1.1  adds the `metrics` verb and its `format` field.
 ///   v1.2  adds the `health` verb and the Unavailable error code.
+///   v1.3  adds the `tag` request/response header and `batch` frames for
+///         request pipelining (out-of-order-safe tagged responses).
 /// A v1.0 server answers a v1.1-only verb with MalformedRequest ("unknown
 /// verb"), which v1.1 clients treat as "server predates metrics"; the same
-/// capability probe covers `health` against v1.1 shards.
-inline constexpr unsigned kProtocolMinor = 2;
+/// capability probe covers `health` against v1.1 shards and `batch`
+/// against v1.2 shards.
+inline constexpr unsigned kProtocolMinor = 3;
 
 /// Hard ceiling on a single frame, request or response. Large enough for
 /// any assembled survey artifact set, small enough that a malicious or
 /// corrupt length prefix cannot balloon memory.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Ceiling on sub-requests per v1.3 batch frame. Generous for pipelining
+/// (hsw_query caps --pipeline far lower) while bounding the per-frame
+/// work a single connection can queue against the admission controller.
+inline constexpr std::uint32_t kMaxBatchRequests = 1024;
 
 enum class Verb { Ping, Query, Stats, Shutdown, Metrics, Health };
 
@@ -103,6 +130,10 @@ struct Request {
     bool quick = false;         // SurveyTuning::quick() parameters
     std::uint32_t deadline_ms = 0;  // 0 = none
     MetricsFormat format = MetricsFormat::Prometheus;  // metrics verb only
+    /// v1.3 pipelining correlation id; 0 = untagged (strict-order reply).
+    /// Chosen by the client, echoed verbatim on the response, and excluded
+    /// from route_key (it never affects payload bytes).
+    std::uint64_t tag = 0;
 
     [[nodiscard]] std::string encode() const;
 };
@@ -126,13 +157,48 @@ struct Response {
     ErrorCode code = ErrorCode::None;  // None == success
     Source source = Source::Computed;  // success only
     std::string payload;  // artifacts blob / job blob / stats text / error detail
+    /// Zero-copy alternative to `payload`: when set it IS the payload
+    /// (hot-cache hits hand the cached allocation straight to the encoder;
+    /// no multi-MB copy per response). `payload` is ignored while this is
+    /// non-null. parse_response always fills `payload`.
+    std::shared_ptr<const std::string> shared_payload;
+    /// v1.3: echo of the request's tag; 0 = untagged.
+    std::uint64_t tag = 0;
 
     [[nodiscard]] bool ok() const { return code == ErrorCode::None; }
+    [[nodiscard]] std::string_view payload_view() const {
+        return shared_payload ? std::string_view{*shared_payload}
+                              : std::string_view{payload};
+    }
     [[nodiscard]] std::string encode() const;
+    /// The header portion of encode() -- everything through the
+    /// "payload-bytes N\n" line, without the payload bytes. The reactor
+    /// writes header + payload_view() as one writev, so a cached payload
+    /// is never copied into a per-response string.
+    [[nodiscard]] std::string encode_header() const;
 };
 
 [[nodiscard]] std::optional<Response> parse_response(std::string_view text,
                                                      std::string* error = nullptr);
+
+// --- v1.3 batch frames (request pipelining) ---
+
+/// Cheap structural probe: does this frame start with the v1.x magic and
+/// `verb batch`? True means parse_batch() is the right parser (its failure
+/// is then a malformed *batch*, answered with one MalformedRequest frame
+/// for the whole batch); false means the frame is a plain single request.
+[[nodiscard]] bool looks_like_batch(std::string_view text);
+
+/// Encodes many requests into one batch frame (see the header comment for
+/// the wire layout). Caller keeps sub-request tags unique if it wants to
+/// correlate the out-of-order responses.
+[[nodiscard]] std::string encode_batch(const std::vector<Request>& requests);
+
+/// nullopt (with `error` set) on any structural or sub-request defect:
+/// bad count, count/body mismatch, truncated length prefix, oversized
+/// batch, or an unparseable sub-request. A batch is rejected whole.
+[[nodiscard]] std::optional<std::vector<Request>> parse_batch(
+    std::string_view text, std::string* error = nullptr);
 
 // --- Frame I/O over file descriptors (sockets, pipes) ---
 
@@ -143,5 +209,20 @@ bool write_frame(int fd, std::string_view payload);
 /// Reads one frame. nullopt on clean EOF before the first byte, on a
 /// truncated frame, on I/O error, or on an oversized length prefix.
 [[nodiscard]] std::optional<std::string> read_frame(int fd);
+
+/// Client-side pipelining over a connected fd, shared by ServiceClient
+/// and the router's upstream connections: tags every sub-request, writes
+/// one batch frame, then reorders the (possibly out-of-order) tagged
+/// responses back into request order. `batch_supported` is the
+/// capability memo for this peer: nullopt means the call doubles as a
+/// probe -- a pre-v1.3 peer answers the unknown `batch` verb with one
+/// MalformedRequest frame, and the helper falls back to sequential
+/// call/response, recording false so later calls skip the probe. Caller-
+/// assigned nonzero tags are preserved; sub-requests the caller left
+/// untagged come back untagged. Throws std::runtime_error on transport
+/// or framing failure (the stream is then poisoned).
+[[nodiscard]] std::vector<Response> call_batch_over_fd(
+    int fd, const std::vector<Request>& requests,
+    std::optional<bool>& batch_supported);
 
 }  // namespace hsw::service::protocol

@@ -37,12 +37,20 @@ SurveyServer::SurveyServer(ServerConfig cfg)
     front.bind_address = std::move(cfg.bind_address);
     front.port = cfg.port;
     front.max_connections = cfg.max_connections;
+    front.reactor_threads = cfg.reactor_threads;
+    front.handler_threads = cfg.handler_threads;
     frontend_ = std::make_unique<FrameServer>(
         std::move(front),
         [svc = service_.get()](const protocol::Request& request) {
             return svc->handle(request);
         },
         [svc = service_.get()] { svc->drain(); });
+    // Hot queries, pings, and health checks complete inline on the
+    // reactor thread -- zero handoffs between the socket and the caches.
+    frontend_->set_fast_handler(
+        [svc = service_.get()](const protocol::Request& request) {
+            return svc->try_handle_fast(request);
+        });
 }
 
 ServiceClient::ServiceClient(const std::string& host, std::uint16_t port) {
@@ -72,6 +80,11 @@ protocol::Response ServiceClient::call(const protocol::Request& request) {
     const auto response = protocol::parse_response(*frame, &error);
     if (!response) throw std::runtime_error{"bad response frame: " + error};
     return *response;
+}
+
+std::vector<protocol::Response> ServiceClient::call_pipelined(
+    const std::vector<protocol::Request>& requests) {
+    return protocol::call_batch_over_fd(fd_, requests, batch_supported_);
 }
 
 }  // namespace hsw::service

@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "service/frame_server.hpp"
 #include "service/service.hpp"
@@ -32,6 +34,10 @@ struct ServerConfig {
     /// Concurrent connections; excess connects receive one Overloaded
     /// response and are closed.
     unsigned max_connections = 64;
+    /// Reactor event-loop threads (see FrameServerConfig).
+    unsigned reactor_threads = 2;
+    /// Handler-pool threads; 0 = auto (see FrameServerConfig).
+    unsigned handler_threads = 0;
     ServiceConfig service;
 };
 
@@ -81,8 +87,25 @@ public:
     /// std::runtime_error on transport or framing errors.
     [[nodiscard]] protocol::Response call(const protocol::Request& request);
 
+    /// Sends many requests as one v1.3 `batch` frame and returns the
+    /// responses in request order (the client tags each sub-request and
+    /// reorders tagged responses as they arrive). The first batch doubles
+    /// as a capability probe: a pre-v1.3 server answers the unknown verb
+    /// with MalformedRequest, and the client transparently falls back to
+    /// sequential single-request calls -- on this call and every later
+    /// one. Throws std::runtime_error on transport or framing errors.
+    [[nodiscard]] std::vector<protocol::Response> call_pipelined(
+        const std::vector<protocol::Request>& requests);
+
+    /// True once call_pipelined has confirmed (or ruled out) server-side
+    /// batch support; unset before the first probe.
+    [[nodiscard]] std::optional<bool> batch_supported() const {
+        return batch_supported_;
+    }
+
 private:
     int fd_ = -1;
+    std::optional<bool> batch_supported_;
 };
 
 }  // namespace hsw::service

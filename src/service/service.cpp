@@ -24,6 +24,32 @@ obs::Gauge& queue_depth_gauge() {
     return g;
 }
 
+obs::Counter& requests_counter() {
+    static obs::Counter& c =
+        obs::counter("hsw_service_requests", "Query verb requests received");
+    return c;
+}
+
+obs::Counter& requests_completed_counter() {
+    static obs::Counter& c = obs::counter("hsw_service_requests_completed",
+                                          "Query verb requests answered OK");
+    return c;
+}
+
+obs::Counter& requests_rejected_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_service_requests_rejected",
+        "Query verb requests rejected (overload/deadline/unknown/draining/error)");
+    return c;
+}
+
+obs::Counter& response_hits_counter() {
+    static obs::Counter& c = obs::counter(
+        "hsw_service_response_hits",
+        "Whole query responses answered from the route-key cache");
+    return c;
+}
+
 obs::Histogram& request_latency_histogram() {
     // 10 us .. ~84 s in x2 steps: covers hot-cache hits through cold
     // full-experiment computes.
@@ -91,6 +117,9 @@ std::string ServiceStats::render() const {
                   static_cast<unsigned long long>(disk_hits),
                   static_cast<unsigned long long>(computed),
                   static_cast<unsigned long long>(coalesced));
+    out += line;
+    std::snprintf(line, sizeof line, "  responses: %llu route-key cache hits\n",
+                  static_cast<unsigned long long>(response_hits));
     out += line;
     std::snprintf(line, sizeof line,
                   "  hot-cache: %zu entries, %zu bytes, %llu hits, %llu misses, "
@@ -195,9 +224,17 @@ void SurveyService::note_rejection(ErrorCode code, const std::string& subject,
 std::shared_ptr<const SurveyService::Registry> SurveyService::registry_for(
     const protocol::Request& request) {
     const std::string key = registry_key(request);
-    util::LockGuard lock{registry_lock_};
+    {
+        // Fast path: memoized tuples are read under the shared lock, so
+        // concurrent queries never serialize here.
+        util::SharedLockGuard lock{registry_lock_};
+        if (const auto it = registries_.find(key); it != registries_.end()) {
+            return it->second;
+        }
+    }
+    util::ExclusiveLockGuard lock{registry_lock_};
     if (const auto it = registries_.find(key); it != registries_.end()) {
-        return it->second;
+        return it->second;  // another writer built it between the locks
     }
     auto registry = std::make_shared<Registry>();
     registry->experiments = cfg_.registry_factory(request);
@@ -319,6 +356,20 @@ SurveyService::QueryResult SurveyService::query(const protocol::Request& request
                            "service is draining"};
     }
 
+    // Fastest path: a whole response already served for this route key is
+    // handed back without touching the registry, jobs, or worker pool --
+    // duplicate-heavy hot traffic resolves to one SHA-256 and one
+    // shared-lock cache probe. Only successful responses are ever cached,
+    // and payload bytes are deterministic per route key, so a hit can
+    // never serve stale or rejected bytes.
+    const std::string response_key = protocol::route_key(request);
+    if (auto hit = hot_.lookup(response_key)) {
+        response_hits_.fetch_add(1, std::memory_order_relaxed);
+        response_hits_counter().inc();
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        return QueryResult{ErrorCode::None, Source::HotCache, std::move(hit), {}};
+    }
+
     std::shared_ptr<const Registry> registry;
     try {
         registry = registry_for(request);
@@ -404,6 +455,10 @@ SurveyService::QueryResult SurveyService::query(const protocol::Request& request
 
     if (request.point != "*") {
         completed_.fetch_add(1, std::memory_order_relaxed);
+        // Cache the response under its route key too (same allocation as
+        // the job-level entry -- insert_shared never copies bytes), so the
+        // next identical query skips the registry and job resolution.
+        hot_.insert_shared(response_key, single_payload);
         return QueryResult{ErrorCode::None, worst, std::move(single_payload), {}};
     }
 
@@ -421,10 +476,10 @@ SurveyService::QueryResult SurveyService::query(const protocol::Request& request
             sections.emplace_back(prefix + artifact.filename, artifact.contents);
         }
         completed_.fetch_add(1, std::memory_order_relaxed);
-        return QueryResult{
-            ErrorCode::None, worst,
-            std::make_shared<const std::string>(engine::pack_sections(sections)),
-            {}};
+        auto packed =
+            std::make_shared<const std::string>(engine::pack_sections(sections));
+        hot_.insert_shared(response_key, packed);
+        return QueryResult{ErrorCode::None, worst, std::move(packed), {}};
     } catch (const std::exception& e) {
         failed_.fetch_add(1, std::memory_order_relaxed);
         return QueryResult{ErrorCode::Internal, Source::Computed, nullptr,
@@ -432,8 +487,42 @@ SurveyService::QueryResult SurveyService::query(const protocol::Request& request
     }
 }
 
+std::optional<protocol::Response> SurveyService::try_handle_fast(
+    const protocol::Request& request) {
+    protocol::Response response;
+    response.tag = request.tag;
+    switch (request.verb) {
+        case protocol::Verb::Ping:
+            response.payload = "pong";
+            return response;
+        case protocol::Verb::Health:
+            response.payload =
+                draining() || shutdown_requested() ? "draining" : "ok";
+            return response;
+        case protocol::Verb::Query:
+            break;
+        default:
+            return std::nullopt;  // stats/metrics/shutdown take the slow path
+    }
+    // Draining and rejections need the slow path's structured accounting.
+    if (draining()) return std::nullopt;
+    auto hit = hot_.lookup(protocol::route_key(request));
+    if (!hit) return std::nullopt;
+    received_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    response_hits_.fetch_add(1, std::memory_order_relaxed);
+    response_hits_counter().inc();
+    requests_counter().inc();
+    requests_completed_counter().inc();
+    response.code = ErrorCode::None;
+    response.source = Source::HotCache;
+    response.shared_payload = std::move(hit);
+    return response;
+}
+
 protocol::Response SurveyService::handle(const protocol::Request& request) {
     protocol::Response response;
+    response.tag = request.tag;
     switch (request.verb) {
         case protocol::Verb::Ping:
             response.payload = "pong";
@@ -458,14 +547,7 @@ protocol::Response SurveyService::handle(const protocol::Request& request) {
                 draining() || shutdown_requested() ? "draining" : "ok";
             return response;
         case protocol::Verb::Query: {
-            static obs::Counter& c_requests = obs::counter(
-                "hsw_service_requests", "Query verb requests received");
-            static obs::Counter& c_completed = obs::counter(
-                "hsw_service_requests_completed", "Query verb requests answered OK");
-            static obs::Counter& c_rejected = obs::counter(
-                "hsw_service_requests_rejected",
-                "Query verb requests rejected (overload/deadline/unknown/draining/error)");
-            c_requests.inc();
+            requests_counter().inc();
             obs::trace::Span span{"service.query", "service"};
             span.set_label(request.experiment + "/" + request.point);
             const auto t0 = std::chrono::steady_clock::now();
@@ -474,11 +556,17 @@ protocol::Response SurveyService::handle(const protocol::Request& request) {
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count());
-            (result.ok() ? c_completed : c_rejected).inc();
+            (result.ok() ? requests_completed_counter() : requests_rejected_counter())
+                .inc();
             response.code = result.code;
             response.source = result.source;
-            response.payload =
-                result.ok() ? *result.payload : std::move(result.message);
+            if (result.ok()) {
+                // Hand the cached allocation to the encoder -- a hot
+                // response is never copied into the Response.
+                response.shared_payload = std::move(result.payload);
+            } else {
+                response.payload = std::move(result.message);
+            }
             return response;
         }
     }
@@ -500,6 +588,7 @@ ServiceStats SurveyService::stats() const {
     s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
     s.computed = computed_.load(std::memory_order_relaxed);
     s.coalesced = coalesced_.load(std::memory_order_relaxed);
+    s.response_hits = response_hits_.load(std::memory_order_relaxed);
     s.hot_cache = hot_.stats();
     if (disk_) s.disk_cache = disk_->counters();
     return s;

@@ -80,6 +80,9 @@ struct ServiceStats {
     std::uint64_t disk_hits = 0;
     std::uint64_t computed = 0;
     std::uint64_t coalesced = 0;          // follower joins on in-flight specs
+    /// Whole responses answered straight from the route_key cache -- the
+    /// fastest path; such a query never touches the registry or its jobs.
+    std::uint64_t response_hits = 0;
     HotCacheStats hot_cache;
     engine::ResultCache::Counters disk_cache;
 
@@ -115,6 +118,14 @@ public:
 
     /// Full verb dispatch (ping/query/stats/shutdown) to a wire response.
     [[nodiscard]] protocol::Response handle(const protocol::Request& request);
+
+    /// Non-blocking dispatch attempt for reactor threads: answers ping,
+    /// health, and response-cache query hits inline (shared locks and
+    /// atomics only -- never the worker pool, disk, or a wait). nullopt
+    /// means "would block or needs the slow path"; the caller must then
+    /// route the request through handle() on a handler thread.
+    [[nodiscard]] std::optional<protocol::Response> try_handle_fast(
+        const protocol::Request& request);
 
     /// Stops admitting new work, waits for queued + running jobs to
     /// finish, and joins the workers. Idempotent, callable concurrently
@@ -170,7 +181,9 @@ private:
     std::optional<engine::ResultCache> disk_;
     RequestCoalescer coalescer_;
 
-    mutable util::Mutex registry_lock_;
+    // Reader-writer: every query resolves a registry, but new (seed,
+    // audit, quick) tuples are rare -- reads must not serialize.
+    mutable util::SharedMutex registry_lock_;
     std::map<std::string, std::shared_ptr<const Registry>> registries_
         GUARDED_BY(registry_lock_);
 
@@ -190,7 +203,8 @@ private:
     // Counters (relaxed; stats() is a snapshot, not a barrier).
     std::atomic<std::uint64_t> received_{0}, completed_{0}, rejected_overload_{0},
         rejected_deadline_{0}, rejected_unknown_{0}, rejected_draining_{0},
-        failed_{0}, hot_hits_{0}, disk_hits_{0}, computed_{0}, coalesced_{0};
+        failed_{0}, hot_hits_{0}, disk_hits_{0}, computed_{0}, coalesced_{0},
+        response_hits_{0};
 
     mutable util::Mutex diag_lock_;
     // Default-constructed capacity is the 256 this sink always used.

@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #include "util/thread_safety.hpp"
 
@@ -76,6 +77,58 @@ private:
     friend class CondVar;
     Mutex& mu_;
     bool owned_;
+};
+
+/// Reader-writer mutex carrying the `capability` attribute. Readers take
+/// the shared side (SharedLockGuard), writers the exclusive side
+/// (ExclusiveLockGuard). Used where the read path vastly outnumbers
+/// writes (hot-cache lookups) and must not serialize behind a plain
+/// mutex under duplicate-heavy concurrent load.
+class CAPABILITY("mutex") SharedMutex {
+public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex&) = delete;
+    SharedMutex& operator=(const SharedMutex&) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+    void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+private:
+    friend class SharedLockGuard;
+    friend class ExclusiveLockGuard;
+    std::shared_mutex mu_;
+};
+
+/// RAII shared (reader) hold on a SharedMutex. Not relockable: readers
+/// that need to upgrade must drop the guard and take an
+/// ExclusiveLockGuard -- upgrades deadlock by construction.
+class SCOPED_CAPABILITY SharedLockGuard {
+public:
+    explicit SharedLockGuard(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_{mu} {
+        mu_.mu_.lock_shared();
+    }
+    ~SharedLockGuard() RELEASE() { mu_.mu_.unlock_shared(); }
+    SharedLockGuard(const SharedLockGuard&) = delete;
+    SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+private:
+    SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) hold on a SharedMutex.
+class SCOPED_CAPABILITY ExclusiveLockGuard {
+public:
+    explicit ExclusiveLockGuard(SharedMutex& mu) ACQUIRE(mu) : mu_{mu} {
+        mu_.mu_.lock();
+    }
+    ~ExclusiveLockGuard() RELEASE() { mu_.mu_.unlock(); }
+    ExclusiveLockGuard(const ExclusiveLockGuard&) = delete;
+    ExclusiveLockGuard& operator=(const ExclusiveLockGuard&) = delete;
+
+private:
+    SharedMutex& mu_;
 };
 
 /// Condition variable waiting on a LockGuard. Waits release and reacquire

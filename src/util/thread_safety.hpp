@@ -48,8 +48,17 @@
 /// Function acquires the capabilities and holds them on return.
 #define ACQUIRE(...) HSW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
 
+/// Function acquires the capabilities *shared* (reader side of a
+/// reader-writer lock) and holds them on return.
+#define ACQUIRE_SHARED(...) \
+    HSW_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
 /// Function releases capabilities the caller held on entry.
 #define RELEASE(...) HSW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases capabilities the caller held *shared* on entry.
+#define RELEASE_SHARED(...) \
+    HSW_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
 
 /// Function acquires the capability when it returns `b`.
 #define TRY_ACQUIRE(b, ...) \

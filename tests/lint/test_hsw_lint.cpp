@@ -39,8 +39,8 @@ std::vector<Finding> findings_for(const std::string& file_suffix) {
 
 TEST(HswLint, FixtureTreeScansAllFiles) {
     const auto result = lint_tree({kFixtures});
-    // 15 .cpp fixtures + the fixture catalog header.
-    EXPECT_EQ(result.files_scanned, 16u);
+    // 16 .cpp fixtures + the fixture catalog header.
+    EXPECT_EQ(result.files_scanned, 17u);
 }
 
 TEST(HswLint, WallClockInSimFires) {
@@ -70,6 +70,41 @@ TEST(HswLint, AllocationInsideHotRegionFires) {
     EXPECT_EQ(found[0].rule, "hot-path-alloc");
     EXPECT_EQ(found[0].line, 8);
     // The identical call outside the region (line 14) stayed clean.
+}
+
+TEST(HswLint, BlockingSocketCallOnReactorThreadFires) {
+    const auto found = findings_for("service/reactor_blocking_violation.cpp");
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].rule, "reactor-blocking");
+    EXPECT_EQ(found[0].line, 10);
+    // The allow()-suppressed call on line 13 and the acceptor-thread call
+    // outside the region (line 18) both stayed clean.
+}
+
+TEST(HswLint, ReactorRegionRuleInlineOnSyntheticSource) {
+    // The region markers live in comments, the tokens in code; read_frame
+    // (the blocking frame helper) fires, epoll_wait does not.
+    const std::string content =
+        "// hsw:reactor-thread\n"
+        "void loop() { epoll_wait(1, nullptr, 0, -1); read_frame(3); }\n"
+        "// hsw:end-reactor-thread\n"
+        "void outside() { read_frame(3); }\n";
+    const auto found = lint_file("src/service/r.cpp", content, Catalog{});
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].rule, "reactor-blocking");
+    EXPECT_EQ(found[0].line, 2);
+}
+
+TEST(HswLint, SharedLockGuardCountsForLockAcrossIo) {
+    const std::string content =
+        "void f() {\n"
+        "    util::SharedLockGuard lock{mu};\n"
+        "    printf(\"x\");\n"
+        "}\n";
+    const auto found = lint_file("src/service/g.cpp", content, Catalog{});
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].rule, "lock-across-io");
+    EXPECT_EQ(found[0].line, 3);
 }
 
 TEST(HswLint, IoUnderLockGuardFires) {

@@ -1,0 +1,20 @@
+// Violates reactor-blocking: a blocking socket call inside the
+// reactor-thread region. The suppressed call and the identical call
+// outside the region stay clean.
+#include <sys/socket.h>
+
+namespace hsw::service {
+
+// hsw:reactor-thread
+void fixture_drain(int fd, sockaddr* addr, socklen_t* len) {
+    ::accept(fd, addr, len);  // flagged: blocks the event loop
+    // hsw-lint: allow(reactor-blocking) -- fixture: probe is nonblocking
+    ::accept(fd, addr, len);
+}
+// hsw:end-reactor-thread
+
+void fixture_accept_loop(int fd, sockaddr* addr, socklen_t* len) {
+    ::accept(fd, addr, len);  // clean: a dedicated acceptor thread may block
+}
+
+}  // namespace hsw::service

@@ -3,10 +3,15 @@
 #include "service/protocol.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 using namespace hsw::service::protocol;
 
@@ -329,4 +334,203 @@ TEST(ProtocolTest, RouteKeyIsContentIdentityOnly) {
     other = req;
     other.quick = true;
     EXPECT_NE(route_key(other), key);
+}
+
+// --- v1.3: tags and batch frames ---------------------------------------------
+
+TEST(ProtocolTest, TagRoundTripsAndDefaultsToUntagged) {
+    Request req;
+    req.verb = Verb::Query;
+    req.experiment = "fig3";
+    req.tag = 0xABCDEF0123456789ull;
+    const auto parsed = parse_request(req.encode());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->tag, 0xABCDEF0123456789ull);
+
+    // Tag is delivery metadata, not identity: it must not move the key.
+    Request untagged = req;
+    untagged.tag = 0;
+    EXPECT_EQ(route_key(req), route_key(untagged));
+    const auto plain = parse_request(untagged.encode());
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->tag, 0u);
+
+    Response resp;
+    resp.payload = "bytes";
+    resp.tag = 77;
+    const auto back = parse_response(resp.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->tag, 77u);
+}
+
+TEST(ProtocolTest, BatchEncodeParseRoundTrip) {
+    std::vector<Request> batch(3);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].verb = Verb::Query;
+        batch[i].experiment = "fig" + std::to_string(i);
+        batch[i].tag = i + 1;
+    }
+    const std::string frame = encode_batch(batch);
+    EXPECT_TRUE(looks_like_batch(frame));
+    EXPECT_FALSE(looks_like_batch(batch[0].encode()));
+
+    std::string error;
+    const auto parsed = parse_batch(frame, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ASSERT_EQ(parsed->size(), 3u);
+    for (std::size_t i = 0; i < parsed->size(); ++i) {
+        EXPECT_EQ((*parsed)[i].experiment, "fig" + std::to_string(i));
+        EXPECT_EQ((*parsed)[i].tag, i + 1);
+    }
+}
+
+TEST(ProtocolTest, BatchRejectsBadCount) {
+    const std::string head = std::string{kMagic} + "\nverb batch\n";
+    std::string error;
+    EXPECT_FALSE(parse_batch(head + "count 0\n", &error).has_value());
+    EXPECT_FALSE(parse_batch(head + "count 1025\n", &error).has_value());
+    EXPECT_EQ(error, "bad batch count");
+    EXPECT_FALSE(parse_batch(head + "count banana\n", &error).has_value());
+    EXPECT_FALSE(parse_batch(head, &error).has_value());  // missing count
+}
+
+TEST(ProtocolTest, BatchRejectsTruncationWhole) {
+    Request req;
+    req.verb = Verb::Ping;
+    const std::string frame = encode_batch({req, req});
+
+    // Cut inside the second length prefix, then inside the second body:
+    // both reject the batch whole rather than yielding a partial vector.
+    std::string error;
+    EXPECT_FALSE(parse_batch(frame.substr(0, frame.size() - req.encode().size() - 2),
+                             &error)
+                     .has_value());
+    EXPECT_EQ(error, "truncated batch length prefix");
+    EXPECT_FALSE(parse_batch(frame.substr(0, frame.size() - 1), &error).has_value());
+    EXPECT_EQ(error, "truncated batch sub-request");
+}
+
+TEST(ProtocolTest, BatchRejectsTrailingBytesAndBadSubRequest) {
+    Request req;
+    req.verb = Verb::Ping;
+    std::string error;
+    EXPECT_FALSE(parse_batch(encode_batch({req}) + "x", &error).has_value());
+    EXPECT_EQ(error, "trailing bytes after batch");
+
+    // A sub-request that is not a valid request poisons the whole frame.
+    std::string frame = std::string{kMagic} + "\nverb batch\ncount 1\n";
+    const std::string junk = "not a request";
+    const std::uint32_t len = static_cast<std::uint32_t>(junk.size());
+    const char prefix[4] = {static_cast<char>(len >> 24), static_cast<char>(len >> 16),
+                            static_cast<char>(len >> 8), static_cast<char>(len)};
+    frame.append(prefix, sizeof prefix);
+    frame += junk;
+    EXPECT_FALSE(parse_batch(frame, &error).has_value());
+    EXPECT_NE(error.find("batch sub-request 0"), std::string::npos);
+}
+
+namespace {
+
+/// A connected stream pair: `client` drives call_batch_over_fd, `server`
+/// is scripted by the test.
+struct StreamPair {
+    int client = -1;
+    int server = -1;
+    StreamPair() {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        client = fds[0];
+        server = fds[1];
+    }
+    ~StreamPair() {
+        if (client >= 0) ::close(client);
+        if (server >= 0) ::close(server);
+    }
+};
+
+}  // namespace
+
+TEST(ProtocolTest, CallBatchReordersTaggedResponses) {
+    StreamPair fds;
+    std::vector<Request> requests(3);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        requests[i].verb = Verb::Query;
+        requests[i].experiment = "fig" + std::to_string(i);
+    }
+    requests[2].tag = 99;  // caller-chosen tag must be preserved
+
+    std::thread server{[&fds] {
+        const auto frame = read_frame(fds.server);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_TRUE(looks_like_batch(*frame));
+        const auto batch = parse_batch(*frame);
+        ASSERT_TRUE(batch.has_value());
+        ASSERT_EQ(batch->size(), 3u);
+        // Answer in reverse order: tags let the client reorder.
+        for (std::size_t i = batch->size(); i-- > 0;) {
+            Response resp;
+            resp.payload = "payload for " + (*batch)[i].experiment;
+            resp.tag = (*batch)[i].tag;
+            ASSERT_TRUE(write_frame(fds.server, resp.encode()));
+        }
+    }};
+
+    std::optional<bool> batch_supported;
+    const auto responses = call_batch_over_fd(fds.client, requests, batch_supported);
+    server.join();
+    EXPECT_EQ(batch_supported, true);
+    ASSERT_EQ(responses.size(), 3u);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        EXPECT_EQ(responses[i].payload, "payload for fig" + std::to_string(i));
+    }
+    // The helper's bookkeeping tags are stripped; the caller's own survives.
+    EXPECT_EQ(responses[0].tag, 0u);
+    EXPECT_EQ(responses[1].tag, 0u);
+    EXPECT_EQ(responses[2].tag, 99u);
+}
+
+TEST(ProtocolTest, CallBatchFallsBackAgainstPreV13Server) {
+    StreamPair fds;
+    std::vector<Request> requests(2);
+    requests[0].verb = Verb::Ping;
+    requests[1].verb = Verb::Ping;
+
+    std::thread server{[&fds] {
+        // A pre-v1.3 server: rejects the batch frame whole with one
+        // untagged MalformedRequest, then answers singles normally.
+        const auto frame = read_frame(fds.server);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_TRUE(looks_like_batch(*frame));
+        Response reject;
+        reject.code = ErrorCode::MalformedRequest;
+        reject.payload = "unknown verb";
+        ASSERT_TRUE(write_frame(fds.server, reject.encode()));
+        for (int i = 0; i < 2; ++i) {
+            const auto single = read_frame(fds.server);
+            ASSERT_TRUE(single.has_value());
+            ASSERT_FALSE(looks_like_batch(*single));
+            Response resp;
+            resp.payload = "pong";
+            ASSERT_TRUE(write_frame(fds.server, resp.encode()));
+        }
+    }};
+
+    std::optional<bool> batch_supported;
+    const auto responses = call_batch_over_fd(fds.client, requests, batch_supported);
+    server.join();
+    EXPECT_EQ(batch_supported, false);  // memoized: next call skips the probe
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0].payload, "pong");
+    EXPECT_EQ(responses[1].payload, "pong");
+}
+
+TEST(ProtocolTest, CallBatchRejectsDuplicateCallerTags) {
+    StreamPair fds;
+    std::vector<Request> requests(2);
+    requests[0].tag = 5;
+    requests[1].tag = 5;
+    std::optional<bool> batch_supported;
+    EXPECT_THROW(
+        { (void)call_batch_over_fd(fds.client, requests, batch_supported); },
+        std::runtime_error);
 }

@@ -9,7 +9,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdint>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "engine/engine.hpp"
 
@@ -165,5 +169,182 @@ TEST(ServerLoop, ConnectionLimitRefusesStructurally) {
     ASSERT_TRUE(response.has_value());
     EXPECT_EQ(response->code, protocol::ErrorCode::Overloaded);
     ::close(fd);
+    server.stop();
+}
+
+namespace {
+
+/// fast_config plus a "slow" experiment whose single job parks the handler
+/// thread long enough to observe tagged out-of-order completion.
+ServerConfig slow_and_fast_config() {
+    ServerConfig cfg = fast_config();
+    const auto echo_factory = cfg.service.registry_factory;
+    cfg.service.registry_factory =
+        [echo_factory](const protocol::Request& request) {
+            auto experiments = echo_factory(request);
+            engine::Experiment slow;
+            slow.name = "slow";
+            slow.description = "one deliberately slow point";
+            engine::Job job;
+            job.spec.experiment = "slow";
+            job.spec.point = "all";
+            job.spec.base_seed = request.seed;
+            job.run = [](const engine::ExperimentSpec&) {
+                std::this_thread::sleep_for(std::chrono::milliseconds{200});
+                return std::string{"slow bytes"};
+            };
+            slow.jobs.push_back(std::move(job));
+            slow.assemble = [](const std::vector<std::string>& payloads) {
+                return std::vector<engine::Artifact>{
+                    {"slow.csv", engine::ArtifactKind::Csv, payloads.at(0)}};
+            };
+            experiments.push_back(std::move(slow));
+            return experiments;
+        };
+    return cfg;
+}
+
+void write_all_raw(int fd, const char* data, std::size_t len) {
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd, data + done, len - done);
+        ASSERT_GT(n, 0);
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+/// One length-prefixed frame as raw bytes, ready for dribbling.
+std::string raw_frame(const std::string& body) {
+    const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+    std::string out;
+    out.push_back(static_cast<char>(len >> 24));
+    out.push_back(static_cast<char>(len >> 16));
+    out.push_back(static_cast<char>(len >> 8));
+    out.push_back(static_cast<char>(len));
+    out += body;
+    return out;
+}
+
+}  // namespace
+
+TEST(ServerLoop, PartialWritesAcrossFrameBoundariesReassemble) {
+    SurveyServer server{fast_config()};
+    server.start();
+    const int fd = connect_raw(server.port());
+
+    protocol::Request ping;
+    ping.verb = protocol::Verb::Ping;
+    const std::string one = raw_frame(ping.encode());
+
+    // Dribble the first frame one byte at a time -- every read the reactor
+    // does lands mid-prefix or mid-body.
+    for (const char c : one) {
+        write_all_raw(fd, &c, 1);
+    }
+    auto response = protocol::read_frame(fd);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_NE(response->find("pong"), std::string::npos);
+
+    // Then two frames plus a torn third in one write: both whole frames
+    // answer, the tail waits for its remainder instead of desyncing.
+    const std::string torn = one + one + one.substr(0, 7);
+    write_all_raw(fd, torn.data(), torn.size());
+    ASSERT_TRUE(protocol::read_frame(fd).has_value());
+    ASSERT_TRUE(protocol::read_frame(fd).has_value());
+    write_all_raw(fd, one.data() + 7, one.size() - 7);
+    response = protocol::read_frame(fd);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_NE(response->find("pong"), std::string::npos);
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServerLoop, TaggedResponsesCompleteOutOfOrder) {
+    SurveyServer server{slow_and_fast_config()};
+    server.start();
+    const int fd = connect_raw(server.port());
+
+    // One batch: a slow compute (tag 1) then a ping (tag 2). The ping
+    // finishes first and, being tagged, is flushed immediately; the slow
+    // response follows when its job lands.
+    protocol::Request slow;
+    slow.verb = protocol::Verb::Query;
+    slow.experiment = "slow";
+    slow.point = "all";
+    slow.tag = 1;
+    protocol::Request ping;
+    ping.verb = protocol::Verb::Ping;
+    ping.tag = 2;
+    ASSERT_TRUE(protocol::write_frame(fd, protocol::encode_batch({slow, ping})));
+
+    const auto first = protocol::read_frame(fd);
+    ASSERT_TRUE(first.has_value());
+    const auto first_response = protocol::parse_response(*first);
+    ASSERT_TRUE(first_response.has_value());
+    EXPECT_EQ(first_response->tag, 2u);  // the ping overtook the compute
+    EXPECT_EQ(first_response->payload, "pong");
+
+    const auto second = protocol::read_frame(fd);
+    ASSERT_TRUE(second.has_value());
+    const auto second_response = protocol::parse_response(*second);
+    ASSERT_TRUE(second_response.has_value());
+    EXPECT_EQ(second_response->tag, 1u);
+    EXPECT_TRUE(second_response->ok());
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServerLoop, MalformedBatchRejectedWholeAndConnectionSurvives) {
+    SurveyServer server{fast_config()};
+    server.start();
+    const int fd = connect_raw(server.port());
+
+    // Structurally a batch, but the count lies about the body.
+    const std::string bogus =
+        std::string{protocol::kMagic} + "\nverb batch\ncount 2\njunk";
+    ASSERT_TRUE(protocol::write_frame(fd, bogus));
+    const auto frame = protocol::read_frame(fd);
+    ASSERT_TRUE(frame.has_value());
+    const auto response = protocol::parse_response(*frame);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->code, protocol::ErrorCode::MalformedRequest);
+    EXPECT_EQ(response->tag, 0u);  // one untagged rejection for the whole batch
+
+    // No further responses for the bogus batch, and the connection still
+    // serves well-formed traffic.
+    protocol::Request ping;
+    ping.verb = protocol::Verb::Ping;
+    ASSERT_TRUE(protocol::write_frame(fd, ping.encode()));
+    const auto pong = protocol::read_frame(fd);
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_NE(pong->find("pong"), std::string::npos);
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServerLoop, PipelinedReplayIsByteIdenticalToSingleCalls) {
+    SurveyServer server{fast_config()};
+    server.start();
+
+    ServiceClient client{"127.0.0.1", server.port()};
+    protocol::Request req;
+    req.verb = protocol::Verb::Query;
+    req.experiment = "echo";
+    req.point = "all";
+    const auto reference = client.call(req);
+    ASSERT_TRUE(reference.ok()) << reference.payload;
+
+    const std::vector<protocol::Request> window(8, req);
+    const auto responses = client.call_pipelined(window);
+    EXPECT_EQ(client.batch_supported(), true);
+    ASSERT_EQ(responses.size(), window.size());
+    for (const auto& response : responses) {
+        ASSERT_TRUE(response.ok());
+        EXPECT_EQ(response.payload, reference.payload);
+        EXPECT_EQ(response.source, protocol::Source::HotCache);
+    }
     server.stop();
 }

@@ -19,6 +19,8 @@ namespace {
 // lines for (the tree scan includes tools/hsw_lint itself).
 const std::string kHotBegin = std::string{"hsw:"} + "hot-path";
 const std::string kHotEnd = std::string{"hsw:"} + "end-hot-path";
+const std::string kReactorBegin = std::string{"hsw:"} + "reactor-thread";
+const std::string kReactorEnd = std::string{"hsw:"} + "end-reactor-thread";
 const std::string kAllow = std::string{"hsw-"} + "lint: allow(";
 
 // --- rule tables -------------------------------------------------------------
@@ -44,6 +46,18 @@ const std::unordered_set<std::string_view> kHotBlockingTokens = {
     "ifstream",  "ofstream",    "fstream", "mmap",     "ioctl",
 };
 
+// Calls that park the calling thread on a socket (or outright sleep).
+// Nonblocking recv/sendmsg on O_NONBLOCK fds are the reactor's bread and
+// butter and are deliberately absent; what must never appear on a reactor
+// thread is a call that waits for the *peer*: the blocking frame helpers
+// (read_frame/write_frame loop until a whole frame moved), accept/connect,
+// the legacy readiness muxes, and sleeps.
+const std::unordered_set<std::string_view> kReactorBlockingTokens = {
+    "read_frame", "write_frame", "accept",      "connect",
+    "poll",       "select",      "sleep_for",   "sleep_until",
+    "usleep",     "nanosleep",   "getline",
+};
+
 // Deliberately excludes ::shutdown(2): it never blocks, and stop() paths
 // legitimately shut sockets down under the registry lock.
 const std::unordered_set<std::string_view> kLockIoTokens = {
@@ -55,7 +69,8 @@ const std::unordered_set<std::string_view> kLockIoTokens = {
 
 // Tokens that start (or re-enter) a lock-held region.
 const std::unordered_set<std::string_view> kGuardTokens = {
-    "LockGuard", "lock_guard", "unique_lock", "scoped_lock",
+    "LockGuard",     "lock_guard",        "unique_lock",
+    "scoped_lock",   "SharedLockGuard",   "ExclusiveLockGuard",
 };
 
 const std::array<std::string_view, 9> kStdSyncTypes = {
@@ -274,6 +289,8 @@ struct FileScanner {
     bool in_block_comment = false;
     bool in_hot_region = false;
     int hot_region_line = 0;
+    bool in_reactor_region = false;
+    int reactor_region_line = 0;
     int depth = 0;
     std::vector<GuardScope> guards;
     std::vector<std::string> prev_allows;
@@ -302,6 +319,13 @@ struct FileScanner {
             hot_region_line = lineno;
         } else if (raw.find(kHotEnd) != std::string::npos) {
             in_hot_region = false;
+        }
+        if (raw.find(kReactorBegin) != std::string::npos &&
+            raw.find(kReactorEnd) == std::string::npos) {
+            in_reactor_region = true;
+            reactor_region_line = lineno;
+        } else if (raw.find(kReactorEnd) != std::string::npos) {
+            in_reactor_region = false;
         }
 
         // #include lines are parsed from the raw text (the quoted path is
@@ -405,6 +429,14 @@ struct FileScanner {
                                "' may block inside the hot-path region opened at "
                                "line " + std::to_string(hot_region_line));
                 }
+            }
+            if (in_reactor_region && kReactorBlockingTokens.count(tok.text) != 0) {
+                report(lineno, allows, "reactor-blocking",
+                       "'" + std::string{tok.text} +
+                           "' can block the event loop inside the reactor-thread "
+                           "region opened at line " +
+                           std::to_string(reactor_region_line) +
+                           "; reactor fds are nonblocking, park on epoll instead");
             }
             if (kLockIoTokens.count(tok.text) != 0 && holding_lock()) {
                 report(lineno, allows, "lock-across-io",

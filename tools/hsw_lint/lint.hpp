@@ -2,8 +2,9 @@
 //
 // A deliberately small, dependency-free linter over the repo's own source
 // conventions: determinism in the simulation core, allocation-free hot
-// paths, no I/O while holding a lock, include layering, and the MSR
-// catalog as the single source of register addresses. It is line-based --
+// paths, no I/O while holding a lock, no blocking socket calls on reactor
+// threads, include layering, and the MSR catalog as the single source of
+// register addresses. It is line-based --
 // comments and string/char literals are blanked before token scans, so a
 // rule name in a comment never fires -- and it is self-hosted: the real
 // tree must lint clean, and `ctest` runs it on every build.

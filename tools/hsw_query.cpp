@@ -68,6 +68,9 @@ int usage(const char* argv0, int code) {
         "                       0..1 (default: 0.5); the rest get unique seeds\n"
         "  --mix LIST           comma-separated experiments to rotate through\n"
         "                       (default: fig3)\n"
+        "  --pipeline N         send N requests per batch frame (v1.3\n"
+        "                       pipelining; default 1 = one request per\n"
+        "                       round-trip, works against any server)\n"
         "\n"
         "control verbs:\n"
         "  --ping               round-trip check\n"
@@ -104,6 +107,22 @@ public:
                 return client_->call(request);
             } catch (const std::exception&) {
                 client_.reset();  // stale stream: reconnect on next attempt
+                if (attempt >= retries_) throw;
+                std::this_thread::sleep_for(backoff(attempt));
+            }
+        }
+    }
+
+    /// Pipelined window with the same reconnect/backoff policy; the whole
+    /// window is re-sent on a transport error (idempotent queries).
+    [[nodiscard]] std::vector<service::protocol::Response> call_pipelined(
+        const std::vector<service::protocol::Request>& window) {
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                if (!client_) client_.emplace(host_, port_);
+                return client_->call_pipelined(window);
+            } catch (const std::exception&) {
+                client_.reset();
                 if (attempt >= retries_) throw;
                 std::this_thread::sleep_for(backoff(attempt));
             }
@@ -151,6 +170,7 @@ struct BenchSlice {
     std::uint64_t ok = 0;
     std::uint64_t rejected = 0;
     std::uint64_t hot = 0, disk = 0, computed = 0;
+    double wall_s = 0;  // this client's own elapsed time
     std::string first_error;
 };
 
@@ -168,6 +188,7 @@ int main(int argc, char** argv) {
         service::protocol::MetricsFormat::Prometheus;
     unsigned threads = 4;
     unsigned retries = 0;
+    unsigned pipeline = 1;
     unsigned long requests = 64;
     double duplicate_ratio = 0.5;
     std::vector<std::string> mix;
@@ -259,6 +280,13 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (!v || !parse_unsigned(v, n, 256) || n == 0) return usage(argv[0], 2);
             threads = static_cast<unsigned>(n);
+        } else if (arg == "--pipeline") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, n, service::protocol::kMaxBatchRequests) ||
+                n == 0) {
+                return usage(argv[0], 2);
+            }
+            pipeline = static_cast<unsigned>(n);
         } else if (arg == "--requests") {
             const char* v = value();
             if (!v || !parse_unsigned(v, requests, 1u << 20) || requests == 0) {
@@ -326,8 +354,49 @@ int main(int argc, char** argv) {
             for (unsigned t = 0; t < threads; ++t) {
                 workers.emplace_back([&, t] {
                     BenchSlice& slice = slices[t];
+                    const auto slice_t0 = std::chrono::steady_clock::now();
                     try {
                         RetryingClient client{host, port, retries};
+                        std::vector<service::protocol::Request> window;
+                        auto flush_window = [&] {
+                            if (window.empty()) return;
+                            const auto q0 = std::chrono::steady_clock::now();
+                            const auto responses = pipeline > 1
+                                                       ? client.call_pipelined(window)
+                                                       : std::vector{client.call(
+                                                             window.front())};
+                            const auto q1 = std::chrono::steady_clock::now();
+                            // Pipelined requests share the window's
+                            // round-trip: that IS the latency each of them
+                            // observes from the caller's seat.
+                            const double ms =
+                                std::chrono::duration<double, std::milli>{q1 - q0}
+                                    .count();
+                            for (const auto& response : responses) {
+                                slice.latencies_ms.push_back(ms);
+                                if (response.ok()) {
+                                    ++slice.ok;
+                                    using Source = service::protocol::Source;
+                                    if (response.source == Source::HotCache) {
+                                        ++slice.hot;
+                                    }
+                                    if (response.source == Source::DiskCache) {
+                                        ++slice.disk;
+                                    }
+                                    if (response.source == Source::Computed) {
+                                        ++slice.computed;
+                                    }
+                                } else {
+                                    ++slice.rejected;
+                                    if (slice.first_error.empty()) {
+                                        slice.first_error =
+                                            std::string{name(response.code)} + ": " +
+                                            response.payload;
+                                    }
+                                }
+                            }
+                            window.clear();
+                        };
                         for (std::uint64_t i = t; i < total; i += threads) {
                             service::protocol::Request r = request;
                             r.experiment = mix[i % mix.size()];
@@ -337,32 +406,16 @@ int main(int argc, char** argv) {
                             const bool duplicate =
                                 static_cast<double>(i % 100) < duplicate_ratio * 100.0;
                             if (!duplicate) r.seed = request.seed + i + 1;
-                            const auto q0 = std::chrono::steady_clock::now();
-                            const auto response = client.call(r);
-                            const auto q1 = std::chrono::steady_clock::now();
-                            slice.latencies_ms.push_back(
-                                std::chrono::duration<double, std::milli>{q1 - q0}
-                                    .count());
-                            if (response.ok()) {
-                                ++slice.ok;
-                                using Source = service::protocol::Source;
-                                if (response.source == Source::HotCache) ++slice.hot;
-                                if (response.source == Source::DiskCache) ++slice.disk;
-                                if (response.source == Source::Computed) {
-                                    ++slice.computed;
-                                }
-                            } else {
-                                ++slice.rejected;
-                                if (slice.first_error.empty()) {
-                                    slice.first_error =
-                                        std::string{name(response.code)} + ": " +
-                                        response.payload;
-                                }
-                            }
+                            window.push_back(std::move(r));
+                            if (window.size() >= pipeline) flush_window();
                         }
+                        flush_window();
                     } catch (const std::exception& e) {
                         if (slice.first_error.empty()) slice.first_error = e.what();
                     }
+                    slice.wall_s = std::chrono::duration<double>{
+                        std::chrono::steady_clock::now() - slice_t0}
+                                       .count();
                 });
             }
             for (auto& w : workers) w.join();
@@ -384,9 +437,10 @@ int main(int argc, char** argv) {
             }
             const double sent = static_cast<double>(all.latencies_ms.size());
             std::printf(
-                "bench: %llu requests (%u threads, duplicate ratio %.2f, mix",
+                "bench: %llu requests (%u threads, pipeline %u, duplicate ratio "
+                "%.2f, mix",
                 static_cast<unsigned long long>(all.latencies_ms.size()), threads,
-                duplicate_ratio);
+                pipeline, duplicate_ratio);
             for (const auto& m : mix) std::printf(" %s", m.c_str());
             std::printf(")\n");
             std::printf("  ok %llu  rejected %llu  (hot %llu, disk %llu, "
@@ -400,6 +454,22 @@ int main(int argc, char** argv) {
                 const util::QuantileSummary q = util::quantile_summary(all.latencies_ms);
                 std::printf("  wall %.3f s  %.1f req/s  p50 %.2f ms  p99 %.2f ms\n",
                             wall_s, sent / wall_s, q.p50, q.p99);
+                // Per-client spread: a fair server keeps min and max close;
+                // a convoying one starves some connections while others fly.
+                double min_rate = 0, max_rate = 0;
+                bool first = true;
+                for (const auto& slice : slices) {
+                    if (slice.latencies_ms.empty() || slice.wall_s <= 0) continue;
+                    const double rate =
+                        static_cast<double>(slice.latencies_ms.size()) / slice.wall_s;
+                    min_rate = first ? rate : std::min(min_rate, rate);
+                    max_rate = first ? rate : std::max(max_rate, rate);
+                    first = false;
+                }
+                if (!first) {
+                    std::printf("  per-client %.1f..%.1f req/s (min..max of %u)\n",
+                                min_rate, max_rate, threads);
+                }
             }
             if (!all.first_error.empty()) {
                 std::fprintf(stderr, "hsw_query: first error: %s\n",
