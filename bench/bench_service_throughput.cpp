@@ -20,7 +20,13 @@
 // queries from serializing. hot-pipelined/hot-socket is the batching win:
 // syscalls and wakeups amortized over the window.
 //
-//   bench_service_throughput [--requests N] [--experiment NAME] [--json PATH]
+// --telemetry turns the whole observability stack on for the run --
+// metrics registry, span tracing, and the access log with a keep-everything
+// policy draining to a scratch file -- so the CI scaling gate measures the
+// hot path with logging live, not idealized.
+//
+//   bench_service_throughput [--requests N] [--experiment NAME]
+//                            [--telemetry] [--json PATH]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +35,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/accesslog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "util/bench_json.hpp"
@@ -170,18 +179,37 @@ int main(int argc, char** argv) {
     unsigned requests = 64;
     std::string experiment = "fig3";
     std::string json_path = "bench_service_throughput.json";
+    bool telemetry = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
             requests = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
         } else if (std::strcmp(argv[i], "--experiment") == 0 && i + 1 < argc) {
             experiment = argv[++i];
+        } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+            telemetry = true;
         } else if (util::parse_json_flag(argc, argv, i, json_path)) {
             // consumed "--json <path>"
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--requests N] [--experiment NAME] [--json PATH]\n",
+                         "usage: %s [--requests N] [--experiment NAME] "
+                         "[--telemetry] [--json PATH]\n",
                          argv[0]);
             return 2;
+        }
+    }
+
+    obs::accesslog::Writer access_log_writer;
+    if (telemetry) {
+        // Worst-case observability tax: every request traced, every
+        // request kept by the access log, drain thread live.
+        obs::set_metrics_enabled(true);
+        obs::trace::enable();
+        obs::accesslog::set_policy(1.0, 0);
+        obs::accesslog::set_identity("bench");
+        obs::accesslog::set_enabled(true);
+        if (!access_log_writer.start(".hsw-service-bench-access.jsonl")) {
+            std::fprintf(stderr, "cannot open access-log scratch file\n");
+            return 1;
         }
     }
 
@@ -198,7 +226,10 @@ int main(int argc, char** argv) {
     const unsigned client_counts[] = {1, 4, 16};
 
     util::BenchJson out{"bench_service_throughput"};
-    out.meta().set("experiment", experiment).set("requests", requests);
+    out.meta()
+        .set("experiment", experiment)
+        .set("requests", requests)
+        .set("telemetry", telemetry);
     for (const Scenario& scenario : scenarios) {
         for (const unsigned clients : client_counts) {
             std::filesystem::remove_all(disk_dir);
@@ -270,6 +301,11 @@ int main(int argc, char** argv) {
                          scenario.label, clients, m.requests_per_s, m.p50_ms,
                          m.p99_ms);
         }
+    }
+
+    if (telemetry) {
+        access_log_writer.stop();
+        std::filesystem::remove(".hsw-service-bench-access.jsonl");
     }
 
     const std::string json = out.to_string();

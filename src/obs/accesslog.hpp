@@ -1,0 +1,131 @@
+// Structured per-request access log on a lock-free bounded ring.
+//
+// Every completed request becomes one fixed-size Record (all fields are
+// inline char arrays / integers -- nothing allocates and no field name is
+// ever built per request), pushed by `record()` with a handful of relaxed
+// atomic stores. The ring overwrites oldest on overflow and counts the
+// drop; a background Writer (or the flight recorder) drains it and only
+// *then* pays for JSON formatting, off the serving path.
+//
+// Tail-based sampling lives here too: `should_log()` is evaluated at
+// request completion, where the outcome is known -- errors, slow requests
+// and failover paths are always kept, everything else follows the head
+// decision (the trace context's sampled flag, or this process's own
+// fraction for untraced requests).
+//
+// Like the rest of obs, this layer is protocol-agnostic: the service
+// layer decides what goes into a Record; obs only stores and formats it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/ctx.hpp"
+#include "util/sync.hpp"
+
+namespace hsw::obs::accesslog {
+
+/// deadline_slack_us value meaning "request carried no deadline".
+inline constexpr std::int64_t kNoDeadline = INT64_MIN;
+
+/// One completed request. Trivially copyable by design: records cross the
+/// ring as relaxed atomic words, so there must be no pointers out.
+struct Record {
+    std::uint64_t ts_ns = 0;      // completion time; stamped by record() if 0
+    std::uint64_t trace_id = 0;   // 0 = untraced request
+    std::uint64_t micros = 0;     // wall time serving the request
+    std::int64_t deadline_slack_us = kNoDeadline;  // budget left at completion
+    std::uint32_t retries = 0;    // failover/retry attempts consumed
+    char verb[12] = {};           // protocol verb name
+    char spec[20] = {};           // spec-hash / route-key prefix
+    char source[12] = {};         // hot|disk|computed|none
+    char shard[24] = {};          // serving shard; empty = this process's identity
+    char outcome[16] = {};        // "ok" or the error code name
+};
+
+/// Bounded NUL-terminated copy into a Record's inline char field.
+template <std::size_t N>
+inline void set_field(char (&dst)[N], std::string_view v) {
+    const std::size_t n = v.size() < N - 1 ? v.size() : N - 1;
+    for (std::size_t i = 0; i < n; ++i) dst[i] = v[i];
+    dst[n] = '\0';
+}
+
+/// Switch the ring on/off. Off (the default) makes record() one relaxed
+/// load. Enabling resets the ring, cursors and drop counters.
+void set_enabled(bool on);
+[[nodiscard]] bool enabled();
+
+/// Ring capacity in records (rounded up to a power of two, min 64). Only
+/// honored while disabled; the default is 4096.
+void configure(std::size_t capacity);
+
+/// This process's shard identity, stamped into records whose `shard`
+/// field is empty ("surveyd:<port>", "shard0", "router", ...).
+void set_identity(std::string_view shard);
+[[nodiscard]] std::string identity();
+
+/// Sampling policy: `head_fraction` of untraced requests are kept (the
+/// trace context's sampled flag wins when present); any request slower
+/// than `slow_us` (0 = off) is force-kept regardless.
+void set_policy(double head_fraction, std::uint64_t slow_us);
+
+/// The tail-based keep/drop decision for one completed request.
+[[nodiscard]] bool should_log(const trace::TraceContext& ctx, bool error,
+                              std::uint64_t micros, bool retried);
+
+/// Push one record; lock-free, allocation-free, overwrite-oldest.
+void record(const Record& r);
+
+/// Records pushed / lost (overwritten unread or torn by a lapping writer).
+[[nodiscard]] std::uint64_t recorded();
+[[nodiscard]] std::uint64_t dropped();
+
+/// Consume everything since the last drain, oldest-first. Single logical
+/// drainer (the Writer thread or a flight dump); concurrent drains are
+/// safe but split the stream between them.
+void drain(std::vector<Record>& out);
+
+/// Non-destructive copy of the newest `max` records, oldest-first. Used
+/// by the flight recorder, which must not steal from the Writer.
+[[nodiscard]] std::vector<Record> tail(std::size_t max);
+
+/// Copy the drop counter into the metrics registry
+/// (`obs_accesslog_dropped`); called before every metrics exposition.
+void publish_overflow_metrics();
+
+/// One JSON object line for a record -- field names are literals here and
+/// only here, in the drain path, never on the serving path.
+[[nodiscard]] std::string format_json(const Record& r);
+
+/// Background drain thread appending one JSON line per kept record to a
+/// file (`--access-log FILE`). stop() performs a final drain, so graceful
+/// shutdown loses nothing.
+class Writer {
+public:
+    Writer() = default;
+    ~Writer();
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+
+    /// Opens `path` for append and starts the drain thread; false (and no
+    /// thread) when the file cannot be opened.
+    bool start(const std::string& path);
+    void stop();
+
+private:
+    void run();
+
+    void* file_ = nullptr;  // std::FILE*, kept opaque for the header
+    std::thread thread_;
+    util::Mutex mu_;
+    util::CondVar cv_;
+    bool stop_requested_ GUARDED_BY(mu_) = false;
+    bool running_ = false;
+};
+
+}  // namespace hsw::obs::accesslog

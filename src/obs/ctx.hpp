@@ -1,0 +1,110 @@
+// Request-scoped trace context: the distributed half of span tracing.
+//
+// A TraceContext names one end-to-end request: a 64-bit trace_id shared
+// by every span the request touches in any process, the span_id of the
+// innermost live span (the parent for the next child span or downstream
+// hop), and sampling flags. The context travels two ways:
+//
+//  - across threads/processes explicitly, as three fields on the wire
+//    (the protocol's `trace <trace_id> <parent_span_id> <flags>` header
+//    -- encoded by the service layer, never by obs, which stays
+//    protocol-agnostic);
+//  - within a thread implicitly, via a thread-local current context that
+//    ContextScope installs on entry and restores on exit. An armed Span
+//    whose thread has a valid current context adopts its trace_id,
+//    parents itself to the current span_id, and re-scopes the context to
+//    itself for the spans it encloses.
+//
+// IDs are process-salted splitmix64 walks: unique enough to merge traces
+// from a whole fleet, never part of any experiment output (telemetry must
+// not move golden bytes). trace_id 0 means "no context".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace hsw::obs::trace {
+
+/// Head-sampling decision made where the trace was born.
+inline constexpr std::uint32_t kFlagSampled = 1u;
+/// Tail override: an error / slow / failover path downstream insists the
+/// request is kept regardless of the head decision.
+inline constexpr std::uint32_t kFlagForced = 2u;
+
+struct TraceContext {
+    std::uint64_t trace_id = 0;  // 0 = no context
+    std::uint64_t span_id = 0;   // parent for the next child span / hop
+    std::uint32_t flags = 0;
+
+    [[nodiscard]] bool valid() const { return trace_id != 0; }
+    [[nodiscard]] bool sampled() const { return (flags & kFlagSampled) != 0; }
+    [[nodiscard]] bool forced() const { return (flags & kFlagForced) != 0; }
+};
+
+namespace detail {
+inline thread_local TraceContext t_current_context;
+
+/// Process-unique id source: a splitmix64 walk seeded from the monotonic
+/// clock and this translation's address space, so two shards spawned in
+/// the same nanosecond still diverge.
+inline std::uint64_t next_trace_entropy() {
+    static std::atomic<std::uint64_t> counter{[] {
+        const auto now = std::chrono::steady_clock::now().time_since_epoch();
+        return util::mix64(static_cast<std::uint64_t>(now.count()) ^
+                           reinterpret_cast<std::uintptr_t>(&counter));
+    }()};
+    return counter.fetch_add(0x9E3779B97F4A7C15ULL, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// Fresh non-zero 64-bit id for a trace or span.
+[[nodiscard]] inline std::uint64_t next_id() {
+    std::uint64_t id = 0;
+    while (id == 0) id = util::mix64(detail::next_trace_entropy());
+    return id;
+}
+
+/// The calling thread's current context ({} when none is installed).
+[[nodiscard]] inline TraceContext current_context() {
+    return detail::t_current_context;
+}
+
+/// Originate a new trace (the client end). span_id stays 0 until a Span
+/// opens under the scope.
+[[nodiscard]] inline TraceContext make_root(bool sampled) {
+    TraceContext ctx;
+    ctx.trace_id = next_id();
+    ctx.flags = sampled ? kFlagSampled : 0;
+    return ctx;
+}
+
+/// Set kFlagForced on the thread's current context (no-op without one):
+/// every span and downstream hop from here on carries the override.
+inline void force_current() {
+    if (detail::t_current_context.valid()) {
+        detail::t_current_context.flags |= kFlagForced;
+    }
+}
+
+/// Installs `ctx` as the thread's current context for this scope and
+/// restores the previous one on destruction. Works whether or not span
+/// recording is enabled -- a process with tracing off still propagates
+/// the caller's context to its own downstream hops.
+class ContextScope {
+public:
+    explicit ContextScope(const TraceContext& ctx)
+        : prev_(detail::t_current_context) {
+        detail::t_current_context = ctx;
+    }
+    ~ContextScope() { detail::t_current_context = prev_; }
+    ContextScope(const ContextScope&) = delete;
+    ContextScope& operator=(const ContextScope&) = delete;
+
+private:
+    TraceContext prev_;
+};
+
+}  // namespace hsw::obs::trace

@@ -1,0 +1,158 @@
+#include "obs/flight.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <vector>
+
+#include "obs/accesslog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/sync.hpp"
+#include "util/version.hpp"
+
+namespace hsw::obs::flight {
+
+namespace {
+
+util::Mutex g_config_mu;
+Config g_config GUARDED_BY(g_config_mu);
+
+void append_json_escaped(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default:
+                if (static_cast<unsigned char>(c) >= 0x20) out += c;
+        }
+    }
+}
+
+/// "flight-<pid>-<reason>.json" with the reason reduced to a filename-safe
+/// token (signal names and verb names already are; this is a backstop).
+std::string dump_filename(std::string_view reason) {
+    char prefix[48];
+    std::snprintf(prefix, sizeof prefix, "flight-%ld-",
+                  static_cast<long>(::getpid()));
+    std::string name = prefix;
+    for (const char c : reason) {
+        const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '_';
+        name += safe ? c : '_';
+    }
+    name += ".json";
+    return name;
+}
+
+std::atomic<bool> g_in_crash_dump{false};
+
+extern "C" void crash_handler(int signo) {
+    // One attempt only: a fault inside the dump must not recurse.
+    if (!g_in_crash_dump.exchange(true)) {
+        const char* reason = signo == SIGSEGV ? "sigsegv"
+                             : signo == SIGABRT ? "sigabrt"
+                                                : "signal";
+        // Not async-signal-safe (allocates, takes locks); acceptable for a
+        // best-effort last gasp -- a deadlock here only delays a death
+        // that was already happening, and the re-raise below still runs
+        // for the common single-threaded-fault case.
+        dump(reason);
+    }
+    std::signal(signo, SIG_DFL);
+    ::raise(signo);
+}
+
+}  // namespace
+
+bool write_text_atomic(const std::string& path, std::string_view content) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%ld",
+                  static_cast<long>(::getpid()));
+    const std::string tmp = path + suffix;
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return false;
+    const bool wrote =
+        std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (!wrote || !flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+void configure(const Config& config) {
+    util::LockGuard lock{g_config_mu};
+    g_config = config;
+}
+
+Config config() {
+    util::LockGuard lock{g_config_mu};
+    return g_config;
+}
+
+std::string render(std::string_view reason) {
+    const Config cfg = config();
+    std::string process = cfg.process;
+    if (process.empty()) process = accesslog::identity();
+
+    std::string out = "{\"flight\":{";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"pid\":%ld,",
+                  static_cast<long>(::getpid()));
+    out += buf;
+    out += "\"process\":\"";
+    append_json_escaped(out, process);
+    out += "\",\"reason\":\"";
+    append_json_escaped(out, reason);
+    out += "\",\"engine_version\":\"";
+    append_json_escaped(out, util::kEngineCodeVersion);
+    out += "\",\"build_preset\":\"";
+    append_json_escaped(out, util::build_preset());
+    std::snprintf(buf, sizeof buf,
+                  "\",\"trace_dropped_spans\":%llu,\"accesslog_dropped\":%llu},",
+                  static_cast<unsigned long long>(trace::dropped_events()),
+                  static_cast<unsigned long long>(accesslog::dropped()));
+    out += buf;
+
+    out += "\"metrics\":";
+    out += snapshot_metrics().render_json();
+
+    out += ",\"trace\":";
+    out += trace::export_chrome_json();
+
+    out += ",\"access_log\":[";
+    bool first = true;
+    for (const accesslog::Record& rec : accesslog::tail(256)) {
+        if (!first) out += ',';
+        first = false;
+        out += accesslog::format_json(rec);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string dump(std::string_view reason) {
+    const Config cfg = config();
+    std::string path = cfg.dir.empty() ? std::string{"."} : cfg.dir;
+    if (path.back() != '/') path += '/';
+    path += dump_filename(reason);
+    if (!write_text_atomic(path, render(reason))) return {};
+    return path;
+}
+
+void install_crash_handlers() {
+    struct sigaction sa = {};
+    sa.sa_handler = &crash_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGSEGV, &sa, nullptr);
+    sigaction(SIGABRT, &sa, nullptr);
+}
+
+}  // namespace hsw::obs::flight

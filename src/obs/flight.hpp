@@ -1,0 +1,55 @@
+// Crash flight recorder: everything the process knows about itself,
+// dumped as one JSON document when something goes wrong (or when asked).
+//
+// A flight dump bundles the in-memory observability state that would
+// otherwise die with the process -- the metrics snapshot, the span trace
+// rings, the newest access-log records -- plus build/identity metadata,
+// and writes it as `flight-<pid>-<reason>.json` in the configured
+// directory. Three triggers share the exact same path:
+//
+//   - graceful shutdown (SIGQUIT / the daemon exit path),
+//   - the protocol's `dump` debug verb,
+//   - best-effort crash handlers for SIGSEGV/SIGABRT.
+//
+// All file writes go through write_text_atomic(): content lands in a
+// sibling temp file first and is renamed into place, so a reader (or a
+// crash mid-write) never sees a torn document. The same helper backs
+// trace::write_chrome_json and the daemons' shutdown snapshots.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hsw::obs::flight {
+
+/// Write `content` to `path` atomically (tmp file + rename). Returns
+/// false without touching `path` on any I/O failure, including a missing
+/// parent directory.
+bool write_text_atomic(const std::string& path, std::string_view content);
+
+struct Config {
+    std::string dir = ".";      // where flight-*.json files land
+    std::string process;        // identity stamped into the dump
+};
+
+/// Install the dump directory and process identity (call once at
+/// startup, before install_crash_handlers()).
+void configure(const Config& config);
+[[nodiscard]] Config config();
+
+/// The flight document as a string: {"flight":{...metadata...},
+/// "metrics":{...}, "trace":{...}, "access_log":[...]}.
+[[nodiscard]] std::string render(std::string_view reason);
+
+/// render(reason) to `<dir>/flight-<pid>-<reason>.json` via the atomic
+/// writer. Returns the path, or "" when the write failed.
+std::string dump(std::string_view reason);
+
+/// Best-effort SIGSEGV/SIGABRT handlers that attempt one flight dump and
+/// then restore the default disposition and re-raise, so the process
+/// still dies with the original signal. A recursive fault during the
+/// dump skips straight to the re-raise; this is a diagnostics
+/// last-resort, not a recovery mechanism.
+void install_crash_handlers();
+
+}  // namespace hsw::obs::flight

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "util/sync.hpp"
 
 namespace hsw::obs::trace {
@@ -222,7 +224,9 @@ std::string export_chrome_json() {
             const bool has_label = ev.label[0] != '\0';
             const bool has_sim = ev.sim_us >= 0.0;
             const bool has_events = ev.events != 0;
-            if (has_label || has_sim || has_events) {
+            const bool has_trace = ev.trace_id != 0;
+            const bool has_retry = ev.retry != 0;
+            if (has_label || has_sim || has_events || has_trace || has_retry) {
                 out += ",\"args\":{";
                 bool first_arg = true;
                 if (has_label) {
@@ -242,6 +246,30 @@ std::string export_chrome_json() {
                                   first_arg ? "" : ",",
                                   static_cast<unsigned long long>(ev.events));
                     out += buf;
+                    first_arg = false;
+                }
+                if (has_trace) {
+                    // Ids render as zero-padded hex strings: JSON numbers
+                    // lose bits above 2^53 and Perfetto keeps strings as-is.
+                    std::snprintf(buf, sizeof buf,
+                                  "%s\"trace_id\":\"%016llx\","
+                                  "\"span_id\":\"%016llx\"",
+                                  first_arg ? "" : ",",
+                                  static_cast<unsigned long long>(ev.trace_id),
+                                  static_cast<unsigned long long>(ev.span_id));
+                    out += buf;
+                    first_arg = false;
+                    if (ev.parent_span_id != 0) {
+                        std::snprintf(
+                            buf, sizeof buf, ",\"parent_span_id\":\"%016llx\"",
+                            static_cast<unsigned long long>(ev.parent_span_id));
+                        out += buf;
+                    }
+                }
+                if (has_retry) {
+                    std::snprintf(buf, sizeof buf, "%s\"retry\":%u",
+                                  first_arg ? "" : ",", ev.retry);
+                    out += buf;
                 }
                 out += '}';
             }
@@ -253,12 +281,14 @@ std::string export_chrome_json() {
 }
 
 bool write_chrome_json(const std::string& path) {
-    const std::string json = export_chrome_json();
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr) return false;
-    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-    const int close_rc = std::fclose(f);
-    return written == json.size() && close_rc == 0;
+    return flight::write_text_atomic(path, export_chrome_json());
+}
+
+void publish_overflow_metrics() {
+    static Gauge& dropped =
+        gauge("obs_trace_dropped_spans",
+              "spans overwritten by trace ring wrap-around since enable()");
+    dropped.set(static_cast<std::int64_t>(dropped_events()));
 }
 
 }  // namespace hsw::obs::trace

@@ -21,6 +21,12 @@
 // Tracing deliberately records wall-time only as ts/dur; sim-time can be
 // attached with set_sim_us() and lands in the event's "args" so survey
 // spans line up against simulated time in the viewer.
+// Distributed context: when the calling thread carries a TraceContext
+// (see obs/ctx.hpp), an armed Span adopts its trace_id, parents itself to
+// the context's span_id, and re-scopes the context to itself, so nested
+// spans -- and downstream hops that read current_context() -- form one
+// tree per request across threads and processes. Spans without a context
+// record exactly as before (no ids, no extra bytes in the export).
 #pragma once
 
 #include <algorithm>
@@ -28,6 +34,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+
+#include "obs/ctx.hpp"
 
 namespace hsw::obs::trace {
 
@@ -56,8 +64,14 @@ void clear();
 /// each ring is locked briefly while copied.
 [[nodiscard]] std::string export_chrome_json();
 
-/// export_chrome_json() to a file; false (with errno intact) on I/O error.
+/// export_chrome_json() to a file via the atomic tmp+rename pattern (a
+/// crash mid-write never leaves a torn file); false on I/O error.
 bool write_chrome_json(const std::string& path);
+
+/// Copy the ring-overflow counters into the metrics registry
+/// (`obs_trace_dropped_spans`); called before every metrics exposition so
+/// silent drop-oldest overflow is visible to scrapes.
+void publish_overflow_metrics();
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
@@ -67,6 +81,10 @@ struct TraceEvent {
     std::uint64_t ts_ns = 0;     // start, relative to enable()
     std::uint64_t dur_ns = 0;
     std::uint64_t events = 0;    // optional payload (0 = omit)
+    std::uint64_t trace_id = 0;  // distributed context (0 = none)
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    std::uint32_t retry = 0;     // >0: Nth failover/retry attempt
     double sim_us = -1.0;        // optional sim-time (<0 = omit)
     char label[40] = {};         // optional, NUL-terminated
 };
@@ -83,9 +101,26 @@ public:
         armed_ = true;
         ev_.name = name;
         ev_.cat = cat;
+        const TraceContext parent = current_context();
+        if (parent.valid()) {
+            ev_.trace_id = parent.trace_id;
+            ev_.parent_span_id = parent.span_id;
+            ev_.span_id = next_id();
+            saved_ = parent;
+            scoped_ = true;
+            detail::t_current_context =
+                TraceContext{parent.trace_id, ev_.span_id, parent.flags};
+        }
         ev_.ts_ns = detail::now_ns();
     }
     ~Span() {
+        if (scoped_) {
+            // A nested force_current() (error/failover seen deeper in the
+            // request) must survive this span's exit so the completion
+            // point still sees the override.
+            saved_.flags |= detail::t_current_context.flags & kFlagForced;
+            detail::t_current_context = saved_;
+        }
         if (!armed_) return;
         ev_.dur_ns = detail::now_ns() - ev_.ts_ns;
         detail::record(ev_);
@@ -112,10 +147,23 @@ public:
     void set_events(std::uint64_t n) {
         if (armed_) ev_.events = n;
     }
+    /// Marks this span as the Nth retry/failover attempt for its request.
+    void set_retry(std::uint32_t n) {
+        if (armed_) ev_.retry = n;
+    }
+
+    /// The context this span re-scoped the thread to ({} when it did not:
+    /// disarmed, or no incoming context).
+    [[nodiscard]] TraceContext context() const {
+        if (!scoped_) return {};
+        return TraceContext{ev_.trace_id, ev_.span_id, saved_.flags};
+    }
 
 private:
     detail::TraceEvent ev_;
+    TraceContext saved_;
     bool armed_ = false;
+    bool scoped_ = false;
 };
 
 }  // namespace hsw::obs::trace

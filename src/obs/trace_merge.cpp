@@ -1,0 +1,255 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/minijson.hpp"
+
+namespace hsw::obs::trace_merge {
+
+namespace {
+
+using util::json::Array;
+using util::json::Object;
+using util::json::Value;
+
+void append_escaped(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) >= 0x20) out += c;
+        }
+    }
+}
+
+void append_number(std::string& out, double d) {
+    if (!std::isfinite(d)) {
+        out += '0';  // JSON has no inf/nan; traces never produce them
+        return;
+    }
+    char buf[32];
+    // Shortest round-trip form: integers print bare, 123.456 stays 123.456.
+    const auto res = std::to_chars(buf, buf + sizeof buf, d);
+    out.append(buf, res.ptr);
+}
+
+/// Recursive serializer for minijson values. Object keys come out in map
+/// order, so serializing the same value twice is byte-identical.
+void serialize(const Value& v, std::string& out) {
+    if (v.is_null()) {
+        out += "null";
+    } else if (v.is_bool()) {
+        out += v.as_bool() ? "true" : "false";
+    } else if (v.is_number()) {
+        append_number(out, v.as_number());
+    } else if (v.is_string()) {
+        out += '"';
+        append_escaped(out, v.as_string());
+        out += '"';
+    } else if (v.is_array()) {
+        out += '[';
+        bool first = true;
+        for (const Value& e : v.as_array()) {
+            if (!first) out += ',';
+            first = false;
+            serialize(e, out);
+        }
+        out += ']';
+    } else {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, val] : v.as_object()) {
+            if (!first) out += ',';
+            first = false;
+            out += '"';
+            append_escaped(out, key);
+            out += "\":";
+            serialize(val, out);
+        }
+        out += '}';
+    }
+}
+
+}  // namespace
+
+bool merge_chrome_traces(std::span<const ProcessTrace> inputs,
+                         std::string& out, std::string* error) {
+    out = "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const double pid = static_cast<double>(i + 1);
+        std::string parse_error;
+        const auto doc = util::json::parse(inputs[i].json, &parse_error);
+        if (!doc) {
+            if (error) *error = inputs[i].name + ": " + parse_error;
+            return false;
+        }
+        const Value* events = doc->find("traceEvents");
+        if (events == nullptr || !events->is_array()) {
+            if (error) *error = inputs[i].name + ": no traceEvents array";
+            return false;
+        }
+        // Track-group label for this process.
+        Object meta;
+        meta.emplace("name", Value{std::string{"process_name"}});
+        meta.emplace("ph", Value{std::string{"M"}});
+        meta.emplace("pid", Value{pid});
+        meta.emplace("tid", Value{0.0});
+        Object meta_args;
+        meta_args.emplace("name", Value{inputs[i].name});
+        meta.emplace("args", Value{std::move(meta_args)});
+        if (!first) out += ',';
+        first = false;
+        serialize(Value{std::move(meta)}, out);
+        for (const Value& ev : events->as_array()) {
+            if (!ev.is_object()) continue;
+            Object copy = ev.as_object();
+            copy.insert_or_assign("pid", Value{pid});
+            out += ',';
+            serialize(Value{std::move(copy)}, out);
+        }
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return true;
+}
+
+namespace {
+
+struct SpanRow {
+    std::string name;
+    std::string label;
+    std::string span_id;
+    std::string parent_span_id;
+    std::string process;
+    double ts = 0.0;   // microseconds
+    double dur = 0.0;  // microseconds
+};
+
+}  // namespace
+
+std::string critical_path_summary(std::string_view merged_json,
+                                  std::size_t slowest_n) {
+    const auto doc = util::json::parse(merged_json);
+    if (!doc) return {};
+    const Value* events = doc->find("traceEvents");
+    if (events == nullptr || !events->is_array()) return {};
+
+    std::map<double, std::string> process_names;
+    std::map<std::string, std::vector<SpanRow>> traces;
+    for (const Value& ev : events->as_array()) {
+        if (!ev.is_object()) continue;
+        const Value* ph = ev.find("ph");
+        if (ph == nullptr || !ph->is_string()) continue;
+        const double pid = ev.number_or("pid", 0.0);
+        if (ph->as_string() == "M") {
+            const Value* name = ev.find("name");
+            const Value* args = ev.find("args");
+            if (name && name->is_string() && name->as_string() == "process_name" &&
+                args != nullptr) {
+                const Value* pname = args->find("name");
+                if (pname && pname->is_string()) {
+                    process_names[pid] = pname->as_string();
+                }
+            }
+            continue;
+        }
+        if (ph->as_string() != "X") continue;
+        const Value* args = ev.find("args");
+        if (args == nullptr) continue;
+        const Value* trace_id = args->find("trace_id");
+        const Value* span_id = args->find("span_id");
+        if (trace_id == nullptr || !trace_id->is_string() ||
+            span_id == nullptr || !span_id->is_string()) {
+            continue;
+        }
+        SpanRow row;
+        const Value* name = ev.find("name");
+        if (name && name->is_string()) row.name = name->as_string();
+        const Value* label = args->find("label");
+        if (label && label->is_string()) row.label = label->as_string();
+        const Value* parent = args->find("parent_span_id");
+        if (parent && parent->is_string()) row.parent_span_id = parent->as_string();
+        row.span_id = span_id->as_string();
+        char pid_key[32];
+        std::snprintf(pid_key, sizeof pid_key, "pid %.0f", pid);
+        const auto it = process_names.find(pid);
+        row.process = it != process_names.end() ? it->second : pid_key;
+        row.ts = ev.number_or("ts", 0.0);
+        row.dur = ev.number_or("dur", 0.0);
+        traces[trace_id->as_string()].push_back(std::move(row));
+    }
+    if (traces.empty()) return {};
+
+    // A trace's root: the span whose parent is absent or not in the trace
+    // (the client died / wasn't collected). Ties go to the longest span.
+    struct TraceSummary {
+        std::string trace_id;
+        const std::vector<SpanRow>* rows = nullptr;
+        const SpanRow* root = nullptr;
+    };
+    std::vector<TraceSummary> order;
+    for (const auto& [trace_id, rows] : traces) {
+        TraceSummary s;
+        s.trace_id = trace_id;
+        s.rows = &rows;
+        for (const SpanRow& row : rows) {
+            bool parent_present = false;
+            if (!row.parent_span_id.empty()) {
+                for (const SpanRow& other : rows) {
+                    if (other.span_id == row.parent_span_id) {
+                        parent_present = true;
+                        break;
+                    }
+                }
+            }
+            if (parent_present) continue;
+            if (s.root == nullptr || row.dur > s.root->dur) s.root = &row;
+        }
+        if (s.root != nullptr) order.push_back(std::move(s));
+    }
+    std::sort(order.begin(), order.end(),
+              [](const TraceSummary& a, const TraceSummary& b) {
+                  return a.root->dur > b.root->dur;
+              });
+    if (order.size() > slowest_n) order.resize(slowest_n);
+
+    std::string out;
+    char buf[160];
+    for (const TraceSummary& s : order) {
+        std::snprintf(buf, sizeof buf,
+                      "trace %s  %zu spans  root %.3f ms\n", s.trace_id.c_str(),
+                      s.rows->size(), s.root->dur / 1000.0);
+        out += buf;
+        // Walk the heaviest child chain from the root.
+        const SpanRow* cur = s.root;
+        std::size_t depth = 0;
+        while (cur != nullptr && depth < 32) {
+            std::snprintf(buf, sizeof buf, "  %*s%s [%s]  %.3f ms",
+                          static_cast<int>(depth * 2), "", cur->name.c_str(),
+                          cur->process.c_str(), cur->dur / 1000.0);
+            out += buf;
+            if (!cur->label.empty()) {
+                out += "  ";
+                out += cur->label;
+            }
+            out += '\n';
+            const SpanRow* next = nullptr;
+            for (const SpanRow& row : *s.rows) {
+                if (row.parent_span_id != cur->span_id) continue;
+                if (next == nullptr || row.dur > next->dur) next = &row;
+            }
+            cur = next;
+            ++depth;
+        }
+    }
+    return out;
+}
+
+}  // namespace hsw::obs::trace_merge

@@ -1,0 +1,44 @@
+// Merging per-process Chrome trace exports into one fleet timeline.
+//
+// Every process in the fleet (router, each surveyd shard, the client)
+// exports its own {"traceEvents":[...]} document with pid 1 and local
+// thread tids. merge_chrome_traces() stitches N such documents into a
+// single Chrome trace: process i keeps its events verbatim but is
+// remapped to pid i+1 and gains a "process_name" metadata event, so
+// Perfetto shows one labelled track group per fleet member while the
+// shared args.trace_id / span_id / parent_span_id strings (stamped by
+// obs/trace) tie each request's spans together across the groups.
+//
+// critical_path_summary() is the text companion: it groups "X" events by
+// args.trace_id, finds each trace's root span, and for the slowest N
+// traces walks the heaviest child chain -- the critical path -- printing
+// one indented line per hop with its process, duration and label.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsw::obs::trace_merge {
+
+/// One fleet member's Chrome trace export, labelled for the merged view.
+struct ProcessTrace {
+    std::string name;  // track-group label ("router", "shard0", ...)
+    std::string json;  // its export_chrome_json() / trace_dump payload
+};
+
+/// Merge per-process exports into one Chrome trace document. Inputs that
+/// fail to parse or lack a traceEvents array are reported in `error`
+/// (when non-null) and the merge fails; an empty input list merges to an
+/// empty-but-valid trace.
+[[nodiscard]] bool merge_chrome_traces(std::span<const ProcessTrace> inputs,
+                                       std::string& out, std::string* error);
+
+/// Human-readable critical paths for the `slowest_n` slowest traces in a
+/// merged (or single-process) Chrome trace document. Returns "" when the
+/// document has no trace-context-tagged spans.
+[[nodiscard]] std::string critical_path_summary(std::string_view merged_json,
+                                                std::size_t slowest_n);
+
+}  // namespace hsw::obs::trace_merge

@@ -5,6 +5,8 @@
 #include <map>
 #include <utility>
 
+#include "obs/accesslog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/hash.hpp"
@@ -68,6 +70,48 @@ obs::Histogram& route_latency_histogram() {
 bool is_unknown_verb(const Response& response) {
     return response.code == ErrorCode::MalformedRequest &&
            response.payload.find("unknown verb") != std::string::npos;
+}
+
+/// Stamp the thread's current trace context onto an outgoing upstream
+/// request (the upstream.call span is the parent for the shard's spans).
+void stamp_trace(Request& request) {
+    const obs::trace::TraceContext ctx = obs::trace::current_context();
+    if (!ctx.valid()) return;
+    request.trace_id = ctx.trace_id;
+    request.trace_parent = ctx.span_id;
+    request.trace_flags = ctx.flags;
+}
+
+/// One access-log line per routed query, emitted where the outcome (and
+/// the retry count) is finally known.
+void log_routed_access(const Request& request, const Response& response,
+                       std::string_view route_key_hex,
+                       std::string_view shard_name, std::uint32_t retries,
+                       std::uint64_t micros) {
+    if (!obs::accesslog::enabled()) return;
+    const obs::trace::TraceContext ctx = obs::trace::current_context();
+    if (!obs::accesslog::should_log(ctx, !response.ok(), micros, retries > 0)) {
+        return;
+    }
+    obs::accesslog::Record rec;
+    rec.trace_id = ctx.trace_id;
+    rec.micros = micros;
+    rec.retries = retries;
+    if (request.deadline_ms > 0) {
+        rec.deadline_slack_us =
+            static_cast<std::int64_t>(request.deadline_ms) * 1000 -
+            static_cast<std::int64_t>(micros);
+    }
+    obs::accesslog::set_field(rec.verb, service::protocol::name(request.verb));
+    obs::accesslog::set_field(rec.spec, route_key_hex.substr(0, 16));
+    obs::accesslog::set_field(rec.shard, shard_name);
+    obs::accesslog::set_field(
+        rec.source, response.ok() ? service::protocol::name(response.source)
+                                  : std::string_view{"none"});
+    obs::accesslog::set_field(
+        rec.outcome, response.ok() ? std::string_view{"ok"}
+                                   : service::protocol::name(response.code));
+    obs::accesslog::record(rec);
 }
 
 }  // namespace
@@ -141,6 +185,21 @@ Response Router::handle(const Request& request) {
             return response;
         case Verb::Metrics:
             return aggregate_metrics(request.format);
+        case Verb::TraceDump:
+            // The router answers with its *own* spans; a collector merges
+            // them with per-shard trace_dump payloads (see hsw_trace).
+            response.payload = obs::trace::export_chrome_json();
+            return response;
+        case Verb::Dump: {
+            const std::string path = obs::flight::dump("verb");
+            if (path.empty()) {
+                response.code = ErrorCode::Internal;
+                response.payload = "flight dump failed (dir missing or unwritable)";
+            } else {
+                response.payload = path;
+            }
+            return response;
+        }
         case Verb::Query:
             return route_query(request);
     }
@@ -198,7 +257,16 @@ void Router::note_failure(Shard& shard) {
 Response Router::route_query(const Request& request) {
     queries_counter().inc();
     queries_.fetch_add(1, std::memory_order_relaxed);
-    obs::trace::Span span{"router.query", "router"};
+    // The frame server installs the request's trace context before its
+    // handler runs, but route_query is also reached bare (batch rescue
+    // path, tests): adopt the wire context only when the thread carries
+    // none, so an existing server.request parent edge is preserved.
+    std::optional<obs::trace::ContextScope> inbound_scope;
+    if (!obs::trace::current_context().valid() && request.has_trace()) {
+        inbound_scope.emplace(obs::trace::TraceContext{
+            request.trace_id, request.trace_parent, request.trace_flags});
+    }
+    obs::trace::Span span{"router.route", "router"};
     span.set_label(request.experiment + "/" + request.point);
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -209,6 +277,13 @@ Response Router::route_query(const Request& request) {
     last_error.code = ErrorCode::Unavailable;
     last_error.payload = "no replica reachable";
 
+    const auto elapsed_us = [&t0] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    };
+    std::uint32_t attempt = 0;
     for (unsigned pass = 0; pass < cfg_.max_passes; ++pass) {
         if (pass > 0) {
             retry_passes_.fetch_add(1, std::memory_order_relaxed);
@@ -229,6 +304,7 @@ Response Router::route_query(const Request& request) {
             if (!all_ejected && shard.ejected.load(std::memory_order_acquire)) {
                 continue;
             }
+            const std::string& shard_name = map_.shards()[replicas[i]].name;
             forwarded_.fetch_add(1, std::memory_order_relaxed);
             attempts_counter().inc();
             if (i > 0) {
@@ -236,19 +312,35 @@ Response Router::route_query(const Request& request) {
                 failovers_counter().inc();
             }
             try {
+                // Every attempt is its own child span under router.route;
+                // the retry annotation plus the forced-sampling override
+                // make failover hops stand out (and survive tail
+                // sampling) without changing the shared trace_id.
+                obs::trace::Span upstream_span{"upstream.call", "router"};
+                upstream_span.set_label(shard_name);
+                if (attempt > 0) {
+                    upstream_span.set_retry(attempt);
+                    obs::trace::force_current();
+                }
+                ++attempt;
+                Request traced = request;
+                stamp_trace(traced);
                 auto lease = shard.pool->acquire();
-                Response response = lease.call(request);
+                Response response = lease.call(traced);
                 note_success(shard);
                 if (!retriable(response.code)) {
                     route_latency_histogram().record(
                         std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - t0)
                             .count());
+                    log_routed_access(request, response, key, shard_name,
+                                      attempt - 1, elapsed_us());
                     return response;
                 }
                 last_error = std::move(response);
             } catch (const TransportError& e) {
                 note_failure(shard);
+                obs::trace::force_current();
                 last_error.code = ErrorCode::Unavailable;
                 last_error.payload = std::string{"transport: "} + e.what();
             }
@@ -256,6 +348,8 @@ Response Router::route_query(const Request& request) {
     }
     unavailable_.fetch_add(1, std::memory_order_relaxed);
     unavailable_counter().inc();
+    log_routed_access(request, last_error, key, {},
+                      attempt > 0 ? attempt - 1 : 0, elapsed_us());
     // Exhausted: either Unavailable (nothing answered) or the last
     // Overloaded/ShuttingDown the fleet gave us -- both are honest.
     return last_error;
@@ -386,7 +480,20 @@ Response Router::aggregate_metrics(MetricsFormat format) {
     scrape.format = MetricsFormat::Json;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         Shard& shard = *shards_[i];
-        if (shard.ejected.load(std::memory_order_acquire)) continue;
+        if (shard.ejected.load(std::memory_order_acquire)) {
+            // An ejected shard still appears in the fleet document -- as a
+            // synthesized one-gauge snapshot -- so dashboards (hsw_top
+            // --fleet) can mark it instead of silently losing the row.
+            obs::MetricsSnapshot synthesized;
+            obs::GaugeSample ejected_gauge;
+            ejected_gauge.name = "router_shard_ejected";
+            ejected_gauge.help =
+                "Shard currently ejected from routing (router-synthesized)";
+            ejected_gauge.value = 1;
+            synthesized.gauges.push_back(std::move(ejected_gauge));
+            shards.emplace_back(map_.shards()[i].name, std::move(synthesized));
+            continue;
+        }
         try {
             auto lease = shard.pool->acquire();
             const Response response = lease.call(scrape);
@@ -400,7 +507,10 @@ Response Router::aggregate_metrics(MetricsFormat format) {
         }
     }
     // The router's own process counters ride along as one more part, so
-    // the merged fleet document includes front-door traffic.
+    // the merged fleet document includes front-door traffic. Ring-overflow
+    // gauges refresh first, like the shards do for their own scrapes.
+    obs::trace::publish_overflow_metrics();
+    obs::accesslog::publish_overflow_metrics();
     shards.emplace_back("router", obs::snapshot_metrics());
 
     std::vector<obs::MetricsSnapshot> parts;

@@ -122,8 +122,11 @@ public:
     std::vector<Response> call_batch(
         const std::vector<Request>& requests) override {
         try {
-            return service::protocol::call_batch_over_fd(fd_, requests,
-                                                         batch_supported_);
+            // Shares the base-class trace memo with the Lease's
+            // single-call fallback, so a legacy verdict learned either way
+            // covers both paths.
+            return service::protocol::call_batch_over_fd(
+                fd_, requests, batch_supported_, trace_supported);
         } catch (const TransportError&) {
             throw;
         } catch (const std::runtime_error& e) {

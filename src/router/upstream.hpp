@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -66,6 +67,12 @@ public:
         for (const auto& request : requests) responses.push_back(call(request));
         return responses;
     }
+
+    /// v1.4 trace-header capability memo, per connection (a pool may span
+    /// a fleet upgrade; each fresh dial re-probes). Maintained by
+    /// ConnectionPool::Lease::call for every transport; TcpConnection
+    /// shares it with the wire-pipelined batch path.
+    std::optional<bool> trace_supported;
 };
 
 class Transport {
@@ -112,7 +119,22 @@ public:
         [[nodiscard]] service::protocol::Response call(
             const service::protocol::Request& request) {
             try {
-                return conn_->call(request);
+                service::protocol::Request outbound = request;
+                if (conn_->trace_supported == false) outbound.clear_trace();
+                auto response = conn_->call(outbound);
+                if (outbound.has_trace()) {
+                    if (service::protocol::is_unknown_trace_field(response)) {
+                        // Pre-v1.4 shard: memoize on the connection, strip
+                        // the header and retry once. Works for any
+                        // Transport -- the seam is above the wire.
+                        conn_->trace_supported = false;
+                        outbound.clear_trace();
+                        response = conn_->call(outbound);
+                    } else {
+                        conn_->trace_supported = true;
+                    }
+                }
+                return response;
             } catch (...) {
                 broken_ = true;
                 throw;

@@ -626,6 +626,10 @@ void FrameServer::dispatch_single(Reactor& reactor, Conn& conn,
     // Inline fast path: zero handoffs for requests the service can answer
     // from its caches with shared locks only.
     if (fast_handler_) {
+        // The v1.4 trace header scopes the handler so hot-path spans (and
+        // the access log) attach to the caller's trace.
+        obs::trace::ContextScope trace_scope{obs::trace::TraceContext{
+            request.trace_id, request.trace_parent, request.trace_flags}};
         if (auto response = fast_handler_(request)) {
             response->tag = request.tag;
             slot->response = std::move(*response);
@@ -638,6 +642,8 @@ void FrameServer::dispatch_single(Reactor& reactor, Conn& conn,
     const std::weak_ptr<Conn> wconn = reactor.conns.at(conn.fd);
     const bool submitted =
         submit([this, &reactor, wconn, slot, request = std::move(request)] {
+            obs::trace::ContextScope trace_scope{obs::trace::TraceContext{
+                request.trace_id, request.trace_parent, request.trace_flags}};
             obs::trace::Span span{"server.request", "service"};
             span.set_label(protocol::name(request.verb));
             protocol::Response response;

@@ -128,6 +128,8 @@ std::string_view name(Verb v) {
         case Verb::Shutdown: return "shutdown";
         case Verb::Metrics: return "metrics";
         case Verb::Health: return "health";
+        case Verb::TraceDump: return "trace_dump";
+        case Verb::Dump: return "dump";
     }
     return "ping";
 }
@@ -190,6 +192,15 @@ std::string Request::encode() const {
         out += '\n';
     }
     if (tag != 0) out += "tag " + std::to_string(tag) + '\n';
+    if (trace_id != 0) {
+        char trace_buf[64];
+        std::snprintf(trace_buf, sizeof trace_buf,
+                      "trace 0x%016llx 0x%016llx %u\n",
+                      static_cast<unsigned long long>(trace_id),
+                      static_cast<unsigned long long>(trace_parent),
+                      trace_flags);
+        out += trace_buf;
+    }
     out += "deadline-ms " + std::to_string(deadline_ms) + '\n';
     return out;
 }
@@ -214,6 +225,10 @@ std::optional<Request> parse_request(std::string_view text, std::string* error) 
                 req.verb = Verb::Metrics;
             } else if (value == "health") {
                 req.verb = Verb::Health;
+            } else if (value == "trace_dump") {
+                req.verb = Verb::TraceDump;
+            } else if (value == "dump") {
+                req.verb = Verb::Dump;
             } else {
                 set_error(error, "unknown verb");
                 return std::nullopt;
@@ -269,6 +284,22 @@ std::optional<Request> parse_request(std::string_view text, std::string* error) 
                 set_error(error, "bad tag");
                 return std::nullopt;
             }
+        } else if (key == "trace") {
+            // v1.4: "<trace_id> <parent_span_id> <flags>".
+            const std::size_t s1 = value.find(' ');
+            const std::size_t s2 =
+                s1 == std::string_view::npos ? s1 : value.find(' ', s1 + 1);
+            std::uint64_t flags = 0;
+            if (s2 == std::string_view::npos ||
+                value.find(' ', s2 + 1) != std::string_view::npos ||
+                !parse_u64(value.substr(0, s1), req.trace_id) ||
+                !parse_u64(value.substr(s1 + 1, s2 - s1 - 1), req.trace_parent) ||
+                !parse_u64(value.substr(s2 + 1), flags) || req.trace_id == 0 ||
+                flags > 0xFFFFFFFFull) {
+                set_error(error, "bad trace header");
+                return std::nullopt;
+            }
+            req.trace_flags = static_cast<std::uint32_t>(flags);
         } else if (!key.empty()) {
             set_error(error, "unknown request field: " + std::string{key});
             return std::nullopt;
@@ -409,6 +440,12 @@ std::optional<Response> parse_response(std::string_view text, std::string* error
     return resp;
 }
 
+bool is_unknown_trace_field(const Response& resp) {
+    return resp.code == ErrorCode::MalformedRequest &&
+           resp.payload_view().find("unknown request field: trace") !=
+               std::string_view::npos;
+}
+
 bool looks_like_batch(std::string_view text) {
     std::string_view probe = text;
     if (!consume_magic(probe, nullptr)) return false;
@@ -511,22 +548,44 @@ std::optional<std::string> read_frame(int fd) {
 
 std::vector<Response> call_batch_over_fd(int fd,
                                          const std::vector<Request>& requests,
-                                         std::optional<bool>& batch_supported) {
+                                         std::optional<bool>& batch_supported,
+                                         std::optional<bool>& trace_supported) {
     std::vector<Response> responses;
     if (requests.empty()) return responses;
     if (batch_supported == false) {
         // Known pre-v1.3 peer: sequential call/response, no batch frames.
         responses.reserve(requests.size());
-        for (const auto& request : requests) {
+        for (const auto& request_in : requests) {
+            Request request = request_in;
+            if (trace_supported == false) request.clear_trace();
             if (!write_frame(fd, request.encode())) {
                 throw std::runtime_error{"request write failed"};
             }
-            const auto frame = read_frame(fd);
+            auto frame = read_frame(fd);
             if (!frame) throw std::runtime_error{"connection closed mid-response"};
             std::string error;
             auto response = parse_response(*frame, &error);
             if (!response) {
                 throw std::runtime_error{"bad response frame: " + error};
+            }
+            if (request.has_trace() && trace_supported != false &&
+                is_unknown_trace_field(*response)) {
+                // Pre-v1.4 peer: remember, strip, resend this request.
+                trace_supported = false;
+                request.clear_trace();
+                if (!write_frame(fd, request.encode())) {
+                    throw std::runtime_error{"request write failed"};
+                }
+                frame = read_frame(fd);
+                if (!frame) {
+                    throw std::runtime_error{"connection closed mid-response"};
+                }
+                response = parse_response(*frame, &error);
+                if (!response) {
+                    throw std::runtime_error{"bad response frame: " + error};
+                }
+            } else if (request.has_trace()) {
+                trace_supported = true;
             }
             responses.push_back(std::move(*response));
         }
@@ -536,6 +595,9 @@ std::vector<Response> call_batch_over_fd(int fd,
     // Tag every sub-request so out-of-order responses can be matched back
     // to their slot; caller-assigned nonzero tags are preserved.
     std::vector<Request> tagged{requests};
+    if (trace_supported == false) {
+        for (Request& req : tagged) req.clear_trace();
+    }
     std::unordered_map<std::uint64_t, std::size_t> slot_by_tag;
     std::uint64_t next_tag = 1;
     for (std::size_t i = 0; i < tagged.size(); ++i) {
@@ -558,13 +620,25 @@ std::vector<Response> call_batch_over_fd(int fd,
         std::string error;
         auto response = parse_response(*frame, &error);
         if (!response) throw std::runtime_error{"bad response frame: " + error};
-        if (received == 0 && !batch_supported.has_value() && response->tag == 0 &&
+        if (received == 0 && response->tag == 0 &&
             response->code == ErrorCode::MalformedRequest) {
-            // Capability probe failed: a pre-v1.3 peer rejected the whole
-            // batch frame with one untagged MalformedRequest. Fall back to
-            // sequential calls, now and for the life of this connection.
-            batch_supported = false;
-            return call_batch_over_fd(fd, requests, batch_supported);
+            if (trace_supported != false && is_unknown_trace_field(*response)) {
+                // v1.3 peer: it parsed the batch frame (so batching is
+                // fine) but rejected a traced sub-request. Strip and
+                // resend the whole batch.
+                trace_supported = false;
+                return call_batch_over_fd(fd, requests, batch_supported,
+                                          trace_supported);
+            }
+            if (!batch_supported.has_value()) {
+                // Capability probe failed: a pre-v1.3 peer rejected the
+                // whole batch frame with one untagged MalformedRequest.
+                // Fall back to sequential calls, now and for the life of
+                // this connection.
+                batch_supported = false;
+                return call_batch_over_fd(fd, requests, batch_supported,
+                                          trace_supported);
+            }
         }
         const auto slot = slot_by_tag.find(response->tag);
         if (slot == slot_by_tag.end()) {
@@ -575,6 +649,14 @@ std::vector<Response> call_batch_over_fd(int fd,
         slot_by_tag.erase(slot);
     }
     batch_supported = true;
+    for (const Request& req : tagged) {
+        if (req.has_trace()) {
+            // The peer answered a traced sub-request without the v1.3
+            // rejection: it understands the header.
+            trace_supported = true;
+            break;
+        }
+    }
     // Sub-requests the caller left untagged get their responses untagged
     // again -- the wire tag was this helper's bookkeeping, not the
     // caller's.
@@ -582,6 +664,13 @@ std::vector<Response> call_batch_over_fd(int fd,
         if (requests[i].tag == 0) responses[i].tag = 0;
     }
     return responses;
+}
+
+std::vector<Response> call_batch_over_fd(int fd,
+                                         const std::vector<Request>& requests,
+                                         std::optional<bool>& batch_supported) {
+    std::optional<bool> trace_supported;
+    return call_batch_over_fd(fd, requests, batch_supported, trace_supported);
 }
 
 }  // namespace hsw::service::protocol

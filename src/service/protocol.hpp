@@ -49,6 +49,21 @@
 // MalformedRequest ("unknown verb") -- clients treat that one response as
 // a capability probe and fall back to single-request framing.
 //
+// Since v1.4 any request may carry a distributed trace context header
+// between `tag` and `deadline-ms`:
+//
+//   trace <trace_id> <parent_span_id> <flags>\n
+//
+// All three fields are hex/decimal u64-u64-u32 (encoders emit 0x-hex
+// ids). The header is pure telemetry: it never participates in
+// route_key, never changes payload bytes, and a pre-v1.4 server rejects
+// it with MalformedRequest ("unknown request field: trace") -- clients
+// treat that as a capability probe (see is_unknown_trace_field), strip
+// the header and retry, remembering the peer is legacy. v1.4 also adds
+// two debug verbs: `trace_dump` (response payload = the server's Chrome
+// trace-event JSON export) and `dump` (server writes a flight-recorder
+// snapshot; response payload = the file path).
+//
 // Responses carry a status, a structured error code on rejection, the
 // payload's provenance (hot cache / disk cache / computed) on success, and
 // the payload bytes. A whole-experiment payload is a blob (see
@@ -77,11 +92,14 @@ inline constexpr std::string_view kMagic = "hsw-survey-rpc v1";
 ///   v1.2  adds the `health` verb and the Unavailable error code.
 ///   v1.3  adds the `tag` request/response header and `batch` frames for
 ///         request pipelining (out-of-order-safe tagged responses).
+///   v1.4  adds the optional `trace` request header (distributed trace
+///         context) and the `trace_dump` / `dump` debug verbs.
 /// A v1.0 server answers a v1.1-only verb with MalformedRequest ("unknown
 /// verb"), which v1.1 clients treat as "server predates metrics"; the same
-/// capability probe covers `health` against v1.1 shards and `batch`
-/// against v1.2 shards.
-inline constexpr unsigned kProtocolMinor = 3;
+/// capability probe covers `health` against v1.1 shards, `batch` against
+/// v1.2 shards, and the `trace` header against v1.3 shards ("unknown
+/// request field: trace").
+inline constexpr unsigned kProtocolMinor = 4;
 
 /// Hard ceiling on a single frame, request or response. Large enough for
 /// any assembled survey artifact set, small enough that a malicious or
@@ -93,7 +111,7 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 /// work a single connection can queue against the admission controller.
 inline constexpr std::uint32_t kMaxBatchRequests = 1024;
 
-enum class Verb { Ping, Query, Stats, Shutdown, Metrics, Health };
+enum class Verb { Ping, Query, Stats, Shutdown, Metrics, Health, TraceDump, Dump };
 
 /// Exposition format for the `metrics` verb (v1.1).
 enum class MetricsFormat { Prometheus, Json };
@@ -134,6 +152,16 @@ struct Request {
     /// Chosen by the client, echoed verbatim on the response, and excluded
     /// from route_key (it never affects payload bytes).
     std::uint64_t tag = 0;
+    /// v1.4 distributed trace context (obs/ctx.hpp semantics); trace_id 0
+    /// means "no context" and the header is omitted from the wire. Like
+    /// tag, never part of route_key and never affects payload bytes.
+    std::uint64_t trace_id = 0;
+    std::uint64_t trace_parent = 0;   // caller's span_id
+    std::uint32_t trace_flags = 0;    // kFlagSampled / kFlagForced
+
+    [[nodiscard]] bool has_trace() const { return trace_id != 0; }
+    /// Remove the trace header (for retrying against a pre-v1.4 peer).
+    void clear_trace() { trace_id = trace_parent = 0; trace_flags = 0; }
 
     [[nodiscard]] std::string encode() const;
 };
@@ -181,6 +209,13 @@ struct Response {
 [[nodiscard]] std::optional<Response> parse_response(std::string_view text,
                                                      std::string* error = nullptr);
 
+/// True when `resp` is the pre-v1.4 rejection of the `trace` request
+/// header: MalformedRequest whose detail names the trace field. Clients
+/// treat it as a capability probe -- strip the header, retry, and
+/// remember the peer is legacy (the request is otherwise well-formed, so
+/// any other MalformedRequest stays a real error).
+[[nodiscard]] bool is_unknown_trace_field(const Response& resp);
+
 // --- v1.3 batch frames (request pipelining) ---
 
 /// Cheap structural probe: does this frame start with the v1.x magic and
@@ -221,6 +256,18 @@ bool write_frame(int fd, std::string_view payload);
 /// assigned nonzero tags are preserved; sub-requests the caller left
 /// untagged come back untagged. Throws std::runtime_error on transport
 /// or framing failure (the stream is then poisoned).
+///
+/// `trace_supported` is the v1.4 capability memo, independent of the
+/// batch one (a v1.3 peer pipelines fine but rejects the trace header):
+/// false strips trace headers before sending; nullopt lets the first
+/// traced request double as a probe -- on "unknown request field: trace"
+/// the helper records false, strips, and retries, so a legacy peer costs
+/// one extra round-trip once per connection and is transparent after.
+[[nodiscard]] std::vector<Response> call_batch_over_fd(
+    int fd, const std::vector<Request>& requests,
+    std::optional<bool>& batch_supported, std::optional<bool>& trace_supported);
+
+/// Overload with no trace memo: probes (and forgets) per call.
 [[nodiscard]] std::vector<Response> call_batch_over_fd(
     int fd, const std::vector<Request>& requests,
     std::optional<bool>& batch_supported);

@@ -11,6 +11,8 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace hsw::service {
 
 namespace {
@@ -71,20 +73,57 @@ ServiceClient::ServiceClient(const std::string& host, std::uint16_t port) {
 ServiceClient::~ServiceClient() { close_quietly(fd_); }
 
 protocol::Response ServiceClient::call(const protocol::Request& request) {
-    if (!protocol::write_frame(fd_, request.encode())) {
+    obs::trace::Span span{"client.call", "client"};
+    if (span.armed()) span.set_label(protocol::name(request.verb));
+    protocol::Request traced = request;
+    const obs::trace::TraceContext ctx = obs::trace::current_context();
+    if (ctx.valid() && trace_supported_ != false) {
+        traced.trace_id = ctx.trace_id;
+        traced.trace_parent = ctx.span_id;
+        traced.trace_flags = ctx.flags;
+    }
+    if (!protocol::write_frame(fd_, traced.encode())) {
         throw std::runtime_error{"request write failed"};
     }
-    const auto frame = protocol::read_frame(fd_);
+    auto frame = protocol::read_frame(fd_);
     if (!frame) throw std::runtime_error{"connection closed mid-response"};
     std::string error;
-    const auto response = protocol::parse_response(*frame, &error);
+    auto response = protocol::parse_response(*frame, &error);
     if (!response) throw std::runtime_error{"bad response frame: " + error};
+    if (traced.has_trace()) {
+        if (protocol::is_unknown_trace_field(*response)) {
+            // Pre-v1.4 server: remember, strip, retry this one call.
+            trace_supported_ = false;
+            traced.clear_trace();
+            if (!protocol::write_frame(fd_, traced.encode())) {
+                throw std::runtime_error{"request write failed"};
+            }
+            frame = protocol::read_frame(fd_);
+            if (!frame) throw std::runtime_error{"connection closed mid-response"};
+            response = protocol::parse_response(*frame, &error);
+            if (!response) throw std::runtime_error{"bad response frame: " + error};
+        } else {
+            trace_supported_ = true;
+        }
+    }
     return *response;
 }
 
 std::vector<protocol::Response> ServiceClient::call_pipelined(
     const std::vector<protocol::Request>& requests) {
-    return protocol::call_batch_over_fd(fd_, requests, batch_supported_);
+    obs::trace::Span span{"client.call", "client"};
+    if (span.armed()) span.set_label("batch");
+    std::vector<protocol::Request> traced = requests;
+    const obs::trace::TraceContext ctx = obs::trace::current_context();
+    if (ctx.valid() && trace_supported_ != false) {
+        for (protocol::Request& req : traced) {
+            req.trace_id = ctx.trace_id;
+            req.trace_parent = ctx.span_id;
+            req.trace_flags = ctx.flags;
+        }
+    }
+    return protocol::call_batch_over_fd(fd_, traced, batch_supported_,
+                                        trace_supported_);
 }
 
 }  // namespace hsw::service

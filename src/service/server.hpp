@@ -74,6 +74,13 @@ private:
 /// Blocking protocol client used by hsw_query and the tests. One
 /// connection, synchronous call(); not thread-safe -- use one client per
 /// thread.
+///
+/// Distributed tracing: when the calling thread carries a TraceContext
+/// (obs/ctx.hpp) each call opens a "client.call" span and stamps the
+/// request's v1.4 trace header from it, so the server's spans parent to
+/// this client's. A pre-v1.4 server rejecting the header is detected
+/// (is_unknown_trace_field), memoized per connection, and the call is
+/// transparently retried without the header.
 class ServiceClient {
 public:
     /// Throws std::runtime_error when the connection fails.
@@ -103,9 +110,16 @@ public:
         return batch_supported_;
     }
 
+    /// True once a traced call has confirmed (or ruled out) server-side
+    /// v1.4 trace-header support; unset before the first traced call.
+    [[nodiscard]] std::optional<bool> trace_supported() const {
+        return trace_supported_;
+    }
+
 private:
     int fd_ = -1;
     std::optional<bool> batch_supported_;
+    std::optional<bool> trace_supported_;
 };
 
 }  // namespace hsw::service

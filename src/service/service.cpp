@@ -8,6 +8,8 @@
 #include "engine/blob.hpp"
 #include "engine/cancel.hpp"
 #include "engine/engine.hpp"
+#include "obs/accesslog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -89,6 +91,37 @@ std::vector<engine::Experiment> default_registry(const protocol::Request& reques
     tuning.seed = request.seed;
     tuning.audit = request.audit;
     return engine::survey_experiments(tuning);
+}
+
+/// One structured access-log line per completed query. Runs on the
+/// serving path, so everything expensive (the route-key SHA) is gated
+/// behind the enabled check and the tail-sampling decision.
+void log_query_access(const protocol::Request& request,
+                      const protocol::Response& response,
+                      std::uint64_t micros) {
+    if (!obs::accesslog::enabled()) return;
+    const obs::trace::TraceContext ctx = obs::trace::current_context();
+    if (!obs::accesslog::should_log(ctx, !response.ok(), micros,
+                                    /*retried=*/false)) {
+        return;
+    }
+    obs::accesslog::Record rec;
+    rec.trace_id = ctx.trace_id;
+    rec.micros = micros;
+    if (request.deadline_ms > 0) {
+        rec.deadline_slack_us =
+            static_cast<std::int64_t>(request.deadline_ms) * 1000 -
+            static_cast<std::int64_t>(micros);
+    }
+    obs::accesslog::set_field(rec.verb, protocol::name(request.verb));
+    obs::accesslog::set_field(
+        rec.spec, std::string_view{protocol::route_key(request)}.substr(0, 16));
+    obs::accesslog::set_field(
+        rec.source, response.ok() ? protocol::name(response.source) : "none");
+    obs::accesslog::set_field(
+        rec.outcome, response.ok() ? std::string_view{"ok"}
+                                   : protocol::name(response.code));
+    obs::accesslog::record(rec);
 }
 
 }  // namespace
@@ -249,7 +282,12 @@ SurveyService::StartedJob SurveyService::start_job(
     StartedJob started;
     const std::string key = job.spec.hash_hex();
 
-    if (auto hit = hot_.lookup(key)) {
+    auto hit = [&] {
+        obs::trace::Span span{"hotcache", "service"};
+        span.set_label(key);
+        return hot_.lookup(key);
+    }();
+    if (hit) {
         hot_hits_.fetch_add(1, std::memory_order_relaxed);
         static obs::Counter& c =
             obs::counter("hsw_service_hot_hits", "Jobs answered from the hot cache");
@@ -274,8 +312,14 @@ SurveyService::StartedJob SurveyService::start_job(
 
     // The keepalive pins the registry (and with it `job`) until the task
     // retires, no matter when the service evicts or the caller gives up.
+    // The submitter's trace context rides along so the compute's span
+    // parents to the request even though it runs on a worker thread.
     auto task = [this, job_ptr = &job, key, token,
+                 ctx = obs::trace::current_context(),
                  keepalive = std::move(keepalive)]() {
+        obs::trace::ContextScope trace_scope{ctx};
+        obs::trace::Span span{"engine.job", "service"};
+        span.set_label(key);
         try {
             engine::JobResult result =
                 engine::run_job(*job_ptr, disk_ ? &*disk_ : nullptr, token.get());
@@ -433,10 +477,20 @@ SurveyService::QueryResult SurveyService::query(const protocol::Request& request
     std::shared_ptr<const std::string> single_payload;
     Source worst = Source::HotCache;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        JobOutcome outcome =
-            started[i].done ? std::move(started[i].outcome)
-                            : await_job(*jobs[i], started[i].ticket, deadline,
-                                        has_deadline);
+        JobOutcome outcome;
+        if (started[i].done) {
+            outcome = std::move(started[i].outcome);
+        } else {
+            // Followers trace the wait as "coalesce" (the span the ISSUE's
+            // tree calls out); the leader's compute itself is traced as
+            // "engine.job" on the worker thread.
+            obs::trace::Span span{
+                started[i].ticket.leader ? "engine.await" : "coalesce",
+                "service"};
+            span.set_label(jobs[i]->spec.hash_hex());
+            outcome =
+                await_job(*jobs[i], started[i].ticket, deadline, has_deadline);
+        }
         if (!outcome.payload && outcome.code == ErrorCode::None) {
             outcome.code = ErrorCode::Internal;
             outcome.message = "job delivered no payload";
@@ -506,6 +560,7 @@ std::optional<protocol::Response> SurveyService::try_handle_fast(
     }
     // Draining and rejections need the slow path's structured accounting.
     if (draining()) return std::nullopt;
+    const auto t0 = std::chrono::steady_clock::now();
     auto hit = hot_.lookup(protocol::route_key(request));
     if (!hit) return std::nullopt;
     received_.fetch_add(1, std::memory_order_relaxed);
@@ -517,6 +572,15 @@ std::optional<protocol::Response> SurveyService::try_handle_fast(
     response.code = ErrorCode::None;
     response.source = Source::HotCache;
     response.shared_payload = std::move(hit);
+    {
+        obs::trace::Span span{"hotcache", "service"};
+        span.set_label(request.experiment + "/" + request.point);
+    }
+    log_query_access(request, response,
+                     static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count()));
     return response;
 }
 
@@ -531,10 +595,29 @@ protocol::Response SurveyService::handle(const protocol::Request& request) {
             response.payload = stats().render();
             return response;
         case protocol::Verb::Metrics:
+            // Ring overflow counters live outside the registry; fold them
+            // in so every scrape sees current drop totals.
+            obs::trace::publish_overflow_metrics();
+            obs::accesslog::publish_overflow_metrics();
             response.payload = request.format == protocol::MetricsFormat::Json
                                    ? obs::render_json()
                                    : obs::render_prometheus();
             return response;
+        case protocol::Verb::TraceDump:
+            // v1.4 collector verb: this process's spans, ready to merge.
+            response.payload = obs::trace::export_chrome_json();
+            return response;
+        case protocol::Verb::Dump: {
+            // v1.4 debug verb: write a flight dump, answer with its path.
+            const std::string path = obs::flight::dump("verb");
+            if (path.empty()) {
+                response.code = ErrorCode::Internal;
+                response.payload = "flight dump failed (dir missing or unwritable)";
+            } else {
+                response.payload = path;
+            }
+            return response;
+        }
         case protocol::Verb::Shutdown:
             shutdown_requested_.store(true, std::memory_order_release);
             response.payload = "draining";
@@ -552,10 +635,9 @@ protocol::Response SurveyService::handle(const protocol::Request& request) {
             span.set_label(request.experiment + "/" + request.point);
             const auto t0 = std::chrono::steady_clock::now();
             QueryResult result = query(request);
+            const auto elapsed = std::chrono::steady_clock::now() - t0;
             request_latency_histogram().record(
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count());
+                std::chrono::duration<double, std::milli>(elapsed).count());
             (result.ok() ? requests_completed_counter() : requests_rejected_counter())
                 .inc();
             response.code = result.code;
@@ -567,6 +649,11 @@ protocol::Response SurveyService::handle(const protocol::Request& request) {
             } else {
                 response.payload = std::move(result.message);
             }
+            log_query_access(
+                request, response,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                        .count()));
             return response;
         }
     }

@@ -70,6 +70,7 @@ QuantileSummary quantile_summary(std::span<const double> xs) {
     s.p50 = sorted_quantile(v, 0.50);
     s.p90 = sorted_quantile(v, 0.90);
     s.p99 = sorted_quantile(v, 0.99);
+    s.p999 = sorted_quantile(v, 0.999);
     return s;
 }
 

@@ -24,12 +24,14 @@ namespace hsw::util {
 /// Quantile q in [0,1] with linear interpolation between order statistics.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
-/// The three quantiles every latency reporter in bench/ and the telemetry
-/// layer quote; one sort instead of three.
+/// The latency quantiles every reporter in bench/ and the telemetry
+/// layer quote; one sort instead of four. p999 is the 99.9th percentile
+/// -- the straggler tail that a p99 over a large window hides.
 struct QuantileSummary {
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
 };
 [[nodiscard]] QuantileSummary quantile_summary(std::span<const double> xs);
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "engine/survey_experiments.hpp"
+#include "obs/accesslog.hpp"
+#include "obs/ctx.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -73,12 +75,21 @@ TEST(GoldenArtifacts, ParallelRunMatchesCommittedCsvsByteForByte) {
 
 // Telemetry must observe the run without moving a single output byte: the
 // acceptance bar for the obs layer is that goldens stay byte-identical with
-// metrics and span tracing both live during artifact generation.
+// metrics, span tracing, a sampled distributed trace context, and the
+// access log all live during artifact generation.
 TEST(GoldenArtifacts, TracingEnabledRunMatchesCommittedCsvsByteForByte) {
     obs::set_metrics_enabled(true);
     obs::trace::enable();
-    expect_artifacts_match_goldens(regenerate(4));
+    obs::accesslog::set_policy(1.0, 0);
+    obs::accesslog::set_enabled(true);
+    {
+        // Every engine span joins one sampled request tree, exactly as if
+        // the run arrived over a traced v1.4 query.
+        obs::trace::ContextScope scope{obs::trace::make_root(true)};
+        expect_artifacts_match_goldens(regenerate(4));
+    }
     obs::trace::disable();
+    obs::accesslog::set_enabled(false);
     obs::set_metrics_enabled(false);
     EXPECT_GT(obs::trace::recorded_events(), 0u) << "tracing was on but recorded nothing";
     obs::trace::clear();

@@ -39,8 +39,8 @@ std::vector<Finding> findings_for(const std::string& file_suffix) {
 
 TEST(HswLint, FixtureTreeScansAllFiles) {
     const auto result = lint_tree({kFixtures});
-    // 16 .cpp fixtures + the fixture catalog header.
-    EXPECT_EQ(result.files_scanned, 17u);
+    // 17 .cpp fixtures + the fixture catalog header.
+    EXPECT_EQ(result.files_scanned, 18u);
 }
 
 TEST(HswLint, WallClockInSimFires) {
@@ -174,6 +174,29 @@ TEST(HswLint, StdSyncPrimitivesFire) {
     const auto found = findings_for("obs/wrappers_violation.cpp");
     ASSERT_GE(found.size(), 2u);
     for (const auto& f : found) EXPECT_EQ(f.rule, "concurrency-wrappers");
+}
+
+TEST(HswLint, AccessLogComputedFieldNameFires) {
+    const auto found = findings_for("obs/accesslog_violation.cpp");
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].rule, "accesslog-literal-field");
+    EXPECT_EQ(found[0].line, 11);
+    // The literal call on line 10 and the declaration stayed clean.
+}
+
+TEST(HswLint, AccessLogLiteralFieldInlineOnSyntheticSource) {
+    // Literal names pass; a variable name fires; the declaration (an
+    // identifier precedes the call) is exempt.
+    const std::string content =
+        "void append_field(std::string& out, std::string_view name);\n"
+        "void f(std::string& out, const char* k) {\n"
+        "    append_field(out, \"us\");\n"
+        "    append_field(out, k);\n"
+        "}\n";
+    const auto found = lint_file("src/obs/a.cpp", content, Catalog{});
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].rule, "accesslog-literal-field");
+    EXPECT_EQ(found[0].line, 4);
 }
 
 TEST(HswLint, SuppressionsSilenceFindings) {

@@ -1,0 +1,12 @@
+// Fixture: the access-log JSON emitter's field names must be string
+// literals at every call site; a computed name means per-record key
+// formatting, which the ring design forbids.
+#include <string>
+
+void append_field(std::string& out, const char* name, const char* value,
+                  bool quote);
+
+void emit(std::string& out, const std::string& key) {
+    append_field(out, "outcome", "ok", true);
+    append_field(out, key.c_str(), "ok", true);
+}

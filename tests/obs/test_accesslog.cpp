@@ -1,0 +1,236 @@
+// Access-log ring: enable/record/drain semantics, overwrite-oldest
+// overflow accounting, the tail-based sampling policy, JSON formatting,
+// and the background Writer's final-drain guarantee.
+#include "obs/accesslog.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/ctx.hpp"
+#include "util/minijson.hpp"
+
+using namespace hsw;
+namespace accesslog = obs::accesslog;
+
+namespace {
+
+/// Ring state is process-wide; bracket every test and restore the
+/// keep-nothing default policy.
+class AccessLogTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        accesslog::set_enabled(false);
+        accesslog::configure(64);
+        accesslog::set_policy(0.0, 0);
+        accesslog::set_identity("");
+    }
+    void TearDown() override {
+        accesslog::set_enabled(false);
+        accesslog::set_policy(0.0, 0);
+        accesslog::set_identity("");
+    }
+};
+
+accesslog::Record make_record(std::uint64_t trace_id = 0x1234) {
+    accesslog::Record r;
+    r.ts_ns = 1;
+    r.trace_id = trace_id;
+    r.micros = 250;
+    r.retries = 0;
+    accesslog::set_field(r.verb, "query");
+    accesslog::set_field(r.spec, "fig3");
+    accesslog::set_field(r.source, "hot");
+    accesslog::set_field(r.shard, "shard0");
+    accesslog::set_field(r.outcome, "ok");
+    return r;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+}  // namespace
+
+TEST_F(AccessLogTest, DisabledRecordIsDropped) {
+    ASSERT_FALSE(accesslog::enabled());
+    accesslog::record(make_record());
+    EXPECT_EQ(accesslog::recorded(), 0u);
+    std::vector<accesslog::Record> out;
+    accesslog::drain(out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(AccessLogTest, RecordDrainRoundTrips) {
+    accesslog::set_enabled(true);
+    accesslog::record(make_record(0xAB));
+    accesslog::record(make_record(0xCD));
+    EXPECT_EQ(accesslog::recorded(), 2u);
+
+    std::vector<accesslog::Record> out;
+    accesslog::drain(out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].trace_id, 0xABu);
+    EXPECT_EQ(out[1].trace_id, 0xCDu);
+    EXPECT_STREQ(out[0].verb, "query");
+    EXPECT_STREQ(out[0].outcome, "ok");
+
+    // Everything consumed: a second drain is empty.
+    out.clear();
+    accesslog::drain(out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(AccessLogTest, OverflowOverwritesOldestAndCountsDrops) {
+    accesslog::set_enabled(true);  // capacity 64 from SetUp
+    for (std::uint64_t i = 0; i < 100; ++i) accesslog::record(make_record(i + 1));
+    EXPECT_EQ(accesslog::dropped(), 36u);
+
+    std::vector<accesslog::Record> out;
+    accesslog::drain(out);
+    ASSERT_EQ(out.size(), 64u);
+    // Oldest-first, newest kept: ids 37..100.
+    EXPECT_EQ(out.front().trace_id, 37u);
+    EXPECT_EQ(out.back().trace_id, 100u);
+}
+
+TEST_F(AccessLogTest, TailNeverConsumes) {
+    accesslog::set_enabled(true);
+    for (std::uint64_t i = 0; i < 10; ++i) accesslog::record(make_record(i + 1));
+
+    const auto newest = accesslog::tail(4);
+    ASSERT_EQ(newest.size(), 4u);
+    EXPECT_EQ(newest.front().trace_id, 7u);
+    EXPECT_EQ(newest.back().trace_id, 10u);
+
+    // The Writer's drain still sees all ten.
+    std::vector<accesslog::Record> out;
+    accesslog::drain(out);
+    EXPECT_EQ(out.size(), 10u);
+}
+
+TEST_F(AccessLogTest, ReEnableResetsRingAndCounters) {
+    accesslog::set_enabled(true);
+    for (int i = 0; i < 100; ++i) accesslog::record(make_record());
+    accesslog::set_enabled(false);
+    accesslog::set_enabled(true);
+    EXPECT_EQ(accesslog::recorded(), 0u);
+    EXPECT_EQ(accesslog::dropped(), 0u);
+}
+
+TEST_F(AccessLogTest, PolicyKeepsErrorsSlownessAndRetriesRegardlessOfHead) {
+    accesslog::set_policy(0.0, 1000);  // keep nothing at head; slow = 1ms
+    const obs::trace::TraceContext untraced;
+    EXPECT_FALSE(accesslog::should_log(untraced, false, 10, false));
+    EXPECT_TRUE(accesslog::should_log(untraced, true, 10, false));    // error
+    EXPECT_TRUE(accesslog::should_log(untraced, false, 5000, false)); // slow
+    EXPECT_TRUE(accesslog::should_log(untraced, false, 10, true));    // retried
+}
+
+TEST_F(AccessLogTest, SampledContextWinsOverHeadFraction) {
+    accesslog::set_policy(0.0, 0);
+    obs::trace::TraceContext sampled;
+    sampled.trace_id = 0x99;
+    sampled.flags = obs::trace::kFlagSampled;
+    EXPECT_TRUE(accesslog::should_log(sampled, false, 10, false));
+
+    obs::trace::TraceContext unsampled;
+    unsampled.trace_id = 0x99;
+    EXPECT_FALSE(accesslog::should_log(unsampled, false, 10, false));
+
+    // Keep-everything head policy keeps untraced requests too.
+    accesslog::set_policy(1.0, 0);
+    const obs::trace::TraceContext untraced;
+    EXPECT_TRUE(accesslog::should_log(untraced, false, 10, false));
+}
+
+TEST_F(AccessLogTest, ForcedContextIsAlwaysKept) {
+    accesslog::set_policy(0.0, 0);
+    obs::trace::TraceContext forced;
+    forced.trace_id = 0x77;
+    forced.flags = obs::trace::kFlagForced;
+    EXPECT_TRUE(accesslog::should_log(forced, false, 10, false));
+}
+
+TEST_F(AccessLogTest, FormatJsonIsStrictAndCarriesEveryField) {
+    accesslog::set_identity("surveyd:7788");
+    auto r = make_record(0xDEADBEEF);
+    r.deadline_slack_us = 1500;
+    r.retries = 2;
+    const std::string line = accesslog::format_json(r);
+
+    std::string error;
+    const auto doc = util::json::parse(line, &error);
+    ASSERT_TRUE(doc.has_value()) << error << "\n" << line;
+    EXPECT_EQ(doc->find("trace_id")->as_string(), "00000000deadbeef");
+    EXPECT_EQ(doc->number_or("us", -1), 250.0);
+    EXPECT_EQ(doc->number_or("deadline_slack_us", -1), 1500.0);
+    EXPECT_EQ(doc->number_or("retries", -1), 2.0);
+    EXPECT_EQ(doc->find("verb")->as_string(), "query");
+    EXPECT_EQ(doc->find("spec")->as_string(), "fig3");
+    EXPECT_EQ(doc->find("source")->as_string(), "hot");
+    EXPECT_EQ(doc->find("shard")->as_string(), "shard0");
+    EXPECT_EQ(doc->find("outcome")->as_string(), "ok");
+}
+
+TEST_F(AccessLogTest, RecordStampsEmptyShardWithProcessIdentity) {
+    accesslog::set_identity("router");
+    accesslog::set_enabled(true);
+    auto r = make_record();
+    r.shard[0] = '\0';
+    accesslog::record(r);
+    std::vector<accesslog::Record> out;
+    accesslog::drain(out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_STREQ(out[0].shard, "router");
+}
+
+TEST_F(AccessLogTest, NoDeadlineFormatsAsJsonNull) {
+    auto r = make_record();  // deadline_slack_us stays kNoDeadline
+    const std::string line = accesslog::format_json(r);
+    const auto doc = util::json::parse(line, nullptr);
+    ASSERT_TRUE(doc.has_value());
+    const util::json::Value* slack = doc->find("deadline_slack_us");
+    ASSERT_NE(slack, nullptr);
+    EXPECT_TRUE(slack->is_null());
+}
+
+TEST_F(AccessLogTest, WriterDrainsEverythingOnStop) {
+    const std::string path = testing::TempDir() + "/hsw_accesslog_test_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+
+    accesslog::set_enabled(true);
+    accesslog::Writer writer;
+    ASSERT_TRUE(writer.start(path));
+    for (std::uint64_t i = 0; i < 20; ++i) accesslog::record(make_record(i + 1));
+    writer.stop();  // final drain: nothing may be lost
+
+    const std::string contents = read_file(path);
+    std::remove(path.c_str());
+    std::istringstream lines{contents};
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        std::string error;
+        EXPECT_TRUE(util::json::parse(line, &error).has_value())
+            << error << "\n" << line;
+        ++count;
+    }
+    EXPECT_EQ(count, 20u);
+}
+
+TEST_F(AccessLogTest, WriterRefusesUnwritablePath) {
+    accesslog::Writer writer;
+    EXPECT_FALSE(writer.start("/nonexistent-dir/access.jsonl"));
+    writer.stop();  // must be a safe no-op after a failed start
+}

@@ -1,0 +1,152 @@
+// Flight recorder: atomic file writes, the rendered document's shape
+// (flight metadata + metrics + trace + access-log tail), and dump()'s
+// path/naming contract. Crash handlers are exercised end-to-end by the
+// CI obs-smoke job, not here -- a unit test must not re-raise SIGSEGV.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/accesslog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/minijson.hpp"
+
+using namespace hsw;
+namespace flight = obs::flight;
+
+namespace {
+
+/// Flight config, tracing and the access log are process-wide; bracket
+/// every test with a clean slate and a scratch dump directory.
+class FlightTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = testing::TempDir() + "/hsw_flight_test_" +
+               std::to_string(::getpid());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        flight::configure({dir_, "flight-test"});
+    }
+    void TearDown() override {
+        obs::trace::disable();
+        obs::trace::clear();
+        obs::accesslog::set_enabled(false);
+        flight::configure({});
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string dir_;
+};
+
+std::string read_file(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+}  // namespace
+
+TEST_F(FlightTest, WriteTextAtomicRoundTripsAndLeavesNoTempFile) {
+    const std::string path = dir_ + "/atomic.txt";
+    ASSERT_TRUE(flight::write_text_atomic(path, "payload\n"));
+    EXPECT_EQ(read_file(path), "payload\n");
+    // Only the final file remains -- the tmp sibling was renamed away.
+    std::size_t entries = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(FlightTest, WriteTextAtomicFailsCleanlyOnMissingDirectory) {
+    EXPECT_FALSE(flight::write_text_atomic("/nonexistent-dir/x.json", "x"));
+}
+
+TEST_F(FlightTest, WriteTextAtomicReplacesExistingFile) {
+    const std::string path = dir_ + "/replace.txt";
+    ASSERT_TRUE(flight::write_text_atomic(path, "old"));
+    ASSERT_TRUE(flight::write_text_atomic(path, "new"));
+    EXPECT_EQ(read_file(path), "new");
+}
+
+TEST_F(FlightTest, RenderIsValidJsonWithAllFourSections) {
+    obs::trace::enable();
+    { obs::trace::Span span{"flight.render", "test"}; }
+    obs::accesslog::set_enabled(true);
+    obs::accesslog::Record rec;
+    rec.trace_id = 0xF11;
+    obs::accesslog::set_field(rec.verb, "query");
+    obs::accesslog::set_field(rec.outcome, "ok");
+    obs::accesslog::record(rec);
+
+    const std::string doc_text = flight::render("unit-test");
+    std::string error;
+    const auto doc = util::json::parse(doc_text, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+
+    const util::json::Value* meta = doc->find("flight");
+    ASSERT_NE(meta, nullptr);
+    EXPECT_EQ(meta->number_or("pid", -1),
+              static_cast<double>(::getpid()));
+    EXPECT_EQ(meta->find("process")->as_string(), "flight-test");
+    EXPECT_EQ(meta->find("reason")->as_string(), "unit-test");
+    EXPECT_FALSE(meta->find("engine_version")->as_string().empty());
+    EXPECT_NE(meta->find("trace_dropped_spans"), nullptr);
+    EXPECT_NE(meta->find("accesslog_dropped"), nullptr);
+
+    ASSERT_NE(doc->find("metrics"), nullptr);
+    const util::json::Value* trace = doc->find("trace");
+    ASSERT_NE(trace, nullptr);
+    ASSERT_NE(trace->find("traceEvents"), nullptr);
+    EXPECT_TRUE(trace->find("traceEvents")->is_array());
+
+    const util::json::Value* access = doc->find("access_log");
+    ASSERT_NE(access, nullptr);
+    ASSERT_TRUE(access->is_array());
+    ASSERT_EQ(access->as_array().size(), 1u);
+    EXPECT_EQ(access->as_array()[0].find("trace_id")->as_string(),
+              "0000000000000f11");
+}
+
+TEST_F(FlightTest, DumpWritesNamedFileInConfiguredDir) {
+    const std::string path = flight::dump("unit");
+    ASSERT_FALSE(path.empty());
+    const std::string expected = dir_ + "/flight-" +
+                                 std::to_string(::getpid()) + "-unit.json";
+    EXPECT_EQ(path, expected);
+    std::string error;
+    EXPECT_TRUE(util::json::parse(read_file(path), &error).has_value()) << error;
+}
+
+TEST_F(FlightTest, DumpSanitizesHostileReason) {
+    const std::string path = flight::dump("../../etc passwd");
+    ASSERT_FALSE(path.empty());
+    // Everything unsafe became '_'; the dump stayed inside dir_.
+    EXPECT_NE(path.find(dir_ + "/flight-"), std::string::npos);
+    EXPECT_EQ(path.find(".."), std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST_F(FlightTest, DumpReturnsEmptyOnUnwritableDir) {
+    flight::configure({"/nonexistent-dir", "flight-test"});
+    EXPECT_TRUE(flight::dump("unit").empty());
+}
+
+TEST_F(FlightTest, EmptyProcessFallsBackToAccessLogIdentity) {
+    flight::configure({dir_, ""});
+    obs::accesslog::set_identity("surveyd:9999");
+    const auto doc = util::json::parse(flight::render("x"), nullptr);
+    obs::accesslog::set_identity("");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("flight")->find("process")->as_string(),
+              "surveyd:9999");
+}

@@ -208,3 +208,139 @@ TEST_F(ObsTraceTest, WriteToUnwritablePathFails) {
     obs::trace::disable();
     EXPECT_FALSE(obs::trace::write_chrome_json("/nonexistent-dir/trace.json"));
 }
+
+namespace {
+
+/// args.<key> as a string, or "" when absent.
+std::string arg_string(const util::json::Value& ev, const char* key) {
+    const util::json::Value* args = ev.find("args");
+    if (!args) return {};
+    const util::json::Value* v = args->find(key);
+    return v && v->is_string() ? v->as_string() : std::string{};
+}
+
+}  // namespace
+
+TEST_F(ObsTraceTest, SpanWithoutContextExportsNoTraceIds) {
+    obs::trace::enable();
+    { obs::trace::Span span{"plain", "test"}; }
+    obs::trace::disable();
+    const auto spans = exported_spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_TRUE(arg_string(spans[0], "trace_id").empty());
+    EXPECT_TRUE(arg_string(spans[0], "span_id").empty());
+}
+
+TEST_F(ObsTraceTest, NestedSpansFormOneTreeUnderTheContext) {
+    obs::trace::enable();
+    const auto root = obs::trace::make_root(true);
+    ASSERT_TRUE(root.valid());
+    ASSERT_TRUE(root.sampled());
+    {
+        obs::trace::ContextScope scope{root};
+        obs::trace::Span outer{"outer", "test"};
+        { obs::trace::Span inner{"inner", "test"}; }
+    }
+    // The scope restored the previous (empty) context on exit.
+    EXPECT_FALSE(obs::trace::current_context().valid());
+    obs::trace::disable();
+
+    const auto spans = exported_spans();
+    ASSERT_EQ(spans.size(), 2u);
+    // Ring order: inner closed first.
+    const util::json::Value& inner = spans[0];
+    const util::json::Value& outer = spans[1];
+    ASSERT_EQ(inner.find("name")->as_string(), "inner");
+    ASSERT_EQ(outer.find("name")->as_string(), "outer");
+
+    char want_trace[17];
+    std::snprintf(want_trace, sizeof want_trace, "%016llx",
+                  static_cast<unsigned long long>(root.trace_id));
+    EXPECT_EQ(arg_string(outer, "trace_id"), want_trace);
+    EXPECT_EQ(arg_string(inner, "trace_id"), want_trace);
+    // The inner span parents to the outer span's id; the outer span has
+    // no parent (the root context's span_id was 0).
+    EXPECT_EQ(arg_string(inner, "parent_span_id"), arg_string(outer, "span_id"));
+    EXPECT_TRUE(arg_string(outer, "parent_span_id").empty());
+    EXPECT_NE(arg_string(inner, "span_id"), arg_string(outer, "span_id"));
+}
+
+TEST_F(ObsTraceTest, SpanContextAccessorMatchesExportedIds) {
+    obs::trace::enable();
+    const auto root = obs::trace::make_root(true);
+    obs::trace::TraceContext seen;
+    {
+        obs::trace::ContextScope scope{root};
+        obs::trace::Span span{"hop", "test"};
+        seen = span.context();
+        // While the span is open, the thread's context is re-scoped to it.
+        EXPECT_EQ(obs::trace::current_context().span_id, seen.span_id);
+    }
+    obs::trace::disable();
+    EXPECT_EQ(seen.trace_id, root.trace_id);
+    EXPECT_NE(seen.span_id, 0u);
+
+    const auto spans = exported_spans();
+    ASSERT_EQ(spans.size(), 1u);
+    char want[17];
+    std::snprintf(want, sizeof want, "%016llx",
+                  static_cast<unsigned long long>(seen.span_id));
+    EXPECT_EQ(arg_string(spans[0], "span_id"), want);
+}
+
+TEST_F(ObsTraceTest, RetryAttemptIsExported) {
+    obs::trace::enable();
+    const auto root = obs::trace::make_root(true);
+    {
+        obs::trace::ContextScope scope{root};
+        obs::trace::Span span{"upstream.call", "router"};
+        span.set_retry(2);
+    }
+    obs::trace::disable();
+    const auto spans = exported_spans();
+    ASSERT_EQ(spans.size(), 1u);
+    const util::json::Value* args = spans[0].find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->number_or("retry", -1), 2.0);
+}
+
+TEST_F(ObsTraceTest, ForceCurrentSurvivesSpanExit) {
+    // An error deep inside a request must mark the whole request as
+    // force-kept: the flag set inside a child span outlives that span.
+    obs::trace::enable();
+    const auto root = obs::trace::make_root(false);
+    {
+        obs::trace::ContextScope scope{root};
+        {
+            obs::trace::Span span{"failing", "test"};
+            obs::trace::force_current();
+        }
+        EXPECT_TRUE(obs::trace::current_context().forced());
+        EXPECT_EQ(obs::trace::current_context().span_id, root.span_id);
+    }
+    obs::trace::disable();
+}
+
+TEST_F(ObsTraceTest, ContextPropagatesWithTracingDisabled) {
+    // A process with span recording off still forwards the caller's
+    // context to downstream hops (pure propagation).
+    ASSERT_FALSE(obs::trace::enabled());
+    const auto root = obs::trace::make_root(true);
+    {
+        obs::trace::ContextScope scope{root};
+        obs::trace::Span span{"disarmed", "test"};
+        EXPECT_FALSE(span.armed());
+        // A disarmed span must not re-scope the context.
+        EXPECT_EQ(obs::trace::current_context().span_id, root.span_id);
+        EXPECT_EQ(obs::trace::current_context().trace_id, root.trace_id);
+    }
+    EXPECT_EQ(obs::trace::recorded_events(), 0u);
+}
+
+TEST_F(ObsTraceTest, NextIdIsNonZeroAndDistinct) {
+    const auto a = obs::trace::next_id();
+    const auto b = obs::trace::next_id();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}

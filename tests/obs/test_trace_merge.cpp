@@ -1,0 +1,188 @@
+// Merging per-process Chrome traces into one fleet timeline: pid
+// remapping, process_name metadata injection, error reporting, and the
+// text critical-path summary's root/heaviest-child walk.
+#include "obs/trace_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/minijson.hpp"
+
+using namespace hsw;
+namespace trace_merge = obs::trace_merge;
+
+namespace {
+
+/// One "X" span event with optional trace-context args.
+std::string span_event(const std::string& name, double ts, double dur,
+                       const std::string& trace_id = "",
+                       const std::string& span_id = "",
+                       const std::string& parent = "",
+                       const std::string& label = "") {
+    std::string ev = "{\"name\":\"" + name + "\",\"cat\":\"t\",\"ph\":\"X\"," +
+                     "\"pid\":1,\"tid\":7,\"ts\":" + std::to_string(ts) +
+                     ",\"dur\":" + std::to_string(dur) + ",\"args\":{";
+    bool first = true;
+    auto add = [&](const char* k, const std::string& v) {
+        if (v.empty()) return;
+        if (!first) ev += ',';
+        first = false;
+        ev += std::string{"\""} + k + "\":\"" + v + "\"";
+    };
+    add("trace_id", trace_id);
+    add("span_id", span_id);
+    add("parent_span_id", parent);
+    add("label", label);
+    ev += "}}";
+    return ev;
+}
+
+std::string trace_doc(const std::vector<std::string>& events) {
+    std::string doc = "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i) doc += ',';
+        doc += events[i];
+    }
+    doc += "]}";
+    return doc;
+}
+
+}  // namespace
+
+TEST(TraceMerge, EmptyInputMergesToValidEmptyTrace) {
+    std::string out;
+    std::string error;
+    ASSERT_TRUE(trace_merge::merge_chrome_traces({}, out, &error)) << error;
+    const auto doc = util::json::parse(out, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_TRUE(doc->find("traceEvents")->as_array().empty());
+}
+
+TEST(TraceMerge, ProcessesGetDistinctPidsAndNameMetadata) {
+    const std::vector<trace_merge::ProcessTrace> inputs = {
+        {"router", trace_doc({span_event("router.route", 0, 100)})},
+        {"shard0", trace_doc({span_event("server.request", 10, 80)})},
+    };
+    std::string out;
+    ASSERT_TRUE(trace_merge::merge_chrome_traces(inputs, out, nullptr));
+
+    const auto doc = util::json::parse(out, nullptr);
+    ASSERT_TRUE(doc.has_value());
+    const auto& events = doc->find("traceEvents")->as_array();
+    // 2 metadata + 2 spans.
+    ASSERT_EQ(events.size(), 4u);
+
+    std::size_t metas = 0;
+    for (const auto& ev : events) {
+        if (ev.find("ph")->as_string() != "M") continue;
+        ++metas;
+        EXPECT_EQ(ev.find("name")->as_string(), "process_name");
+        const double pid = ev.number_or("pid", -1);
+        const std::string pname = ev.find("args")->find("name")->as_string();
+        EXPECT_EQ(pname, pid == 1.0 ? "router" : "shard0");
+    }
+    EXPECT_EQ(metas, 2u);
+
+    // Both span events were remapped away from their original pid 1.
+    for (const auto& ev : events) {
+        if (ev.find("ph")->as_string() != "X") continue;
+        if (ev.find("name")->as_string() == "router.route") {
+            EXPECT_EQ(ev.number_or("pid", -1), 1.0);
+        } else {
+            EXPECT_EQ(ev.number_or("pid", -1), 2.0);
+        }
+        // tid survives verbatim.
+        EXPECT_EQ(ev.number_or("tid", -1), 7.0);
+    }
+}
+
+TEST(TraceMerge, MalformedInputFailsWithSourceName) {
+    const std::vector<trace_merge::ProcessTrace> inputs = {
+        {"shard1", "not json at all"},
+    };
+    std::string out;
+    std::string error;
+    EXPECT_FALSE(trace_merge::merge_chrome_traces(inputs, out, &error));
+    EXPECT_NE(error.find("shard1"), std::string::npos);
+}
+
+TEST(TraceMerge, MissingTraceEventsArrayFails) {
+    const std::vector<trace_merge::ProcessTrace> inputs = {
+        {"shard2", "{\"flight\":{}}"},
+    };
+    std::string out;
+    std::string error;
+    EXPECT_FALSE(trace_merge::merge_chrome_traces(inputs, out, &error));
+    EXPECT_NE(error.find("shard2"), std::string::npos);
+    EXPECT_NE(error.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceMerge, CriticalPathWalksHeaviestChildAcrossProcesses) {
+    // One request: client root -> router span -> shard span, plus a
+    // lighter sibling under the router that must NOT be on the path.
+    const std::vector<trace_merge::ProcessTrace> inputs = {
+        {"client", trace_doc({span_event("client.call", 0, 5000, "t1", "a")})},
+        {"router",
+         trace_doc({span_event("router.route", 100, 4000, "t1", "b", "a"),
+                    span_event("router.misc", 100, 10, "t1", "c", "b")})},
+        {"shard0", trace_doc({span_event("server.request", 200, 3500, "t1",
+                                         "d", "b", "fig3")})},
+    };
+    std::string merged;
+    ASSERT_TRUE(trace_merge::merge_chrome_traces(inputs, merged, nullptr));
+
+    const std::string text = trace_merge::critical_path_summary(merged, 3);
+    ASSERT_FALSE(text.empty());
+    EXPECT_NE(text.find("trace t1  4 spans  root 5.000 ms"), std::string::npos);
+    EXPECT_NE(text.find("client.call [client]"), std::string::npos);
+    EXPECT_NE(text.find("router.route [router]"), std::string::npos);
+    EXPECT_NE(text.find("server.request [shard0]"), std::string::npos);
+    EXPECT_NE(text.find("fig3"), std::string::npos);
+    // The heaviest-child walk took server.request over router.misc.
+    EXPECT_EQ(text.find("router.misc"), std::string::npos);
+    // Indentation reflects depth: the shard hop is nested two levels in.
+    EXPECT_NE(text.find("      server.request"), std::string::npos);
+}
+
+TEST(TraceMerge, SlowestNOrdersAndTruncates) {
+    const std::vector<trace_merge::ProcessTrace> inputs = {
+        {"p", trace_doc({span_event("slow", 0, 9000, "t-slow", "s1"),
+                         span_event("mid", 0, 5000, "t-mid", "m1"),
+                         span_event("fast", 0, 1000, "t-fast", "f1")})},
+    };
+    std::string merged;
+    ASSERT_TRUE(trace_merge::merge_chrome_traces(inputs, merged, nullptr));
+
+    const std::string text = trace_merge::critical_path_summary(merged, 2);
+    const auto slow_at = text.find("t-slow");
+    const auto mid_at = text.find("t-mid");
+    EXPECT_NE(slow_at, std::string::npos);
+    EXPECT_NE(mid_at, std::string::npos);
+    EXPECT_LT(slow_at, mid_at);
+    EXPECT_EQ(text.find("t-fast"), std::string::npos);
+}
+
+TEST(TraceMerge, OrphanParentStillRootsTheTrace) {
+    // The client's export was lost: the router span references a parent
+    // that no collected process has. It must still become the root.
+    const std::vector<trace_merge::ProcessTrace> inputs = {
+        {"router",
+         trace_doc({span_event("router.route", 0, 2000, "t9", "b", "gone")})},
+    };
+    std::string merged;
+    ASSERT_TRUE(trace_merge::merge_chrome_traces(inputs, merged, nullptr));
+    const std::string text = trace_merge::critical_path_summary(merged, 1);
+    EXPECT_NE(text.find("trace t9"), std::string::npos);
+    EXPECT_NE(text.find("router.route [router]"), std::string::npos);
+}
+
+TEST(TraceMerge, SpansWithoutTraceContextYieldEmptySummary) {
+    const std::vector<trace_merge::ProcessTrace> inputs = {
+        {"p", trace_doc({span_event("untagged", 0, 100)})},
+    };
+    std::string merged;
+    ASSERT_TRUE(trace_merge::merge_chrome_traces(inputs, merged, nullptr));
+    EXPECT_TRUE(trace_merge::critical_path_summary(merged, 3).empty());
+}

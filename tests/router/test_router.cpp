@@ -10,8 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/ctx.hpp"
+#include "obs/trace.hpp"
 #include "router/local_transport.hpp"
 #include "service/protocol.hpp"
+#include "util/minijson.hpp"
 
 using namespace hsw;
 using router::FleetMap;
@@ -27,11 +30,13 @@ using service::protocol::Verb;
 
 namespace {
 
-enum Mode : int { kOk, kOverloaded, kUnknownExperiment, kLegacyV11 };
+enum Mode : int { kOk, kOverloaded, kUnknownExperiment, kLegacyV11, kPreV14 };
 
 struct ShardSim {
     std::string name;
     std::atomic<int> mode{kOk};
+    std::atomic<int> queries{0};
+    std::atomic<std::uint64_t> last_trace_id{0};
 };
 
 constexpr const char* kShardMetricsJson =
@@ -63,6 +68,15 @@ struct Fixture {
                     }
                     if (request.verb == Verb::Metrics) {
                         r.payload = kShardMetricsJson;
+                        return r;
+                    }
+                    if (request.verb == Verb::Query) {
+                        sim->queries.fetch_add(1);
+                        sim->last_trace_id = request.trace_id;
+                    }
+                    if (sim->mode == kPreV14 && request.has_trace()) {
+                        r.code = ErrorCode::MalformedRequest;
+                        r.payload = "unknown request field: trace";
                         return r;
                     }
                     if (sim->mode == kOverloaded) {
@@ -344,4 +358,131 @@ TEST(RouterTest, ControlVerbsAnswerLocally) {
     for (const auto& ep : fx.endpoints) {
         EXPECT_EQ(fx.transport.calls(ep.address()), 0u);
     }
+}
+
+// --- v1.4: trace propagation through failover --------------------------------
+
+namespace {
+
+/// Parsed-enough view of the exported span ring for trace assertions.
+struct SpanView {
+    std::string name;
+    std::string trace_id;
+    double retry = 0;
+};
+
+std::vector<SpanView> exported_span_views() {
+    const std::string json = obs::trace::export_chrome_json();
+    std::string error;
+    const auto doc = hsw::util::json::parse(json, &error);
+    EXPECT_TRUE(doc.has_value()) << error;
+    std::vector<SpanView> out;
+    if (!doc) return out;
+    for (const auto& ev : doc->find("traceEvents")->as_array()) {
+        const auto* ph = ev.find("ph");
+        if (!ph || !ph->is_string() || ph->as_string() != "X") continue;
+        SpanView v;
+        v.name = ev.find("name")->as_string();
+        if (const auto* args = ev.find("args")) {
+            if (const auto* tid = args->find("trace_id")) {
+                if (tid->is_string()) v.trace_id = tid->as_string();
+            }
+            v.retry = args->number_or("retry", 0);
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+}  // namespace
+
+TEST(RouterTest, FailoverKeepsTraceIdMarksRetryAndForcesSampling) {
+    obs::trace::enable();
+    Fixture fx{2};
+    Router router = fx.make_router();
+    const Request req = query();
+    const auto replicas = replica_names(router, req);
+    fx.transport.set_down(fx.address_of(replicas[0]), true);
+
+    const auto root = obs::trace::make_root(true);
+    {
+        obs::trace::ContextScope scope{root};
+        const Response response = router.handle(req);
+        ASSERT_TRUE(response.ok());
+        EXPECT_EQ(response.payload, replicas[1]);
+        // The failover forced the request: the completion point (access
+        // log, downstream hops) must see the tail-keep override.
+        EXPECT_TRUE(obs::trace::current_context().forced());
+    }
+    obs::trace::disable();
+
+    // The surviving replica served the SAME trace, not a fresh one.
+    char want_trace[17];
+    std::snprintf(want_trace, sizeof want_trace, "%016llx",
+                  static_cast<unsigned long long>(root.trace_id));
+    EXPECT_EQ(fx.sim_named(replicas[1]).last_trace_id.load(), root.trace_id);
+
+    // Span tree: router.route plus one upstream.call per attempt, all
+    // under the root's trace_id; the failover attempt is marked retry=1.
+    const auto spans = exported_span_views();
+    obs::trace::clear();
+    std::size_t routes = 0, attempts = 0, retries = 0;
+    for (const auto& span : spans) {
+        if (span.name == "router.route") {
+            ++routes;
+            EXPECT_EQ(span.trace_id, want_trace);
+        }
+        if (span.name == "upstream.call") {
+            ++attempts;
+            EXPECT_EQ(span.trace_id, want_trace);
+            if (span.retry > 0) {
+                ++retries;
+                EXPECT_EQ(span.retry, 1.0);
+            }
+        }
+    }
+    EXPECT_EQ(routes, 1u);
+    EXPECT_EQ(attempts, 2u);
+    EXPECT_EQ(retries, 1u);
+}
+
+TEST(RouterTest, PreV14ShardFallsBackThroughTheLeaseSeam) {
+    // The shard rejects traced requests with the capability probe answer.
+    // The pooled connection's Lease must strip, retry once, memoize, and
+    // never probe again on that connection.
+    Fixture fx{1};
+    for (auto& sim : fx.sims) sim->mode = kPreV14;
+    Router router = fx.make_router();
+    const Request req = query();
+
+    const auto root = obs::trace::make_root(true);
+    obs::trace::ContextScope scope{root};
+    const Response first = router.handle(req);
+    ASSERT_TRUE(first.ok()) << first.payload;
+    // The serving call arrived stripped.
+    EXPECT_EQ(fx.sims[0]->last_trace_id.load(), 0u);
+    // Probe + stripped retry = 2 upstream calls.
+    EXPECT_EQ(fx.sims[0]->queries.load(), 2);
+
+    // Second traced request: the memo skips the probe round-trip.
+    const Response second = router.handle(req);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(fx.sims[0]->queries.load(), 3);
+    EXPECT_EQ(fx.sims[0]->last_trace_id.load(), 0u);
+
+    // No failover was charged for the capability fallback.
+    EXPECT_EQ(router.stats().failovers, 0u);
+}
+
+TEST(RouterTest, V14ShardSeesTheRoutedTraceContext) {
+    Fixture fx{1};
+    Router router = fx.make_router();
+    const Request req = query();
+
+    const auto root = obs::trace::make_root(true);
+    obs::trace::ContextScope scope{root};
+    const Response response = router.handle(req);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(fx.sims[0]->last_trace_id.load(), root.trace_id);
+    EXPECT_EQ(fx.sims[0]->queries.load(), 1);
 }

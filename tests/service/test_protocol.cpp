@@ -534,3 +534,221 @@ TEST(ProtocolTest, CallBatchRejectsDuplicateCallerTags) {
         { (void)call_batch_over_fd(fds.client, requests, batch_supported); },
         std::runtime_error);
 }
+
+// --- v1.4: trace context header and capability fallback ----------------------
+
+TEST(ProtocolTest, TraceHeaderRoundTripsAndDefaultsToNone) {
+    Request req;
+    req.verb = Verb::Query;
+    req.experiment = "fig3";
+    req.trace_id = 0x0123456789ABCDEFull;
+    req.trace_parent = 0xFEDCBA9876543210ull;
+    req.trace_flags = 3;
+    ASSERT_TRUE(req.has_trace());
+
+    std::string error;
+    const auto parsed = parse_request(req.encode(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->trace_id, 0x0123456789ABCDEFull);
+    EXPECT_EQ(parsed->trace_parent, 0xFEDCBA9876543210ull);
+    EXPECT_EQ(parsed->trace_flags, 3u);
+
+    // An untraced request omits the header entirely.
+    Request plain = req;
+    plain.clear_trace();
+    EXPECT_FALSE(plain.has_trace());
+    EXPECT_EQ(plain.encode().find("trace "), std::string::npos);
+    const auto plain_parsed = parse_request(plain.encode());
+    ASSERT_TRUE(plain_parsed.has_value());
+    EXPECT_EQ(plain_parsed->trace_id, 0u);
+    EXPECT_EQ(plain_parsed->trace_flags, 0u);
+}
+
+TEST(ProtocolTest, TraceHeaderNeverMovesRouteKey) {
+    Request req;
+    req.verb = Verb::Query;
+    req.experiment = "fig7";
+    req.seed = 42;
+    const std::string key = route_key(req);
+    Request traced = req;
+    traced.trace_id = 0xABC;
+    traced.trace_parent = 0xDEF;
+    traced.trace_flags = 1;
+    EXPECT_EQ(route_key(traced), key);
+}
+
+TEST(ProtocolTest, MalformedTraceHeaderIsRejected) {
+    const struct {
+        const char* trace_line;
+    } cases[] = {
+        {"trace\n"},                       // no fields
+        {"trace 0x1\n"},                   // too few
+        {"trace 0x1 0x2\n"},               // too few
+        {"trace 0x1 0x2 1 junk\n"},        // too many
+        {"trace zzz 0x2 1\n"},             // bad trace_id
+        {"trace 0x1 yyy 1\n"},             // bad parent
+        {"trace 0x1 0x2 banana\n"},        // bad flags
+    };
+    for (const auto& c : cases) {
+        const std::string wire = std::string{"hsw-survey-rpc v1\nverb ping\n"} +
+                                 c.trace_line + "deadline-ms 0\n";
+        std::string error;
+        EXPECT_FALSE(parse_request(wire, &error).has_value()) << c.trace_line;
+        EXPECT_NE(error.find("trace"), std::string::npos) << error;
+    }
+}
+
+TEST(ProtocolTest, IsUnknownTraceFieldMatchesOnlyTheCapabilityProbe) {
+    Response probe;
+    probe.code = ErrorCode::MalformedRequest;
+    probe.payload = "unknown request field: trace";
+    EXPECT_TRUE(is_unknown_trace_field(probe));
+
+    // The v1.3 batch wrapper of the same rejection counts too.
+    Response batched = probe;
+    batched.payload = "batch sub-request 2: unknown request field: trace";
+    EXPECT_TRUE(is_unknown_trace_field(batched));
+
+    Response other_field = probe;
+    other_field.payload = "unknown request field: frobnicate";
+    EXPECT_FALSE(is_unknown_trace_field(other_field));
+
+    Response other_code = probe;
+    other_code.code = ErrorCode::Overloaded;
+    EXPECT_FALSE(is_unknown_trace_field(other_code));
+
+    Response success;
+    success.payload = "unknown request field: trace";
+    EXPECT_FALSE(is_unknown_trace_field(success));
+}
+
+TEST(ProtocolTest, TraceDumpAndDumpVerbsRoundTrip) {
+    for (const Verb verb : {Verb::TraceDump, Verb::Dump}) {
+        Request req;
+        req.verb = verb;
+        const auto parsed = parse_request(req.encode());
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->verb, verb);
+    }
+    EXPECT_EQ(name(Verb::TraceDump), "trace_dump");
+    EXPECT_EQ(name(Verb::Dump), "dump");
+}
+
+TEST(ProtocolTest, CallBatchStripsTraceForKnownLegacyPeer) {
+    // trace_supported == false: the helper strips headers up front; the
+    // scripted v1.3 server never sees one and no probe round-trip happens.
+    StreamPair fds;
+    std::vector<Request> requests(2);
+    for (auto& r : requests) {
+        r.verb = Verb::Ping;
+        r.trace_id = 0x1111;
+        r.trace_parent = 0x2222;
+        r.trace_flags = 1;
+    }
+
+    std::thread server{[&fds] {
+        const auto frame = read_frame(fds.server);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_TRUE(looks_like_batch(*frame));
+        const auto batch = parse_batch(*frame);
+        ASSERT_TRUE(batch.has_value());
+        for (const auto& sub : *batch) {
+            EXPECT_FALSE(sub.has_trace());
+            Response resp;
+            resp.payload = "pong";
+            resp.tag = sub.tag;
+            ASSERT_TRUE(write_frame(fds.server, resp.encode()));
+        }
+    }};
+
+    std::optional<bool> batch_supported = true;
+    std::optional<bool> trace_supported = false;
+    const auto responses =
+        call_batch_over_fd(fds.client, requests, batch_supported, trace_supported);
+    server.join();
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0].payload, "pong");
+    EXPECT_EQ(trace_supported, false);
+}
+
+TEST(ProtocolTest, CallBatchProbesTraceAndFallsBackWithoutLosingBatch) {
+    // A v1.3 peer: batches fine, rejects the trace header. The first
+    // batched attempt comes back "batch sub-request 0: unknown request
+    // field: trace"; the helper must memoize trace_supported=false, keep
+    // batch_supported=true, strip headers and retry the SAME batch.
+    StreamPair fds;
+    std::vector<Request> requests(2);
+    for (auto& r : requests) {
+        r.verb = Verb::Ping;
+        r.trace_id = 0x3333;
+        r.trace_flags = 1;
+    }
+
+    std::thread server{[&fds] {
+        // Round 1: traced batch -> the v1.3 sub-request rejection.
+        auto frame = read_frame(fds.server);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_TRUE(looks_like_batch(*frame));
+        {
+            Response reject;
+            reject.code = ErrorCode::MalformedRequest;
+            reject.payload = "batch sub-request 0: unknown request field: trace";
+            ASSERT_TRUE(write_frame(fds.server, reject.encode()));
+        }
+        // Round 2: the same batch, headers stripped.
+        frame = read_frame(fds.server);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_TRUE(looks_like_batch(*frame));
+        const auto batch = parse_batch(*frame);
+        ASSERT_TRUE(batch.has_value());
+        ASSERT_EQ(batch->size(), 2u);
+        for (const auto& sub : *batch) {
+            EXPECT_FALSE(sub.has_trace());
+            Response resp;
+            resp.payload = "pong";
+            resp.tag = sub.tag;
+            ASSERT_TRUE(write_frame(fds.server, resp.encode()));
+        }
+    }};
+
+    std::optional<bool> batch_supported;
+    std::optional<bool> trace_supported;
+    const auto responses =
+        call_batch_over_fd(fds.client, requests, batch_supported, trace_supported);
+    server.join();
+    EXPECT_EQ(batch_supported, true);
+    EXPECT_EQ(trace_supported, false);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0].payload, "pong");
+    EXPECT_EQ(responses[1].payload, "pong");
+}
+
+TEST(ProtocolTest, CallBatchRecordsTraceSupportOnSuccess) {
+    StreamPair fds;
+    std::vector<Request> requests(1);
+    requests[0].verb = Verb::Ping;
+    requests[0].trace_id = 0x4444;
+    requests[0].trace_flags = 1;
+
+    std::thread server{[&fds] {
+        const auto frame = read_frame(fds.server);
+        ASSERT_TRUE(frame.has_value());
+        const auto batch = parse_batch(*frame);
+        ASSERT_TRUE(batch.has_value());
+        ASSERT_EQ(batch->size(), 1u);
+        EXPECT_TRUE((*batch)[0].has_trace());  // v1.4 peer keeps the header
+        Response resp;
+        resp.payload = "pong";
+        resp.tag = (*batch)[0].tag;
+        ASSERT_TRUE(write_frame(fds.server, resp.encode()));
+    }};
+
+    std::optional<bool> batch_supported;
+    std::optional<bool> trace_supported;
+    const auto responses =
+        call_batch_over_fd(fds.client, requests, batch_supported, trace_supported);
+    server.join();
+    EXPECT_EQ(trace_supported, true);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].payload, "pong");
+}

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "obs/ctx.hpp"
+#include "obs/trace.hpp"
 
 using namespace hsw;
 using namespace hsw::service;
@@ -345,6 +347,210 @@ TEST(ServerLoop, PipelinedReplayIsByteIdenticalToSingleCalls) {
         ASSERT_TRUE(response.ok());
         EXPECT_EQ(response.payload, reference.payload);
         EXPECT_EQ(response.source, protocol::Source::HotCache);
+    }
+    server.stop();
+}
+
+// --- v1.4: distributed trace context ----------------------------------------
+
+namespace {
+
+/// Scripted legacy peer: a raw listening socket whose accept loop the test
+/// drives frame by frame, for exercising the client's capability fallback
+/// against servers that predate v1.4.
+struct RawListener {
+    int listen_fd = -1;
+    std::uint16_t port = 0;
+    RawListener() {
+        listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(listen_fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        EXPECT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof addr),
+                  0);
+        socklen_t len = sizeof addr;
+        EXPECT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                                &len),
+                  0);
+        port = ntohs(addr.sin_port);
+        EXPECT_EQ(::listen(listen_fd, 1), 0);
+    }
+    ~RawListener() {
+        if (listen_fd >= 0) ::close(listen_fd);
+    }
+    [[nodiscard]] int accept() const { return ::accept(listen_fd, nullptr, nullptr); }
+};
+
+}  // namespace
+
+TEST(ServerLoop, TracedQueryLinksClientAndServerSpans) {
+    // Client and server share this process, so both ends' spans land in
+    // the same rings: the export must show one tree under one trace_id.
+    obs::trace::enable();
+    SurveyServer server{fast_config()};
+    server.start();
+
+    const auto root = obs::trace::make_root(true);
+    {
+        obs::trace::ContextScope scope{root};
+        ServiceClient client{"127.0.0.1", server.port()};
+        protocol::Request req;
+        req.verb = protocol::Verb::Query;
+        req.experiment = "echo";
+        req.point = "all";
+        const auto response = client.call(req);
+        ASSERT_TRUE(response.ok()) << response.payload;
+    }
+    server.stop();
+    obs::trace::disable();
+
+    char want_trace[32];
+    std::snprintf(want_trace, sizeof want_trace, "\"trace_id\":\"%016llx\"",
+                  static_cast<unsigned long long>(root.trace_id));
+    const std::string json = obs::trace::export_chrome_json();
+    obs::trace::clear();
+
+    // Both hops carry the shared trace_id.
+    EXPECT_NE(json.find("client.call"), std::string::npos);
+    EXPECT_NE(json.find("server.request"), std::string::npos);
+    const auto first = json.find(want_trace);
+    ASSERT_NE(first, std::string::npos) << json;
+    EXPECT_NE(json.find(want_trace, first + 1), std::string::npos)
+        << "only one span carries the trace_id";
+}
+
+TEST(ServerLoop, TraceDumpVerbReturnsTheSpanRing) {
+    obs::trace::enable();
+    SurveyServer server{fast_config()};
+    server.start();
+
+    ServiceClient client{"127.0.0.1", server.port()};
+    protocol::Request req;
+    req.verb = protocol::Verb::TraceDump;
+    const auto response = client.call(req);
+    ASSERT_TRUE(response.ok()) << response.payload;
+    EXPECT_NE(response.payload.find("traceEvents"), std::string::npos);
+    server.stop();
+    obs::trace::disable();
+    obs::trace::clear();
+}
+
+TEST(ServerLoop, TracedClientFallsBackAgainstPreV14Server) {
+    RawListener legacy;
+    std::thread peer{[&legacy] {
+        const int fd = legacy.accept();
+        ASSERT_GE(fd, 0);
+        // Round 1: the traced request earns the pre-v1.4 rejection.
+        auto frame = protocol::read_frame(fd);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_NE(frame->find("\ntrace "), std::string::npos);
+        protocol::Response reject;
+        reject.code = protocol::ErrorCode::MalformedRequest;
+        reject.payload = "unknown request field: trace";
+        ASSERT_TRUE(protocol::write_frame(fd, reject.encode()));
+        // Round 2: the same request, header stripped.
+        frame = protocol::read_frame(fd);
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->find("\ntrace "), std::string::npos);
+        protocol::Response pong;
+        pong.payload = "pong";
+        ASSERT_TRUE(protocol::write_frame(fd, pong.encode()));
+        // A second call must skip the probe: no trace header, no retry.
+        frame = protocol::read_frame(fd);
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->find("\ntrace "), std::string::npos);
+        ASSERT_TRUE(protocol::write_frame(fd, pong.encode()));
+        ::close(fd);
+    }};
+
+    const auto root = obs::trace::make_root(true);
+    obs::trace::ContextScope scope{root};
+    ServiceClient client{"127.0.0.1", legacy.port};
+    protocol::Request ping;
+    ping.verb = protocol::Verb::Ping;
+    const auto first = client.call(ping);
+    EXPECT_TRUE(first.ok());
+    EXPECT_EQ(first.payload, "pong");
+    const auto second = client.call(ping);
+    EXPECT_TRUE(second.ok());
+    peer.join();
+}
+
+TEST(ServerLoop, TracedPipelineFallsBackAgainstV13Server) {
+    // A v1.3 peer understands batch frames but rejects the trace header
+    // with the batched form of the capability probe. The client must stay
+    // batched, strip the headers, and deliver every response.
+    RawListener legacy;
+    std::thread peer{[&legacy] {
+        const int fd = legacy.accept();
+        ASSERT_GE(fd, 0);
+        auto frame = protocol::read_frame(fd);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_TRUE(protocol::looks_like_batch(*frame));
+        {
+            const auto batch = protocol::parse_batch(*frame);
+            ASSERT_TRUE(batch.has_value());
+            ASSERT_TRUE((*batch)[0].has_trace());
+        }
+        protocol::Response reject;
+        reject.code = protocol::ErrorCode::MalformedRequest;
+        reject.payload = "batch sub-request 0: unknown request field: trace";
+        ASSERT_TRUE(protocol::write_frame(fd, reject.encode()));
+
+        frame = protocol::read_frame(fd);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_TRUE(protocol::looks_like_batch(*frame));
+        const auto batch = protocol::parse_batch(*frame);
+        ASSERT_TRUE(batch.has_value());
+        ASSERT_EQ(batch->size(), 3u);
+        for (const auto& sub : *batch) {
+            EXPECT_FALSE(sub.has_trace());
+            protocol::Response resp;
+            resp.payload = "pong";
+            resp.tag = sub.tag;
+            ASSERT_TRUE(protocol::write_frame(fd, resp.encode()));
+        }
+        ::close(fd);
+    }};
+
+    const auto root = obs::trace::make_root(true);
+    obs::trace::ContextScope scope{root};
+    ServiceClient client{"127.0.0.1", legacy.port};
+    std::vector<protocol::Request> window(3);
+    for (auto& req : window) req.verb = protocol::Verb::Ping;
+    const auto responses = client.call_pipelined(window);
+    ASSERT_EQ(responses.size(), 3u);
+    for (const auto& response : responses) {
+        EXPECT_TRUE(response.ok());
+        EXPECT_EQ(response.payload, "pong");
+    }
+    EXPECT_EQ(client.batch_supported(), true);
+    peer.join();
+}
+
+TEST(ServerLoop, TracedPipelineAgainstV14ServerKeepsGoldenBytes) {
+    // Trace headers are pure telemetry: a traced pipelined window returns
+    // payloads byte-identical to an untraced single call.
+    SurveyServer server{fast_config()};
+    server.start();
+    ServiceClient client{"127.0.0.1", server.port()};
+    protocol::Request req;
+    req.verb = protocol::Verb::Query;
+    req.experiment = "echo";
+    req.point = "all";
+    const auto reference = client.call(req);
+    ASSERT_TRUE(reference.ok());
+
+    const auto root = obs::trace::make_root(true);
+    obs::trace::ContextScope scope{root};
+    const std::vector<protocol::Request> window(4, req);
+    const auto responses = client.call_pipelined(window);
+    ASSERT_EQ(responses.size(), window.size());
+    for (const auto& response : responses) {
+        ASSERT_TRUE(response.ok());
+        EXPECT_EQ(response.payload, reference.payload);
     }
     server.stop();
 }

@@ -27,7 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/accesslog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "router/router.hpp"
 #include "router/server.hpp"
 #include "router/upstream.hpp"
@@ -56,7 +59,15 @@ int usage(const char* argv0, int code) {
         "  --hot-cache-mb N     hot cache budget per shard (default: 64)\n"
         "  --state-dir DIR      port/pid/cache files root (default: .hsw-fleet)\n"
         "  --surveyd PATH       shard binary (default: hsw_surveyd next to %s)\n"
-        "  --quiet              suppress startup / shutdown chatter\n",
+        "  --trace-sample N     enable span tracing fleet-wide; N/1000 of\n"
+        "                       untraced requests head-sampled (default: 0)\n"
+        "  --access-log         per-process JSON access logs under the state\n"
+        "                       dir (router.access.jsonl, shardN.access.jsonl)\n"
+        "  --quiet              suppress startup / shutdown chatter\n"
+        "\n"
+        "Every process dumps flight-<pid>-<reason>.json into the state dir on\n"
+        "SIGQUIT or a crash; dumps from dead shards are preserved and logged\n"
+        "when the shard is reaped.\n",
         argv0, argv0);
     return code;
 }
@@ -77,10 +88,29 @@ struct ShardProc {
     bool reaped = false;
 };
 
+// A reaped shard may have left flight-<pid>-*.json behind (SIGQUIT, crash
+// handler). The launcher never deletes them; it reports them so a CI run
+// (or a human) knows the evidence survived the process.
+void report_flight_dumps(const std::string& state_dir, const ShardProc& shard,
+                         bool quiet) {
+    if (quiet) return;
+    const std::string prefix = "flight-" + std::to_string(shard.pid) + "-";
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator{state_dir, ec}) {
+        const std::string file = entry.path().filename().string();
+        if (file.rfind(prefix, 0) == 0) {
+            std::fprintf(stderr, "hsw_fleet: preserved flight dump %s from %s\n",
+                         entry.path().string().c_str(), shard.name.c_str());
+        }
+    }
+}
+
 // Fork+exec one shard daemon publishing its port to `port_path`.
 pid_t spawn_shard(const std::string& surveyd, const ShardProc& shard,
                   const std::string& cache_dir, unsigned workers,
-                  unsigned long hot_cache_mb) {
+                  unsigned long hot_cache_mb, const std::string& state_dir,
+                  unsigned long trace_sample, bool access_log) {
     std::vector<std::string> args = {
         surveyd,        "--quiet",
         "--port",       "0",
@@ -88,7 +118,19 @@ pid_t spawn_shard(const std::string& surveyd, const ShardProc& shard,
         "--cache",      cache_dir,
         "--workers",    std::to_string(workers),
         "--hot-cache-mb", std::to_string(hot_cache_mb),
+        // Observability identity + flight dumps land in the state dir,
+        // where the launcher preserves them past the shard's death.
+        "--name",       shard.name,
+        "--flight-dir", state_dir,
     };
+    if (trace_sample > 0) {
+        args.push_back("--trace-sample");
+        args.push_back(std::to_string(trace_sample));
+    }
+    if (access_log) {
+        args.push_back("--access-log");
+        args.push_back(state_dir + "/" + shard.name + ".access.jsonl");
+    }
     const pid_t pid = fork();
     if (pid != 0) return pid;  // parent (or fork failure, -1)
 
@@ -118,6 +160,8 @@ int main(int argc, char** argv) {
     std::string port_file;
     router::RouterConfig cfg;
     router::RouterServerConfig server_cfg;
+    unsigned long trace_sample_permille = 0;
+    bool access_log = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -168,6 +212,13 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (!v) return usage(argv[0], 2);
             surveyd = v;
+        } else if (arg == "--trace-sample") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, trace_sample_permille, 1000)) {
+                return usage(argv[0], 2);
+            }
+        } else if (arg == "--access-log") {
+            access_log = true;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
             return usage(argv[0], 2);
@@ -190,6 +241,25 @@ int main(int argc, char** argv) {
     }
 
     obs::set_metrics_enabled(true);
+    if (trace_sample_permille > 0) obs::trace::enable();
+    obs::accesslog::set_policy(
+        static_cast<double>(trace_sample_permille) / 1000.0, 0);
+    obs::accesslog::set_identity("router");
+    if (access_log) obs::accesslog::set_enabled(true);
+
+    obs::flight::Config flight_cfg;
+    flight_cfg.dir = state_dir;
+    flight_cfg.process = "router";
+    obs::flight::configure(flight_cfg);
+    obs::flight::install_crash_handlers();
+
+    obs::accesslog::Writer access_log_writer;
+    if (access_log &&
+        !access_log_writer.start(state_dir + "/router.access.jsonl")) {
+        std::fprintf(stderr, "hsw_fleet: cannot open %s/router.access.jsonl\n",
+                     state_dir.c_str());
+        return 1;
+    }
 
     // Block stop signals before forking so a ^C during startup still runs
     // the teardown path. The mask is inherited across exec, which is why
@@ -198,6 +268,7 @@ int main(int argc, char** argv) {
     sigemptyset(&stop_signals);
     sigaddset(&stop_signals, SIGINT);
     sigaddset(&stop_signals, SIGTERM);
+    sigaddset(&stop_signals, SIGQUIT);
     pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
 
     std::vector<ShardProc> procs(shard_count);
@@ -209,7 +280,8 @@ int main(int argc, char** argv) {
         util::remove_port_file(p.port_path);  // never read a stale port
         const std::string cache_dir = state_dir + "/" + p.name + ".cache";
         p.pid = spawn_shard(surveyd, p, cache_dir, static_cast<unsigned>(workers),
-                            hot_cache_mb);
+                            hot_cache_mb, state_dir, trace_sample_permille,
+                            access_log);
         if (p.pid < 0) {
             std::fprintf(stderr, "hsw_fleet: fork: %s\n", std::strerror(errno));
             break;
@@ -220,15 +292,19 @@ int main(int argc, char** argv) {
         }
     }
 
-    auto teardown = [&] {
+    // Normal teardown SIGTERMs the shards; a SIGQUIT teardown forwards
+    // SIGQUIT instead so every shard writes its flight dump before
+    // draining. Dumps are never cleaned up here -- they are the point.
+    auto teardown = [&](int shard_signal) {
         for (auto& p : procs) {
-            if (p.pid > 0 && !p.reaped) kill(p.pid, SIGTERM);
+            if (p.pid > 0 && !p.reaped) kill(p.pid, shard_signal);
         }
         for (auto& p : procs) {
             if (p.pid > 0 && !p.reaped) {
                 int status = 0;
                 waitpid(p.pid, &status, 0);
                 p.reaped = true;
+                report_flight_dumps(state_dir, p, quiet);
             }
             if (!p.pid_path.empty()) std::remove(p.pid_path.c_str());
         }
@@ -239,14 +315,14 @@ int main(int argc, char** argv) {
     std::vector<router::ShardEndpoint> endpoints;
     for (auto& p : procs) {
         if (p.pid <= 0) {
-            teardown();
+            teardown(SIGTERM);
             return 1;
         }
         const auto port = util::read_port_file(p.port_path);
         if (!port) {
             std::fprintf(stderr, "hsw_fleet: %s never published %s\n",
                          p.name.c_str(), p.port_path.c_str());
-            teardown();
+            teardown(SIGTERM);
             return 1;
         }
         endpoints.push_back({p.name, "127.0.0.1", *port});
@@ -261,7 +337,7 @@ int main(int argc, char** argv) {
         server.emplace(*rtr, server_cfg);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "hsw_fleet: %s\n", e.what());
-        teardown();
+        teardown(SIGTERM);
         return 1;
     }
     server->start();
@@ -272,7 +348,7 @@ int main(int argc, char** argv) {
         server->stop();
         server->wait();
         rtr->stop();
-        teardown();
+        teardown(SIGTERM);
         return 1;
     }
     if (!quiet) {
@@ -287,9 +363,23 @@ int main(int argc, char** argv) {
         }
     }
 
+    int teardown_signal = SIGTERM;
     while (!server->stopped()) {
         timespec tick{0, 200 * 1000 * 1000};
         const int sig = sigtimedwait(&stop_signals, nullptr, &tick);
+        if (sig == SIGQUIT) {
+            // Flight-dump teardown: the router dumps here, the shards dump
+            // when the forwarded SIGQUIT reaches them in teardown().
+            const std::string path = obs::flight::dump("sigquit");
+            if (!quiet) {
+                std::fprintf(stderr,
+                             "hsw_fleet: SIGQUIT, flight dump %s, stopping fleet\n",
+                             path.empty() ? "FAILED" : path.c_str());
+            }
+            teardown_signal = SIGQUIT;
+            server->stop();
+            break;
+        }
         if (sig == SIGINT || sig == SIGTERM) {
             if (!quiet) {
                 std::fprintf(stderr, "hsw_fleet: %s, stopping fleet\n",
@@ -309,12 +399,14 @@ int main(int argc, char** argv) {
                     std::fprintf(stderr, "hsw_fleet: %s (pid %ld) exited\n",
                                  p.name.c_str(), static_cast<long>(p.pid));
                 }
+                report_flight_dumps(state_dir, p, quiet);
             }
         }
     }
     server->wait();
     rtr->stop();
-    teardown();
+    teardown(teardown_signal);
+    access_log_writer.stop();
     if (!port_file.empty()) util::remove_port_file(port_file);
 
     if (!quiet) {

@@ -22,6 +22,10 @@ const std::string kHotEnd = std::string{"hsw:"} + "end-hot-path";
 const std::string kReactorBegin = std::string{"hsw:"} + "reactor-thread";
 const std::string kReactorEnd = std::string{"hsw:"} + "end-reactor-thread";
 const std::string kAllow = std::string{"hsw-"} + "lint: allow(";
+// The access log's JSON field emitter: its name argument must be a string
+// literal so no request can ever pay for (or corrupt) field-name
+// formatting.
+const std::string kAppendField = std::string{"append_"} + "field";
 
 // --- rule tables -------------------------------------------------------------
 
@@ -444,6 +448,41 @@ struct FileScanner {
                            "' while a lock guard is held; copy under the lock, "
                            "do I/O outside it");
             }
+            if (tok.text == kAppendField) check_append_field(lineno, allows, stripped, tok);
+        }
+    }
+
+    /// `append_field(out, NAME, ...)` call sites must pass NAME as a
+    /// string literal: a computed field name means someone is building
+    /// JSON keys per record, which the access-log design forbids. The
+    /// check is line-local (a call split across lines is not checked) and
+    /// skips the function's own declaration/definition.
+    void check_append_field(int lineno, const std::vector<std::string>& allows,
+                            const std::string& stripped, const Token& tok) {
+        // Declaration ("void append_field(...)" etc.): an identifier
+        // immediately precedes the name.
+        std::size_t before = tok.pos;
+        while (before > 0 && stripped[before - 1] == ' ') --before;
+        if (before > 0 && ident_char(stripped[before - 1])) return;
+
+        std::size_t i = tok.pos + tok.text.size();
+        while (i < stripped.size() && stripped[i] == ' ') ++i;
+        if (i >= stripped.size() || stripped[i] != '(') return;
+        // First comma at paren depth 1 ends the destination argument.
+        int paren = 1;
+        ++i;
+        while (i < stripped.size() && (paren > 1 || stripped[i] != ',')) {
+            if (stripped[i] == '(') ++paren;
+            if (stripped[i] == ')' && --paren == 0) return;  // one-arg call
+            ++i;
+        }
+        if (i >= stripped.size()) return;  // name argument on the next line
+        ++i;
+        while (i < stripped.size() && stripped[i] == ' ') ++i;
+        if (i < stripped.size() && stripped[i] != '"') {
+            report(lineno, allows, "accesslog-literal-field",
+                   "access-log field name is not a string literal at this "
+                   "call site; field names must never be computed per record");
         }
     }
 

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "engine/blob.hpp"
+#include "obs/ctx.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "util/hash.hpp"
 #include "util/port_file.hpp"
@@ -71,6 +73,15 @@ int usage(const char* argv0, int code) {
         "  --pipeline N         send N requests per batch frame (v1.3\n"
         "                       pipelining; default 1 = one request per\n"
         "                       round-trip, works against any server)\n"
+        "\n"
+        "tracing:\n"
+        "  --trace              originate a sampled trace context for every\n"
+        "                       request (the daemons keep the matching spans\n"
+        "                       for hsw_trace / trace_dump)\n"
+        "  --trace-sample N     originate contexts but head-sample only\n"
+        "                       N/1000 of them (default with --trace: 1000)\n"
+        "  --trace-out FILE     also record this client's own spans and write\n"
+        "                       Chrome trace-event JSON to FILE on exit\n"
         "\n"
         "control verbs:\n"
         "  --ping               round-trip check\n"
@@ -192,6 +203,9 @@ int main(int argc, char** argv) {
     unsigned long requests = 64;
     double duplicate_ratio = 0.5;
     std::vector<std::string> mix;
+    bool trace = false;
+    unsigned long trace_sample_permille = 1000;
+    std::string trace_out;
 
     service::protocol::Request request;
     request.verb = service::protocol::Verb::Query;
@@ -305,6 +319,19 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (!v) return usage(argv[0], 2);
             mix = split_commas(v);
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--trace-sample") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, trace_sample_permille, 1000)) {
+                return usage(argv[0], 2);
+            }
+            trace = true;
+        } else if (arg == "--trace-out") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            trace_out = v;
+            trace = true;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
             return usage(argv[0], 2);
@@ -324,6 +351,28 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "hsw_query: --port or --port-file required\n");
         return 2;
     }
+
+    // Propagating a context downstream needs no local recording; the span
+    // ring only runs when the client's own spans were asked for.
+    if (!trace_out.empty()) obs::trace::enable();
+    // Head-sampling decision at the origin, from a deterministic walk so
+    // reruns sample the same request indexes.
+    auto make_traced_root = [&](std::uint64_t& walk) {
+        const bool sampled = trace_sample_permille >= 1000 ||
+                             util::mix64(walk++) % 1000 < trace_sample_permille;
+        return obs::trace::make_root(sampled);
+    };
+
+    auto write_client_trace = [&] {
+        if (trace_out.empty()) return true;
+        obs::trace::disable();
+        if (!obs::trace::write_chrome_json(trace_out)) {
+            std::fprintf(stderr, "hsw_query: cannot write trace %s\n",
+                         trace_out.c_str());
+            return false;
+        }
+        return true;
+    };
 
     try {
         if (ping || stats || metrics || shutdown) {
@@ -355,11 +404,16 @@ int main(int argc, char** argv) {
                 workers.emplace_back([&, t] {
                     BenchSlice& slice = slices[t];
                     const auto slice_t0 = std::chrono::steady_clock::now();
+                    std::uint64_t trace_walk = 0x51D0 + t;
                     try {
                         RetryingClient client{host, port, retries};
                         std::vector<service::protocol::Request> window;
                         auto flush_window = [&] {
                             if (window.empty()) return;
+                            // One root per window: pipelined requests share
+                            // a round-trip, so they share a trace too.
+                            std::optional<obs::trace::ContextScope> scope;
+                            if (trace) scope.emplace(make_traced_root(trace_walk));
                             const auto q0 = std::chrono::steady_clock::now();
                             const auto responses = pipeline > 1
                                                        ? client.call_pipelined(window)
@@ -452,8 +506,9 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(all.computed));
             if (!all.latencies_ms.empty()) {
                 const util::QuantileSummary q = util::quantile_summary(all.latencies_ms);
-                std::printf("  wall %.3f s  %.1f req/s  p50 %.2f ms  p99 %.2f ms\n",
-                            wall_s, sent / wall_s, q.p50, q.p99);
+                std::printf("  wall %.3f s  %.1f req/s  p50 %.2f ms  p99 %.2f ms  "
+                            "p99.9 %.2f ms\n",
+                            wall_s, sent / wall_s, q.p50, q.p99, q.p999);
                 // Per-client spread: a fair server keeps min and max close;
                 // a convoying one starves some connections while others fly.
                 double min_rate = 0, max_rate = 0;
@@ -475,6 +530,7 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "hsw_query: first error: %s\n",
                              all.first_error.c_str());
             }
+            if (!write_client_trace()) return 1;
             return all.ok == total ? 0 : 1;
         }
 
@@ -484,6 +540,15 @@ int main(int argc, char** argv) {
             return 2;
         }
         RetryingClient client{host, port, retries};
+        std::uint64_t trace_walk = 0x51D0;
+        std::optional<obs::trace::ContextScope> scope;
+        if (trace) {
+            const auto root = make_traced_root(trace_walk);
+            scope.emplace(root);
+            std::fprintf(stderr, "hsw_query: trace id %016llx%s\n",
+                         static_cast<unsigned long long>(root.trace_id),
+                         root.sampled() ? "" : " (unsampled)");
+        }
         const auto response = client.call(request);
         if (!response.ok()) {
             std::fprintf(stderr, "hsw_query: %s: %s\n",
@@ -497,7 +562,7 @@ int main(int argc, char** argv) {
                          request.experiment.c_str(), request.point.c_str(),
                          response.payload.size(),
                          std::string{name(response.source)}.c_str());
-            return 0;
+            return write_client_trace() ? 0 : 1;
         }
         const auto sections = engine::unpack_sections(response.payload);
         if (!sections) {
@@ -534,7 +599,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "hsw_query: %s: %zu artifact(s) (%s)\n",
                      request.experiment.c_str(), written,
                      std::string{name(response.source)}.c_str());
-        return 0;
+        return write_client_trace() ? 0 : 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "hsw_query: %s\n", e.what());
         return 1;

@@ -22,7 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/accesslog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "router/router.hpp"
 #include "router/server.hpp"
 #include "router/upstream.hpp"
@@ -52,6 +55,13 @@ int usage(const char* argv0, int code) {
         "  --connect-timeout-ms N  upstream dial timeout (default: 1000)\n"
         "  --upstream-timeout-ms N upstream per-call IO timeout (default: 10000)\n"
         "  --max-connections N     concurrent client connections (default: 128)\n"
+        "  --trace-sample N        keep routing spans; N/1000 of untraced\n"
+        "                          requests head-sampled into the access log\n"
+        "  --access-log FILE       append one JSON line per routed request\n"
+        "  --slow-us N             force-keep requests slower than N us\n"
+        "  --flight-dir DIR        where flight-<pid>-<reason>.json dumps land\n"
+        "                          (default: .); SIGQUIT and the crash\n"
+        "                          handlers dump there\n"
         "  --quiet                 suppress startup / shutdown chatter\n",
         argv0);
     return code;
@@ -89,6 +99,10 @@ int main(int argc, char** argv) {
     router::RouterConfig cfg;
     router::RouterServerConfig server_cfg;
     std::string port_file;
+    std::string access_log_file;
+    std::string flight_dir;
+    unsigned long trace_sample_permille = 0;
+    unsigned long slow_us = 0;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -148,6 +162,22 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (!v || !parse_unsigned(v, n, 1u << 16) || n == 0) return usage(argv[0], 2);
             server_cfg.max_connections = static_cast<unsigned>(n);
+        } else if (arg == "--trace-sample") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, trace_sample_permille, 1000)) {
+                return usage(argv[0], 2);
+            }
+        } else if (arg == "--access-log") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            access_log_file = v;
+        } else if (arg == "--slow-us") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, slow_us, 1ul << 40)) return usage(argv[0], 2);
+        } else if (arg == "--flight-dir") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            flight_dir = v;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
             return usage(argv[0], 2);
@@ -161,11 +191,31 @@ int main(int argc, char** argv) {
     // The router's own counters ride the same registry the fleet scrape
     // merges in (pseudo-shard "router").
     obs::set_metrics_enabled(true);
+    if (trace_sample_permille > 0) obs::trace::enable();
+    obs::accesslog::set_policy(
+        static_cast<double>(trace_sample_permille) / 1000.0, slow_us);
+    obs::accesslog::set_identity("router");
+    if (!access_log_file.empty()) obs::accesslog::set_enabled(true);
+
+    obs::flight::Config flight_cfg;
+    if (!flight_dir.empty()) flight_cfg.dir = flight_dir;
+    flight_cfg.process = "router";
+    obs::flight::configure(flight_cfg);
+    obs::flight::install_crash_handlers();
+
+    obs::accesslog::Writer access_log_writer;
+    if (!access_log_file.empty() &&
+        !access_log_writer.start(access_log_file)) {
+        std::fprintf(stderr, "hsw_router: cannot open access log %s\n",
+                     access_log_file.c_str());
+        return 1;
+    }
 
     sigset_t stop_signals;
     sigemptyset(&stop_signals);
     sigaddset(&stop_signals, SIGINT);
     sigaddset(&stop_signals, SIGTERM);
+    sigaddset(&stop_signals, SIGQUIT);
     pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
 
     router::TcpTransport transport;
@@ -200,6 +250,15 @@ int main(int argc, char** argv) {
     while (!server->stopped()) {
         timespec tick{0, 200 * 1000 * 1000};
         const int sig = sigtimedwait(&stop_signals, nullptr, &tick);
+        if (sig == SIGQUIT) {
+            const std::string path = obs::flight::dump("sigquit");
+            if (!quiet) {
+                std::fprintf(stderr, "hsw_router: SIGQUIT, flight dump %s, draining\n",
+                             path.empty() ? "FAILED" : path.c_str());
+            }
+            server->stop();
+            break;
+        }
         if (sig == SIGINT || sig == SIGTERM) {
             if (!quiet) {
                 std::fprintf(stderr, "hsw_router: %s, draining\n",
@@ -211,6 +270,7 @@ int main(int argc, char** argv) {
     }
     server->wait();
     rtr->stop();
+    access_log_writer.stop();
     if (!port_file.empty()) util::remove_port_file(port_file);
 
     if (!quiet) {

@@ -8,7 +8,10 @@
 // overloaded service answers with structured rejections instead of
 // stalling. Stop it with the protocol `shutdown` verb (hsw_query
 // --shutdown) or SIGINT/SIGTERM; either way in-flight work drains before
-// exit and the final stats block is printed to stderr.
+// exit and the final stats block is printed to stderr. SIGQUIT first
+// writes a flight-recorder dump (trace rings + metrics + access-log tail)
+// and then drains like SIGTERM; SIGSEGV/SIGABRT attempt the same dump on
+// a best-effort basis before the process dies.
 #include <signal.h>
 
 #include <cstdio>
@@ -16,6 +19,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/accesslog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/server.hpp"
@@ -46,6 +51,17 @@ int usage(const char* argv0, int code) {
         "  --deadline-ms N      default per-request deadline, 0 = none (default: 0)\n"
         "  --trace FILE         capture span tracing; write Chrome trace-event\n"
         "                       JSON to FILE on shutdown (open in Perfetto)\n"
+        "  --trace-sample N     keep spans for queries; N/1000 of untraced\n"
+        "                       requests head-sampled into the access log\n"
+        "                       (default: 0 = follow the client's decision)\n"
+        "  --access-log FILE    append one JSON line per kept request to FILE\n"
+        "  --slow-us N          force-keep requests slower than N us (default:\n"
+        "                       0 = off)\n"
+        "  --name NAME          identity stamped into access-log records and\n"
+        "                       flight dumps (default: surveyd:<port>)\n"
+        "  --flight-dir DIR     where flight-<pid>-<reason>.json dumps land\n"
+        "                       (default: .); also enables a dump on graceful\n"
+        "                       shutdown when given explicitly\n"
         "  --quiet              suppress startup / shutdown chatter\n",
         argv0);
     return code;
@@ -66,6 +82,11 @@ int main(int argc, char** argv) {
     cfg.service.disk_cache_dir = ".hsw-cache";
     std::string port_file;
     std::string trace_file;
+    std::string access_log_file;
+    std::string name;
+    std::string flight_dir;
+    unsigned long trace_sample_permille = 0;
+    unsigned long slow_us = 0;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -117,23 +138,56 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (!v) return usage(argv[0], 2);
             trace_file = v;
+        } else if (arg == "--trace-sample") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, trace_sample_permille, 1000)) {
+                return usage(argv[0], 2);
+            }
+        } else if (arg == "--access-log") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            access_log_file = v;
+        } else if (arg == "--slow-us") {
+            const char* v = value();
+            if (!v || !parse_unsigned(v, slow_us, 1ul << 40)) return usage(argv[0], 2);
+        } else if (arg == "--name") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            name = v;
+        } else if (arg == "--flight-dir") {
+            const char* v = value();
+            if (!v) return usage(argv[0], 2);
+            flight_dir = v;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
             return usage(argv[0], 2);
         }
     }
 
-    // The daemon always serves the metrics verb; spans are only captured
-    // when --trace asks for a file.
+    // The daemon always serves the metrics verb; spans are captured when
+    // --trace asks for a shutdown file or --trace-sample turns the ring on
+    // for the trace_dump verb.
     obs::set_metrics_enabled(true);
-    if (!trace_file.empty()) obs::trace::enable();
+    if (!trace_file.empty() || trace_sample_permille > 0) obs::trace::enable();
+    obs::accesslog::set_policy(
+        static_cast<double>(trace_sample_permille) / 1000.0, slow_us);
+    if (!access_log_file.empty()) obs::accesslog::set_enabled(true);
 
-    // Handle SIGINT/SIGTERM synchronously via sigtimedwait: a plain handler
-    // could not safely call stop() (mutexes, condvars).
+    // Flight recorder: graceful shutdown, the `dump` verb and the crash
+    // handlers all share this configuration (and the same atomic writer).
+    obs::flight::Config flight_cfg;
+    if (!flight_dir.empty()) flight_cfg.dir = flight_dir;
+    flight_cfg.process = name.empty() ? "surveyd" : name;
+    obs::flight::configure(flight_cfg);
+    obs::flight::install_crash_handlers();
+
+    // Handle SIGINT/SIGTERM/SIGQUIT synchronously via sigtimedwait: a
+    // plain handler could not safely call stop() (mutexes, condvars).
     sigset_t stop_signals;
     sigemptyset(&stop_signals);
     sigaddset(&stop_signals, SIGINT);
     sigaddset(&stop_signals, SIGTERM);
+    sigaddset(&stop_signals, SIGQUIT);
     pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
 
     std::optional<service::SurveyServer> server;
@@ -143,6 +197,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "hsw_surveyd: %s\n", e.what());
         return 1;
     }
+
+    obs::accesslog::set_identity(
+        name.empty() ? "surveyd:" + std::to_string(server->port()) : name);
+    obs::accesslog::Writer access_log_writer;
+    if (!access_log_file.empty() &&
+        !access_log_writer.start(access_log_file)) {
+        std::fprintf(stderr, "hsw_surveyd: cannot open access log %s\n",
+                     access_log_file.c_str());
+        return 1;
+    }
+
     server->start();
 
     if (!port_file.empty()) {
@@ -169,10 +234,23 @@ int main(int argc, char** argv) {
     }
 
     // Wake every 200 ms to notice a protocol-driven shutdown; otherwise
-    // park in sigtimedwait until SIGINT/SIGTERM.
+    // park in sigtimedwait until SIGINT/SIGTERM/SIGQUIT.
+    bool dumped_on_signal = false;
     while (!server->stopped()) {
         timespec tick{0, 200 * 1000 * 1000};
         const int sig = sigtimedwait(&stop_signals, nullptr, &tick);
+        if (sig == SIGQUIT) {
+            // Dump first, while the in-flight load is still visible in the
+            // trace ring and metrics; then drain like SIGTERM.
+            const std::string path = obs::flight::dump("sigquit");
+            dumped_on_signal = !path.empty();
+            if (!quiet) {
+                std::fprintf(stderr, "hsw_surveyd: SIGQUIT, flight dump %s, draining\n",
+                             path.empty() ? "FAILED" : path.c_str());
+            }
+            server->stop();
+            break;
+        }
         if (sig == SIGINT || sig == SIGTERM) {
             if (!quiet) {
                 std::fprintf(stderr, "hsw_surveyd: %s, draining\n",
@@ -183,7 +261,17 @@ int main(int argc, char** argv) {
         }
     }
     server->wait();
+    access_log_writer.stop();  // final drain: graceful shutdown loses nothing
     if (!port_file.empty()) util::remove_port_file(port_file);
+
+    // Graceful-shutdown snapshot rides the same dump path as the crash
+    // handlers when a flight directory was asked for explicitly.
+    if (!flight_dir.empty() && !dumped_on_signal) {
+        const std::string path = obs::flight::dump("shutdown");
+        if (!quiet && !path.empty()) {
+            std::fprintf(stderr, "hsw_surveyd: flight dump %s\n", path.c_str());
+        }
+    }
 
     // A short-lived daemon run should leave a usable record: the final
     // ServiceStats block plus the full metrics snapshot, then the trace.

@@ -80,6 +80,8 @@ struct Sample {
     double result_cache_hits = 0, result_cache_misses = 0;
     double connections = 0, open_connections = 0, frames = 0, malformed = 0;
     double queue_depth = 0;
+    double trace_dropped = 0, accesslog_dropped = 0;
+    double ejected = 0;
     double lat_count = 0, lat_p50 = 0, lat_p90 = 0, lat_p99 = 0;
     std::chrono::steady_clock::time_point when;
 };
@@ -111,6 +113,9 @@ Sample decode_sample(const util::json::Value& doc) {
         s.queue_depth = gauges->number_or("hsw_service_queue_depth", 0.0);
         s.open_connections = gauges->number_or("hsw_server_open_connections", 0.0);
         s.hot_cache_bytes = gauges->number_or("hsw_hot_cache_bytes", 0.0);
+        s.trace_dropped = gauges->number_or("obs_trace_dropped_spans", 0.0);
+        s.accesslog_dropped = gauges->number_or("obs_accesslog_dropped", 0.0);
+        s.ejected = gauges->number_or("router_shard_ejected", 0.0);
     }
     if (histograms) {
         if (const util::json::Value* lat =
@@ -206,10 +211,12 @@ void render(const FleetSample& fs, const FleetSample* prev_fs,
                 now.result_cache_hits + now.result_cache_misses);
     std::printf("server      connections %.0f (open %.0f)   frames %.0f   malformed %.0f\n",
                 now.connections, now.open_connections, now.frames, now.malformed);
+    std::printf("obs drops   trace spans %.0f   access-log records %.0f\n",
+                now.trace_dropped, now.accesslog_dropped);
 
     if (!fs.shards.empty()) {
-        std::printf("\n%-12s %10s %9s %7s %9s %9s\n", "shard", "requests",
-                    "req/s", "hot%", "computed", "p99 ms");
+        std::printf("\n%-12s %10s %9s %7s %9s %9s  %s\n", "shard", "requests",
+                    "req/s", "hot%", "computed", "p99 ms", "health");
         for (const auto& [name, shard] : fs.shards) {
             const Sample* shard_prev = nullptr;
             if (prev_fs) {
@@ -220,10 +227,11 @@ void render(const FleetSample& fs, const FleetSample* prev_fs,
                     }
                 }
             }
-            std::printf("%-12s %10.0f %9.1f %6.1f%% %9.0f %9.3f\n", name.c_str(),
+            std::printf("%-12s %10.0f %9.1f %6.1f%% %9.0f %9.3f  %s\n", name.c_str(),
                         shard.requests, request_rate(shard, shard_prev),
                         ratio_pct(shard.hot_cache_hits, shard.hot_cache_misses),
-                        shard.computed, shard.lat_p99);
+                        shard.computed, shard.lat_p99,
+                        shard.ejected > 0 ? "EJECTED" : "ok");
         }
     }
     std::fflush(stdout);
